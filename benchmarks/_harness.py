@@ -1,0 +1,49 @@
+"""Formatting helpers shared by the benchmark reports."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """A fixed-width text table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(parts):
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int) and abs(value) >= 10_000:
+        return f"{value:,}"
+    return str(value)
+
+
+def human_bytes(count: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(count) < 1024 or unit == "GB":
+            return f"{count:.1f}{unit}" if unit != "B" else f"{count:.0f}B"
+        count /= 1024
+    return f"{count:.1f}GB"
+
+
+def human_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"

@@ -1,0 +1,191 @@
+"""Figure 4 operations expressed as simulator phases.
+
+Each O1-O11 operation maps to the execution trees it launches (§5.3): a
+preparation tree (range / distinct — often cached, but Figures 5/6 measure
+first-time operations) and a rendering tree.  Summary sizes are measured
+from the *real* sketches on a small flights table, so the simulated bytes
+are grounded in the actual wire format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import sampling
+from repro.core.buckets import DoubleBuckets, ExplicitStringBuckets
+from repro.core.resolution import DEFAULT_RESOLUTION
+from repro.data.flights import generate_flights
+from repro.engine.costmodel import CostModel
+from repro.engine.simulation import SimCluster, SimPhase, SimResult, simulate_query
+from repro.sketches.bottomk import BottomKDistinctSketch
+from repro.sketches.cdf import CdfSketch
+from repro.sketches.heatmap import HeatmapSketch
+from repro.sketches.heavy_hitters import SampleHeavyHittersSketch
+from repro.sketches.histogram import HistogramSketch
+from repro.sketches.hll import HyperLogLogSketch
+from repro.sketches.moments import MomentsSketch
+from repro.sketches.next_items import NextKSketch
+from repro.sketches.quantile import SampleQuantileSketch
+from repro.sketches.stacked import StackedHistogramSketch
+from repro.table.sort import RecordOrder
+
+RES = DEFAULT_RESOLUTION
+V = RES.height
+H = RES.width
+
+
+@dataclass(frozen=True)
+class SummarySizes:
+    """Measured wire sizes of each summary type (bytes)."""
+
+    range_: int
+    histogram: int
+    cdf: int
+    stacked: int
+    heatmap: int
+    next_k: int
+    next_k5: int
+    quantile: int
+    heavy_hitters: int
+    hll: int
+    bottomk: int
+
+
+def measure_summary_sizes() -> SummarySizes:
+    """Run each sketch on a small real flights table and measure bytes."""
+    table = generate_flights(20_000, seed=4)
+    delay = DoubleBuckets(-60, 300, 100)
+    pixels = DoubleBuckets(-60, 300, H)
+    airlines = ExplicitStringBuckets(
+        sorted({a for a in table.column("Airline").dictionary.values})
+    )
+    heat = HeatmapSketch(
+        "DepDelay", DoubleBuckets(-60, 300, H // 3),
+        "ArrDelay", DoubleBuckets(-60, 300, V // 3),
+    )
+    order1 = RecordOrder.of("DepDelay")
+    order5 = RecordOrder.of("DepDelay", "ArrDelay", "Distance", "AirTime", "TaxiOut")
+    quantile = SampleQuantileSketch(order5, rate=0.05, seed=1)
+    return SummarySizes(
+        range_=MomentsSketch("DepDelay").summarize(table).serialized_size(),
+        histogram=HistogramSketch("DepDelay", delay).summarize(table).serialized_size(),
+        cdf=CdfSketch("DepDelay", pixels).summarize(table).serialized_size(),
+        stacked=StackedHistogramSketch(
+            "DepDelay", delay, "Airline", airlines
+        ).summarize(table).serialized_size(),
+        heatmap=heat.summarize(table).serialized_size(),
+        next_k=NextKSketch(order1, 20).summarize(table).serialized_size(),
+        next_k5=NextKSketch(order5, 20).summarize(table).serialized_size(),
+        quantile=quantile.summarize(table).serialized_size(),
+        heavy_hitters=SampleHeavyHittersSketch(
+            "Origin", 20, rate=0.1, seed=1
+        ).summarize(table).serialized_size(),
+        hll=HyperLogLogSketch("FlightNum").summarize(table).serialized_size(),
+        bottomk=BottomKDistinctSketch("Origin", k=500).summarize(table).serialized_size(),
+    )
+
+
+def operation_phases(sizes: SummarySizes) -> dict[str, list[SimPhase]]:
+    """Execution phases per operation, with display-derived sample sizes."""
+    n_hist = sampling.practical_histogram_sample_size(V)
+    n_cdf = sampling.cdf_sample_size(V, width=H)
+    n_quant = sampling.quantile_sample_size(100)
+    n_hh = sampling.heavy_hitters_sample_size(20)
+    n_heat = sampling.heatmap_sample_size(H // 3, V // 3, 20)
+
+    def scan(columns, size):
+        return SimPhase(kind="scan", columns=columns, summary_bytes=size)
+
+    def sample(n, size, columns=1):
+        return SimPhase(
+            kind="sample", columns=columns, total_samples=n, summary_bytes=size
+        )
+
+    def sort(columns, size):
+        return SimPhase(kind="sort", columns=columns, summary_bytes=size)
+
+    return {
+        # O1-O3: next-items sorts (exact scans over the sort columns).
+        "O1": [sort(1, sizes.next_k)],
+        "O2": [sort(5, sizes.next_k5)],
+        "O3": [sort(1, sizes.next_k)],
+        # O4: quantile sample then next-items.
+        "O4": [sample(n_quant, sizes.quantile), sort(5, sizes.next_k5)],
+        # O5: range scan, then sampled histogram & cdf (concurrent -> one
+        # tree whose sample is the max of the two).
+        "O5": [scan(1, sizes.range_), sample(max(n_hist, n_cdf), sizes.histogram + sizes.cdf)],
+        # O6: filter (scan) + O5.
+        "O6": [
+            scan(1, 64),
+            scan(1, sizes.range_),
+            sample(max(n_hist, n_cdf), sizes.histogram + sizes.cdf),
+        ],
+        # O7: bottom-k distinct scan + sampled string histogram.
+        "O7": [scan(1, sizes.bottomk), sample(n_hist, sizes.histogram)],
+        # O8: sampling heavy hitters (single sampled tree).
+        "O8": [sample(n_hh, sizes.heavy_hitters)],
+        # O9: HyperLogLog distinct count (exact scan).
+        "O9": [scan(1, sizes.hll)],
+        # O10: range + sampled stacked histogram & cdf.
+        "O10": [scan(1, sizes.range_), sample(max(n_hist, n_cdf), sizes.stacked + sizes.cdf)],
+        # O11: 2-column range + heat map.  At 20 colors and H/3 x V/3 bins
+        # the required sample exceeds the data (§4.3's bound is enormous),
+        # so the engine streams — which is why O11 ships the most bytes.
+        "O11": [scan(2, sizes.range_ * 2), sample(n_heat, sizes.heatmap, columns=2)],
+    }
+
+
+#: Columns each operation touches (for cold-load accounting, Fig 6).
+OPERATION_COLUMNS = {
+    "O1": 1, "O2": 5, "O3": 1, "O4": 5, "O5": 1, "O6": 1,
+    "O7": 1, "O8": 1, "O9": 1, "O10": 2, "O11": 2,
+}
+
+
+def simulate_operation(
+    op_id: str,
+    cluster: SimCluster,
+    model: CostModel,
+    sizes: SummarySizes,
+    cold: bool = False,
+) -> SimResult:
+    phases = operation_phases(sizes)[op_id]
+    cold_columns = OPERATION_COLUMNS[op_id] if cold else 0
+    return simulate_query(cluster, phases, model, cold_columns=cold_columns)
+
+
+def simulate_spark_operation(
+    op_id: str,
+    cluster: SimCluster,
+    model: CostModel,
+    sizes: SummarySizes,
+) -> SimResult:
+    """The general-purpose baseline under the same cost model.
+
+    Differences from Hillview (§7.1, and our GeneralPurposeEngine):
+    * exact computation — the sampled phases become full scans;
+    * one complete task result per micropartition is shipped to the driver
+      (no tree aggregation), each with ~4 KB of task overhead;
+    * no partial results: the first visible result is the final one.
+    """
+    phases = operation_phases(sizes)[op_id]
+    shards = sum(cluster.shards_per_server())
+    total = None
+    bytes_to_driver = 0
+    for i, phase in enumerate(phases):
+        exact = SimPhase(
+            kind="sort" if phase.kind == "sort" else "scan",
+            columns=max(phase.columns, 1),
+            summary_bytes=phase.summary_bytes,
+        )
+        step = simulate_query(cluster, [exact], model, seed=100 + i)
+        bytes_to_driver += (phase.summary_bytes + 4096) * shards
+        total = step if total is None else total + step
+    assert total is not None
+    return SimResult(
+        first_partial_s=total.total_s,  # nothing visible until completion
+        total_s=total.total_s,
+        bytes_to_root=bytes_to_driver,
+        partials_to_root=shards,
+        leaf_tasks=total.leaf_tasks,
+    )

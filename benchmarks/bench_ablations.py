@@ -1,0 +1,354 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+* Heavy hitters: Misra-Gries (streaming) vs sampling — the paper observes
+  sampling is "better when K >= 1/100" of the data; we sweep K.
+* Membership sampling: dense bitmap walk vs sparse hash-threshold (§5.6).
+* Aggregation cadence: the 0.1 s partial-merge interval trades freshness
+  for bytes (§5.3).
+* Computation cache: hit vs miss latency (§5.4).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _harness import format_table, human_bytes, human_seconds
+from conftest import add_report
+
+from repro.core.buckets import DoubleBuckets
+from repro.core.sampling import heavy_hitters_sample_size, sample_rate
+from repro.data.synth import categorical_table
+from repro.engine.costmodel import CostModel
+from repro.engine.simulation import SimCluster, SimPhase, simulate_phase
+from repro.sketches.heavy_hitters import MisraGriesSketch, SampleHeavyHittersSketch
+from repro.sketches.histogram import HistogramSketch
+from repro.table.membership import DenseMembership, SparseMembership
+
+
+def test_heavy_hitters_methods(benchmark):
+    """Misra-Gries vs sampling across K (accuracy + time)."""
+    table = categorical_table(400_000, distinct=2_000, exponent=1.4, seed=3)
+    truth: dict = {}
+    rows = table.members.indices()
+    column = table.column("word")
+    codes = column.codes_at(rows)
+    unique, counts = np.unique(codes, return_counts=True)
+    for code, count in zip(unique, counts):
+        truth[column.dictionary.value(int(code))] = int(count)
+    n = table.num_rows
+
+    def evaluate(k: int):
+        must_find = {v for v, c in truth.items() if c >= n / k}
+        out = []
+        start = time.perf_counter()
+        mg = MisraGriesSketch("word", 2 * k)
+        mg_summary = mg.merge_all([mg.summarize(s) for s in table.split(8)])
+        mg_time = time.perf_counter() - start
+        mg_found = {v for v, _ in mg_summary.hitters(1.0 / k)}
+        out.append(("misra-gries", k, mg_time, must_find <= mg_found))
+
+        start = time.perf_counter()
+        rate = sample_rate(heavy_hitters_sample_size(k, 0.01), n)
+        sampler = SampleHeavyHittersSketch("word", k, rate, seed=7)
+        sample_summary = sampler.merge_all(
+            [sampler.summarize(s) for s in table.split(8)]
+        )
+        sample_time = time.perf_counter() - start
+        sample_found = {v for v, _ in sampler.hitters(sample_summary)}
+        out.append(("sampling", k, sample_time, must_find <= sample_found))
+        return out
+
+    def sweep():
+        results = []
+        for k in (5, 20, 100):
+            results.extend(evaluate(k))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows_out = [
+        [method, k, human_seconds(seconds), "yes" if ok else "NO"]
+        for method, k, seconds, ok in results
+    ]
+    add_report(
+        "Ablation: heavy hitters, Misra-Gries vs sampling (B.2)",
+        format_table(["method", "K", "time", "all >=1/K found"], rows_out)
+        + "\n\nPaper: the sampling method wins for small K (its sample is "
+        "K^2 log K);\nMisra-Gries scans everything but never misses.",
+    )
+    assert all(ok for method, _, _, ok in results if method == "misra-gries")
+    # Sampling beats the full scan for small K.
+    small_k = {m: t for m, k, t, _ in results if k == 5}
+    assert small_k["sampling"] < small_k["misra-gries"]
+
+
+def test_membership_sampling(benchmark):
+    """Dense bitmap walk vs sparse hash-threshold sampling (§5.6)."""
+    universe = 2_000_000
+    rng = np.random.default_rng(5)
+
+    dense = DenseMembership(rng.random(universe) < 0.6)
+    sparse = SparseMembership(
+        np.flatnonzero(rng.random(universe) < 0.02), universe
+    )
+
+    def sample_both():
+        out = {}
+        for name, members in (("dense-bitmap", dense), ("sparse-hash", sparse)):
+            start = time.perf_counter()
+            for seed in range(5):
+                members.sample_rate(0.01, np.random.default_rng(seed))
+            out[name] = (time.perf_counter() - start) / 5
+        return out
+
+    results = benchmark.pedantic(sample_both, rounds=2, iterations=1)
+    rows = [
+        ["dense-bitmap (walk)", f"{dense.size:,}", human_seconds(results["dense-bitmap"])],
+        ["sparse-hash (bottom-k)", f"{sparse.size:,}", human_seconds(results["sparse-hash"])],
+    ]
+    add_report(
+        "Ablation: membership-set sampling (S5.6)",
+        format_table(["representation", "members", "time per 1% sample"], rows)
+        + "\n\nBoth touch only O(sample) or O(members) work — never the "
+        "whole universe of\nthe parent table.",
+    )
+
+
+def test_aggregation_cadence(benchmark, calibrated_model):
+    """The 0.1s partial-merge interval: freshness vs bytes (§5.3)."""
+    cluster = SimCluster(servers=8, cores_per_server=28, total_rows=13_000_000_000)
+    phase = SimPhase(kind="scan", columns=1, summary_bytes=800)
+
+    def sweep():
+        out = []
+        for interval in (0.01, 0.05, 0.1, 0.5, 2.0):
+            model = calibrated_model.with_overrides(
+                aggregation_interval_s=interval
+            )
+            result = simulate_phase(cluster, phase, model)
+            out.append((interval, result))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{interval:.2f}s",
+            result.partials_to_root,
+            human_bytes(result.bytes_to_root),
+            human_seconds(result.first_partial_s),
+            human_seconds(result.total_s),
+        ]
+        for interval, result in results
+    ]
+    add_report(
+        "Ablation: aggregation cadence (S5.3, default 0.1s)",
+        format_table(
+            ["interval", "partials", "bytes to root", "first partial", "total"],
+            rows,
+        )
+        + "\n\nShorter intervals give fresher progress at modest byte cost "
+        "(summaries are\nsmall by construction); the total latency is "
+        "unaffected.",
+    )
+    partials = [r.partials_to_root for _, r in results]
+    assert partials[0] > partials[-1]
+    totals = [r.total_s for _, r in results]
+    assert max(totals) / min(totals) < 1.05
+
+
+def test_aggregation_tree_fanout(benchmark, calibrated_model):
+    """Aggregation-tree fanout: root incast vs merge-hop latency (§5.2).
+
+    Figure 1's architecture inserts aggregation layers so the root is never
+    overwhelmed; the paper notes one layer suffices for tens of servers.
+    This sweep quantifies the trade-off at larger fleet sizes.
+    """
+    from repro.engine.simulation import aggregation_tree
+
+    summary_bytes = 800  # a histogram-sized summary
+
+    def sweep():
+        out = []
+        for servers in (8, 64, 512):
+            for fanout in (4, 16, 64):
+                shape = aggregation_tree(servers, fanout)
+                out.append(
+                    (
+                        servers,
+                        fanout,
+                        shape.layers,
+                        shape.root_in_degree,
+                        shape.root_bytes_per_round(summary_bytes),
+                        shape.hop_latency_s(calibrated_model, summary_bytes),
+                    )
+                )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            servers,
+            fanout,
+            layers,
+            in_degree,
+            human_bytes(root_bytes),
+            human_seconds(hop_latency),
+        ]
+        for servers, fanout, layers, in_degree, root_bytes, hop_latency in results
+    ]
+    add_report(
+        "Ablation: aggregation-tree fanout (S5.2, Figure 1)",
+        format_table(
+            [
+                "servers",
+                "fanout",
+                "extra layers",
+                "root in-degree",
+                "root bytes/round",
+                "added hop latency",
+            ],
+            rows,
+        )
+        + "\n\nAt 8 servers every fanout yields a flat tree (the paper's "
+        "deployment);\nat 512 servers a fanout of 16 caps the root's "
+        "in-degree at 32 for one\nextra ~0.5 ms merge hop — summaries are "
+        "so small that depth, not\nbandwidth, is the only cost.",
+    )
+    by_key = {(s, f): (l, d) for s, f, l, d, _, _ in results}
+    # The paper's deployment: no aggregation layers needed at 8 servers.
+    assert by_key[(8, 16)] == (0, 8)
+    # Large fleets: smaller fanout => deeper tree but smaller incast.
+    assert by_key[(512, 4)][0] > by_key[(512, 64)][0]
+    assert by_key[(512, 4)][1] < 512
+
+
+def test_protocol_overhead(benchmark, flights_200k):
+    """JSON RPC envelope cost vs the binary summary encoding (§6).
+
+    Hillview serializes RPC messages as JSON; summaries stay small by
+    construction, so even a text encoding keeps the root's ingress tiny
+    compared to a general-purpose engine shipping raw rows (Fig 5 bottom).
+    """
+    from repro.data.flights import FlightsSource
+    from repro.engine.cluster import Cluster
+    from repro.engine.rpc import RpcRequest
+    from repro.engine.web import WebServer
+
+    web = WebServer(Cluster(num_workers=2, cores_per_worker=2))
+    handle = web.load(FlightsSource(100_000, partitions=8, seed=13))
+    spec = {
+        "sketch": {
+            "type": "histogram",
+            "column": "DepDelay",
+            "buckets": {"type": "double", "min": -60, "max": 300, "count": 100},
+        }
+    }
+
+    def round_trip():
+        web.cluster.computation_cache.clear()
+        request = RpcRequest(1, handle, "sketch", spec)
+        start = time.perf_counter()
+        replies = list(web.execute(request.to_json()))
+        elapsed = time.perf_counter() - start
+        json_bytes = sum(len(r.to_json()) for r in replies)
+        # The same query, engine-direct: binary summary bytes at the root.
+        web.cluster.computation_cache.clear()
+        sketch_run = web.dataset(handle).run(
+            HistogramSketch("DepDelay", DoubleBuckets(-60, 300, 100))
+        )
+        return elapsed, json_bytes, sketch_run.bytes_received
+
+    elapsed, json_bytes, binary_bytes = benchmark.pedantic(
+        round_trip, rounds=3, iterations=1
+    )
+    ratio = json_bytes / max(binary_bytes, 1)
+    add_report(
+        "Ablation: JSON protocol overhead (S6)",
+        format_table(
+            ["path", "bytes", "note"],
+            [
+                ["binary summaries at root", human_bytes(binary_bytes),
+                 "engine-internal (Fig 5 bottom)"],
+                ["JSON replies to client", human_bytes(json_bytes),
+                 f"{ratio:.1f}x the binary bytes"],
+            ],
+        )
+        + f"\n\nFull query answered over JSON in {human_seconds(elapsed)}. "
+        "Because vizketch summaries\nare display-sized, the client-facing "
+        "text encoding stays in the kilobytes per\nquery — the protocol "
+        "never becomes the bottleneck the paper attributes to\n"
+        "row-shipping engines.",
+    )
+    assert json_bytes < 512 * 1024  # kilobytes, not megabytes
+
+
+def test_trellis_sample_economics(benchmark, calibrated_model):
+    """Trellis panes shrink, so the whole array needs a *smaller* sample.
+
+    Appendix B.1: "a large number of heat maps means that each heat map is
+    small ... due to the quadratic dependency on the number of bins, this
+    requires a smaller sample size than rendering a single heat map of the
+    same pixel dimensions."
+    """
+    from repro.core.resolution import DISTINCT_COLORS, Resolution
+    from repro.core.sampling import heatmap_sample_size
+
+    surface = Resolution(600, 400)
+
+    def sweep():
+        out = []
+        for panes in (1, 2, 4, 8, 16):
+            pane_resolution, _, _ = surface.split_trellis(panes)
+            bx, by = pane_resolution.heatmap_bins()
+            per_pane = heatmap_sample_size(bx, by, DISTINCT_COLORS, 0.01)
+            out.append((panes, bx, by, per_pane))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [panes, f"{bx}x{by}", f"{per_pane:,}"]
+        for panes, bx, by, per_pane in results
+    ]
+    add_report(
+        "Ablation: trellis sample-size economics (B.1)",
+        format_table(["panes", "bins per pane", "sample size (whole query)"], rows)
+        + "\n\nThe sample bound is quadratic in per-pane bins, and binning "
+        "the group column\nis free, so splitting one surface into k panes "
+        "*shrinks* the total sample —\nthe counter-intuitive economics the "
+        "paper calls out for trellis plots.",
+    )
+    sizes = [per_pane for _, _, _, per_pane in results]
+    assert sizes[0] > sizes[-1], "16 panes should need fewer samples than 1"
+
+
+def test_computation_cache(benchmark, flights_200k):
+    """Cache hit vs miss on a deterministic sketch (§5.4)."""
+    from repro.data.flights import FlightsSource
+    from repro.engine.cluster import Cluster
+
+    cluster = Cluster(num_workers=4, cores_per_worker=2, aggregation_interval=0.05)
+    dataset = cluster.load(FlightsSource(150_000, partitions=12, seed=31))
+    sketch = HistogramSketch("DepDelay", DoubleBuckets(-60, 300, 100))
+
+    def miss_then_hit():
+        cluster.computation_cache.clear()
+        miss = dataset.run(sketch)
+        hit = dataset.run(sketch)
+        return miss, hit
+
+    miss, hit = benchmark.pedantic(miss_then_hit, rounds=3, iterations=1)
+    assert not miss.cache_hit and hit.cache_hit
+    speedup = miss.total_seconds / max(hit.total_seconds, 1e-9)
+    add_report(
+        "Ablation: computation cache (S5.4)",
+        format_table(
+            ["path", "latency", "bytes to root"],
+            [
+                ["miss (full tree)", human_seconds(miss.total_seconds), human_bytes(miss.bytes_received)],
+                ["hit (root cache)", human_seconds(hit.total_seconds), human_bytes(hit.bytes_received)],
+            ],
+        )
+        + f"\n\ncache speedup: {speedup:,.0f}x; hits ship zero bytes.",
+    )
+    assert hit.total_seconds < miss.total_seconds

@@ -1,0 +1,115 @@
+"""§7.2.1 — single-thread histogram microbenchmark.
+
+Paper (100M rows, one thread):
+
+    streaming   527 ms
+    sampling    197 ms
+    database  5,830 ms
+
+The shape to reproduce: sampling < streaming << database, with the database
+roughly an order of magnitude behind streaming.  Row counts are scaled to
+this machine; the report normalizes to ns/row so the comparison is scale-
+free.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _harness import format_table, human_seconds
+from conftest import add_report
+
+from repro.baseline.rowstore import RowStoreDatabase
+from repro.core.buckets import DoubleBuckets
+from repro.data.synth import numeric_table
+from repro.sketches.histogram import HistogramSketch
+
+SKETCH_ROWS = 2_000_000
+DB_ROWS = 150_000
+BUCKETS = DoubleBuckets(0.0, 100.0, 100)
+SAMPLE_RATE = 0.02  # the V^2-derived rate at this row count
+
+
+@pytest.fixture(scope="module")
+def sketch_table():
+    return numeric_table(SKETCH_ROWS, "uniform", seed=1)
+
+
+@pytest.fixture(scope="module")
+def database():
+    db = RowStoreDatabase()
+    db.load_table("flights", numeric_table(DB_ROWS, "uniform", seed=1))
+    return db
+
+
+def test_streaming_histogram(benchmark, sketch_table):
+    sketch = HistogramSketch("value", BUCKETS)
+    result = benchmark(sketch.summarize, sketch_table)
+    assert result.total_in_range == SKETCH_ROWS
+    _RESULTS["streaming"] = (benchmark.stats["mean"], SKETCH_ROWS)
+
+
+def test_sampled_histogram(benchmark, sketch_table):
+    sketch = HistogramSketch("value", BUCKETS, rate=SAMPLE_RATE, seed=3)
+    result = benchmark(sketch.summarize, sketch_table)
+    assert result.sampled_rows > 0
+    _RESULTS["sampling"] = (benchmark.stats["mean"], SKETCH_ROWS)
+
+
+def test_database_histogram(benchmark, database):
+    sql = "SELECT HISTOGRAM(value, 0, 100, 100) FROM flights"
+
+    def run():
+        return database.execute(sql)
+
+    (result,) = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert sum(result[0]) == DB_ROWS
+    _RESULTS["database"] = (benchmark.stats["mean"], DB_ROWS)
+
+
+_RESULTS: dict[str, tuple[float, int]] = {}
+
+PAPER_MS = {"streaming": 527.0, "sampling": 197.0, "database": 5830.0}
+
+
+def test_report(benchmark):
+    """Assemble the §7.2.1 comparison (shape assertions + report)."""
+    benchmark(time.sleep, 0)  # keeps this test alive under --benchmark-only
+    assert set(_RESULTS) == {"streaming", "sampling", "database"}
+    ns_per_row = {
+        name: seconds / rows * 1e9 for name, (seconds, rows) in _RESULTS.items()
+    }
+    # The paper's shape: sampling fastest, database an order of magnitude
+    # slower than streaming (per row).
+    assert ns_per_row["sampling"] < ns_per_row["streaming"]
+    assert ns_per_row["database"] > 5 * ns_per_row["streaming"]
+
+    rows = []
+    for name in ("streaming", "sampling", "database"):
+        seconds, count = _RESULTS[name]
+        rows.append(
+            [
+                name,
+                human_seconds(seconds),
+                f"{count:,}",
+                f"{ns_per_row[name]:.1f}",
+                f"{PAPER_MS[name]:,.0f} ms @100M",
+                f"{PAPER_MS[name] / 100e6 * 1e6:.1f}",
+            ]
+        )
+    body = format_table(
+        ["method", "measured", "rows", "ns/row", "paper", "paper ns/row"], rows
+    )
+    ratio = ns_per_row["database"] / ns_per_row["streaming"]
+    paper_ratio = PAPER_MS["database"] / PAPER_MS["streaming"]
+    body += (
+        f"\n\ndatabase/streaming ratio: measured {ratio:.1f}x, "
+        f"paper {paper_ratio:.1f}x\n"
+        f"sampling/streaming ratio: measured "
+        f"{ns_per_row['sampling'] / ns_per_row['streaming']:.2f}x, paper "
+        f"{PAPER_MS['sampling'] / PAPER_MS['streaming']:.2f}x"
+    )
+    add_report("S7.2.1 single-thread histogram microbenchmark", body)

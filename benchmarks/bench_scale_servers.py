@@ -1,0 +1,66 @@
+"""Figure 8 — weak scaling over server count.
+
+Paper: 64 leaves per server; rows grow with servers (constant rows per
+leaf).  Streaming latency stays constant (ideal weak scaling); sampled
+latency *drops* super-linearly because the fixed total sample is split over
+more servers.  (The paper's y-axis is logarithmic for this reason.)
+"""
+
+from __future__ import annotations
+
+from _harness import format_table, human_seconds
+from conftest import add_report
+
+from repro.engine.simulation import SimCluster, SimPhase, simulate_phase
+
+SERVER_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8)
+LEAVES_PER_SERVER = 64
+ROWS_PER_LEAF = 15_000_000
+#: Large enough that sampling work dominates fixed task/network overheads
+#: (a heat-map-grade sample); the super-linear effect needs visible work.
+TOTAL_SAMPLES = 20_000_000
+
+
+def test_simulated_figure8(benchmark, calibrated_model):
+    def run():
+        out = {}
+        for kind in ("streaming", "sampled"):
+            latencies = []
+            for servers in SERVER_COUNTS:
+                cluster = SimCluster(
+                    servers=servers,
+                    cores_per_server=28,
+                    total_rows=ROWS_PER_LEAF * LEAVES_PER_SERVER * servers,
+                    micropartition_rows=ROWS_PER_LEAF,
+                )
+                phase = (
+                    SimPhase(kind="scan", columns=1, summary_bytes=800)
+                    if kind == "streaming"
+                    else SimPhase(
+                        kind="sample",
+                        total_samples=TOTAL_SAMPLES,
+                        summary_bytes=800,
+                    )
+                )
+                latencies.append(simulate_phase(cluster, phase, calibrated_model).total_s)
+            out[kind] = latencies
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    streaming, sampled = results["streaming"], results["sampled"]
+
+    # Streaming: ideal weak scaling -> near-constant latency.
+    assert max(streaming) / min(streaming) < 1.4
+    # Sampled: super-linear (fixed sample split over more servers).
+    assert sampled[-1] < sampled[0] / 3
+
+    rows = [
+        [servers, human_seconds(streaming[i]), human_seconds(sampled[i])]
+        for i, servers in enumerate(SERVER_COUNTS)
+    ]
+    add_report(
+        "Figure 8 scalability over servers (simulated, 64 leaves/server)",
+        format_table(["servers", "streaming", "sampled"], rows)
+        + "\n\nPaper: streaming constant (ideal); sampled super-linear "
+        "(log-scale y axis).",
+    )

@@ -1,0 +1,52 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures and
+registers a human-readable report via :func:`add_report`.  Reports are
+printed in the terminal summary (so they survive ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt``) and written to
+``benchmarks/results/<slug>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from repro.data.flights import generate_flights
+from repro.engine.costmodel import CostModel
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def add_report(title: str, body: str) -> None:
+    """Register a report section; also persist it to the results directory."""
+    _REPORTS.append((title, body))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w") as f:
+        f.write(f"{title}\n{'=' * len(title)}\n{body}\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for title, body in _REPORTS:
+        terminalreporter.write_sep("-", title)
+        terminalreporter.write_line(body)
+
+
+@pytest.fixture(scope="session")
+def flights_200k():
+    """The shared real-execution dataset (one 'Flights' shard set)."""
+    return generate_flights(200_000, seed=17)
+
+
+@pytest.fixture(scope="session")
+def calibrated_model() -> CostModel:
+    """Cost model with per-row constants measured on this machine."""
+    return CostModel.calibrate(rows=1_000_000)

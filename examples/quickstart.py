@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Quickstart: a Hillview-style spreadsheet over synthetic flight data.
+
+Builds a small cluster, loads the flights dataset, and walks through the
+core spreadsheet features: the tabular view, sorting/paging, a histogram
+with its CDF, a heat map, heavy hitters, and a filter.  Everything runs
+through vizketches on the distributed engine — this script never touches
+raw rows directly.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.data.flights import FlightsSource
+from repro.engine.cluster import Cluster
+from repro.spreadsheet import Spreadsheet
+from repro.table.sort import RecordOrder
+
+
+def main() -> None:
+    # A 4-worker "cluster" (in-process), 16 micropartitions of flights.
+    cluster = Cluster(num_workers=4, cores_per_worker=2)
+    dataset = cluster.load(FlightsSource(total_rows=200_000, partitions=16, seed=1))
+    sheet = Spreadsheet(dataset, seed=1)
+
+    print(f"rows: {sheet.total_rows:,}  columns: {len(sheet.schema)}")
+    print(f"cells: {sheet.total_rows * len(sheet.schema):,}\n")
+
+    # --- Tabular view: worst departure delays first (paper §3.3) ---------
+    print("== Worst departure delays (sorted table view) ==")
+    order = RecordOrder.of("DepDelay", ascending=False)
+    view = sheet.table_view(order, k=8)
+    print(view.ascii())
+
+    # --- Page forward -----------------------------------------------------
+    print("\n== Next page ==")
+    print(sheet.next_page(view).ascii())
+
+    # --- Histogram + CDF (paper §4.3) --------------------------------------
+    print("\n== Departure-delay histogram (sampled vizketch) ==")
+    chart = sheet.histogram("DepDelay")
+    print(chart.ascii(height=10))
+    print(f"(sampling rate {chart.rate:.3f}; "
+          f"bucket 10 = {chart.bucket_value(10)})")
+
+    # --- Heat map ----------------------------------------------------------
+    print("\n== Departure vs arrival delay heat map ==")
+    heat = sheet.heatmap("DepDelay", "ArrDelay")
+    art = heat.ascii().splitlines()
+    print("\n".join(art[len(art) // 3 : 2 * len(art) // 3]))  # middle band
+
+    # --- Stacked histogram & trellis (Fig 2 gallery) -----------------------
+    print("\n== Normalized stacked histogram: delay mix per airline ==")
+    stacked = sheet.stacked_histogram("DepDelay", "Cancelled", normalized=True)
+    print(f"bars={stacked.summary.x_buckets}, colors={stacked.summary.y_buckets} "
+          f"(exact scan: normalization amplifies small-bar error, B.1)")
+
+    print("\n== Trellis of histograms: delay distribution per airline ==")
+    trellis = sheet.trellis_histogram("Airline", "DepDelay", panes=4)
+    print(trellis.ascii(panes=2, height=6))
+
+    # --- Heavy hitters -------------------------------------------------------
+    print("\n== Busiest airports (sampling heavy hitters, Theorem 4) ==")
+    hitters = sheet.heavy_hitters("Origin", k=8)
+    for value, fraction in hitters.frequencies()[:8]:
+        print(f"  {value}: {fraction:.1%}")
+
+    # --- Filter (zoom) -------------------------------------------------------
+    print("\n== Zoom: flights delayed 60+ minutes ==")
+    from repro.table.compute import ColumnPredicate
+
+    late = sheet.filter_rows(ColumnPredicate("DepDelay", ">=", 60))
+    print(f"rows after filter: {late.total_rows:,}")
+    print("top carriers among very-late flights:")
+    for value, fraction in late.heavy_hitters("Airline", k=5).frequencies()[:5]:
+        print(f"  {value}: {fraction:.1%}")
+
+    # --- Derived column from an expression (§5.6 UDF) -----------------------
+    print("\n== Derived column: minutes gained in the air ==")
+    gained = sheet.derive_expression("Gained", "DepDelay - ArrDelay")
+    stats = gained.column_summary("Gained")
+    print(f"Gained = DepDelay - ArrDelay: mean {stats.mean:+.1f} min, "
+          f"std {stats.std_dev:.1f}")
+
+    # --- What the machine did ------------------------------------------------
+    print(f"\nactions performed: {sheet.log.count}, "
+          f"summary bytes at root: {sheet.log.total_bytes:,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and an older setuptools
+without the ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .``) cannot build.  ``python setup.py develop`` installs
+the same editable package without needing a wheel.  All real metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — a Python reproduction of Hillview (VLDB 2019).
+
+Hillview is a distributed spreadsheet for browsing very large datasets.  Its
+key idea, the *vizketch*, combines mergeable summaries with
+visualization-driven computation: every chart and tabular view is computed
+by a pair of pure functions ``summarize``/``merge`` whose accuracy and
+output size are set by the display resolution, never by the data size.
+
+Public entry points:
+
+* :class:`repro.table.Table` — immutable columnar tables.
+* :mod:`repro.sketches` — every vizketch from the paper.
+* :class:`repro.engine.Cluster` / :func:`repro.engine.parallel_dataset` —
+  the execution engines (trees, progressive results, caching, replay).
+* :class:`repro.spreadsheet.Spreadsheet` — the user-facing facade.
+* :class:`repro.engine.WebServer` — the JSON RPC session layer the browser
+  UI talks to (§5.2, §6).
+* :mod:`repro.storage` — data sources (CSV, JSON, logs, SQL, columnar)
+  read in place, without ingestion (§2).
+* :mod:`repro.data.flights` — the synthetic flights dataset used throughout
+  the paper's evaluation.
+* :mod:`repro.baseline` — the evaluation baselines (§7.1, §7.2.1).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import DEFAULT_RESOLUTION, Resolution
+from repro.engine import Cluster, WebServer, parallel_dataset
+from repro.spreadsheet import Spreadsheet
+from repro.table import (
+    ColumnDescription,
+    ContentsKind,
+    RecordOrder,
+    Schema,
+    Table,
+)
+
+__all__ = [
+    "Table",
+    "Schema",
+    "ColumnDescription",
+    "ContentsKind",
+    "RecordOrder",
+    "Resolution",
+    "DEFAULT_RESOLUTION",
+    "Cluster",
+    "WebServer",
+    "parallel_dataset",
+    "Spreadsheet",
+    "__version__",
+]

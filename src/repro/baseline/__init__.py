@@ -1,0 +1,17 @@
+"""Baseline systems the paper compares against (§7.1, §7.2.1).
+
+* :mod:`repro.baseline.rowstore` — a row-oriented in-memory database with a
+  small SQL dialect, standing in for the unnamed "high-end commercial
+  in-memory database" of §7.2.1.  It pays the per-row interpretation,
+  type-checking and indexing costs a general DB pays and a specialized
+  columnar sketch avoids.
+* :mod:`repro.baseline.analytics` — a general-purpose partition-parallel
+  analytics engine ("Spark" in Figure 5): exact computation, complete
+  (display-unbounded) result sets shipped to the driver, per-task overheads,
+  and no progressive partial results.
+"""
+
+from repro.baseline.rowstore import RowStoreDatabase
+from repro.baseline.analytics import GeneralPurposeEngine
+
+__all__ = ["RowStoreDatabase", "GeneralPurposeEngine"]

@@ -1,0 +1,356 @@
+"""An interactive terminal spreadsheet: the browser UI's stand-in.
+
+Hillview's front end is a web page; this module provides the same
+explore-loop in a terminal so a downstream user can actually *browse* —
+sort, page, scroll, chart, filter, derive, search — against any supported
+data source::
+
+    python -m repro.cli flights.csv
+    python -m repro.cli data.db --sql-table events
+    python -m repro.cli --demo-flights 200000
+
+Commands (also shown by ``help``)::
+
+    cols                         show the schema
+    view <col> [col...]          sort by columns and show the top rows
+    next / prev                  page forward / backward (§3.3)
+    scroll <fraction>            jump the scroll bar, e.g. scroll 0.5
+    find <col> <text>            jump to the next match
+    hist <col>                   histogram + CDF
+    stack <x> <y>                stacked histogram
+    heat <x> <y>                 heat map
+    trellis <group> <x>          array of histograms grouped by a column
+    top <col> [k]                heavy hitters
+    distinct <col>               approximate distinct count
+    summary <col>                min/max/mean/missing
+    filter <col> <op> <value>    keep matching rows (e.g. filter delay > 60)
+    derive <name> <expression>   new column, e.g. derive gain "dep - arr"
+    reset                        drop all filters/derivations
+    rows                         total row count
+    log                          what ran, with bytes and latencies
+    quit
+
+The command loop is a thin translation layer onto
+:class:`~repro.spreadsheet.Spreadsheet` — every keystroke still becomes a
+vizketch execution tree, exactly like clicks in the real UI (§7.3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import shlex
+import sys
+from typing import Callable, Iterable, TextIO
+
+from repro.engine.cluster import Cluster
+from repro.errors import HillviewError
+from repro.spreadsheet import Spreadsheet
+from repro.storage.loader import (
+    ColumnarDatasetSource,
+    CsvSource,
+    DataSource,
+    JsonlSource,
+    SqlSource,
+    SyslogSource,
+    TableSource,
+)
+from repro.table.compute import ColumnPredicate
+from repro.table.sort import RecordOrder
+
+
+def source_for_path(
+    path: str, sql_table: str | None = None, partitions: int = 8
+) -> DataSource:
+    """Pick a data source from a file path's extension (§2, no ingestion)."""
+    lower = path.lower()
+    if sql_table is not None or lower.endswith((".db", ".sqlite", ".sqlite3")):
+        if sql_table is None:
+            raise HillviewError(
+                "SQL databases need --sql-table to select the table"
+            )
+        return SqlSource(path, sql_table, partitions=partitions)
+    if lower.endswith(".csv"):
+        return CsvSource(path)
+    if lower.endswith((".jsonl", ".ndjson", ".json")):
+        return JsonlSource(path)
+    if lower.endswith((".log", ".syslog")):
+        return SyslogSource(path)
+    return ColumnarDatasetSource(path)
+
+
+class Session:
+    """One interactive exploration session over a spreadsheet."""
+
+    def __init__(self, sheet: Spreadsheet, out: TextIO | None = None):
+        self.root_sheet = sheet
+        self.sheet = sheet
+        self.out = out if out is not None else sys.stdout
+        self.view = None
+        self._commands: dict[str, Callable[[list[str]], None]] = {
+            "cols": self.cmd_cols,
+            "view": self.cmd_view,
+            "next": self.cmd_next,
+            "prev": self.cmd_prev,
+            "scroll": self.cmd_scroll,
+            "find": self.cmd_find,
+            "hist": self.cmd_hist,
+            "stack": self.cmd_stack,
+            "heat": self.cmd_heat,
+            "trellis": self.cmd_trellis,
+            "top": self.cmd_top,
+            "distinct": self.cmd_distinct,
+            "summary": self.cmd_summary,
+            "filter": self.cmd_filter,
+            "derive": self.cmd_derive,
+            "reset": self.cmd_reset,
+            "rows": self.cmd_rows,
+            "log": self.cmd_log,
+            "help": self.cmd_help,
+        }
+
+    # -- plumbing ------------------------------------------------------
+    def print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def execute(self, line: str) -> bool:
+        """Run one command line; returns False when the session should end."""
+        try:
+            words = shlex.split(line.strip())
+        except ValueError as exc:
+            self.print(f"parse error: {exc}")
+            return True
+        if not words:
+            return True
+        name, args = words[0].lower(), words[1:]
+        if name in ("quit", "exit", "q"):
+            return False
+        handler = self._commands.get(name)
+        if handler is None:
+            self.print(f"unknown command {name!r}; try 'help'")
+            return True
+        try:
+            handler(args)
+        except HillviewError as exc:
+            self.print(f"error: {exc}")
+        except (ValueError, KeyError, IndexError) as exc:
+            self.print(f"error: {exc}")
+        return True
+
+    def run(self, lines: Iterable[str], prompt: bool = False) -> None:
+        if prompt:
+            self.print("hillview> type 'help' for commands, 'quit' to leave")
+        for line in lines:
+            if prompt:
+                self.print(f"hillview> {line.strip()}")
+            if not self.execute(line):
+                break
+
+    def _require_column(self, name: str) -> str:
+        if name not in self.sheet.schema.names:
+            raise HillviewError(
+                f"no column {name!r}; 'cols' lists the schema"
+            )
+        return name
+
+    # -- commands ------------------------------------------------------
+    def cmd_help(self, args: list[str]) -> None:
+        self.print(__doc__.split("Commands", 1)[1].split("::", 1)[1])
+
+    def cmd_cols(self, args: list[str]) -> None:
+        for desc in self.sheet.schema:
+            self.print(f"  {desc.name}: {desc.kind.value}")
+
+    def cmd_rows(self, args: list[str]) -> None:
+        self.print(f"{self.sheet.total_rows:,} rows")
+
+    def cmd_view(self, args: list[str]) -> None:
+        if not args:
+            raise HillviewError("view needs at least one sort column")
+        columns = [self._require_column(c) for c in args]
+        self.view = self.sheet.table_view(RecordOrder.of(*columns), k=15)
+        self.print(self.view.ascii())
+
+    def cmd_next(self, args: list[str]) -> None:
+        if self.view is None:
+            raise HillviewError("no view yet; use 'view <col>' first")
+        self.view = self.sheet.next_page(self.view)
+        self.print(self.view.ascii())
+
+    def cmd_prev(self, args: list[str]) -> None:
+        if self.view is None:
+            raise HillviewError("no view yet; use 'view <col>' first")
+        self.view = self.sheet.prev_page(self.view)
+        self.print(self.view.ascii())
+
+    def cmd_scroll(self, args: list[str]) -> None:
+        if self.view is None:
+            raise HillviewError("no view yet; use 'view <col>' first")
+        fraction = float(args[0]) if args else 0.5
+        self.view = self.sheet.scroll(fraction, self.view.order, k=15)
+        self.print(f"[scrolled to ~{self.view.scroll_position:.0%}]")
+        self.print(self.view.ascii())
+
+    def cmd_find(self, args: list[str]) -> None:
+        if len(args) < 2:
+            raise HillviewError("usage: find <col> <text>")
+        column = self._require_column(args[0])
+        pattern = " ".join(args[1:])
+        result, view = self.sheet.find(column, pattern)
+        if view is None:
+            self.print(f"no match for {pattern!r}")
+            return
+        self.view = view
+        self.print(f"{result.total_matches:,} matches; showing the first:")
+        self.print(view.ascii())
+
+    def cmd_hist(self, args: list[str]) -> None:
+        if not args:
+            raise HillviewError("usage: hist <col>")
+        chart = self.sheet.histogram(self._require_column(args[0]))
+        self.print(chart.ascii(height=10))
+        if chart.rate < 1.0:
+            self.print(f"(sampled at rate {chart.rate:.4f}; "
+                       "bars within one pixel w.h.p.)")
+
+    def cmd_stack(self, args: list[str]) -> None:
+        if len(args) < 2:
+            raise HillviewError("usage: stack <x> <y>")
+        chart = self.sheet.stacked_histogram(
+            self._require_column(args[0]), self._require_column(args[1])
+        )
+        rendering = chart.rendering()
+        self.print(
+            f"stacked histogram: {chart.summary.x_buckets} bars x "
+            f"{chart.summary.y_buckets} colors; tallest bar "
+            f"{rendering.heights.max()} px"
+        )
+
+    def cmd_heat(self, args: list[str]) -> None:
+        if len(args) < 2:
+            raise HillviewError("usage: heat <x> <y>")
+        chart = self.sheet.heatmap(
+            self._require_column(args[0]), self._require_column(args[1])
+        )
+        self.print(chart.ascii())
+
+    def cmd_trellis(self, args: list[str]) -> None:
+        if len(args) < 2:
+            raise HillviewError("usage: trellis <group> <x>")
+        chart = self.sheet.trellis_histogram(
+            self._require_column(args[0]),
+            self._require_column(args[1]),
+            panes=4,
+        )
+        self.print(chart.ascii(panes=4, height=5))
+
+    def cmd_top(self, args: list[str]) -> None:
+        if not args:
+            raise HillviewError("usage: top <col> [k]")
+        k = int(args[1]) if len(args) > 1 else 10
+        # The sketch's K is a frequency threshold (finds values above 1/K);
+        # query finer than the display count so a small k still shows rows.
+        result = self.sheet.heavy_hitters(
+            self._require_column(args[0]), k=max(2 * k, 20)
+        )
+        hitters = result.frequencies()[:k]
+        if not hitters:
+            self.print("  (no value is frequent enough to report)")
+        for value, fraction in hitters:
+            self.print(f"  {value}: {fraction:.2%}")
+
+    def cmd_distinct(self, args: list[str]) -> None:
+        if not args:
+            raise HillviewError("usage: distinct <col>")
+        estimate = self.sheet.distinct_count(self._require_column(args[0]))
+        self.print(f"~{estimate:,.0f} distinct values")
+
+    def cmd_summary(self, args: list[str]) -> None:
+        if not args:
+            raise HillviewError("usage: summary <col>")
+        stats = self.sheet.column_summary(self._require_column(args[0]))
+        self.print(
+            f"  rows {stats.row_count:,} (missing {stats.missing_count:,})\n"
+            f"  min {stats.min_value}  max {stats.max_value}\n"
+            f"  mean {stats.mean:.3f}  std {stats.std_dev:.3f}"
+        )
+
+    def cmd_filter(self, args: list[str]) -> None:
+        if len(args) < 2:
+            raise HillviewError("usage: filter <col> <op> <value>")
+        column = self._require_column(args[0])
+        op = args[1]
+        value: object = None
+        if op != "is_missing":
+            if len(args) < 3:
+                raise HillviewError("usage: filter <col> <op> <value>")
+            raw = args[2]
+            if self.sheet.schema.kind(column).is_numeric:
+                value = float(raw)
+            else:
+                value = raw
+        self.sheet = self.sheet.filter_rows(ColumnPredicate(column, op, value))
+        self.view = None
+        self.print(f"filtered: {self.sheet.total_rows:,} rows remain")
+
+    def cmd_derive(self, args: list[str]) -> None:
+        if len(args) < 2:
+            raise HillviewError("usage: derive <name> <expression>")
+        name, expression = args[0], " ".join(args[1:])
+        self.sheet = self.sheet.derive_expression(name, expression)
+        stats = self.sheet.column_summary(name)
+        self.print(
+            f"derived {name!r}: mean {stats.mean:.3f}, "
+            f"{stats.missing_count:,} missing"
+        )
+
+    def cmd_reset(self, args: list[str]) -> None:
+        self.sheet = self.root_sheet
+        self.view = None
+        self.print("back to the full dataset")
+
+    def cmd_log(self, args: list[str]) -> None:
+        for line in self.sheet.log.describe()[-15:]:
+            self.print(f"  {line}")
+
+
+def build_session(args: argparse.Namespace, out: TextIO | None = None) -> Session:
+    cluster = Cluster(num_workers=args.workers)
+    if args.demo_flights:
+        from repro.data.flights import generate_flights
+
+        table = generate_flights(args.demo_flights, seed=1)
+        source: DataSource = TableSource([table], shards_per_table=args.workers * 4)
+    else:
+        if not args.path:
+            raise HillviewError("give a data file, or --demo-flights N")
+        source = source_for_path(args.path, args.sql_table)
+    dataset = cluster.load(source)
+    return Session(Spreadsheet(dataset), out=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Browse a dataset in the terminal."
+    )
+    parser.add_argument("path", nargs="?", help="CSV/JSONL/log/SQLite/hvc path")
+    parser.add_argument("--sql-table", help="table name for SQLite sources")
+    parser.add_argument(
+        "--demo-flights", type=int, metavar="N",
+        help="skip loading and explore N synthetic flight rows",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--commands", help="semicolon-separated commands to run and exit"
+    )
+    args = parser.parse_args(argv)
+
+    session = build_session(args)
+    if args.commands:
+        session.run(args.commands.split(";"), prompt=True)
+        return 0
+    session.run(sys.stdin, prompt=False)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Core primitives shared by every subsystem.
+
+This package contains the vocabulary of the paper's computational model
+(Appendix A): display resolutions, bucket descriptions, sample-size bounds,
+the :class:`~repro.core.sketch.Sketch` abstraction for mergeable summaries,
+and a compact binary codec used to account network bytes.
+"""
+
+from repro.core.resolution import Resolution, DEFAULT_RESOLUTION
+from repro.core.sketch import Sketch, Summary
+from repro.core.buckets import (
+    Buckets,
+    DoubleBuckets,
+    StringBuckets,
+    ExplicitStringBuckets,
+)
+from repro.core.serialization import Encoder, Decoder
+from repro.core import sampling
+
+__all__ = [
+    "Resolution",
+    "DEFAULT_RESOLUTION",
+    "Sketch",
+    "Summary",
+    "Buckets",
+    "DoubleBuckets",
+    "StringBuckets",
+    "ExplicitStringBuckets",
+    "Encoder",
+    "Decoder",
+    "sampling",
+]

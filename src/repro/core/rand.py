@@ -1,0 +1,56 @@
+"""Deterministic randomness for replayable vizketches.
+
+Fault tolerance in Hillview requires vizketches to be deterministic: the redo
+log records the seed used for randomization, so a restarted node reproduces
+exactly the same summaries (paper §5.8).  All sampling in this library draws
+from generators derived here, keyed by (seed, stream labels), so that:
+
+* the same (seed, shard) always produces the same sample;
+* different shards produce independent streams;
+* replay after a failure is bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash64(*parts: object) -> int:
+    """A 64-bit hash of the given parts, stable across processes and runs.
+
+    Python's builtin ``hash`` is salted per process, which would break the
+    redo-log replay guarantee; this uses blake2b instead.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x00")
+    return int.from_bytes(h.digest(), "little") & _MASK64
+
+
+def rng_for(seed: int, *stream: object) -> np.random.Generator:
+    """A numpy Generator for the stream identified by ``(seed, *stream)``."""
+    return np.random.default_rng(stable_hash64(seed, *stream))
+
+
+def hash_indices(indices: np.ndarray, seed: int) -> np.ndarray:
+    """Vectorized 64-bit mixing of row indices, keyed by ``seed``.
+
+    Used by bottom-k / hash-order sampling over sparse membership sets
+    (paper §5.6): rows are sampled in increasing order of their hash values,
+    which yields a uniform sample without materializing the full row set.
+
+    This is the splitmix64 finalizer, a well-distributed invertible mixer.
+    """
+    x = indices.astype(np.uint64, copy=True)
+    x += np.uint64(stable_hash64("row-hash", seed) | 1)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x

@@ -1,0 +1,95 @@
+"""Display resolutions and the pixel math that drives vizketch accuracy.
+
+A vizketch is parameterized by the target display resolution and computes
+"only what you can display" (paper §4.2).  This module centralizes the
+constants the paper uses:
+
+* a histogram is limited to ~100 bars (or 50 for string data);
+* a heat map bin consumes ``b x b`` pixels with ``b`` = 2 or 3;
+* a color scale has ~20 discernible shades;
+* chart renderings must be within 1/2 pixel (one pixel after rounding) or
+  one color shade of the exact values, with high probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Maximum number of histogram bars a human can usefully read (paper §1, §4.3).
+MAX_HISTOGRAM_BUCKETS = 100
+
+#: Maximum number of buckets for string-valued charts (paper Appendix B.1).
+MAX_STRING_BUCKETS = 50
+
+#: Number of discernibly distinct colors in a heat-map color scale (paper §4.3).
+DISTINCT_COLORS = 20
+
+#: Side, in pixels, of one heat-map bin (paper §4.3: "b is 2 or 3").
+HEATMAP_BIN_PIXELS = 3
+
+#: Maximum stacked-histogram color subdivisions (paper Appendix B.1: "~20").
+MAX_STACK_COLORS = 20
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """A target display surface measured in pixels.
+
+    Attributes:
+        width: Horizontal pixels available to the chart (``H`` in the paper).
+        height: Vertical pixels available to the chart (``V`` in the paper).
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(
+                f"resolution must be positive, got {self.width}x{self.height}"
+            )
+
+    def histogram_buckets(self, requested: int | None = None) -> int:
+        """Number of histogram bars that fit this resolution.
+
+        The paper limits histograms to ~100 bars and at least one; a bar needs
+        a few horizontal pixels to be discernible.  An explicit ``requested``
+        count is clamped to the displayable range.
+        """
+        fit = max(1, min(MAX_HISTOGRAM_BUCKETS, self.width // 4))
+        if requested is None:
+            return fit
+        return max(1, min(requested, fit))
+
+    def string_buckets(self, distinct: int) -> int:
+        """Number of buckets for a string column with ``distinct`` values.
+
+        Fewer than :data:`MAX_STRING_BUCKETS` distinct values get one bucket
+        each; otherwise contiguous alphabetical ranges are used (paper B.1).
+        """
+        return min(distinct, MAX_STRING_BUCKETS, self.histogram_buckets())
+
+    def heatmap_bins(self, bin_pixels: int = HEATMAP_BIN_PIXELS) -> tuple[int, int]:
+        """``(Bx, By)`` heat-map bin counts: each bin is ``b x b`` pixels."""
+        if bin_pixels <= 0:
+            raise ValueError("bin_pixels must be positive")
+        return max(1, self.width // bin_pixels), max(1, self.height // bin_pixels)
+
+    def split_trellis(self, count: int) -> "tuple[Resolution, int, int]":
+        """Split this surface into a grid for a trellis plot of ``count`` panes.
+
+        Returns ``(pane_resolution, columns, rows)``.  The paper notes that a
+        trellis of k heat maps needs a *smaller* sample than one large heat
+        map because each pane has fewer bins (Appendix B.1).
+        """
+        if count <= 0:
+            raise ValueError("trellis pane count must be positive")
+        cols = max(1, int(round(count ** 0.5)))
+        rows = (count + cols - 1) // cols
+        pane = Resolution(max(1, self.width // cols), max(1, self.height // rows))
+        return pane, cols, rows
+
+
+#: The default chart surface used by the spreadsheet; comparable to the
+#: chart area of the Hillview browser UI.
+DEFAULT_RESOLUTION = Resolution(width=600, height=200)

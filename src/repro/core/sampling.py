@@ -1,0 +1,177 @@
+"""Sample-size bounds for vizketches (paper §4.3 and Appendix C).
+
+Every sampled vizketch must draw enough rows that the *rendered* chart is
+within half a pixel (one pixel after rounding) or one color shade of the
+exact rendering, with probability ``1 - delta``.  The bounds here follow the
+paper's Appendix C:
+
+* Hoeffding/Chernoff bound for a single estimated proportion;
+* union bound across buckets / pixels (the VC-dimension argument for
+  intervals reduces to this for our families of ranges);
+* the practical observation (Appendix C.2) that ``C * V**2`` samples work
+  well for histograms when ``p_max`` is not tiny.
+
+All functions return integer sample sizes, never rates; the caller converts
+to a rate using the dataset row count from the preparation phase (§5.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default error probability used throughout the paper's analysis.
+DEFAULT_DELTA = 0.01
+
+#: Default pixel slack mu: a mu-approximate histogram keeps every bar within
+#: one pixel of the ideal rendering as long as mu < 0.5 (Appendix C.2).
+DEFAULT_MU = 0.4
+
+#: Practical multiplier for the "C * V**2 samples work well" rule.
+PRACTICAL_C = 5.0
+
+
+def hoeffding_sample_size(epsilon: float, delta: float = DEFAULT_DELTA) -> int:
+    """Samples so one estimated proportion has additive error <= epsilon.
+
+    Standard two-sided Hoeffding bound: ``n >= ln(2/delta) / (2 epsilon^2)``.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+def uniform_error_sample_size(
+    epsilon: float, classes: int, delta: float = DEFAULT_DELTA
+) -> int:
+    """Samples so ``classes`` simultaneous proportions all have error <= epsilon.
+
+    Union bound over the classes: replace delta by delta/classes.  For the
+    families the paper uses (intervals, axis-aligned rectangles) this matches
+    the VC-dimension bound of Theorem 1 up to constants.
+    """
+    if classes < 1:
+        raise ValueError("classes must be >= 1")
+    return hoeffding_sample_size(epsilon, delta / classes)
+
+
+def histogram_sample_size(
+    height: int,
+    buckets: int,
+    delta: float = DEFAULT_DELTA,
+    mu: float = DEFAULT_MU,
+    p_max_hint: float | None = None,
+) -> int:
+    """Samples for a mu-approximate histogram (Appendix C.2, Theorem 3).
+
+    A bar of pixel height j must represent a probability within
+    ``mu * p_max / V`` of the truth, so ``epsilon = mu * p_max / V`` with a
+    union bound across the ``buckets`` bars (plus the estimate of p_max).
+
+    ``p_max_hint`` is the caller's estimate of the largest bucket
+    probability; when unknown the worst useful case ``1/buckets`` is assumed,
+    recovering the paper's ``O(V^2 B^2 log(1/delta))`` form from §4.3.
+    """
+    if height < 1 or buckets < 1:
+        raise ValueError("height and buckets must be >= 1")
+    p_max = p_max_hint if p_max_hint is not None else 1.0 / buckets
+    p_max = min(max(p_max, 1e-9), 1.0)
+    epsilon = mu * p_max / height
+    return uniform_error_sample_size(min(epsilon, 0.5), buckets + 1, delta)
+
+
+def practical_histogram_sample_size(
+    height: int, delta: float = DEFAULT_DELTA, c: float = PRACTICAL_C
+) -> int:
+    """The paper's practical rule: ``C * V**2`` samples (Appendix C.2).
+
+    This corresponds to assuming p_max is a constant fraction of the data —
+    true for the dominant bars the eye actually compares.  It is the default
+    used by the sampled histogram vizketch, as in Hillview itself.
+    """
+    if height < 1:
+        raise ValueError("height must be >= 1")
+    return math.ceil(c * height * height * math.log(2.0 / delta))
+
+
+def cdf_sample_size(
+    height: int, delta: float = DEFAULT_DELTA, slack: float = 0.1, width: int | None = None
+) -> int:
+    """Samples for a CDF rendering (Appendix B.1).
+
+    The paper targets per-pixel error ``0.1/V`` so that after rounding the
+    drawn pixel is within ``0.6/V`` of the truth; ``slack`` is that 0.1
+    numerator (anything below 0.5 keeps the rendering within one pixel).
+    The cumulative sums live in [0, 1], so ``epsilon = slack/V`` with a
+    union bound over the ``width`` horizontal pixels (default: V).
+    """
+    if height < 1:
+        raise ValueError("height must be >= 1")
+    if not 0 < slack < 0.5:
+        raise ValueError("slack must be in (0, 0.5)")
+    epsilon = slack / height
+    return uniform_error_sample_size(
+        min(max(epsilon, 1e-6), 0.5), width or height, delta
+    )
+
+
+def heatmap_sample_size(
+    x_bins: int,
+    y_bins: int,
+    colors: int,
+    delta: float = DEFAULT_DELTA,
+    p_max_hint: float | None = None,
+) -> int:
+    """Samples so every heat-map bin is within one color shade (App. C.2).
+
+    With ``colors`` discernible shades spanning ``[0, p_max]``, a shade is an
+    interval of width ``p_max / colors`` and we need additive accuracy
+    ``p_max / (4 colors)`` per bin, union-bounded across all bins.
+    """
+    if x_bins < 1 or y_bins < 1 or colors < 1:
+        raise ValueError("bins and colors must be >= 1")
+    bins = x_bins * y_bins
+    p_max = p_max_hint if p_max_hint is not None else 4.0 / bins
+    p_max = min(max(p_max, 1e-9), 1.0)
+    epsilon = p_max / (4.0 * colors)
+    return uniform_error_sample_size(min(epsilon, 0.5), bins + 1, delta)
+
+
+def quantile_sample_size(height: int, delta: float = DEFAULT_DELTA) -> int:
+    """Samples for the scroll-bar quantile estimate (Appendix C.1, Thm 2).
+
+    Pixel j of a V-pixel scroll bar represents ranks in an interval of width
+    ``2 epsilon`` with ``epsilon = 1/(2V)``.  The paper notes this "requires
+    sample complexity O(V^2) for constant probability of success"; we use
+    ``V^2`` scaled mildly by ``log(1/delta)``, the practical choice (a
+    scroll-bar rank error of a couple of pixels is imperceptible).
+    """
+    if height < 1:
+        raise ValueError("height must be >= 1")
+    return math.ceil(height * height * max(1.0, math.log(1.0 / delta) / math.log(100.0)))
+
+
+def heavy_hitters_sample_size(k: int, delta: float = DEFAULT_DELTA) -> int:
+    """Samples for the sampling heavy-hitters vizketch (§4.3, Theorem 4).
+
+    ``n = K^2 log(K/delta)`` finds every element with frequency >= 1/K and
+    reports none below 1/(4K), with probability 1 - delta.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return math.ceil(k * k * math.log(max(k, 2) / delta))
+
+
+def sample_rate(target_size: int, total_rows: int) -> float:
+    """Bernoulli sampling rate drawing ~``target_size`` of ``total_rows``.
+
+    Vizketches sample each shard at a single global rate computed from the
+    preparation phase's row count (§5.3); the rate is clamped to 1.0 when
+    the dataset is small enough to scan outright.
+    """
+    if target_size < 0:
+        raise ValueError("target_size must be >= 0")
+    if total_rows <= 0:
+        return 1.0
+    return min(1.0, target_size / total_rows)

@@ -1,0 +1,42 @@
+"""Synthetic datasets standing in for the paper's evaluation data.
+
+The paper evaluates on the US DoT airline on-time performance dataset
+(130M rows, 110 columns), which is not available offline.  The
+:mod:`repro.data.flights` generator reproduces its schema, cardinalities
+and conditional structure (carrier/hour/seasonal delay effects, route
+geometry, cancellations, weather), so the 20 case-study questions of
+Figure 10 have meaningful answers.  :mod:`repro.data.logs` generates the
+server logs of the §3.1 motivation; :mod:`repro.data.synth` provides
+controlled distributions for accuracy experiments.
+"""
+
+from repro.data.flights import (
+    FLIGHT_COLUMNS,
+    AIRLINES,
+    AIRPORTS,
+    generate_flights,
+    flights_partitions,
+    FlightsSource,
+)
+from repro.data.logs import generate_syslog_lines, generate_log_table
+from repro.data.synth import (
+    numeric_table,
+    categorical_table,
+    mixed_table,
+    zipf_strings,
+)
+
+__all__ = [
+    "FLIGHT_COLUMNS",
+    "AIRLINES",
+    "AIRPORTS",
+    "generate_flights",
+    "flights_partitions",
+    "FlightsSource",
+    "generate_syslog_lines",
+    "generate_log_table",
+    "numeric_table",
+    "categorical_table",
+    "mixed_table",
+    "zipf_strings",
+]

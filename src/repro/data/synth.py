@@ -1,0 +1,106 @@
+"""Controlled synthetic distributions for accuracy and microbenchmarks.
+
+The §7.2 microbenchmarks and the Appendix C accuracy experiments need
+columns with known distributions: uniform, normal, bimodal numeric data and
+Zipf-distributed strings (the adversarial case for heavy hitters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rand import rng_for
+from repro.table.column import DoubleColumn, IntColumn, StringColumn
+from repro.table.dictionary import StringDictionary
+from repro.table.schema import ColumnDescription, ContentsKind
+from repro.table.table import Table
+
+
+def numeric_table(
+    rows: int,
+    distribution: str = "uniform",
+    seed: int = 0,
+    missing_fraction: float = 0.0,
+    shard_id: str = "synth",
+) -> Table:
+    """A one-column numeric table: ``value``.
+
+    Distributions: ``uniform`` on [0, 100), ``normal`` (mean 50, sd 15),
+    ``bimodal`` (mixture at 25 and 75), ``exponential`` (scale 20).
+    """
+    rng = rng_for(seed, "numeric", distribution, shard_id)
+    if distribution == "uniform":
+        values = rng.uniform(0, 100, size=rows)
+    elif distribution == "normal":
+        values = rng.normal(50, 15, size=rows)
+    elif distribution == "bimodal":
+        pick = rng.random(rows) < 0.5
+        values = np.where(
+            pick, rng.normal(25, 6, size=rows), rng.normal(75, 6, size=rows)
+        )
+    elif distribution == "exponential":
+        values = rng.exponential(20, size=rows)
+    else:
+        raise ValueError(f"unknown distribution {distribution!r}")
+    if missing_fraction > 0:
+        values = values.copy()
+        values[rng.random(rows) < missing_fraction] = np.nan
+    return Table(
+        [DoubleColumn(ColumnDescription("value", ContentsKind.DOUBLE), values)],
+        shard_id=shard_id,
+    )
+
+
+def zipf_strings(
+    rows: int,
+    distinct: int = 1000,
+    exponent: float = 1.3,
+    seed: int = 0,
+) -> np.ndarray:
+    """Codes 0..distinct-1 drawn from a Zipf-like distribution."""
+    rng = rng_for(seed, "zipf", distinct, exponent)
+    ranks = np.arange(1, distinct + 1, dtype=np.float64)
+    probs = ranks ** (-exponent)
+    probs /= probs.sum()
+    return rng.choice(distinct, size=rows, p=probs)
+
+
+def categorical_table(
+    rows: int,
+    distinct: int = 1000,
+    exponent: float = 1.3,
+    seed: int = 0,
+    shard_id: str = "synth",
+) -> Table:
+    """A one-column string table ``word`` with Zipf-distributed values."""
+    codes = zipf_strings(rows, distinct, exponent, seed).astype(np.int32)
+    dictionary = StringDictionary(f"word{i:06d}" for i in range(distinct))
+    return Table(
+        [
+            StringColumn(
+                ColumnDescription("word", ContentsKind.STRING), codes, dictionary
+            )
+        ],
+        shard_id=shard_id,
+    )
+
+
+def mixed_table(rows: int, seed: int = 0, shard_id: str = "synth") -> Table:
+    """A small mixed-kind table: int, double, string, with missing values."""
+    rng = rng_for(seed, "mixed", shard_id)
+    ints = rng.integers(0, 1000, size=rows)
+    doubles = rng.normal(0, 1, size=rows)
+    doubles[rng.random(rows) < 0.05] = np.nan
+    codes = rng.integers(0, 26, size=rows).astype(np.int32)
+    codes[rng.random(rows) < 0.05] = -1
+    dictionary = StringDictionary(chr(ord("a") + i) * 3 for i in range(26))
+    return Table(
+        [
+            IntColumn(ColumnDescription("id", ContentsKind.INTEGER), ints),
+            DoubleColumn(ColumnDescription("score", ContentsKind.DOUBLE), doubles),
+            StringColumn(
+                ColumnDescription("tag", ContentsKind.CATEGORY), codes, dictionary
+            ),
+        ],
+        shard_id=shard_id,
+    )

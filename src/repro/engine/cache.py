@@ -1,0 +1,138 @@
+"""Data and computation caches (paper §5.4).
+
+Hillview uses two caches:
+
+* the **data cache** holds raw loaded data in memory; entries unused for a
+  while (2 hours in the paper) are purged, and are reconstructed from the
+  storage layer on demand — all cached state is soft;
+* the **computation cache** stores vizketch *results*, which are tiny, so a
+  large number can be kept; it is indexed by (dataset, sketch) and only
+  holds deterministic computations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Generic, TypeVar
+
+V = TypeVar("V")
+
+
+class DataCache(Generic[V]):
+    """An LRU cache with a time-to-live, for soft data state.
+
+    ``clock`` is injectable so tests (and the simulator) can control time.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 64,
+        ttl_seconds: float = 2 * 3600.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[float, V]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> V | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_at, value = entry
+            if self._clock() - stored_at > self.ttl_seconds:
+                del self._entries[key]
+                self.evictions += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value: V) -> None:
+        with self._lock:
+            self._entries[key] = (self._clock(), value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def evict(self, key: str) -> bool:
+        """Remove one entry (fault injection / memory pressure)."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.evictions += 1
+                return True
+            return False
+
+    def purge_stale(self) -> int:
+        """Drop entries older than the TTL; returns how many were dropped."""
+        now = self._clock()
+        with self._lock:
+            stale = [
+                key
+                for key, (stored_at, _) in self._entries.items()
+                if now - stored_at > self.ttl_seconds
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.evictions += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+class ComputationCache:
+    """Cache of deterministic vizketch results, keyed by (dataset, sketch).
+
+    Results are small by construction (§4.2), so the default capacity is
+    generous.  Statistics feed the cache ablation benchmark.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        self._cache: DataCache[object] = DataCache(
+            max_entries=max_entries, ttl_seconds=float("inf")
+        )
+
+    @staticmethod
+    def key(dataset_id: str, sketch_key: str) -> str:
+        return f"{dataset_id}\x00{sketch_key}"
+
+    def get(self, dataset_id: str, sketch_key: str) -> object | None:
+        return self._cache.get(self.key(dataset_id, sketch_key))
+
+    def put(self, dataset_id: str, sketch_key: str, value: object) -> None:
+        self._cache.put(self.key(dataset_id, sketch_key), value)
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

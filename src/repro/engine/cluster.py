@@ -1,0 +1,365 @@
+"""The multi-server cluster engine (paper §5.2–5.8), in process.
+
+A :class:`Cluster` owns a set of :class:`Worker` nodes (one per simulated
+server).  Each worker holds its shard of every dataset in a *soft* object
+store — entries can be evicted or lost to a crash at any time and are
+reconstructed by replaying the root's redo log (§5.7).  Sketch execution
+follows the paper's tree:
+
+* the root broadcasts the query; every worker materializes its shards
+  (replaying lineage if its soft state is gone);
+* each worker's thread pool runs ``summarize`` per micropartition and the
+  worker (acting as its aggregation node) merges locally, forwarding a
+  cumulative partial to the root at the aggregation cadence (0.1 s in the
+  paper);
+* the root merges the latest partial from every worker and streams
+  progressively better results to the client, counting received bytes.
+
+Deterministic sketch results are served from the computation cache (§5.4).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterator, TypeVar
+
+from repro.core.sketch import Sketch
+from repro.engine.cache import ComputationCache, DataCache
+from repro.engine.dataset import IDataSet, TableMap
+from repro.engine.progress import CancellationToken, PartialResult, SketchRun
+from repro.engine.redo_log import LoadOp, MapOp, RedoLog
+from repro.errors import DatasetMissingError, EngineError
+from repro.storage.loader import DataSource
+from repro.table.table import Table
+
+R = TypeVar("R")
+
+
+class Worker:
+    """One server: a soft object store plus a leaf thread pool (§5.2)."""
+
+    def __init__(
+        self,
+        name: str,
+        cores: int = 4,
+        cache_entries: int = 64,
+        cache_ttl_seconds: float = 2 * 3600.0,
+    ):
+        if cores < 1:
+            raise ValueError("a worker needs at least one core")
+        self.name = name
+        self.cores = cores
+        # The data cache: dataset id -> this worker's micropartitions.
+        self.store: DataCache[list[Table]] = DataCache(
+            max_entries=cache_entries, ttl_seconds=cache_ttl_seconds
+        )
+        self.crashes = 0
+        self.shards_summarized = 0
+
+    def fetch(self, dataset_id: str) -> list[Table]:
+        """This worker's shards of ``dataset_id``; raises if evicted."""
+        shards = self.store.get(dataset_id)
+        if shards is None:
+            raise DatasetMissingError(dataset_id, self.name)
+        return shards
+
+    def put(self, dataset_id: str, shards: list[Table]) -> None:
+        self.store.put(dataset_id, shards)
+
+    def crash(self) -> None:
+        """Lose all soft state, as after a process restart (§5.8)."""
+        self.store.clear()
+        self.crashes += 1
+
+    def __repr__(self) -> str:
+        return f"<Worker {self.name} cores={self.cores}>"
+
+
+@dataclass
+class _Emission:
+    """One partial result sent from a worker to the root."""
+
+    worker_index: int
+    summary: object | None  # None marks worker completion
+    shards_done: int
+    bytes: int
+
+
+class Cluster:
+    """A set of workers, the root's redo log, and the computation cache."""
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        cores_per_worker: int = 4,
+        aggregation_interval: float = 0.1,
+        cache_entries: int = 64,
+        cache_ttl_seconds: float = 2 * 3600.0,
+    ):
+        if num_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self.workers = [
+            Worker(
+                f"worker-{i}",
+                cores=cores_per_worker,
+                cache_entries=cache_entries,
+                cache_ttl_seconds=cache_ttl_seconds,
+            )
+            for i in range(num_workers)
+        ]
+        self.aggregation_interval = aggregation_interval
+        self.redo_log = RedoLog()
+        self.computation_cache = ComputationCache()
+        self.total_bytes_to_root = 0
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Dataset lifecycle
+    # ------------------------------------------------------------------
+    def _new_dataset_id(self, prefix: str) -> str:
+        return f"{prefix}-{next(self._ids)}"
+
+    def load(self, source: DataSource) -> "ClusterDataSet":
+        """Load a data source, distributing partitions over workers."""
+        dataset_id = self._new_dataset_id("ds")
+        self.redo_log.record_load(dataset_id, source)
+        shards = source.load()
+        for index, worker in enumerate(self.workers):
+            worker.put(dataset_id, self._assigned(shards, index))
+        return ClusterDataSet(self, dataset_id)
+
+    def _assigned(self, shards: list[Table], worker_index: int) -> list[Table]:
+        """Round-robin shard placement; deterministic, so replay agrees."""
+        return shards[worker_index :: len(self.workers)]
+
+    def materialize(self, worker_index: int, dataset_id: str) -> list[Table]:
+        """The worker's shards, replaying redo-log lineage when evicted.
+
+        Replay walks the lineage from the load op forward, re-applying maps
+        (§5.7: "the recursion ends when data is read from disk").
+        """
+        worker = self.workers[worker_index]
+        try:
+            return worker.fetch(dataset_id)
+        except DatasetMissingError:
+            pass
+        chain = self.redo_log.lineage(dataset_id)
+        shards: list[Table] | None = None
+        for op in chain:
+            if isinstance(op, LoadOp):
+                try:
+                    shards = worker.fetch(op.dataset_id)
+                    continue
+                except DatasetMissingError:
+                    shards = self._assigned(op.source.load(), worker_index)
+            elif isinstance(op, MapOp):
+                assert shards is not None
+                try:
+                    shards = worker.fetch(op.dataset_id)
+                    continue
+                except DatasetMissingError:
+                    shards = [op.table_map.apply(shard) for shard in shards]
+            worker.put(op.dataset_id, shards)
+        assert shards is not None
+        return shards
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def kill_worker(self, index: int) -> None:
+        """Crash-restart one worker: all its soft state is lost."""
+        self.workers[index].crash()
+
+    def evict_dataset(self, dataset_id: str, worker_index: int | None = None) -> None:
+        """Evict a dataset's shards (memory pressure / TTL expiry)."""
+        targets = (
+            self.workers
+            if worker_index is None
+            else [self.workers[worker_index]]
+        )
+        for worker in targets:
+            worker.store.evict(dataset_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cluster workers={len(self.workers)} "
+            f"cores={self.workers[0].cores} log={len(self.redo_log)} ops>"
+        )
+
+
+class ClusterDataSet(IDataSet):
+    """A dataset resident (softly) on a cluster's workers."""
+
+    def __init__(self, cluster: Cluster, dataset_id: str):
+        self.cluster = cluster
+        self.dataset_id = dataset_id
+
+    @property
+    def total_rows(self) -> int:
+        total = 0
+        for index in range(len(self.cluster.workers)):
+            for shard in self.cluster.materialize(index, self.dataset_id):
+                total += shard.num_rows
+        return total
+
+    @property
+    def schema(self):
+        for index in range(len(self.cluster.workers)):
+            shards = self.cluster.materialize(index, self.dataset_id)
+            if shards:
+                return shards[0].schema
+        raise EngineError(f"dataset {self.dataset_id!r} has no shards")
+
+    def map(self, table_map: TableMap) -> "ClusterDataSet":
+        new_id = self.cluster._new_dataset_id("ds")
+        self.cluster.redo_log.record_map(new_id, self.dataset_id, table_map)
+        for index, worker in enumerate(self.cluster.workers):
+            shards = self.cluster.materialize(index, self.dataset_id)
+            worker.put(new_id, [table_map.apply(shard) for shard in shards])
+        return ClusterDataSet(self.cluster, new_id)
+
+    # ------------------------------------------------------------------
+    # Sketch execution
+    # ------------------------------------------------------------------
+    def _worker_loop(
+        self,
+        worker_index: int,
+        sketch: Sketch[R],
+        token: CancellationToken | None,
+        shards: list[Table],
+        emissions: "queue.Queue[_Emission]",
+    ) -> None:
+        """One worker's execution: leaf pool + aggregation cadence."""
+        worker = self.cluster.workers[worker_index]
+        interval = self.cluster.aggregation_interval
+
+        def leaf(shard: Table) -> object | None:
+            # Cancellation removes queued micropartitions only (§5.3).
+            if token is not None and token.cancelled:
+                return None
+            worker.shards_summarized += 1
+            return sketch.summarize(shard)
+
+        accumulated = sketch.zero()
+        done = 0
+        pending_since_emit = 0
+        last_emit = time.monotonic()
+        try:
+            with concurrent.futures.ThreadPoolExecutor(worker.cores) as pool:
+                futures = [pool.submit(leaf, shard) for shard in shards]
+                for future in concurrent.futures.as_completed(futures):
+                    summary = future.result()
+                    done += 1
+                    if summary is not None:
+                        accumulated = sketch.merge(accumulated, summary)
+                        pending_since_emit += 1
+                    now = time.monotonic()
+                    finished = done == len(shards)
+                    if pending_since_emit and (
+                        now - last_emit >= interval or finished
+                    ):
+                        emissions.put(
+                            _Emission(
+                                worker_index,
+                                accumulated,
+                                done,
+                                accumulated.serialized_size()
+                                if hasattr(accumulated, "serialized_size")
+                                else 0,
+                            )
+                        )
+                        pending_since_emit = 0
+                        last_emit = now
+        finally:
+            emissions.put(_Emission(worker_index, None, done, 0))
+
+    def sketch_stream(
+        self,
+        sketch: Sketch[R],
+        token: CancellationToken | None = None,
+    ) -> Iterator[PartialResult[R]]:
+        cluster = self.cluster
+        cluster.redo_log.record_sketch(
+            self.dataset_id, sketch.name, getattr(sketch, "seed", None)
+        )
+        cache_key = sketch.cache_key()
+        if cache_key is not None:
+            cached = cluster.computation_cache.get(self.dataset_id, cache_key)
+            if cached is not None:
+                yield PartialResult(1.0, cached, received_bytes=0)
+                return
+
+        # Phase 1 (request broadcast + data materialization): every worker
+        # resolves its shards, replaying the redo log if state was lost.
+        workers = range(len(cluster.workers))
+        with concurrent.futures.ThreadPoolExecutor(len(cluster.workers)) as pool:
+            shard_lists = list(
+                pool.map(lambda i: cluster.materialize(i, self.dataset_id), workers)
+            )
+        total_shards = sum(len(s) for s in shard_lists) or 1
+
+        # Phase 2: leaves summarize; aggregation nodes emit partials.
+        emissions: "queue.Queue[_Emission]" = queue.Queue()
+        threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(i, sketch, token, shard_lists[i], emissions),
+                daemon=True,
+            )
+            for i in workers
+        ]
+        for thread in threads:
+            thread.start()
+
+        latest: dict[int, R] = {}
+        done_counts = dict.fromkeys(workers, 0)
+        finished = 0
+        final: R | None = None
+        while finished < len(cluster.workers):
+            emission = emissions.get()
+            done_counts[emission.worker_index] = emission.shards_done
+            if emission.summary is None:
+                finished += 1
+                continue
+            latest[emission.worker_index] = emission.summary  # type: ignore[assignment]
+            with cluster._lock:
+                cluster.total_bytes_to_root += emission.bytes
+            merged = sketch.merge_all(list(latest.values()))
+            final = merged
+            yield PartialResult(
+                sum(done_counts.values()) / total_shards,
+                merged,
+                received_bytes=emission.bytes,
+            )
+        for thread in threads:
+            thread.join()
+
+        if (
+            cache_key is not None
+            and final is not None
+            and not (token is not None and token.cancelled)
+        ):
+            cluster.computation_cache.put(self.dataset_id, cache_key, final)
+
+    def run(
+        self, sketch: Sketch[R], token: CancellationToken | None = None
+    ) -> SketchRun[R]:
+        """Execute with statistics; cache hits are flagged."""
+        cache_key = sketch.cache_key()
+        cached = (
+            self.cluster.computation_cache.get(self.dataset_id, cache_key)
+            if cache_key is not None
+            else None
+        )
+        run = super().run(sketch, token)
+        run.cache_hit = cached is not None
+        run.cancelled = token is not None and token.cancelled
+        if run.value is None and cached is None:
+            raise EngineError("sketch execution produced no result")
+        return run

@@ -1,0 +1,106 @@
+"""Cost model for the discrete-event cluster simulator.
+
+The paper's Figures 5-8 are statements about *work and communication
+volume*: rows scanned per core, samples drawn, summary bytes shipped,
+aggregation cadence, disk and NIC bandwidth.  The simulator executes those
+quantities against this cost model.  Constants default to values measured
+on this machine by :func:`CostModel.calibrate` (per-row scan and per-sample
+costs of the actual sketch implementations) plus the paper's testbed
+hardware parameters (10 Gbps network, SSD storage, 0.1 s aggregation
+interval, 1 ms client ping).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-unit costs used by the simulator."""
+
+    # Compute (calibratable)
+    scan_ns_per_row_column: float = 2.0  # streaming sketch, per row per column
+    sample_ns_per_row: float = 40.0  # per *sampled* row (skip-walk + bin)
+    sort_ns_per_row: float = 25.0  # next-items style sort per row
+    task_setup_s: float = 0.0005  # per micropartition dispatch
+
+    # Storage (paper testbed: SSDs)
+    disk_bytes_per_second: float = 500e6
+    bytes_per_cell: float = 8.0
+
+    # Network (paper testbed: 10 Gbps, client ping 1 ms)
+    network_bytes_per_second: float = 10e9 / 8
+    network_latency_s: float = 0.0005
+    client_latency_s: float = 0.001
+
+    # Engine behavior (§5.3)
+    aggregation_interval_s: float = 0.1
+
+    # Straggler dispersion: micropartition costs vary by this fraction.
+    jitter_fraction: float = 0.2
+
+    def scan_cost_s(self, rows: int, columns: int) -> float:
+        """Cost of streaming ``rows`` over ``columns`` on one core."""
+        return rows * columns * self.scan_ns_per_row_column * 1e-9
+
+    def sample_cost_s(self, sampled_rows: int) -> float:
+        """Cost of drawing and binning ``sampled_rows``."""
+        return sampled_rows * self.sample_ns_per_row * 1e-9
+
+    def sort_cost_s(self, rows: int, columns: int) -> float:
+        return rows * columns * self.sort_ns_per_row * 1e-9
+
+    def disk_load_s(self, rows: int, columns: int) -> float:
+        """Time to read ``rows x columns`` cells from one server's SSD."""
+        return rows * columns * self.bytes_per_cell / self.disk_bytes_per_second
+
+    def transfer_s(self, size_bytes: int) -> float:
+        return self.network_latency_s + size_bytes / self.network_bytes_per_second
+
+    def with_overrides(self, **kwargs) -> "CostModel":
+        return replace(self, **kwargs)
+
+    @classmethod
+    def calibrate(cls, rows: int = 2_000_000, seed: int = 0) -> "CostModel":
+        """Measure per-row costs of the real sketches on this machine.
+
+        Runs the streaming and sampled histogram vizketches (the §7.2
+        microbenchmark pair) on a synthetic column and derives the per-unit
+        constants, so simulated latencies are grounded in real code.
+        """
+        import numpy as np
+
+        from repro.core.buckets import DoubleBuckets
+        from repro.data.synth import numeric_table
+        from repro.sketches.histogram import HistogramSketch
+
+        table = numeric_table(rows, "uniform", seed=seed)
+        buckets = DoubleBuckets(0.0, 100.0, 100)
+
+        streaming = HistogramSketch("value", buckets)
+        start = time.perf_counter()
+        streaming.summarize(table)
+        scan_seconds = time.perf_counter() - start
+        scan_ns = scan_seconds / rows * 1e9
+
+        rate = 0.02
+        sampled = HistogramSketch("value", buckets, rate=rate, seed=1)
+        start = time.perf_counter()
+        summary = sampled.summarize(table)
+        sample_seconds = time.perf_counter() - start
+        sampled_rows = max(summary.sampled_rows, 1)
+        sample_ns = sample_seconds / sampled_rows * 1e9
+
+        # Sorting costs roughly an argsort over the same data.
+        values = np.arange(rows, dtype=np.float64)
+        start = time.perf_counter()
+        np.argsort(values, kind="stable")
+        sort_ns = (time.perf_counter() - start) / rows * 1e9
+
+        return cls(
+            scan_ns_per_row_column=max(scan_ns, 0.1),
+            sample_ns_per_row=max(sample_ns, 1.0),
+            sort_ns_per_row=max(sort_ns * 3, 1.0),
+        )

@@ -1,0 +1,82 @@
+"""Fault injection for exercising the soft-state/replay design (§5.7–5.8).
+
+The engine's claim is that *any* soft state can disappear at any time and
+queries still return identical results, because vizketches are
+deterministic given their logged seeds and lineage is replayable.  The
+injector scripts the failure modes:
+
+* worker crash-restarts (all soft state on one server lost);
+* dataset evictions (memory pressure / TTL purge) on some or all workers;
+* randomized "chaos" schedules driven by a seeded RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.rand import rng_for
+from repro.engine.cluster import Cluster
+
+
+@dataclass
+class FaultEvent:
+    """A record of one injected fault (for test assertions and reports)."""
+
+    kind: str  # "crash" | "evict"
+    worker: int | None
+    dataset_id: str | None = None
+
+    def describe(self) -> str:
+        where = f"worker-{self.worker}" if self.worker is not None else "all workers"
+        if self.kind == "crash":
+            return f"crash {where}"
+        return f"evict {self.dataset_id} on {where}"
+
+
+@dataclass
+class FaultInjector:
+    """Scripted and randomized fault injection against a cluster."""
+
+    cluster: Cluster
+    seed: int = 0
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def _rng(self) -> np.random.Generator:
+        return rng_for(self.seed, "faults", len(self.events))
+
+    def crash_worker(self, index: int) -> FaultEvent:
+        self.cluster.kill_worker(index)
+        event = FaultEvent("crash", index)
+        self.events.append(event)
+        return event
+
+    def crash_random_worker(self) -> FaultEvent:
+        index = int(self._rng().integers(len(self.cluster.workers)))
+        return self.crash_worker(index)
+
+    def evict_everywhere(self, dataset_id: str) -> FaultEvent:
+        self.cluster.evict_dataset(dataset_id)
+        event = FaultEvent("evict", None, dataset_id)
+        self.events.append(event)
+        return event
+
+    def evict_on_random_worker(self, dataset_id: str) -> FaultEvent:
+        index = int(self._rng().integers(len(self.cluster.workers)))
+        self.cluster.evict_dataset(dataset_id, index)
+        event = FaultEvent("evict", index, dataset_id)
+        self.events.append(event)
+        return event
+
+    def chaos(self, dataset_ids: list[str], rounds: int) -> list[FaultEvent]:
+        """Inject ``rounds`` random faults over the given datasets."""
+        injected = []
+        for _ in range(rounds):
+            rng = self._rng()
+            if rng.random() < 0.5 or not dataset_ids:
+                injected.append(self.crash_random_worker())
+            else:
+                dataset = dataset_ids[int(rng.integers(len(dataset_ids)))]
+                injected.append(self.evict_on_random_worker(dataset))
+        return injected

@@ -1,0 +1,114 @@
+"""In-process datasets: the simplest engine (one machine, real threads).
+
+``LocalDataSet`` wraps one table (a leaf).  ``ParallelDataSet`` fans a
+sketch out over its children on a thread pool and merges results as they
+complete, yielding a cumulative partial after each merge — the in-process
+equivalent of the execution tree of §5.3.  Children finishing early are
+visible immediately; stragglers only delay the *final* result.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Iterator, Sequence, TypeVar
+
+from repro.core.sketch import Sketch
+from repro.engine.dataset import IDataSet, TableMap
+from repro.engine.progress import CancellationToken, PartialResult
+from repro.table.table import Table
+
+R = TypeVar("R")
+
+
+class LocalDataSet(IDataSet):
+    """A single in-memory table (one leaf of the execution tree)."""
+
+    def __init__(self, table: Table):
+        self.table = table
+
+    @property
+    def total_rows(self) -> int:
+        return self.table.num_rows
+
+    @property
+    def schema(self):
+        return self.table.schema
+
+    def map(self, table_map: TableMap) -> "LocalDataSet":
+        return LocalDataSet(table_map.apply(self.table))
+
+    def sketch_stream(
+        self,
+        sketch: Sketch[R],
+        token: CancellationToken | None = None,
+    ) -> Iterator[PartialResult[R]]:
+        if token is not None and token.cancelled:
+            return
+        yield PartialResult(1.0, sketch.summarize(self.table))
+
+
+class ParallelDataSet(IDataSet):
+    """A dataset partitioned over child datasets, sketched in parallel.
+
+    ``max_workers`` bounds leaf concurrency (the paper's per-server thread
+    pool, §5.3).  Results merge in completion order; each merge yields a
+    cumulative partial with progress = finished children / children.
+    """
+
+    def __init__(self, children: Sequence[IDataSet], max_workers: int | None = None):
+        if not children:
+            raise ValueError("ParallelDataSet needs at least one child")
+        self.children = list(children)
+        self.max_workers = max_workers
+
+    @property
+    def total_rows(self) -> int:
+        return sum(child.total_rows for child in self.children)
+
+    @property
+    def schema(self):
+        return self.children[0].schema
+
+    def map(self, table_map: TableMap) -> "ParallelDataSet":
+        with concurrent.futures.ThreadPoolExecutor(self._workers()) as pool:
+            mapped = list(pool.map(lambda c: c.map(table_map), self.children))
+        return ParallelDataSet(mapped, self.max_workers)
+
+    def _workers(self) -> int:
+        return self.max_workers or min(32, len(self.children))
+
+    def sketch_stream(
+        self,
+        sketch: Sketch[R],
+        token: CancellationToken | None = None,
+    ) -> Iterator[PartialResult[R]]:
+        def leaf(child: IDataSet) -> R | None:
+            # Queued work is skipped after cancellation; running leaves
+            # complete (paper §5.3 cancellation semantics).
+            if token is not None and token.cancelled:
+                return None
+            return child.sketch(sketch)
+
+        accumulated = sketch.zero()
+        done = 0
+        with concurrent.futures.ThreadPoolExecutor(self._workers()) as pool:
+            futures = [pool.submit(leaf, child) for child in self.children]
+            for future in concurrent.futures.as_completed(futures):
+                summary = future.result()
+                done += 1
+                if summary is None:
+                    continue
+                accumulated = sketch.merge(accumulated, summary)
+                yield PartialResult(done / len(self.children), accumulated)
+                if token is not None and token.cancelled:
+                    break
+
+
+def parallel_dataset(
+    table: Table, shards: int, max_workers: int | None = None
+) -> ParallelDataSet:
+    """Split ``table`` into micropartition leaves under one parallel node."""
+    return ParallelDataSet(
+        [LocalDataSet(shard) for shard in table.split(shards)],
+        max_workers=max_workers,
+    )

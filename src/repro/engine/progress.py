@@ -1,0 +1,110 @@
+"""Progressive results, cancellation, and per-query statistics (§5.3).
+
+A sketch execution yields a stream of :class:`PartialResult` values: each
+carries the cumulative merged summary so far plus a progress fraction (the
+share of leaves that completed — exactly what Hillview's progress bar
+shows).  The client renders each partial as it arrives and may cancel at
+any time through a :class:`CancellationToken`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Generic, Iterator, TypeVar
+
+from repro.errors import CancelledError
+
+R = TypeVar("R")
+
+
+@dataclass
+class PartialResult(Generic[R]):
+    """A cumulative partial result: ``value`` reflects all merged leaves.
+
+    ``received_bytes``, when set by the engine, is the serialized size of
+    the summary that *arrived at the root* to produce this partial (the
+    network cost), which can be smaller than the cumulative value.
+    """
+
+    progress: float  # in [0, 1]: fraction of leaves merged so far
+    value: R
+    received_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        self.progress = min(max(self.progress, 0.0), 1.0)
+
+
+class CancellationToken:
+    """Cooperative cancellation (§5.3).
+
+    Cancelling removes *queued* work; micropartitions already being
+    summarized run to completion, as in Hillview ("we currently do not stop
+    ongoing computations on a micropartition").
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        if self.cancelled:
+            raise CancelledError("computation cancelled by the user")
+
+
+@dataclass
+class SketchRun(Generic[R]):
+    """The drained result of a sketch execution, with its statistics.
+
+    ``bytes_received`` counts serialized summary bytes that arrived at the
+    root (the quantity of Figure 5, bottom); ``first_partial_seconds`` is
+    the latency to the first rendering-capable result (Hillview100xF in
+    Figure 5, top).
+    """
+
+    value: R
+    partials: int = 0
+    bytes_received: int = 0
+    first_partial_seconds: float = 0.0
+    total_seconds: float = 0.0
+    cache_hit: bool = False
+    cancelled: bool = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<SketchRun partials={self.partials} bytes={self.bytes_received} "
+            f"first={self.first_partial_seconds * 1000:.1f}ms "
+            f"total={self.total_seconds * 1000:.1f}ms"
+            f"{' cached' if self.cache_hit else ''}>"
+        )
+
+
+def drain(
+    stream: Iterator[PartialResult[R]],
+    count_bytes: bool = True,
+) -> SketchRun[R]:
+    """Consume a partial-result stream, recording timing and byte stats."""
+    start = time.perf_counter()
+    run: SketchRun[R] = SketchRun(value=None)  # type: ignore[arg-type]
+    first = None
+    for partial in stream:
+        now = time.perf_counter()
+        if first is None:
+            first = now - start
+        run.partials += 1
+        run.value = partial.value
+        if count_bytes:
+            if partial.received_bytes is not None:
+                run.bytes_received += partial.received_bytes
+            elif hasattr(partial.value, "serialized_size"):
+                run.bytes_received += partial.value.serialized_size()
+    run.first_partial_seconds = first if first is not None else 0.0
+    run.total_seconds = time.perf_counter() - start
+    return run

@@ -1,0 +1,131 @@
+"""The root node's redo log (paper §5.7–5.8).
+
+The redo log is the **only persistent structure in Hillview**: it records
+the operation that created every dataset — the initial *load* from the
+storage layer and each *map* derived from a parent — plus the seeds of
+randomized operations.  Worker state is soft; when a leaf reports a missing
+object, the root replays the lineage recorded here, recursing until it
+bottoms out at a load from disk.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.dataset import TableMap
+    from repro.storage.loader import DataSource
+
+
+@dataclass(frozen=True)
+class LoadOp:
+    """Dataset created by loading a data source."""
+
+    dataset_id: str
+    source: "DataSource"
+
+    def describe(self) -> str:
+        return f"load {self.dataset_id} <- {self.source.spec()}"
+
+
+@dataclass(frozen=True)
+class MapOp:
+    """Dataset derived from a parent by a table map."""
+
+    dataset_id: str
+    parent_id: str
+    table_map: "TableMap"
+
+    def describe(self) -> str:
+        return f"map {self.dataset_id} <- {self.parent_id} via {self.table_map.spec()}"
+
+
+@dataclass(frozen=True)
+class SketchOp:
+    """A sketch execution (recorded with its seed for auditability)."""
+
+    dataset_id: str
+    sketch_name: str
+    seed: int | None
+
+    def describe(self) -> str:
+        seed = f" seed={self.seed}" if self.seed is not None else ""
+        return f"sketch {self.sketch_name} on {self.dataset_id}{seed}"
+
+
+@dataclass
+class RedoLog:
+    """Append-only operation log with lineage lookup."""
+
+    entries: list = field(default_factory=list)
+    _by_dataset: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def record_load(self, dataset_id: str, source: "DataSource") -> LoadOp:
+        op = LoadOp(dataset_id, source)
+        with self._lock:
+            if dataset_id in self._by_dataset:
+                raise EngineError(f"dataset {dataset_id!r} already recorded")
+            self.entries.append(op)
+            self._by_dataset[dataset_id] = op
+        return op
+
+    def record_map(
+        self, dataset_id: str, parent_id: str, table_map: "TableMap"
+    ) -> MapOp:
+        op = MapOp(dataset_id, parent_id, table_map)
+        with self._lock:
+            if dataset_id in self._by_dataset:
+                raise EngineError(f"dataset {dataset_id!r} already recorded")
+            if parent_id not in self._by_dataset:
+                raise EngineError(f"unknown parent dataset {parent_id!r}")
+            self.entries.append(op)
+            self._by_dataset[dataset_id] = op
+        return op
+
+    def record_sketch(
+        self, dataset_id: str, sketch_name: str, seed: int | None
+    ) -> SketchOp:
+        op = SketchOp(dataset_id, sketch_name, seed)
+        with self._lock:
+            self.entries.append(op)
+        return op
+
+    def creation_op(self, dataset_id: str) -> LoadOp | MapOp:
+        """The operation that created ``dataset_id``."""
+        with self._lock:
+            try:
+                return self._by_dataset[dataset_id]
+            except KeyError:
+                raise EngineError(
+                    f"dataset {dataset_id!r} is not in the redo log"
+                ) from None
+
+    def lineage(self, dataset_id: str) -> list:
+        """Creation chain from the root load down to ``dataset_id``.
+
+        The first element is always a :class:`LoadOp`; the rest are
+        :class:`MapOp` in application order — exactly the replay recipe of
+        §5.7 ("the recursion ends when data is read from disk").
+        """
+        chain = []
+        current = dataset_id
+        while True:
+            op = self.creation_op(current)
+            chain.append(op)
+            if isinstance(op, LoadOp):
+                break
+            current = op.parent_id
+        chain.reverse()
+        return chain
+
+    def describe(self) -> list[str]:
+        with self._lock:
+            return [op.describe() for op in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)

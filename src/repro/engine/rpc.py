@@ -1,0 +1,639 @@
+"""The JSON wire protocol between the browser UI and the web server (§6).
+
+Hillview's browser talks to the web server over a streaming RPC (WebSockets
+carrying JSON messages): queries travel down, progressive partial results
+travel up.  This module is that protocol, minus the socket: request/reply
+envelopes, JSON codecs for the value objects queries are built from
+(buckets, predicates, sort orders), a registry that instantiates vizketches
+from their JSON descriptions — the analogue of Java's type-safe query
+deserialization — and converters that render every summary type as a JSON
+payload the UI can draw.
+
+The transport-free design is deliberate: :class:`~repro.engine.web.WebServer`
+streams replies as an iterator of envelopes, which tests (and a real socket
+layer) can consume one message at a time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Callable
+
+import numpy as np
+
+from repro.core.buckets import (
+    Buckets,
+    DoubleBuckets,
+    ExplicitStringBuckets,
+    StringBuckets,
+)
+from repro.core.sketch import Sketch
+from repro.errors import HillviewError
+from repro.sketches.bottomk import BottomKDistinctSketch, BottomKSummary
+from repro.sketches.cdf import CdfSketch
+from repro.sketches.find_text import FindResult, FindTextSketch
+from repro.sketches.heatmap import HeatmapSketch, HeatmapSummary
+from repro.sketches.heavy_hitters import (
+    FrequencySummary,
+    MisraGriesSketch,
+    SampleHeavyHittersSketch,
+)
+from repro.sketches.histogram import HistogramSketch, HistogramSummary
+from repro.sketches.hll import HllSummary, HyperLogLogSketch
+from repro.sketches.moments import ColumnStats, MomentsSketch
+from repro.sketches.next_items import NextKList, NextKSketch
+from repro.sketches.pca import CorrelationSketch, CorrelationSummary
+from repro.sketches.quantile import QuantileSummary, SampleQuantileSketch
+from repro.sketches.save import SaveStatus, SaveTableSketch
+from repro.sketches.stacked import StackedHistogramSketch, StackedHistogramSummary
+from repro.sketches.trellis import (
+    TrellisHeatmapSketch,
+    TrellisHistogramSketch,
+    TrellisHistogramSummary,
+    TrellisSummary,
+)
+from repro.table.compute import (
+    AndPredicate,
+    ColumnPredicate,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    StringMatchPredicate,
+)
+from repro.table.sort import RecordOrder, RowKey
+
+
+class ProtocolError(HillviewError):
+    """A malformed or unsupported RPC message."""
+
+
+# ---------------------------------------------------------------------------
+# Envelopes
+# ---------------------------------------------------------------------------
+@dataclass
+class RpcRequest:
+    """One client command: run ``method`` against remote object ``target``."""
+
+    request_id: int
+    target: str
+    method: str
+    args: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "requestId": self.request_id,
+                "target": self.target,
+                "method": self.method,
+                "args": self.args,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RpcRequest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+        for key in ("requestId", "target", "method"):
+            if key not in data:
+                raise ProtocolError(f"request missing {key!r}")
+        return cls(
+            request_id=int(data["requestId"]),
+            target=str(data["target"]),
+            method=str(data["method"]),
+            args=dict(data.get("args") or {}),
+        )
+
+
+@dataclass
+class RpcReply:
+    """One server message: a partial/final payload, an ack, or an error.
+
+    ``kind`` is ``partial`` (progressive update), ``complete`` (the final
+    payload; exactly one per successful request), ``ack`` (map operations:
+    carries the new remote handle) or ``error``.
+    """
+
+    request_id: int
+    kind: str
+    progress: float = 1.0
+    payload: object | None = None
+    error: str | None = None
+
+    def to_json(self) -> str:
+        data: dict = {
+            "requestId": self.request_id,
+            "kind": self.kind,
+            "progress": round(self.progress, 6),
+        }
+        if self.payload is not None:
+            data["payload"] = self.payload
+        if self.error is not None:
+            data["error"] = self.error
+        return json.dumps(data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RpcReply":
+        data = json.loads(text)
+        return cls(
+            request_id=int(data["requestId"]),
+            kind=str(data["kind"]),
+            progress=float(data.get("progress", 1.0)),
+            payload=data.get("payload"),
+            error=data.get("error"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cell values: JSON-safe encoding for dates and numpy scalars
+# ---------------------------------------------------------------------------
+def cell_to_json(value: object | None) -> object | None:
+    """One table cell as a JSON-representable value."""
+    if value is None:
+        return None
+    if isinstance(value, datetime):
+        return {"$date": value.isoformat()}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def cell_from_json(value: object | None) -> object | None:
+    """Inverse of :func:`cell_to_json`."""
+    if isinstance(value, dict) and "$date" in value:
+        return datetime.fromisoformat(value["$date"])
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Value-object codecs: buckets, predicates, sort orders
+# ---------------------------------------------------------------------------
+def buckets_to_json(buckets: Buckets) -> dict:
+    if isinstance(buckets, DoubleBuckets):
+        return {
+            "type": "double",
+            "min": buckets.min_value,
+            "max": buckets.max_value,
+            "count": buckets.count,
+        }
+    if isinstance(buckets, StringBuckets):
+        return {"type": "string_ranges", "boundaries": list(buckets.boundaries)}
+    if isinstance(buckets, ExplicitStringBuckets):
+        return {"type": "strings", "values": list(buckets.values)}
+    raise ProtocolError(f"cannot encode buckets of type {type(buckets).__name__}")
+
+
+def buckets_from_json(data: dict) -> Buckets:
+    kind = data.get("type")
+    if kind == "double":
+        return DoubleBuckets(
+            float(data["min"]), float(data["max"]), int(data["count"])
+        )
+    if kind == "string_ranges":
+        return StringBuckets([str(b) for b in data["boundaries"]])
+    if kind == "strings":
+        return ExplicitStringBuckets([str(v) for v in data["values"]])
+    raise ProtocolError(f"unknown buckets type {kind!r}")
+
+
+def predicate_to_json(predicate: Predicate) -> dict:
+    if isinstance(predicate, ColumnPredicate):
+        value = predicate.value
+        if isinstance(value, (list, tuple, set, frozenset)):
+            value = [cell_to_json(v) for v in value]
+        else:
+            value = cell_to_json(value)
+        return {
+            "type": "column",
+            "column": predicate.column,
+            "op": predicate.op,
+            "value": value,
+        }
+    if isinstance(predicate, StringMatchPredicate):
+        return {
+            "type": "match",
+            "column": predicate.column,
+            "pattern": predicate.pattern,
+            "mode": predicate.mode,
+            "caseSensitive": predicate.case_sensitive,
+        }
+    if isinstance(predicate, AndPredicate):
+        return {"type": "and", "parts": [predicate_to_json(p) for p in predicate.parts]}
+    if isinstance(predicate, OrPredicate):
+        return {"type": "or", "parts": [predicate_to_json(p) for p in predicate.parts]}
+    if isinstance(predicate, NotPredicate):
+        return {"type": "not", "inner": predicate_to_json(predicate.inner)}
+    raise ProtocolError(
+        f"cannot encode predicate of type {type(predicate).__name__}"
+    )
+
+
+def predicate_from_json(data: dict) -> Predicate:
+    kind = data.get("type")
+    if kind == "column":
+        value = data.get("value")
+        if isinstance(value, list):
+            value = [cell_from_json(v) for v in value]
+        else:
+            value = cell_from_json(value)
+        return ColumnPredicate(str(data["column"]), str(data["op"]), value)
+    if kind == "match":
+        return StringMatchPredicate(
+            str(data["column"]),
+            str(data["pattern"]),
+            str(data.get("mode", "substring")),
+            bool(data.get("caseSensitive", True)),
+        )
+    if kind == "and":
+        return AndPredicate(predicate_from_json(p) for p in data["parts"])
+    if kind == "or":
+        return OrPredicate(predicate_from_json(p) for p in data["parts"])
+    if kind == "not":
+        return NotPredicate(predicate_from_json(data["inner"]))
+    raise ProtocolError(f"unknown predicate type {kind!r}")
+
+
+def order_to_json(order: RecordOrder) -> list[dict]:
+    return [
+        {"column": o.column, "ascending": o.ascending} for o in order.orientations
+    ]
+
+
+def order_from_json(data: list) -> RecordOrder:
+    if not isinstance(data, list) or not data:
+        raise ProtocolError("sort order must be a non-empty list")
+    columns = [str(item["column"]) for item in data]
+    flags = [bool(item.get("ascending", True)) for item in data]
+    return RecordOrder.of(*columns, ascending=flags)
+
+
+def _start_key(data: dict, order: RecordOrder) -> RowKey | None:
+    start = data.get("start")
+    if start is None:
+        return None
+    values = tuple(cell_from_json(v) for v in start)
+    return order.key_from_values(values)
+
+
+# ---------------------------------------------------------------------------
+# Sketch registry: JSON spec -> vizketch instance
+# ---------------------------------------------------------------------------
+def _build_histogram(args: dict) -> Sketch:
+    return HistogramSketch(
+        str(args["column"]),
+        buckets_from_json(args["buckets"]),
+        rate=float(args.get("rate", 1.0)),
+        seed=int(args.get("seed", 0)),
+    )
+
+
+def _build_cdf(args: dict) -> Sketch:
+    return CdfSketch(
+        str(args["column"]),
+        buckets_from_json(args["buckets"]),
+        rate=float(args.get("rate", 1.0)),
+        seed=int(args.get("seed", 0)),
+    )
+
+
+def _build_heatmap(args: dict) -> Sketch:
+    return HeatmapSketch(
+        str(args["xColumn"]),
+        buckets_from_json(args["xBuckets"]),
+        str(args["yColumn"]),
+        buckets_from_json(args["yBuckets"]),
+        rate=float(args.get("rate", 1.0)),
+        seed=int(args.get("seed", 0)),
+    )
+
+
+def _build_stacked(args: dict) -> Sketch:
+    return StackedHistogramSketch(
+        str(args["xColumn"]),
+        buckets_from_json(args["xBuckets"]),
+        str(args["yColumn"]),
+        buckets_from_json(args["yBuckets"]),
+        rate=float(args.get("rate", 1.0)),
+        seed=int(args.get("seed", 0)),
+    )
+
+
+def _group2(args: dict) -> dict:
+    if "group2Column" not in args:
+        return {"group2_column": None, "group2_buckets": None}
+    return {
+        "group2_column": str(args["group2Column"]),
+        "group2_buckets": buckets_from_json(args["group2Buckets"]),
+    }
+
+
+def _build_trellis_heatmap(args: dict) -> Sketch:
+    return TrellisHeatmapSketch(
+        str(args["groupColumn"]),
+        buckets_from_json(args["groupBuckets"]),
+        str(args["xColumn"]),
+        buckets_from_json(args["xBuckets"]),
+        str(args["yColumn"]),
+        buckets_from_json(args["yBuckets"]),
+        rate=float(args.get("rate", 1.0)),
+        seed=int(args.get("seed", 0)),
+        **_group2(args),
+    )
+
+
+def _build_trellis_histogram(args: dict) -> Sketch:
+    return TrellisHistogramSketch(
+        str(args["groupColumn"]),
+        buckets_from_json(args["groupBuckets"]),
+        str(args["xColumn"]),
+        buckets_from_json(args["xBuckets"]),
+        rate=float(args.get("rate", 1.0)),
+        seed=int(args.get("seed", 0)),
+        **_group2(args),
+    )
+
+
+def _build_moments(args: dict) -> Sketch:
+    return MomentsSketch(str(args["column"]), moments=int(args.get("moments", 2)))
+
+
+def _build_distinct(args: dict) -> Sketch:
+    return HyperLogLogSketch(
+        str(args["column"]),
+        precision=int(args.get("precision", 12)),
+        seed=int(args.get("seed", 0)),
+    )
+
+
+def _build_heavy_hitters(args: dict) -> Sketch:
+    method = str(args.get("method", "streaming"))
+    if method == "streaming":
+        return MisraGriesSketch(str(args["column"]), int(args["k"]))
+    if method == "sampling":
+        return SampleHeavyHittersSketch(
+            str(args["column"]),
+            int(args["k"]),
+            rate=float(args.get("rate", 1.0)),
+            seed=int(args.get("seed", 0)),
+        )
+    raise ProtocolError(f"unknown heavy-hitters method {method!r}")
+
+
+def _build_next_k(args: dict) -> Sketch:
+    order = order_from_json(args["order"])
+    return NextKSketch(
+        order,
+        int(args.get("k", 20)),
+        start_key=_start_key(args, order),
+        inclusive=bool(args.get("inclusive", False)),
+    )
+
+
+def _build_quantile(args: dict) -> Sketch:
+    order = order_from_json(args["order"])
+    return SampleQuantileSketch(
+        order,
+        rate=float(args.get("rate", 1.0)),
+        seed=int(args.get("seed", 0)),
+    )
+
+
+def _build_find(args: dict) -> Sketch:
+    order = order_from_json(args["order"])
+    predicate = predicate_from_json(args["match"])
+    if not isinstance(predicate, StringMatchPredicate):
+        raise ProtocolError("find requires a string-match predicate")
+    return FindTextSketch(predicate, order, start_key=_start_key(args, order))
+
+
+def _build_correlation(args: dict) -> Sketch:
+    columns = args["columns"]
+    if not isinstance(columns, list) or len(columns) < 2:
+        raise ProtocolError("correlation needs a list of >= 2 columns")
+    return CorrelationSketch(
+        [str(c) for c in columns],
+        rate=float(args.get("rate", 1.0)),
+        seed=int(args.get("seed", 0)),
+    )
+
+
+def _build_save(args: dict) -> Sketch:
+    return SaveTableSketch(
+        str(args["directory"]),
+        format=str(args.get("format", "hvc")),
+    )
+
+
+def _build_bottom_k(args: dict) -> Sketch:
+    return BottomKDistinctSketch(
+        str(args["column"]),
+        k=int(args.get("k", 500)),
+        seed=int(args.get("seed", 0)),
+    )
+
+
+#: Sketch type tag -> builder; the JSON analogue of Java query deserialization.
+SKETCH_BUILDERS: dict[str, Callable[[dict], Sketch]] = {
+    "histogram": _build_histogram,
+    "cdf": _build_cdf,
+    "heatmap": _build_heatmap,
+    "stacked": _build_stacked,
+    "trellisHeatmap": _build_trellis_heatmap,
+    "trellisHistogram": _build_trellis_histogram,
+    "moments": _build_moments,
+    "distinct": _build_distinct,
+    "heavyHitters": _build_heavy_hitters,
+    "nextK": _build_next_k,
+    "quantile": _build_quantile,
+    "find": _build_find,
+    "bottomK": _build_bottom_k,
+    "correlation": _build_correlation,
+    "save": _build_save,
+}
+
+
+def sketch_from_json(spec: dict) -> Sketch:
+    """Instantiate the vizketch described by a JSON spec."""
+    kind = spec.get("type")
+    builder = SKETCH_BUILDERS.get(str(kind))
+    if builder is None:
+        raise ProtocolError(f"unknown sketch type {kind!r}")
+    try:
+        return builder(spec)
+    except KeyError as exc:
+        raise ProtocolError(f"sketch {kind!r} missing argument {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Summary -> JSON payloads
+# ---------------------------------------------------------------------------
+def _histogram_payload(s: HistogramSummary) -> dict:
+    return {
+        "type": "histogram",
+        "counts": s.counts.tolist(),
+        "missing": s.missing,
+        "outOfRange": s.out_of_range,
+        "sampledRows": s.sampled_rows,
+    }
+
+
+def _heatmap_payload(s: HeatmapSummary) -> dict:
+    return {
+        "type": "heatmap",
+        "counts": s.counts.tolist(),
+        "xMissing": s.x_missing,
+        "yMissing": s.y_missing,
+        "outOfRange": s.out_of_range,
+        "sampledRows": s.sampled_rows,
+    }
+
+
+def _stacked_payload(s: StackedHistogramSummary) -> dict:
+    return {
+        "type": "stacked",
+        "barCounts": s.bar_counts.tolist(),
+        "cellCounts": s.cell_counts.tolist(),
+        "yMissing": s.y_missing.tolist(),
+        "missing": s.missing,
+        "outOfRange": s.out_of_range,
+        "sampledRows": s.sampled_rows,
+    }
+
+
+def _trellis_payload(s: TrellisSummary) -> dict:
+    return {
+        "type": "trellisHeatmap",
+        "panes": [_heatmap_payload(p) for p in s.panes],
+        "groupMissing": s.group_missing,
+        "groupOutOfRange": s.group_out_of_range,
+        "sampledRows": s.sampled_rows,
+    }
+
+
+def _trellis_histogram_payload(s: TrellisHistogramSummary) -> dict:
+    return {
+        "type": "trellisHistogram",
+        "panes": [_histogram_payload(p) for p in s.panes],
+        "groupMissing": s.group_missing,
+        "groupOutOfRange": s.group_out_of_range,
+        "sampledRows": s.sampled_rows,
+    }
+
+
+def _stats_payload(s: ColumnStats) -> dict:
+    return {
+        "type": "columnStats",
+        "presentCount": s.present_count,
+        "missingCount": s.missing_count,
+        "min": cell_to_json(s.min_value),
+        "max": cell_to_json(s.max_value),
+        "powerSums": list(s.power_sums),
+    }
+
+
+def _next_k_payload(s: NextKList) -> dict:
+    return {
+        "type": "nextK",
+        "order": order_to_json(s.order),
+        "rows": [[cell_to_json(v) for v in values] for values in s.rows],
+        "counts": list(s.counts),
+        "preceding": s.preceding,
+        "scanned": s.scanned,
+    }
+
+
+def _frequency_payload(s: FrequencySummary) -> dict:
+    return {
+        "type": "frequencies",
+        "counts": [
+            [cell_to_json(value), count] for value, count in s.counts.items()
+        ],
+        "errorBound": s.error_bound,
+        "scanned": s.scanned,
+    }
+
+
+def _hll_payload(s: HllSummary) -> dict:
+    return {"type": "distinct", "estimate": s.estimate()}
+
+
+def _quantile_payload(s: QuantileSummary) -> dict:
+    return {
+        "type": "quantile",
+        "order": order_to_json(s.order),
+        "samples": [[cell_to_json(v) for v in values] for values in s.samples],
+        "scanned": s.scanned,
+    }
+
+
+def _find_payload(s: FindResult) -> dict:
+    return {
+        "type": "find",
+        "firstMatch": (
+            None
+            if s.first_match is None
+            else [cell_to_json(v) for v in s.first_match]
+        ),
+        "matchesBefore": s.matches_before,
+        "matchesAfter": s.matches_after,
+    }
+
+
+def _bottom_k_payload(s: BottomKSummary) -> dict:
+    return {
+        "type": "bottomK",
+        "values": s.values_sorted(),
+        "saturated": s.saturated,
+    }
+
+
+def _correlation_payload(s: CorrelationSummary) -> dict:
+    return {
+        "type": "correlation",
+        "columns": list(s.columns),
+        "count": s.count,
+        "sums": s.sums.tolist(),
+        "products": s.products.tolist(),
+    }
+
+
+def _save_payload(s: SaveStatus) -> dict:
+    return {
+        "type": "saveStatus",
+        "files": list(s.files),
+        "rowsWritten": s.rows_written,
+        "errors": list(s.errors),
+    }
+
+
+_PAYLOADS: list[tuple[type, Callable]] = [
+    (StackedHistogramSummary, _stacked_payload),
+    (TrellisSummary, _trellis_payload),
+    (TrellisHistogramSummary, _trellis_histogram_payload),
+    (HeatmapSummary, _heatmap_payload),
+    (HistogramSummary, _histogram_payload),
+    (ColumnStats, _stats_payload),
+    (NextKList, _next_k_payload),
+    (FrequencySummary, _frequency_payload),
+    (HllSummary, _hll_payload),
+    (QuantileSummary, _quantile_payload),
+    (FindResult, _find_payload),
+    (BottomKSummary, _bottom_k_payload),
+    (CorrelationSummary, _correlation_payload),
+    (SaveStatus, _save_payload),
+]
+
+
+def summary_to_json(summary: object) -> dict:
+    """Render any summary as the JSON payload the UI consumes."""
+    for cls, converter in _PAYLOADS:
+        if isinstance(summary, cls):
+            return converter(summary)
+    raise ProtocolError(
+        f"no JSON payload for summary type {type(summary).__name__}"
+    )

@@ -1,0 +1,231 @@
+"""The web server: root of the execution tree, session state, RPC (§5.2).
+
+Hillview's web server sits between the browser and the workers: it holds
+*remote object handles* for the datasets a session derived (the initial
+load, filters, projections), launches execution trees for vizketch
+queries, streams progressively merged partials back to the client, and
+honors cancellation.  All of its state is soft (§5.7): any handle can be
+evicted and is lazily rebuilt from its lineage — a chain of map operations
+ending in a reloadable :class:`~repro.storage.loader.DataSource` ("the
+recursion ends when data is read from disk").
+
+:class:`WebServer` is transport-free: :meth:`execute` accepts a JSON
+request (or an :class:`~repro.engine.rpc.RpcRequest`) and yields JSON-able
+reply envelopes one at a time, exactly the message sequence a WebSocket
+would carry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Union
+
+from repro.engine.cluster import Cluster
+from repro.engine.dataset import (
+    ExpressionMap,
+    FilterMap,
+    IDataSet,
+    ProjectMap,
+    TableMap,
+)
+from repro.engine.progress import CancellationToken
+from repro.engine.rpc import (
+    ProtocolError,
+    RpcReply,
+    RpcRequest,
+    predicate_from_json,
+    sketch_from_json,
+    summary_to_json,
+)
+from repro.errors import HillviewError
+from repro.storage.loader import DataSource
+
+
+class WebServer:
+    """Session manager and query root over one cluster (§5.2, §6)."""
+
+    def __init__(self, cluster: Cluster | None = None):
+        self.cluster = cluster if cluster is not None else Cluster()
+        self._handles: dict[str, IDataSet] = {}
+        #: handle -> how to rebuild it: a DataSource for loads, or
+        #: (parent handle, TableMap) for derived datasets (§5.7).
+        self._lineage: dict[str, Union[DataSource, tuple[str, TableMap]]] = {}
+        self._tokens: dict[int, CancellationToken] = {}
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Remote object handles (soft state)
+    # ------------------------------------------------------------------
+    def _new_handle(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"obj-{self._counter}"
+
+    def load(self, source: DataSource) -> str:
+        """Load a data source; returns the session's root handle."""
+        handle = self._new_handle()
+        self._handles[handle] = self.cluster.load(source)
+        self._lineage[handle] = source
+        return handle
+
+    def evict(self, handle: str) -> None:
+        """Drop a handle's dataset (soft state); it rebuilds on next use."""
+        self._handles.pop(handle, None)
+
+    def dataset(self, handle: str) -> IDataSet:
+        """The dataset behind ``handle``, lazily rebuilt if evicted (§5.7)."""
+        existing = self._handles.get(handle)
+        if existing is not None:
+            return existing
+        recipe = self._lineage.get(handle)
+        if recipe is None:
+            raise ProtocolError(f"unknown remote object {handle!r}")
+        if isinstance(recipe, tuple):
+            parent_handle, table_map = recipe
+            rebuilt = self.dataset(parent_handle).map(table_map)
+        else:
+            rebuilt = self.cluster.load(recipe)
+        self._handles[handle] = rebuilt
+        return rebuilt
+
+    def _derive(self, parent: str, table_map: TableMap) -> str:
+        handle = self._new_handle()
+        self._handles[handle] = self.dataset(parent).map(table_map)
+        self._lineage[handle] = (parent, table_map)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Cancellation (§5.3)
+    # ------------------------------------------------------------------
+    def cancel(self, request_id: int) -> bool:
+        """Cancel an in-flight request; returns whether one was active."""
+        token = self._tokens.get(request_id)
+        if token is None:
+            return False
+        token.cancel()
+        return True
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+    def execute(self, request: RpcRequest | str) -> Iterator[RpcReply]:
+        """Run one request, yielding the reply message sequence.
+
+        Successful sketch queries yield zero or more ``partial`` replies
+        followed by one ``complete`` (or ``cancelled``); map operations
+        yield a single ``ack`` carrying the new handle; failures yield a
+        single ``error`` reply — the protocol never raises to the caller.
+        """
+        try:
+            if isinstance(request, str):
+                request = RpcRequest.from_json(request)
+            yield from self._dispatch(request)
+        except HillviewError as exc:
+            yield RpcReply(
+                request_id=getattr(request, "request_id", -1),
+                kind="error",
+                error=str(exc),
+            )
+
+    def _dispatch(self, request: RpcRequest) -> Iterator[RpcReply]:
+        method = request.method
+        if method == "sketch":
+            yield from self._run_sketch(request)
+        elif method == "filter":
+            predicate = predicate_from_json(request.args.get("predicate", {}))
+            handle = self._derive(request.target, FilterMap(predicate))
+            yield RpcReply(request.request_id, "ack", payload={"handle": handle})
+        elif method == "project":
+            columns = request.args.get("columns")
+            if not isinstance(columns, list) or not columns:
+                raise ProtocolError("project needs a non-empty column list")
+            handle = self._derive(
+                request.target, ProjectMap([str(c) for c in columns])
+            )
+            yield RpcReply(request.request_id, "ack", payload={"handle": handle})
+        elif method == "derive":
+            name = request.args.get("name")
+            expression = request.args.get("expression")
+            if not isinstance(name, str) or not isinstance(expression, str):
+                raise ProtocolError("derive needs 'name' and 'expression'")
+            handle = self._derive(request.target, ExpressionMap(name, expression))
+            yield RpcReply(request.request_id, "ack", payload={"handle": handle})
+        elif method == "schema":
+            schema = self.dataset(request.target).schema
+            yield RpcReply(
+                request.request_id,
+                "complete",
+                payload={
+                    "columns": [
+                        {"name": d.name, "kind": d.kind.value} for d in schema
+                    ]
+                },
+            )
+        elif method == "rowCount":
+            rows = self.dataset(request.target).total_rows
+            yield RpcReply(request.request_id, "complete", payload={"rows": rows})
+        elif method == "evict":
+            self.evict(request.target)
+            yield RpcReply(request.request_id, "ack", payload={"evicted": True})
+        elif method == "ping":
+            yield RpcReply(request.request_id, "ack", payload={"pong": True})
+        else:
+            raise ProtocolError(f"unknown method {method!r}")
+
+    @staticmethod
+    def _finalize(sketch, payload: object | None) -> None:
+        """Root-side completion work for side-effecting sketches.
+
+        A clean ``hvc`` save gets its snapshot manifest written once every
+        partition has landed (mirrors :meth:`Spreadsheet.save`).
+        """
+        from repro.sketches.save import SaveTableSketch
+        from repro.storage.columnar import write_manifest
+
+        if (
+            isinstance(sketch, SaveTableSketch)
+            and sketch.format == "hvc"
+            and isinstance(payload, dict)
+            and not payload.get("errors")
+            and payload.get("files")
+        ):
+            write_manifest(sketch.directory, payload["files"])
+
+    def _run_sketch(self, request: RpcRequest) -> Iterator[RpcReply]:
+        spec = request.args.get("sketch")
+        if not isinstance(spec, dict):
+            raise ProtocolError("sketch requests need a 'sketch' spec object")
+        sketch = sketch_from_json(spec)
+        dataset = self.dataset(request.target)
+        token = CancellationToken()
+        self._tokens[request.request_id] = token
+        last_payload: object | None = None
+        try:
+            for partial in dataset.sketch_stream(sketch, token):
+                last_payload = summary_to_json(partial.value)
+                if partial.progress >= 1.0:
+                    break  # the final summary becomes the complete reply
+                yield RpcReply(
+                    request.request_id,
+                    "partial",
+                    progress=partial.progress,
+                    payload=last_payload,
+                )
+            if token.cancelled:
+                yield RpcReply(
+                    request.request_id,
+                    "cancelled",
+                    progress=1.0,
+                    payload=last_payload,
+                )
+            else:
+                self._finalize(sketch, last_payload)
+                yield RpcReply(
+                    request.request_id,
+                    "complete",
+                    progress=1.0,
+                    payload=last_payload,
+                )
+        finally:
+            self._tokens.pop(request.request_id, None)

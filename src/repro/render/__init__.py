@@ -1,0 +1,43 @@
+"""Rendering: turn summaries into pixel buffers and terminal art.
+
+The browser UI of Hillview is out of scope; instead, charts render into
+numpy *pixel canvases* so the paper's accuracy guarantees — every histogram
+bar within one pixel, every heat-map bin within one color shade (Fig 3/13)
+— are directly measurable, plus ASCII renderers for the examples.
+"""
+
+from repro.render.pixels import PixelCanvas
+from repro.render.colors import ColorScale, LinearColorScale, LogColorScale
+from repro.render.histogram_render import (
+    HistogramRendering,
+    render_histogram,
+    render_stacked_histogram,
+    StackedRendering,
+)
+from repro.render.cdf_render import CdfRendering, render_cdf
+from repro.render.trellis_render import (
+    TrellisRendering,
+    render_trellis_heatmaps,
+    render_trellis_histograms,
+)
+from repro.render.heatmap_render import HeatmapRendering, render_heatmap
+from repro.render import ascii_art
+
+__all__ = [
+    "PixelCanvas",
+    "ColorScale",
+    "LinearColorScale",
+    "LogColorScale",
+    "HistogramRendering",
+    "render_histogram",
+    "render_stacked_histogram",
+    "StackedRendering",
+    "CdfRendering",
+    "render_cdf",
+    "HeatmapRendering",
+    "render_heatmap",
+    "TrellisRendering",
+    "render_trellis_heatmaps",
+    "render_trellis_histograms",
+    "ascii_art",
+]

@@ -1,0 +1,106 @@
+"""ASCII renderings for terminals (the examples' output device).
+
+These functions draw the same summaries as the pixel renderers using
+characters; they stand in for the D3/SVG front end and give the examples
+something human-readable to print.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.buckets import Buckets
+from repro.render.histogram_render import bar_heights
+from repro.sketches.cdf import CdfSketch
+from repro.sketches.heatmap import HeatmapSummary
+from repro.sketches.histogram import HistogramSummary
+from repro.sketches.next_items import NextKList
+
+#: 20 shades from faint to dense, mirroring the heat-map color scale.
+SHADE_CHARS = " .``'-,:;!~+=<>*xoahkbdpqwmZO0QLCJUYXzcvunrjft%&8#M@"[:21]
+
+
+def histogram_ascii(
+    summary: HistogramSummary,
+    buckets: Buckets,
+    height: int = 12,
+    rate: float = 1.0,
+    label_every: int = 10,
+) -> str:
+    """A vertical bar chart of the histogram."""
+    counts = summary.scaled_counts(rate)
+    heights = bar_heights(counts, height)
+    lines = []
+    for level in range(height, 0, -1):
+        row = "".join("#" if h >= level else " " for h in heights)
+        lines.append(f"{'':>10}|{row}|")
+    axis = "".join("-" for _ in heights)
+    lines.append(f"{'':>10}+{axis}+")
+    peak = counts.max() if counts.size else 0
+    lines.insert(0, f"{'max=':>6}{peak:,.0f}  ({len(counts)} buckets)")
+    if buckets.count:
+        lines.append(
+            f"{'':>10} {buckets.label(0)} ... {buckets.label(buckets.count - 1)}"
+        )
+    return "\n".join(lines)
+
+
+def cdf_ascii(summary: HistogramSummary, height: int = 10, width: int = 60) -> str:
+    """A monotone dot plot of the CDF."""
+    fractions = CdfSketch.cumulative(summary)
+    if len(fractions) == 0:
+        return "(empty)"
+    xs = np.linspace(0, len(fractions) - 1, num=min(width, len(fractions))).astype(int)
+    ys = np.clip(np.round(fractions[xs] * (height - 1)), 0, height - 1).astype(int)
+    grid = [[" "] * len(xs) for _ in range(height)]
+    for x, y in enumerate(ys):
+        grid[height - 1 - int(y)][x] = "*"
+    return "\n".join("|" + "".join(row) + "|" for row in grid)
+
+
+def heatmap_ascii(summary: HeatmapSummary, rate: float = 1.0) -> str:
+    """A character per bin, denser characters for denser bins."""
+    counts = summary.counts.astype(np.float64)
+    if rate < 1.0:
+        counts = counts / rate
+    peak = counts.max() if counts.size else 0.0
+    if peak <= 0:
+        return "(empty heat map)"
+    shades = np.clip(
+        np.round(counts / peak * (len(SHADE_CHARS) - 1)), 0, len(SHADE_CHARS) - 1
+    ).astype(int)
+    shades[(counts > 0) & (shades == 0)] = 1
+    bx, by = shades.shape
+    lines = []
+    for j in range(by - 1, -1, -1):  # y grows upward
+        lines.append("".join(SHADE_CHARS[shades[i, j]] for i in range(bx)))
+    return "\n".join(lines)
+
+
+def table_ascii(next_k: NextKList, max_width: int = 18) -> str:
+    """The tabular view: sort columns plus the repetition count."""
+    headers = next_k.order.columns + ["count"]
+    rows = [
+        [_fmt(value, max_width) for value in values] + [f"{count:,}"]
+        for values, count in zip(next_k.rows, next_k.counts)
+    ]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    def line(cells):
+        return " | ".join(cell.ljust(w) for cell, w in zip(cells, widths))
+    out = [line(headers), "-+-".join("-" * w for w in widths)]
+    out.extend(line(r) for r in rows)
+    position = f"(rows before view: {next_k.preceding:,} of {next_k.scanned:,})"
+    out.append(position)
+    return "\n".join(out)
+
+
+def _fmt(value: object | None, max_width: int) -> str:
+    if value is None:
+        return "(missing)"
+    text = f"{value:g}" if isinstance(value, float) else str(value)
+    if len(text) > max_width:
+        return text[: max_width - 1] + "…"
+    return text

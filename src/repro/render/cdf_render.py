@@ -1,0 +1,54 @@
+"""CDF rendering (Fig 13a).
+
+Each horizontal pixel h shows the cumulative fraction of rows at or below
+its interval, snapped to the nearest of V vertical pixels.  The exact
+rendering quantizes by ±0.5/V; a sampled rendering adds at most ±0.1/V so
+the drawn pixel is within one of the ideal pixel (Appendix B.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.resolution import Resolution
+from repro.render.pixels import PixelCanvas
+from repro.sketches.cdf import CdfSketch
+from repro.sketches.histogram import HistogramSummary
+
+
+@dataclass
+class CdfRendering:
+    """Rendered CDF: one y-pixel per x-pixel plus the canvas."""
+
+    y_pixels: np.ndarray  # int64[H]: vertical pixel of the curve
+    fractions: np.ndarray  # float64[H]: cumulative fractions in [0, 1]
+    canvas: PixelCanvas
+
+
+def cdf_pixels(fractions: np.ndarray, height: int) -> np.ndarray:
+    """Snap cumulative fractions to vertical pixels 0..V-1."""
+    return np.clip(
+        np.round(np.asarray(fractions) * (height - 1)), 0, height - 1
+    ).astype(np.int64)
+
+
+def render_cdf(summary: HistogramSummary, resolution: Resolution) -> CdfRendering:
+    """Render a CDF summary (one bucket per horizontal pixel)."""
+    fractions = CdfSketch.cumulative(summary)
+    width = min(resolution.width, len(fractions))
+    y_pixels = cdf_pixels(fractions[:width], resolution.height)
+    canvas = PixelCanvas(resolution.width, resolution.height)
+    for x in range(width):
+        canvas.set(x, int(y_pixels[x]))
+    return CdfRendering(y_pixels=y_pixels, fractions=fractions, canvas=canvas)
+
+
+def cdf_pixel_errors(
+    approx: HistogramSummary, exact: HistogramSummary, height: int
+) -> np.ndarray:
+    """Per-pixel vertical distance between sampled and exact CDF curves."""
+    approx_pixels = cdf_pixels(CdfSketch.cumulative(approx), height)
+    exact_pixels = cdf_pixels(CdfSketch.cumulative(exact), height)
+    return np.abs(approx_pixels - exact_pixels)

@@ -1,0 +1,71 @@
+"""Color scales mapping densities to discernible shades (§4.3).
+
+A heat map uses ~20 distinct colors.  With a *linear* scale each shade is an
+equal slice of ``[0, max]`` and a sampled estimate within ``max/(2c)`` lands
+on the right shade (±1).  A *log* scale needs multiplicative accuracy, which
+sampling cannot give for rare bins — so log-scale heat maps must be computed
+with a full scan (§4.3 footnote); the spreadsheet enforces this.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.resolution import DISTINCT_COLORS
+
+
+class ColorScale(ABC):
+    """Maps a count (or density) to a shade index in ``0..colors-1``.
+
+    Shade 0 is reserved for exactly-zero bins: the paper stresses that
+    whether a bin is empty or merely rare is visually important.
+    """
+
+    def __init__(self, max_value: float, colors: int = DISTINCT_COLORS):
+        if colors < 2:
+            raise ValueError("a color scale needs at least 2 colors")
+        self.max_value = float(max(max_value, 1e-12))
+        self.colors = colors
+
+    @abstractmethod
+    def shade(self, values: np.ndarray) -> np.ndarray:
+        """Shade index for each value (vectorized)."""
+
+    @property
+    @abstractmethod
+    def supports_sampling(self) -> bool:
+        """Whether a sampled estimate can be rendered on this scale."""
+
+
+class LinearColorScale(ColorScale):
+    """Equal-width shades over ``[0, max_value]``."""
+
+    supports_sampling = True
+
+    def shade(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        scaled = np.round(values / self.max_value * (self.colors - 1))
+        shades = np.clip(scaled, 0, self.colors - 1).astype(np.int64)
+        # Nonzero values always render at least shade 1.
+        shades[(values > 0) & (shades == 0)] = 1
+        shades[values <= 0] = 0
+        return shades
+
+
+class LogColorScale(ColorScale):
+    """Logarithmic shades: each shade covers a constant count *ratio*."""
+
+    supports_sampling = False
+
+    def shade(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        with np.errstate(divide="ignore"):
+            scaled = np.round(
+                np.log1p(values) / np.log1p(self.max_value) * (self.colors - 1)
+            )
+        shades = np.clip(scaled, 0, self.colors - 1).astype(np.int64)
+        shades[(values > 0) & (shades == 0)] = 1
+        shades[values <= 0] = 0
+        return shades

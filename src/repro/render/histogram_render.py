@@ -1,0 +1,136 @@
+"""Histogram and stacked-histogram renderings (Fig 3a, Fig 13b/c).
+
+The ideal rendering scales bars so the largest reaches the full height V
+and snaps each bar to the nearest pixel.  A mu-approximate rendering from a
+sampled summary is within one pixel of the ideal one w.h.p. (Theorem 3);
+:func:`pixel_errors` measures exactly that quantity for the accuracy
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.buckets import Buckets
+from repro.core.resolution import Resolution
+from repro.render.pixels import PixelCanvas
+from repro.sketches.histogram import HistogramSummary
+from repro.sketches.stacked import StackedHistogramSummary
+
+
+def bar_heights(counts: np.ndarray, height: int) -> np.ndarray:
+    """Pixel height per bar: largest bar = V, others snapped to pixels."""
+    counts = np.asarray(counts, dtype=np.float64)
+    peak = counts.max() if counts.size else 0.0
+    if peak <= 0:
+        return np.zeros(len(counts), dtype=np.int64)
+    heights = np.round(counts / peak * height).astype(np.int64)
+    # A nonzero bucket always shows at least one pixel.
+    heights[(counts > 0) & (heights == 0)] = 1
+    return heights
+
+
+@dataclass
+class HistogramRendering:
+    """A rendered histogram: per-bar pixel heights plus the canvas."""
+
+    buckets: Buckets
+    heights: np.ndarray  # int64[B] pixel heights
+    counts: np.ndarray  # float64[B] (estimated) population counts
+    canvas: PixelCanvas
+    missing: int
+
+    @property
+    def max_count(self) -> float:
+        return float(self.counts.max()) if self.counts.size else 0.0
+
+
+def render_histogram(
+    summary: HistogramSummary,
+    buckets: Buckets,
+    resolution: Resolution,
+    rate: float = 1.0,
+) -> HistogramRendering:
+    """Render a (possibly sampled) histogram summary at ``resolution``."""
+    counts = summary.scaled_counts(rate)
+    heights = bar_heights(counts, resolution.height)
+    canvas = PixelCanvas(resolution.width, resolution.height)
+    bar_width = max(1, resolution.width // max(len(counts), 1))
+    for i, height in enumerate(heights):
+        canvas.draw_vertical_bar(i * bar_width, bar_width - 1 or 1, int(height))
+    return HistogramRendering(
+        buckets=buckets,
+        heights=heights,
+        counts=counts,
+        canvas=canvas,
+        missing=summary.missing,
+    )
+
+
+def pixel_errors(
+    approx: HistogramSummary,
+    exact: HistogramSummary,
+    height: int,
+    rate: float,
+) -> np.ndarray:
+    """Per-bar pixel distance between a sampled and the exact rendering.
+
+    This is the quantity Theorem 3 bounds by 1 with probability 1 - delta.
+    """
+    ideal = bar_heights(exact.counts.astype(np.float64), height)
+    rendered = bar_heights(approx.scaled_counts(rate), height)
+    return np.abs(rendered - ideal)
+
+
+@dataclass
+class StackedRendering:
+    """A rendered stacked histogram: bar heights and per-color segments."""
+
+    heights: np.ndarray  # int64[Bx] total bar heights
+    segments: np.ndarray  # int64[Bx, By] pixel height of each color segment
+    canvas: PixelCanvas
+    normalized: bool
+
+
+def render_stacked_histogram(
+    summary: StackedHistogramSummary,
+    resolution: Resolution,
+    rate: float = 1.0,
+    normalized: bool = False,
+) -> StackedRendering:
+    """Render a stacked histogram, optionally normalizing bars to V.
+
+    Normalized mode requires an exact summary (rate == 1.0): small bars
+    blow up to full height, which sampling cannot make accurate (B.1).
+    """
+    if normalized and rate < 1.0:
+        raise ValueError("normalized stacked histograms require an exact scan")
+    bars = summary.bar_counts.astype(np.float64)
+    cells = summary.cell_counts.astype(np.float64)
+    if rate < 1.0:
+        bars = bars / rate
+        cells = cells / rate
+    bx, by = cells.shape
+    height = resolution.height
+    if normalized:
+        totals = np.maximum(bars, 1e-12)
+        heights = np.where(bars > 0, height, 0).astype(np.int64)
+        segments = np.round(cells / totals[:, None] * height).astype(np.int64)
+    else:
+        heights = bar_heights(bars, height)
+        peak = max(bars.max(), 1e-12)
+        segments = np.round(cells / peak * height).astype(np.int64)
+    canvas = PixelCanvas(resolution.width, resolution.height)
+    bar_width = max(1, resolution.width // max(bx, 1))
+    for i in range(bx):
+        y = 0
+        for j in range(by):
+            seg = int(segments[i, j])
+            if seg > 0:
+                canvas.fill_rect(i * bar_width, y, bar_width - 1 or 1, seg, (j % 250) + 1)
+                y += seg
+    return StackedRendering(
+        heights=heights, segments=segments, canvas=canvas, normalized=normalized
+    )

@@ -1,0 +1,65 @@
+"""A minimal pixel canvas.
+
+Pixels hold small integer color indexes (0 = background).  The canvas uses
+chart coordinates: x grows rightward, y grows *upward* (row 0 of the
+underlying array is the bottom scanline), matching how bar heights are
+reasoned about in the paper's accuracy arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PixelCanvas:
+    """A ``width x height`` grid of color indexes."""
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        # Indexed [y, x] with y=0 at the bottom.
+        self.pixels = np.zeros((height, width), dtype=np.uint8)
+
+    def set(self, x: int, y: int, color: int = 1) -> None:
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self.pixels[y, x] = color
+
+    def get(self, x: int, y: int) -> int:
+        return int(self.pixels[y, x])
+
+    def fill_rect(self, x: int, y: int, w: int, h: int, color: int = 1) -> None:
+        """Fill a rectangle anchored at its bottom-left corner."""
+        if w <= 0 or h <= 0:
+            return
+        x0, y0 = max(x, 0), max(y, 0)
+        x1, y1 = min(x + w, self.width), min(y + h, self.height)
+        if x0 < x1 and y0 < y1:
+            self.pixels[y0:y1, x0:x1] = color
+
+    def draw_vertical_bar(self, x: int, width: int, height: int, color: int = 1) -> None:
+        """A bar of the given pixel height standing on the bottom edge."""
+        self.fill_rect(x, 0, width, height, color)
+
+    def column_height(self, x: int) -> int:
+        """Number of set pixels from the bottom in column ``x`` (bar height)."""
+        column = self.pixels[:, x]
+        nonzero = np.flatnonzero(column)
+        if len(nonzero) == 0:
+            return 0
+        return int(nonzero.max()) + 1
+
+    def nonzero_fraction(self) -> float:
+        return float((self.pixels != 0).mean())
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PixelCanvas)
+            and self.width == other.width
+            and self.height == other.height
+            and np.array_equal(self.pixels, other.pixels)
+        )
+
+    def __repr__(self) -> str:
+        return f"<PixelCanvas {self.width}x{self.height}>"

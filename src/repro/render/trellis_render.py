@@ -1,0 +1,106 @@
+"""Composite trellis rendering: a grid of panes on one canvas (Fig 2).
+
+A trellis plot renders k inner plots into one display surface.  The grid
+geometry comes from :meth:`~repro.core.resolution.Resolution.split_trellis`
+(which also drives the sample-size economics of Appendix B.1: panes shrink,
+so a trellis needs a *smaller* sample than one full-surface plot).  This
+module lays the already-rendered panes out on a single
+:class:`~repro.render.pixels.PixelCanvas`, the way the browser composes the
+SVG panes side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.resolution import Resolution
+from repro.render.heatmap_render import render_heatmap
+from repro.render.histogram_render import render_histogram
+from repro.render.pixels import PixelCanvas
+from repro.sketches.trellis import TrellisHistogramSummary, TrellisSummary
+
+
+@dataclass
+class TrellisRendering:
+    """A composed trellis: the full canvas plus per-pane geometry."""
+
+    canvas: PixelCanvas
+    pane_resolution: Resolution
+    grid_columns: int
+    grid_rows: int
+    pane_count: int
+
+    def pane_origin(self, index: int) -> tuple[int, int]:
+        """Bottom-left pixel of pane ``index`` (row-major from the top)."""
+        col = index % self.grid_columns
+        row = index // self.grid_columns
+        x = col * self.pane_resolution.width
+        # Panes fill top to bottom; canvas y grows upward.
+        y = self.canvas.height - (row + 1) * self.pane_resolution.height
+        return x, y
+
+    def pane_region(self, index: int):
+        """The pixel block of one pane (a numpy view, indexed [y, x])."""
+        x, y = self.pane_origin(index)
+        return self.canvas.pixels[
+            y : y + self.pane_resolution.height,
+            x : x + self.pane_resolution.width,
+        ]
+
+
+def _blit(target: PixelCanvas, source: PixelCanvas, x: int, y: int) -> None:
+    target.pixels[y : y + source.height, x : x + source.width] = source.pixels
+
+
+def _compose(
+    pane_canvases: list[PixelCanvas],
+    resolution: Resolution,
+) -> TrellisRendering:
+    pane_resolution, cols, rows = resolution.split_trellis(len(pane_canvases))
+    canvas = PixelCanvas(pane_resolution.width * cols, pane_resolution.height * rows)
+    rendering = TrellisRendering(
+        canvas=canvas,
+        pane_resolution=pane_resolution,
+        grid_columns=cols,
+        grid_rows=rows,
+        pane_count=len(pane_canvases),
+    )
+    for index, pane in enumerate(pane_canvases):
+        x, y = rendering.pane_origin(index)
+        _blit(canvas, pane, x, y)
+    return rendering
+
+
+def render_trellis_histograms(
+    summary: TrellisHistogramSummary,
+    buckets,
+    resolution: Resolution,
+    rate: float = 1.0,
+) -> TrellisRendering:
+    """Render a histogram trellis into one canvas.
+
+    Each pane is scaled independently (its own tallest bar fills the pane),
+    matching how Hillview renders trellis arrays: panes are comparable in
+    shape, not in absolute height.
+    """
+    pane_resolution, _, _ = resolution.split_trellis(len(summary.panes))
+    panes = [
+        render_histogram(pane, buckets, pane_resolution, rate).canvas
+        for pane in summary.panes
+    ]
+    return _compose(panes, resolution)
+
+
+def render_trellis_heatmaps(
+    summary: TrellisSummary,
+    resolution: Resolution,
+    rate: float = 1.0,
+    colors: int = 20,
+) -> TrellisRendering:
+    """Render a heat-map trellis into one canvas."""
+    pane_resolution, _, _ = resolution.split_trellis(len(summary.panes))
+    panes = [
+        render_heatmap(pane, pane_resolution, rate, colors=colors).canvas
+        for pane in summary.panes
+    ]
+    return _compose(panes, resolution)

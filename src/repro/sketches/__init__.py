@@ -1,0 +1,72 @@
+"""Every vizketch described in the paper (§4.3, Appendix B).
+
+Chart vizketches: histograms (sampled and streaming), CDFs, stacked and
+normalized stacked histograms, heat maps and trellis plots.
+
+Tabular-view vizketches: next items, quantile (scroll bar), find text,
+heavy hitters (Misra-Gries and sampling).
+
+Auxiliary sketches (§B.3): column moments/range, distinct counts (exact and
+HyperLogLog), bottom-k distinct string quantiles, PCA correlation, and the
+save-table sketch.
+"""
+
+from repro.sketches.moments import ColumnStats, MomentsSketch
+from repro.sketches.histogram import HistogramSummary, HistogramSketch
+from repro.sketches.cdf import CdfSketch
+from repro.sketches.stacked import StackedHistogramSummary, StackedHistogramSketch
+from repro.sketches.heatmap import HeatmapSummary, HeatmapSketch
+from repro.sketches.trellis import (
+    TrellisHeatmapSketch,
+    TrellisHistogramSketch,
+    TrellisHistogramSummary,
+    TrellisSummary,
+)
+from repro.sketches.next_items import NextKList, NextKSketch
+from repro.sketches.quantile import QuantileSummary, SampleQuantileSketch
+from repro.sketches.find_text import FindResult, FindTextSketch
+from repro.sketches.heavy_hitters import (
+    FrequencySummary,
+    MisraGriesSketch,
+    SampleHeavyHittersSketch,
+)
+from repro.sketches.distinct import DistinctSetSummary, ExactDistinctSketch
+from repro.sketches.hll import HllSummary, HyperLogLogSketch
+from repro.sketches.bottomk import BottomKSummary, BottomKDistinctSketch
+from repro.sketches.pca import CorrelationSummary, CorrelationSketch
+from repro.sketches.save import SaveStatus, SaveTableSketch
+
+__all__ = [
+    "ColumnStats",
+    "MomentsSketch",
+    "HistogramSummary",
+    "HistogramSketch",
+    "CdfSketch",
+    "StackedHistogramSummary",
+    "StackedHistogramSketch",
+    "HeatmapSummary",
+    "HeatmapSketch",
+    "TrellisSummary",
+    "TrellisHeatmapSketch",
+    "TrellisHistogramSketch",
+    "TrellisHistogramSummary",
+    "NextKList",
+    "NextKSketch",
+    "QuantileSummary",
+    "SampleQuantileSketch",
+    "FindResult",
+    "FindTextSketch",
+    "FrequencySummary",
+    "MisraGriesSketch",
+    "SampleHeavyHittersSketch",
+    "DistinctSetSummary",
+    "ExactDistinctSketch",
+    "HllSummary",
+    "HyperLogLogSketch",
+    "BottomKSummary",
+    "BottomKDistinctSketch",
+    "CorrelationSummary",
+    "CorrelationSketch",
+    "SaveStatus",
+    "SaveTableSketch",
+]

@@ -1,0 +1,69 @@
+"""Shared bucket-index computation for chart vizketches.
+
+Histograms, CDFs, stacked histograms, heat maps and trellis plots all need
+the same primitive: map each row of a shard to a bucket index (or -1 for
+out-of-range, or "missing").  Numeric columns bin vectorized; string columns
+bin their *dictionary* once and map codes, so cost is O(rows + distinct).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.buckets import Buckets
+from repro.table.column import StringColumn
+from repro.table.dictionary import MISSING_CODE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.table.table import Table
+
+
+@dataclass
+class BinnedRows:
+    """Bucket indexes for a set of rows plus the two residual counts."""
+
+    indexes: np.ndarray  # int64, -1 = out of range, only for non-missing rows
+    missing: int  # rows whose cell is missing
+    out_of_range: int  # non-missing rows falling outside the buckets
+
+    @property
+    def in_range(self) -> np.ndarray:
+        """The bucket indexes of rows that landed inside the buckets."""
+        return self.indexes[self.indexes >= 0]
+
+
+def bin_rows(
+    table: "Table", column_name: str, buckets: Buckets, rows: np.ndarray
+) -> BinnedRows:
+    """Bucket index of ``column_name`` for each of ``rows``.
+
+    The returned ``indexes`` array is aligned with ``rows`` and contains -1
+    for both missing and out-of-range rows; the counts separate the two.
+    """
+    column = table.column(column_name)
+    if column.kind.is_string:
+        if not isinstance(column, StringColumn):  # pragma: no cover - invariant
+            raise TypeError("string-kinded column with non-string storage")
+        code_bucket = buckets.index_strings(list(column.dictionary.values))
+        codes = column.codes_at(rows)
+        indexes = np.full(len(rows), -1, dtype=np.int64)
+        present = codes != MISSING_CODE
+        indexes[present] = code_bucket[codes[present]]
+        missing = int((~present).sum())
+        out_of_range = int((indexes[present] < 0).sum())
+        return BinnedRows(indexes, missing, out_of_range)
+    values = column.numeric_values(rows)
+    nan = np.isnan(values)
+    indexes = buckets.index_numeric(values)
+    missing = int(nan.sum())
+    out_of_range = int((indexes < 0).sum()) - missing
+    return BinnedRows(indexes, missing, out_of_range)
+
+
+def bincount(indexes: np.ndarray, buckets: int) -> np.ndarray:
+    """Counts per bucket for ``indexes`` (ignoring -1 entries)."""
+    valid = indexes[indexes >= 0]
+    return np.bincount(valid, minlength=buckets).astype(np.int64)

@@ -1,0 +1,124 @@
+"""Exact distinct-values sketch.
+
+Collects the set of distinct values of a column.  The summary grows with
+the number of *distinct* values (not rows), so it is appropriate for
+categorical columns — e.g., deciding whether a string column gets one
+bucket per value (<= 50 distinct, Appendix B.1).  ``limit`` guards against
+accidentally sketching a high-cardinality column; approximate counting for
+those belongs to :class:`repro.sketches.hll.HyperLogLogSketch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.serialization import (
+    Decoder,
+    Encoder,
+    read_tagged_value,
+    write_tagged_value,
+)
+from repro.core.sketch import Sketch, Summary
+from repro.errors import EngineError
+from repro.table.column import StringColumn
+from repro.table.dictionary import MISSING_CODE
+from repro.table.table import Table
+
+
+@dataclass
+class DistinctSetSummary(Summary):
+    """The set of distinct values seen, plus a truncation flag."""
+
+    values: set = field(default_factory=set)
+    missing: int = 0
+    #: True when the limit was hit and the set is no longer exhaustive.
+    truncated: bool = False
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def sorted_values(self) -> list:
+        return sorted(self.values, key=lambda v: (v is None, v))
+
+    def encode(self, enc: Encoder) -> None:
+        enc.write_uvarint(len(self.values))
+        for value in self.sorted_values():
+            write_tagged_value(enc, value)
+        enc.write_uvarint(self.missing)
+        enc.write_bool(self.truncated)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "DistinctSetSummary":
+        values = {read_tagged_value(dec) for _ in range(dec.read_uvarint())}
+        return cls(
+            values=values,
+            missing=dec.read_uvarint(),
+            truncated=dec.read_bool(),
+        )
+
+
+class ExactDistinctSketch(Sketch[DistinctSetSummary]):
+    """Exact distinct values of a column, bounded by ``limit``."""
+
+    def __init__(self, column: str, limit: int = 100_000):
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.column = column
+        self.limit = limit
+
+    @property
+    def name(self) -> str:
+        return f"Distinct({self.column})"
+
+    def cache_key(self) -> str:
+        return f"Distinct({self.column!r},limit={self.limit})"
+
+    def zero(self) -> DistinctSetSummary:
+        return DistinctSetSummary()
+
+    def _bounded(self, summary: DistinctSetSummary) -> DistinctSetSummary:
+        if len(summary.values) > self.limit:
+            ordered = summary.sorted_values()[: self.limit]
+            return DistinctSetSummary(
+                values=set(ordered), missing=summary.missing, truncated=True
+            )
+        return summary
+
+    def summarize(self, table: Table) -> DistinctSetSummary:
+        rows = table.members.indices()
+        column = table.column(self.column)
+        if isinstance(column, StringColumn):
+            codes = column.codes_at(rows)
+            present = codes[codes != MISSING_CODE]
+            missing = len(codes) - len(present)
+            names = column.dictionary.values
+            values = {names[int(c)] for c in np.unique(present)}
+        else:
+            numeric = column.numeric_values(rows)
+            present_values = numeric[~np.isnan(numeric)]
+            missing = len(numeric) - len(present_values)
+            values = {float(v) for v in np.unique(present_values)}
+        return self._bounded(DistinctSetSummary(values=values, missing=missing))
+
+    def merge(
+        self, left: DistinctSetSummary, right: DistinctSetSummary
+    ) -> DistinctSetSummary:
+        return self._bounded(
+            DistinctSetSummary(
+                values=left.values | right.values,
+                missing=left.missing + right.missing,
+                truncated=left.truncated or right.truncated,
+            )
+        )
+
+    def require_exact(self, summary: DistinctSetSummary) -> DistinctSetSummary:
+        """Raise if the summary was truncated (callers needing exactness)."""
+        if summary.truncated:
+            raise EngineError(
+                f"column {self.column!r} exceeded the {self.limit} distinct-value"
+                " limit; use HyperLogLogSketch for approximate counting"
+            )
+        return summary

@@ -1,0 +1,203 @@
+"""Heavy hitters vizketches (§4.3, B.2): streaming and sampling variants.
+
+*Streaming* uses the Misra-Gries algorithm [Misra & Gries 1982] in its
+mergeable-summaries form [Agarwal et al. 2012]: a summary is a set of at
+most k counters; reduction subtracts the (k+1)-st largest counter from all
+and drops non-positive ones, adding that amount to the error bound.  Every
+element with frequency >= n/(k+1) survives, and reported counts undercount
+by at most the error bound.
+
+*Sampling* (Theorem 4) samples ~``K^2 log(K/delta)`` rows and reports
+values occurring at least ``3n/(4K)`` times in the sample: all elements
+above frequency 1/K are found and none below 1/(4K) are reported, w.h.p.
+The paper notes sampling wins when K is small; the crossover is measured in
+``benchmarks/bench_heavy_hitters.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.serialization import (
+    Decoder,
+    Encoder,
+    read_tagged_value,
+    write_tagged_value,
+)
+from repro.core.sketch import SampledSketch, Sketch, Summary
+from repro.table.column import StringColumn
+from repro.table.dictionary import MISSING_CODE
+from repro.table.table import Table
+
+
+@dataclass
+class FrequencySummary(Summary):
+    """Approximate value counts with a global undercount bound."""
+
+    counts: dict = field(default_factory=dict)
+    #: Reported counts may undercount true counts by at most this much.
+    error_bound: int = 0
+    #: Rows examined (population rows for streaming; sample size for sampling).
+    scanned: int = 0
+
+    def hitters(self, threshold_fraction: float) -> list[tuple[object, int]]:
+        """Values whose estimated frequency is >= ``threshold_fraction``.
+
+        Counts are corrected upward by the error bound before thresholding
+        so no true heavy hitter is dropped; sorted by count descending.
+        """
+        if self.scanned == 0:
+            return []
+        cutoff = threshold_fraction * self.scanned
+        found = [
+            (value, count)
+            for value, count in self.counts.items()
+            if count + self.error_bound >= cutoff
+        ]
+        found.sort(key=lambda item: (-item[1], str(item[0])))
+        return found
+
+    def encode(self, enc: Encoder) -> None:
+        # Canonical order: the wire format must not leak dict insertion
+        # order, so identical summaries from different merge orders (or a
+        # redo-log replay, §5.8) encode bit-identically.
+        enc.write_uvarint(len(self.counts))
+        for value, count in sorted(self.counts.items(), key=lambda kv: str(kv[0])):
+            write_tagged_value(enc, value)
+            enc.write_uvarint(count)
+        enc.write_uvarint(self.error_bound)
+        enc.write_uvarint(self.scanned)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "FrequencySummary":
+        counts = {}
+        for _ in range(dec.read_uvarint()):
+            value = read_tagged_value(dec)
+            counts[value] = dec.read_uvarint()
+        return cls(
+            counts=counts,
+            error_bound=dec.read_uvarint(),
+            scanned=dec.read_uvarint(),
+        )
+
+
+def _exact_value_counts(table: Table, column_name: str, rows: np.ndarray) -> dict:
+    """Exact value -> count over ``rows`` (missing values excluded)."""
+    column = table.column(column_name)
+    if isinstance(column, StringColumn):
+        codes = column.codes_at(rows)
+        codes = codes[codes != MISSING_CODE]
+        unique, counts = np.unique(codes, return_counts=True)
+        values = column.dictionary.values
+        return {values[int(c)]: int(n) for c, n in zip(unique, counts)}
+    values = column.numeric_values(rows)
+    values = values[~np.isnan(values)]
+    unique, counts = np.unique(values, return_counts=True)
+    return {float(v): int(n) for v, n in zip(unique, counts)}
+
+
+def _misra_gries_reduce(summary: FrequencySummary, k: int) -> FrequencySummary:
+    """Shrink to at most k counters (mergeable-summaries reduction)."""
+    if len(summary.counts) <= k:
+        return summary
+    ordered = sorted(summary.counts.values(), reverse=True)
+    subtract = ordered[k]
+    reduced = {
+        value: count - subtract
+        for value, count in summary.counts.items()
+        if count > subtract
+    }
+    return FrequencySummary(
+        counts=reduced,
+        error_bound=summary.error_bound + subtract,
+        scanned=summary.scanned,
+    )
+
+
+class MisraGriesSketch(Sketch[FrequencySummary]):
+    """Streaming heavy hitters with at most ``k`` counters."""
+
+    def __init__(self, column: str, k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.column = column
+        self.k = k
+
+    @property
+    def name(self) -> str:
+        return f"HeavyHitters[streaming]({self.column},k={self.k})"
+
+    def cache_key(self) -> str:
+        return f"MisraGries({self.column!r},{self.k})"
+
+    def zero(self) -> FrequencySummary:
+        return FrequencySummary()
+
+    def summarize(self, table: Table) -> FrequencySummary:
+        rows = table.members.indices()
+        counts = _exact_value_counts(table, self.column, rows)
+        summary = FrequencySummary(counts=counts, scanned=len(rows))
+        return _misra_gries_reduce(summary, self.k)
+
+    def merge(
+        self, left: FrequencySummary, right: FrequencySummary
+    ) -> FrequencySummary:
+        counts = dict(left.counts)
+        for value, count in right.counts.items():
+            counts[value] = counts.get(value, 0) + count
+        merged = FrequencySummary(
+            counts=counts,
+            error_bound=left.error_bound + right.error_bound,
+            scanned=left.scanned + right.scanned,
+        )
+        return _misra_gries_reduce(merged, self.k)
+
+
+class SampleHeavyHittersSketch(SampledSketch[FrequencySummary]):
+    """Sampling heavy hitters (Theorem 4).
+
+    Summaries count a Bernoulli sample exactly; the root thresholds at
+    ``3/(4K)`` of the sample via :meth:`FrequencySummary.hitters`.
+    """
+
+    def __init__(self, column: str, k: int, rate: float, seed: int = 0):
+        super().__init__(rate, seed)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.column = column
+        self.k = k
+
+    @property
+    def name(self) -> str:
+        return f"HeavyHitters[sampling]({self.column},k={self.k})"
+
+    @property
+    def report_threshold(self) -> float:
+        """The paper's reporting threshold: 3/(4K) of the sampled rows."""
+        return 3.0 / (4.0 * self.k)
+
+    def zero(self) -> FrequencySummary:
+        return FrequencySummary()
+
+    def summarize(self, table: Table) -> FrequencySummary:
+        rows = self.sampled_rows(table)
+        counts = _exact_value_counts(table, self.column, rows)
+        return FrequencySummary(counts=counts, scanned=len(rows))
+
+    def merge(
+        self, left: FrequencySummary, right: FrequencySummary
+    ) -> FrequencySummary:
+        counts = dict(left.counts)
+        for value, count in right.counts.items():
+            counts[value] = counts.get(value, 0) + count
+        return FrequencySummary(
+            counts=counts,
+            error_bound=0,
+            scanned=left.scanned + right.scanned,
+        )
+
+    def hitters(self, summary: FrequencySummary) -> list[tuple[object, int]]:
+        """Apply the 3n/(4K) selection rule to a merged summary."""
+        return summary.hitters(self.report_threshold)

@@ -1,0 +1,178 @@
+"""Next-items vizketch: the tabular view of the spreadsheet (§4.3).
+
+Given a sort order, a start position R (a row key, or None for the top) and
+a count K, this sketch returns the K distinct rows following R in the sort
+order, each with its repetition count (paper §3.3 aggregates duplicates).
+
+``summarize`` sorts one shard and takes its local next-K groups;
+``merge`` interleaves two sorted lists, combining counts of equal keys and
+truncating to K — the classic mergeable top-K structure.  The summary also
+carries how many rows precede R, which positions the scroll bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.serialization import (
+    Decoder,
+    Encoder,
+    read_tagged_value,
+    write_tagged_value,
+)
+from repro.core.sketch import Sketch, Summary
+from repro.table.sort import RecordOrder, RowKey
+from repro.table.table import Table
+
+
+@dataclass
+class NextKList(Summary):
+    """K distinct row keys (as raw cell values) with repetition counts."""
+
+    order: RecordOrder
+    rows: list[tuple] = field(default_factory=list)
+    counts: list[int] = field(default_factory=list)
+    #: Member rows at or before the start position (for the scroll bar).
+    preceding: int = 0
+    #: Total member rows examined (preceding + following).
+    scanned: int = 0
+
+    def keys(self) -> list[RowKey]:
+        return [self.order.key_from_values(values) for values in self.rows]
+
+    @property
+    def position_fraction(self) -> float:
+        """Approximate scroll position of the first listed row."""
+        if self.scanned == 0:
+            return 0.0
+        return self.preceding / self.scanned
+
+    def encode(self, enc: Encoder) -> None:
+        self.order.encode(enc)
+        enc.write_uvarint(len(self.rows))
+        for values, count in zip(self.rows, self.counts):
+            enc.write_uvarint(count)
+            enc.write_uvarint(len(values))
+            for value in values:
+                write_tagged_value(enc, value)
+        enc.write_uvarint(self.preceding)
+        enc.write_uvarint(self.scanned)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "NextKList":
+        order = RecordOrder.decode(dec)
+        rows: list[tuple] = []
+        counts: list[int] = []
+        for _ in range(dec.read_uvarint()):
+            counts.append(dec.read_uvarint())
+            width = dec.read_uvarint()
+            rows.append(tuple(read_tagged_value(dec) for _ in range(width)))
+        return cls(
+            order=order,
+            rows=rows,
+            counts=counts,
+            preceding=dec.read_uvarint(),
+            scanned=dec.read_uvarint(),
+        )
+
+
+class NextKSketch(Sketch[NextKList]):
+    """The K distinct rows following ``start_key`` in ``order``.
+
+    With ``inclusive`` the row equal to ``start_key`` is included at the top
+    of the result — used when jumping to a found row or a quantile, so the
+    target row is the first visible one.
+    """
+
+    def __init__(
+        self,
+        order: RecordOrder,
+        k: int,
+        start_key: RowKey | None = None,
+        inclusive: bool = False,
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.order = order
+        self.k = k
+        self.start_key = start_key
+        self.inclusive = inclusive
+
+    def _precedes(self, key: RowKey) -> bool:
+        """Whether a row with ``key`` falls before the view window."""
+        if self.start_key is None:
+            return False
+        if self.inclusive:
+            return key < self.start_key
+        return not self.start_key < key
+
+    @property
+    def name(self) -> str:
+        return f"NextK({self.order.spec()},k={self.k})"
+
+    def cache_key(self) -> str | None:
+        start = None if self.start_key is None else self.start_key.values()
+        return f"NextK({self.order.spec()!r},{self.k},{start!r},inc={self.inclusive})"
+
+    def zero(self) -> NextKList:
+        return NextKList(order=self.order)
+
+    def summarize(self, table: Table) -> NextKList:
+        rows = table.members.indices()
+        if len(rows) == 0:
+            return self.zero()
+        sorted_rows = self.order.argsort(table, rows)
+        # Group equal keys using the shard-local surrogates: equal surrogate
+        # vectors imply equal cell values within one shard.
+        keys = np.stack(self.order.surrogate_keys(table, sorted_rows))
+        change = np.any(keys[:, 1:] != keys[:, :-1], axis=0)
+        starts = np.concatenate(([0], np.flatnonzero(change) + 1))
+        ends = np.concatenate((starts[1:], [len(sorted_rows)]))
+
+        result = NextKList(order=self.order, scanned=len(rows))
+        preceding = 0
+        columns = [table.column(c) for c in self.order.columns]
+        for start, end in zip(starts, ends):
+            row = int(sorted_rows[start])
+            values = tuple(column.value(row) for column in columns)
+            key = self.order.key_from_values(values)
+            if self._precedes(key):
+                preceding += int(end - start)
+                continue
+            if len(result.rows) < self.k:
+                result.rows.append(values)
+                result.counts.append(int(end - start))
+        result.preceding = preceding
+        return result
+
+    def merge(self, left: NextKList, right: NextKList) -> NextKList:
+        merged = NextKList(
+            order=self.order,
+            preceding=left.preceding + right.preceding,
+            scanned=left.scanned + right.scanned,
+        )
+        li = ri = 0
+        lkeys, rkeys = left.keys(), right.keys()
+        while len(merged.rows) < self.k and (li < len(lkeys) or ri < len(rkeys)):
+            if li >= len(lkeys):
+                take_left, take_right = False, True
+            elif ri >= len(rkeys):
+                take_left, take_right = True, False
+            else:
+                cmp = lkeys[li].compare(rkeys[ri])
+                take_left, take_right = cmp <= 0, cmp >= 0
+            count = 0
+            values: tuple = ()
+            if take_left:
+                values = left.rows[li]
+                count += left.counts[li]
+                li += 1
+            if take_right:
+                values = right.rows[ri]
+                count += right.counts[ri]
+                ri += 1
+            merged.rows.append(values)
+            merged.counts.append(count)
+        return merged

@@ -1,0 +1,90 @@
+"""Save-table vizketch (§5.4).
+
+Hillview saves a derived table by "a special vizketch with a summarize
+function that writes a data record to the repository and returns an error
+indication, while the merge function combines error indications."  Each
+worker stores its partition; the merged summary tells the UI how many rows
+and files were written and carries any per-partition errors.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.serialization import Decoder, Encoder
+from repro.core.sketch import Sketch, Summary
+from repro.table.table import Table
+
+
+@dataclass
+class SaveStatus(Summary):
+    """Outcome of writing partitions to a repository."""
+
+    files: list[str] = field(default_factory=list)
+    rows_written: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def encode(self, enc: Encoder) -> None:
+        enc.write_str_list(self.files)
+        enc.write_uvarint(self.rows_written)
+        enc.write_str_list(self.errors)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "SaveStatus":
+        return cls(
+            files=[s or "" for s in dec.read_str_list()],
+            rows_written=dec.read_uvarint(),
+            errors=[s or "" for s in dec.read_str_list()],
+        )
+
+
+class SaveTableSketch(Sketch[SaveStatus]):
+    """Write each shard to ``directory`` in the chosen format.
+
+    Formats: ``"hvc"`` (this library's columnar binary format) or ``"csv"``.
+    Not cacheable: the side effect must run on every invocation.
+    """
+
+    deterministic = False
+
+    def __init__(self, directory: str, format: str = "hvc"):
+        if format not in ("hvc", "csv"):
+            raise ValueError(f"unknown save format {format!r}")
+        self.directory = directory
+        self.format = format
+
+    @property
+    def name(self) -> str:
+        return f"SaveTable({self.directory},{self.format})"
+
+    def zero(self) -> SaveStatus:
+        return SaveStatus()
+
+    def summarize(self, table: Table) -> SaveStatus:
+        # Imported here: storage depends on table, not on sketches.
+        from repro.storage import columnar, csv_io
+
+        safe_shard = table.shard_id.replace("/", "_").replace(os.sep, "_")
+        filename = f"part-{safe_shard}.{self.format}"
+        path = os.path.join(self.directory, filename)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            if self.format == "hvc":
+                columnar.write_table(table, path)
+            else:
+                csv_io.write_csv(table, path)
+        except OSError as exc:
+            return SaveStatus(errors=[f"{path}: {exc}"])
+        return SaveStatus(files=[path], rows_written=table.num_rows)
+
+    def merge(self, left: SaveStatus, right: SaveStatus) -> SaveStatus:
+        return SaveStatus(
+            files=sorted(left.files + right.files),
+            rows_written=left.rows_written + right.rows_written,
+            errors=left.errors + right.errors,
+        )

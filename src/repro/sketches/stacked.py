@@ -1,0 +1,142 @@
+"""Stacked (and normalized stacked) histogram vizketch (Appendix B.1).
+
+Involves two columns X and Y: bars bin X (like a histogram) and each bar is
+subdivided by a small number of Y "colors" (<= ~20, the number of reliably
+distinguishable colors).  The summarize function outputs ``Bx`` bar counts
+plus a ``Bx x By`` matrix of subdivision counts; merge adds both.
+
+The *normalized* stacked histogram renders each bar at full height; small
+bars then need relatively higher accuracy, so it must not sample — the
+spreadsheet layer uses ``rate=1.0`` for it (Appendix B.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.buckets import Buckets
+from repro.core.serialization import Decoder, Encoder
+from repro.core.sketch import SampledSketch, Summary
+from repro.sketches.binning import bin_rows
+from repro.table.table import Table
+
+
+@dataclass
+class StackedHistogramSummary(Summary):
+    """Bar counts for X and subdivision counts for (X, Y)."""
+
+    bar_counts: np.ndarray  # int64[Bx]: rows in X-bucket with any Y
+    cell_counts: np.ndarray  # int64[Bx, By]: rows in (X-bucket, Y-bucket)
+    y_missing: np.ndarray  # int64[Bx]: X in range but Y missing/out-of-range
+    missing: int = 0  # X missing
+    out_of_range: int = 0  # X out of range
+    sampled_rows: int = 0
+
+    @property
+    def x_buckets(self) -> int:
+        return len(self.bar_counts)
+
+    @property
+    def y_buckets(self) -> int:
+        return self.cell_counts.shape[1]
+
+    @property
+    def total_in_range(self) -> int:
+        return int(self.bar_counts.sum())
+
+    def encode(self, enc: Encoder) -> None:
+        enc.write_array(self.bar_counts)
+        enc.write_array(self.cell_counts)
+        enc.write_array(self.y_missing)
+        enc.write_uvarint(self.missing)
+        enc.write_uvarint(self.out_of_range)
+        enc.write_uvarint(self.sampled_rows)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "StackedHistogramSummary":
+        return cls(
+            bar_counts=dec.read_array(),
+            cell_counts=dec.read_array(),
+            y_missing=dec.read_array(),
+            missing=dec.read_uvarint(),
+            out_of_range=dec.read_uvarint(),
+            sampled_rows=dec.read_uvarint(),
+        )
+
+
+class StackedHistogramSketch(SampledSketch[StackedHistogramSummary]):
+    """Two-column stacked histogram."""
+
+    def __init__(
+        self,
+        x_column: str,
+        x_buckets: Buckets,
+        y_column: str,
+        y_buckets: Buckets,
+        rate: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(rate, seed)
+        self.x_column = x_column
+        self.x_buckets = x_buckets
+        self.y_column = y_column
+        self.y_buckets = y_buckets
+        self.deterministic = rate >= 1.0
+
+    @property
+    def name(self) -> str:
+        return f"StackedHistogram({self.x_column},{self.y_column})"
+
+    def cache_key(self) -> str | None:
+        if not self.deterministic:
+            return None
+        return (
+            f"Stacked({self.x_column!r},{self.x_buckets.spec()},"
+            f"{self.y_column!r},{self.y_buckets.spec()})"
+        )
+
+    def zero(self) -> StackedHistogramSummary:
+        bx, by = self.x_buckets.count, self.y_buckets.count
+        return StackedHistogramSummary(
+            bar_counts=np.zeros(bx, dtype=np.int64),
+            cell_counts=np.zeros((bx, by), dtype=np.int64),
+            y_missing=np.zeros(bx, dtype=np.int64),
+        )
+
+    def summarize(self, table: Table) -> StackedHistogramSummary:
+        rows = self.sampled_rows(table)
+        bx, by = self.x_buckets.count, self.y_buckets.count
+        x_binned = bin_rows(table, self.x_column, self.x_buckets, rows)
+        y_binned = bin_rows(table, self.y_column, self.y_buckets, rows)
+        x_ok = x_binned.indexes >= 0
+        bar_counts = np.bincount(
+            x_binned.indexes[x_ok], minlength=bx
+        ).astype(np.int64)
+        both = x_ok & (y_binned.indexes >= 0)
+        flat = x_binned.indexes[both] * by + y_binned.indexes[both]
+        cell_counts = (
+            np.bincount(flat, minlength=bx * by).astype(np.int64).reshape(bx, by)
+        )
+        y_missing = bar_counts - cell_counts.sum(axis=1)
+        return StackedHistogramSummary(
+            bar_counts=bar_counts,
+            cell_counts=cell_counts,
+            y_missing=y_missing,
+            missing=x_binned.missing,
+            out_of_range=x_binned.out_of_range,
+            sampled_rows=len(rows),
+        )
+
+    def merge(
+        self, left: StackedHistogramSummary, right: StackedHistogramSummary
+    ) -> StackedHistogramSummary:
+        return StackedHistogramSummary(
+            bar_counts=left.bar_counts + right.bar_counts,
+            cell_counts=left.cell_counts + right.cell_counts,
+            y_missing=left.y_missing + right.y_missing,
+            missing=left.missing + right.missing,
+            out_of_range=left.out_of_range + right.out_of_range,
+            sampled_rows=left.sampled_rows + right.sampled_rows,
+        )

@@ -1,0 +1,356 @@
+"""Trellis plot vizketches: arrays of plots grouped by 1 or 2 columns (B.1).
+
+A trellis of k panes renders each pane into a fraction of the display, so
+the total number of bins — and therefore the sample size — does *not* grow
+with k; it shrinks per pane (Appendix B.1).  The summary is one inner-plot
+summary per group bucket; all panes are computed in one pass over the data.
+
+Per Figure 2, trellis plots generalize to "arrays of the other plots
+grouped by one or two variables": this module provides heat-map panes
+(:class:`TrellisHeatmapSketch`) and histogram panes
+(:class:`TrellisHistogramSketch`), each accepting an optional second group
+column whose buckets form the minor axis of the pane grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.buckets import Buckets
+from repro.core.serialization import Decoder, Encoder
+from repro.core.sketch import SampledSketch, Summary
+from repro.sketches.binning import bin_rows
+from repro.sketches.heatmap import HeatmapSummary
+from repro.sketches.histogram import HistogramSummary
+from repro.table.table import Table
+
+
+def _bin_groups(
+    table: Table,
+    rows: np.ndarray,
+    group_column: str,
+    group_buckets: Buckets,
+    group2_column: str | None,
+    group2_buckets: Buckets | None,
+) -> tuple[np.ndarray, int, int]:
+    """Flat pane index per row (−1 for unusable rows).
+
+    With a second group column, the flat index is
+    ``g1 * group2_buckets.count + g2`` — the pane grid in row-major order.
+    Returns ``(indexes, missing, out_of_range)`` where a row counts as
+    missing/out-of-range if *any* of its group values is.
+    """
+    g1 = bin_rows(table, group_column, group_buckets, rows)
+    if group2_column is None:
+        return g1.indexes, g1.missing, g1.out_of_range
+    assert group2_buckets is not None
+    g2 = bin_rows(table, group2_column, group2_buckets, rows)
+    ok = (g1.indexes >= 0) & (g2.indexes >= 0)
+    flat = np.where(ok, g1.indexes * group2_buckets.count + g2.indexes, -1)
+    # A row is missing if either group cell is (counted once, so the
+    # residuals stay exactly mergeable across partitions); the remaining
+    # unusable rows are out of range.
+    missing_mask = (
+        table.column(group_column).missing_mask()[rows]
+        | table.column(group2_column).missing_mask()[rows]
+    )
+    missing = int(np.count_nonzero(missing_mask))
+    out_of_range = int(np.count_nonzero(~ok & ~missing_mask))
+    return flat, missing, out_of_range
+
+
+@dataclass
+class TrellisSummary(Summary):
+    """One heat-map summary per group bucket (pane grid in row-major order)."""
+
+    panes: list[HeatmapSummary]
+    group_missing: int = 0
+    group_out_of_range: int = 0
+    sampled_rows: int = 0
+
+    def encode(self, enc: Encoder) -> None:
+        enc.write_uvarint(len(self.panes))
+        for pane in self.panes:
+            pane.encode(enc)
+        enc.write_uvarint(self.group_missing)
+        enc.write_uvarint(self.group_out_of_range)
+        enc.write_uvarint(self.sampled_rows)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "TrellisSummary":
+        panes = [HeatmapSummary.decode(dec) for _ in range(dec.read_uvarint())]
+        return cls(
+            panes=panes,
+            group_missing=dec.read_uvarint(),
+            group_out_of_range=dec.read_uvarint(),
+            sampled_rows=dec.read_uvarint(),
+        )
+
+
+@dataclass
+class TrellisHistogramSummary(Summary):
+    """One histogram summary per group bucket (pane grid, row-major)."""
+
+    panes: list[HistogramSummary]
+    group_missing: int = 0
+    group_out_of_range: int = 0
+    sampled_rows: int = 0
+
+    def encode(self, enc: Encoder) -> None:
+        enc.write_uvarint(len(self.panes))
+        for pane in self.panes:
+            pane.encode(enc)
+        enc.write_uvarint(self.group_missing)
+        enc.write_uvarint(self.group_out_of_range)
+        enc.write_uvarint(self.sampled_rows)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "TrellisHistogramSummary":
+        panes = [HistogramSummary.decode(dec) for _ in range(dec.read_uvarint())]
+        return cls(
+            panes=panes,
+            group_missing=dec.read_uvarint(),
+            group_out_of_range=dec.read_uvarint(),
+            sampled_rows=dec.read_uvarint(),
+        )
+
+
+class TrellisHeatmapSketch(SampledSketch[TrellisSummary]):
+    """A trellis of heat maps: group column(s) W, then (X, Y) per pane."""
+
+    def __init__(
+        self,
+        group_column: str,
+        group_buckets: Buckets,
+        x_column: str,
+        x_buckets: Buckets,
+        y_column: str,
+        y_buckets: Buckets,
+        rate: float = 1.0,
+        seed: int = 0,
+        group2_column: str | None = None,
+        group2_buckets: Buckets | None = None,
+    ):
+        super().__init__(rate, seed)
+        if (group2_column is None) != (group2_buckets is None):
+            raise ValueError("group2_column and group2_buckets go together")
+        self.group_column = group_column
+        self.group_buckets = group_buckets
+        self.group2_column = group2_column
+        self.group2_buckets = group2_buckets
+        self.x_column = x_column
+        self.x_buckets = x_buckets
+        self.y_column = y_column
+        self.y_buckets = y_buckets
+        self.deterministic = rate >= 1.0
+
+    @property
+    def pane_count(self) -> int:
+        count = self.group_buckets.count
+        if self.group2_buckets is not None:
+            count *= self.group2_buckets.count
+        return count
+
+    @property
+    def name(self) -> str:
+        groups = self.group_column
+        if self.group2_column is not None:
+            groups += f"x{self.group2_column}"
+        return f"Trellis({groups};{self.x_column},{self.y_column})"
+
+    def cache_key(self) -> str | None:
+        if not self.deterministic:
+            return None
+        group2 = (
+            ""
+            if self.group2_column is None
+            else f",{self.group2_column!r},{self.group2_buckets.spec()}"
+        )
+        return (
+            f"Trellis({self.group_column!r},{self.group_buckets.spec()}{group2},"
+            f"{self.x_column!r},{self.x_buckets.spec()},"
+            f"{self.y_column!r},{self.y_buckets.spec()})"
+        )
+
+    def zero(self) -> TrellisSummary:
+        bx, by = self.x_buckets.count, self.y_buckets.count
+        return TrellisSummary(
+            panes=[
+                HeatmapSummary(counts=np.zeros((bx, by), dtype=np.int64))
+                for _ in range(self.pane_count)
+            ]
+        )
+
+    def summarize(self, table: Table) -> TrellisSummary:
+        rows = self.sampled_rows(table)
+        groups = self.pane_count
+        bx, by = self.x_buckets.count, self.y_buckets.count
+        g_flat, g_missing, g_oor = _bin_groups(
+            table, rows,
+            self.group_column, self.group_buckets,
+            self.group2_column, self.group2_buckets,
+        )
+        x_binned = bin_rows(table, self.x_column, self.x_buckets, rows)
+        y_binned = bin_rows(table, self.y_column, self.y_buckets, rows)
+        all_in = (g_flat >= 0) & (x_binned.indexes >= 0) & (y_binned.indexes >= 0)
+        # A single bincount covers every pane at once.
+        flat = (
+            g_flat[all_in] * (bx * by)
+            + x_binned.indexes[all_in] * by
+            + y_binned.indexes[all_in]
+        )
+        cube = (
+            np.bincount(flat, minlength=groups * bx * by)
+            .astype(np.int64)
+            .reshape(groups, bx, by)
+        )
+        panes = [
+            HeatmapSummary(counts=cube[g], sampled_rows=int(cube[g].sum()))
+            for g in range(groups)
+        ]
+        return TrellisSummary(
+            panes=panes,
+            group_missing=g_missing,
+            group_out_of_range=g_oor,
+            sampled_rows=len(rows),
+        )
+
+    def merge(self, left: TrellisSummary, right: TrellisSummary) -> TrellisSummary:
+        panes = [
+            HeatmapSummary(
+                counts=a.counts + b.counts,
+                x_missing=a.x_missing + b.x_missing,
+                y_missing=a.y_missing + b.y_missing,
+                out_of_range=a.out_of_range + b.out_of_range,
+                sampled_rows=a.sampled_rows + b.sampled_rows,
+            )
+            for a, b in zip(left.panes, right.panes)
+        ]
+        return TrellisSummary(
+            panes=panes,
+            group_missing=left.group_missing + right.group_missing,
+            group_out_of_range=left.group_out_of_range + right.group_out_of_range,
+            sampled_rows=left.sampled_rows + right.sampled_rows,
+        )
+
+
+class TrellisHistogramSketch(SampledSketch[TrellisHistogramSummary]):
+    """A trellis of histograms: group column(s) W, then X per pane."""
+
+    def __init__(
+        self,
+        group_column: str,
+        group_buckets: Buckets,
+        x_column: str,
+        x_buckets: Buckets,
+        rate: float = 1.0,
+        seed: int = 0,
+        group2_column: str | None = None,
+        group2_buckets: Buckets | None = None,
+    ):
+        super().__init__(rate, seed)
+        if (group2_column is None) != (group2_buckets is None):
+            raise ValueError("group2_column and group2_buckets go together")
+        self.group_column = group_column
+        self.group_buckets = group_buckets
+        self.group2_column = group2_column
+        self.group2_buckets = group2_buckets
+        self.x_column = x_column
+        self.x_buckets = x_buckets
+        self.deterministic = rate >= 1.0
+
+    @property
+    def pane_count(self) -> int:
+        count = self.group_buckets.count
+        if self.group2_buckets is not None:
+            count *= self.group2_buckets.count
+        return count
+
+    @property
+    def name(self) -> str:
+        groups = self.group_column
+        if self.group2_column is not None:
+            groups += f"x{self.group2_column}"
+        return f"TrellisHistogram({groups};{self.x_column})"
+
+    def cache_key(self) -> str | None:
+        if not self.deterministic:
+            return None
+        group2 = (
+            ""
+            if self.group2_column is None
+            else f",{self.group2_column!r},{self.group2_buckets.spec()}"
+        )
+        return (
+            f"TrellisHistogram({self.group_column!r},"
+            f"{self.group_buckets.spec()}{group2},"
+            f"{self.x_column!r},{self.x_buckets.spec()})"
+        )
+
+    def zero(self) -> TrellisHistogramSummary:
+        b = self.x_buckets.count
+        return TrellisHistogramSummary(
+            panes=[
+                HistogramSummary(counts=np.zeros(b, dtype=np.int64))
+                for _ in range(self.pane_count)
+            ]
+        )
+
+    def summarize(self, table: Table) -> TrellisHistogramSummary:
+        rows = self.sampled_rows(table)
+        groups = self.pane_count
+        b = self.x_buckets.count
+        g_flat, g_missing, g_oor = _bin_groups(
+            table, rows,
+            self.group_column, self.group_buckets,
+            self.group2_column, self.group2_buckets,
+        )
+        x_binned = bin_rows(table, self.x_column, self.x_buckets, rows)
+        both = (g_flat >= 0) & (x_binned.indexes >= 0)
+        flat = g_flat[both] * b + x_binned.indexes[both]
+        grid = (
+            np.bincount(flat, minlength=groups * b)
+            .astype(np.int64)
+            .reshape(groups, b)
+        )
+        # X residuals attributed per pane: rows whose group is known but X
+        # is missing or out of range.
+        x_missing = x_binned.indexes < 0
+        panes = []
+        for g in range(groups):
+            in_pane = g_flat == g
+            residual = int(np.count_nonzero(in_pane & x_missing))
+            panes.append(
+                HistogramSummary(
+                    counts=grid[g],
+                    missing=residual,
+                    sampled_rows=int(grid[g].sum()) + residual,
+                )
+            )
+        return TrellisHistogramSummary(
+            panes=panes,
+            group_missing=g_missing,
+            group_out_of_range=g_oor,
+            sampled_rows=len(rows),
+        )
+
+    def merge(
+        self, left: TrellisHistogramSummary, right: TrellisHistogramSummary
+    ) -> TrellisHistogramSummary:
+        panes = [
+            HistogramSummary(
+                counts=a.counts + b.counts,
+                missing=a.missing + b.missing,
+                out_of_range=a.out_of_range + b.out_of_range,
+                sampled_rows=a.sampled_rows + b.sampled_rows,
+            )
+            for a, b in zip(left.panes, right.panes)
+        ]
+        return TrellisHistogramSummary(
+            panes=panes,
+            group_missing=left.group_missing + right.group_missing,
+            group_out_of_range=left.group_out_of_range + right.group_out_of_range,
+            sampled_rows=left.sampled_rows + right.sampled_rows,
+        )

@@ -1,0 +1,45 @@
+"""The spreadsheet layer: Hillview's user-facing functionality (§3).
+
+:class:`~repro.spreadsheet.spreadsheet.Spreadsheet` is the facade; charts,
+tabular views and analyses are returned as value objects; every action is
+recorded for the Figure 11 case-study accounting; and
+:mod:`repro.spreadsheet.operations` defines the Figure 4 workload O1-O11.
+"""
+
+from repro.spreadsheet.spreadsheet import Spreadsheet, SCAN_RATE_THRESHOLD
+from repro.spreadsheet.view import TableView
+from repro.spreadsheet.actions import ActionLog, ActionRecord
+from repro.spreadsheet.charts import (
+    HistogramChart,
+    StackedChart,
+    HeatmapChart,
+    TrellisChart,
+    TrellisHistogramChart,
+    HeavyHittersResult,
+    PcaResult,
+)
+from repro.spreadsheet.operations import (
+    Operation,
+    OPERATIONS,
+    OPERATIONS_BY_ID,
+    run_operation,
+)
+
+__all__ = [
+    "Spreadsheet",
+    "SCAN_RATE_THRESHOLD",
+    "TableView",
+    "ActionLog",
+    "ActionRecord",
+    "HistogramChart",
+    "StackedChart",
+    "HeatmapChart",
+    "TrellisChart",
+    "TrellisHistogramChart",
+    "HeavyHittersResult",
+    "PcaResult",
+    "Operation",
+    "OPERATIONS",
+    "OPERATIONS_BY_ID",
+    "run_operation",
+]

@@ -1,0 +1,95 @@
+"""UI action accounting (Figure 11).
+
+The case study measures, per question, how many *spreadsheet actions* the
+operator performed (choosing a menu operation, clicking, selecting) and how
+long they took.  Every public spreadsheet method records one action; the
+sketch executions it triggers are attached with their timing and byte
+statistics, so the benchmarks can report both the human-facing action count
+and the machine-side costs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.progress import SketchRun
+
+
+@dataclass
+class ActionRecord:
+    """One user-visible spreadsheet action and its machine work."""
+
+    name: str
+    params: str
+    runs: list[SketchRun] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(run.bytes_received for run in self.runs)
+
+    @property
+    def sketches_executed(self) -> int:
+        return len(self.runs)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for run in self.runs if run.cache_hit)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}({self.params}) — {self.seconds * 1000:.1f} ms, "
+            f"{self.sketches_executed} sketches, {self.bytes_received} B"
+        )
+
+
+class ActionLog:
+    """Chronological record of spreadsheet actions.
+
+    One log is shared across a spreadsheet and every sheet derived from it
+    (filtering creates new sheets but the user is doing one exploration).
+    """
+
+    def __init__(self) -> None:
+        self.actions: list[ActionRecord] = []
+
+    def record(self, name: str, params: str) -> "_ActionScope":
+        return _ActionScope(self, ActionRecord(name=name, params=params))
+
+    @property
+    def count(self) -> int:
+        return len(self.actions)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(a.seconds for a in self.actions)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(a.bytes_received for a in self.actions)
+
+    def since(self, mark: int) -> list[ActionRecord]:
+        """Actions recorded after position ``mark`` (for per-question spans)."""
+        return self.actions[mark:]
+
+    def describe(self) -> list[str]:
+        return [a.describe() for a in self.actions]
+
+
+class _ActionScope:
+    """Context manager timing one action and collecting its sketch runs."""
+
+    def __init__(self, log: ActionLog, record: ActionRecord):
+        self._log = log
+        self.record = record
+        self._start = 0.0
+
+    def __enter__(self) -> ActionRecord:
+        self._start = time.perf_counter()
+        return self.record
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.record.seconds = time.perf_counter() - self._start
+        if exc_type is None:
+            self._log.actions.append(self.record)

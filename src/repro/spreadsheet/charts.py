@@ -1,0 +1,328 @@
+"""Chart result objects returned by the spreadsheet facade.
+
+Each chart couples the merged summary with everything needed to render it
+(buckets, resolution, sampling rate) plus accessors for renderings and
+ASCII output.  Charts are values: they can be kept, compared, re-rendered
+at other resolutions, and inspected point-by-point (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.buckets import Buckets
+from repro.core.resolution import Resolution
+from repro.render import ascii_art
+from repro.render.cdf_render import CdfRendering, render_cdf
+from repro.render.heatmap_render import HeatmapRendering, render_heatmap
+from repro.render.histogram_render import (
+    HistogramRendering,
+    StackedRendering,
+    render_histogram,
+    render_stacked_histogram,
+)
+from repro.sketches.heatmap import HeatmapSummary
+from repro.sketches.histogram import HistogramSummary
+from repro.sketches.moments import ColumnStats
+from repro.sketches.stacked import StackedHistogramSummary
+from repro.sketches.trellis import TrellisHistogramSummary, TrellisSummary
+
+
+@dataclass
+class HistogramChart:
+    """A histogram (and optional CDF) over one column (§4.3)."""
+
+    column: str
+    buckets: Buckets
+    summary: HistogramSummary
+    resolution: Resolution
+    rate: float = 1.0
+    cdf_summary: HistogramSummary | None = None
+    stats: ColumnStats | None = None
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Estimated population counts per bucket."""
+        return self.summary.scaled_counts(self.rate)
+
+    def bucket_value(self, index: int) -> tuple[str, float]:
+        """(label, estimated count) of one bar — "inspect individual points"."""
+        return self.buckets.label(index), float(self.counts[index])
+
+    def rendering(self) -> HistogramRendering:
+        return render_histogram(self.summary, self.buckets, self.resolution, self.rate)
+
+    def cdf_rendering(self) -> CdfRendering | None:
+        if self.cdf_summary is None:
+            return None
+        return render_cdf(self.cdf_summary, self.resolution)
+
+    def percentile(self, value: float) -> float:
+        """Fraction of in-range rows at or below ``value`` (from the CDF)."""
+        source = self.cdf_summary or self.summary
+        from repro.sketches.cdf import CdfSketch
+
+        fractions = CdfSketch.cumulative(source)
+        if not isinstance(self.buckets, Buckets) or not len(fractions):
+            return float("nan")
+        idx = self.buckets.index_numeric(np.array([value]))[0]
+        if idx < 0:
+            return 0.0 if np.isnan(value) else float(value > getattr(self.buckets, "max_value", np.inf))
+        # CDF summaries bucket at their own width; rescale the index.
+        position = int(idx * len(fractions) / self.buckets.count)
+        return float(fractions[min(position, len(fractions) - 1)])
+
+    def ascii(self, height: int = 12) -> str:
+        return ascii_art.histogram_ascii(self.summary, self.buckets, height, self.rate)
+
+
+@dataclass
+class StackedChart:
+    """Stacked (or normalized stacked) histogram over X colored by Y."""
+
+    x_column: str
+    y_column: str
+    x_buckets: Buckets
+    y_buckets: Buckets
+    summary: StackedHistogramSummary
+    resolution: Resolution
+    rate: float = 1.0
+    normalized: bool = False
+    cdf_summary: HistogramSummary | None = None
+
+    @property
+    def bar_counts(self) -> np.ndarray:
+        bars = self.summary.bar_counts.astype(np.float64)
+        return bars / self.rate if self.rate < 1.0 else bars
+
+    @property
+    def cell_counts(self) -> np.ndarray:
+        cells = self.summary.cell_counts.astype(np.float64)
+        return cells / self.rate if self.rate < 1.0 else cells
+
+    def y_share(self, x_index: int) -> np.ndarray:
+        """The Y-color composition of one bar, as fractions."""
+        cells = self.cell_counts[x_index]
+        total = cells.sum()
+        return cells / total if total > 0 else cells
+
+    def rendering(self) -> StackedRendering:
+        return render_stacked_histogram(
+            self.summary, self.resolution, self.rate, self.normalized
+        )
+
+
+@dataclass
+class HeatmapChart:
+    """Two-dimensional density chart (§4.3)."""
+
+    x_column: str
+    y_column: str
+    x_buckets: Buckets
+    y_buckets: Buckets
+    summary: HeatmapSummary
+    resolution: Resolution
+    rate: float = 1.0
+    log_scale: bool = False
+
+    @property
+    def counts(self) -> np.ndarray:
+        counts = self.summary.counts.astype(np.float64)
+        return counts / self.rate if self.rate < 1.0 else counts
+
+    def cell_value(self, x_index: int, y_index: int) -> float:
+        return float(self.counts[x_index, y_index])
+
+    def rendering(self) -> HeatmapRendering:
+        return render_heatmap(
+            self.summary,
+            self.resolution,
+            self.rate,
+            log_scale=self.log_scale,
+        )
+
+    def swapped(self) -> "HeatmapChart":
+        """The same chart with the axes exchanged (§3.4: "swap axes").
+
+        Served instantly from the summary in hand — no query runs.
+        """
+        return HeatmapChart(
+            x_column=self.y_column,
+            y_column=self.x_column,
+            x_buckets=self.y_buckets,
+            y_buckets=self.x_buckets,
+            summary=self.summary.transposed(),
+            resolution=self.resolution,
+            rate=self.rate,
+            log_scale=self.log_scale,
+        )
+
+    def ascii(self) -> str:
+        return ascii_art.heatmap_ascii(self.summary, self.rate)
+
+
+@dataclass
+class TrellisChart:
+    """An array of heat maps grouped by one or two columns (§3.4, Fig 2)."""
+
+    group_column: str
+    x_column: str
+    y_column: str
+    group_buckets: Buckets
+    summary: TrellisSummary
+    resolution: Resolution
+    rate: float = 1.0
+    group2_column: str | None = None
+    group2_buckets: Buckets | None = None
+
+    def pane(self, index: int) -> HeatmapSummary:
+        return self.summary.panes[index]
+
+    def pane_label(self, index: int) -> str:
+        if self.group2_buckets is None:
+            return self.group_buckets.label(index)
+        major, minor = divmod(index, self.group2_buckets.count)
+        return (
+            f"{self.group_buckets.label(major)} / "
+            f"{self.group2_buckets.label(minor)}"
+        )
+
+    @property
+    def pane_count(self) -> int:
+        return len(self.summary.panes)
+
+    def pane_rendering(self, index: int) -> HeatmapRendering:
+        return render_heatmap(self.summary.panes[index], self.resolution, self.rate)
+
+    def rendering(self):
+        """All panes composed onto one canvas (Fig 2)."""
+        from repro.render.trellis_render import render_trellis_heatmaps
+
+        full = Resolution(
+            self.resolution.width * max(1, int(self.pane_count ** 0.5)),
+            self.resolution.height * max(1, int(self.pane_count ** 0.5)),
+        )
+        return render_trellis_heatmaps(self.summary, full, self.rate)
+
+    def ascii(self, panes: int | None = None) -> str:
+        blocks = []
+        for i in range(min(self.pane_count, panes or self.pane_count)):
+            blocks.append(f"-- {self.pane_label(i)} --")
+            blocks.append(ascii_art.heatmap_ascii(self.summary.panes[i], self.rate))
+        return "\n".join(blocks)
+
+
+@dataclass
+class TrellisHistogramChart:
+    """An array of histograms grouped by one or two columns (Fig 2)."""
+
+    group_column: str
+    x_column: str
+    group_buckets: Buckets
+    x_buckets: Buckets
+    summary: TrellisHistogramSummary
+    resolution: Resolution
+    rate: float = 1.0
+    group2_column: str | None = None
+    group2_buckets: Buckets | None = None
+
+    def pane(self, index: int) -> HistogramSummary:
+        return self.summary.panes[index]
+
+    def pane_label(self, index: int) -> str:
+        if self.group2_buckets is None:
+            return self.group_buckets.label(index)
+        major, minor = divmod(index, self.group2_buckets.count)
+        return (
+            f"{self.group_buckets.label(major)} / "
+            f"{self.group2_buckets.label(minor)}"
+        )
+
+    @property
+    def pane_count(self) -> int:
+        return len(self.summary.panes)
+
+    def pane_counts(self, index: int) -> np.ndarray:
+        """Estimated population counts per bucket for one pane."""
+        return self.summary.panes[index].scaled_counts(self.rate)
+
+    def pane_rendering(self, index: int) -> HistogramRendering:
+        return render_histogram(
+            self.summary.panes[index], self.x_buckets, self.resolution, self.rate
+        )
+
+    def rendering(self):
+        """All panes composed onto one canvas (Fig 2)."""
+        from repro.render.trellis_render import render_trellis_histograms
+
+        full = Resolution(
+            self.resolution.width * max(1, int(self.pane_count ** 0.5)),
+            self.resolution.height * max(1, int(self.pane_count ** 0.5)),
+        )
+        return render_trellis_histograms(
+            self.summary, self.x_buckets, full, self.rate
+        )
+
+    def ascii(self, panes: int | None = None, height: int = 8) -> str:
+        blocks = []
+        for i in range(min(self.pane_count, panes or self.pane_count)):
+            blocks.append(f"-- {self.pane_label(i)} --")
+            blocks.append(
+                ascii_art.histogram_ascii(
+                    self.summary.panes[i], self.x_buckets, height, self.rate
+                )
+            )
+        return "\n".join(blocks)
+
+
+@dataclass
+class HeavyHittersResult:
+    """Most frequent values of a column with estimated counts (§3.3)."""
+
+    column: str
+    method: str  # "sampling" | "streaming"
+    hitters: list[tuple[object, int]]
+    total_rows: int
+    sample_size: int = 0
+
+    def frequencies(self) -> list[tuple[object, float]]:
+        basis = self.sample_size if self.method == "sampling" else self.total_rows
+        if basis == 0:
+            return []
+        return [(value, count / basis) for value, count in self.hitters]
+
+    def values(self) -> list[object]:
+        return [value for value, _ in self.hitters]
+
+
+@dataclass
+class PcaResult:
+    """Principal components of a set of numeric columns (§3.3)."""
+
+    columns: list[str]
+    eigenvalues: np.ndarray
+    components: np.ndarray  # rows are components
+    explained_variance: float
+    rows_used: int
+
+    def projection_fn(self, component: int):
+        """A map function projecting a row onto one component.
+
+        Suitable for :meth:`Spreadsheet.derive`: creates the projected
+        column at the leaves, as Hillview materializes PCA outputs.
+        """
+        weights = self.components[component]
+        columns = list(self.columns)
+
+        def project(row: dict) -> float | None:
+            total = 0.0
+            for name, w in zip(columns, weights):
+                value = row[name]
+                if value is None:
+                    return None
+                total += w * float(value)
+            return total
+
+        return project

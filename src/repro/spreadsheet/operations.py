@@ -1,0 +1,99 @@
+"""The Figure 4 spreadsheet operations O1-O11.
+
+These are the measured workload of the end-to-end evaluation (Figures 5 and
+6).  Each operation corresponds to one user action and exercises a distinct
+combination of vizketches; ``+`` means serial phases and ``&`` concurrent
+ones, as in the paper's notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.spreadsheet.actions import ActionRecord
+from repro.spreadsheet.spreadsheet import Spreadsheet
+from repro.table.compute import ColumnPredicate
+from repro.table.sort import RecordOrder
+
+#: Five numeric columns for the multi-column sorts (O2, O4).
+NUMERIC_SORT_COLUMNS = ["DepDelay", "ArrDelay", "Distance", "AirTime", "TaxiOut"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One Figure 4 operation: id, description, and the action to run."""
+
+    op_id: str
+    description: str
+    run: Callable[[Spreadsheet], object]
+    cold_applicable: bool = True  # O4/O6 never run on cold data (Fig 6)
+
+
+def _o1(sheet: Spreadsheet):
+    return sheet.table_view(RecordOrder.of("DepDelay"))
+
+
+def _o2(sheet: Spreadsheet):
+    return sheet.table_view(RecordOrder.of(*NUMERIC_SORT_COLUMNS))
+
+
+def _o3(sheet: Spreadsheet):
+    return sheet.table_view(RecordOrder.of("Origin"))
+
+
+def _o4(sheet: Spreadsheet):
+    return sheet.scroll(0.5, RecordOrder.of(*NUMERIC_SORT_COLUMNS))
+
+
+def _o5(sheet: Spreadsheet):
+    return sheet.histogram("DepDelay")
+
+
+def _o6(sheet: Spreadsheet):
+    filtered = sheet.filter_rows(ColumnPredicate("DepDelay", "between", (0.0, 120.0)))
+    return filtered.histogram("DepDelay")
+
+
+def _o7(sheet: Spreadsheet):
+    return sheet.histogram("Origin", with_cdf=False)
+
+
+def _o8(sheet: Spreadsheet):
+    return sheet.heavy_hitters("Origin", k=20, method="sampling")
+
+
+def _o9(sheet: Spreadsheet):
+    return sheet.distinct_count("FlightNum")
+
+
+def _o10(sheet: Spreadsheet):
+    return sheet.stacked_histogram("DepDelay", "Airline")
+
+
+def _o11(sheet: Spreadsheet):
+    return sheet.heatmap("DepDelay", "ArrDelay")
+
+
+OPERATIONS: list[Operation] = [
+    Operation("O1", "Sort, numerical data", _o1),
+    Operation("O2", "Sort 5 columns, numerical data", _o2),
+    Operation("O3", "Sort, string data", _o3),
+    Operation("O4", "Quantile + sort, 5 columns, numerical data", _o4, False),
+    Operation("O5", "Range + (histogram & cdf), numerical data", _o5),
+    Operation("O6", "Filter + range + (histogram & cdf), numerical data", _o6, False),
+    Operation("O7", "Distinct + range + histogram, string data", _o7),
+    Operation("O8", "Heavy hitters sampling, string data", _o8),
+    Operation("O9", "Distinct count, numerical data", _o9),
+    Operation("O10", "Range + (stacked histogram & cdf), numerical data", _o10),
+    Operation("O11", "Heatmap, numerical data", _o11),
+]
+
+OPERATIONS_BY_ID = {op.op_id: op for op in OPERATIONS}
+
+
+def run_operation(sheet: Spreadsheet, op_id: str) -> list[ActionRecord]:
+    """Execute one operation; returns the action records it produced."""
+    mark = sheet.log.count
+    OPERATIONS_BY_ID[op_id].run(sheet)
+    return sheet.log.since(mark)

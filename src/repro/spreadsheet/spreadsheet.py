@@ -1,0 +1,665 @@
+"""The Spreadsheet facade: every UI operation of the paper (§3).
+
+A :class:`Spreadsheet` wraps an :class:`~repro.engine.dataset.IDataSet` and
+exposes the spreadsheet's functionality — tabular views, sorting, paging,
+scrolling, find, filters, derived columns, charts, heavy hitters, distinct
+counts, column summaries, PCA, and saving — each implemented exclusively
+through vizketches, exactly as in Hillview ("vizketches are the sole way to
+access data in the system", §7.3).
+
+Chart operations follow the paper's two-phase structure (§5.3): a
+*preparation* execution computes data-wide parameters (ranges, distinct
+values) — typically served from the computation cache after the first chart
+on a column — and a *rendering* execution runs the vizketch with the
+display-derived accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core import sampling
+from repro.core.buckets import (
+    Buckets,
+    DoubleBuckets,
+    ExplicitStringBuckets,
+    StringBuckets,
+)
+from repro.core.rand import stable_hash64
+from repro.core.resolution import (
+    DEFAULT_RESOLUTION,
+    DISTINCT_COLORS,
+    MAX_STACK_COLORS,
+    MAX_STRING_BUCKETS,
+    Resolution,
+)
+from repro.core.sketch import Sketch
+from repro.engine.dataset import DeriveMap, ExpressionMap, FilterMap, IDataSet
+from repro.engine.progress import CancellationToken, SketchRun
+from repro.errors import SchemaError
+from repro.sketches.bottomk import BottomKDistinctSketch
+from repro.sketches.cdf import CdfSketch
+from repro.sketches.find_text import FindResult, FindTextSketch
+from repro.sketches.heatmap import HeatmapSketch
+from repro.sketches.heavy_hitters import MisraGriesSketch, SampleHeavyHittersSketch
+from repro.sketches.histogram import HistogramSketch
+from repro.sketches.hll import HyperLogLogSketch
+from repro.sketches.moments import ColumnStats, MomentsSketch
+from repro.sketches.next_items import NextKList, NextKSketch
+from repro.sketches.pca import CorrelationSketch
+from repro.sketches.quantile import SampleQuantileSketch
+from repro.sketches.save import SaveStatus, SaveTableSketch
+from repro.sketches.stacked import StackedHistogramSketch
+from repro.sketches.trellis import TrellisHeatmapSketch, TrellisHistogramSketch
+from repro.spreadsheet.actions import ActionLog
+from repro.spreadsheet.charts import (
+    HeatmapChart,
+    HeavyHittersResult,
+    HistogramChart,
+    PcaResult,
+    StackedChart,
+    TrellisChart,
+    TrellisHistogramChart,
+)
+from repro.spreadsheet.view import TableView
+from repro.table.compute import ColumnPredicate, Predicate, StringMatchPredicate
+from repro.table.schema import ContentsKind
+from repro.table.sort import RecordOrder, RowKey
+
+#: When a computed sampling rate exceeds this, scanning is cheaper than
+#: sampling, so the sketch runs in streaming mode.
+SCAN_RATE_THRESHOLD = 0.8
+
+
+class Spreadsheet:
+    """A big-data spreadsheet over a (distributed) dataset."""
+
+    def __init__(
+        self,
+        dataset: IDataSet,
+        resolution: Resolution = DEFAULT_RESOLUTION,
+        approximate: bool = True,
+        delta: float = sampling.DEFAULT_DELTA,
+        seed: int = 0,
+        log: ActionLog | None = None,
+    ):
+        self.dataset = dataset
+        self.resolution = resolution
+        self.approximate = approximate
+        self.delta = delta
+        self.seed = seed
+        self.log = log if log is not None else ActionLog()
+        self._stats_cache: dict[str, ColumnStats] = {}
+        self._queries = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        return self.dataset.schema
+
+    def _next_seed(self) -> int:
+        self._queries += 1
+        return stable_hash64(self.seed, "query", self._queries) & ((1 << 31) - 1)
+
+    def _run(self, sketch: Sketch, record=None, token: CancellationToken | None = None):
+        run: SketchRun = self.dataset.run(sketch, token)
+        if record is not None:
+            record.runs.append(run)
+        return run.value
+
+    def column_stats(self, column: str, record=None) -> ColumnStats:
+        """Range/moments of a column (the preparation phase, cached)."""
+        cached = self._stats_cache.get(column)
+        if cached is not None:
+            return cached
+        stats = self._run(MomentsSketch(column), record)
+        self._stats_cache[column] = stats
+        return stats
+
+    @property
+    def total_rows(self) -> int:
+        first = self.schema.names[0]
+        return self.column_stats(first).row_count
+
+    def _rate(self, target_samples: int, record=None) -> float:
+        """The global sampling rate for a target sample size."""
+        if not self.approximate:
+            return 1.0
+        rows = self.total_rows
+        rate = sampling.sample_rate(target_samples, rows)
+        return 1.0 if rate > SCAN_RATE_THRESHOLD else rate
+
+    def _numeric_buckets(
+        self, column: str, requested: int | None, record=None
+    ) -> DoubleBuckets:
+        import datetime as _dt
+
+        from repro.table.column import datetime_to_millis
+
+        stats = self.column_stats(column, record)
+        if stats.min_value is None:
+            raise SchemaError(f"column {column!r} has no present values")
+        count = self.resolution.histogram_buckets(requested)
+        lo, hi = stats.min_value, stats.max_value
+        if isinstance(lo, _dt.datetime):
+            lo, hi = datetime_to_millis(lo), datetime_to_millis(hi)  # type: ignore[arg-type]
+        return DoubleBuckets(float(lo), float(hi), count)
+
+    def _string_buckets(self, column: str, requested: int | None, record=None) -> Buckets:
+        """Buckets for a string column (Appendix B.1).
+
+        Few distinct values (<= 50): one bucket per value.  Otherwise,
+        contiguous alphabetical ranges with boundaries from the bottom-k
+        distinct-quantile sketch.
+        """
+        limit = min(requested or MAX_STRING_BUCKETS, MAX_STRING_BUCKETS)
+        sketch = BottomKDistinctSketch(column, k=500, seed=self._next_seed())
+        summary = self._run(sketch, record)
+        if not summary.saturated and summary.distinct_estimate() <= limit:
+            return ExplicitStringBuckets(summary.values_sorted())
+        stats = self.column_stats(column, record)
+        boundaries = summary.quantile_boundaries(limit, min_value=stats.min_value)
+        return StringBuckets(boundaries)
+
+    def _buckets_for(self, column: str, requested: int | None = None, record=None) -> Buckets:
+        kind = self.schema.kind(column)
+        if kind.is_numeric:
+            return self._numeric_buckets(column, requested, record)
+        return self._string_buckets(column, requested, record)
+
+    # ------------------------------------------------------------------
+    # Tabular views (§3.3)
+    # ------------------------------------------------------------------
+    def table_view(
+        self,
+        order: RecordOrder | Sequence[str],
+        k: int = 20,
+        start_key: RowKey | None = None,
+        inclusive: bool = False,
+    ) -> TableView:
+        """The first K distinct rows from ``start_key`` in sort order."""
+        order = order if isinstance(order, RecordOrder) else RecordOrder.of(*order)
+        with self.log.record("table_view", order.spec()) as record:
+            summary = self._run(
+                NextKSketch(order, k, start_key, inclusive), record
+            )
+        return TableView(order=order, next_k=summary, k=k)
+
+    def next_page(self, view: TableView) -> TableView:
+        """Page forward: the K rows after the view's last row."""
+        last = view.last_key()
+        if last is None:
+            return view
+        return self.table_view(view.order, view.k, start_key=last)
+
+    def prev_page(self, view: TableView) -> TableView:
+        """Page backward: the K rows before the view's first row (§3.3).
+
+        Runs the next-items vizketch over the *reversed* sort order — the
+        rows preceding a key forward are the rows following it backward —
+        then flips the result back into display order.  At the top of the
+        data this clamps to the first page.
+        """
+        first = view.first_values()
+        if first is None:
+            return view
+        reverse = view.order.reversed()
+        rev_start = reverse.key_from_values(first)
+        with self.log.record("prev_page", view.order.spec()) as record:
+            rev = self._run(
+                NextKSketch(reverse, view.k, rev_start, inclusive=False),
+                record,
+            )
+        if len(rev.rows) < view.k:
+            # Fewer than K rows precede the view: clamp to the first page.
+            return self.table_view(view.order, view.k)
+        shown = sum(rev.counts)
+        forward = NextKList(
+            order=view.order,
+            rows=list(reversed(rev.rows)),
+            counts=list(reversed(rev.counts)),
+            preceding=rev.scanned - rev.preceding - shown,
+            scanned=rev.scanned,
+        )
+        return TableView(order=view.order, next_k=forward, k=view.k)
+
+    def scroll(self, fraction: float, order: RecordOrder | Sequence[str], k: int = 20) -> TableView:
+        """Jump to a relative position: quantile + next items (Fig 14).
+
+        The scroll bar is ~100 pixels of rank resolution; a rank error of a
+        pixel or two is imperceptible when dragging (Appendix C.1).
+        """
+        order = order if isinstance(order, RecordOrder) else RecordOrder.of(*order)
+        scrollbar_pixels = min(self.resolution.height, 100)
+        target = sampling.quantile_sample_size(scrollbar_pixels, self.delta)
+        with self.log.record("scroll", f"{order.spec()}@{fraction:.3f}") as record:
+            rate = self._rate(target, record)
+            quantile = self._run(
+                SampleQuantileSketch(order, max(rate, 1e-9), seed=self._next_seed()),
+                record,
+            )
+            values = quantile.quantile(fraction)
+            start = None if values is None else order.key_from_values(values)
+            summary = self._run(
+                NextKSketch(order, k, start, inclusive=True), record
+            )
+        return TableView(order=order, next_k=summary, k=k)
+
+    def find(
+        self,
+        column: str,
+        pattern: str,
+        order: RecordOrder | Sequence[str] | None = None,
+        mode: str = "substring",
+        case_sensitive: bool = True,
+        start_key: RowKey | None = None,
+        k: int = 20,
+    ) -> tuple[FindResult, TableView | None]:
+        """Free-form text search; returns the match info and a view at it."""
+        order = (
+            order
+            if isinstance(order, RecordOrder)
+            else RecordOrder.of(*(order or [column]))
+        )
+        predicate = StringMatchPredicate(column, pattern, mode, case_sensitive)
+        with self.log.record("find", f"{pattern!r} in {column}") as record:
+            result = self._run(FindTextSketch(predicate, order, start_key), record)
+            view = None
+            if result.first_match is not None:
+                summary = self._run(
+                    NextKSketch(
+                        order, k, result.first_key(), inclusive=True
+                    ),
+                    record,
+                )
+                view = TableView(order=order, next_k=summary, k=k)
+        return result, view
+
+    # ------------------------------------------------------------------
+    # Charts (§3.4, §4.3)
+    # ------------------------------------------------------------------
+    def histogram(
+        self,
+        column: str,
+        buckets: int | Buckets | None = None,
+        with_cdf: bool = True,
+        approximate: bool | None = None,
+    ) -> HistogramChart:
+        """Histogram (and CDF) of one column: range + render phases."""
+        with self.log.record("histogram", column) as record:
+            bucket_desc = (
+                buckets
+                if isinstance(buckets, Buckets)
+                else self._buckets_for(column, buckets, record)
+            )
+            use_sampling = self.approximate if approximate is None else approximate
+            target = sampling.practical_histogram_sample_size(
+                self.resolution.height, self.delta
+            )
+            rate = self._rate(target, record) if use_sampling else 1.0
+            summary = self._run(
+                HistogramSketch(column, bucket_desc, rate, self._next_seed()),
+                record,
+            )
+            cdf_summary = None
+            if with_cdf:
+                if self.schema.kind(column).is_numeric:
+                    # Numeric CDFs bucket at pixel granularity.
+                    cdf_buckets: Buckets = DoubleBuckets(
+                        bucket_desc.min_value,  # type: ignore[union-attr]
+                        bucket_desc.max_value,  # type: ignore[union-attr]
+                        self.resolution.width,
+                    )
+                else:
+                    # String CDFs combine the equi-width string buckets with
+                    # the counting CDF (B.1, "CDFs for string data"): the
+                    # alphabetical bucket layout is the horizontal axis.
+                    cdf_buckets = bucket_desc
+                cdf_rate = (
+                    self._rate(
+                        sampling.cdf_sample_size(
+                            self.resolution.height,
+                            self.delta,
+                            width=self.resolution.width,
+                        ),
+                        record,
+                    )
+                    if use_sampling
+                    else 1.0
+                )
+                cdf_summary = self._run(
+                    CdfSketch(column, cdf_buckets, cdf_rate, self._next_seed()),
+                    record,
+                )
+            stats = self._stats_cache.get(column)
+        return HistogramChart(
+            column=column,
+            buckets=bucket_desc,
+            summary=summary,
+            resolution=self.resolution,
+            rate=rate,
+            cdf_summary=cdf_summary,
+            stats=stats,
+        )
+
+    def stacked_histogram(
+        self,
+        x_column: str,
+        y_column: str,
+        normalized: bool = False,
+        x_buckets: int | None = None,
+        with_cdf: bool = True,
+    ) -> StackedChart:
+        """Stacked histogram of X colored by Y; normalized scans exactly."""
+        with self.log.record("stacked_histogram", f"{x_column},{y_column}") as record:
+            xb = self._buckets_for(x_column, x_buckets, record)
+            yb = self._buckets_for(y_column, MAX_STACK_COLORS, record)
+            target = sampling.practical_histogram_sample_size(
+                self.resolution.height, self.delta
+            )
+            # Normalized bars amplify small counts: exact scan required (B.1).
+            rate = 1.0 if normalized else self._rate(target, record)
+            summary = self._run(
+                StackedHistogramSketch(
+                    x_column, xb, y_column, yb, rate, self._next_seed()
+                ),
+                record,
+            )
+            cdf_summary = None
+            if with_cdf and self.schema.kind(x_column).is_numeric:
+                cdf_buckets = DoubleBuckets(
+                    xb.min_value, xb.max_value, self.resolution.width  # type: ignore[union-attr]
+                )
+                cdf_summary = self._run(
+                    CdfSketch(
+                        x_column,
+                        cdf_buckets,
+                        self._rate(
+                            sampling.cdf_sample_size(
+                                self.resolution.height,
+                                self.delta,
+                                width=self.resolution.width,
+                            ),
+                            record,
+                        ),
+                        self._next_seed(),
+                    ),
+                    record,
+                )
+        return StackedChart(
+            x_column=x_column,
+            y_column=y_column,
+            x_buckets=xb,
+            y_buckets=yb,
+            summary=summary,
+            resolution=self.resolution,
+            rate=rate,
+            normalized=normalized,
+            cdf_summary=cdf_summary,
+        )
+
+    def heatmap(
+        self,
+        x_column: str,
+        y_column: str,
+        log_scale: bool = False,
+    ) -> HeatmapChart:
+        """Heat map of two columns; log color scales force an exact scan."""
+        with self.log.record("heatmap", f"{x_column},{y_column}") as record:
+            bx, by = self.resolution.heatmap_bins()
+            xb = self._buckets_for(x_column, bx, record)
+            yb = self._buckets_for(y_column, by, record)
+            target = sampling.heatmap_sample_size(
+                xb.count, yb.count, DISTINCT_COLORS, self.delta
+            )
+            rate = 1.0 if log_scale else self._rate(target, record)
+            summary = self._run(
+                HeatmapSketch(x_column, xb, y_column, yb, rate, self._next_seed()),
+                record,
+            )
+        return HeatmapChart(
+            x_column=x_column,
+            y_column=y_column,
+            x_buckets=xb,
+            y_buckets=yb,
+            summary=summary,
+            resolution=self.resolution,
+            rate=rate,
+            log_scale=log_scale,
+        )
+
+    def trellis_heatmap(
+        self,
+        group_column: str,
+        x_column: str,
+        y_column: str,
+        panes: int = 4,
+        group2_column: str | None = None,
+        group2_panes: int = 2,
+    ) -> TrellisChart:
+        """An array of heat maps grouped by one or two columns (§3.4).
+
+        With ``group2_column``, panes form a 2-D grid: the major axis buckets
+        ``group_column`` and the minor axis buckets ``group2_column`` (Fig 2:
+        "arrays of the other plots grouped by one or two variables").
+        """
+        groups = f"{group_column};{x_column},{y_column}"
+        if group2_column is not None:
+            groups = f"{group_column}x{group2_column};{x_column},{y_column}"
+        with self.log.record("trellis", groups) as record:
+            gb = self._buckets_for(group_column, panes, record)
+            g2b = (
+                self._buckets_for(group2_column, group2_panes, record)
+                if group2_column is not None
+                else None
+            )
+            pane_total = gb.count * (g2b.count if g2b is not None else 1)
+            pane_resolution, _, _ = self.resolution.split_trellis(pane_total)
+            bx, by = pane_resolution.heatmap_bins()
+            xb = self._buckets_for(x_column, bx, record)
+            yb = self._buckets_for(y_column, by, record)
+            target = sampling.heatmap_sample_size(
+                xb.count, yb.count, DISTINCT_COLORS, self.delta
+            )
+            rate = self._rate(target, record)
+            summary = self._run(
+                TrellisHeatmapSketch(
+                    group_column, gb, x_column, xb, y_column, yb, rate,
+                    self._next_seed(),
+                    group2_column=group2_column,
+                    group2_buckets=g2b,
+                ),
+                record,
+            )
+        return TrellisChart(
+            group_column=group_column,
+            x_column=x_column,
+            y_column=y_column,
+            group_buckets=gb,
+            summary=summary,
+            resolution=pane_resolution,
+            rate=rate,
+            group2_column=group2_column,
+            group2_buckets=g2b,
+        )
+
+    def trellis_histogram(
+        self,
+        group_column: str,
+        x_column: str,
+        panes: int = 4,
+        x_buckets: int | None = None,
+        group2_column: str | None = None,
+        group2_panes: int = 2,
+    ) -> TrellisHistogramChart:
+        """An array of histograms grouped by one or two columns (Fig 2)."""
+        groups = f"{group_column};{x_column}"
+        if group2_column is not None:
+            groups = f"{group_column}x{group2_column};{x_column}"
+        with self.log.record("trellis_histogram", groups) as record:
+            gb = self._buckets_for(group_column, panes, record)
+            g2b = (
+                self._buckets_for(group2_column, group2_panes, record)
+                if group2_column is not None
+                else None
+            )
+            pane_total = gb.count * (g2b.count if g2b is not None else 1)
+            pane_resolution, _, _ = self.resolution.split_trellis(pane_total)
+            xb = self._buckets_for(
+                x_column,
+                pane_resolution.histogram_buckets(x_buckets),
+                record,
+            )
+            target = sampling.practical_histogram_sample_size(
+                pane_resolution.height, self.delta
+            )
+            rate = self._rate(target, record)
+            summary = self._run(
+                TrellisHistogramSketch(
+                    group_column, gb, x_column, xb, rate, self._next_seed(),
+                    group2_column=group2_column,
+                    group2_buckets=g2b,
+                ),
+                record,
+            )
+        return TrellisHistogramChart(
+            group_column=group_column,
+            x_column=x_column,
+            group_buckets=gb,
+            x_buckets=xb,
+            summary=summary,
+            resolution=pane_resolution,
+            rate=rate,
+            group2_column=group2_column,
+            group2_buckets=g2b,
+        )
+
+    # ------------------------------------------------------------------
+    # Analyses (§3.3)
+    # ------------------------------------------------------------------
+    def heavy_hitters(
+        self, column: str, k: int = 20, method: str = "sampling"
+    ) -> HeavyHittersResult:
+        """Most frequent values: sampling (Theorem 4) or Misra-Gries."""
+        if method not in ("sampling", "streaming"):
+            raise ValueError(f"unknown heavy-hitters method {method!r}")
+        with self.log.record("heavy_hitters", f"{column},k={k},{method}") as record:
+            total = self.total_rows
+            if method == "sampling":
+                target = sampling.heavy_hitters_sample_size(k, self.delta)
+                rate = self._rate(target, record)
+                sketch = SampleHeavyHittersSketch(column, k, max(rate, 1e-9), self._next_seed())
+                summary = self._run(sketch, record)
+                hitters = sketch.hitters(summary)
+                sample_size = summary.scanned
+            else:
+                # 4k counters bound the undercount below 1/(4k) of the rows,
+                # matching the sampling method's reporting floor (Thm 4).
+                summary = self._run(MisraGriesSketch(column, 4 * k), record)
+                hitters = summary.hitters(1.0 / (4 * k))[:k]
+                sample_size = 0
+        return HeavyHittersResult(
+            column=column,
+            method=method,
+            hitters=hitters,
+            total_rows=total,
+            sample_size=sample_size,
+        )
+
+    def distinct_count(self, column: str) -> float:
+        """Approximate distinct count via HyperLogLog (§B.3)."""
+        with self.log.record("distinct_count", column) as record:
+            summary = self._run(
+                HyperLogLogSketch(column, seed=self.seed), record
+            )
+        return summary.estimate()
+
+    def column_summary(self, column: str) -> ColumnStats:
+        """Range, counts, mean/variance of a column (§B.3 Moments)."""
+        with self.log.record("column_summary", column) as record:
+            return self.column_stats(column, record)
+
+    def pca(self, columns: Sequence[str], components: int = 2) -> PcaResult:
+        """Principal component analysis of numeric columns (§B.3)."""
+        for name in columns:
+            self.schema.require_numeric(name)
+        with self.log.record("pca", ",".join(columns)) as record:
+            rate = self._rate(200_000, record)
+            summary = self._run(
+                CorrelationSketch(list(columns), rate, self._next_seed()), record
+            )
+            values, vectors = summary.principal_components(components)
+        return PcaResult(
+            columns=list(columns),
+            eigenvalues=values,
+            components=vectors,
+            explained_variance=summary.explained_variance(components),
+            rows_used=summary.count,
+        )
+
+    # ------------------------------------------------------------------
+    # Data transformations (§5.6)
+    # ------------------------------------------------------------------
+    def _derived(self, dataset: IDataSet) -> "Spreadsheet":
+        sheet = Spreadsheet(
+            dataset,
+            resolution=self.resolution,
+            approximate=self.approximate,
+            delta=self.delta,
+            seed=self.seed + 1,
+            log=self.log,  # one exploration, one action log
+        )
+        return sheet
+
+    def filter_rows(self, predicate: Predicate) -> "Spreadsheet":
+        """A new sheet with only the rows satisfying ``predicate``."""
+        with self.log.record("filter", predicate.spec()):
+            dataset = self.dataset.map(FilterMap(predicate))
+        return self._derived(dataset)
+
+    def filter_equals(self, column: str, value: object) -> "Spreadsheet":
+        return self.filter_rows(ColumnPredicate(column, "==", value))
+
+    def zoom_in(self, column: str, low: float, high: float) -> "Spreadsheet":
+        """Zoom into a chart region: filter to the selected range (§3.4)."""
+        return self.filter_rows(ColumnPredicate(column, "between", (low, high)))
+
+    def derive(
+        self,
+        name: str,
+        kind: ContentsKind,
+        fn: Callable,
+        vectorized: bool = False,
+    ) -> "Spreadsheet":
+        """Add a user-defined map column (§3.5)."""
+        with self.log.record("derive", name):
+            dataset = self.dataset.map(DeriveMap(name, kind, fn, vectorized))
+        return self._derived(dataset)
+
+    def derive_expression(self, name: str, expression: str) -> "Spreadsheet":
+        """A new sheet with a column computed from an expression (§5.6).
+
+        The expression string is the unit of serialization — redo log and
+        RPC both carry it — e.g. ``sheet.derive_expression("AirGain",
+        "DepDelay - ArrDelay")``.
+        """
+        with self.log.record("derive", f"{name}={expression}"):
+            derived = self.dataset.map(ExpressionMap(name, expression))
+        return self._derived(derived)
+
+    def save(self, directory: str, format: str = "hvc") -> SaveStatus:
+        """Write the sheet to a repository via the save vizketch (§5.4).
+
+        Leaves write one partition per shard; once their statuses merge
+        cleanly, the root finalizes ``hvc`` datasets with the snapshot
+        manifest that re-loading verifies (§2).
+        """
+        with self.log.record("save", directory) as record:
+            status = self._run(SaveTableSketch(directory, format), record)
+        if format == "hvc" and status.ok and status.files:
+            from repro.storage.columnar import write_manifest
+
+            write_manifest(directory, status.files)
+        return status

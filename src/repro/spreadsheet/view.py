@@ -1,0 +1,71 @@
+"""Tabular views: what the spreadsheet grid shows (§3.3).
+
+A :class:`TableView` wraps the next-items summary for one screen of rows:
+the sort-column values of K distinct rows with repetition counts, plus the
+scroll position.  Paging keeps the last visible row as the next start key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.render import ascii_art
+from repro.sketches.next_items import NextKList
+from repro.table.sort import RecordOrder, RowKey
+
+
+@dataclass
+class TableView:
+    """One screen of the tabular view."""
+
+    order: RecordOrder
+    next_k: NextKList
+    k: int
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self.next_k.rows
+
+    @property
+    def counts(self) -> list[int]:
+        return self.next_k.counts
+
+    @property
+    def row_count(self) -> int:
+        """Distinct rows shown (<= k at the end of the data)."""
+        return len(self.next_k.rows)
+
+    @property
+    def at_end(self) -> bool:
+        return self.row_count < self.k
+
+    @property
+    def scroll_position(self) -> float:
+        """Approximate position of the view's first row in [0, 1]."""
+        return self.next_k.position_fraction
+
+    def last_key(self) -> RowKey | None:
+        """Start key for the following page (None when the view is empty)."""
+        if not self.next_k.rows:
+            return None
+        return self.order.key_from_values(self.next_k.rows[-1])
+
+    def first_values(self) -> tuple | None:
+        return self.next_k.rows[0] if self.next_k.rows else None
+
+    def column_values(self, column: str) -> list[object | None]:
+        """The displayed values of one sort column, top to bottom."""
+        try:
+            position = self.order.columns.index(column)
+        except ValueError:
+            raise KeyError(f"column {column!r} is not part of this view's order")
+        return [values[position] for values in self.next_k.rows]
+
+    def ascii(self) -> str:
+        return ascii_art.table_ascii(self.next_k)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TableView order={self.order.spec()} rows={self.row_count} "
+            f"pos={self.scroll_position:.3f}>"
+        )

@@ -1,0 +1,51 @@
+"""Storage layer: read data repositories without pre-processing (§2, §5.4).
+
+Hillview operates directly on raw, horizontally partitioned data — CSV,
+JSON, logs, columnar binary files — with no ingestion, indexing or
+repartitioning.  The only requirements are that partitions are roughly
+balanced and that data does not change while Hillview runs (snapshot
+semantics, enforced here via content fingerprints).
+"""
+
+from repro.storage.columnar import (
+    read_table,
+    write_table,
+    read_dataset,
+    write_dataset,
+)
+from repro.storage.csv_io import read_csv, write_csv
+from repro.storage.jsonl_io import read_jsonl, write_jsonl
+from repro.storage.logs_io import read_syslog, format_syslog_row
+from repro.storage.sql_io import read_sql, write_sql, snapshot_fingerprint
+from repro.storage.loader import (
+    DataSource,
+    TableSource,
+    CsvSource,
+    ColumnarDatasetSource,
+    JsonlSource,
+    SqlSource,
+    SyslogSource,
+)
+
+__all__ = [
+    "read_table",
+    "write_table",
+    "read_dataset",
+    "write_dataset",
+    "read_csv",
+    "write_csv",
+    "read_jsonl",
+    "write_jsonl",
+    "read_syslog",
+    "read_sql",
+    "write_sql",
+    "snapshot_fingerprint",
+    "format_syslog_row",
+    "DataSource",
+    "TableSource",
+    "CsvSource",
+    "ColumnarDatasetSource",
+    "JsonlSource",
+    "SqlSource",
+    "SyslogSource",
+]

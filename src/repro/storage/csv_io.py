@@ -1,0 +1,141 @@
+"""CSV reading and writing with type inference (§3.5).
+
+CSV files carry no schema, so the reader infers column kinds by attempting,
+in order: integer, double, ISO date, string.  Empty cells and the tokens in
+``MISSING_TOKENS`` are missing values.  An explicit ``kinds`` mapping
+overrides inference per column.
+"""
+
+from __future__ import annotations
+
+import csv
+from datetime import datetime, timezone
+
+from repro.errors import StorageError
+from repro.table.column import column_from_values
+from repro.table.schema import ContentsKind
+from repro.table.table import Table
+
+#: Cell contents treated as missing values.
+MISSING_TOKENS = frozenset({"", "NA", "N/A", "NaN", "nan", "null", "NULL", "None"})
+
+_DATE_FORMATS = (
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%d",
+    "%Y/%m/%d",
+)
+
+
+def parse_date(text: str) -> datetime | None:
+    """Parse an ISO-like date string, returning None when it is not one."""
+    for fmt in _DATE_FORMATS:
+        try:
+            return datetime.strptime(text, fmt).replace(tzinfo=timezone.utc)
+        except ValueError:
+            continue
+    return None
+
+
+def _infer_column_kind(cells: list[str | None]) -> ContentsKind:
+    kind = ContentsKind.INTEGER
+    saw_value = False
+    for cell in cells:
+        if cell is None:
+            continue
+        saw_value = True
+        if kind is ContentsKind.INTEGER:
+            try:
+                int(cell)
+                continue
+            except ValueError:
+                kind = ContentsKind.DOUBLE
+        if kind is ContentsKind.DOUBLE:
+            try:
+                float(cell)
+                continue
+            except ValueError:
+                kind = ContentsKind.DATE
+        if kind is ContentsKind.DATE:
+            if parse_date(cell) is not None:
+                continue
+            kind = ContentsKind.STRING
+        if kind is ContentsKind.STRING:
+            break
+    return kind if saw_value else ContentsKind.STRING
+
+
+def _convert(cell: str | None, kind: ContentsKind) -> object | None:
+    if cell is None:
+        return None
+    try:
+        if kind is ContentsKind.INTEGER:
+            return int(cell)
+        if kind is ContentsKind.DOUBLE:
+            return float(cell)
+        if kind is ContentsKind.DATE:
+            parsed = parse_date(cell)
+            if parsed is None:
+                raise ValueError(cell)
+            return parsed
+    except ValueError as exc:
+        raise StorageError(f"cannot parse {cell!r} as {kind.value}") from exc
+    return cell
+
+
+def read_csv(
+    path: str,
+    kinds: dict[str, ContentsKind] | None = None,
+    delimiter: str = ",",
+    shard_id: str | None = None,
+) -> Table:
+    """Read a CSV file with a header row into a :class:`Table`."""
+    kinds = kinds or {}
+    with open(path, newline="") as f:
+        reader = csv.reader(f, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError(f"{path}: empty CSV file")
+        raw_columns: list[list[str | None]] = [[] for _ in header]
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise StorageError(
+                    f"{path}:{line_number}: expected {len(header)} cells, "
+                    f"got {len(row)}"
+                )
+            for i, cell in enumerate(row):
+                raw_columns[i].append(None if cell in MISSING_TOKENS else cell)
+    columns = []
+    for name, cells in zip(header, raw_columns):
+        kind = kinds.get(name) or _infer_column_kind(cells)
+        values = [_convert(cell, kind) for cell in cells]
+        columns.append(column_from_values(name, values, kind))
+    return Table(columns, shard_id=shard_id or path)
+
+
+def _format_cell(value: object | None) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, datetime):
+        if (value.hour, value.minute, value.second) == (0, 0, 0):
+            return value.strftime("%Y-%m-%d")
+        return value.strftime("%Y-%m-%d %H:%M:%S")
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return repr(value)
+    return str(value)
+
+
+def write_csv(table: Table, path: str, delimiter: str = ",") -> int:
+    """Write the member rows of ``table`` as CSV; returns rows written."""
+    rows = table.members.indices()
+    names = table.column_names
+    columns = [table.column(name) for name in names]
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f, delimiter=delimiter)
+        writer.writerow(names)
+        for row in rows:
+            writer.writerow(
+                [_format_cell(column.value(int(row))) for column in columns]
+            )
+    return len(rows)

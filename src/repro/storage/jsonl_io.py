@@ -1,0 +1,81 @@
+"""JSON-lines reading and writing (§2: "JSON files").
+
+Each line is one JSON object; the schema is the union of keys across
+objects, with kinds inferred from the JSON values (ISO-formatted strings
+become dates, mirroring the CSV reader).
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+
+from repro.errors import StorageError
+from repro.storage.csv_io import parse_date
+from repro.table.column import column_from_values
+from repro.table.schema import ContentsKind
+from repro.table.table import Table
+
+
+def read_jsonl(path: str, shard_id: str | None = None) -> Table:
+    """Read a JSON-lines file into a :class:`Table`."""
+    records: list[dict] = []
+    with open(path) as f:
+        for line_number, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StorageError(f"{path}:{line_number}: invalid JSON: {exc}")
+            if not isinstance(record, dict):
+                raise StorageError(
+                    f"{path}:{line_number}: expected a JSON object, "
+                    f"got {type(record).__name__}"
+                )
+            records.append(record)
+    if not records:
+        raise StorageError(f"{path}: empty JSON-lines file")
+    names: list[str] = []
+    for record in records:
+        for key in record:
+            if key not in names:
+                names.append(key)
+    columns = []
+    for name in names:
+        values = [_coerce(record.get(name)) for record in records]
+        columns.append(column_from_values(name, values))
+    return Table(columns, shard_id=shard_id or path)
+
+
+def _coerce(value: object | None) -> object | None:
+    if isinstance(value, str):
+        parsed = parse_date(value)
+        if parsed is not None:
+            return parsed
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+def write_jsonl(table: Table, path: str) -> int:
+    """Write the member rows of ``table`` as JSON lines; returns row count."""
+    rows = table.members.indices()
+    names = table.column_names
+    columns = [table.column(name) for name in names]
+    with open(path, "w") as f:
+        for row in rows:
+            record = {}
+            for name, column in zip(names, columns):
+                value = column.value(int(row))
+                if isinstance(value, datetime):
+                    value = value.strftime("%Y-%m-%dT%H:%M:%S")
+                record[name] = value
+            f.write(json.dumps(record) + "\n")
+    return len(rows)
+
+
+def infer_jsonl_kinds(table: Table) -> dict[str, ContentsKind]:
+    """The inferred kinds of a table read from JSON lines (introspection)."""
+    return {desc.name: desc.kind for desc in table.schema}

@@ -1,0 +1,244 @@
+"""SQL database reading and writing via SQLite (§2, §3.5).
+
+Hillview reads SQL databases directly — no ingestion, indexes, or
+extract-transform-load — relying only on horizontal partitioning and
+snapshot semantics.  This module provides the equivalent over SQLite (the
+standard library's ``sqlite3``), standing in for the JDBC connectors of the
+original system:
+
+* :func:`read_sql` loads a database table as one or more columnar shards,
+  horizontally partitioned by rowid range so workers can read in parallel;
+* :func:`write_sql` stores a :class:`~repro.table.table.Table` into a
+  database (the output side of a pipeline, §2);
+* :func:`snapshot_fingerprint` captures a cheap content fingerprint so a
+  re-load can verify the "data does not change while Hillview is running"
+  requirement (§2).
+
+Column kinds come from the declared SQL types (SQLite affinity rules:
+``INT*`` → integer, ``REAL/FLOA/DOUB`` → double, ``DATE/TIME*`` → date,
+anything textual → string), with per-column overrides; undeclared columns
+fall back to value-based inference, like the CSV reader.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from datetime import datetime
+from typing import Mapping, Sequence
+
+from repro.errors import StorageError
+from repro.storage.csv_io import parse_date
+from repro.table.column import column_from_values, datetime_to_millis
+from repro.table.schema import ContentsKind
+from repro.table.table import Table
+
+#: Substrings of a declared SQL type mapped to a column kind, checked in
+#: order (mirrors SQLite's type-affinity rules, with dates carved out).
+_DECLARED_KIND_RULES: tuple[tuple[str, ContentsKind], ...] = (
+    ("DATE", ContentsKind.DATE),
+    ("TIME", ContentsKind.DATE),
+    ("INT", ContentsKind.INTEGER),
+    ("REAL", ContentsKind.DOUBLE),
+    ("FLOA", ContentsKind.DOUBLE),
+    ("DOUB", ContentsKind.DOUBLE),
+    ("NUMERIC", ContentsKind.DOUBLE),
+    ("DECIMAL", ContentsKind.DOUBLE),
+    ("CHAR", ContentsKind.STRING),
+    ("CLOB", ContentsKind.STRING),
+    ("TEXT", ContentsKind.STRING),
+)
+
+
+def _quote_identifier(name: str) -> str:
+    """Quote an SQL identifier (table or column name)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def kind_from_declared_type(declared: str | None) -> ContentsKind | None:
+    """The column kind implied by a declared SQL type, if any."""
+    if not declared:
+        return None
+    upper = declared.upper()
+    for token, kind in _DECLARED_KIND_RULES:
+        if token in upper:
+            return kind
+    return None
+
+
+def declared_type_for_kind(kind: ContentsKind) -> str:
+    """The SQL column type used when writing a table (:func:`write_sql`)."""
+    if kind is ContentsKind.INTEGER:
+        return "INTEGER"
+    if kind is ContentsKind.DOUBLE:
+        return "REAL"
+    if kind is ContentsKind.DATE:
+        return "TIMESTAMP"
+    return "TEXT"
+
+
+def _declared_kinds(
+    conn: sqlite3.Connection, table: str
+) -> dict[str, ContentsKind | None]:
+    """Column name → kind from the table's declared schema."""
+    rows = conn.execute(f"PRAGMA table_info({_quote_identifier(table)})").fetchall()
+    if not rows:
+        raise StorageError(f"no such SQL table: {table!r}")
+    return {row[1]: kind_from_declared_type(row[2]) for row in rows}
+
+
+def _convert_cell(value: object, kind: ContentsKind | None) -> object | None:
+    """Coerce one SQL cell to the column kind's Python value."""
+    if value is None:
+        return None
+    if kind is ContentsKind.DATE and not isinstance(value, datetime):
+        if isinstance(value, (int, float)):
+            # Stored as epoch milliseconds (our own write_sql encoding).
+            from repro.table.column import millis_to_datetime
+
+            return millis_to_datetime(int(value))
+        parsed = parse_date(str(value))
+        if parsed is None:
+            raise StorageError(f"cannot parse {value!r} as a date")
+        return parsed
+    return value
+
+
+def _rowid_cuts(
+    conn: sqlite3.Connection, table: str, partitions: int
+) -> list[tuple[int, int]]:
+    """Split the table's rowid range into ``partitions`` half-open spans."""
+    quoted = _quote_identifier(table)
+    row = conn.execute(f"SELECT min(rowid), max(rowid) FROM {quoted}").fetchone()
+    lo, hi = row
+    if lo is None:
+        return []
+    span = hi - lo + 1
+    cuts = []
+    for i in range(partitions):
+        start = lo + (span * i) // partitions
+        end = lo + (span * (i + 1)) // partitions
+        if end > start:
+            cuts.append((start, end))
+    return cuts
+
+
+def read_sql(
+    db_path: str,
+    table: str,
+    partitions: int = 1,
+    kinds: Mapping[str, ContentsKind] | None = None,
+    shard_prefix: str | None = None,
+) -> list[Table]:
+    """Read an SQLite table as ``partitions`` horizontally partitioned shards.
+
+    Partitions are contiguous rowid ranges — arbitrary from the engine's
+    point of view, exactly as §2 permits ("no requirements that partitions
+    contain contiguous intervals or specific hash values").  ``kinds``
+    overrides the declared-type mapping per column.
+    """
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    overrides = dict(kinds or {})
+    prefix = shard_prefix or f"{db_path}:{table}"
+    with sqlite3.connect(db_path) as conn:
+        declared = _declared_kinds(conn, table)
+        names = list(declared.keys())
+        chosen = {name: overrides.get(name, declared[name]) for name in names}
+        quoted_table = _quote_identifier(table)
+        column_list = ", ".join(_quote_identifier(n) for n in names)
+        shards = []
+        for index, (start, end) in enumerate(_rowid_cuts(conn, table, partitions)):
+            rows = conn.execute(
+                f"SELECT {column_list} FROM {quoted_table}"
+                " WHERE rowid >= ? AND rowid < ? ORDER BY rowid",
+                (start, end),
+            ).fetchall()
+            data = {
+                name: [
+                    _convert_cell(row[i], chosen[name]) for row in rows
+                ]
+                for i, name in enumerate(names)
+            }
+            shards.append(
+                Table.from_pydict(
+                    data,
+                    kinds={n: k for n, k in chosen.items() if k is not None},
+                    shard_id=f"{prefix}#{index}",
+                )
+            )
+    if not shards:
+        # An empty table still has a schema: emit one empty shard.
+        with sqlite3.connect(db_path) as conn:
+            declared = _declared_kinds(conn, table)
+        data = {name: [] for name in declared}
+        shards = [
+            Table.from_pydict(
+                data,
+                kinds={
+                    n: (overrides.get(n) or declared[n] or ContentsKind.STRING)
+                    for n in declared
+                },
+                shard_id=f"{prefix}#0",
+            )
+        ]
+    return shards
+
+
+def write_sql(db_path: str, table_name: str, table: Table) -> int:
+    """Store a table's member rows into an SQLite table; returns row count.
+
+    Dates are stored as epoch milliseconds in a ``TIMESTAMP`` column, which
+    :func:`read_sql` converts back.  An existing table of the same name is
+    replaced — the analogue of Hillview's save-table operation writing a
+    fresh partition (§5.4).
+    """
+    schema = table.schema
+    columns = ", ".join(
+        f"{_quote_identifier(d.name)} {declared_type_for_kind(d.kind)}"
+        for d in schema
+    )
+    rows = table.members.indices()
+    column_objects = [table.column(name) for name in schema.names]
+    kinds = [d.kind for d in schema]
+
+    def encode(value: object | None, kind: ContentsKind) -> object | None:
+        if value is None:
+            return None
+        if kind is ContentsKind.DATE:
+            return datetime_to_millis(value)  # type: ignore[arg-type]
+        return value
+
+    with sqlite3.connect(db_path) as conn:
+        quoted = _quote_identifier(table_name)
+        conn.execute(f"DROP TABLE IF EXISTS {quoted}")
+        conn.execute(f"CREATE TABLE {quoted} ({columns})")
+        placeholders = ", ".join("?" for _ in schema.names)
+        conn.executemany(
+            f"INSERT INTO {quoted} VALUES ({placeholders})",
+            (
+                tuple(
+                    encode(col.value(int(row)), kind)
+                    for col, kind in zip(column_objects, kinds)
+                )
+                for row in rows
+            ),
+        )
+        conn.commit()
+    return len(rows)
+
+
+def snapshot_fingerprint(db_path: str, table: str) -> tuple[int, int, int]:
+    """A cheap fingerprint of the table's current contents.
+
+    ``(row count, max rowid, sum of rowids)`` — changes whenever rows are
+    inserted or deleted.  In-place updates are not detected; as §2 states,
+    the storage layer is expected to provide snapshots or pause writes while
+    Hillview runs, and this check is a guard rail, not a proof.
+    """
+    quoted = _quote_identifier(table)
+    with sqlite3.connect(db_path) as conn:
+        row = conn.execute(
+            f"SELECT count(*), coalesce(max(rowid), 0), coalesce(total(rowid), 0)"
+            f" FROM {quoted}"
+        ).fetchone()
+    return int(row[0]), int(row[1]), int(row[2])

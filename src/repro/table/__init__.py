@@ -1,0 +1,65 @@
+"""In-memory columnar tables — the substrate vizketches compute over.
+
+Hillview keeps data in columnar form with dictionary-encoded strings and
+arrays of base types (paper §6).  Filtered tables share column storage with
+their parent and carry a *membership set* describing which rows they contain
+(paper §5.6); user-defined maps derive new columns at the leaves.
+"""
+
+from repro.table.schema import ContentsKind, ColumnDescription, Schema
+from repro.table.column import (
+    Column,
+    IntColumn,
+    DoubleColumn,
+    DateColumn,
+    StringColumn,
+    column_from_values,
+)
+from repro.table.membership import (
+    MembershipSet,
+    FullMembership,
+    DenseMembership,
+    SparseMembership,
+    membership_from_mask,
+    membership_from_indices,
+)
+from repro.table.table import Table
+from repro.table.sort import ColumnSortOrientation, RecordOrder, RowKey
+from repro.table.compute import (
+    Predicate,
+    ColumnPredicate,
+    AndPredicate,
+    OrPredicate,
+    NotPredicate,
+    StringMatchPredicate,
+    derive_column,
+)
+
+__all__ = [
+    "ContentsKind",
+    "ColumnDescription",
+    "Schema",
+    "Column",
+    "IntColumn",
+    "DoubleColumn",
+    "DateColumn",
+    "StringColumn",
+    "column_from_values",
+    "MembershipSet",
+    "FullMembership",
+    "DenseMembership",
+    "SparseMembership",
+    "membership_from_mask",
+    "membership_from_indices",
+    "Table",
+    "ColumnSortOrientation",
+    "RecordOrder",
+    "RowKey",
+    "Predicate",
+    "ColumnPredicate",
+    "AndPredicate",
+    "OrPredicate",
+    "NotPredicate",
+    "StringMatchPredicate",
+    "derive_column",
+]

@@ -1,0 +1,275 @@
+"""Row predicates and derived columns (paper §5.6).
+
+Selection (filtering) and user-defined maps are the two data transformations
+Hillview supports.  Predicates are declarative value objects with a stable
+``spec()`` so the engine's redo log can replay them deterministically after
+a failure; user-defined maps carry a Python callable (the analogue of
+Hillview's user-supplied JavaScript) and are replayed by re-invoking it.
+
+String predicates evaluate against the column *dictionary* first and then
+map codes, so a substring search over a billion rows touches each distinct
+string once (paper §6: dictionary encoding).
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+from repro.errors import ColumnKindError, SchemaError
+from repro.table.column import Column, column_from_values
+from repro.table.dictionary import MISSING_CODE
+from repro.table.column import StringColumn
+from repro.table.schema import ContentsKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.table.table import Table
+
+
+class Predicate(ABC):
+    """A boolean condition over rows, evaluated vectorized per shard."""
+
+    @abstractmethod
+    def evaluate(self, table: "Table", rows: np.ndarray) -> np.ndarray:
+        """Boolean array aligned with ``rows``."""
+
+    @abstractmethod
+    def spec(self) -> str:
+        """Deterministic description used for redo-log replay and caching."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return AndPredicate([self, other])
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return OrPredicate([self, other])
+
+    def __invert__(self) -> "Predicate":
+        return NotPredicate(self)
+
+    def __repr__(self) -> str:
+        return self.spec()
+
+
+_NUMERIC_OPS: dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class ColumnPredicate(Predicate):
+    """Compare one column against a constant (or range / value set).
+
+    Supported operators: ``== != < <= > >= between in is_missing``.
+    Missing cells never satisfy a comparison (SQL-like semantics), except
+    for the ``is_missing`` operator.
+    """
+
+    def __init__(self, column: str, op: str, value: object = None):
+        if op not in (*_NUMERIC_OPS, "between", "in", "is_missing"):
+            raise SchemaError(f"unknown predicate operator {op!r}")
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def spec(self) -> str:
+        return f"ColumnPredicate({self.column!r},{self.op!r},{self.value!r})"
+
+    def evaluate(self, table: "Table", rows: np.ndarray) -> np.ndarray:
+        column = table.column(self.column)
+        if self.op == "is_missing":
+            return column.missing_mask()[rows]
+        if column.kind.is_string:
+            return self._evaluate_string(column, rows)
+        return self._evaluate_numeric(column, rows)
+
+    def _evaluate_numeric(self, column: Column, rows: np.ndarray) -> np.ndarray:
+        values = column.numeric_values(rows)
+        with np.errstate(invalid="ignore"):
+            if self.op == "between":
+                lo, hi = self.value  # type: ignore[misc]
+                result = (values >= float(lo)) & (values <= float(hi))
+            elif self.op == "in":
+                result = np.isin(values, np.asarray(list(self.value), dtype=np.float64))  # type: ignore[arg-type]
+            else:
+                result = _NUMERIC_OPS[self.op](values, float(self.value))  # type: ignore[arg-type]
+        result &= ~np.isnan(values)
+        return result
+
+    def _evaluate_string(self, column: Column, rows: np.ndarray) -> np.ndarray:
+        if not isinstance(column, StringColumn):
+            raise ColumnKindError(f"column {self.column!r} is not a string column")
+        # Evaluate once per dictionary entry, then map through codes.
+        dictionary = column.dictionary.values
+        if self.op == "between":
+            lo, hi = self.value  # type: ignore[misc]
+            ok = np.array([lo <= v <= hi for v in dictionary], dtype=bool)
+        elif self.op == "in":
+            wanted = set(self.value)  # type: ignore[arg-type]
+            ok = np.array([v in wanted for v in dictionary], dtype=bool)
+        else:
+            op = _NUMERIC_OPS[self.op]
+            target = str(self.value)
+            if self.op in ("==", "!="):
+                ok = np.array(
+                    [(v == target) if self.op == "==" else (v != target) for v in dictionary],
+                    dtype=bool,
+                )
+            else:
+                ok = np.array([bool(op(v, target)) for v in dictionary], dtype=bool)
+        codes = column.codes_at(rows)
+        result = np.zeros(len(rows), dtype=bool)
+        present = codes != MISSING_CODE
+        result[present] = ok[codes[present]]
+        return result
+
+
+class StringMatchPredicate(Predicate):
+    """Free-form text search (paper §3.3): exact, substring, or regexp.
+
+    The pattern is evaluated against each *distinct* dictionary string once.
+    """
+
+    MODES = ("exact", "substring", "regex")
+
+    def __init__(
+        self,
+        column: str,
+        pattern: str,
+        mode: str = "substring",
+        case_sensitive: bool = True,
+    ):
+        if mode not in self.MODES:
+            raise SchemaError(f"unknown match mode {mode!r}")
+        self.column = column
+        self.pattern = pattern
+        self.mode = mode
+        self.case_sensitive = case_sensitive
+
+    def spec(self) -> str:
+        return (
+            f"StringMatchPredicate({self.column!r},{self.pattern!r},"
+            f"{self.mode!r},cs={self.case_sensitive})"
+        )
+
+    def matcher(self) -> Callable[[str], bool]:
+        """A predicate over a single string implementing this search."""
+        pattern = self.pattern
+        if self.mode == "regex":
+            flags = 0 if self.case_sensitive else re.IGNORECASE
+            compiled = re.compile(pattern, flags)
+            return lambda s: compiled.search(s) is not None
+        if not self.case_sensitive:
+            pattern = pattern.lower()
+            if self.mode == "exact":
+                return lambda s: s.lower() == pattern
+            return lambda s: pattern in s.lower()
+        if self.mode == "exact":
+            return lambda s: s == pattern
+        return lambda s: pattern in s
+
+    def evaluate(self, table: "Table", rows: np.ndarray) -> np.ndarray:
+        column = table.column(self.column)
+        if not isinstance(column, StringColumn):
+            raise ColumnKindError(
+                f"text search requires a string column, got {self.column!r}"
+            )
+        match = self.matcher()
+        ok = np.array([match(v) for v in column.dictionary.values], dtype=bool)
+        codes = column.codes_at(rows)
+        result = np.zeros(len(rows), dtype=bool)
+        present = codes != MISSING_CODE
+        result[present] = ok[codes[present]]
+        return result
+
+
+class AndPredicate(Predicate):
+    def __init__(self, parts: Iterable[Predicate]):
+        self.parts = list(parts)
+        if not self.parts:
+            raise SchemaError("AndPredicate needs at least one part")
+
+    def spec(self) -> str:
+        return "And(" + ",".join(p.spec() for p in self.parts) + ")"
+
+    def evaluate(self, table: "Table", rows: np.ndarray) -> np.ndarray:
+        result = self.parts[0].evaluate(table, rows)
+        for part in self.parts[1:]:
+            # Short-circuit: only evaluate remaining parts where still true.
+            if not result.any():
+                break
+            result = result & part.evaluate(table, rows)
+        return result
+
+
+class OrPredicate(Predicate):
+    def __init__(self, parts: Iterable[Predicate]):
+        self.parts = list(parts)
+        if not self.parts:
+            raise SchemaError("OrPredicate needs at least one part")
+
+    def spec(self) -> str:
+        return "Or(" + ",".join(p.spec() for p in self.parts) + ")"
+
+    def evaluate(self, table: "Table", rows: np.ndarray) -> np.ndarray:
+        result = self.parts[0].evaluate(table, rows)
+        for part in self.parts[1:]:
+            result = result | part.evaluate(table, rows)
+        return result
+
+
+class NotPredicate(Predicate):
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    def spec(self) -> str:
+        return f"Not({self.inner.spec()})"
+
+    def evaluate(self, table: "Table", rows: np.ndarray) -> np.ndarray:
+        return ~self.inner.evaluate(table, rows)
+
+
+def derive_column(
+    table: "Table",
+    name: str,
+    kind: ContentsKind,
+    fn: Callable,
+    vectorized: bool = False,
+) -> Column:
+    """Compute a new column from existing ones via a user-defined map (§5.6).
+
+    ``fn`` receives a dict per row (``{column_name: value}``) and returns the
+    new cell value, or — when ``vectorized`` — a dict of numpy arrays /
+    string lists covering the member rows at once and returns an array.
+
+    The column is materialized only for the table's member rows; other
+    universe positions are missing, mirroring Hillview computing derived
+    columns at the leaves for the current membership.
+    """
+    rows = table.members.indices()
+    if vectorized:
+        arrays: dict[str, object] = {}
+        for desc in table.schema:
+            column = table.column(desc.name)
+            if desc.kind.is_string:
+                arrays[desc.name] = column.string_values(rows)
+            else:
+                arrays[desc.name] = column.numeric_values(rows)
+        values = list(fn(arrays))
+    else:
+        values = [fn(table.row(int(r))) for r in rows]
+    if len(values) != len(rows):
+        raise SchemaError(
+            f"map function returned {len(values)} values for {len(rows)} rows"
+        )
+    # Scatter member-row values into a universe-sized column.
+    universe = [None] * table.universe_size
+    for row, value in zip(rows, values):
+        universe[int(row)] = value
+    return column_from_values(name, universe, kind)

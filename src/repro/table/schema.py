@@ -1,0 +1,134 @@
+"""Column kinds, column descriptions and table schemas.
+
+The paper targets integers, floating-point numbers, dates, free-form text
+and categorical strings (§3.5).  ``CATEGORY`` and ``STRING`` share a storage
+representation (dictionary encoding) and differ only in intent: categorical
+columns are expected to have few distinct values.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+from repro.errors import MissingColumnError, SchemaError
+
+
+class ContentsKind(str, Enum):
+    """The data type of a column (paper §3.5)."""
+
+    INTEGER = "integer"
+    DOUBLE = "double"
+    DATE = "date"
+    STRING = "string"
+    CATEGORY = "category"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Kinds readily convertible to a real number (§4.3: dates qualify)."""
+        return self in (ContentsKind.INTEGER, ContentsKind.DOUBLE, ContentsKind.DATE)
+
+    @property
+    def is_string(self) -> bool:
+        return self in (ContentsKind.STRING, ContentsKind.CATEGORY)
+
+
+@dataclass(frozen=True)
+class ColumnDescription:
+    """Name and kind of one column."""
+
+    name: str
+    kind: ContentsKind
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "kind": self.kind.value}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ColumnDescription":
+        return cls(name=data["name"], kind=ContentsKind(data["kind"]))
+
+
+class Schema:
+    """An ordered collection of column descriptions."""
+
+    def __init__(self, columns: Iterable[ColumnDescription]):
+        self._columns: list[ColumnDescription] = list(columns)
+        self._by_name: dict[str, ColumnDescription] = {}
+        for desc in self._columns:
+            if desc.name in self._by_name:
+                raise SchemaError(f"duplicate column name {desc.name!r}")
+            self._by_name[desc.name] = desc
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[ColumnDescription]:
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._columns))
+
+    @property
+    def names(self) -> list[str]:
+        return [desc.name for desc in self._columns]
+
+    def get(self, name: str) -> ColumnDescription:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MissingColumnError(name, self.names) from None
+
+    def kind(self, name: str) -> ContentsKind:
+        return self.get(name).kind
+
+    def require_numeric(self, name: str) -> ColumnDescription:
+        """The description of ``name``, which must be numeric-convertible."""
+        desc = self.get(name)
+        if not desc.kind.is_numeric:
+            raise SchemaError(f"column {name!r} of kind {desc.kind.value} is not numeric")
+        return desc
+
+    def require_string(self, name: str) -> ColumnDescription:
+        desc = self.get(name)
+        if not desc.kind.is_string:
+            raise SchemaError(f"column {name!r} of kind {desc.kind.value} is not string")
+        return desc
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """A schema containing only ``names``, in the given order."""
+        return Schema(self.get(name) for name in names)
+
+    def append(self, desc: ColumnDescription) -> "Schema":
+        if desc.name in self._by_name:
+            raise SchemaError(f"column {desc.name!r} already exists")
+        return Schema(self._columns + [desc])
+
+    def to_json(self) -> list[dict]:
+        return [desc.to_json() for desc in self._columns]
+
+    def to_json_string(self) -> str:
+        return json.dumps(self.to_json())
+
+    @classmethod
+    def from_json(cls, data: list[dict]) -> "Schema":
+        return cls(ColumnDescription.from_json(item) for item in data)
+
+    @classmethod
+    def from_json_string(cls, text: str) -> "Schema":
+        return cls.from_json(json.loads(text))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{d.name}:{d.kind.value}" for d in self._columns)
+        return f"Schema({cols})"

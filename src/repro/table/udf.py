@@ -1,0 +1,180 @@
+"""User-defined map columns from expression strings (§5.6).
+
+Hillview lets analysts derive columns with JavaScript functions; the source
+string travels through the RPC protocol, runs at the leaves, and is
+recorded in the redo log so replay reproduces the column.  This module is
+the Python analogue: a :class:`ColumnExpression` is a *vectorized* numpy
+expression over the table's numeric columns, validated against a small AST
+whitelist at construction, serializable as its source text, and evaluated
+per shard.
+
+Example::
+
+    ColumnExpression("ArrDelay - DepDelay")          # gained/lost in air
+    ColumnExpression("log1p(abs(Distance))")         # log-scaled distance
+    ColumnExpression("where(Cancelled > 0, 0.0, AirTime / Distance)")
+
+Missing cells are NaN during evaluation (how numeric columns expose them),
+and NaN results become missing cells in the derived column — SQL-ish
+missing-value propagation for free.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+#: Functions an expression may call, all elementwise numpy ufuncs (plus
+#: ``where``/``clip``/``minimum``/``maximum`` which are shape-preserving).
+ALLOWED_FUNCTIONS: dict[str, object] = {
+    "abs": np.abs,
+    "ceil": np.ceil,
+    "clip": np.clip,
+    "cos": np.cos,
+    "exp": np.exp,
+    "floor": np.floor,
+    "log": np.log,
+    "log10": np.log10,
+    "log1p": np.log1p,
+    "log2": np.log2,
+    "maximum": np.maximum,
+    "minimum": np.minimum,
+    "sign": np.sign,
+    "sin": np.sin,
+    "sqrt": np.sqrt,
+    "where": np.where,
+}
+
+_ALLOWED_BINOPS = (
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+)
+_ALLOWED_UNARYOPS = (ast.USub, ast.UAdd)
+_ALLOWED_CMPOPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+class ExpressionError(SchemaError):
+    """An expression failed validation or evaluation."""
+
+
+class ColumnExpression:
+    """A validated, vectorized expression over numeric columns.
+
+    The expression grammar is deliberately small — arithmetic, comparisons,
+    numeric constants, column names, and the :data:`ALLOWED_FUNCTIONS`
+    whitelist.  No attribute access, subscripts, lambdas, comprehensions or
+    boolean keywords (use ``where`` for conditionals), which keeps a
+    *user-supplied string* safe to execute at the leaves.
+    """
+
+    def __init__(self, expression: str):
+        self.expression = expression
+        try:
+            tree = ast.parse(expression, mode="eval")
+        except SyntaxError as exc:
+            raise ExpressionError(f"invalid expression: {exc}") from exc
+        self.columns = sorted(self._validate(tree))
+        if not self.columns:
+            raise ExpressionError(
+                "expression references no columns; derived columns must "
+                "depend on the data"
+            )
+        self._code = compile(tree, "<column-expression>", "eval")
+
+    def _validate(self, tree: ast.Expression) -> set[str]:
+        """Walk the AST, rejecting anything off the whitelist."""
+        columns: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Expression, ast.Load)):
+                continue
+            if isinstance(node, ast.Constant):
+                if not isinstance(node.value, (int, float)):
+                    raise ExpressionError(
+                        f"only numeric constants are allowed, got "
+                        f"{node.value!r}"
+                    )
+            elif isinstance(node, ast.Name):
+                if node.id not in ALLOWED_FUNCTIONS:
+                    columns.add(node.id)
+            elif isinstance(node, ast.Call):
+                if (
+                    not isinstance(node.func, ast.Name)
+                    or node.func.id not in ALLOWED_FUNCTIONS
+                ):
+                    raise ExpressionError(
+                        "only whitelisted functions may be called: "
+                        + ", ".join(sorted(ALLOWED_FUNCTIONS))
+                    )
+                if node.keywords:
+                    raise ExpressionError("keyword arguments are not allowed")
+            elif isinstance(node, ast.BinOp):
+                if not isinstance(node.op, _ALLOWED_BINOPS):
+                    raise ExpressionError(
+                        f"operator {type(node.op).__name__} is not allowed"
+                    )
+            elif isinstance(node, ast.UnaryOp):
+                if not isinstance(node.op, _ALLOWED_UNARYOPS):
+                    raise ExpressionError(
+                        f"operator {type(node.op).__name__} is not allowed"
+                    )
+            elif isinstance(node, ast.Compare):
+                for op in node.ops:
+                    if not isinstance(op, _ALLOWED_CMPOPS):
+                        raise ExpressionError(
+                            f"comparison {type(op).__name__} is not allowed"
+                        )
+            elif isinstance(
+                node,
+                (
+                    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+                    ast.Mod, ast.Pow, ast.USub, ast.UAdd,
+                    ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq,
+                ),
+            ):
+                continue  # operator tokens reached via ast.walk
+            else:
+                raise ExpressionError(
+                    f"syntax {type(node).__name__} is not allowed in "
+                    "column expressions"
+                )
+        return columns
+
+    def evaluate(self, arrays: Mapping[str, object]) -> np.ndarray:
+        """Evaluate over per-column numpy arrays; returns a float array.
+
+        ``arrays`` maps column name to that column's member-row values
+        (what a vectorized derive passes, §5.6).  Comparison results are
+        cast to float so derived boolean columns render as 0/1 histograms.
+        """
+        namespace: dict[str, object] = dict(ALLOWED_FUNCTIONS)
+        for name in self.columns:
+            if name not in arrays:
+                raise ExpressionError(f"unknown column {name!r} in expression")
+            values = arrays[name]
+            if not isinstance(values, np.ndarray):
+                raise ExpressionError(
+                    f"column {name!r} is not numeric; expressions operate "
+                    "on numeric columns only"
+                )
+            namespace[name] = values
+        with np.errstate(all="ignore"):
+            result = eval(self._code, {"__builtins__": {}}, namespace)
+        result = np.asarray(result, dtype=np.float64)
+        first = namespace[self.columns[0]]
+        if result.shape != np.shape(first):
+            raise ExpressionError(
+                "expression did not produce one value per row"
+            )
+        return result
+
+    def __repr__(self) -> str:
+        return f"ColumnExpression({self.expression!r})"

@@ -1,0 +1,70 @@
+"""Shared fixtures: small deterministic tables, flights data, clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.flights import FlightsSource, generate_flights
+from repro.engine.cluster import Cluster
+from repro.storage.loader import TableSource
+from repro.table.table import Table
+
+
+@pytest.fixture
+def small_table() -> Table:
+    """A tiny mixed-kind table with missing values, used across tests."""
+    return Table.from_pydict(
+        {
+            "x": [3, 1, 2, None, 5, 4, 1, 2],
+            "y": [0.5, 1.5, None, 2.5, 3.5, 0.5, 1.5, 2.5],
+            "name": ["bob", "alice", "carol", None, "alice", "dave", "bob", "alice"],
+        }
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_numeric() -> Table:
+    """50k uniform rows in one numeric column plus a category column."""
+    rng = np.random.default_rng(7)
+    n = 50_000
+    return Table.from_pydict(
+        {
+            "value": rng.uniform(0, 100, n).tolist(),
+            "group": [f"g{int(v)}" for v in rng.integers(0, 12, n)],
+        }
+    )
+
+
+@pytest.fixture(scope="session")
+def flights() -> Table:
+    """A session-scoped synthetic flights table (60k rows)."""
+    return generate_flights(60_000, seed=42)
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A 3-worker cluster with a fast aggregation cadence for tests."""
+    return Cluster(num_workers=3, cores_per_worker=2, aggregation_interval=0.01)
+
+
+@pytest.fixture
+def flights_cluster(cluster: Cluster):
+    """A cluster pre-loaded with 40k flights in 12 partitions."""
+    dataset = cluster.load(FlightsSource(40_000, partitions=12, seed=5))
+    return cluster, dataset
+
+
+def make_shards(table: Table, parts: int) -> list[Table]:
+    """Split a table into shards (helper used by mergeability tests)."""
+    return table.split(parts)
+
+
+@pytest.fixture
+def table_source():
+    """Factory: wrap tables in a TableSource."""
+
+    def build(table: Table, shards: int = 4) -> TableSource:
+        return TableSource([table], shards_per_table=shards)
+
+    return build

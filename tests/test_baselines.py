@@ -1,0 +1,191 @@
+"""Baseline tests: the SQL row store and the general-purpose engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline.analytics import GeneralPurposeEngine, TASK_OVERHEAD_BYTES
+from repro.baseline.rowstore import RowStoreDatabase
+from repro.errors import QueryError
+from repro.table.table import Table
+
+
+@pytest.fixture
+def db(small_table):
+    database = RowStoreDatabase()
+    database.load_table("t", small_table)
+    return database
+
+
+class TestRowStoreSql:
+    def test_select_star(self, db):
+        rows = db.execute("SELECT * FROM t")
+        assert len(rows) == 8
+        assert rows[0] == (3, 0.5, "bob")
+
+    def test_projection(self, db):
+        rows = db.execute("SELECT name, x FROM t LIMIT 2")
+        assert rows == [("bob", 3), ("alice", 1)]
+
+    def test_where_comparisons(self, db):
+        rows = db.execute("SELECT x FROM t WHERE x > 2")
+        assert sorted(r[0] for r in rows) == [3, 4, 5]
+        rows = db.execute("SELECT x FROM t WHERE x >= 2 AND x < 5")
+        assert sorted(r[0] for r in rows) == [2, 2, 3, 4]
+
+    def test_where_string_equality(self, db):
+        rows = db.execute("SELECT x FROM t WHERE name = 'alice'")
+        assert sorted(r[0] for r in rows) == [1, 2, 5]
+
+    def test_quoted_string_escapes(self, db):
+        assert db.execute("SELECT x FROM t WHERE name = 'o''brien'") == []
+
+    def test_nulls_never_match(self, db):
+        rows = db.execute("SELECT name FROM t WHERE x < 100")
+        assert len(rows) == 7  # the row with NULL x is excluded
+
+    def test_aggregates(self, db):
+        (result,) = db.execute(
+            "SELECT COUNT(*), COUNT(x), SUM(x), AVG(x), MIN(x), MAX(x) FROM t"
+        )
+        assert result[0] == 8
+        assert result[1] == 7
+        assert result[2] == pytest.approx(18.0)
+        assert result[3] == pytest.approx(18 / 7)
+        assert result[4] == 1
+        assert result[5] == 5
+
+    def test_group_by(self, db):
+        rows = db.execute(
+            "SELECT COUNT(*) FROM t GROUP BY name ORDER BY count(*) DESC"
+        )
+        counts = [r[1] for r in rows]
+        assert counts == sorted(counts, reverse=True)
+        by_name = {r[0]: r[1] for r in rows}
+        assert by_name["alice"] == 3
+        assert by_name[None] == 1
+
+    def test_order_by_limit(self, db):
+        rows = db.execute("SELECT x FROM t ORDER BY x DESC LIMIT 3")
+        assert [r[0] for r in rows] == [5, 4, 3]
+
+    def test_histogram_extension(self, db):
+        (result,) = db.execute("SELECT HISTOGRAM(x, 0, 5, 5) FROM t")
+        counts = result[0]
+        assert sum(counts) == 7
+        assert counts[0] == 0  # no x in [0,1)
+        assert counts[4] == 2  # x=5 right-edge closed; x=4... wait
+
+    def test_index_used_for_equality(self, db):
+        db.create_index("t", "name")
+        rows = db.execute("SELECT x FROM t WHERE name = 'bob'")
+        assert sorted(r[0] for r in rows) == [1, 3]
+
+    def test_insert_type_checked(self, db):
+        with pytest.raises(QueryError):
+            db.insert_rows("t", [("not-an-int", 1.0, "x")])
+
+    def test_parse_errors(self, db):
+        for bad in (
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t LIMIT x",
+            "SELECT nope FROM t",
+            "SELECT * FROM missing",
+        ):
+            with pytest.raises(QueryError):
+                db.execute(bad)
+
+    def test_statement_counter(self, db):
+        before = db.statements_executed
+        db.execute("SELECT COUNT(*) FROM t")
+        assert db.statements_executed == before + 1
+
+
+class TestGeneralPurposeEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        rng = np.random.default_rng(31)
+        n = 40_000
+        table = Table.from_pydict(
+            {
+                "v": rng.normal(50, 10, n).tolist(),
+                "w": rng.uniform(0, 1, n).tolist(),
+                "g": [f"k{int(i)}" for i in rng.integers(0, 30, n)],
+            }
+        )
+        return GeneralPurposeEngine(table.split(8)), table
+
+    def test_histogram_exact(self, engine):
+        eng, table = engine
+        counts = eng.histogram("v", 0, 100, 20)
+        expected = np.histogram(
+            table.column("v").data, bins=20, range=(0, 100)
+        )[0]
+        assert np.array_equal(counts, expected)
+
+    def test_bytes_include_task_overhead(self, engine):
+        eng, _ = engine
+        eng.histogram("v", 0, 100, 20)
+        assert eng.last_stats.tasks == 8
+        assert eng.last_stats.bytes_to_driver >= 8 * TASK_OVERHEAD_BYTES
+
+    def test_no_partial_results(self, engine):
+        eng, _ = engine
+        eng.histogram("v", 0, 100, 20)
+        stats = eng.last_stats
+        assert stats.first_result_seconds == stats.seconds
+
+    def test_sort_rows_ships_whole_rows(self, engine):
+        eng, table = engine
+        top = eng.sort_rows(["v"], limit=10)
+        assert len(top) == 10
+        assert len(top[0]) == table.num_columns  # every column shipped
+        values = [row[0] for row in top]
+        assert values == sorted(values)
+
+    def test_quantile_exact(self, engine):
+        eng, table = engine
+        median = eng.quantile("v", 0.5)
+        assert median == pytest.approx(
+            float(np.median(table.column("v").data)), abs=1e-9
+        )
+
+    def test_distinct_ships_full_set(self, engine):
+        eng, table = engine
+        values = eng.distinct_values("g")
+        assert len(values) == 30
+        assert eng.last_stats.bytes_to_driver > 0
+
+    def test_group_counts_and_topk(self, engine):
+        eng, table = engine
+        counts = eng.group_counts("g")
+        assert sum(counts.values()) == table.num_rows
+        top = eng.top_k("g", 5)
+        assert len(top) == 5
+        assert top[0][1] >= top[-1][1]
+
+    def test_heatmap_matches_numpy(self, engine):
+        eng, table = engine
+        grid = eng.heatmap("v", "w", (0, 100), (0, 1), 10, 8)
+        expected, _, _ = np.histogram2d(
+            table.column("v").data,
+            table.column("w").data,
+            bins=(10, 8),
+            range=((0, 100), (0, 1)),
+        )
+        assert np.array_equal(grid, expected.astype(np.int64))
+
+    def test_column_range(self, engine):
+        eng, table = engine
+        lo, hi, count = eng.column_range("v")
+        data = table.column("v").data
+        assert lo == pytest.approx(data.min())
+        assert hi == pytest.approx(data.max())
+        assert count == len(data)
+
+    def test_needs_partitions(self):
+        with pytest.raises(QueryError):
+            GeneralPurposeEngine([])

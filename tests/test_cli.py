@@ -1,0 +1,154 @@
+"""Terminal spreadsheet (repro.cli) tests: every command, end to end."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import Session, source_for_path
+from repro.engine.cluster import Cluster
+from repro.errors import HillviewError
+from repro.spreadsheet import Spreadsheet
+from repro.storage.loader import CsvSource, JsonlSource, SqlSource, SyslogSource
+from repro.storage.sql_io import write_sql
+from repro.table.table import Table
+
+
+@pytest.fixture
+def session(flights):
+    cluster = Cluster(num_workers=2)
+    from repro.storage.loader import TableSource
+
+    dataset = cluster.load(TableSource([flights], shards_per_table=8))
+    out = io.StringIO()
+    return Session(Spreadsheet(dataset, seed=7), out=out), out
+
+
+def run(session_pair, *lines: str) -> str:
+    session, out = session_pair
+    session.run(lines)
+    return out.getvalue()
+
+
+class TestCommands:
+    def test_cols_lists_schema(self, session):
+        output = run(session, "cols")
+        assert "DepDelay: double" in output
+        assert "Airline: category" in output
+
+    def test_rows(self, session):
+        output = run(session, "rows")
+        assert "60,000 rows" in output
+
+    def test_view_next_prev(self, session):
+        output = run(session, "view Distance", "next", "prev")
+        assert output.count("Distance") >= 3
+        assert "count" in output
+
+    def test_scroll(self, session):
+        output = run(session, "view DepDelay", "scroll 0.5")
+        assert "scrolled to ~" in output
+
+    def test_find(self, session):
+        output = run(session, "find Origin SFO")
+        assert "matches; showing the first" in output
+
+    def test_find_no_match(self, session):
+        output = run(session, "find Origin ZZZZ")
+        assert "no match" in output
+
+    def test_hist(self, session):
+        output = run(session, "hist Distance")
+        assert "#" in output  # histogram bars
+
+    def test_stack_and_heat(self, session):
+        output = run(session, "stack DepDelay Airline", "heat DepDelay ArrDelay")
+        assert "stacked histogram" in output
+
+    def test_trellis(self, session):
+        output = run(session, "trellis Airline DepDelay")
+        assert "--" in output  # pane separators
+
+    def test_top(self, session):
+        output = run(session, "top Origin 5")
+        assert "ATL" in output
+        assert "%" in output
+
+    def test_distinct_and_summary(self, session):
+        output = run(session, "distinct Origin", "summary DepDelay")
+        assert "distinct values" in output
+        assert "mean" in output
+
+    def test_filter_then_reset(self, session):
+        output = run(session, "filter DepDelay > 60", "rows", "reset", "rows")
+        assert "filtered:" in output
+        assert "back to the full dataset" in output
+        assert output.count("60,000 rows") == 1  # only after reset
+
+    def test_derive(self, session):
+        output = run(session, "derive gain 'DepDelay - ArrDelay'", "summary gain")
+        assert "derived 'gain'" in output
+
+    def test_log(self, session):
+        output = run(session, "rows", "hist Distance", "log")
+        assert "histogram" in output
+
+    def test_help(self, session):
+        output = run(session, "help")
+        assert "view <col>" in output
+
+    def test_quit_stops_processing(self, session):
+        output = run(session, "rows", "quit", "cols")
+        assert "DepDelay" not in output  # cols never ran
+
+    def test_unknown_command(self, session):
+        output = run(session, "teleport")
+        assert "unknown command" in output
+
+    def test_unknown_column_is_reported(self, session):
+        output = run(session, "hist Nonexistent")
+        assert "no column" in output
+
+    def test_bad_expression_is_reported(self, session):
+        output = run(session, "derive evil 'exec(1)'")
+        assert "error" in output
+
+    def test_empty_lines_ignored(self, session):
+        output = run(session, "", "   ", "rows")
+        assert "60,000 rows" in output
+
+
+class TestSourceSelection:
+    def test_csv(self):
+        assert isinstance(source_for_path("data.csv"), CsvSource)
+
+    def test_jsonl(self):
+        assert isinstance(source_for_path("data.jsonl"), JsonlSource)
+
+    def test_syslog(self):
+        assert isinstance(source_for_path("server.log"), SyslogSource)
+
+    def test_sqlite_requires_table(self):
+        with pytest.raises(HillviewError, match="--sql-table"):
+            source_for_path("data.db")
+
+    def test_sqlite_with_table(self, tmp_path):
+        path = str(tmp_path / "t.db")
+        write_sql(path, "events", Table.from_pydict({"n": [1, 2, 3]}))
+        source = source_for_path(path, sql_table="events")
+        assert isinstance(source, SqlSource)
+        assert sum(t.num_rows for t in source.load()) == 3
+
+
+class TestMainEntry:
+    def test_scripted_run(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["--demo-flights", "5000", "--workers", "1",
+             "--commands", "rows; top Airline 3; quit"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "5,000 rows" in output

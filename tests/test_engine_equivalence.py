@@ -1,0 +1,113 @@
+"""Cross-engine equivalence: every engine computes the same summaries.
+
+The paper's modularity claim (§5.5) means a vizketch's result is a function
+of the *data*, never of the execution substrate.  This suite drives random
+tables through all three ways a sketch can run — single-table local,
+multi-threaded parallel, and the multi-worker cluster — and requires
+bit-identical wire encodings, including under random repartitioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buckets import DoubleBuckets, ExplicitStringBuckets
+from repro.engine.cluster import Cluster
+from repro.engine.local import LocalDataSet, ParallelDataSet, parallel_dataset
+from repro.sketches.heavy_hitters import MisraGriesSketch
+from repro.sketches.histogram import HistogramSketch
+from repro.sketches.moments import MomentsSketch
+from repro.sketches.next_items import NextKSketch
+from repro.sketches.stacked import StackedHistogramSketch
+from repro.sketches.trellis import TrellisHistogramSketch
+from repro.storage.loader import TableSource
+from repro.table.sort import RecordOrder
+from repro.table.table import Table
+
+VALUE_BUCKETS = DoubleBuckets(-50, 50, 10)
+GROUP_BUCKETS = ExplicitStringBuckets(["a", "b", "c"])
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.integers(-50, 50)),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    min_size=2,
+    max_size=60,
+)
+
+SKETCHES = [
+    lambda: HistogramSketch("n", VALUE_BUCKETS),
+    lambda: MomentsSketch("n"),
+    lambda: MisraGriesSketch("g", 4),
+    lambda: NextKSketch(RecordOrder.of("g", "n"), 5),
+    lambda: StackedHistogramSketch("n", VALUE_BUCKETS, "g", GROUP_BUCKETS),
+    lambda: TrellisHistogramSketch("g", GROUP_BUCKETS, "n", VALUE_BUCKETS),
+]
+
+
+def build_table(data) -> Table:
+    from repro.table.schema import ContentsKind
+
+    return Table.from_pydict(
+        {"n": [d[0] for d in data], "g": [d[1] for d in data]},
+        kinds={"n": ContentsKind.INTEGER, "g": ContentsKind.STRING},
+    )
+
+
+@pytest.mark.parametrize("make_sketch", SKETCHES)
+class TestEnginesAgree:
+    @given(data=rows_strategy, shards=st.integers(1, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_local_vs_parallel(self, make_sketch, data, shards):
+        table = build_table(data)
+        sketch = make_sketch()
+        single = LocalDataSet(table).sketch(sketch)
+        threaded = parallel_dataset(table, shards=shards).sketch(sketch)
+        assert single.to_bytes() == threaded.to_bytes()
+
+    @given(data=rows_strategy, shards=st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_local_vs_cluster(self, make_sketch, data, shards):
+        table = build_table(data)
+        sketch = make_sketch()
+        single = LocalDataSet(table).sketch(sketch)
+        cluster = Cluster(num_workers=2, cores_per_worker=1)
+        dataset = cluster.load(TableSource([table], shards_per_table=shards))
+        assert dataset.sketch(sketch).to_bytes() == single.to_bytes()
+
+
+class TestRepartitioningInvariance:
+    @given(
+        data=rows_strategy,
+        first=st.integers(1, 6),
+        second=st.integers(1, 6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_shard_count_is_invisible(self, data, first, second):
+        """Two arbitrary shardings of the same rows summarize identically."""
+        table = build_table(data)
+        sketch = HistogramSketch("n", VALUE_BUCKETS)
+        one = ParallelDataSet(
+            [LocalDataSet(s) for s in table.split(first)]
+        ).sketch(sketch)
+        other = ParallelDataSet(
+            [LocalDataSet(s) for s in table.split(second)]
+        ).sketch(sketch)
+        assert one.to_bytes() == other.to_bytes()
+
+    @given(data=rows_strategy, seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_row_order_is_invisible(self, data, seed):
+        """Summaries are functions of multisets, not sequences (Appendix A)."""
+        table = build_table(data)
+        rng = np.random.default_rng(seed)
+        shuffled = build_table([data[i] for i in rng.permutation(len(data))])
+        sketch = MomentsSketch("n")
+        assert (
+            LocalDataSet(table).sketch(sketch).to_bytes()
+            == LocalDataSet(shuffled).sketch(sketch).to_bytes()
+        )

@@ -1,0 +1,155 @@
+"""Local/parallel engine tests: progressive results, cancellation, maps."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import DoubleBuckets
+from repro.engine.dataset import DeriveMap, FilterMap, ProjectMap
+from repro.engine.local import LocalDataSet, ParallelDataSet, parallel_dataset
+from repro.engine.progress import CancellationToken, drain
+from repro.sketches.histogram import HistogramSketch
+from repro.sketches.moments import MomentsSketch
+from repro.table.compute import ColumnPredicate
+from repro.table.schema import ContentsKind
+from repro.table.table import Table
+
+
+BUCKETS = DoubleBuckets(0, 100, 10)
+
+
+class TestLocalDataSet:
+    def test_sketch_single_partial(self, medium_numeric):
+        ds = LocalDataSet(medium_numeric)
+        partials = list(ds.sketch_stream(HistogramSketch("value", BUCKETS)))
+        assert len(partials) == 1
+        assert partials[0].progress == 1.0
+
+    def test_map_filter(self, medium_numeric):
+        ds = LocalDataSet(medium_numeric)
+        filtered = ds.map(FilterMap(ColumnPredicate("value", ">", 50)))
+        assert filtered.total_rows < ds.total_rows
+        stats = filtered.sketch(MomentsSketch("value"))
+        assert stats.min_value > 50
+
+    def test_map_derive_and_project(self, medium_numeric):
+        ds = LocalDataSet(medium_numeric)
+        derived = ds.map(
+            DeriveMap(
+                "double_value",
+                ContentsKind.DOUBLE,
+                lambda arrays: np.asarray(arrays["value"]) * 2,
+                vectorized=True,
+            )
+        )
+        assert "double_value" in derived.schema
+        projected = derived.map(ProjectMap(["double_value"]))
+        assert projected.schema.names == ["double_value"]
+
+    def test_cancelled_before_start(self, medium_numeric):
+        token = CancellationToken()
+        token.cancel()
+        ds = LocalDataSet(medium_numeric)
+        partials = list(ds.sketch_stream(HistogramSketch("value", BUCKETS), token))
+        assert partials == []
+
+
+class TestParallelDataSet:
+    def test_progressive_partials_converge(self, medium_numeric):
+        ds = parallel_dataset(medium_numeric, shards=8, max_workers=4)
+        partials = list(ds.sketch_stream(HistogramSketch("value", BUCKETS)))
+        assert len(partials) == 8
+        progresses = [p.progress for p in partials]
+        assert progresses == sorted(progresses)
+        assert progresses[-1] == 1.0
+        # The final partial equals the whole-table summary.
+        exact = HistogramSketch("value", BUCKETS).summarize(medium_numeric)
+        assert np.array_equal(partials[-1].value.counts, exact.counts)
+
+    def test_counts_grow_monotonically(self, medium_numeric):
+        ds = parallel_dataset(medium_numeric, shards=6)
+        totals = [
+            p.value.total_in_range
+            for p in ds.sketch_stream(HistogramSketch("value", BUCKETS))
+        ]
+        assert totals == sorted(totals)
+
+    def test_run_statistics(self, medium_numeric):
+        ds = parallel_dataset(medium_numeric, shards=4)
+        run = ds.run(HistogramSketch("value", BUCKETS))
+        assert run.partials == 4
+        assert run.bytes_received > 0
+        assert run.total_seconds > 0
+        assert run.first_partial_seconds <= run.total_seconds
+
+    def test_map_applies_to_all_children(self, medium_numeric):
+        ds = parallel_dataset(medium_numeric, shards=5)
+        filtered = ds.map(FilterMap(ColumnPredicate("value", "<=", 10)))
+        stats = filtered.sketch(MomentsSketch("value"))
+        expected = (medium_numeric.column("value").data <= 10).sum()
+        assert stats.present_count == expected
+
+    def test_nested_parallel(self, medium_numeric):
+        halves = medium_numeric.split(2)
+        ds = ParallelDataSet(
+            [parallel_dataset(h, shards=3) for h in halves]
+        )
+        stats = ds.sketch(MomentsSketch("value"))
+        assert stats.present_count == medium_numeric.num_rows
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelDataSet([])
+
+    def test_cancellation_skips_queued_work(self):
+        # One slow shard; cancel while it runs; queued shards are skipped.
+        table = Table.from_pydict({"v": list(range(1000))})
+        ds = parallel_dataset(table, shards=10, max_workers=1)
+        token = CancellationToken()
+
+        class SlowSketch(MomentsSketch):
+            def summarize(self, shard):
+                time.sleep(0.02)
+                return super().summarize(shard)
+
+        partials = []
+        for partial in ds.sketch_stream(SlowSketch("v"), token):
+            partials.append(partial)
+            token.cancel()
+        assert 1 <= len(partials) < 10
+
+    def test_drain_counts_bytes(self, medium_numeric):
+        ds = parallel_dataset(medium_numeric, shards=3)
+        run = drain(ds.sketch_stream(HistogramSketch("value", BUCKETS)))
+        assert run.value.total_in_range == medium_numeric.num_rows
+        assert run.bytes_received >= run.value.serialized_size()
+
+
+class TestCancellationToken:
+    def test_raise_if_cancelled(self):
+        from repro.errors import CancelledError
+
+        token = CancellationToken()
+        token.raise_if_cancelled()
+        token.cancel()
+        with pytest.raises(CancelledError):
+            token.raise_if_cancelled()
+
+    def test_thread_visibility(self):
+        token = CancellationToken()
+        seen = []
+
+        def watcher():
+            while not token.cancelled:
+                time.sleep(0.001)
+            seen.append(True)
+
+        thread = threading.Thread(target=watcher)
+        thread.start()
+        token.cancel()
+        thread.join(timeout=1)
+        assert seen == [True]

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+Examples are the library's living documentation; a broken one is a
+documentation bug.  Each runs in its own interpreter (as a user would run
+it) and must exit 0 and print its key landmark output.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+#: script -> substrings its stdout must contain.
+LANDMARKS = {
+    "quickstart.py": ["histogram", "Trellis of histograms", "actions performed"],
+    "flights_exploration.py": ["Q1", "Q20"],
+    "progressive_visualization.py": ["partial", "cancel"],
+    "fault_tolerance_demo.py": ["redo log", "identical"],
+    "server_logs.py": ["errors", "latency"],
+    "web_session.py": ["session root handle", "rebuilt from lineage", "JSON"],
+}
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("script", sorted(LANDMARKS))
+def test_example_runs(script):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for landmark in LANDMARKS[script]:
+        assert landmark.lower() in result.stdout.lower(), (
+            f"{script} output missing {landmark!r}"
+        )
+
+
+def test_every_example_is_covered():
+    """A new example must be added to LANDMARKS (and thereby smoke-tested)."""
+    scripts = {
+        name
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py") and not name.startswith("_")
+    }
+    assert scripts == set(LANDMARKS)

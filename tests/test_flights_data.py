@@ -1,0 +1,218 @@
+"""Flights generator tests: schema, determinism, case-study structure.
+
+The Figure 10 case study only works if the synthetic data carries the
+signals the questions probe; these tests pin that structure down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.flights import (
+    AIRLINES,
+    AIRPORTS,
+    FLIGHT_COLUMNS,
+    FlightsSource,
+    flights_partitions,
+    generate_flights,
+)
+from repro.table.compute import ColumnPredicate
+from repro.table.schema import ContentsKind
+
+
+def column_mean(table, rows_mask_column, value_column):
+    """Mean of value_column grouped by each value of rows_mask_column."""
+    rows = table.members.indices()
+    col = table.column(rows_mask_column)
+    values = table.column(value_column).numeric_values(rows)
+    codes = col.codes_at(rows)
+    result = {}
+    for code, name in enumerate(col.dictionary.values):
+        mask = codes == code
+        if mask.any():
+            result[name] = float(np.nanmean(values[mask]))
+    return result
+
+
+class TestSchema:
+    def test_column_list(self, flights):
+        assert flights.column_names == FLIGHT_COLUMNS
+        assert flights.num_columns == 28
+
+    def test_kinds(self, flights):
+        schema = flights.schema
+        assert schema.kind("FlightDate") is ContentsKind.DATE
+        assert schema.kind("Airline") is ContentsKind.CATEGORY
+        assert schema.kind("DepDelay") is ContentsKind.DOUBLE
+        assert schema.kind("Cancelled") is ContentsKind.INTEGER
+
+    def test_extra_columns_pad_width(self):
+        table = generate_flights(100, seed=1, extra_columns=5)
+        assert table.num_columns == 33
+        assert "Metric04" in table.column_names
+
+    def test_city_dictionary_deduplicated(self, flights):
+        column = flights.column("OriginCityName")
+        values = column.dictionary.values
+        assert len(values) == len(set(values))
+        # Both Chicago airports resolve to the same city string.
+        rows = flights.members.indices()
+        chicago = [
+            flights.column("Origin").value(int(r))
+            for r in rows
+            if column.value(int(r)) == "Chicago"
+        ]
+        assert {"ORD", "MDW"} <= set(chicago)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_flights(2_000, seed=9)
+        b = generate_flights(2_000, seed=9)
+        assert np.array_equal(
+            a.column("DepDelay").data, b.column("DepDelay").data, equal_nan=True
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_flights(2_000, seed=9)
+        b = generate_flights(2_000, seed=10)
+        assert not np.array_equal(
+            a.column("DepDelay").data, b.column("DepDelay").data
+        )
+
+    def test_partitions_reproducible_individually(self):
+        parts = flights_partitions(10_000, 4, seed=3)
+        rebuilt = flights_partitions(10_000, 4, seed=3)
+        for a, b in zip(parts, rebuilt):
+            assert a.shard_id == b.shard_id
+            assert np.array_equal(a.column("Distance").data, b.column("Distance").data)
+
+    def test_partition_sizes(self):
+        parts = flights_partitions(10_001, 4, seed=3)
+        assert [p.num_rows for p in parts] == [2501, 2500, 2500, 2500]
+
+    def test_source_spec_round(self):
+        source = FlightsSource(5_000, partitions=3, seed=7)
+        assert "rows=5000" in source.spec()
+        assert sum(t.num_rows for t in source.load()) == 5_000
+
+
+class TestCalendarConsistency:
+    def test_date_fields_agree(self, flights):
+        rows = flights.members.indices()[:500]
+        for r in rows[:100]:
+            row = flights.row(int(r))
+            date = row["FlightDate"]
+            assert date.year == row["Year"]
+            assert date.month == row["Month"]
+            assert date.day == row["DayofMonth"]
+            assert date.isoweekday() == row["DayOfWeek"]
+
+    def test_years_span_period(self, flights):
+        years = flights.column("Year").data
+        assert years.min() == 1999
+        assert years.max() == 2018
+
+
+class TestMissingStructure:
+    def test_cancelled_flights_have_no_departure(self, flights):
+        cancelled = flights.filter(ColumnPredicate("Cancelled", "==", 1))
+        rows = cancelled.members.indices()
+        assert cancelled.column("DepDelay").missing_mask()[rows].all()
+        assert cancelled.column("DepTime").missing_mask()[rows].all()
+
+    def test_completed_flights_have_delays(self, flights):
+        completed = flights.filter(
+            ColumnPredicate("Cancelled", "==", 0)
+            & ColumnPredicate("Diverted", "==", 0)
+        )
+        rows = completed.members.indices()
+        assert not completed.column("ArrDelay").missing_mask()[rows].any()
+
+
+class TestCaseStudySignals:
+    """The distributional facts behind the Figure 10 questions."""
+
+    def test_q2_hawaiian_least_delay(self, flights):
+        means = column_mean(flights, "Airline", "DepDelay")
+        assert min(means, key=means.get) == "HA"
+
+    def test_q1_ua_worse_than_aa(self, flights):
+        means = column_mean(flights, "Airline", "DepDelay")
+        assert means["UA"] > means["AA"]
+
+    def test_q7_morning_is_best(self, flights):
+        rows = flights.members.indices()
+        hours = flights.column("CRSDepTime").numeric_values(rows) // 100
+        delays = flights.column("DepDelay").numeric_values(rows)
+        by_hour = {
+            int(h): float(np.nanmean(delays[hours == h]))
+            for h in np.unique(hours)
+        }
+        best = min(by_hour, key=by_hour.get)
+        assert best <= 7
+
+    def test_q9_ev_most_cancellations(self, flights):
+        means = column_mean(flights, "Airline", "Cancelled")
+        assert max(means, key=means.get) == "EV"
+
+    def test_q11_longest_flight_to_hawaii_or_coast(self, flights):
+        rows = flights.members.indices()
+        distances = flights.column("Distance").numeric_values(rows)
+        longest = int(rows[np.argmax(distances)])
+        row = flights.row(longest)
+        assert distances.max() > 4000
+        assert "HI" in (row["OriginState"], row["DestState"]) or {
+            row["Origin"],
+            row["Dest"],
+        } <= {a.code for a in AIRPORTS}
+
+    def test_q13_chicago_worst_weather(self, flights):
+        means = column_mean(flights, "OriginCityName", "WeatherDelay")
+        ranked = sorted(means, key=means.get, reverse=True)
+        assert "Chicago" in ranked[:3]
+        assert means["Honolulu"] < means["Chicago"]
+
+    def test_q14_hawaii_carriers(self, flights):
+        hawaii = flights.filter(ColumnPredicate("DestState", "==", "HI"))
+        rows = hawaii.members.indices()
+        carriers = set(
+            hawaii.column("Airline").value(int(r)) for r in rows
+        )
+        allowed = {a.code for a in AIRLINES if a.flies_hawaii}
+        assert carriers <= allowed
+        assert "HA" in carriers
+
+    def test_q19_carriers_stop_flying(self, flights):
+        rows = flights.members.indices()
+        years = flights.column("Year").numeric_values(rows)
+        codes = flights.column("Airline").codes_at(rows)
+        names = flights.column("Airline").dictionary.values
+        last_seen = {}
+        for code, name in enumerate(names):
+            mask = codes == code
+            if mask.any():
+                last_seen[name] = int(years[mask].max())
+        stopped = {name for name, year in last_seen.items() if year < 2018}
+        assert stopped == {"EV", "MQ"}
+
+    def test_q18_december_peak_and_christmas_dip(self, flights):
+        december = flights.filter(ColumnPredicate("Month", "==", 12))
+        rows = december.members.indices()
+        days = december.column("DayofMonth").numeric_values(rows).astype(int)
+        counts = np.bincount(days, minlength=32)
+        peak_days = set(np.argsort(counts)[-4:])
+        assert peak_days & {20, 21, 22, 23}
+        assert counts[25] < counts[20]
+
+    def test_q12_taxi_differs_by_airline_same_airport(self, flights):
+        ord_flights = flights.filter(ColumnPredicate("Origin", "==", "ORD"))
+        means = column_mean(ord_flights, "Airline", "TaxiOut")
+        if "UA" in means and "AA" in means:
+            assert abs(means["UA"] - means["AA"]) > 0.5
+
+    def test_q20_no_downed_flights_information(self, flights):
+        # The dataset genuinely lacks the information (as the paper found).
+        assert "Crashed" not in flights.column_names
+        assert "DownedFlights" not in flights.column_names

@@ -1,0 +1,169 @@
+"""Membership set tests, including the paper's sampling algorithms (§5.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.table.membership import (
+    DenseMembership,
+    FullMembership,
+    SparseMembership,
+    membership_from_indices,
+    membership_from_mask,
+)
+
+
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestRepresentationChoice:
+    def test_full_mask(self):
+        m = membership_from_mask(np.ones(100, dtype=bool))
+        assert isinstance(m, FullMembership)
+
+    def test_sparse_below_threshold(self):
+        mask = np.zeros(1000, dtype=bool)
+        mask[:50] = True  # 5% < 1/8
+        assert isinstance(membership_from_mask(mask), SparseMembership)
+
+    def test_dense_above_threshold(self):
+        mask = np.zeros(1000, dtype=bool)
+        mask[:500] = True
+        assert isinstance(membership_from_mask(mask), DenseMembership)
+
+    def test_from_indices(self):
+        m = membership_from_indices(np.array([1, 5, 5, 9]), 1000)
+        assert isinstance(m, SparseMembership)
+        assert m.size == 3  # deduplicated
+        assert membership_from_indices(np.arange(10), 10).size == 10
+
+
+class TestBasics:
+    @pytest.mark.parametrize(
+        "members",
+        [
+            FullMembership(50),
+            DenseMembership(np.arange(50) % 2 == 0),
+            SparseMembership(np.array([3, 7, 11]), 50),
+        ],
+    )
+    def test_indices_match_mask(self, members):
+        assert np.array_equal(np.flatnonzero(members.mask()), members.indices())
+        assert members.size == len(members.indices())
+        for row in members.indices()[:5]:
+            assert members.contains(int(row))
+        assert not members.contains(-1)
+
+    def test_density(self):
+        assert FullMembership(10).density == 1.0
+        assert SparseMembership(np.array([0]), 10).density == 0.1
+        assert FullMembership(0).density == 0.0
+
+    def test_sparse_rejects_out_of_universe(self):
+        with pytest.raises(ValueError):
+            SparseMembership(np.array([100]), 50)
+
+    def test_intersect_mask(self):
+        m = FullMembership(10)
+        mask = np.zeros(10, dtype=bool)
+        mask[[2, 4, 6]] = True
+        sub = m.intersect_mask(mask)
+        assert sub.indices().tolist() == [2, 4, 6]
+        # Intersecting a sparse set keeps only surviving members.
+        sub2 = sub.intersect_mask(~mask)
+        assert sub2.size == 0
+
+
+class TestFixedSizeSampling:
+    @pytest.mark.parametrize(
+        "members",
+        [
+            FullMembership(1000),
+            DenseMembership(np.arange(1000) % 3 != 0),
+            SparseMembership(np.arange(0, 1000, 13), 1000),
+        ],
+    )
+    def test_sample_is_subset_without_replacement(self, members):
+        sample = members.sample(20, rng())
+        assert len(sample) == 20
+        assert len(np.unique(sample)) == 20
+        member_set = set(members.indices().tolist())
+        assert set(sample.tolist()) <= member_set
+
+    def test_oversized_sample_returns_all(self):
+        m = SparseMembership(np.array([1, 2, 3]), 10)
+        assert np.array_equal(m.sample(10, rng()), m.indices())
+
+    def test_sample_uniformity_chi_squared(self):
+        """Bottom-k hash sampling must be uniform over members."""
+        members = SparseMembership(np.arange(0, 2000, 2), 2000)
+        counts = np.zeros(members.size)
+        position = {int(v): i for i, v in enumerate(members.indices())}
+        generator = np.random.default_rng(7)
+        for _ in range(300):
+            for row in members.sample(100, generator):
+                counts[position[int(row)]] += 1
+        expected = counts.mean()
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        p_value = stats.chi2.sf(chi2, df=members.size - 1)
+        assert p_value > 1e-4, f"sampling looks non-uniform (p={p_value})"
+
+
+class TestRateSampling:
+    @pytest.mark.parametrize(
+        "members",
+        [
+            FullMembership(20_000),
+            DenseMembership(np.arange(20_000) % 4 != 0),
+            SparseMembership(np.arange(0, 20_000, 7), 20_000),
+        ],
+    )
+    def test_rate_sample_size_binomial(self, members):
+        rate = 0.1
+        sizes = [
+            len(members.sample_rate(rate, np.random.default_rng(seed)))
+            for seed in range(30)
+        ]
+        expected = members.size * rate
+        sd = np.sqrt(members.size * rate * (1 - rate))
+        assert abs(np.mean(sizes) - expected) < 4 * sd / np.sqrt(30)
+
+    def test_rate_one_returns_all(self):
+        for members in (
+            FullMembership(100),
+            DenseMembership(np.arange(100) % 2 == 0),
+            SparseMembership(np.arange(0, 100, 9), 100),
+        ):
+            assert np.array_equal(members.sample_rate(1.0, rng()), members.indices())
+
+    def test_rate_sample_sorted_and_unique(self):
+        members = DenseMembership(np.arange(10_000) % 2 == 0)
+        sample = members.sample_rate(0.05, rng())
+        assert np.all(np.diff(sample) > 0)
+
+    def test_skip_walk_touches_members_only(self):
+        members = DenseMembership(np.arange(1000) % 5 == 0)
+        sample = members.sample_rate(0.3, rng())
+        assert all(members.contains(int(r)) for r in sample)
+
+    def test_sparse_hash_threshold_deterministic_given_rng(self):
+        members = SparseMembership(np.arange(0, 5000, 3), 5000)
+        a = members.sample_rate(0.2, np.random.default_rng(42))
+        b = members.sample_rate(0.2, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_rate_sample_uniform_over_members(self):
+        members = SparseMembership(np.arange(0, 4000, 4), 4000)
+        counts = np.zeros(members.size)
+        position = {int(v): i for i, v in enumerate(members.indices())}
+        for seed in range(200):
+            sample = members.sample_rate(0.1, np.random.default_rng(seed))
+            for row in sample:
+                counts[position[int(row)]] += 1
+        expected = counts.mean()
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        p_value = stats.chi2.sf(chi2, df=members.size - 1)
+        assert p_value > 1e-4

@@ -1,0 +1,162 @@
+"""Predicate tests: column comparisons, text search, boolean composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnKindError, SchemaError
+from repro.table.compute import (
+    AndPredicate,
+    ColumnPredicate,
+    NotPredicate,
+    OrPredicate,
+    StringMatchPredicate,
+)
+from repro.table.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_pydict(
+        {
+            "n": [1, 2, 3, 4, 5, None],
+            "s": ["Apple", "banana", "Cherry", "apple pie", None, "BANANA"],
+        }
+    )
+
+
+def rows(table):
+    return table.members.indices()
+
+
+class TestColumnPredicate:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("==", 3, [False, False, True, False, False, False]),
+            ("!=", 3, [True, True, False, True, True, False]),
+            ("<", 3, [True, True, False, False, False, False]),
+            ("<=", 3, [True, True, True, False, False, False]),
+            (">", 3, [False, False, False, True, True, False]),
+            (">=", 3, [False, False, True, True, True, False]),
+        ],
+    )
+    def test_numeric_operators(self, table, op, value, expected):
+        predicate = ColumnPredicate("n", op, value)
+        assert predicate.evaluate(table, rows(table)).tolist() == expected
+
+    def test_between_and_in(self, table):
+        between = ColumnPredicate("n", "between", (2, 4))
+        assert between.evaluate(table, rows(table)).tolist() == [
+            False, True, True, True, False, False,
+        ]
+        contained = ColumnPredicate("n", "in", [1, 5])
+        assert contained.evaluate(table, rows(table)).tolist() == [
+            True, False, False, False, True, False,
+        ]
+
+    def test_is_missing(self, table):
+        predicate = ColumnPredicate("n", "is_missing")
+        assert predicate.evaluate(table, rows(table)).tolist() == [
+            False, False, False, False, False, True,
+        ]
+
+    def test_string_equality_via_dictionary(self, table):
+        predicate = ColumnPredicate("s", "==", "Apple")
+        assert predicate.evaluate(table, rows(table)).tolist() == [
+            True, False, False, False, False, False,
+        ]
+
+    def test_string_range(self, table):
+        predicate = ColumnPredicate("s", "between", ("A", "C"))
+        result = predicate.evaluate(table, rows(table))
+        assert result.tolist() == [True, False, False, False, False, True]
+
+    def test_unknown_operator(self):
+        with pytest.raises(SchemaError):
+            ColumnPredicate("n", "~~", 1)
+
+    def test_spec_is_stable(self):
+        assert (
+            ColumnPredicate("n", ">", 3).spec()
+            == ColumnPredicate("n", ">", 3).spec()
+        )
+
+
+class TestStringMatch:
+    def test_substring_default(self, table):
+        predicate = StringMatchPredicate("s", "an")
+        assert predicate.evaluate(table, rows(table)).tolist() == [
+            False, True, False, False, False, False,
+        ]
+
+    def test_case_insensitive(self, table):
+        predicate = StringMatchPredicate("s", "banana", case_sensitive=False)
+        assert predicate.evaluate(table, rows(table)).tolist() == [
+            False, True, False, False, False, True,
+        ]
+
+    def test_exact(self, table):
+        predicate = StringMatchPredicate("s", "Apple", mode="exact")
+        assert predicate.evaluate(table, rows(table)).sum() == 1
+
+    def test_regex(self, table):
+        predicate = StringMatchPredicate("s", r"^[ab]", mode="regex")
+        assert predicate.evaluate(table, rows(table)).tolist() == [
+            False, True, False, True, False, False,
+        ]
+
+    def test_regex_case_insensitive(self, table):
+        predicate = StringMatchPredicate(
+            "s", r"^banana$", mode="regex", case_sensitive=False
+        )
+        assert predicate.evaluate(table, rows(table)).sum() == 2
+
+    def test_invalid_mode(self):
+        with pytest.raises(SchemaError):
+            StringMatchPredicate("s", "x", mode="glob")
+
+    def test_numeric_column_rejected(self, table):
+        predicate = StringMatchPredicate("n", "1")
+        with pytest.raises(ColumnKindError):
+            predicate.evaluate(table, rows(table))
+
+
+class TestComposition:
+    def test_and_or_not(self, table):
+        a = ColumnPredicate("n", ">", 1)
+        b = ColumnPredicate("n", "<", 4)
+        both = (a & b).evaluate(table, rows(table))
+        assert both.tolist() == [False, True, True, False, False, False]
+        either = (ColumnPredicate("n", "==", 1) | ColumnPredicate("n", "==", 5))
+        assert either.evaluate(table, rows(table)).tolist() == [
+            True, False, False, False, True, False,
+        ]
+        negated = (~a).evaluate(table, rows(table))
+        assert negated.tolist() == [True, False, False, False, False, True]
+
+    def test_and_short_circuits_structurally(self, table):
+        # An AND whose first branch is empty must not fail on the second.
+        bad = ColumnPredicate("n", ">", 100)
+        composite = AndPredicate([bad, ColumnPredicate("n", ">", 0)])
+        assert composite.evaluate(table, rows(table)).sum() == 0
+
+    def test_empty_composites_rejected(self):
+        with pytest.raises(SchemaError):
+            AndPredicate([])
+        with pytest.raises(SchemaError):
+            OrPredicate([])
+
+    def test_specs_compose(self, table):
+        spec = NotPredicate(
+            AndPredicate([ColumnPredicate("n", ">", 1), ColumnPredicate("n", "<", 3)])
+        ).spec()
+        assert spec.startswith("Not(And(")
+
+    def test_filter_on_member_subset(self, table):
+        filtered = table.filter(ColumnPredicate("n", ">", 2))
+        result = ColumnPredicate("n", "<", 5).evaluate(
+            filtered, filtered.members.indices()
+        )
+        assert result.tolist() == [True, True, False]

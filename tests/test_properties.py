@@ -1,0 +1,209 @@
+"""Cross-sketch property-based tests (hypothesis).
+
+The mergeability law — ``summarize(D1 ⊎ D2) == merge(summarize(D1),
+summarize(D2))`` — and the monoid laws for ``merge`` are THE invariants the
+whole engine rests on (§4.1).  These properties are exercised here over
+randomly generated tables, partitionings, and sketch configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buckets import DoubleBuckets, ExplicitStringBuckets
+from repro.sketches.bottomk import BottomKDistinctSketch
+from repro.sketches.cdf import CdfSketch
+from repro.sketches.distinct import ExactDistinctSketch
+from repro.sketches.find_text import FindTextSketch
+from repro.sketches.heavy_hitters import MisraGriesSketch
+from repro.sketches.histogram import HistogramSketch
+from repro.sketches.hll import HyperLogLogSketch
+from repro.sketches.moments import MomentsSketch
+from repro.sketches.next_items import NextKSketch
+from repro.sketches.stacked import StackedHistogramSketch
+from repro.sketches.trellis import TrellisHeatmapSketch, TrellisHistogramSketch
+from repro.table.compute import StringMatchPredicate
+from repro.table.sort import RecordOrder
+from repro.table.table import Table
+
+COLOR_BUCKETS = ExplicitStringBuckets(["black", "blue", "cyan", "green", "red"])
+VALUE_BUCKETS = DoubleBuckets(-100, 100, 8)
+
+# Random tables: one numeric column with missing values, one string column.
+cells = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.integers(-100, 100)),
+        st.sampled_from(["red", "green", "blue", "cyan", "black"]),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def build_table(data) -> Table:
+    from repro.table.schema import ContentsKind
+
+    return Table.from_pydict(
+        {"n": [d[0] for d in data], "s": [d[1] for d in data]},
+        kinds={"n": ContentsKind.INTEGER, "s": ContentsKind.STRING},
+    )
+
+
+def summaries_equal(sketch, a, b) -> bool:
+    """Structural equality via the wire format (works for every summary)."""
+    return a.to_bytes() == b.to_bytes()
+
+
+DETERMINISTIC_SKETCHES = [
+    lambda: HistogramSketch("n", DoubleBuckets(-100, 100, 16)),
+    lambda: MomentsSketch("n", moments=3),
+    lambda: MomentsSketch("s"),
+    lambda: ExactDistinctSketch("s"),
+    lambda: HyperLogLogSketch("n", precision=8, seed=5),
+    lambda: NextKSketch(RecordOrder.of("n"), 5),
+    lambda: NextKSketch(RecordOrder.of("s", "n", ascending=[False, True]), 4),
+    lambda: CdfSketch("n", DoubleBuckets(-100, 100, 16)),
+    lambda: StackedHistogramSketch("n", VALUE_BUCKETS, "s", COLOR_BUCKETS),
+    lambda: TrellisHistogramSketch("s", COLOR_BUCKETS, "n", VALUE_BUCKETS),
+    lambda: TrellisHeatmapSketch(
+        "s", COLOR_BUCKETS, "n", VALUE_BUCKETS, "n", VALUE_BUCKETS
+    ),
+    lambda: TrellisHistogramSketch(
+        "s", COLOR_BUCKETS, "n", VALUE_BUCKETS,
+        group2_column="s", group2_buckets=COLOR_BUCKETS,
+    ),
+    lambda: BottomKDistinctSketch("s", k=10, seed=3),
+    lambda: FindTextSketch(
+        StringMatchPredicate("s", "re"), RecordOrder.of("s")
+    ),
+]
+
+
+@pytest.mark.parametrize("make_sketch", DETERMINISTIC_SKETCHES)
+class TestMonoidLaws:
+    @given(data=cells, parts=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_mergeability(self, make_sketch, data, parts):
+        """merge over any partitioning == summarize of the whole."""
+        sketch = make_sketch()
+        table = build_table(data)
+        whole = sketch.summarize(table)
+        merged = sketch.merge_all(
+            [sketch.summarize(shard) for shard in table.split(parts)]
+        )
+        assert summaries_equal(sketch, whole, merged)
+
+    @given(data=cells)
+    @settings(max_examples=15, deadline=None)
+    def test_zero_identity(self, make_sketch, data):
+        sketch = make_sketch()
+        summary = sketch.summarize(build_table(data))
+        left = sketch.merge(sketch.zero(), summary)
+        right = sketch.merge(summary, sketch.zero())
+        assert summaries_equal(sketch, left, summary)
+        assert summaries_equal(sketch, right, summary)
+
+    @given(data=cells)
+    @settings(max_examples=15, deadline=None)
+    def test_associativity(self, make_sketch, data):
+        sketch = make_sketch()
+        table = build_table(data)
+        shards = table.split(3)
+        if len(shards) < 3:
+            return
+        a, b, c = (sketch.summarize(s) for s in shards[:3])
+        left = sketch.merge(sketch.merge(a, b), c)
+        right = sketch.merge(a, sketch.merge(b, c))
+        assert summaries_equal(sketch, left, right)
+
+
+class TestCommutativityWhereGuaranteed:
+    """Histogram-family merges are fully commutative (vector addition)."""
+
+    @given(data=cells)
+    @settings(max_examples=20, deadline=None)
+    def test_histogram_commutes(self, data):
+        sketch = HistogramSketch("n", DoubleBuckets(-100, 100, 8))
+        table = build_table(data)
+        shards = table.split(2)
+        if len(shards) < 2:
+            return
+        a, b = (sketch.summarize(s) for s in shards)
+        assert summaries_equal(sketch, sketch.merge(a, b), sketch.merge(b, a))
+
+    @given(data=cells)
+    @settings(max_examples=20, deadline=None)
+    def test_hll_commutes(self, data):
+        sketch = HyperLogLogSketch("s", precision=6, seed=2)
+        table = build_table(data)
+        shards = table.split(2)
+        if len(shards) < 2:
+            return
+        a, b = (sketch.summarize(s) for s in shards)
+        assert summaries_equal(sketch, sketch.merge(a, b), sketch.merge(b, a))
+
+
+class TestMisraGriesProperties:
+    @given(data=cells, k=st.integers(1, 10), parts=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_undercount_bounded(self, data, k, parts):
+        """Estimates never exceed truth; undercount <= error bound."""
+        sketch = MisraGriesSketch("s", k)
+        table = build_table(data)
+        merged = sketch.merge_all(
+            [sketch.summarize(shard) for shard in table.split(parts)]
+        )
+        truth: dict = {}
+        for _, s in data:
+            truth[s] = truth.get(s, 0) + 1
+        for value, estimate in merged.counts.items():
+            assert estimate <= truth[value]
+            assert truth[value] - estimate <= merged.error_bound
+        assert len(merged.counts) <= k
+
+    @given(data=cells, k=st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_frequent_elements_survive(self, data, k):
+        """Anything above n/(k+1) must be present after reduction."""
+        sketch = MisraGriesSketch("s", k)
+        table = build_table(data)
+        merged = sketch.merge_all(
+            [sketch.summarize(shard) for shard in table.split(3)]
+        )
+        truth: dict = {}
+        for _, s in data:
+            truth[s] = truth.get(s, 0) + 1
+        n = len(data)
+        for value, count in truth.items():
+            if count > n / (k + 1):
+                assert value in merged.counts
+
+
+class TestSampledHistogramStatistics:
+    @given(rate=st.floats(0.05, 0.9), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_sampled_counts_bounded_by_population(self, rate, seed):
+        rng = np.random.default_rng(0)
+        table = Table.from_pydict({"n": rng.integers(0, 100, 2000).tolist()})
+        buckets = DoubleBuckets(0, 100, 10)
+        exact = HistogramSketch("n", buckets).summarize(table)
+        sampled = HistogramSketch("n", buckets, rate=rate, seed=seed).summarize(table)
+        assert (sampled.counts <= exact.counts).all()
+        assert sampled.sampled_rows <= table.num_rows
+
+    @given(parts=st.integers(1, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_sampled_partition_counts_disjoint(self, parts):
+        """Shard samples are disjoint: merged counts == concatenated."""
+        rng = np.random.default_rng(1)
+        table = Table.from_pydict({"n": rng.integers(0, 100, 3000).tolist()})
+        buckets = DoubleBuckets(0, 100, 10)
+        sketch = HistogramSketch("n", buckets, rate=0.2, seed=3)
+        merged = sketch.merge_all(
+            [sketch.summarize(shard) for shard in table.split(parts)]
+        )
+        assert merged.sampled_rows <= table.num_rows
+        assert merged.counts.sum() == merged.sampled_rows

@@ -1,0 +1,312 @@
+"""Rendering tests: canvases, bar heights, CDF pixels, color scales."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import DoubleBuckets
+from repro.core.resolution import Resolution
+from repro.render.ascii_art import (
+    cdf_ascii,
+    heatmap_ascii,
+    histogram_ascii,
+    table_ascii,
+)
+from repro.render.cdf_render import cdf_pixels, render_cdf
+from repro.render.colors import LinearColorScale, LogColorScale
+from repro.render.heatmap_render import render_heatmap
+from repro.render.histogram_render import (
+    bar_heights,
+    render_histogram,
+    render_stacked_histogram,
+)
+from repro.render.pixels import PixelCanvas
+from repro.sketches.heatmap import HeatmapSummary
+from repro.sketches.histogram import HistogramSummary
+from repro.sketches.next_items import NextKList
+from repro.sketches.stacked import StackedHistogramSummary
+from repro.table.sort import RecordOrder
+
+
+class TestPixelCanvas:
+    def test_bar_and_column_height(self):
+        canvas = PixelCanvas(10, 20)
+        canvas.draw_vertical_bar(2, 3, 7)
+        assert canvas.column_height(2) == 7
+        assert canvas.column_height(4) == 7
+        assert canvas.column_height(5) == 0
+
+    def test_out_of_bounds_clipped(self):
+        canvas = PixelCanvas(5, 5)
+        canvas.fill_rect(-2, -2, 20, 20, 3)
+        assert canvas.nonzero_fraction() == 1.0
+        canvas.set(100, 100)  # silently ignored
+
+    def test_equality(self):
+        a, b = PixelCanvas(4, 4), PixelCanvas(4, 4)
+        assert a == b
+        b.set(0, 0)
+        assert a != b
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            PixelCanvas(0, 5)
+
+
+class TestBarHeights:
+    def test_largest_bar_reaches_full_height(self):
+        heights = bar_heights(np.array([10.0, 5.0, 2.5]), 100)
+        assert heights[0] == 100
+        assert heights[1] == 50
+        assert heights[2] == 25
+
+    def test_nonzero_buckets_visible(self):
+        heights = bar_heights(np.array([10_000.0, 1.0]), 50)
+        assert heights[1] == 1  # tiny but visible
+
+    def test_empty_counts(self):
+        assert bar_heights(np.zeros(4), 50).tolist() == [0, 0, 0, 0]
+        assert bar_heights(np.array([]), 50).tolist() == []
+
+
+class TestHistogramRendering:
+    def test_canvas_matches_heights(self):
+        summary = HistogramSummary(
+            counts=np.array([10, 20, 5], dtype=np.int64), sampled_rows=35
+        )
+        buckets = DoubleBuckets(0, 3, 3)
+        rendering = render_histogram(summary, buckets, Resolution(30, 40))
+        bar_width = 10
+        for i, height in enumerate(rendering.heights):
+            assert rendering.canvas.column_height(i * bar_width) == height
+
+    def test_scaling_by_rate(self):
+        summary = HistogramSummary(
+            counts=np.array([10, 20], dtype=np.int64), sampled_rows=30
+        )
+        buckets = DoubleBuckets(0, 2, 2)
+        rendering = render_histogram(summary, buckets, Resolution(20, 50), rate=0.1)
+        assert rendering.counts.tolist() == [100.0, 200.0]
+
+
+class TestCdfRendering:
+    def test_pixels_monotone(self):
+        fractions = np.linspace(0, 1, 60)
+        pixels = cdf_pixels(fractions, 100)
+        assert np.all(np.diff(pixels) >= 0)
+        assert pixels[0] == 0
+        assert pixels[-1] == 99
+
+    def test_render_sets_one_pixel_per_column(self):
+        summary = HistogramSummary(
+            counts=np.ones(50, dtype=np.int64), sampled_rows=50
+        )
+        rendering = render_cdf(summary, Resolution(50, 30))
+        assert len(rendering.y_pixels) == 50
+        for x in range(50):
+            assert (rendering.canvas.pixels[:, x] != 0).sum() == 1
+
+
+class TestStackedRendering:
+    def make_summary(self):
+        return StackedHistogramSummary(
+            bar_counts=np.array([30, 10], dtype=np.int64),
+            cell_counts=np.array([[20, 10], [5, 5]], dtype=np.int64),
+            y_missing=np.zeros(2, dtype=np.int64),
+            sampled_rows=40,
+        )
+
+    def test_segments_stack_to_bar(self):
+        rendering = render_stacked_histogram(
+            self.make_summary(), Resolution(20, 60)
+        )
+        assert rendering.heights[0] == 60  # largest bar at full height
+        assert rendering.segments[0].sum() == pytest.approx(60, abs=1)
+
+    def test_normalized_bars_full_height(self):
+        rendering = render_stacked_histogram(
+            self.make_summary(), Resolution(20, 60), normalized=True
+        )
+        assert rendering.heights.tolist() == [60, 60]
+        assert rendering.segments[1].tolist() == [30, 30]
+
+    def test_normalized_requires_exact(self):
+        with pytest.raises(ValueError):
+            render_stacked_histogram(
+                self.make_summary(), Resolution(20, 60), rate=0.5, normalized=True
+            )
+
+
+class TestColorScales:
+    def test_linear_shades(self):
+        scale = LinearColorScale(100.0, colors=20)
+        shades = scale.shade(np.array([0.0, 1.0, 50.0, 100.0]))
+        assert shades[0] == 0  # empty stays background
+        assert shades[1] == 1  # rare but visible
+        assert shades[2] == 10
+        assert shades[3] == 19
+
+    def test_log_scale_compresses(self):
+        scale = LogColorScale(10_000.0, colors=20)
+        shades = scale.shade(np.array([1.0, 10.0, 100.0, 10_000.0]))
+        assert shades[-1] == 19
+        diffs = np.diff(shades)
+        assert (diffs > 0).all()
+        assert not scale.supports_sampling
+
+    def test_color_count_validated(self):
+        with pytest.raises(ValueError):
+            LinearColorScale(1.0, colors=1)
+
+
+class TestHeatmapRendering:
+    def test_blocks_painted(self):
+        summary = HeatmapSummary(
+            counts=np.array([[5, 0], [0, 10]], dtype=np.int64), sampled_rows=15
+        )
+        rendering = render_heatmap(summary, Resolution(6, 6), bin_pixels=3)
+        assert rendering.shades[0, 0] > 0
+        assert rendering.shades[0, 1] == 0
+        assert rendering.canvas.get(0, 0) == rendering.shades[0, 0]
+
+    def test_log_scale_rejects_sampling(self):
+        summary = HeatmapSummary(counts=np.ones((2, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            render_heatmap(summary, Resolution(6, 6), rate=0.5, log_scale=True)
+
+
+class TestAscii:
+    def test_histogram_ascii_has_bars(self):
+        summary = HistogramSummary(
+            counts=np.array([1, 5, 10], dtype=np.int64), sampled_rows=16
+        )
+        art = histogram_ascii(summary, DoubleBuckets(0, 3, 3), height=5)
+        assert "#" in art
+        assert "max=" in art
+
+    def test_cdf_ascii(self):
+        summary = HistogramSummary(
+            counts=np.ones(30, dtype=np.int64), sampled_rows=30
+        )
+        art = cdf_ascii(summary, height=5, width=30)
+        assert art.count("*") == 30
+
+    def test_heatmap_ascii_shapes(self):
+        summary = HeatmapSummary(
+            counts=np.array([[1, 0], [0, 9]], dtype=np.int64), sampled_rows=10
+        )
+        art = heatmap_ascii(summary)
+        assert len(art.splitlines()) == 2
+
+    def test_table_ascii(self):
+        order = RecordOrder.of("name")
+        next_k = NextKList(
+            order=order,
+            rows=[("alice",), (None,)],
+            counts=[3, 1],
+            preceding=0,
+            scanned=4,
+        )
+        art = table_ascii(next_k)
+        assert "alice" in art
+        assert "(missing)" in art
+        assert "count" in art
+
+
+class TestTrellisRendering:
+    @staticmethod
+    def make_histogram_trellis():
+        import numpy as np
+
+        from repro.sketches.histogram import HistogramSummary
+        from repro.sketches.trellis import TrellisHistogramSummary
+
+        panes = [
+            HistogramSummary(counts=np.array([10 * (p + 1), 5, 2], dtype=np.int64))
+            for p in range(4)
+        ]
+        return TrellisHistogramSummary(panes=panes)
+
+    def test_grid_geometry(self):
+        from repro.core.buckets import DoubleBuckets
+        from repro.core.resolution import Resolution
+        from repro.render.trellis_render import render_trellis_histograms
+
+        summary = self.make_histogram_trellis()
+        rendering = render_trellis_histograms(
+            summary, DoubleBuckets(0, 3, 3), Resolution(120, 80)
+        )
+        assert rendering.pane_count == 4
+        assert rendering.grid_columns * rendering.grid_rows >= 4
+        assert rendering.canvas.width == (
+            rendering.pane_resolution.width * rendering.grid_columns
+        )
+
+    def test_each_pane_draws_into_its_region(self):
+        from repro.core.buckets import DoubleBuckets
+        from repro.core.resolution import Resolution
+        from repro.render.trellis_render import render_trellis_histograms
+
+        summary = self.make_histogram_trellis()
+        rendering = render_trellis_histograms(
+            summary, DoubleBuckets(0, 3, 3), Resolution(120, 80)
+        )
+        for index in range(rendering.pane_count):
+            region = rendering.pane_region(index)
+            assert (region != 0).any(), f"pane {index} is blank"
+
+    def test_pane_origins_distinct(self):
+        from repro.core.buckets import DoubleBuckets
+        from repro.core.resolution import Resolution
+        from repro.render.trellis_render import render_trellis_histograms
+
+        summary = self.make_histogram_trellis()
+        rendering = render_trellis_histograms(
+            summary, DoubleBuckets(0, 3, 3), Resolution(120, 80)
+        )
+        origins = {rendering.pane_origin(i) for i in range(rendering.pane_count)}
+        assert len(origins) == rendering.pane_count
+
+    def test_heatmap_trellis_renders(self):
+        import numpy as np
+
+        from repro.core.resolution import Resolution
+        from repro.render.trellis_render import render_trellis_heatmaps
+        from repro.sketches.heatmap import HeatmapSummary
+        from repro.sketches.trellis import TrellisSummary
+
+        rng = np.random.default_rng(4)
+        panes = [
+            HeatmapSummary(counts=rng.integers(0, 50, (6, 5)).astype(np.int64))
+            for _ in range(3)
+        ]
+        rendering = render_trellis_heatmaps(
+            TrellisSummary(panes=panes), Resolution(150, 90)
+        )
+        assert rendering.pane_count == 3
+        assert rendering.canvas.nonzero_fraction() > 0
+
+    def test_chart_level_rendering(self, request):
+        """The spreadsheet chart objects compose their panes too."""
+        import numpy as np
+
+        from repro.core.resolution import Resolution
+        from repro.engine.local import parallel_dataset
+        from repro.spreadsheet import Spreadsheet
+        from repro.table.table import Table
+
+        rng = np.random.default_rng(9)
+        table = Table.from_pydict(
+            {
+                "x": rng.uniform(0, 10, 20_000).tolist(),
+                "g": [f"g{int(v)}" for v in rng.integers(0, 4, 20_000)],
+            }
+        )
+        sheet = Spreadsheet(
+            parallel_dataset(table, shards=4), resolution=Resolution(160, 80)
+        )
+        chart = sheet.trellis_histogram("g", "x", panes=4)
+        rendering = chart.rendering()
+        assert rendering.pane_count == chart.pane_count
+        assert rendering.canvas.nonzero_fraction() > 0

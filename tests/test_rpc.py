@@ -1,0 +1,576 @@
+"""Web-server RPC layer tests: protocol codecs, streaming, soft state."""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import DoubleBuckets, ExplicitStringBuckets, StringBuckets
+from repro.engine.cluster import Cluster
+from repro.engine.rpc import (
+    ProtocolError,
+    RpcReply,
+    RpcRequest,
+    buckets_from_json,
+    buckets_to_json,
+    cell_from_json,
+    cell_to_json,
+    order_from_json,
+    order_to_json,
+    predicate_from_json,
+    predicate_to_json,
+    sketch_from_json,
+    summary_to_json,
+)
+from repro.engine.web import WebServer
+from repro.sketches.histogram import HistogramSketch
+from repro.storage.loader import TableSource
+from repro.table.compute import (
+    AndPredicate,
+    ColumnPredicate,
+    NotPredicate,
+    OrPredicate,
+    StringMatchPredicate,
+)
+from repro.table.sort import RecordOrder
+from repro.table.table import Table
+
+
+@pytest.fixture(scope="module")
+def numbers_table() -> Table:
+    rng = np.random.default_rng(3)
+    n = 5_000
+    return Table.from_pydict(
+        {
+            "x": rng.uniform(0, 100, n).tolist(),
+            "label": [f"item{int(v)}" for v in rng.integers(0, 20, n)],
+        }
+    )
+
+
+@pytest.fixture
+def server(numbers_table) -> tuple[WebServer, str]:
+    web = WebServer(Cluster(num_workers=2, cores_per_worker=2))
+    handle = web.load(TableSource([numbers_table], shards_per_table=4))
+    return web, handle
+
+
+def run(web: WebServer, handle: str, method: str, args=None, request_id=1):
+    """Execute one request and return the list of replies."""
+    request = RpcRequest(request_id, handle, method, args or {})
+    return list(web.execute(request))
+
+
+class TestEnvelopes:
+    def test_request_round_trip(self):
+        request = RpcRequest(7, "obj-1", "sketch", {"sketch": {"type": "x"}})
+        back = RpcRequest.from_json(request.to_json())
+        assert back == request
+
+    def test_reply_round_trip(self):
+        reply = RpcReply(3, "partial", progress=0.25, payload={"a": [1, 2]})
+        back = RpcReply.from_json(reply.to_json())
+        assert back.request_id == 3
+        assert back.kind == "partial"
+        assert back.progress == 0.25
+        assert back.payload == {"a": [1, 2]}
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            RpcRequest.from_json("{nope")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="missing 'method'"):
+            RpcRequest.from_json(json.dumps({"requestId": 1, "target": "t"}))
+
+
+class TestValueCodecs:
+    def test_cell_date_round_trip(self):
+        stamp = datetime(2019, 7, 10, 12, 30, tzinfo=timezone.utc)
+        assert cell_from_json(cell_to_json(stamp)) == stamp
+
+    def test_cell_numpy_scalars_become_plain(self):
+        assert cell_to_json(np.int64(4)) == 4
+        assert isinstance(cell_to_json(np.float64(0.5)), float)
+
+    @pytest.mark.parametrize(
+        "buckets",
+        [
+            DoubleBuckets(0.0, 10.0, 8),
+            StringBuckets(["a", "f", "m"]),
+            ExplicitStringBuckets(["x", "y", "z"]),
+        ],
+    )
+    def test_buckets_round_trip(self, buckets):
+        back = buckets_from_json(buckets_to_json(buckets))
+        assert back.spec() == buckets.spec()
+
+    def test_unknown_buckets_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown buckets type"):
+            buckets_from_json({"type": "mystery"})
+
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            ColumnPredicate("x", ">", 5),
+            ColumnPredicate("x", "between", [1, 3]),
+            ColumnPredicate("x", "is_missing"),
+            StringMatchPredicate("s", "foo", "regex", False),
+            AndPredicate(
+                [ColumnPredicate("x", ">", 1), ColumnPredicate("x", "<", 9)]
+            ),
+            OrPredicate(
+                [ColumnPredicate("x", "==", 1), ColumnPredicate("x", "==", 2)]
+            ),
+            NotPredicate(ColumnPredicate("x", "==", 0)),
+        ],
+    )
+    def test_predicate_round_trip(self, predicate):
+        back = predicate_from_json(predicate_to_json(predicate))
+        assert back.spec() == predicate.spec()
+
+    def test_order_round_trip(self):
+        order = RecordOrder.of("a", "b", ascending=[True, False])
+        back = order_from_json(order_to_json(order))
+        assert back.spec() == order.spec()
+
+    def test_empty_order_rejected(self):
+        with pytest.raises(ProtocolError):
+            order_from_json([])
+
+
+class TestSketchRegistry:
+    def test_histogram_spec(self):
+        sketch = sketch_from_json(
+            {
+                "type": "histogram",
+                "column": "x",
+                "buckets": {"type": "double", "min": 0, "max": 10, "count": 5},
+                "rate": 0.5,
+                "seed": 9,
+            }
+        )
+        assert isinstance(sketch, HistogramSketch)
+        assert sketch.rate == 0.5
+        assert sketch.buckets.count == 5
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown sketch type"):
+            sketch_from_json({"type": "teleport"})
+
+    def test_missing_argument_reported(self):
+        with pytest.raises(ProtocolError, match="missing argument"):
+            sketch_from_json({"type": "histogram", "column": "x"})
+
+    def test_every_registered_type_builds(self, numbers_table):
+        """Each sketch spec builds and runs against a real shard."""
+        b = {"type": "double", "min": 0, "max": 100, "count": 4}
+        sb = {"type": "strings", "values": [f"item{i}" for i in range(20)]}
+        order = [{"column": "x", "ascending": True}]
+        specs = [
+            {"type": "histogram", "column": "x", "buckets": b},
+            {"type": "cdf", "column": "x", "buckets": b},
+            {
+                "type": "heatmap",
+                "xColumn": "x", "xBuckets": b,
+                "yColumn": "x", "yBuckets": b,
+            },
+            {
+                "type": "stacked",
+                "xColumn": "x", "xBuckets": b,
+                "yColumn": "label", "yBuckets": sb,
+            },
+            {
+                "type": "trellisHeatmap",
+                "groupColumn": "label", "groupBuckets": sb,
+                "xColumn": "x", "xBuckets": b,
+                "yColumn": "x", "yBuckets": b,
+            },
+            {
+                "type": "trellisHistogram",
+                "groupColumn": "label", "groupBuckets": sb,
+                "xColumn": "x", "xBuckets": b,
+            },
+            {"type": "moments", "column": "x"},
+            {"type": "distinct", "column": "label"},
+            {"type": "heavyHitters", "column": "label", "k": 5},
+            {
+                "type": "heavyHitters",
+                "column": "label",
+                "k": 5,
+                "method": "sampling",
+                "rate": 0.5,
+            },
+            {"type": "nextK", "order": order, "k": 5},
+            {"type": "quantile", "order": order, "rate": 0.1},
+            {
+                "type": "find",
+                "order": order,
+                "match": {
+                    "type": "match",
+                    "column": "label",
+                    "pattern": "item1",
+                },
+            },
+            {"type": "bottomK", "column": "label", "k": 50},
+        ]
+        for spec in specs:
+            sketch = sketch_from_json(spec)
+            summary = sketch.summarize(numbers_table)
+            payload = summary_to_json(summary)
+            json.dumps(payload)  # payloads must be JSON-serializable
+
+    def test_summary_payload_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="no JSON payload"):
+            summary_to_json(object())
+
+
+class TestWebServerQueries:
+    def test_sketch_streams_and_completes(self, server):
+        web, handle = server
+        replies = run(
+            web,
+            handle,
+            "sketch",
+            {
+                "sketch": {
+                    "type": "histogram",
+                    "column": "x",
+                    "buckets": {
+                        "type": "double", "min": 0, "max": 100, "count": 10,
+                    },
+                }
+            },
+        )
+        assert replies[-1].kind == "complete"
+        assert replies[-1].progress == 1.0
+        counts = replies[-1].payload["counts"]
+        assert sum(counts) == 5_000
+        for reply in replies[:-1]:
+            assert reply.kind == "partial"
+            assert reply.progress < 1.0
+
+    def test_replies_serialize_to_json(self, server):
+        web, handle = server
+        replies = run(
+            web, handle, "sketch",
+            {"sketch": {"type": "moments", "column": "x"}},
+        )
+        for reply in replies:
+            RpcReply.from_json(reply.to_json())
+
+    def test_execute_accepts_raw_json(self, server):
+        web, handle = server
+        request = RpcRequest(
+            5, handle, "sketch", {"sketch": {"type": "moments", "column": "x"}}
+        )
+        replies = list(web.execute(request.to_json()))
+        assert replies[-1].kind == "complete"
+        assert replies[-1].payload["presentCount"] == 5_000
+
+    def test_schema_and_row_count(self, server):
+        web, handle = server
+        [schema_reply] = run(web, handle, "schema")
+        names = [c["name"] for c in schema_reply.payload["columns"]]
+        assert names == ["x", "label"]
+        [rows_reply] = run(web, handle, "rowCount")
+        assert rows_reply.payload["rows"] == 5_000
+
+    def test_filter_creates_new_handle(self, server):
+        web, handle = server
+        [ack] = run(
+            web,
+            handle,
+            "filter",
+            {
+                "predicate": {
+                    "type": "column", "column": "x", "op": "<", "value": 50,
+                }
+            },
+        )
+        assert ack.kind == "ack"
+        derived = ack.payload["handle"]
+        assert derived != handle
+        [rows_reply] = run(web, derived, "rowCount")
+        assert 0 < rows_reply.payload["rows"] < 5_000
+
+    def test_project_narrows_schema(self, server):
+        web, handle = server
+        [ack] = run(web, handle, "project", {"columns": ["label"]})
+        [schema_reply] = run(web, ack.payload["handle"], "schema")
+        assert [c["name"] for c in schema_reply.payload["columns"]] == ["label"]
+
+    def test_unknown_method_is_error_reply(self, server):
+        web, handle = server
+        [reply] = run(web, handle, "teleport")
+        assert reply.kind == "error"
+        assert "unknown method" in reply.error
+
+    def test_unknown_target_is_error_reply(self, server):
+        web, _ = server
+        [reply] = run(web, "obj-999", "rowCount")
+        assert reply.kind == "error"
+        assert "unknown remote object" in reply.error
+
+    def test_bad_sketch_spec_is_error_reply(self, server):
+        web, handle = server
+        replies = run(web, handle, "sketch", {"sketch": {"type": "nope"}})
+        assert replies[0].kind == "error"
+
+    def test_ping(self, server):
+        web, handle = server
+        [reply] = run(web, handle, "ping")
+        assert reply.payload == {"pong": True}
+
+
+class TestSoftState:
+    def test_evicted_root_rebuilds_from_source(self, server):
+        web, handle = server
+        web.evict(handle)
+        [reply] = run(web, handle, "rowCount")
+        assert reply.payload["rows"] == 5_000
+
+    def test_evicted_derived_handle_replays_lineage(self, server):
+        web, handle = server
+        [ack] = run(
+            web,
+            handle,
+            "filter",
+            {
+                "predicate": {
+                    "type": "column", "column": "x", "op": ">=", "value": 50,
+                }
+            },
+        )
+        derived = ack.payload["handle"]
+        [before] = run(web, derived, "rowCount")
+        # Evict both the derived object and its parent: the rebuild must
+        # recurse all the way down to the data source (§5.7).
+        web.evict(derived)
+        web.evict(handle)
+        [after] = run(web, derived, "rowCount")
+        assert after.payload["rows"] == before.payload["rows"]
+
+    def test_evict_via_rpc(self, server):
+        web, handle = server
+        [ack] = run(web, handle, "evict")
+        assert ack.payload == {"evicted": True}
+        [reply] = run(web, handle, "rowCount")
+        assert reply.payload["rows"] == 5_000
+
+    def test_chained_derivations_rebuild(self, server):
+        web, handle = server
+        [ack1] = run(
+            web, handle, "filter",
+            {"predicate": {"type": "column", "column": "x", "op": ">", "value": 25}},
+        )
+        [ack2] = run(web, ack1.payload["handle"], "project", {"columns": ["x"]})
+        leaf = ack2.payload["handle"]
+        [before] = run(web, leaf, "rowCount")
+        for h in (leaf, ack1.payload["handle"], handle):
+            web.evict(h)
+        [after] = run(web, leaf, "rowCount")
+        assert after.payload["rows"] == before.payload["rows"]
+
+
+class TestCancellation:
+    def test_cancel_unknown_request(self, server):
+        web, _ = server
+        assert web.cancel(12345) is False
+
+    def test_cancel_mid_stream(self, numbers_table):
+        web = WebServer(Cluster(num_workers=2, cores_per_worker=1))
+        handle = web.load(TableSource([numbers_table], shards_per_table=64))
+        request = RpcRequest(
+            42,
+            handle,
+            "sketch",
+            {
+                "sketch": {
+                    "type": "histogram",
+                    "column": "x",
+                    "buckets": {
+                        "type": "double", "min": 0, "max": 100, "count": 10,
+                    },
+                }
+            },
+        )
+        stream = web.execute(request)
+        first = next(stream)
+        assert first.kind in ("partial", "complete")
+        cancelled = web.cancel(42)
+        remaining = list(stream)
+        if cancelled and remaining:
+            assert remaining[-1].kind in ("cancelled", "complete")
+
+
+class TestFailureInjection:
+    """Worker crashes under the web layer: queries still answer (§5.7-5.8)."""
+
+    def test_worker_crash_between_queries(self, numbers_table):
+        web = WebServer(Cluster(num_workers=3, cores_per_worker=2))
+        handle = web.load(TableSource([numbers_table], shards_per_table=6))
+        spec = {
+            "sketch": {
+                "type": "histogram",
+                "column": "x",
+                "buckets": {"type": "double", "min": 0, "max": 100, "count": 10},
+            }
+        }
+        before = run(web, handle, "sketch", spec)[-1].payload["counts"]
+        web.cluster.kill_worker(0)
+        web.cluster.computation_cache.clear()
+        after = run(web, handle, "sketch", spec)[-1].payload["counts"]
+        assert after == before
+
+    def test_crash_plus_eviction_of_derived_handle(self, numbers_table):
+        web = WebServer(Cluster(num_workers=2, cores_per_worker=2))
+        handle = web.load(TableSource([numbers_table], shards_per_table=4))
+        [ack] = run(
+            web, handle, "filter",
+            {"predicate": {"type": "column", "column": "x", "op": "<", "value": 30}},
+        )
+        derived = ack.payload["handle"]
+        [before] = run(web, derived, "rowCount")
+        # Lose every worker's soft state AND the web server's handles.
+        for index in range(len(web.cluster.workers)):
+            web.cluster.kill_worker(index)
+        web.cluster.computation_cache.clear()
+        web.evict(derived)
+        web.evict(handle)
+        [after] = run(web, derived, "rowCount")
+        assert after.payload["rows"] == before.payload["rows"]
+
+    def test_sampled_query_replay_deterministic_through_rpc(self, numbers_table):
+        web = WebServer(Cluster(num_workers=2, cores_per_worker=2))
+        handle = web.load(TableSource([numbers_table], shards_per_table=4))
+        spec = {
+            "sketch": {
+                "type": "histogram",
+                "column": "x",
+                "buckets": {"type": "double", "min": 0, "max": 100, "count": 10},
+                "rate": 0.2,
+                "seed": 123,
+            }
+        }
+        before = run(web, handle, "sketch", spec)[-1].payload["counts"]
+        web.cluster.kill_worker(1)
+        after = run(web, handle, "sketch", spec)[-1].payload["counts"]
+        # Same seed + same shard ids -> bit-identical samples (§5.8).
+        assert after == before
+
+
+class TestPcaAndSaveOverRpc:
+    def test_correlation_sketch_via_rpc(self, server):
+        web, handle = server
+        replies = run(
+            web, handle, "sketch",
+            {"sketch": {"type": "correlation", "columns": ["x", "x"]}},
+        )
+        payload = replies[-1].payload
+        assert payload["type"] == "correlation"
+        assert payload["count"] == 5_000
+        # A column correlates perfectly with itself.
+        import numpy as np
+
+        from repro.sketches.pca import CorrelationSummary
+
+        summary = CorrelationSummary(
+            columns=payload["columns"],
+            count=payload["count"],
+            sums=np.array(payload["sums"]),
+            products=np.array(payload["products"]),
+        )
+        assert summary.correlation()[0, 1] == pytest.approx(1.0)
+
+    def test_correlation_requires_two_columns(self, server):
+        web, handle = server
+        [reply] = run(
+            web, handle, "sketch",
+            {"sketch": {"type": "correlation", "columns": ["x"]}},
+        )
+        assert reply.kind == "error"
+
+    def test_save_via_rpc(self, server, tmp_path):
+        web, handle = server
+        target = str(tmp_path / "saved")
+        replies = run(
+            web, handle, "sketch",
+            {"sketch": {"type": "save", "directory": target, "format": "hvc"}},
+        )
+        payload = replies[-1].payload
+        assert payload["type"] == "saveStatus"
+        assert payload["errors"] == []
+        assert payload["rowsWritten"] == 5_000
+        # The written dataset loads back with identical totals.
+        from repro.storage import columnar
+
+        shards = columnar.read_dataset(target, verify_snapshot=False)
+        assert sum(s.num_rows for s in shards) == 5_000
+
+
+class TestHeatmapSwap:
+    def test_swapped_transposes_counts(self, numbers_table):
+        from repro.core.resolution import Resolution
+        from repro.engine.local import parallel_dataset
+        from repro.spreadsheet import Spreadsheet
+
+        sheet = Spreadsheet(
+            parallel_dataset(numbers_table, shards=4),
+            resolution=Resolution(120, 60),
+            seed=8,
+        )
+        chart = sheet.heatmap("x", "x")
+        flipped = chart.swapped()
+        assert flipped.x_column == chart.y_column
+        assert flipped.cell_value(2, 5) == chart.cell_value(5, 2)
+        # Swapping twice is the identity.
+        again = flipped.swapped()
+        assert (again.summary.counts == chart.summary.counts).all()
+        assert again.summary.x_missing == chart.summary.x_missing
+
+    def test_swap_runs_no_query(self, numbers_table):
+        from repro.core.resolution import Resolution
+        from repro.engine.local import parallel_dataset
+        from repro.spreadsheet import Spreadsheet
+
+        sheet = Spreadsheet(
+            parallel_dataset(numbers_table, shards=2),
+            resolution=Resolution(120, 60),
+        )
+        chart = sheet.heatmap("x", "x")
+        actions_before = len(sheet.log.actions)
+        chart.swapped()
+        assert len(sheet.log.actions) == actions_before
+
+
+class TestMalformedRequests:
+    def test_malformed_json_yields_error_reply(self, server):
+        web, _ = server
+        [reply] = list(web.execute("{not json"))
+        assert reply.kind == "error"
+        assert reply.request_id == -1
+
+    def test_missing_sketch_spec(self, server):
+        web, handle = server
+        [reply] = run(web, handle, "sketch", {})
+        assert reply.kind == "error"
+        assert "sketch" in reply.error
+
+    def test_project_empty_columns(self, server):
+        web, handle = server
+        [reply] = run(web, handle, "project", {"columns": []})
+        assert reply.kind == "error"
+
+    def test_filter_missing_predicate(self, server):
+        web, handle = server
+        [reply] = run(web, handle, "filter", {})
+        assert reply.kind == "error"
+
+    def test_derive_missing_args(self, server):
+        web, handle = server
+        [reply] = run(web, handle, "derive", {"name": "x"})
+        assert reply.kind == "error"

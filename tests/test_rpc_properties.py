@@ -1,0 +1,170 @@
+"""Property-based fuzzing of the RPC JSON codecs (hypothesis).
+
+The web protocol must round-trip every value object the UI can construct:
+arbitrary predicate trees, sort orders, bucket descriptions, and cell
+values.  A codec that drops or reorders anything silently corrupts the
+query a worker executes, so these invariants get fuzzed, not spot-checked.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buckets import DoubleBuckets, ExplicitStringBuckets, StringBuckets
+from repro.engine.rpc import (
+    RpcReply,
+    RpcRequest,
+    buckets_from_json,
+    buckets_to_json,
+    cell_from_json,
+    cell_to_json,
+    order_from_json,
+    order_to_json,
+    predicate_from_json,
+    predicate_to_json,
+)
+from repro.table.compute import (
+    AndPredicate,
+    ColumnPredicate,
+    NotPredicate,
+    OrPredicate,
+    StringMatchPredicate,
+)
+from repro.table.sort import RecordOrder
+
+column_names = st.sampled_from(["x", "y", "DepDelay", "Origin", "名前"])
+
+scalar_values = st.one_of(
+    st.integers(-10**9, 10**9),
+    st.floats(-1e9, 1e9, allow_nan=False),
+    st.text(max_size=12),
+    # fold is DST disambiguation; it is meaningless for UTC stamps and not
+    # part of the ISO format, so normalize it out.
+    st.datetimes(
+        min_value=datetime(1990, 1, 1),
+        max_value=datetime(2030, 1, 1),
+    ).map(lambda d: d.replace(tzinfo=timezone.utc, fold=0)),
+)
+
+column_predicates = st.one_of(
+    st.builds(
+        ColumnPredicate,
+        column_names,
+        st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        scalar_values,
+    ),
+    st.builds(
+        lambda c, lo, hi: ColumnPredicate(c, "between", [lo, hi]),
+        column_names,
+        st.integers(-100, 0),
+        st.integers(1, 100),
+    ),
+    st.builds(
+        lambda c, vs: ColumnPredicate(c, "in", vs),
+        column_names,
+        st.lists(st.integers(-50, 50), min_size=1, max_size=5),
+    ),
+    st.builds(lambda c: ColumnPredicate(c, "is_missing"), column_names),
+    st.builds(
+        StringMatchPredicate,
+        column_names,
+        st.text(min_size=1, max_size=10),
+        st.sampled_from(["exact", "substring", "regex"]),
+        st.booleans(),
+    ),
+)
+
+predicates = st.recursive(
+    column_predicates,
+    lambda inner: st.one_of(
+        st.builds(lambda ps: AndPredicate(ps), st.lists(inner, min_size=1, max_size=3)),
+        st.builds(lambda ps: OrPredicate(ps), st.lists(inner, min_size=1, max_size=3)),
+        st.builds(NotPredicate, inner),
+    ),
+    max_leaves=6,
+)
+
+orders = st.builds(
+    lambda cols, flags: RecordOrder.of(*cols, ascending=flags[: len(cols)]),
+    st.lists(
+        st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=4, unique=True
+    ),
+    st.lists(st.booleans(), min_size=4, max_size=4),
+)
+
+buckets = st.one_of(
+    st.builds(
+        lambda lo, span, count: DoubleBuckets(lo, lo + span, count),
+        st.floats(-1e6, 1e6, allow_nan=False),
+        st.floats(0.001, 1e6, allow_nan=False),
+        st.integers(1, 500),
+    ),
+    st.builds(
+        lambda values: StringBuckets(sorted(values)),
+        st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=8, unique=True),
+    ),
+    st.builds(
+        lambda values: ExplicitStringBuckets(sorted(values)),
+        st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=8, unique=True),
+    ),
+)
+
+
+class TestCodecRoundTrips:
+    @given(predicate=predicates)
+    @settings(max_examples=150, deadline=None)
+    def test_predicates(self, predicate):
+        encoded = predicate_to_json(predicate)
+        json.dumps(encoded)  # must be pure JSON
+        assert predicate_from_json(encoded).spec() == predicate.spec()
+
+    @given(order=orders)
+    @settings(max_examples=80, deadline=None)
+    def test_orders(self, order):
+        encoded = order_to_json(order)
+        json.dumps(encoded)
+        assert order_from_json(encoded).spec() == order.spec()
+
+    @given(b=buckets)
+    @settings(max_examples=80, deadline=None)
+    def test_buckets(self, b):
+        encoded = buckets_to_json(b)
+        json.dumps(encoded)
+        assert buckets_from_json(encoded).spec() == b.spec()
+
+    @given(value=st.one_of(st.none(), scalar_values))
+    @settings(max_examples=100, deadline=None)
+    def test_cells(self, value):
+        encoded = cell_to_json(value)
+        json.dumps(encoded)
+        assert cell_from_json(encoded) == value
+
+
+class TestEnvelopeRoundTrips:
+    @given(
+        request_id=st.integers(0, 2**31),
+        target=st.text(min_size=1, max_size=20),
+        method=st.sampled_from(["sketch", "filter", "schema", "ping"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_requests(self, request_id, target, method):
+        request = RpcRequest(request_id, target, method, {"k": [1, "two"]})
+        assert RpcRequest.from_json(request.to_json()) == request
+
+    @given(
+        request_id=st.integers(0, 2**31),
+        kind=st.sampled_from(["partial", "complete", "ack", "error"]),
+        progress=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_replies(self, request_id, kind, progress):
+        reply = RpcReply(request_id, kind, progress=progress, payload={"n": 1})
+        back = RpcReply.from_json(reply.to_json())
+        assert back.request_id == request_id
+        assert back.kind == kind
+        assert abs(back.progress - progress) < 1e-5
+        assert back.payload == {"n": 1}

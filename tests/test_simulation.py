@@ -1,0 +1,229 @@
+"""Simulator tests: the scalability shapes of Figures 5-8 must hold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.costmodel import CostModel
+from repro.engine.simulation import SimCluster, SimPhase, simulate_phase, simulate_query
+
+MODEL = CostModel()  # default constants; shapes must not depend on calibration
+
+
+def cluster(servers=8, cores=28, rows=1_000_000_000):
+    return SimCluster(
+        servers=servers,
+        cores_per_server=cores,
+        total_rows=rows,
+        micropartition_rows=15_000_000,
+    )
+
+
+SCAN = SimPhase(kind="scan", columns=1, summary_bytes=800)
+SAMPLE = SimPhase(kind="sample", total_samples=1_000_000, summary_bytes=800)
+
+
+class TestPhaseBasics:
+    def test_result_fields(self):
+        result = simulate_phase(cluster(), SCAN, MODEL)
+        assert result.total_s > 0
+        assert 0 < result.first_partial_s <= result.total_s
+        assert result.bytes_to_root >= 8 * SCAN.summary_bytes
+        assert result.leaf_tasks > 0
+
+    def test_deterministic(self):
+        a = simulate_phase(cluster(), SCAN, MODEL, seed=3)
+        b = simulate_phase(cluster(), SCAN, MODEL, seed=3)
+        assert a == b
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SimPhase(kind="teleport").leaf_cost_s(MODEL, 10, 10)
+
+    def test_sort_costlier_than_scan(self):
+        scan = SimPhase(kind="scan", columns=1)
+        sort = SimPhase(kind="sort", columns=1)
+        assert sort.leaf_cost_s(MODEL, 10**6, 10**6) > scan.leaf_cost_s(
+            MODEL, 10**6, 10**6
+        )
+
+
+class TestWeakScalingServers:
+    """Figure 8: rows grow with servers; streaming flat, sampled improves."""
+
+    def latencies(self, phase):
+        out = []
+        for servers in (1, 2, 4, 8):
+            result = simulate_phase(
+                cluster(servers=servers, rows=125_000_000 * servers), phase, MODEL
+            )
+            out.append(result.total_s)
+        return out
+
+    def test_streaming_constant(self):
+        lat = self.latencies(SCAN)
+        assert max(lat) / min(lat) < 1.4  # near-flat
+
+    def test_sampled_superlinear(self):
+        lat = self.latencies(SAMPLE)
+        # Fixed total sample spread over more servers: latency drops.
+        assert lat[-1] < lat[0] / 2.0
+
+
+class TestWeakScalingCores:
+    """Figure 7: leaves+shards grow together; flat until cores exhausted."""
+
+    def test_flat_until_core_limit(self):
+        latencies = []
+        for leaves in (1, 2, 4, 8, 16):
+            result = simulate_phase(
+                SimCluster(
+                    servers=1,
+                    cores_per_server=16,
+                    total_rows=15_000_000 * leaves,
+                ),
+                SCAN,
+                MODEL,
+            )
+            latencies.append(result.total_s)
+        assert max(latencies) / min(latencies) < 1.4
+
+    def test_oversubscription_hurts(self):
+        at_cores = simulate_phase(
+            SimCluster(servers=1, cores_per_server=16, total_rows=15_000_000 * 16),
+            SCAN,
+            MODEL,
+        )
+        beyond = simulate_phase(
+            SimCluster(servers=1, cores_per_server=16, total_rows=15_000_000 * 64),
+            SCAN,
+            MODEL,
+        )
+        assert beyond.total_s > at_cores.total_s * 2.5
+
+
+class TestColdVsWarm:
+    """Figure 6: cold runs pay disk; first partials still arrive early."""
+
+    def test_cold_slower_than_warm(self):
+        warm = simulate_query(cluster(), [SCAN], MODEL, cold_columns=0)
+        cold = simulate_query(cluster(), [SCAN], MODEL, cold_columns=1)
+        assert cold.total_s > warm.total_s
+
+    def test_cold_cost_scales_with_columns(self):
+        one = simulate_query(cluster(), [SCAN], MODEL, cold_columns=1)
+        five = simulate_query(cluster(), [SCAN], MODEL, cold_columns=5)
+        assert five.total_s > one.total_s
+
+    def test_second_phase_is_warm(self):
+        single = simulate_query(cluster(), [SCAN], MODEL, cold_columns=1)
+        double = simulate_query(cluster(), [SCAN, SCAN], MODEL, cold_columns=1)
+        # The second phase adds warm time only (data cache, §5.4).
+        warm = simulate_query(cluster(), [SCAN], MODEL, cold_columns=0)
+        assert double.total_s == pytest.approx(
+            single.total_s + warm.total_s, rel=0.35
+        )
+
+
+class TestProgressiveness:
+    """First partials must arrive well before completion at scale."""
+
+    def test_first_partial_early(self):
+        big = cluster(rows=10_000_000_000)
+        result = simulate_phase(big, SCAN, MODEL)
+        assert result.first_partial_s < result.total_s * 0.7
+
+    def test_more_data_more_partials(self):
+        # The run must outlast the 0.1 s aggregation cadence for partials to
+        # accumulate — use a wide scan, as the paper's larger datasets do.
+        wide = SimPhase(kind="scan", columns=8, summary_bytes=800)
+        small = simulate_phase(cluster(rows=250_000_000), wide, MODEL)
+        large = simulate_phase(cluster(rows=8_000_000_000), wide, MODEL)
+        assert large.partials_to_root > small.partials_to_root
+        assert large.bytes_to_root > small.bytes_to_root
+
+    def test_sampling_cheaper_than_scan(self):
+        scan = simulate_phase(cluster(), SCAN, MODEL)
+        sample = simulate_phase(cluster(), SAMPLE, MODEL)
+        assert sample.total_s < scan.total_s
+
+
+class TestQueryComposition:
+    def test_phases_add(self):
+        one = simulate_query(cluster(), [SCAN], MODEL)
+        two = simulate_query(cluster(), [SCAN, SCAN], MODEL)
+        assert two.total_s > one.total_s
+        assert two.leaf_tasks == 2 * one.leaf_tasks
+
+    def test_first_partial_after_preparation(self):
+        # With a prepare phase, nothing renders until it completes.
+        render_only = simulate_query(cluster(), [SAMPLE], MODEL)
+        with_prepare = simulate_query(cluster(), [SCAN, SAMPLE], MODEL)
+        assert with_prepare.first_partial_s > render_only.first_partial_s
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_query(cluster(), [], MODEL)
+
+
+class TestCostModel:
+    def test_override(self):
+        fast = MODEL.with_overrides(scan_ns_per_row_column=0.5)
+        assert fast.scan_cost_s(10**9, 1) == pytest.approx(0.5)
+
+    def test_disk_and_transfer(self):
+        assert MODEL.disk_load_s(10**9, 1) == pytest.approx(
+            8e9 / MODEL.disk_bytes_per_second
+        )
+        assert MODEL.transfer_s(0) == MODEL.network_latency_s
+
+    def test_calibrate_produces_positive_constants(self):
+        model = CostModel.calibrate(rows=200_000)
+        assert model.scan_ns_per_row_column > 0
+        assert model.sample_ns_per_row > 0
+        assert model.sort_ns_per_row > 0
+
+
+class TestAggregationTree:
+    def test_flat_tree_for_small_deployments(self):
+        from repro.engine.simulation import aggregation_tree
+
+        shape = aggregation_tree(servers=8, fanout=16)
+        assert shape.layers == 0
+        assert shape.root_in_degree == 8
+        assert shape.aggregation_nodes == 0
+
+    def test_layers_added_until_fanout_met(self):
+        from repro.engine.simulation import aggregation_tree
+
+        shape = aggregation_tree(servers=512, fanout=4)
+        assert shape.root_in_degree <= 4
+        # Every layer shrinks the width by the fanout.
+        assert shape.layer_widths == (128, 32, 8, 2)
+
+    def test_hop_latency_grows_with_layers(self):
+        from repro.engine.costmodel import CostModel
+        from repro.engine.simulation import aggregation_tree
+
+        model = CostModel()
+        flat = aggregation_tree(8, 16)
+        deep = aggregation_tree(512, 4)
+        assert flat.hop_latency_s(model, 800) == 0.0
+        assert deep.hop_latency_s(model, 800) > 0.0
+
+    def test_root_bytes_scale_with_in_degree(self):
+        from repro.engine.simulation import aggregation_tree
+
+        direct = aggregation_tree(512, 64)
+        capped = aggregation_tree(512, 4)
+        assert capped.root_bytes_per_round(800) < direct.root_bytes_per_round(800)
+
+    def test_invalid_arguments(self):
+        import pytest as _pytest
+
+        from repro.engine.simulation import aggregation_tree
+
+        with _pytest.raises(ValueError):
+            aggregation_tree(0, 4)
+        with _pytest.raises(ValueError):
+            aggregation_tree(8, 1)

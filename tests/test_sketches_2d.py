@@ -1,0 +1,375 @@
+"""Stacked histogram, heat map and trellis sketch tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import DoubleBuckets, ExplicitStringBuckets
+from repro.core.serialization import Decoder, Encoder
+from repro.sketches.heatmap import HeatmapSketch, HeatmapSummary
+from repro.sketches.stacked import StackedHistogramSketch, StackedHistogramSummary
+from repro.sketches.trellis import TrellisHeatmapSketch, TrellisSummary
+from repro.table.table import Table
+
+
+@pytest.fixture(scope="module")
+def table2d():
+    rng = np.random.default_rng(11)
+    n = 30_000
+    return Table.from_pydict(
+        {
+            "x": rng.uniform(0, 10, n).tolist(),
+            "y": rng.uniform(0, 10, n).tolist(),
+            "g": [f"grp{int(i)}" for i in rng.integers(0, 4, n)],
+        }
+    )
+
+
+XB = DoubleBuckets(0, 10, 8)
+YB = DoubleBuckets(0, 10, 6)
+GB = ExplicitStringBuckets(["grp0", "grp1", "grp2", "grp3"])
+
+
+class TestStacked:
+    def test_bar_counts_match_marginal_histogram(self, table2d):
+        summary = StackedHistogramSketch("x", XB, "g", GB).summarize(table2d)
+        from repro.sketches.histogram import HistogramSketch
+
+        marginal = HistogramSketch("x", XB).summarize(table2d)
+        assert np.array_equal(summary.bar_counts, marginal.counts)
+
+    def test_cells_sum_to_bars(self, table2d):
+        summary = StackedHistogramSketch("x", XB, "g", GB).summarize(table2d)
+        assert np.array_equal(
+            summary.cell_counts.sum(axis=1) + summary.y_missing,
+            summary.bar_counts,
+        )
+
+    def test_partition_invariance(self, table2d):
+        sketch = StackedHistogramSketch("x", XB, "g", GB)
+        whole = sketch.summarize(table2d)
+        merged = sketch.merge_all([sketch.summarize(s) for s in table2d.split(5)])
+        assert np.array_equal(whole.cell_counts, merged.cell_counts)
+        assert np.array_equal(whole.bar_counts, merged.bar_counts)
+
+    def test_y_missing_tracked(self):
+        table = Table.from_pydict({"x": [1.0, 2.0], "g": ["grp0", None]})
+        summary = StackedHistogramSketch("x", DoubleBuckets(0, 10, 2), "g", GB).summarize(table)
+        assert summary.y_missing.sum() == 1
+
+    def test_serialization(self, table2d):
+        summary = StackedHistogramSketch("x", XB, "g", GB).summarize(table2d)
+        enc = Encoder()
+        summary.encode(enc)
+        back = StackedHistogramSummary.decode(Decoder(enc.to_bytes()))
+        assert np.array_equal(back.cell_counts, summary.cell_counts)
+
+    def test_sampled_proportions_close(self, table2d):
+        sketch = StackedHistogramSketch("x", XB, "g", GB, rate=0.2, seed=2)
+        sampled = sketch.summarize(table2d)
+        exact = StackedHistogramSketch("x", XB, "g", GB).summarize(table2d)
+        approx = sampled.cell_counts / max(sampled.sampled_rows, 1)
+        truth = exact.cell_counts / exact.sampled_rows
+        assert np.abs(approx - truth).max() < 0.02
+
+
+class TestHeatmap:
+    def test_counts_match_2d_histogram(self, table2d):
+        summary = HeatmapSketch("x", XB, "y", YB).summarize(table2d)
+        xs = np.array(table2d.to_pydict()["x"])
+        ys = np.array(table2d.to_pydict()["y"])
+        expected, _, _ = np.histogram2d(xs, ys, bins=(8, 6), range=((0, 10), (0, 10)))
+        assert np.array_equal(summary.counts, expected.astype(np.int64))
+
+    def test_partition_invariance(self, table2d):
+        sketch = HeatmapSketch("x", XB, "y", YB)
+        whole = sketch.summarize(table2d)
+        merged = sketch.merge_all([sketch.summarize(s) for s in table2d.split(9)])
+        assert np.array_equal(whole.counts, merged.counts)
+
+    def test_string_axis(self, table2d):
+        summary = HeatmapSketch("g", GB, "y", YB).summarize(table2d)
+        assert summary.counts.shape == (4, 6)
+        assert summary.total_in_range == table2d.num_rows
+
+    def test_missing_both_axes(self):
+        table = Table.from_pydict(
+            {"x": [1.0, None, 3.0], "y": [None, 2.0, 3.0]}
+        )
+        summary = HeatmapSketch(
+            "x", DoubleBuckets(0, 10, 2), "y", DoubleBuckets(0, 10, 2)
+        ).summarize(table)
+        assert summary.x_missing == 1
+        assert summary.y_missing == 1
+        assert summary.total_in_range == 1
+
+    def test_proportions(self, table2d):
+        summary = HeatmapSketch("x", XB, "y", YB).summarize(table2d)
+        assert summary.proportions().sum() == pytest.approx(1.0)
+
+    def test_serialization(self, table2d):
+        summary = HeatmapSketch("x", XB, "y", YB).summarize(table2d)
+        enc = Encoder()
+        summary.encode(enc)
+        back = HeatmapSummary.decode(Decoder(enc.to_bytes()))
+        assert np.array_equal(back.counts, summary.counts)
+
+    def test_zero_identity(self, table2d):
+        sketch = HeatmapSketch("x", XB, "y", YB)
+        summary = sketch.summarize(table2d)
+        assert np.array_equal(
+            sketch.merge(sketch.zero(), summary).counts, summary.counts
+        )
+
+
+class TestTrellis:
+    def test_panes_partition_the_heatmap(self, table2d):
+        sketch = TrellisHeatmapSketch("g", GB, "x", XB, "y", YB)
+        summary = sketch.summarize(table2d)
+        assert len(summary.panes) == 4
+        total = sum(p.counts.sum() for p in summary.panes)
+        plain = HeatmapSketch("x", XB, "y", YB).summarize(table2d)
+        assert total == plain.counts.sum()
+        combined = sum(p.counts for p in summary.panes)
+        assert np.array_equal(combined, plain.counts)
+
+    def test_pane_matches_filtered_heatmap(self, table2d):
+        from repro.table.compute import ColumnPredicate
+
+        sketch = TrellisHeatmapSketch("g", GB, "x", XB, "y", YB)
+        summary = sketch.summarize(table2d)
+        filtered = table2d.filter(ColumnPredicate("g", "==", "grp2"))
+        direct = HeatmapSketch("x", XB, "y", YB).summarize(filtered)
+        assert np.array_equal(summary.panes[2].counts, direct.counts)
+
+    def test_partition_invariance(self, table2d):
+        sketch = TrellisHeatmapSketch("g", GB, "x", XB, "y", YB)
+        whole = sketch.summarize(table2d)
+        merged = sketch.merge_all([sketch.summarize(s) for s in table2d.split(6)])
+        for a, b in zip(whole.panes, merged.panes):
+            assert np.array_equal(a.counts, b.counts)
+
+    def test_serialization(self, table2d):
+        sketch = TrellisHeatmapSketch("g", GB, "x", XB, "y", YB)
+        summary = sketch.summarize(table2d)
+        enc = Encoder()
+        summary.encode(enc)
+        back = TrellisSummary.decode(Decoder(enc.to_bytes()))
+        assert len(back.panes) == len(summary.panes)
+        assert np.array_equal(back.panes[1].counts, summary.panes[1].counts)
+
+
+#: A second grouping dimension for the 2-D trellis tests.
+G2B = ExplicitStringBuckets(["siteA", "siteB"])
+
+
+@pytest.fixture(scope="module")
+def table2d_sites(table2d):
+    rng = np.random.default_rng(17)
+    n = table2d.num_rows
+    rows = np.arange(n)
+    sites = [f"site{'AB'[int(i)]}" for i in rng.integers(0, 2, n)]
+    return Table.from_pydict(
+        {
+            "x": table2d.column("x").numeric_values(rows).tolist(),
+            "y": table2d.column("y").numeric_values(rows).tolist(),
+            "g": [table2d.column("g").value(i) for i in range(n)],
+            "site": sites,
+        }
+    )
+
+
+class TestTrellisHistogram:
+    def test_panes_partition_the_histogram(self, table2d):
+        from repro.sketches.histogram import HistogramSketch
+        from repro.sketches.trellis import TrellisHistogramSketch
+
+        sketch = TrellisHistogramSketch("g", GB, "x", XB)
+        summary = sketch.summarize(table2d)
+        assert len(summary.panes) == 4
+        combined = sum(p.counts for p in summary.panes)
+        plain = HistogramSketch("x", XB).summarize(table2d)
+        assert np.array_equal(combined, plain.counts)
+
+    def test_pane_matches_filtered_histogram(self, table2d):
+        from repro.sketches.histogram import HistogramSketch
+        from repro.sketches.trellis import TrellisHistogramSketch
+        from repro.table.compute import ColumnPredicate
+
+        sketch = TrellisHistogramSketch("g", GB, "x", XB)
+        summary = sketch.summarize(table2d)
+        filtered = table2d.filter(ColumnPredicate("g", "==", "grp1"))
+        direct = HistogramSketch("x", XB).summarize(filtered)
+        assert np.array_equal(summary.panes[1].counts, direct.counts)
+
+    def test_partition_invariance(self, table2d):
+        from repro.sketches.trellis import TrellisHistogramSketch
+
+        sketch = TrellisHistogramSketch("g", GB, "x", XB)
+        whole = sketch.summarize(table2d)
+        merged = sketch.merge_all([sketch.summarize(s) for s in table2d.split(7)])
+        for a, b in zip(whole.panes, merged.panes):
+            assert np.array_equal(a.counts, b.counts)
+            assert a.missing == b.missing
+
+    def test_x_missing_attributed_to_pane(self):
+        from repro.sketches.trellis import TrellisHistogramSketch
+
+        table = Table.from_pydict(
+            {"x": [1.0, None, 3.0], "g": ["grp0", "grp0", "grp1"]}
+        )
+        sketch = TrellisHistogramSketch("g", GB, "x", DoubleBuckets(0, 10, 2))
+        summary = sketch.summarize(table)
+        assert summary.panes[0].missing == 1
+        assert summary.panes[1].missing == 0
+
+    def test_group_missing_counted_once(self):
+        from repro.sketches.trellis import TrellisHistogramSketch
+
+        table = Table.from_pydict({"x": [1.0, 2.0], "g": ["grp0", None]})
+        sketch = TrellisHistogramSketch("g", GB, "x", DoubleBuckets(0, 10, 2))
+        summary = sketch.summarize(table)
+        assert summary.group_missing == 1
+
+    def test_serialization_roundtrip(self, table2d):
+        from repro.sketches.trellis import (
+            TrellisHistogramSketch,
+            TrellisHistogramSummary,
+        )
+
+        summary = TrellisHistogramSketch("g", GB, "x", XB).summarize(table2d)
+        enc = Encoder()
+        summary.encode(enc)
+        back = TrellisHistogramSummary.decode(Decoder(enc.to_bytes()))
+        assert len(back.panes) == 4
+        assert np.array_equal(back.panes[3].counts, summary.panes[3].counts)
+
+    def test_zero_is_identity(self, table2d):
+        from repro.sketches.trellis import TrellisHistogramSketch
+
+        sketch = TrellisHistogramSketch("g", GB, "x", XB)
+        summary = sketch.summarize(table2d)
+        again = sketch.merge(sketch.zero(), summary)
+        for a, b in zip(again.panes, summary.panes):
+            assert np.array_equal(a.counts, b.counts)
+
+
+class TestTrellis2D:
+    def test_pane_grid_row_major(self, table2d_sites):
+        from repro.table.compute import ColumnPredicate
+
+        sketch = TrellisHeatmapSketch(
+            "g", GB, "x", XB, "y", YB,
+            group2_column="site", group2_buckets=G2B,
+        )
+        summary = sketch.summarize(table2d_sites)
+        assert len(summary.panes) == 8  # 4 groups x 2 sites
+        # Pane (g=grp1, site=siteB) is flat index 1*2+1 == 3.
+        filtered = table2d_sites.filter(
+            ColumnPredicate("g", "==", "grp1")
+        ).filter(ColumnPredicate("site", "==", "siteB"))
+        direct = HeatmapSketch("x", XB, "y", YB).summarize(filtered)
+        assert np.array_equal(summary.panes[3].counts, direct.counts)
+
+    def test_2d_panes_partition_totals(self, table2d_sites):
+        sketch = TrellisHeatmapSketch(
+            "g", GB, "x", XB, "y", YB,
+            group2_column="site", group2_buckets=G2B,
+        )
+        summary = sketch.summarize(table2d_sites)
+        plain = HeatmapSketch("x", XB, "y", YB).summarize(table2d_sites)
+        combined = sum(p.counts for p in summary.panes)
+        assert np.array_equal(combined, plain.counts)
+
+    def test_2d_partition_invariance(self, table2d_sites):
+        sketch = TrellisHeatmapSketch(
+            "g", GB, "x", XB, "y", YB,
+            group2_column="site", group2_buckets=G2B,
+        )
+        whole = sketch.summarize(table2d_sites)
+        merged = sketch.merge_all(
+            [sketch.summarize(s) for s in table2d_sites.split(5)]
+        )
+        for a, b in zip(whole.panes, merged.panes):
+            assert np.array_equal(a.counts, b.counts)
+
+    def test_2d_histogram_trellis(self, table2d_sites):
+        from repro.sketches.histogram import HistogramSketch
+        from repro.sketches.trellis import TrellisHistogramSketch
+
+        sketch = TrellisHistogramSketch(
+            "g", GB, "x", XB,
+            group2_column="site", group2_buckets=G2B,
+        )
+        summary = sketch.summarize(table2d_sites)
+        assert len(summary.panes) == 8
+        combined = sum(p.counts for p in summary.panes)
+        plain = HistogramSketch("x", XB).summarize(table2d_sites)
+        assert np.array_equal(combined, plain.counts)
+
+    def test_mismatched_group2_args_rejected(self):
+        from repro.sketches.trellis import TrellisHistogramSketch
+
+        with pytest.raises(ValueError):
+            TrellisHistogramSketch("g", GB, "x", XB, group2_column="site")
+        with pytest.raises(ValueError):
+            TrellisHeatmapSketch(
+                "g", GB, "x", XB, "y", YB, group2_buckets=G2B
+            )
+
+    def test_group2_missing_counted(self):
+        sketch = TrellisHeatmapSketch(
+            "g", GB, "x", DoubleBuckets(0, 10, 2), "y", DoubleBuckets(0, 10, 2),
+            group2_column="site", group2_buckets=G2B,
+        )
+        table = Table.from_pydict(
+            {
+                "x": [1.0, 2.0, 3.0],
+                "y": [1.0, 2.0, 3.0],
+                "g": ["grp0", "grp1", "grp2"],
+                "site": ["siteA", None, "siteB"],
+            }
+        )
+        summary = sketch.summarize(table)
+        assert summary.group_missing == 1
+
+
+class TestTrellis2DResiduals:
+    def test_row_missing_in_both_groups_counted_once(self):
+        from repro.sketches.trellis import TrellisHistogramSketch
+
+        table = Table.from_pydict(
+            {
+                "x": [1.0, 2.0, 3.0],
+                "g": [None, "grp0", "grp1"],
+                "site": [None, "siteA", None],
+            }
+        )
+        sketch = TrellisHistogramSketch(
+            "g", GB, "x", DoubleBuckets(0, 10, 2),
+            group2_column="site", group2_buckets=G2B,
+        )
+        summary = sketch.summarize(table)
+        # Row 0 misses both groups, row 2 misses one: two missing rows.
+        assert summary.group_missing == 2
+        assert summary.group_out_of_range == 0
+
+    def test_residuals_partition_invariant(self):
+        from repro.sketches.trellis import TrellisHistogramSketch
+
+        table = Table.from_pydict(
+            {
+                "x": [float(i) for i in range(12)],
+                "g": [None, None, "grp0", "zzz"] * 3,
+                "site": [None, "siteA", None, "siteB"] * 3,
+            }
+        )
+        sketch = TrellisHistogramSketch(
+            "g", GB, "x", DoubleBuckets(0, 20, 2),
+            group2_column="site", group2_buckets=G2B,
+        )
+        whole = sketch.summarize(table)
+        merged = sketch.merge_all([sketch.summarize(s) for s in table.split(4)])
+        assert whole.group_missing == merged.group_missing
+        assert whole.group_out_of_range == merged.group_out_of_range

@@ -1,0 +1,222 @@
+"""Histogram/CDF/moments sketch tests: exactness, mergeability, sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import DoubleBuckets, ExplicitStringBuckets, StringBuckets
+from repro.core.serialization import Decoder, Encoder
+from repro.sketches.cdf import CdfSketch
+from repro.sketches.histogram import HistogramSketch, HistogramSummary
+from repro.sketches.moments import ColumnStats, MomentsSketch
+from repro.table.schema import ContentsKind
+from repro.table.table import Table
+
+
+def merge_over_shards(sketch, table, parts):
+    return sketch.merge_all([sketch.summarize(s) for s in table.split(parts)])
+
+
+class TestStreamingHistogram:
+    def test_exact_counts(self, medium_numeric):
+        buckets = DoubleBuckets(0, 100, 10)
+        summary = HistogramSketch("value", buckets).summarize(medium_numeric)
+        values = medium_numeric.column("value").data
+        expected = np.histogram(values, bins=10, range=(0, 100))[0]
+        assert np.array_equal(summary.counts, expected)
+        assert summary.missing == 0
+        assert summary.sampled_rows == medium_numeric.num_rows
+
+    @pytest.mark.parametrize("parts", [1, 2, 7, 16])
+    def test_partition_invariance(self, medium_numeric, parts):
+        buckets = DoubleBuckets(0, 100, 25)
+        sketch = HistogramSketch("value", buckets)
+        whole = sketch.summarize(medium_numeric)
+        merged = merge_over_shards(sketch, medium_numeric, parts)
+        assert np.array_equal(whole.counts, merged.counts)
+        assert whole.missing == merged.missing
+
+    def test_missing_and_out_of_range_counted(self):
+        table = Table.from_pydict({"v": [1.0, None, 50.0, 200.0, -5.0]})
+        buckets = DoubleBuckets(0, 100, 4)
+        summary = HistogramSketch("v", buckets).summarize(table)
+        assert summary.missing == 1
+        assert summary.out_of_range == 2
+        assert summary.total_in_range == 2
+
+    def test_zero_is_identity(self, medium_numeric):
+        buckets = DoubleBuckets(0, 100, 10)
+        sketch = HistogramSketch("value", buckets)
+        summary = sketch.summarize(medium_numeric)
+        merged = sketch.merge(sketch.zero(), summary)
+        assert np.array_equal(merged.counts, summary.counts)
+        assert merged.sampled_rows == summary.sampled_rows
+
+    def test_merge_commutative(self, medium_numeric):
+        buckets = DoubleBuckets(0, 100, 10)
+        sketch = HistogramSketch("value", buckets)
+        shards = medium_numeric.split(2)
+        a, b = (sketch.summarize(s) for s in shards)
+        ab, ba = sketch.merge(a, b), sketch.merge(b, a)
+        assert np.array_equal(ab.counts, ba.counts)
+
+    def test_string_histogram_explicit_buckets(self, medium_numeric):
+        buckets = ExplicitStringBuckets(sorted({f"g{i}" for i in range(12)}))
+        summary = HistogramSketch("group", buckets).summarize(medium_numeric)
+        assert summary.total_in_range == medium_numeric.num_rows
+        assert (summary.counts > 0).all()
+
+    def test_string_histogram_range_buckets(self, medium_numeric):
+        buckets = StringBuckets(["g0", "g3", "g6"])
+        summary = HistogramSketch("group", buckets).summarize(medium_numeric)
+        # g0..g2* fall below "g3": buckets are alphabetical ranges.
+        assert summary.total_in_range == medium_numeric.num_rows
+
+    def test_cacheable_when_exact(self):
+        buckets = DoubleBuckets(0, 1, 2)
+        assert HistogramSketch("v", buckets).cache_key() is not None
+        assert HistogramSketch("v", buckets, rate=0.5, seed=1).cache_key() is None
+
+    def test_serialization_roundtrip(self, medium_numeric):
+        buckets = DoubleBuckets(0, 100, 10)
+        summary = HistogramSketch("value", buckets).summarize(medium_numeric)
+        enc = Encoder()
+        summary.encode(enc)
+        back = HistogramSummary.decode(Decoder(enc.to_bytes()))
+        assert np.array_equal(back.counts, summary.counts)
+        assert back.sampled_rows == summary.sampled_rows
+
+    def test_summary_size_independent_of_rows(self):
+        buckets = DoubleBuckets(0, 100, 50)
+        small = HistogramSketch("v", buckets).summarize(
+            Table.from_pydict({"v": [1.0] * 10})
+        )
+        big = HistogramSketch("v", buckets).summarize(
+            Table.from_pydict({"v": list(np.linspace(0, 99, 5000))})
+        )
+        # "summary is small ... size depends only on the visualization" §4.2
+        assert abs(small.serialized_size() - big.serialized_size()) < 16
+
+
+class TestSampledHistogram:
+    def test_rate_one_equals_streaming(self, medium_numeric):
+        buckets = DoubleBuckets(0, 100, 10)
+        exact = HistogramSketch("value", buckets).summarize(medium_numeric)
+        sampled = HistogramSketch("value", buckets, rate=1.0, seed=9).summarize(
+            medium_numeric
+        )
+        assert np.array_equal(exact.counts, sampled.counts)
+
+    def test_sample_size_near_expectation(self, medium_numeric):
+        buckets = DoubleBuckets(0, 100, 10)
+        rate = 0.05
+        summary = HistogramSketch("value", buckets, rate=rate, seed=3).summarize(
+            medium_numeric
+        )
+        expected = medium_numeric.num_rows * rate
+        assert abs(summary.sampled_rows - expected) < 5 * np.sqrt(expected)
+
+    def test_scaled_counts_unbiased(self, medium_numeric):
+        buckets = DoubleBuckets(0, 100, 5)
+        exact = HistogramSketch("value", buckets).summarize(medium_numeric)
+        rate = 0.1
+        estimates = []
+        for seed in range(20):
+            sampled = HistogramSketch(
+                "value", buckets, rate=rate, seed=seed
+            ).summarize(medium_numeric)
+            estimates.append(sampled.scaled_counts(rate))
+        mean_estimate = np.mean(estimates, axis=0)
+        relative_error = np.abs(mean_estimate - exact.counts) / exact.counts
+        assert relative_error.max() < 0.05
+
+    def test_deterministic_given_seed_and_shard(self, medium_numeric):
+        buckets = DoubleBuckets(0, 100, 10)
+        sketch = HistogramSketch("value", buckets, rate=0.1, seed=5)
+        a = sketch.summarize(medium_numeric)
+        b = sketch.summarize(medium_numeric)
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_with_seed_changes_sample(self, medium_numeric):
+        buckets = DoubleBuckets(0, 100, 10)
+        sketch = HistogramSketch("value", buckets, rate=0.1, seed=5)
+        reseeded = sketch.with_seed(6)
+        assert reseeded.seed == 6
+        a = sketch.summarize(medium_numeric)
+        b = reseeded.summarize(medium_numeric)
+        assert not np.array_equal(a.counts, b.counts)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            HistogramSketch("v", DoubleBuckets(0, 1, 2), rate=0.0)
+        with pytest.raises(ValueError):
+            HistogramSketch("v", DoubleBuckets(0, 1, 2), rate=1.5)
+
+
+class TestCdf:
+    def test_cumulative_monotone_and_normalized(self, medium_numeric):
+        buckets = DoubleBuckets(0, 100, 200)
+        summary = CdfSketch("value", buckets).summarize(medium_numeric)
+        cumulative = CdfSketch.cumulative(summary)
+        assert np.all(np.diff(cumulative) >= 0)
+        assert cumulative[-1] == pytest.approx(1.0)
+
+    def test_empty_cdf(self):
+        table = Table.from_pydict({"v": [None, None]}, kinds={"v": ContentsKind.DOUBLE})
+        buckets = DoubleBuckets(0, 1, 10)
+        summary = CdfSketch("v", buckets).summarize(table)
+        assert CdfSketch.cumulative(summary).tolist() == [0.0] * 10
+
+    def test_distinct_cache_key_from_histogram(self):
+        buckets = DoubleBuckets(0, 1, 4)
+        assert CdfSketch("v", buckets).cache_key() != HistogramSketch(
+            "v", buckets
+        ).cache_key()
+
+
+class TestMoments:
+    def test_matches_numpy(self, medium_numeric):
+        stats = MomentsSketch("value", moments=2).summarize(medium_numeric)
+        values = medium_numeric.column("value").data
+        assert stats.mean == pytest.approx(values.mean())
+        assert stats.variance == pytest.approx(values.var(), rel=1e-9)
+        assert stats.min_value == pytest.approx(values.min())
+        assert stats.max_value == pytest.approx(values.max())
+        assert stats.present_count == len(values)
+
+    def test_merge_matches_whole(self, medium_numeric):
+        sketch = MomentsSketch("value", moments=3)
+        whole = sketch.summarize(medium_numeric)
+        merged = merge_over_shards(sketch, medium_numeric, 7)
+        assert merged.mean == pytest.approx(whole.mean)
+        assert merged.moment(3) == pytest.approx(whole.moment(3))
+        assert merged.min_value == whole.min_value
+
+    def test_missing_counted(self):
+        table = Table.from_pydict({"v": [1.0, None, 3.0]})
+        stats = MomentsSketch("v").summarize(table)
+        assert stats.missing_count == 1
+        assert stats.present_count == 2
+        assert stats.row_count == 3
+
+    def test_string_column_min_max(self, small_table):
+        stats = MomentsSketch("name").summarize(small_table)
+        assert stats.min_value == "alice"
+        assert stats.max_value == "dave"
+        assert stats.power_sums == []
+
+    def test_empty_stats(self):
+        table = Table.from_pydict({"v": [None]}, kinds={"v": ContentsKind.DOUBLE})
+        stats = MomentsSketch("v").summarize(table)
+        assert stats.min_value is None
+        assert np.isnan(stats.mean)
+        assert np.isnan(stats.variance)
+
+    def test_serialization(self, medium_numeric):
+        stats = MomentsSketch("value").summarize(medium_numeric)
+        enc = Encoder()
+        stats.encode(enc)
+        back = ColumnStats.decode(Decoder(enc.to_bytes()))
+        assert back.mean == pytest.approx(stats.mean)
+        assert back.min_value == stats.min_value

@@ -1,0 +1,133 @@
+"""PCA correlation sketch and save-table sketch tests."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import Decoder, Encoder
+from repro.sketches.pca import CorrelationSketch, CorrelationSummary
+from repro.sketches.save import SaveStatus, SaveTableSketch
+from repro.storage import columnar, csv_io
+from repro.table.table import Table
+
+
+@pytest.fixture(scope="module")
+def correlated():
+    rng = np.random.default_rng(21)
+    n = 20_000
+    a = rng.normal(0, 1, n)
+    b = 2.0 * a + rng.normal(0, 0.3, n)
+    c = rng.normal(5, 2, n)
+    return Table.from_pydict({"a": a.tolist(), "b": b.tolist(), "c": c.tolist()})
+
+
+class TestCorrelationSketch:
+    def test_matches_numpy_corrcoef(self, correlated):
+        sketch = CorrelationSketch(["a", "b", "c"])
+        summary = sketch.summarize(correlated)
+        data = np.column_stack(
+            [correlated.column(c).data for c in ("a", "b", "c")]
+        )
+        expected = np.corrcoef(data.T)
+        assert np.allclose(summary.correlation(), expected, atol=1e-9)
+
+    def test_merge_equals_whole(self, correlated):
+        sketch = CorrelationSketch(["a", "b", "c"])
+        whole = sketch.summarize(correlated)
+        merged = sketch.merge_all(
+            [sketch.summarize(s) for s in correlated.split(6)]
+        )
+        assert merged.count == whole.count
+        assert np.allclose(merged.correlation(), whole.correlation())
+
+    def test_principal_components(self, correlated):
+        summary = CorrelationSketch(["a", "b", "c"]).summarize(correlated)
+        values, vectors = summary.principal_components(2)
+        # a and b are nearly collinear: the first component captures both.
+        assert values[0] > values[1]
+        assert abs(vectors[0][0]) > 0.5 and abs(vectors[0][1]) > 0.5
+        assert summary.explained_variance(2) > 0.95
+
+    def test_missing_rows_excluded(self):
+        table = Table.from_pydict(
+            {"a": [1.0, None, 3.0], "b": [2.0, 5.0, None]}
+        )
+        summary = CorrelationSketch(["a", "b"]).summarize(table)
+        assert summary.count == 1
+
+    def test_sampled_correlation_close(self, correlated):
+        exact = CorrelationSketch(["a", "b", "c"]).summarize(correlated)
+        sampled = CorrelationSketch(["a", "b", "c"], rate=0.2, seed=3).summarize(
+            correlated
+        )
+        assert np.allclose(sampled.correlation(), exact.correlation(), atol=0.05)
+
+    def test_needs_two_columns(self):
+        with pytest.raises(ValueError):
+            CorrelationSketch(["a"])
+
+    def test_component_count_validated(self, correlated):
+        summary = CorrelationSketch(["a", "b"]).summarize(correlated)
+        with pytest.raises(ValueError):
+            summary.principal_components(3)
+
+    def test_serialization(self, correlated):
+        summary = CorrelationSketch(["a", "b", "c"]).summarize(correlated)
+        enc = Encoder()
+        summary.encode(enc)
+        back = CorrelationSummary.decode(Decoder(enc.to_bytes()))
+        assert back.count == summary.count
+        assert np.allclose(back.correlation(), summary.correlation())
+
+
+class TestSaveSketch:
+    def test_saves_shards_hvc(self, small_table, tmp_path):
+        directory = str(tmp_path / "out")
+        sketch = SaveTableSketch(directory, "hvc")
+        shards = small_table.split(3)
+        status = sketch.merge_all([sketch.summarize(s) for s in shards])
+        assert status.ok
+        assert status.rows_written == small_table.num_rows
+        assert len(status.files) == len(shards)
+        total = 0
+        for path in status.files:
+            total += columnar.read_table(path).num_rows
+        assert total == small_table.num_rows
+
+    def test_saves_csv(self, small_table, tmp_path):
+        directory = str(tmp_path / "csvout")
+        status = SaveTableSketch(directory, "csv").summarize(small_table)
+        assert status.ok
+        back = csv_io.read_csv(status.files[0])
+        assert back.num_rows == small_table.num_rows
+
+    def test_error_captured_not_raised(self, small_table, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        sketch = SaveTableSketch(str(blocked), "hvc")
+        status = sketch.summarize(small_table)
+        assert not status.ok
+        assert status.errors
+
+    def test_merge_combines_errors(self):
+        left = SaveStatus(files=["a"], rows_written=5)
+        right = SaveStatus(errors=["disk full"])
+        sketch = SaveTableSketch("/nonexistent")
+        merged = sketch.merge(left, right)
+        assert merged.rows_written == 5
+        assert not merged.ok
+
+    def test_invalid_format(self):
+        with pytest.raises(ValueError):
+            SaveTableSketch("/tmp", "parquet")
+
+    def test_serialization(self):
+        status = SaveStatus(files=["x"], rows_written=3, errors=["boom"])
+        enc = Encoder()
+        status.encode(enc)
+        back = SaveStatus.decode(Decoder(enc.to_bytes()))
+        assert back.files == ["x"]
+        assert back.errors == ["boom"]

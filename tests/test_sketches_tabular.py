@@ -1,0 +1,232 @@
+"""Next-items, quantile and find-text sketch tests (the tabular view)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialization import Decoder, Encoder
+from repro.sketches.find_text import FindResult, FindTextSketch
+from repro.sketches.next_items import NextKList, NextKSketch
+from repro.sketches.quantile import QuantileSummary, SampleQuantileSketch
+from repro.table.compute import StringMatchPredicate
+from repro.table.sort import RecordOrder
+from repro.table.table import Table
+
+
+def exact_groups(table, order):
+    """Reference: distinct sort-column tuples with counts, in order."""
+    rows = table.members.indices()
+    columns = [table.column(c) for c in order.columns]
+    tuples = [tuple(col.value(int(r)) for col in columns) for r in rows]
+    counted: dict = {}
+    for t in tuples:
+        counted[t] = counted.get(t, 0) + 1
+    keys = sorted(counted, key=lambda t: order.key_from_values(t))
+    return [(k, counted[k]) for k in keys]
+
+
+class TestNextK:
+    def test_first_page_matches_reference(self, flights):
+        order = RecordOrder.of("Airline", "DepDelay")
+        sketch = NextKSketch(order, 10)
+        result = sketch.summarize(flights)
+        expected = exact_groups(flights, order)[:10]
+        assert list(zip(result.rows, result.counts)) == expected
+
+    @pytest.mark.parametrize("parts", [2, 5, 11])
+    def test_partition_invariance(self, flights, parts):
+        order = RecordOrder.of("Origin", "Dest")
+        sketch = NextKSketch(order, 8)
+        whole = sketch.summarize(flights)
+        merged = sketch.merge_all(
+            [sketch.summarize(s) for s in flights.split(parts)]
+        )
+        assert merged.rows == whole.rows
+        assert merged.counts == whole.counts
+        assert merged.scanned == whole.scanned
+
+    def test_start_key_pages_forward(self, small_table):
+        order = RecordOrder.of("x")
+        first = NextKSketch(order, 3).summarize(small_table)
+        start = order.key_from_values(first.rows[-1])
+        second = NextKSketch(order, 3, start).summarize(small_table)
+        assert second.rows[0][0] > first.rows[-1][0] or first.rows[-1][0] is None
+        # preceding counts the rows on earlier pages
+        assert second.preceding == sum(first.counts)
+
+    def test_inclusive_start(self, small_table):
+        order = RecordOrder.of("x")
+        key = order.key_from_values((2,))
+        exclusive = NextKSketch(order, 3, key).summarize(small_table)
+        inclusive = NextKSketch(order, 3, key, inclusive=True).summarize(small_table)
+        assert exclusive.rows[0] == (3,)
+        assert inclusive.rows[0] == (2,)
+
+    def test_duplicate_aggregation(self, small_table):
+        order = RecordOrder.of("name")
+        result = NextKSketch(order, 10).summarize(small_table)
+        by_name = dict(zip([r[0] for r in result.rows], result.counts))
+        assert by_name["alice"] == 3
+        assert by_name["bob"] == 2
+        assert by_name[None] == 1
+
+    def test_descending_order(self, small_table):
+        order = RecordOrder.of("x", ascending=False)
+        result = NextKSketch(order, 3).summarize(small_table)
+        assert [r[0] for r in result.rows] == [5, 4, 3]
+
+    def test_missing_sorts_first_ascending(self, small_table):
+        order = RecordOrder.of("x")
+        result = NextKSketch(order, 1).summarize(small_table)
+        assert result.rows[0] == (None,)
+
+    def test_empty_shard(self, small_table):
+        from repro.table.compute import ColumnPredicate
+
+        empty = small_table.filter(ColumnPredicate("x", ">", 1000))
+        order = RecordOrder.of("x")
+        result = NextKSketch(order, 5).summarize(empty)
+        assert result.rows == []
+        merged = NextKSketch(order, 5).merge(
+            result, NextKSketch(order, 5).summarize(small_table)
+        )
+        assert len(merged.rows) == 5
+
+    def test_serialization(self, small_table):
+        order = RecordOrder.of("name", "x")
+        result = NextKSketch(order, 4).summarize(small_table)
+        enc = Encoder()
+        result.encode(enc)
+        back = NextKList.decode(Decoder(enc.to_bytes()))
+        assert back.rows == result.rows
+        assert back.counts == result.counts
+        assert back.order == order
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=60),
+        st.integers(1, 8),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_merge_equals_whole(self, values, k, parts):
+        table = Table.from_pydict({"v": values})
+        order = RecordOrder.of("v")
+        sketch = NextKSketch(order, k)
+        whole = sketch.summarize(table)
+        merged = sketch.merge_all([sketch.summarize(s) for s in table.split(parts)])
+        assert whole.rows == merged.rows
+        assert whole.counts == merged.counts
+
+
+class TestQuantile:
+    def test_exact_when_rate_one(self, medium_numeric):
+        order = RecordOrder.of("value")
+        sketch = SampleQuantileSketch(order, rate=1.0, max_size=200_000)
+        summary = sketch.summarize(medium_numeric)
+        median = summary.quantile(0.5)[0]
+        true_median = float(np.median(medium_numeric.column("value").data))
+        assert abs(median - true_median) < 1.0
+
+    def test_sampled_quantiles_close(self, medium_numeric):
+        order = RecordOrder.of("value")
+        sketch = SampleQuantileSketch(order, rate=0.2, seed=4)
+        summary = sketch.merge_all(
+            [sketch.summarize(s) for s in medium_numeric.split(8)]
+        )
+        for fraction in (0.1, 0.5, 0.9):
+            estimate = summary.quantile(fraction)[0]
+            truth = float(
+                np.quantile(medium_numeric.column("value").data, fraction)
+            )
+            assert abs(estimate - truth) < 2.5, fraction
+
+    def test_samples_stay_sorted_through_merge(self, medium_numeric):
+        order = RecordOrder.of("value")
+        sketch = SampleQuantileSketch(order, rate=0.05, seed=1)
+        summary = sketch.merge_all(
+            [sketch.summarize(s) for s in medium_numeric.split(6)]
+        )
+        values = [s[0] for s in summary.samples]
+        assert values == sorted(values)
+
+    def test_size_bounded(self, medium_numeric):
+        order = RecordOrder.of("value")
+        sketch = SampleQuantileSketch(order, rate=1.0, max_size=100)
+        summary = sketch.merge_all(
+            [sketch.summarize(s) for s in medium_numeric.split(4)]
+        )
+        assert len(summary.samples) <= 200
+
+    def test_quantile_edges(self):
+        order = RecordOrder.of("v")
+        summary = QuantileSummary(order=order, samples=[(1,), (2,), (3,)])
+        assert summary.quantile(0.0) == (1,)
+        assert summary.quantile(1.0) == (3,)
+        assert summary.quantile(-5) == (1,)
+        assert QuantileSummary(order=order).quantile(0.5) is None
+
+    def test_serialization(self, small_table):
+        order = RecordOrder.of("x")
+        sketch = SampleQuantileSketch(order, rate=1.0)
+        summary = sketch.summarize(small_table)
+        enc = Encoder()
+        summary.encode(enc)
+        back = QuantileSummary.decode(Decoder(enc.to_bytes()))
+        assert back.samples == summary.samples
+
+
+class TestFindText:
+    @pytest.fixture
+    def table(self):
+        return Table.from_pydict(
+            {
+                "s": ["gandalf", "frodo", "gimli", "Gandalf", "legolas", None],
+                "n": [1, 2, 3, 4, 5, 6],
+            }
+        )
+
+    def test_finds_first_in_order(self, table):
+        predicate = StringMatchPredicate("s", "gandalf", case_sensitive=False)
+        order = RecordOrder.of("n")
+        result = FindTextSketch(predicate, order).summarize(table)
+        assert result.first_match == (1,)
+        assert result.matches_after == 2
+        assert result.matches_before == 0
+
+    def test_start_key_skips_earlier_matches(self, table):
+        predicate = StringMatchPredicate("s", "gandalf", case_sensitive=False)
+        order = RecordOrder.of("n")
+        start = order.key_from_values((1,))
+        result = FindTextSketch(predicate, order, start).summarize(table)
+        assert result.first_match == (4,)
+        assert result.matches_before == 1
+        assert result.matches_after == 1
+
+    def test_no_match(self, table):
+        predicate = StringMatchPredicate("s", "sauron")
+        order = RecordOrder.of("n")
+        result = FindTextSketch(predicate, order).summarize(table)
+        assert result.first_match is None
+        assert result.total_matches == 0
+
+    def test_merge_picks_smallest_key(self, table):
+        predicate = StringMatchPredicate("s", "g")  # gandalf, gimli, legolas...
+        order = RecordOrder.of("n")
+        sketch = FindTextSketch(predicate, order)
+        merged = sketch.merge_all([sketch.summarize(s) for s in table.split(3)])
+        whole = sketch.summarize(table)
+        assert merged.first_match == whole.first_match
+        assert merged.total_matches == whole.total_matches
+
+    def test_serialization(self, table):
+        predicate = StringMatchPredicate("s", "frodo")
+        order = RecordOrder.of("n")
+        result = FindTextSketch(predicate, order).summarize(table)
+        enc = Encoder()
+        result.encode(enc)
+        back = FindResult.decode(Decoder(enc.to_bytes()))
+        assert back.first_match == result.first_match
+        assert back.matches_after == result.matches_after

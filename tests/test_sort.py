@@ -1,0 +1,179 @@
+"""Sort-order tests: vectorized argsort vs Python sort, RowKey semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialization import Decoder, Encoder
+from repro.errors import SchemaError
+from repro.table.sort import ColumnSortOrientation, RecordOrder
+from repro.table.table import Table
+
+
+def reference_sort(rows, directions):
+    """Python reference: missing first (ascending), per-column direction."""
+
+    def key(row):
+        parts = []
+        for value, direction in zip(row, directions):
+            rank = 0 if value is None else 1
+            parts.append((rank, value, direction))
+        return parts
+
+    import functools
+
+    def compare(a, b):
+        for (ra, va, d), (rb, vb, _) in zip(key(a), key(b)):
+            c = (ra > rb) - (ra < rb)
+            if c == 0 and ra == 1:
+                c = (va > vb) - (va < vb)
+            if c:
+                return c * d
+        return 0
+
+    return sorted(rows, key=functools.cmp_to_key(compare))
+
+
+class TestRecordOrder:
+    def test_requires_columns(self):
+        with pytest.raises(SchemaError):
+            RecordOrder([])
+
+    def test_no_repeated_columns(self):
+        with pytest.raises(SchemaError):
+            RecordOrder.of("a", "a")
+
+    def test_of_with_flags(self):
+        order = RecordOrder.of("a", "b", ascending=[True, False])
+        assert order.directions == (1, -1)
+        with pytest.raises(SchemaError):
+            RecordOrder.of("a", "b", ascending=[True])
+
+    def test_spec_and_equality(self):
+        assert RecordOrder.of("a").spec() == "a:asc"
+        assert RecordOrder.of("a") == RecordOrder.of("a")
+        assert RecordOrder.of("a") != RecordOrder.of("a", ascending=False)
+
+    def test_encode_decode(self):
+        order = RecordOrder(
+            [ColumnSortOrientation("x"), ColumnSortOrientation("y", False)]
+        )
+        enc = Encoder()
+        order.encode(enc)
+        assert RecordOrder.decode(Decoder(enc.to_bytes())) == order
+
+
+class TestArgsort:
+    def test_single_column_ascending(self, small_table):
+        order = RecordOrder.of("x")
+        rows = order.argsort(small_table)
+        values = [small_table.column("x").value(int(r)) for r in rows]
+        assert values == [None, 1, 1, 2, 2, 3, 4, 5]
+
+    def test_descending_missing_last(self, small_table):
+        order = RecordOrder.of("x", ascending=False)
+        rows = order.argsort(small_table)
+        values = [small_table.column("x").value(int(r)) for r in rows]
+        assert values == [5, 4, 3, 2, 2, 1, 1, None]
+
+    def test_string_column(self, small_table):
+        order = RecordOrder.of("name")
+        rows = order.argsort(small_table)
+        values = [small_table.column("name").value(int(r)) for r in rows]
+        assert values == [None, "alice", "alice", "alice", "bob", "bob", "carol", "dave"]
+
+    def test_multi_column(self, small_table):
+        order = RecordOrder.of("name", "x")
+        rows = order.argsort(small_table)
+        pairs = [
+            (small_table.column("name").value(int(r)), small_table.column("x").value(int(r)))
+            for r in rows
+        ]
+        alice = [p for p in pairs if p[0] == "alice"]
+        assert alice == [("alice", 1), ("alice", 2), ("alice", 5)]
+
+    def test_argsort_on_subset(self, small_table):
+        order = RecordOrder.of("x")
+        subset = np.array([0, 4, 5])
+        rows = order.argsort(small_table, subset)
+        values = [small_table.column("x").value(int(r)) for r in rows]
+        assert values == [3, 4, 5]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(-50, 50)),
+                st.one_of(st.none(), st.integers(-5, 5)),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_argsort_matches_reference(self, data, asc_a, asc_b):
+        table = Table.from_pydict(
+            {"a": [r[0] for r in data], "b": [r[1] for r in data]}
+        )
+        order = RecordOrder.of("a", "b", ascending=[asc_a, asc_b])
+        rows = order.argsort(table)
+        got = [
+            (table.column("a").value(int(r)), table.column("b").value(int(r)))
+            for r in rows
+        ]
+        directions = [1 if asc_a else -1, 1 if asc_b else -1]
+        assert got == reference_sort(got, directions)
+
+
+class TestRowKey:
+    def test_total_order_with_missing(self, small_table):
+        order = RecordOrder.of("x")
+        keys = [order.row_key(small_table, i) for i in range(small_table.universe_size)]
+        missing_key = keys[3]
+        assert all(missing_key < k for k in keys if k != missing_key)
+
+    def test_descending_reverses(self, small_table):
+        asc = RecordOrder.of("x")
+        desc = RecordOrder.of("x", ascending=False)
+        k1a, k2a = asc.row_key(small_table, 1), asc.row_key(small_table, 0)
+        k1d, k2d = desc.row_key(small_table, 1), desc.row_key(small_table, 0)
+        assert k1a < k2a
+        assert k2d < k1d
+
+    def test_equality_and_values(self, small_table):
+        order = RecordOrder.of("x")
+        assert order.row_key(small_table, 1) == order.row_key(small_table, 6)
+        assert order.row_key(small_table, 3).values() == (None,)
+
+    def test_key_from_values_consistent(self, small_table):
+        order = RecordOrder.of("name", "x")
+        from_row = order.row_key(small_table, 0)
+        from_values = order.key_from_values(("bob", 3))
+        assert from_row == from_values
+
+    def test_sorted_keys_match_argsort(self, small_table):
+        order = RecordOrder.of("name", "x", ascending=[True, False])
+        rows = order.argsort(small_table)
+        keys = [order.row_key(small_table, int(r)) for r in rows]
+        assert all(not (b < a) for a, b in zip(keys, keys[1:]))
+
+
+class TestReversedOrder:
+    def test_reversed_flips_every_direction(self):
+        order = RecordOrder.of("a", "b", ascending=[True, False])
+        rev = order.reversed()
+        assert rev.columns == ["a", "b"]
+        assert rev.directions == (-1, 1)
+        assert rev.reversed().directions == order.directions
+
+    def test_reversed_key_comparison_flips(self):
+        order = RecordOrder.of("a")
+        rev = order.reversed()
+        small = order.key_from_values((1,))
+        large = order.key_from_values((2,))
+        assert small < large
+        assert rev.key_from_values((2,)) < rev.key_from_values((1,))

@@ -1,0 +1,370 @@
+"""Spreadsheet facade tests over the cluster engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.resolution import Resolution
+from repro.engine.local import parallel_dataset
+from repro.spreadsheet import Spreadsheet
+from repro.table.compute import ColumnPredicate
+from repro.table.schema import ContentsKind
+from repro.table.sort import RecordOrder
+
+
+@pytest.fixture
+def sheet(flights_cluster):
+    _, dataset = flights_cluster
+    return Spreadsheet(dataset, resolution=Resolution(300, 100), seed=2)
+
+
+@pytest.fixture
+def local_sheet(flights):
+    return Spreadsheet(
+        parallel_dataset(flights, shards=8),
+        resolution=Resolution(300, 100),
+        seed=3,
+    )
+
+
+class TestTabularViews:
+    def test_table_view_sorted(self, sheet):
+        view = sheet.table_view(RecordOrder.of("DepDelay"), k=10)
+        values = [v for v in view.column_values("DepDelay") if v is not None]
+        assert values == sorted(values)
+        assert view.row_count == 10
+
+    def test_paging_advances(self, sheet):
+        first = sheet.table_view(RecordOrder.of("Distance"), k=5)
+        second = sheet.next_page(first)
+        last_key = first.last_key()
+        assert last_key is not None
+        assert last_key < second.order.key_from_values(second.rows[0])
+        assert second.next_k.preceding >= sum(first.counts)
+
+    def test_prev_page_round_trips(self, sheet):
+        first = sheet.table_view(RecordOrder.of("Distance"), k=5)
+        second = sheet.next_page(first)
+        back = sheet.prev_page(second)
+        assert back.rows == first.rows
+        assert back.counts == first.counts
+        assert back.next_k.preceding == first.next_k.preceding
+
+    def test_prev_page_clamps_at_top(self, sheet):
+        first = sheet.table_view(RecordOrder.of("Distance"), k=5)
+        still_first = sheet.prev_page(first)
+        assert still_first.rows == first.rows
+
+    def test_prev_page_from_scroll_moves_backward(self, sheet):
+        middle = sheet.scroll(0.5, RecordOrder.of("DepDelay"), k=10)
+        before = sheet.prev_page(middle)
+        assert before.scroll_position <= middle.scroll_position
+        last = before.last_key()
+        first_mid = middle.order.key_from_values(middle.rows[0])
+        assert last is not None and last < first_mid
+
+    def test_prev_page_descending_order(self, sheet):
+        order = RecordOrder.of("Distance", ascending=False)
+        first = sheet.table_view(order, k=5)
+        second = sheet.next_page(first)
+        back = sheet.prev_page(second)
+        assert back.rows == first.rows
+
+    def test_scroll_lands_near_fraction(self, sheet):
+        view = sheet.scroll(0.5, RecordOrder.of("DepDelay"))
+        assert 0.4 < view.scroll_position < 0.6
+
+    def test_scroll_to_start(self, sheet):
+        view = sheet.scroll(0.0, RecordOrder.of("DepDelay"))
+        assert view.scroll_position < 0.05
+
+    def test_find_jumps_to_match(self, sheet):
+        result, view = sheet.find("Origin", "SFO", mode="exact")
+        assert result.total_matches > 0
+        assert view is not None
+        assert view.rows[0][0] == "SFO"
+
+    def test_find_no_match(self, sheet):
+        result, view = sheet.find("Origin", "XXX", mode="exact")
+        assert result.total_matches == 0
+        assert view is None
+
+    def test_find_next_occurrence(self, sheet):
+        order = RecordOrder.of("Origin")
+        first, _ = sheet.find("Origin", "S", order=order)
+        key = first.first_key()
+        nxt, _ = sheet.find("Origin", "S", order=order, start_key=key)
+        assert nxt.matches_before >= 1
+
+
+class TestCharts:
+    def test_histogram_counts_sum(self, sheet):
+        chart = sheet.histogram("Distance")
+        total = chart.counts.sum()
+        rows = sheet.total_rows
+        assert abs(total - rows) / rows < 0.05
+
+    def test_histogram_bucket_inspection(self, sheet):
+        chart = sheet.histogram("Distance", buckets=10)
+        label, count = chart.bucket_value(0)
+        assert label.startswith("[")
+        assert count >= 0
+
+    def test_cdf_attached_for_numeric(self, sheet):
+        chart = sheet.histogram("DepDelay")
+        assert chart.cdf_summary is not None
+        rendering = chart.cdf_rendering()
+        assert rendering is not None
+        assert np.all(np.diff(rendering.fractions) >= -1e-12)
+
+    def test_string_histogram_explicit_buckets(self, sheet):
+        chart = sheet.histogram("Airline", with_cdf=False)
+        from repro.core.buckets import ExplicitStringBuckets
+
+        assert isinstance(chart.buckets, ExplicitStringBuckets)
+        assert chart.summary.total_in_range == sheet.total_rows
+
+    def test_stacked_histogram(self, sheet):
+        chart = sheet.stacked_histogram("DepDelay", "Airline")
+        assert chart.cell_counts.shape[0] == chart.x_buckets.count
+        shares = chart.y_share(int(np.argmax(chart.bar_counts)))
+        assert shares.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_normalized_stacked_scans(self, sheet):
+        chart = sheet.stacked_histogram("DepDelay", "Airline", normalized=True)
+        assert chart.rate == 1.0
+        rendering = chart.rendering()
+        assert rendering.normalized
+
+    def test_heatmap(self, sheet):
+        chart = sheet.heatmap("DepDelay", "ArrDelay")
+        assert chart.counts.shape == (
+            chart.x_buckets.count,
+            chart.y_buckets.count,
+        )
+        # Delays are correlated: the diagonal dominates.
+        shades = chart.rendering().shades
+        assert shades.max() > 0
+
+    def test_heatmap_log_scale_exact(self, sheet):
+        chart = sheet.heatmap("DepDelay", "ArrDelay", log_scale=True)
+        assert chart.rate == 1.0
+
+    def test_trellis(self, sheet):
+        chart = sheet.trellis_heatmap("Airline", "DepDelay", "ArrDelay", panes=4)
+        assert chart.pane_count >= 4
+        assert chart.pane_label(0)
+        total = sum(p.counts.sum() for p in chart.summary.panes)
+        assert total > 0
+
+    def test_trellis_two_group_columns(self, sheet):
+        chart = sheet.trellis_heatmap(
+            "Airline",
+            "DepDelay",
+            "ArrDelay",
+            panes=3,
+            group2_column="Cancelled",
+        )
+        minor = chart.group2_buckets.count
+        assert chart.pane_count == chart.group_buckets.count * minor
+        assert "/" in chart.pane_label(0)
+        total = sum(p.counts.sum() for p in chart.summary.panes)
+        assert total > 0
+
+    def test_trellis_histogram(self, sheet):
+        chart = sheet.trellis_histogram("Airline", "DepDelay", panes=4)
+        assert chart.pane_count >= 4
+        assert chart.pane_label(0)
+        # Every pane shares the X bucket layout.
+        assert all(
+            p.buckets == chart.x_buckets.count for p in chart.summary.panes
+        )
+        assert sum(p.total_in_range for p in chart.summary.panes) > 0
+        assert "--" in chart.ascii(panes=2)
+
+    def test_trellis_histogram_pane_matches_filter(self, sheet):
+        chart = sheet.trellis_histogram(
+            "Cancelled", "Distance", panes=2, x_buckets=10
+        )
+        # Pane renderings exist and are within the pane resolution.
+        rendering = chart.pane_rendering(0)
+        assert rendering.heights.max() <= chart.resolution.height
+
+    def test_trellis_histogram_two_groups(self, sheet):
+        chart = sheet.trellis_histogram(
+            "Airline", "DepDelay", panes=3, group2_column="Cancelled"
+        )
+        assert chart.pane_count == (
+            chart.group_buckets.count * chart.group2_buckets.count
+        )
+        assert "/" in chart.pane_label(chart.pane_count - 1)
+
+
+class TestAnalyses:
+    def test_heavy_hitters_sampling(self, sheet):
+        result = sheet.heavy_hitters("Origin", k=10, method="sampling")
+        assert "ATL" in result.values()[:3]
+        freqs = dict(result.frequencies())
+        assert max(freqs.values()) < 0.2
+
+    def test_heavy_hitters_streaming(self, sheet):
+        result = sheet.heavy_hitters("Origin", k=10, method="streaming")
+        assert "ATL" in result.values()[:3]
+
+    def test_heavy_hitters_bad_method(self, sheet):
+        with pytest.raises(ValueError):
+            sheet.heavy_hitters("Origin", method="magic")
+
+    def test_distinct_count(self, sheet):
+        estimate = sheet.distinct_count("Airline")
+        assert abs(estimate - 14) < 2
+
+    def test_column_summary(self, sheet):
+        stats = sheet.column_summary("Distance")
+        assert stats.min_value >= 0
+        assert stats.mean > 0
+        assert stats.row_count == sheet.total_rows
+
+    def test_pca(self, sheet):
+        result = sheet.pca(["Distance", "AirTime", "DepDelay"], components=2)
+        assert result.eigenvalues[0] >= result.eigenvalues[1]
+        assert 0 < result.explained_variance <= 1.0
+        # Distance and AirTime are nearly collinear.
+        first = dict(zip(result.columns, np.abs(result.components[0])))
+        assert first["Distance"] > 0.5 and first["AirTime"] > 0.5
+
+    def test_pca_rejects_strings(self, sheet):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            sheet.pca(["Airline", "Distance"])
+
+
+class TestTransformations:
+    def test_filter_rows(self, sheet):
+        ua = sheet.filter_equals("Airline", "UA")
+        assert ua.total_rows < sheet.total_rows
+        hh = ua.heavy_hitters("Airline", k=5, method="streaming")
+        assert hh.values() == ["UA"]
+
+    def test_zoom_in(self, sheet):
+        zoomed = sheet.zoom_in("DepDelay", 0.0, 30.0)
+        stats = zoomed.column_summary("DepDelay")
+        assert stats.min_value >= 0.0
+        assert stats.max_value <= 30.0
+
+    def test_derive_column(self, local_sheet):
+        derived = local_sheet.derive(
+            "Speed",
+            ContentsKind.DOUBLE,
+            lambda arrays: np.asarray(arrays["Distance"])
+            / np.maximum(np.asarray(arrays["AirTime"]), 1.0)
+            * 60.0,
+            vectorized=True,
+        )
+        stats = derived.column_summary("Speed")
+        assert 100 < stats.mean < 600  # plausible mph
+
+    def test_save(self, local_sheet, tmp_path):
+        status = local_sheet.save(str(tmp_path / "saved"))
+        assert status.ok
+        assert status.rows_written == local_sheet.total_rows
+
+    def test_shared_action_log(self, sheet):
+        before = sheet.log.count
+        filtered = sheet.filter_equals("Airline", "AA")
+        filtered.histogram("DepDelay", with_cdf=False)
+        assert sheet.log.count == before + 2  # filter + histogram
+
+
+class TestActionAccounting:
+    def test_actions_record_runs_and_bytes(self, sheet):
+        mark = sheet.log.count
+        sheet.histogram("TaxiOut")
+        actions = sheet.log.since(mark)
+        assert len(actions) == 1
+        record = actions[0]
+        assert record.sketches_executed >= 2  # range + histogram (+cdf)
+        assert record.bytes_received > 0
+        assert record.seconds > 0
+        assert "histogram" in record.describe()
+
+    def test_range_cached_across_charts(self, sheet):
+        sheet.histogram("AirTime")
+        mark = sheet.log.count
+        sheet.histogram("AirTime", buckets=17)
+        record = sheet.log.since(mark)[0]
+        # The preparation (range) phase is memoized: only render sketches run.
+        names = record.sketches_executed
+        assert names <= 2
+
+    def test_exact_mode(self, flights_cluster):
+        _, dataset = flights_cluster
+        exact_sheet = Spreadsheet(dataset, approximate=False, seed=4)
+        chart = exact_sheet.histogram("Distance", with_cdf=False)
+        assert chart.rate == 1.0
+        assert chart.counts.sum() == exact_sheet.total_rows
+
+
+class TestStringCdf:
+    """Appendix B.1: 'CDFs for string data' — buckets + counting CDF."""
+
+    def test_string_histogram_carries_cdf(self, sheet):
+        chart = sheet.histogram("Airline", with_cdf=True)
+        assert chart.cdf_summary is not None
+        from repro.sketches.cdf import CdfSketch
+
+        fractions = CdfSketch.cumulative(chart.cdf_summary)
+        assert len(fractions) == chart.buckets.count
+        # Cumulative fractions are monotone and end at 1.
+        assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_string_cdf_matches_bucket_proportions(self, sheet):
+        chart = sheet.histogram("Airline", with_cdf=True, approximate=False)
+        from repro.sketches.cdf import CdfSketch
+
+        fractions = CdfSketch.cumulative(chart.cdf_summary)
+        expected = chart.summary.proportions().cumsum()
+        assert fractions == pytest.approx(expected)
+
+    def test_cdf_can_be_disabled(self, sheet):
+        chart = sheet.histogram("Airline", with_cdf=False)
+        assert chart.cdf_summary is None
+
+
+class TestDateColumns:
+    """§3.5/§4.3: dates are first-class and 'readily converted to a real'."""
+
+    def test_date_histogram(self, sheet):
+        chart = sheet.histogram("FlightDate", with_cdf=True)
+        assert chart.summary.total_in_range > 0
+        assert chart.cdf_summary is not None
+
+    def test_date_sort_and_paging(self, sheet):
+        import datetime
+
+        view = sheet.table_view(RecordOrder.of("FlightDate"), k=5)
+        dates = [v for v in view.column_values("FlightDate") if v is not None]
+        assert all(isinstance(d, datetime.datetime) for d in dates)
+        assert dates == sorted(dates)
+        second = sheet.next_page(view)
+        back = sheet.prev_page(second)
+        assert back.rows == view.rows
+
+    def test_date_heatmap_against_numeric(self, sheet):
+        chart = sheet.heatmap("FlightDate", "DepDelay")
+        assert chart.summary.total_in_range > 0
+
+    def test_date_filter_by_range(self, sheet):
+        from repro.table.column import datetime_to_millis
+
+        stats = sheet.column_stats("FlightDate")
+        lo = datetime_to_millis(stats.min_value)
+        hi = datetime_to_millis(stats.max_value)
+        mid = (lo + hi) // 2
+        first_half = sheet.filter_rows(
+            ColumnPredicate("FlightDate", "between", (lo, mid))
+        )
+        assert 0 < first_half.total_rows < sheet.total_rows

@@ -1,0 +1,125 @@
+"""Property-based round-trips for every storage format (hypothesis).
+
+The storage layer is Hillview's only persistent contract (§2): a format
+that silently corrupts a cell corrupts every downstream vizketch.  The
+binary columnar format and SQL must be bit-faithful; the text formats
+(CSV, JSON-lines) must preserve values up to their documented encodings.
+"""
+
+from __future__ import annotations
+
+import math
+from datetime import datetime, timezone
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import columnar, csv_io, jsonl_io, sql_io
+from repro.table.schema import ContentsKind
+from repro.table.table import Table
+
+# Whole-second UTC datetimes: the common denominator every format stores.
+datetimes = st.datetimes(
+    min_value=datetime(1980, 1, 2),
+    max_value=datetime(2100, 1, 1),
+).map(lambda d: d.replace(microsecond=0, fold=0, tzinfo=timezone.utc))
+
+# Text cells avoid the CSV reader's missing-value tokens and delimiters.
+texts = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x2FF
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+finite_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, width=32, min_value=-1e6, max_value=1e6
+)
+
+tables = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.integers(-(10**12), 10**12)),
+        st.one_of(st.none(), finite_doubles),
+        st.one_of(st.none(), texts),
+        st.one_of(st.none(), datetimes),
+    ),
+    min_size=1,
+    max_size=30,
+).map(
+    lambda rows: Table.from_pydict(
+        {
+            "i": [r[0] for r in rows],
+            "d": [r[1] for r in rows],
+            "s": [r[2] for r in rows],
+            "t": [r[3] for r in rows],
+        },
+        kinds={
+            "i": ContentsKind.INTEGER,
+            "d": ContentsKind.DOUBLE,
+            "s": ContentsKind.STRING,
+            "t": ContentsKind.DATE,
+        },
+    )
+)
+
+
+def assert_cells_close(original: Table, restored: Table, exact: bool) -> None:
+    assert restored.schema == original.schema
+    assert restored.num_rows == original.num_rows
+    left, right = original.to_pydict(), restored.to_pydict()
+    for name in left:
+        for a, b in zip(left[name], right[name]):
+            if a is None or b is None:
+                assert a is None and b is None, (name, a, b)
+            elif isinstance(a, float) and not exact:
+                assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12), (name, a, b)
+            else:
+                assert a == b, (name, a, b)
+
+
+class TestBitFaithfulFormats:
+    @given(table=tables)
+    @settings(max_examples=40, deadline=None)
+    def test_columnar(self, table, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("hvc") / "t.hvc")
+        columnar.write_table(table, path)
+        assert_cells_close(table, columnar.read_table(path), exact=True)
+
+    @given(table=tables)
+    @settings(max_examples=30, deadline=None)
+    def test_sql(self, table, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("sql") / "t.db")
+        sql_io.write_sql(path, "t", table)
+        [restored] = sql_io.read_sql(path, "t")
+        assert_cells_close(table, restored, exact=True)
+
+
+class TestTextFormats:
+    @given(table=tables)
+    @settings(max_examples=30, deadline=None)
+    def test_jsonl(self, table, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("jsonl") / "t.jsonl")
+        jsonl_io.write_jsonl(table, path)
+        restored = jsonl_io.read_jsonl(path)
+        # JSON-lines re-infers kinds; values must match under the original
+        # schema's coercions.
+        assert restored.num_rows == table.num_rows
+        left = table.to_pydict()
+        right = restored.to_pydict()
+        for name in ("i", "t"):
+            assert right[name] == left[name], name
+        for a, b in zip(left["d"], right["d"]):
+            if a is None:
+                assert b is None
+            else:
+                assert math.isclose(a, float(b), rel_tol=1e-9)
+
+    @given(table=tables)
+    @settings(max_examples=30, deadline=None)
+    def test_csv_with_declared_kinds(self, table, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("csv") / "t.csv")
+        csv_io.write_csv(table, path)
+        kinds = {d.name: d.kind for d in table.schema}
+        restored = csv_io.read_csv(path, kinds=kinds)
+        assert_cells_close(table, restored, exact=False)

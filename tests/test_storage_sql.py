@@ -1,0 +1,214 @@
+"""SQL (SQLite) storage source tests: round-trip, partitioning, snapshots."""
+
+from __future__ import annotations
+
+import sqlite3
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import sql_io
+from repro.storage.loader import SqlSource
+from repro.table.schema import ContentsKind
+from repro.table.table import Table
+
+
+@pytest.fixture
+def db(tmp_path):
+    """An SQLite database holding a small typed table named ``events``."""
+    path = str(tmp_path / "events.db")
+    with sqlite3.connect(path) as conn:
+        conn.execute(
+            "CREATE TABLE events ("
+            " id INTEGER, score REAL, name TEXT, at TIMESTAMP)"
+        )
+        conn.executemany(
+            "INSERT INTO events VALUES (?, ?, ?, ?)",
+            [
+                (1, 0.5, "alpha", "2019-07-10 12:00:00"),
+                (2, 1.5, "beta", "2019-07-11 13:30:00"),
+                (3, None, None, None),
+                (4, 2.5, "gamma", "2019-07-12"),
+            ],
+        )
+        conn.commit()
+    return path
+
+
+class TestReadSql:
+    def test_declared_kinds(self, db):
+        [table] = sql_io.read_sql(db, "events")
+        assert table.schema.kind("id") is ContentsKind.INTEGER
+        assert table.schema.kind("score") is ContentsKind.DOUBLE
+        assert table.schema.kind("name") is ContentsKind.STRING
+        assert table.schema.kind("at") is ContentsKind.DATE
+
+    def test_values_roundtrip(self, db):
+        [table] = sql_io.read_sql(db, "events")
+        assert table.num_rows == 4
+        assert table.column("id").value(0) == 1
+        assert table.column("score").value(1) == 1.5
+        assert table.column("name").value(3) == "gamma"
+        assert table.column("at").value(0) == datetime(
+            2019, 7, 10, 12, 0, 0, tzinfo=timezone.utc
+        )
+
+    def test_missing_values(self, db):
+        [table] = sql_io.read_sql(db, "events")
+        assert table.column("score").value(2) is None
+        assert table.column("name").value(2) is None
+        assert table.column("at").value(2) is None
+
+    def test_partitions_cover_all_rows(self, db):
+        shards = sql_io.read_sql(db, "events", partitions=3)
+        assert sum(s.num_rows for s in shards) == 4
+        ids = sorted(
+            s.column("id").value(i)
+            for s in shards
+            for i in range(s.num_rows)
+        )
+        assert ids == [1, 2, 3, 4]
+
+    def test_more_partitions_than_rows(self, db):
+        shards = sql_io.read_sql(db, "events", partitions=16)
+        assert sum(s.num_rows for s in shards) == 4
+
+    def test_kind_override(self, db):
+        [table] = sql_io.read_sql(
+            db, "events", kinds={"id": ContentsKind.DOUBLE}
+        )
+        assert table.schema.kind("id") is ContentsKind.DOUBLE
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(StorageError, match="no such SQL table"):
+            sql_io.read_sql(db, "nonexistent")
+
+    def test_empty_table_keeps_schema(self, tmp_path):
+        path = str(tmp_path / "empty.db")
+        with sqlite3.connect(path) as conn:
+            conn.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        [table] = sql_io.read_sql(path, "t")
+        assert table.num_rows == 0
+        assert table.schema.kind("a") is ContentsKind.INTEGER
+
+
+class TestWriteSql:
+    def test_roundtrip(self, tmp_path):
+        original = Table.from_pydict(
+            {
+                "n": [1, 2, 3],
+                "x": [0.5, None, 1.5],
+                "s": ["a", "b", None],
+                "d": [
+                    datetime(2019, 1, 1, tzinfo=timezone.utc),
+                    None,
+                    datetime(2020, 6, 15, 8, 30, tzinfo=timezone.utc),
+                ],
+            }
+        )
+        path = str(tmp_path / "round.db")
+        written = sql_io.write_sql(path, "t", original)
+        assert written == 3
+        [back] = sql_io.read_sql(path, "t")
+        assert back.schema == original.schema
+        assert back.to_pydict() == original.to_pydict()
+
+    def test_writes_members_only(self, tmp_path):
+        from repro.table.compute import ColumnPredicate
+
+        table = Table.from_pydict({"n": [1, 2, 3, 4]})
+        filtered = table.filter(ColumnPredicate("n", ">", 2))
+        path = str(tmp_path / "members.db")
+        assert sql_io.write_sql(path, "t", filtered) == 2
+        [back] = sql_io.read_sql(path, "t")
+        assert back.to_pydict() == {"n": [3, 4]}
+
+    def test_replaces_existing_table(self, tmp_path):
+        path = str(tmp_path / "replace.db")
+        sql_io.write_sql(path, "t", Table.from_pydict({"n": [1, 2]}))
+        sql_io.write_sql(path, "t", Table.from_pydict({"n": [9]}))
+        [back] = sql_io.read_sql(path, "t")
+        assert back.to_pydict() == {"n": [9]}
+
+    def test_quoting_odd_identifiers(self, tmp_path):
+        path = str(tmp_path / "quote.db")
+        table = Table.from_pydict({"odd name": [1]})
+        sql_io.write_sql(path, 'odd "table"', table)
+        [back] = sql_io.read_sql(path, 'odd "table"')
+        assert back.to_pydict() == {"odd name": [1]}
+
+
+class TestSqlSource:
+    def test_load_and_sketch_partition_invariance(self, db):
+        from repro.core.buckets import DoubleBuckets
+        from repro.sketches.histogram import HistogramSketch
+
+        sketch = HistogramSketch("id", DoubleBuckets(0, 5, 5))
+        one = SqlSource(db, "events", partitions=1).load()
+        many = SqlSource(db, "events", partitions=3).load()
+        merged_one = sketch.merge_all([sketch.summarize(t) for t in one])
+        merged_many = sketch.merge_all([sketch.summarize(t) for t in many])
+        assert np.array_equal(merged_one.counts, merged_many.counts)
+
+    def test_snapshot_violation_detected(self, db):
+        source = SqlSource(db, "events")
+        source.load()
+        with sqlite3.connect(db) as conn:
+            conn.execute(
+                "INSERT INTO events VALUES (5, 3.5, 'delta', '2019-08-01')"
+            )
+            conn.commit()
+        with pytest.raises(StorageError, match="changed while Hillview"):
+            source.load()
+
+    def test_snapshot_check_can_be_disabled(self, db):
+        source = SqlSource(db, "events", verify_snapshot=False)
+        source.load()
+        with sqlite3.connect(db) as conn:
+            conn.execute("DELETE FROM events WHERE id = 1")
+            conn.commit()
+        shards = source.load()
+        assert sum(s.num_rows for s in shards) == 3
+
+    def test_spec_is_stable(self, db):
+        source = SqlSource(db, "events", partitions=2)
+        assert source.spec() == f"SqlSource({db!r},'events',partitions=2)"
+
+    def test_spreadsheet_over_sql_source(self, db):
+        """End to end: load from SQL into the cluster engine and chart."""
+        from repro.engine.cluster import Cluster
+        from repro.spreadsheet import Spreadsheet
+
+        cluster = Cluster(num_workers=2)
+        dataset = cluster.load(SqlSource(db, "events", partitions=2))
+        sheet = Spreadsheet(dataset, approximate=False)
+        chart = sheet.histogram("score", buckets=4, with_cdf=False)
+        assert chart.summary.total_in_range == 3
+        assert chart.summary.missing == 1
+
+
+class TestDeclaredTypeMapping:
+    @pytest.mark.parametrize(
+        "declared,expected",
+        [
+            ("INTEGER", ContentsKind.INTEGER),
+            ("int", ContentsKind.INTEGER),
+            ("BIGINT", ContentsKind.INTEGER),
+            ("REAL", ContentsKind.DOUBLE),
+            ("DOUBLE PRECISION", ContentsKind.DOUBLE),
+            ("FLOAT", ContentsKind.DOUBLE),
+            ("NUMERIC(10,2)", ContentsKind.DOUBLE),
+            ("VARCHAR(20)", ContentsKind.STRING),
+            ("TEXT", ContentsKind.STRING),
+            ("DATE", ContentsKind.DATE),
+            ("TIMESTAMP", ContentsKind.DATE),
+            ("DATETIME", ContentsKind.DATE),
+            ("", None),
+            (None, None),
+            ("BLOB", None),
+        ],
+    )
+    def test_mapping(self, declared, expected):
+        assert sql_io.kind_from_declared_type(declared) is expected

@@ -1,0 +1,190 @@
+"""Table tests: construction, filtering, derivation, sharding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MissingColumnError, SchemaError
+from repro.table.compute import ColumnPredicate
+from repro.table.membership import SparseMembership
+from repro.table.schema import ContentsKind, Schema, ColumnDescription
+from repro.table.table import Table
+
+
+class TestConstruction:
+    def test_from_pydict_infers_kinds(self, small_table):
+        schema = small_table.schema
+        assert schema.kind("x") is ContentsKind.INTEGER
+        assert schema.kind("y") is ContentsKind.DOUBLE
+        assert schema.kind("name") is ContentsKind.STRING
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_pydict({"a": [1, 2], "b": [1]})
+
+    def test_duplicate_columns_rejected(self, small_table):
+        column = small_table.column("x")
+        with pytest.raises(SchemaError):
+            Table([column, column])
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(SchemaError):
+            Table([])
+
+    def test_cells_metric(self, small_table):
+        assert small_table.num_cells == 8 * 3
+
+    def test_missing_column_error_lists_available(self, small_table):
+        with pytest.raises(MissingColumnError) as info:
+            small_table.column("nope")
+        assert "x" in str(info.value)
+
+
+class TestRowAccess:
+    def test_row_dict(self, small_table):
+        row = small_table.row(0)
+        assert row == {"x": 3, "y": 0.5, "name": "bob"}
+
+    def test_missing_cells_are_none(self, small_table):
+        assert small_table.row(3)["x"] is None
+        assert small_table.row(2)["y"] is None
+
+    def test_to_pydict_respects_membership(self, small_table):
+        filtered = small_table.filter(ColumnPredicate("x", ">=", 4))
+        data = filtered.to_pydict()
+        assert data["x"] == [5, 4]
+
+
+class TestFiltering:
+    def test_filter_shares_columns(self, small_table):
+        filtered = small_table.filter(ColumnPredicate("x", ">", 2))
+        assert filtered.column("x") is small_table.column("x")
+        assert filtered.num_rows == 3
+        assert filtered.universe_size == small_table.universe_size
+
+    def test_filter_chain(self, small_table):
+        step1 = small_table.filter(ColumnPredicate("x", ">", 1))
+        step2 = step1.filter(ColumnPredicate("name", "==", "alice"))
+        assert step2.to_pydict()["x"] == [5, 2]
+
+    def test_filter_mask_alignment(self, small_table):
+        filtered = small_table.filter(ColumnPredicate("x", ">", 1))
+        mask = np.array([True, False] * (filtered.num_rows // 2) + [True] * (filtered.num_rows % 2))
+        again = filtered.filter_mask(mask)
+        assert again.num_rows == int(mask.sum())
+        with pytest.raises(SchemaError):
+            filtered.filter_mask(np.array([True]))
+
+    def test_missing_never_matches(self, small_table):
+        filtered = small_table.filter(ColumnPredicate("x", "<", 100))
+        assert filtered.num_rows == 7  # one missing x
+
+
+class TestDerivation:
+    def test_derive_rowwise(self, small_table):
+        derived = small_table.derive(
+            "x2", ContentsKind.INTEGER,
+            lambda row: None if row["x"] is None else row["x"] * 2,
+        )
+        assert derived.to_pydict()["x2"] == [6, 2, 4, None, 10, 8, 2, 4]
+
+    def test_derive_vectorized(self, small_table):
+        derived = small_table.derive(
+            "ratio",
+            ContentsKind.DOUBLE,
+            lambda arrays: arrays["x"] / 2.0,
+            vectorized=True,
+        )
+        values = derived.to_pydict()["ratio"]
+        assert values[0] == 1.5
+        assert values[3] is None  # missing x -> NaN -> missing
+
+    def test_derive_on_filtered_rows_only(self, small_table):
+        filtered = small_table.filter(ColumnPredicate("x", ">=", 4))
+        derived = filtered.derive(
+            "flag", ContentsKind.INTEGER, lambda row: 1
+        )
+        # Universe positions outside the membership are missing.
+        assert derived.column("flag").value(0) is None
+        assert derived.to_pydict()["flag"] == [1, 1]
+
+    def test_with_column_validates(self, small_table):
+        with pytest.raises(SchemaError):
+            small_table.with_column(small_table.column("x"))
+
+    def test_derive_wrong_length_vectorized(self, small_table):
+        with pytest.raises(SchemaError):
+            small_table.derive(
+                "bad", ContentsKind.INTEGER, lambda arrays: [1], vectorized=True
+            )
+
+
+class TestProjectionAndSharding:
+    def test_select_columns(self, small_table):
+        projected = small_table.select_columns(["name", "x"])
+        assert projected.column_names == ["name", "x"]
+        assert projected.num_rows == small_table.num_rows
+
+    def test_split_preserves_rows(self, small_table):
+        shards = small_table.split(3)
+        assert sum(s.num_rows for s in shards) == small_table.num_rows
+        ids = {s.shard_id for s in shards}
+        assert len(ids) == len(shards)
+
+    def test_split_shares_columns(self, small_table):
+        shards = small_table.split(2)
+        assert shards[0].column("x") is small_table.column("x")
+
+    def test_split_of_filtered_table(self, small_table):
+        filtered = small_table.filter(ColumnPredicate("x", ">", 1))
+        shards = filtered.split(2)
+        total = sum(s.num_rows for s in shards)
+        assert total == filtered.num_rows
+
+    def test_split_more_parts_than_rows(self, small_table):
+        shards = small_table.split(100)
+        assert sum(s.num_rows for s in shards) == small_table.num_rows
+        assert all(s.num_rows > 0 for s in shards)
+
+    def test_concat_roundtrip(self, small_table):
+        shards = small_table.split(3)
+        rebuilt = Table.concat(shards)
+        assert rebuilt.to_pydict() == small_table.to_pydict()
+
+    def test_concat_schema_mismatch(self, small_table):
+        other = Table.from_pydict({"z": [1]})
+        with pytest.raises(SchemaError):
+            Table.concat([small_table, other])
+
+
+class TestSchema:
+    def test_project_and_append(self):
+        schema = Schema(
+            [
+                ColumnDescription("a", ContentsKind.INTEGER),
+                ColumnDescription("b", ContentsKind.STRING),
+            ]
+        )
+        assert schema.project(["b"]).names == ["b"]
+        extended = schema.append(ColumnDescription("c", ContentsKind.DOUBLE))
+        assert extended.names == ["a", "b", "c"]
+        with pytest.raises(SchemaError):
+            extended.append(ColumnDescription("a", ContentsKind.DOUBLE))
+
+    def test_json_roundtrip(self):
+        schema = Schema([ColumnDescription("a", ContentsKind.DATE)])
+        assert Schema.from_json_string(schema.to_json_string()) == schema
+
+    def test_kind_requirements(self):
+        schema = Schema([ColumnDescription("s", ContentsKind.STRING)])
+        with pytest.raises(SchemaError):
+            schema.require_numeric("s")
+        assert schema.require_string("s").name == "s"
+
+    def test_membership_universe_checked(self, small_table):
+        with pytest.raises(SchemaError):
+            Table(
+                [small_table.column("x")],
+                SparseMembership(np.array([0]), 99),
+            )

@@ -1,0 +1,211 @@
+"""Expression-based user-defined map columns (§5.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.dataset import ExpressionMap
+from repro.table.table import Table
+from repro.table.udf import ALLOWED_FUNCTIONS, ColumnExpression, ExpressionError
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    return Table.from_pydict(
+        {
+            "a": [1.0, 2.0, None, 4.0],
+            "b": [10, 20, 30, 40],
+            "s": ["x", "y", "z", "w"],
+        }
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "a + b",
+            "a / b - 2",
+            "-a ** 2",
+            "log1p(abs(a))",
+            "where(a > 2, a, b)",
+            "minimum(a, b) % 3",
+            "(a <= b) + 0.0",
+        ],
+    )
+    def test_accepts_whitelisted_grammar(self, expression):
+        compiled = ColumnExpression(expression)
+        assert compiled.expression == expression
+
+    @pytest.mark.parametrize(
+        "expression,message",
+        [
+            ("__import__('os')", "whitelisted functions"),
+            ("a.real", "not allowed"),
+            ("a[0]", "not allowed"),
+            ("lambda: 1", "not allowed"),
+            ("[v for v in a]", "not allowed"),
+            ("a and b", "not allowed"),
+            ("a if b else 0", "not allowed"),
+            ("'text'", "numeric constants"),
+            ("open('x')", "whitelisted functions"),
+            ("where(a > 0, a, b, out=a)", "keyword"),
+            ("1 + 2", "references no columns"),
+            ("a +", "invalid expression"),
+        ],
+    )
+    def test_rejects_off_whitelist(self, expression, message):
+        with pytest.raises(ExpressionError, match=message):
+            ColumnExpression(expression)
+
+    def test_collects_column_names(self):
+        compiled = ColumnExpression("log(a) + b * Distance")
+        assert compiled.columns == ["Distance", "a", "b"]
+        # Whitelisted function names are not columns.
+        assert "log" not in compiled.columns
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        compiled = ColumnExpression("a * 2 + b")
+        out = compiled.evaluate(
+            {"a": np.array([1.0, 2.0]), "b": np.array([10.0, 20.0])}
+        )
+        assert out.tolist() == [12.0, 24.0]
+
+    def test_nan_propagates(self):
+        compiled = ColumnExpression("a + 1")
+        out = compiled.evaluate({"a": np.array([1.0, np.nan])})
+        assert out[0] == 2.0 and np.isnan(out[1])
+
+    def test_division_by_zero_is_quiet(self):
+        compiled = ColumnExpression("a / b")
+        out = compiled.evaluate(
+            {"a": np.array([1.0]), "b": np.array([0.0])}
+        )
+        assert np.isinf(out[0])
+
+    def test_unknown_column_rejected(self):
+        compiled = ColumnExpression("nope + 1")
+        with pytest.raises(ExpressionError, match="unknown column"):
+            compiled.evaluate({"a": np.array([1.0])})
+
+    def test_string_column_rejected(self):
+        compiled = ColumnExpression("s + 1")
+        with pytest.raises(ExpressionError, match="not numeric"):
+            compiled.evaluate({"s": ["x", "y"]})
+
+    def test_scalar_result_rejected(self):
+        # `a * 0 + 1` broadcasts fine; something collapsing shape must fail.
+        compiled = ColumnExpression("where(a > 0, 1.0, 0.0)")
+        out = compiled.evaluate({"a": np.array([1.0, -1.0])})
+        assert out.tolist() == [1.0, 0.0]
+
+
+class TestExpressionMap:
+    def test_derives_column_at_shards(self, table):
+        derived = ExpressionMap("total", "a + b").apply(table)
+        assert derived.schema.names[-1] == "total"
+        assert derived.column("total").value(0) == 11.0
+        # Missing input -> missing output.
+        assert derived.column("total").value(2) is None
+
+    def test_spec_carries_source_text(self):
+        table_map = ExpressionMap("r", "a / b")
+        assert table_map.spec() == "Expression('r','a / b')"
+
+    def test_partition_invariance(self, table):
+        whole = ExpressionMap("t", "a * b").apply(table)
+        parts = [ExpressionMap("t", "a * b").apply(s) for s in table.split(2)]
+        merged = Table.concat(parts)
+        assert np.array_equal(
+            merged.column("t").numeric_values(merged.members.indices()),
+            whole.column("t").numeric_values(whole.members.indices()),
+            equal_nan=True,
+        )
+
+    def test_invalid_expression_rejected_at_construction(self):
+        with pytest.raises(ExpressionError):
+            ExpressionMap("bad", "exec('x')")
+
+
+class TestThroughTheStack:
+    def test_spreadsheet_derive_expression(self, flights_cluster):
+        from repro.spreadsheet import Spreadsheet
+
+        _, dataset = flights_cluster
+        sheet = Spreadsheet(dataset, seed=4)
+        gained = sheet.derive_expression("Gained", "DepDelay - ArrDelay")
+        stats = gained.column_summary("Gained")
+        assert stats.present_count > 0
+        chart = gained.histogram("Gained", with_cdf=False)
+        assert chart.summary.total_in_range > 0
+
+    def test_derive_through_rpc_and_replay(self):
+        from repro.engine.cluster import Cluster
+        from repro.engine.rpc import RpcRequest
+        from repro.engine.web import WebServer
+        from repro.storage.loader import TableSource
+
+        rng = np.random.default_rng(5)
+        table = Table.from_pydict(
+            {
+                "x": rng.uniform(1, 10, 2_000).tolist(),
+                "y": rng.uniform(1, 10, 2_000).tolist(),
+            }
+        )
+        web = WebServer(Cluster(num_workers=2))
+        root = web.load(TableSource([table], shards_per_table=4))
+        [ack] = web.execute(
+            RpcRequest(1, root, "derive", {"name": "r", "expression": "x / y"})
+        )
+        handle = ack.payload["handle"]
+        [schema_reply] = web.execute(RpcRequest(2, handle, "schema"))
+        names = [c["name"] for c in schema_reply.payload["columns"]]
+        assert names == ["x", "y", "r"]
+        # Soft-state eviction replays the expression from its source text.
+        web.evict(handle)
+        web.evict(root)
+        replies = list(
+            web.execute(
+                RpcRequest(
+                    3,
+                    handle,
+                    "sketch",
+                    {"sketch": {"type": "moments", "column": "r"}},
+                )
+            )
+        )
+        assert replies[-1].kind == "complete"
+        assert replies[-1].payload["presentCount"] == 2_000
+
+    def test_bad_expression_is_error_reply(self):
+        from repro.engine.cluster import Cluster
+        from repro.engine.rpc import RpcRequest
+        from repro.engine.web import WebServer
+        from repro.storage.loader import TableSource
+
+        table = Table.from_pydict({"x": [1.0, 2.0]})
+        web = WebServer(Cluster(num_workers=1))
+        root = web.load(TableSource([table]))
+        [reply] = web.execute(
+            RpcRequest(1, root, "derive", {"name": "e", "expression": "exec('x')"})
+        )
+        assert reply.kind == "error"
+
+
+class TestFunctionWhitelist:
+    def test_every_listed_function_evaluates(self):
+        values = {"a": np.array([0.5, 2.0, 9.0])}
+        two_arg = {"minimum", "maximum"}
+        three_arg = {"where", "clip"}
+        for name in ALLOWED_FUNCTIONS:
+            if name in three_arg:
+                expression = f"{name}(a, 0.0, 1.0)"
+            elif name in two_arg:
+                expression = f"{name}(a, 1.0)"
+            else:
+                expression = f"{name}(a)"
+            out = ColumnExpression(expression).evaluate(values)
+            assert out.shape == (3,), name
