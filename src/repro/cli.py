@@ -9,6 +9,11 @@ data source::
     python -m repro.cli data.db --sql-table events
     python -m repro.cli --demo-flights 200000
 
+The same binary also runs the concurrent multi-client service layer::
+
+    python -m repro.cli serve --demo-flights 500000 --port 8947
+    python -m repro.cli client --port 8947 --commands "load; rows; hist Distance 0 3000"
+
 Commands (also shown by ``help``)::
 
     cols                         show the schema
@@ -328,7 +333,233 @@ def build_session(args: argparse.Namespace, out: TextIO | None = None) -> Sessio
     return Session(Spreadsheet(dataset), out=out)
 
 
+# ---------------------------------------------------------------------------
+# The service layer: `repro serve` and `repro client`
+# ---------------------------------------------------------------------------
+def _serve_source(args: argparse.Namespace) -> DataSource | None:
+    """The server's default dataset, if any was configured."""
+    if args.demo_flights:
+        from repro.data.flights import FlightsSource
+
+        return FlightsSource(
+            args.demo_flights, partitions=args.workers * 8, seed=1
+        )
+    if args.path:
+        return source_for_path(args.path, args.sql_table)
+    return None
+
+
+def serve_main(argv: list[str]) -> int:
+    """`repro serve`: run the concurrent multi-client service."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="Serve a dataset to concurrent sessions over TCP.",
+    )
+    parser.add_argument("path", nargs="?", help="CSV/JSONL/log/SQLite/hvc path")
+    parser.add_argument("--sql-table", help="table name for SQLite sources")
+    parser.add_argument(
+        "--demo-flights", type=int, metavar="N",
+        help="serve N synthetic flight rows as the default dataset",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8947)
+    parser.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="query scheduler concurrency (fair-share across sessions)",
+    )
+    parser.add_argument(
+        "--idle-ttl", type=float, default=900.0,
+        help="seconds before an idle session's handles are evicted",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service import ServiceServer
+
+    server = ServiceServer(
+        Cluster(num_workers=args.workers),
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        idle_ttl_seconds=args.idle_ttl,
+        default_source=_serve_source(args),
+    )
+    print(f"hillview service on {args.host}:{args.port} "
+          f"({args.workers} workers, {args.max_concurrent} query slots)")
+    server.run()
+    return 0
+
+
+class RemoteSession:
+    """`repro client`: a thin command loop over a :class:`ServiceClient`.
+
+    Mirrors the local Session verbs that translate to single RPCs; every
+    command goes over the wire and through the fair-share scheduler.
+    """
+
+    def __init__(self, client, out: TextIO | None = None):
+        self.client = client
+        self.out = out if out is not None else sys.stdout
+        self.handle: str | None = None
+
+    def print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def _require_handle(self) -> str:
+        if self.handle is None:
+            raise HillviewError("no dataset yet; use 'load' first")
+        return self.handle
+
+    def execute(self, line: str) -> bool:
+        words = shlex.split(line.strip())
+        if not words:
+            return True
+        name, args = words[0].lower(), words[1:]
+        if name in ("quit", "exit", "q"):
+            return False
+        try:
+            self._dispatch(name, args)
+        except HillviewError as exc:
+            self.print(f"error: {exc}")
+        except (ValueError, KeyError, IndexError) as exc:
+            self.print(f"error: {exc}")
+        return True
+
+    def _dispatch(self, name: str, args: list[str]) -> None:
+        if name == "load":
+            spec = {"kind": "path", "path": args[0]} if args else {}
+            self.handle = self.client.load(spec)
+            self.print(f"loaded as {self.handle} "
+                       f"({self.client.row_count(self.handle):,} rows)")
+        elif name == "cols":
+            for column in self.client.schema(self._require_handle()):
+                self.print(f"  {column['name']}: {column['kind']}")
+        elif name == "rows":
+            self.print(f"{self.client.row_count(self._require_handle()):,} rows")
+        elif name == "hist":
+            if len(args) < 3:
+                raise HillviewError("usage: hist <col> <min> <max> [buckets]")
+            buckets = int(args[3]) if len(args) > 3 else 10
+            spec = {
+                "type": "histogram",
+                "column": args[0],
+                "buckets": {
+                    "type": "double",
+                    "min": float(args[1]),
+                    "max": float(args[2]),
+                    "count": buckets,
+                },
+            }
+            partials = 0
+            final = None
+            for reply in self.client.sketch(self._require_handle(), spec).replies():
+                if reply.kind == "partial":
+                    partials += 1
+                final = reply
+            if final.kind == "error":
+                raise HillviewError(f"[{final.code}] {final.error}")
+            if final.kind != "complete" or final.payload is None:
+                raise HillviewError(f"query ended early ({final.kind})")
+            counts = final.payload["counts"]
+            peak = max(counts) or 1
+            for i, count in enumerate(counts):
+                bar = "#" * max(1 if count else 0, round(count / peak * 40))
+                self.print(f"  [{i:2d}] {count:>9,} {bar}")
+            self.print(f"  ({partials} progressive partials, "
+                       f"{final.payload['missing']:,} missing)")
+        elif name == "distinct":
+            if not args:
+                raise HillviewError("usage: distinct <col>")
+            spec = {"type": "distinct", "column": args[0]}
+            reply = self.client.sketch(self._require_handle(), spec).result()
+            self.print(f"~{reply.payload['estimate']:,.0f} distinct values")
+        elif name == "filter":
+            if len(args) < 3:
+                raise HillviewError("usage: filter <col> <op> <value>")
+            raw: object = args[2]
+            try:
+                raw = float(args[2])
+            except ValueError:
+                pass
+            reply = self.client.call(
+                "filter",
+                self._require_handle(),
+                {"predicate": {
+                    "type": "column", "column": args[0], "op": args[1],
+                    "value": raw,
+                }},
+            )
+            self.handle = reply.payload["handle"]
+            self.print(f"filtered: {self.client.row_count(self.handle):,} "
+                       f"rows remain (handle {self.handle})")
+        elif name == "stats":
+            stats = self.client.stats()
+            scheduler = stats["scheduler"]
+            self.print(
+                f"  sessions: {len(stats['sessions']['sessions'])} live, "
+                f"{stats['sessions']['sessionsCreated']} created"
+            )
+            self.print(
+                f"  queries: {scheduler['admitted']} admitted, "
+                f"{scheduler['completed']} completed, "
+                f"{scheduler['preempted']} preempted, "
+                f"{scheduler['rejected']} rejected"
+            )
+        elif name == "help":
+            self.print("  load [path] | cols | rows | hist <col> <min> <max>"
+                       " [buckets] | distinct <col> | filter <col> <op> <v>"
+                       " | stats | quit")
+        else:
+            self.print(f"unknown command {name!r}; try 'help'")
+
+    def run(self, lines: Iterable[str], prompt: bool = False) -> None:
+        for line in lines:
+            if prompt:
+                self.print(f"hillview[{self.client.session_id}]> {line.strip()}")
+            if not self.execute(line):
+                break
+
+
+def client_main(argv: list[str], out: TextIO | None = None) -> int:
+    """`repro client`: connect a terminal session to a running service."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli client",
+        description="Connect to a hillview service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8947)
+    parser.add_argument("--session", help="resume a session by id")
+    parser.add_argument(
+        "--commands", help="semicolon-separated commands to run and exit"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service import ServiceClient
+
+    try:
+        client = ServiceClient(args.host, args.port, session=args.session)
+    except OSError as exc:
+        print(
+            f"error: cannot connect to {args.host}:{args.port}: {exc}",
+            file=out if out is not None else sys.stderr,
+        )
+        return 1
+    with client:
+        session = RemoteSession(client, out=out)
+        session.print(f"session {client.session_id} on {args.host}:{args.port}")
+        if args.commands:
+            session.run(args.commands.split(";"), prompt=True)
+        else:
+            session.run(sys.stdin, prompt=False)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        return client_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Browse a dataset in the terminal."
     )

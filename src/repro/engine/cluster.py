@@ -88,6 +88,7 @@ class _Emission:
     summary: object | None  # None marks worker completion
     shards_done: int
     bytes: int
+    error: BaseException | None = None  # a leaf failure, reported at the root
 
 
 class Cluster:
@@ -118,6 +119,18 @@ class Cluster:
         self.total_bytes_to_root = 0
         self._ids = itertools.count()
         self._lock = threading.Lock()
+        #: dataset id -> total row count.  Datasets are immutable once
+        #: created, so a counted total stays valid across eviction, crash
+        #: and redo-log replay; repeated rowCount queries skip the shard walk.
+        self._row_counts: dict[str, int] = {}
+
+    def cached_row_count(self, dataset_id: str) -> int | None:
+        with self._lock:
+            return self._row_counts.get(dataset_id)
+
+    def cache_row_count(self, dataset_id: str, rows: int) -> None:
+        with self._lock:
+            self._row_counts[dataset_id] = rows
 
     # ------------------------------------------------------------------
     # Dataset lifecycle
@@ -200,16 +213,31 @@ class ClusterDataSet(IDataSet):
         self.cluster = cluster
         self.dataset_id = dataset_id
 
+    def _materialize_all(self) -> list[list[Table]]:
+        """Every worker's shards, materialized in parallel (one thread per
+        worker, mirroring the root's broadcast in :meth:`sketch_stream`)."""
+        cluster = self.cluster
+        workers = range(len(cluster.workers))
+        with concurrent.futures.ThreadPoolExecutor(len(cluster.workers)) as pool:
+            return list(
+                pool.map(lambda i: cluster.materialize(i, self.dataset_id), workers)
+            )
+
     @property
     def total_rows(self) -> int:
-        total = 0
-        for index in range(len(self.cluster.workers)):
-            for shard in self.cluster.materialize(index, self.dataset_id):
-                total += shard.num_rows
+        cached = self.cluster.cached_row_count(self.dataset_id)
+        if cached is not None:
+            return cached
+        total = sum(
+            shard.num_rows for shards in self._materialize_all() for shard in shards
+        )
+        self.cluster.cache_row_count(self.dataset_id, total)
         return total
 
     @property
     def schema(self):
+        # Lazily walk workers in order: the schema needs only one shard,
+        # so materializing every worker (replay included) would be waste.
         for index in range(len(self.cluster.workers)):
             shards = self.cluster.materialize(index, self.dataset_id)
             if shards:
@@ -250,11 +278,21 @@ class ClusterDataSet(IDataSet):
         done = 0
         pending_since_emit = 0
         last_emit = time.monotonic()
+        failure: BaseException | None = None
         try:
             with concurrent.futures.ThreadPoolExecutor(worker.cores) as pool:
                 futures = [pool.submit(leaf, shard) for shard in shards]
                 for future in concurrent.futures.as_completed(futures):
-                    summary = future.result()
+                    try:
+                        summary = future.result()
+                    except Exception as exc:
+                        # A leaf failed (bad column, broken expression...):
+                        # drop this worker's remaining shards and surface
+                        # the failure at the root instead of dying silently.
+                        failure = exc
+                        for pending in futures:
+                            pending.cancel()
+                        break
                     done += 1
                     if summary is not None:
                         accumulated = sketch.merge(accumulated, summary)
@@ -277,7 +315,7 @@ class ClusterDataSet(IDataSet):
                         pending_since_emit = 0
                         last_emit = now
         finally:
-            emissions.put(_Emission(worker_index, None, done, 0))
+            emissions.put(_Emission(worker_index, None, done, 0, error=failure))
 
     def sketch_stream(
         self,
@@ -321,11 +359,14 @@ class ClusterDataSet(IDataSet):
         done_counts = dict.fromkeys(workers, 0)
         finished = 0
         final: R | None = None
+        leaf_error: BaseException | None = None
         while finished < len(cluster.workers):
             emission = emissions.get()
             done_counts[emission.worker_index] = emission.shards_done
             if emission.summary is None:
                 finished += 1
+                if emission.error is not None and leaf_error is None:
+                    leaf_error = emission.error
                 continue
             latest[emission.worker_index] = emission.summary  # type: ignore[assignment]
             with cluster._lock:
@@ -339,6 +380,8 @@ class ClusterDataSet(IDataSet):
             )
         for thread in threads:
             thread.join()
+        if leaf_error is not None:
+            raise leaf_error
 
         if (
             cache_key is not None

@@ -68,6 +68,19 @@ from repro.table.sort import RecordOrder, RowKey
 class ProtocolError(HillviewError):
     """A malformed or unsupported RPC message."""
 
+    code = "protocol"
+
+
+class UnknownHandleError(ProtocolError):
+    """A request referenced a remote object handle nobody knows.
+
+    Distinguished from other protocol errors because a shared service
+    loop treats it as a *client* mistake: the error envelope carries the
+    ``unknown_handle`` code and the session stays alive (§5.2).
+    """
+
+    code = "unknown_handle"
+
 
 # ---------------------------------------------------------------------------
 # Envelopes
@@ -114,7 +127,11 @@ class RpcReply:
 
     ``kind`` is ``partial`` (progressive update), ``complete`` (the final
     payload; exactly one per successful request), ``ack`` (map operations:
-    carries the new remote handle) or ``error``.
+    carries the new remote handle), ``cancelled`` or ``error``.
+
+    ``code`` is a short machine-readable tag qualifying error and
+    cancellation envelopes (``protocol``, ``unknown_handle``, ``internal``,
+    ``superseded``, ...) so clients dispatch without parsing messages.
     """
 
     request_id: int
@@ -122,6 +139,7 @@ class RpcReply:
     progress: float = 1.0
     payload: object | None = None
     error: str | None = None
+    code: str | None = None
 
     def to_json(self) -> str:
         data: dict = {
@@ -133,6 +151,8 @@ class RpcReply:
             data["payload"] = self.payload
         if self.error is not None:
             data["error"] = self.error
+        if self.code is not None:
+            data["code"] = self.code
         return json.dumps(data)
 
     @classmethod
@@ -144,6 +164,7 @@ class RpcReply:
             progress=float(data.get("progress", 1.0)),
             payload=data.get("payload"),
             error=data.get("error"),
+            code=data.get("code"),
         )
 
 

@@ -12,13 +12,15 @@ recursion ends when data is read from disk").
 :class:`WebServer` is transport-free: :meth:`execute` accepts a JSON
 request (or an :class:`~repro.engine.rpc.RpcRequest`) and yields JSON-able
 reply envelopes one at a time, exactly the message sequence a WebSocket
-would carry.
+would carry.  The concurrent service layer (:mod:`repro.service`) runs one
+``WebServer`` per client session as its session-scoped execution facade:
+handle namespaces are per-session while the cluster underneath is shared.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Iterator, Union
+from typing import Callable, Iterator, Union
 
 from repro.engine.cluster import Cluster
 from repro.engine.dataset import (
@@ -33,6 +35,7 @@ from repro.engine.rpc import (
     ProtocolError,
     RpcReply,
     RpcRequest,
+    UnknownHandleError,
     predicate_from_json,
     sketch_from_json,
     summary_to_json,
@@ -42,10 +45,28 @@ from repro.storage.loader import DataSource
 
 
 class WebServer:
-    """Session manager and query root over one cluster (§5.2, §6)."""
+    """Session-scoped query root over one (possibly shared) cluster (§5.2, §6).
 
-    def __init__(self, cluster: Cluster | None = None):
+    ``session_id`` names the session this facade serves; each facade mints
+    handles in its own namespace, so sessions on a shared cluster can
+    never collide.  ``dataset_pool``, when provided by the session
+    manager, shares root datasets across sessions that load the same
+    source spec (many users browsing one dataset reuse the cluster-side
+    shards).  ``source_resolver`` turns a JSON source spec into a
+    :class:`DataSource` and enables the wire-level ``load`` method.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster | None = None,
+        session_id: str = "local",
+        dataset_pool: "dict[str, IDataSet] | None" = None,
+        source_resolver: "Callable[[dict], DataSource] | None" = None,
+    ):
         self.cluster = cluster if cluster is not None else Cluster()
+        self.session_id = session_id
+        self.dataset_pool = dataset_pool
+        self.source_resolver = source_resolver
         self._handles: dict[str, IDataSet] = {}
         #: handle -> how to rebuild it: a DataSource for loads, or
         #: (parent handle, TableMap) for derived datasets (§5.7).
@@ -63,15 +84,40 @@ class WebServer:
             return f"obj-{self._counter}"
 
     def load(self, source: DataSource) -> str:
-        """Load a data source; returns the session's root handle."""
+        """Load a data source; returns the session's root handle.
+
+        When a ``dataset_pool`` is shared across sessions, identical source
+        specs bind to the already-loaded cluster dataset instead of loading
+        the shards a second time.
+        """
         handle = self._new_handle()
-        self._handles[handle] = self.cluster.load(source)
+        dataset: IDataSet | None = None
+        spec = source.spec()
+        if self.dataset_pool is not None:
+            dataset = self.dataset_pool.get(spec)
+        if dataset is None:
+            dataset = self.cluster.load(source)
+            if self.dataset_pool is not None:
+                self.dataset_pool[spec] = dataset
+        self._handles[handle] = dataset
         self._lineage[handle] = source
         return handle
 
     def evict(self, handle: str) -> None:
         """Drop a handle's dataset (soft state); it rebuilds on next use."""
         self._handles.pop(handle, None)
+
+    def evict_all(self) -> int:
+        """Drop every handle's dataset (idle-TTL sweep); lineage survives,
+        so any handle rebuilds on next use (§5.7).  Returns the count."""
+        count = len(self._handles)
+        self._handles.clear()
+        return count
+
+    @property
+    def handles(self) -> list[str]:
+        """Every handle this session has minted (resident or evicted)."""
+        return list(self._lineage)
 
     def dataset(self, handle: str) -> IDataSet:
         """The dataset behind ``handle``, lazily rebuilt if evicted (§5.7)."""
@@ -80,12 +126,22 @@ class WebServer:
             return existing
         recipe = self._lineage.get(handle)
         if recipe is None:
-            raise ProtocolError(f"unknown remote object {handle!r}")
+            raise UnknownHandleError(f"unknown remote object {handle!r}")
         if isinstance(recipe, tuple):
             parent_handle, table_map = recipe
             rebuilt = self.dataset(parent_handle).map(table_map)
         else:
-            rebuilt = self.cluster.load(recipe)
+            # A root handle rebuilds through the shared pool when there is
+            # one, so an idle-TTL sweep reattaches to the still-loaded
+            # cluster dataset instead of re-reading the source and
+            # duplicating every worker's shards.
+            rebuilt = None
+            if self.dataset_pool is not None:
+                rebuilt = self.dataset_pool.get(recipe.spec())
+            if rebuilt is None:
+                rebuilt = self.cluster.load(recipe)
+                if self.dataset_pool is not None:
+                    self.dataset_pool[recipe.spec()] = rebuilt
         self._handles[handle] = rebuilt
         return rebuilt
 
@@ -109,29 +165,58 @@ class WebServer:
     # ------------------------------------------------------------------
     # Request execution
     # ------------------------------------------------------------------
-    def execute(self, request: RpcRequest | str) -> Iterator[RpcReply]:
+    def execute(
+        self,
+        request: RpcRequest | str,
+        token: CancellationToken | None = None,
+    ) -> Iterator[RpcReply]:
         """Run one request, yielding the reply message sequence.
 
         Successful sketch queries yield zero or more ``partial`` replies
         followed by one ``complete`` (or ``cancelled``); map operations
         yield a single ``ack`` carrying the new handle; failures yield a
-        single ``error`` reply — the protocol never raises to the caller.
+        single structured ``error`` envelope (code + message) — the
+        protocol never raises to the caller, so one bad client cannot
+        kill a shared service loop.
+
+        ``token``, when supplied by a scheduler, is the cancellation
+        token sketch execution observes (newest-query-wins, §5.3);
+        otherwise a fresh token is minted per request.
         """
         try:
             if isinstance(request, str):
                 request = RpcRequest.from_json(request)
-            yield from self._dispatch(request)
+            yield from self._dispatch(request, token)
         except HillviewError as exc:
             yield RpcReply(
                 request_id=getattr(request, "request_id", -1),
                 kind="error",
                 error=str(exc),
+                code=exc.code,
+            )
+        except Exception as exc:  # noqa: BLE001 — shield the service loop
+            yield RpcReply(
+                request_id=getattr(request, "request_id", -1),
+                kind="error",
+                error=f"internal error: {type(exc).__name__}: {exc}",
+                code="internal",
             )
 
-    def _dispatch(self, request: RpcRequest) -> Iterator[RpcReply]:
+    def _dispatch(
+        self, request: RpcRequest, token: CancellationToken | None = None
+    ) -> Iterator[RpcReply]:
         method = request.method
         if method == "sketch":
-            yield from self._run_sketch(request)
+            yield from self._run_sketch(request, token)
+        elif method == "load":
+            if self.source_resolver is None:
+                raise ProtocolError(
+                    "this server has no source resolver; load locally instead"
+                )
+            spec = request.args.get("source")
+            source = self.source_resolver(spec if isinstance(spec, dict) else {})
+            handle = self.load(source)
+            yield RpcReply(request.request_id, "ack", payload={"handle": handle})
         elif method == "filter":
             predicate = predicate_from_json(request.args.get("predicate", {}))
             handle = self._derive(request.target, FilterMap(predicate))
@@ -192,13 +277,16 @@ class WebServer:
         ):
             write_manifest(sketch.directory, payload["files"])
 
-    def _run_sketch(self, request: RpcRequest) -> Iterator[RpcReply]:
+    def _run_sketch(
+        self, request: RpcRequest, token: CancellationToken | None = None
+    ) -> Iterator[RpcReply]:
         spec = request.args.get("sketch")
         if not isinstance(spec, dict):
             raise ProtocolError("sketch requests need a 'sketch' spec object")
         sketch = sketch_from_json(spec)
         dataset = self.dataset(request.target)
-        token = CancellationToken()
+        if token is None:
+            token = CancellationToken()
         self._tokens[request.request_id] = token
         last_payload: object | None = None
         try:

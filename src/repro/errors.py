@@ -8,7 +8,14 @@ from __future__ import annotations
 
 
 class HillviewError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    ``code`` is a short machine-readable tag carried by RPC error
+    envelopes, so remote clients can dispatch on the failure class
+    without parsing messages.
+    """
+
+    code: str = "engine"
 
 
 class SchemaError(HillviewError):
@@ -62,6 +69,8 @@ class DatasetMissingError(EngineError):
 
 class CancelledError(EngineError):
     """A computation was cancelled by the user (paper §5.3)."""
+
+    code = "cancelled"
 
 
 class QueryError(HillviewError):

@@ -1,0 +1,46 @@
+"""The concurrent multi-client service layer (§2, §5.2–5.3).
+
+Turns the in-process engine into a real service: an asyncio TCP transport
+streaming progressive results with backpressure (:mod:`transport`), a
+session manager holding per-client soft state with idle-TTL eviction
+(:mod:`sessions`), and an admission-controlled fair-share query scheduler
+with newest-query-wins cancellation (:mod:`scheduler`).
+"""
+
+from repro.service.scheduler import (
+    FairShareScheduler,
+    QueryTask,
+    SchedulerMetrics,
+)
+from repro.service.sessions import (
+    Session,
+    SessionManager,
+    SessionMetrics,
+    source_from_json,
+)
+from repro.service.slow import SlowdownSketch
+from repro.service.transport import (
+    PendingQuery,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    encode_frame,
+    read_frame_blocking,
+)
+
+__all__ = [
+    "FairShareScheduler",
+    "PendingQuery",
+    "QueryTask",
+    "SchedulerMetrics",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "Session",
+    "SessionManager",
+    "SessionMetrics",
+    "SlowdownSketch",
+    "encode_frame",
+    "read_frame_blocking",
+    "source_from_json",
+]

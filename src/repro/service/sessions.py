@@ -1,0 +1,321 @@
+"""Per-client session state over one shared cluster (§5.2, §5.7).
+
+Each connected client gets a :class:`Session`: a session-scoped
+:class:`~repro.engine.web.WebServer` facade (its own remote-handle
+namespace and lineage), per-session metrics, and the set of in-flight
+scheduler tasks (so an explicit ``cancel`` RPC can find its target even
+before the web layer registered a token).
+
+All session state is *soft*, exactly like the rest of the system: the
+:class:`SessionManager` sweeps sessions that have been idle past the TTL
+and evicts their handles; the lineage stays, so the next request on an
+evicted handle transparently rebuilds it by replaying maps down to the
+data source (§5.7).  Root datasets are shared across sessions through a
+spec-keyed pool — a thousand users browsing the flights dataset hold a
+thousand handle namespaces over one set of cluster shards.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.engine.cluster import Cluster
+from repro.engine.dataset import IDataSet
+from repro.engine.rpc import ProtocolError, RpcReply
+from repro.engine.web import WebServer
+from repro.storage.loader import DataSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.scheduler import QueryTask
+
+
+def source_from_json(
+    spec: dict, default: DataSource | None = None
+) -> DataSource:
+    """Resolve a wire-level source spec into a :class:`DataSource`.
+
+    ``{}`` or ``{"kind": "default"}`` selects the server's configured
+    default dataset; ``{"kind": "flights", ...}`` generates synthetic
+    flights; ``{"kind": "path", ...}`` opens a file by extension.
+    """
+    kind = spec.get("kind", "default")
+    if kind == "default":
+        if default is None:
+            raise ProtocolError("this server has no default dataset")
+        return default
+    if kind == "flights":
+        from repro.data.flights import FlightsSource
+
+        return FlightsSource(
+            int(spec.get("rows", 100_000)),
+            partitions=int(spec.get("partitions", 16)),
+            seed=int(spec.get("seed", 0)),
+        )
+    if kind == "path":
+        from repro.cli import source_for_path
+
+        return source_for_path(
+            str(spec["path"]), sql_table=spec.get("sqlTable")
+        )
+    raise ProtocolError(f"unknown source kind {kind!r}")
+
+
+@dataclass
+class SessionMetrics:
+    """Counters for one session (feeds the ``stats`` RPC)."""
+
+    queries: int = 0
+    sketches: int = 0
+    replies_sent: int = 0
+    partials_sent: int = 0
+    completed: int = 0
+    cancelled: int = 0
+    preempted: int = 0
+    errors: int = 0
+    handle_evictions: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "queries": self.queries,
+            "sketches": self.sketches,
+            "repliesSent": self.replies_sent,
+            "partialsSent": self.partials_sent,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+            "preempted": self.preempted,
+            "errors": self.errors,
+            "handleEvictions": self.handle_evictions,
+        }
+
+
+class Session:
+    """One client's soft state: handle namespace, metrics, in-flight tasks."""
+
+    def __init__(
+        self,
+        session_id: str,
+        cluster: Cluster,
+        dataset_pool: dict[str, IDataSet],
+        source_resolver: Callable[[dict], DataSource],
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.session_id = session_id
+        self.web = WebServer(
+            cluster,
+            session_id=session_id,
+            dataset_pool=dataset_pool,
+            source_resolver=source_resolver,
+        )
+        self.metrics = SessionMetrics()
+        self._clock = clock
+        self.created_at = clock()
+        self.last_active = clock()
+        self._tasks: dict[int, "QueryTask"] = {}
+        self._lock = threading.Lock()
+
+    # -- liveness ------------------------------------------------------
+    def touch(self) -> None:
+        self.last_active = self._clock()
+
+    def idle_seconds(self) -> float:
+        return self._clock() - self.last_active
+
+    @property
+    def active(self) -> bool:
+        """Whether any query is queued or running for this session."""
+        with self._lock:
+            return bool(self._tasks)
+
+    # -- scheduler bookkeeping -----------------------------------------
+    def register_task(self, task: "QueryTask") -> None:
+        with self._lock:
+            self._tasks[task.request.request_id] = task
+        self.metrics.queries += 1
+        if task.request.method == "sketch":
+            self.metrics.sketches += 1
+
+    def finish_task(self, task: "QueryTask") -> None:
+        with self._lock:
+            current = self._tasks.get(task.request.request_id)
+            if current is task:
+                del self._tasks[task.request.request_id]
+
+    def cancel_request(self, request_id: int) -> bool:
+        """Cancel one request, whether queued, running, or web-registered."""
+        with self._lock:
+            task = self._tasks.get(request_id)
+        if task is not None:
+            task.token.cancel()
+            return True
+        return self.web.cancel(request_id)
+
+    def cancel_all(self) -> int:
+        with self._lock:
+            tasks = list(self._tasks.values())
+        for task in tasks:
+            task.token.cancel()
+        return len(tasks)
+
+    # -- metrics -------------------------------------------------------
+    def record_reply(self, reply: RpcReply) -> None:
+        self.metrics.replies_sent += 1
+        if reply.kind == "partial":
+            self.metrics.partials_sent += 1
+        elif reply.kind in ("complete", "ack"):
+            self.metrics.completed += 1
+        elif reply.kind == "cancelled":
+            self.metrics.cancelled += 1
+        elif reply.kind == "error":
+            self.metrics.errors += 1
+
+    # -- soft state ----------------------------------------------------
+    def evict_handles(self) -> int:
+        """Drop every resident dataset handle; lineage rebuilds them (§5.7)."""
+        count = self.web.evict_all()
+        self.metrics.handle_evictions += count
+        return count
+
+    def to_json(self) -> dict:
+        return {
+            "session": self.session_id,
+            "handles": len(self.web.handles),
+            "idleSeconds": round(self.idle_seconds(), 3),
+            "metrics": self.metrics.to_json(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Session {self.session_id} handles={len(self.web.handles)} "
+            f"idle={self.idle_seconds():.1f}s>"
+        )
+
+
+class SessionManager:
+    """Creates, resolves, sweeps, and closes sessions over one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster | None = None,
+        idle_ttl_seconds: float = 900.0,
+        expire_ttl_seconds: float | None = None,
+        default_source: DataSource | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.cluster = cluster if cluster is not None else Cluster()
+        self.idle_ttl_seconds = idle_ttl_seconds
+        #: Idle time after which the session object itself is dropped (the
+        #: client can no longer resume by id).  Defaults to 4x the handle
+        #: eviction TTL.  Without this, a long-lived server accumulates one
+        #: Session per connection forever.
+        self.expire_ttl_seconds = (
+            expire_ttl_seconds
+            if expire_ttl_seconds is not None
+            else idle_ttl_seconds * 4
+        )
+        self.default_source = default_source
+        self._clock = clock
+        self._sessions: dict[str, Session] = {}
+        self._dataset_pool: dict[str, IDataSet] = {}
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+        self.sessions_created = 0
+        self.sessions_swept = 0
+        self.sessions_expired = 0
+
+    def _resolve_source(self, spec: dict) -> DataSource:
+        return source_from_json(spec, default=self.default_source)
+
+    # -- lifecycle -----------------------------------------------------
+    def create(self, session_id: str | None = None) -> Session:
+        with self._lock:
+            if session_id is None:
+                session_id = f"sess-{next(self._counter)}"
+            if session_id in self._sessions:
+                raise ProtocolError(f"session {session_id!r} already exists")
+            session = Session(
+                session_id,
+                self.cluster,
+                self._dataset_pool,
+                self._resolve_source,
+                clock=self._clock,
+            )
+            self._sessions[session_id] = session
+            self.sessions_created += 1
+            return session
+
+    def get(self, session_id: str) -> Session | None:
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def get_or_create(self, session_id: str | None = None) -> Session:
+        """Resume a session by id (soft-state reattach) or mint a new one."""
+        if session_id is not None:
+            existing = self.get(session_id)
+            if existing is not None:
+                existing.touch()
+                return existing
+        return self.create(session_id)
+
+    def close(self, session_id: str) -> bool:
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            return False
+        session.cancel_all()
+        session.evict_handles()
+        return True
+
+    # -- idle sweep ----------------------------------------------------
+    def sweep(self) -> int:
+        """Evict handles of sessions idle past the TTL; returns the number
+        of handles evicted.  Sessions survive the sweep — only their
+        resident datasets go, and lineage rebuilds them on the next
+        request, piggybacking on the soft-state story of §5.7."""
+        with self._lock:
+            idle = [
+                s
+                for s in self._sessions.values()
+                if s.idle_seconds() > self.idle_ttl_seconds and not s.active
+            ]
+        evicted = 0
+        for session in idle:
+            count = session.evict_handles()
+            if count:
+                self.sessions_swept += 1
+            evicted += count
+        return evicted
+
+    def expire(self) -> list[str]:
+        """Drop sessions idle past the expiry TTL entirely; returns their
+        ids so the caller can release scheduler state too.  An expired
+        session cannot be resumed — reconnecting clients start fresh."""
+        with self._lock:
+            expired = [
+                s.session_id
+                for s in self._sessions.values()
+                if s.idle_seconds() > self.expire_ttl_seconds and not s.active
+            ]
+        for session_id in expired:
+            self.close(session_id)
+            self.sessions_expired += 1
+        return expired
+
+    # -- introspection -------------------------------------------------
+    @property
+    def sessions(self) -> list[Session]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def to_json(self) -> dict:
+        return {
+            "sessionsCreated": self.sessions_created,
+            "sessionsSwept": self.sessions_swept,
+            "sessionsExpired": self.sessions_expired,
+            "idleTtlSeconds": self.idle_ttl_seconds,
+            "sharedDatasets": len(self._dataset_pool),
+            "sessions": [s.to_json() for s in self.sessions],
+        }

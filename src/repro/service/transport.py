@@ -1,0 +1,549 @@
+"""The wire: an asyncio TCP server streaming length-prefixed JSON frames.
+
+Hillview's browser talks to the web server over a socket carrying JSON
+messages (§6).  This module is that socket for the reproduction: each
+frame is a uvarint length prefix (the :mod:`repro.core.serialization`
+framing idiom) followed by a UTF-8 JSON envelope —
+:class:`~repro.engine.rpc.RpcRequest` downstream,
+:class:`~repro.engine.rpc.RpcReply` upstream.
+
+The server couples three pieces: the :class:`SessionManager` (per-client
+soft state), the :class:`FairShareScheduler` (bounded concurrency,
+round-robin across sessions, newest-query-wins), and per-connection
+writer tasks with a bounded outbox — when a client stops draining
+progressive partials, the bounded queue blocks the scheduler worker
+producing them, so backpressure propagates from the TCP send buffer all
+the way into sketch execution.
+
+:class:`ServiceClient` is the blocking counterpart used by tests, the
+CLI, and benchmarks: a background reader thread demultiplexes interleaved
+reply streams by request id into per-query queues.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import itertools
+import queue as queue_mod
+import socket
+import threading
+from typing import BinaryIO, Callable, Iterator
+
+from repro.core.serialization import Encoder
+from repro.engine.cluster import Cluster
+from repro.engine.rpc import ProtocolError, RpcReply, RpcRequest
+from repro.errors import EngineError, HillviewError
+from repro.service import slow  # noqa: F401 — registers the "slow" sketch type
+from repro.service.scheduler import FairShareScheduler
+from repro.service.sessions import Session, SessionManager
+from repro.storage.loader import DataSource
+
+#: Frames larger than this are a protocol violation (a reply payload is
+#: resolution-bounded, §4.2; requests are tiny).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Reply kinds that terminate one request's reply stream.
+TERMINAL_KINDS = frozenset({"ack", "complete", "cancelled", "error"})
+
+
+class ServiceError(HillviewError):
+    """A client-side service failure (connection lost, bad frame)."""
+
+    code = "connection"
+
+
+# ---------------------------------------------------------------------------
+# Framing: uvarint length prefix + payload, shared by both directions
+# ---------------------------------------------------------------------------
+def encode_frame(payload: bytes) -> bytes:
+    """One wire frame: uvarint length prefix + payload bytes."""
+    enc = Encoder()
+    enc.write_bytes(payload)
+    return enc.to_bytes()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one frame; None on clean EOF at a frame boundary."""
+    length = 0
+    shift = 0
+    while True:
+        try:
+            byte = (await reader.readexactly(1))[0]
+        except asyncio.IncompleteReadError:
+            if shift == 0:
+                return None  # clean close between frames
+            raise ProtocolError("connection closed inside a frame header")
+        length |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            break
+        shift += 7
+        if shift > 70:
+            raise ProtocolError("frame header uvarint too long")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the maximum")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed inside a frame body")
+
+
+def read_frame_blocking(stream: BinaryIO) -> bytes | None:
+    """Blocking twin of :func:`read_frame` for the synchronous client."""
+    length = 0
+    shift = 0
+    while True:
+        chunk = stream.read(1)
+        if not chunk:
+            if shift == 0:
+                return None
+            raise ServiceError("connection closed inside a frame header")
+        byte = chunk[0]
+        length |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            break
+        shift += 7
+        if shift > 70:
+            raise ServiceError("frame header uvarint too long")
+    if length > MAX_FRAME_BYTES:
+        raise ServiceError(f"frame of {length} bytes exceeds the maximum")
+    payload = stream.read(length)
+    if len(payload) != length:
+        raise ServiceError("connection closed inside a frame body")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+class _Connection:
+    """Bridges scheduler threads to one connection's asyncio writer.
+
+    ``sink`` runs on scheduler worker threads: it enqueues a reply into
+    the connection's bounded outbox and *blocks* until there is room —
+    that block is the backpressure path from a slow client into sketch
+    execution.
+    """
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        outbox: "asyncio.Queue[RpcReply | None]",
+        sink_timeout: float,
+    ):
+        self.loop = loop
+        self.outbox = outbox
+        self.sink_timeout = sink_timeout
+        self.closed = threading.Event()
+
+    def sink(self, reply: RpcReply) -> None:
+        if self.closed.is_set():
+            raise ConnectionError("client connection closed")
+        future = asyncio.run_coroutine_threadsafe(self.outbox.put(reply), self.loop)
+        try:
+            future.result(timeout=self.sink_timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ConnectionError("client stopped draining replies")
+
+
+class ServiceServer:
+    """The concurrent multi-client service: transport + sessions + scheduler."""
+
+    def __init__(
+        self,
+        cluster: Cluster | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrent: int = 4,
+        max_queue_per_session: int = 32,
+        idle_ttl_seconds: float = 900.0,
+        expire_ttl_seconds: float | None = None,
+        sweep_interval_seconds: float = 1.0,
+        default_source: DataSource | None = None,
+        outbox_frames: int = 64,
+        sink_timeout_seconds: float = 30.0,
+    ):
+        self.cluster = cluster if cluster is not None else Cluster()
+        self.host = host
+        self.port = port
+        self.sessions = SessionManager(
+            self.cluster,
+            idle_ttl_seconds=idle_ttl_seconds,
+            expire_ttl_seconds=expire_ttl_seconds,
+            default_source=default_source,
+        )
+        self.scheduler = FairShareScheduler(
+            max_concurrent=max_concurrent,
+            max_queue_per_session=max_queue_per_session,
+        )
+        self.sweep_interval_seconds = sweep_interval_seconds
+        self.outbox_frames = outbox_frames
+        self.sink_timeout_seconds = sink_timeout_seconds
+        self.address: tuple[str, int] | None = None
+        self.connections_accepted = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._sweeper: asyncio.Task | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns (host, port)."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        self._sweeper = asyncio.create_task(self._sweep_loop())
+        return self.address
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.sweep_interval_seconds)
+            self.sessions.sweep()
+            for session_id in self.sessions.expire():
+                self.scheduler.forget_session(session_id)
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled — the CLI entry."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self._shutdown_async()
+
+    def run(self) -> None:
+        """Blocking entry point for ``repro serve``."""
+        try:
+            asyncio.run(self.serve_forever())
+        except KeyboardInterrupt:
+            pass
+
+    def start_background(self, timeout: float = 10.0) -> tuple[str, int]:
+        """Run the server in a daemon thread (tests, benchmarks, CLI demos).
+
+        Returns the bound (host, port) once the socket is listening.
+        """
+        started = threading.Event()
+
+        def main() -> None:
+            asyncio.run(self._background_main(started))
+
+        self._thread = threading.Thread(
+            target=main, name="service-server", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout):
+            raise EngineError("service server failed to start")
+        assert self.address is not None
+        return self.address
+
+    async def _background_main(self, started: threading.Event) -> None:
+        await self.start()
+        self._stop = asyncio.Event()
+        started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self._shutdown_async()
+
+    async def _shutdown_async(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def close(self) -> None:
+        """Stop a background server and the scheduler's worker pool."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.scheduler.shutdown()
+
+    # -- per-connection protocol ---------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_accepted += 1
+        outbox: "asyncio.Queue[RpcReply | None]" = asyncio.Queue(
+            maxsize=self.outbox_frames
+        )
+        conn = _Connection(self._loop, outbox, self.sink_timeout_seconds)
+        writer_task = asyncio.create_task(self._writer_loop(writer, outbox))
+        session: Session | None = None
+        tasks = []
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                try:
+                    request = RpcRequest.from_json(frame.decode("utf-8"))
+                except (ProtocolError, UnicodeDecodeError) as exc:
+                    await outbox.put(
+                        RpcReply(-1, "error", error=str(exc), code="protocol")
+                    )
+                    continue
+                if request.method == "hello":
+                    requested = request.args.get("session")
+                    session = self.sessions.get_or_create(
+                        str(requested) if requested else None
+                    )
+                    await outbox.put(
+                        RpcReply(
+                            request.request_id,
+                            "ack",
+                            payload={"session": session.session_id},
+                        )
+                    )
+                    continue
+                if session is None:  # implicit session on first request
+                    session = self.sessions.get_or_create(None)
+                session.touch()
+                if request.method == "cancel":
+                    target_id = int(request.args.get("requestId", -1))
+                    cancelled = session.cancel_request(target_id)
+                    await outbox.put(
+                        RpcReply(
+                            request.request_id,
+                            "ack",
+                            payload={"cancelled": cancelled},
+                        )
+                    )
+                elif request.method == "stats":
+                    await outbox.put(
+                        RpcReply(request.request_id, "complete", payload=self.stats())
+                    )
+                else:
+                    tasks.append(self.scheduler.submit(session, request, conn.sink))
+                    tasks = [t for t in tasks if not t.done.is_set()]
+        except (ProtocolError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            conn.closed.set()
+            # The client is gone: stop wasting cluster time on its queries.
+            for task in tasks:
+                task.token.cancel()
+            writer_task.cancel()
+            try:
+                await writer_task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    async def _writer_loop(
+        self, writer: asyncio.StreamWriter, outbox: "asyncio.Queue[RpcReply | None]"
+    ) -> None:
+        try:
+            while True:
+                reply = await outbox.get()
+                if reply is None:
+                    break
+                writer.write(encode_frame(reply.to_json().encode("utf-8")))
+                await writer.drain()  # OS-level backpressure
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "type": "serviceStats",
+            "connectionsAccepted": self.connections_accepted,
+            "scheduler": self.scheduler.metrics.to_json(),
+            "sessions": self.sessions.to_json(),
+            "cluster": {
+                "workers": len(self.cluster.workers),
+                "bytesToRoot": self.cluster.total_bytes_to_root,
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Blocking client
+# ---------------------------------------------------------------------------
+class PendingQuery:
+    """One in-flight request's reply stream on the client side."""
+
+    def __init__(self, request: RpcRequest):
+        self.request = request
+        self._replies: "queue_mod.Queue[RpcReply]" = queue_mod.Queue()
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    def _push(self, reply: RpcReply) -> None:
+        self._replies.put(reply)
+
+    def replies(self, timeout: float | None = 60.0) -> Iterator[RpcReply]:
+        """Yield replies until the terminal one (complete/cancelled/error/ack)."""
+        while True:
+            try:
+                reply = self._replies.get(timeout=timeout)
+            except queue_mod.Empty:
+                raise ServiceError(
+                    f"timed out waiting for a reply to request "
+                    f"#{self.request_id} ({self.request.method})"
+                )
+            yield reply
+            if reply.kind in TERMINAL_KINDS:
+                return
+
+    def result(
+        self, timeout: float | None = 60.0, raise_on_error: bool = True
+    ) -> RpcReply:
+        """Drain the stream and return the terminal reply."""
+        last = None
+        for reply in self.replies(timeout=timeout):
+            last = reply
+        assert last is not None
+        if raise_on_error and last.kind == "error":
+            error = ServiceError(f"[{last.code}] {last.error}")
+            error.code = last.code or "error"
+            raise error
+        return last
+
+
+class ServiceClient:
+    """A blocking client for tests, benchmarks and the terminal UI.
+
+    One TCP connection, one session; a reader thread demultiplexes
+    interleaved reply frames by request id, so several queries can stream
+    concurrently over the same connection (newest-query-wins makes this
+    the common case: submit, then submit again).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        session: str | None = None,
+        connect_timeout: float = 10.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._ids = itertools.count(1)
+        self._pending: dict[int, PendingQuery] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._reader_loop, name="service-client-reader", daemon=True
+        )
+        self._reader.start()
+        hello_args = {"session": session} if session else {}
+        reply = self.call("hello", args=hello_args)
+        self.session_id: str = reply.payload["session"]
+
+    # -- request plumbing ----------------------------------------------
+    def submit(
+        self, method: str, target: str = "", args: dict | None = None
+    ) -> PendingQuery:
+        """Send one request; returns immediately with its reply stream."""
+        request = RpcRequest(next(self._ids), target, method, args or {})
+        pending = PendingQuery(request)
+        with self._lock:
+            if self._closed:
+                raise ServiceError("client is closed")
+            self._pending[request.request_id] = pending
+            self._wfile.write(encode_frame(request.to_json().encode("utf-8")))
+            self._wfile.flush()
+        return pending
+
+    def call(
+        self,
+        method: str,
+        target: str = "",
+        args: dict | None = None,
+        timeout: float | None = 60.0,
+    ) -> RpcReply:
+        """Send one request and block for its terminal reply."""
+        return self.submit(method, target, args).result(timeout=timeout)
+
+    def _reader_loop(self) -> None:
+        try:
+            while True:
+                frame = read_frame_blocking(self._rfile)
+                if frame is None:
+                    break
+                reply = RpcReply.from_json(frame.decode("utf-8"))
+                with self._lock:
+                    pending = self._pending.get(reply.request_id)
+                    if pending is not None and reply.kind in TERMINAL_KINDS:
+                        del self._pending[reply.request_id]
+                if pending is not None:
+                    pending._push(reply)
+        except (ServiceError, OSError, ValueError):
+            pass
+        finally:
+            with self._lock:
+                orphans = list(self._pending.values())
+                self._pending.clear()
+            for pending in orphans:
+                pending._push(
+                    RpcReply(
+                        pending.request_id,
+                        "error",
+                        error="connection closed",
+                        code="connection",
+                    )
+                )
+
+    # -- convenience verbs ---------------------------------------------
+    def load(self, source: dict | None = None) -> str:
+        """Load a source spec ({} = the server's default dataset)."""
+        reply = self.call("load", args={"source": source or {}})
+        return reply.payload["handle"]
+
+    def sketch(self, target: str, spec: dict) -> PendingQuery:
+        return self.submit("sketch", target, {"sketch": spec})
+
+    def row_count(self, target: str) -> int:
+        return self.call("rowCount", target).payload["rows"]
+
+    def schema(self, target: str) -> list[dict]:
+        return self.call("schema", target).payload["columns"]
+
+    def cancel(self, request_id: int) -> bool:
+        reply = self.call("cancel", args={"requestId": request_id})
+        return bool(reply.payload["cancelled"])
+
+    def stats(self) -> dict:
+        return self.call("stats").payload
+
+    def ping(self) -> bool:
+        return self.call("ping").payload == {"pong": True}
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=5.0)
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,254 @@
+"""Session manager tests: soft state, idle-TTL sweep, shared datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.cluster import Cluster
+from repro.engine.rpc import ProtocolError, RpcRequest
+from repro.service import SessionManager, source_from_json
+from repro.storage.loader import TableSource
+from repro.table.table import Table
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 1000.0
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+@pytest.fixture(scope="module")
+def source() -> TableSource:
+    rng = np.random.default_rng(5)
+    table = Table.from_pydict({"x": rng.uniform(0, 10, 4_000).tolist()})
+    return TableSource([table], shards_per_table=8)
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def manager(clock) -> SessionManager:
+    return SessionManager(
+        Cluster(num_workers=2, cores_per_worker=2),
+        idle_ttl_seconds=60.0,
+        expire_ttl_seconds=240.0,
+        clock=clock.now,
+    )
+
+
+def row_count(session, handle: str) -> int:
+    [reply] = list(session.web.execute(RpcRequest(1, handle, "rowCount")))
+    assert reply.kind == "complete", reply.error
+    return reply.payload["rows"]
+
+
+class TestLifecycle:
+    def test_sessions_get_distinct_namespaces(self, manager, source):
+        a = manager.get_or_create(None)
+        b = manager.get_or_create(None)
+        assert a.session_id != b.session_id
+        ha = a.web.load(source)
+        # b cannot see a's handle: namespaces are per-session.
+        [reply] = list(b.web.execute(RpcRequest(1, ha, "rowCount")))
+        assert reply.kind == "error"
+        assert reply.code == "unknown_handle"
+
+    def test_reattach_by_id_resumes_soft_state(self, manager, source):
+        session = manager.get_or_create("laptop")
+        handle = session.web.load(source)
+        again = manager.get_or_create("laptop")
+        assert again is session
+        assert row_count(again, handle) == 4_000
+
+    def test_duplicate_create_rejected(self, manager):
+        manager.create("dup")
+        with pytest.raises(ProtocolError, match="already exists"):
+            manager.create("dup")
+
+    def test_close_cancels_and_drops(self, manager, source):
+        session = manager.get_or_create("gone")
+        session.web.load(source)
+        assert manager.close("gone") is True
+        assert manager.get("gone") is None
+        assert manager.close("gone") is False
+
+
+class TestIdleSweep:
+    def test_idle_session_handles_evicted_then_rebuilt(
+        self, manager, clock, source
+    ):
+        session = manager.get_or_create("sleepy")
+        handle = session.web.load(source)
+        assert row_count(session, handle) == 4_000
+        clock.advance(61.0)
+        assert manager.sweep() >= 1
+        # The handle's dataset is gone but its lineage is not...
+        assert session.web._handles == {}
+        assert handle in session.web.handles
+        assert session.metrics.handle_evictions >= 1
+        # ...so the next request transparently replays it (§5.7).
+        assert row_count(session, handle) == 4_000
+
+    def test_recent_activity_defers_the_sweep(self, manager, clock, source):
+        session = manager.get_or_create("busy")
+        session.web.load(source)
+        clock.advance(59.0)
+        session.touch()
+        assert manager.sweep() == 0
+        assert session.web._handles != {}
+
+    def test_swept_root_handle_reattaches_to_pooled_dataset(
+        self, manager, clock, source
+    ):
+        """Rebuilding an evicted root handle must reuse the shared cluster
+        dataset, not re-read the source into a duplicate set of shards."""
+        session = manager.get_or_create("pooled")
+        handle = session.web.load(source)
+        original_id = session.web.dataset(handle).dataset_id
+        clock.advance(61.0)
+        assert manager.sweep() >= 1
+        assert session.web.dataset(handle).dataset_id == original_id
+
+    def test_expired_sessions_are_dropped_entirely(self, manager, clock, source):
+        session = manager.get_or_create("forgotten")
+        session.web.load(source)
+        keeper = manager.get_or_create("keeper")
+        clock.advance(241.0)
+        keeper.touch()
+        assert manager.expire() == ["forgotten"]
+        assert manager.get("forgotten") is None
+        assert manager.get("keeper") is keeper
+        assert manager.sessions_expired == 1
+        # Reconnecting with the expired id starts a fresh session.
+        fresh = manager.get_or_create("forgotten")
+        assert fresh.web.handles == []
+
+    def test_derived_handles_survive_sweep_via_lineage(
+        self, manager, clock, source
+    ):
+        session = manager.get_or_create("deriver")
+        root = session.web.load(source)
+        [ack] = list(
+            session.web.execute(
+                RpcRequest(
+                    2,
+                    root,
+                    "filter",
+                    {
+                        "predicate": {
+                            "type": "column", "column": "x", "op": "<", "value": 5,
+                        }
+                    },
+                )
+            )
+        )
+        derived = ack.payload["handle"]
+        before = row_count(session, derived)
+        clock.advance(120.0)
+        assert manager.sweep() >= 2  # root and derived both evicted
+        assert row_count(session, derived) == before
+
+
+class TestSharedDatasets:
+    def test_same_spec_shares_cluster_dataset(self, manager, source):
+        a = manager.get_or_create("u1")
+        b = manager.get_or_create("u2")
+        ha = a.web.load(source)
+        hb = b.web.load(source)
+        assert a.web.dataset(ha).dataset_id == b.web.dataset(hb).dataset_id
+
+    def test_row_count_cached_on_cluster(self, manager, source):
+        session = manager.get_or_create("counter")
+        handle = session.web.load(source)
+        dataset = session.web.dataset(handle)
+        assert row_count(session, handle) == 4_000
+        assert manager.cluster.cached_row_count(dataset.dataset_id) == 4_000
+        # Even after every worker loses the shards, the count is served
+        # without a shard walk.
+        for index in range(len(manager.cluster.workers)):
+            manager.cluster.kill_worker(index)
+        assert dataset.total_rows == 4_000
+
+
+class TestSourceSpecs:
+    def test_default_requires_configuration(self):
+        with pytest.raises(ProtocolError, match="no default dataset"):
+            source_from_json({}, default=None)
+
+    def test_default_resolves(self, source):
+        assert source_from_json({}, default=source) is source
+        assert source_from_json({"kind": "default"}, default=source) is source
+
+    def test_flights_spec(self):
+        resolved = source_from_json(
+            {"kind": "flights", "rows": 1234, "partitions": 4, "seed": 9}
+        )
+        assert resolved.total_rows == 1234
+        assert resolved.partitions == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown source kind"):
+            source_from_json({"kind": "telepathy"})
+
+
+class TestErrorEnvelopes:
+    def test_unknown_handle_is_structured(self, manager):
+        session = manager.get_or_create("err")
+        [reply] = list(session.web.execute(RpcRequest(7, "obj-404", "rowCount")))
+        assert reply.kind == "error"
+        assert reply.code == "unknown_handle"
+        assert "unknown remote object" in reply.error
+
+    def test_internal_failure_is_contained(self, manager, source, monkeypatch):
+        """A crash inside dispatch becomes an 'internal' envelope, not an
+        exception through the shared service loop."""
+        from repro.engine import rpc as rpc_mod
+
+        def boom(args):
+            raise RuntimeError("sketch builder exploded")
+
+        monkeypatch.setitem(rpc_mod.SKETCH_BUILDERS, "boom", boom)
+        session = manager.get_or_create("kaboom")
+        handle = session.web.load(source)
+        [reply] = list(
+            session.web.execute(
+                RpcRequest(8, handle, "sketch", {"sketch": {"type": "boom"}})
+            )
+        )
+        assert reply.kind == "error"
+        assert reply.code == "internal"
+        assert "sketch builder exploded" in reply.error
+
+    def test_leaf_failure_becomes_error_envelope(self, manager, source):
+        """A sketch whose leaves all fail (bad column) must answer with an
+        error envelope, not a 'complete' with an empty payload."""
+        session = manager.get_or_create("badcol")
+        handle = session.web.load(source)
+        spec = {
+            "type": "histogram",
+            "column": "no_such_column",
+            "buckets": {"type": "double", "min": 0, "max": 1, "count": 2},
+        }
+        replies = list(
+            session.web.execute(
+                RpcRequest(10, handle, "sketch", {"sketch": spec})
+            )
+        )
+        assert replies[-1].kind == "error"
+        assert "no_such_column" in replies[-1].error
+
+    def test_protocol_error_code(self, manager, source):
+        session = manager.get_or_create("proto")
+        handle = session.web.load(source)
+        [reply] = list(session.web.execute(RpcRequest(9, handle, "teleport")))
+        assert reply.kind == "error"
+        assert reply.code == "protocol"

@@ -1,0 +1,245 @@
+"""Service transport tests: framing, concurrent sessions, wire acceptance."""
+
+from __future__ import annotations
+
+import io
+import threading
+
+import pytest
+
+from repro.data.flights import FlightsSource
+from repro.engine.cluster import Cluster
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    encode_frame,
+    read_frame_blocking,
+)
+
+ROWS = 20_000
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = ServiceServer(
+        Cluster(num_workers=2, cores_per_worker=2, aggregation_interval=0.02),
+        default_source=FlightsSource(ROWS, partitions=16, seed=3),
+        max_concurrent=4,
+        idle_ttl_seconds=900.0,
+    )
+    server.start_background()
+    yield server
+    server.close()
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(*server.address) as client:
+        yield client
+
+
+def hist_spec(per_shard_seconds: float = 0.0) -> dict:
+    spec = {
+        "type": "histogram",
+        "column": "Distance",
+        "buckets": {"type": "double", "min": 0, "max": 6000, "count": 12},
+    }
+    if per_shard_seconds > 0:
+        spec = {"type": "slow", "perShardSeconds": per_shard_seconds, "inner": spec}
+    return spec
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        payload = b'{"hello": "world"}' * 50
+        stream = io.BytesIO(encode_frame(payload) + encode_frame(b"x"))
+        assert read_frame_blocking(stream) == payload
+        assert read_frame_blocking(stream) == b"x"
+        assert read_frame_blocking(stream) is None
+
+    def test_truncated_frame_detected(self):
+        stream = io.BytesIO(encode_frame(b"abcdef")[:-2])
+        with pytest.raises(ServiceError, match="inside a frame body"):
+            read_frame_blocking(stream)
+
+
+class TestBasicRpc:
+    def test_hello_assigns_session(self, client):
+        assert client.session_id.startswith("sess-")
+        assert client.ping()
+
+    def test_load_schema_rows(self, client):
+        handle = client.load()
+        names = [c["name"] for c in client.schema(handle)]
+        assert "Distance" in names and "Airline" in names
+        assert client.row_count(handle) == ROWS
+
+    def test_sketch_streams_monotonic_progress(self, client):
+        handle = client.load()
+        replies = list(client.sketch(handle, hist_spec(0.01)).replies(timeout=60))
+        assert replies[-1].kind == "complete"
+        assert replies[-1].progress == 1.0
+        progresses = [r.progress for r in replies]
+        assert progresses == sorted(progresses)
+        assert len(replies) > 1  # progressive, not one-shot
+        total = sum(replies[-1].payload["counts"])
+        assert 0 < total <= ROWS
+
+    def test_unknown_handle_error_envelope_keeps_session_alive(self, client):
+        with pytest.raises(ServiceError, match="unknown remote object"):
+            client.row_count("obj-404")
+        assert client.ping()  # the connection survived the bad request
+
+    def test_malformed_frame_gets_protocol_error(self, server):
+        import socket as socket_mod
+
+        with socket_mod.create_connection(server.address, timeout=5) as sock:
+            sock.sendall(encode_frame(b"this is not json"))
+            stream = sock.makefile("rb")
+            frame = read_frame_blocking(stream)
+            assert b'"protocol"' in frame
+
+    def test_explicit_cancel_rpc(self, client):
+        handle = client.load()
+        pending = client.sketch(handle, hist_spec(0.05))
+        next(pending.replies(timeout=60))  # the query is visibly running
+        assert client.cancel(pending.request_id) is True
+        terminal = pending.result(raise_on_error=False)
+        assert terminal.kind in ("cancelled", "complete")
+
+    def test_stats_rpc(self, client):
+        handle = client.load()
+        client.row_count(handle)
+        stats = client.stats()
+        assert stats["type"] == "serviceStats"
+        assert stats["scheduler"]["admitted"] >= 1
+        assert stats["cluster"]["workers"] == 2
+
+
+class TestSessions:
+    def test_session_resumes_across_connections(self, server):
+        with ServiceClient(*server.address) as first:
+            session_id = first.session_id
+            handle = first.load()
+            assert first.row_count(handle) == ROWS
+        # Reconnect with the same session id: the handle namespace is
+        # still there (soft state lives on the server, not the socket).
+        with ServiceClient(*server.address, session=session_id) as second:
+            assert second.session_id == session_id
+            assert second.row_count(handle) == ROWS
+
+    def test_sessions_share_the_default_dataset(self, server):
+        with ServiceClient(*server.address) as a, ServiceClient(
+            *server.address
+        ) as b:
+            a.load()
+            b.load()
+            stats = a.stats()
+            assert stats["sessions"]["sharedDatasets"] >= 1
+
+
+class TestConcurrentSessions:
+    def test_two_sessions_stream_concurrently(self, server):
+        """The acceptance scenario: two sessions, overlapping streaming
+        sketches, each seeing monotonically-progressing partials."""
+        results: dict[str, list] = {}
+        errors: list[Exception] = []
+
+        def explore(name: str) -> None:
+            try:
+                with ServiceClient(*server.address) as client:
+                    handle = client.load()
+                    replies = list(
+                        client.sketch(handle, hist_spec(0.01)).replies(timeout=60)
+                    )
+                    results[name] = replies
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=explore, args=(f"user-{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert set(results) == {"user-0", "user-1"}
+        for replies in results.values():
+            assert replies[-1].kind == "complete"
+            progresses = [r.progress for r in replies]
+            assert progresses == sorted(progresses)
+            assert sum(replies[-1].payload["counts"]) > 0
+
+    def test_newest_query_wins_isolated_per_session(self, server):
+        """Second half of the acceptance criteria: a superseding sketch on
+        one session cancels its predecessor (visible in scheduler metrics)
+        without affecting the other session."""
+        preempted_before = server.scheduler.metrics.preempted
+        with ServiceClient(*server.address) as alice, ServiceClient(
+            *server.address
+        ) as bob:
+            ha, hb = alice.load(), bob.load()
+            bob_query = bob.sketch(hb, hist_spec(0.01))
+            stale = alice.sketch(ha, hist_spec(0.05))
+            next(stale.replies(timeout=60))  # streaming has visibly begun
+            fresh = alice.sketch(ha, hist_spec(0.0))
+            stale_terminal = stale.result(timeout=60, raise_on_error=False)
+            fresh_terminal = fresh.result(timeout=60)
+            bob_terminal = bob_query.result(timeout=60)
+            assert stale_terminal.kind == "cancelled"
+            assert stale_terminal.code == "superseded"
+            assert fresh_terminal.kind == "complete"
+            # Bob's overlapping query is untouched by Alice's preemption.
+            assert bob_terminal.kind == "complete"
+            assert sum(bob_terminal.payload["counts"]) > 0
+            assert server.scheduler.metrics.preempted == preempted_before + 1
+            stats = alice.stats()
+            alice_stats = next(
+                s
+                for s in stats["sessions"]["sessions"]
+                if s["session"] == alice.session_id
+            )
+            assert alice_stats["metrics"]["preempted"] == 1
+
+
+class TestWorkerFailure:
+    def test_worker_crash_mid_query_over_the_wire(self, server):
+        with ServiceClient(*server.address) as client:
+            handle = client.load()
+            pending = client.sketch(handle, hist_spec(0.02))
+            next(pending.replies(timeout=60))
+            server.cluster.kill_worker(1)
+            terminal = pending.result(timeout=60)
+            assert terminal.kind == "complete"
+            # The next query replays the lost shards from lineage (§5.7).
+            again = client.sketch(handle, hist_spec()).result(timeout=60)
+            assert again.payload["counts"] == terminal.payload["counts"]
+
+
+class TestCliService:
+    def test_client_command_loop(self, server):
+        from repro.cli import client_main
+
+        out = io.StringIO()
+        host, port = server.address
+        client_main(
+            [
+                "--host", host, "--port", str(port),
+                "--commands",
+                "load; rows; hist Distance 0 6000 6; distinct Airline; stats",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert f"{ROWS:,} rows" in text
+        assert "distinct values" in text
+        assert "admitted" in text
+
+    def test_serve_parser_defaults(self):
+        """`repro serve --help`-level sanity: the subcommand dispatches."""
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
