@@ -1,0 +1,155 @@
+"""Process-worker benchmark: in-process vs multiprocess time-to-first-partial.
+
+PR 2 moved the workers out of the root's process (§5.2: one worker process
+per server).  This benchmark quantifies what that hop costs on one machine:
+the same throttled histogram streams over (a) the threaded in-process
+cluster and (b) a :class:`ProcessCluster` of spawned ``repro worker``
+subprocesses, at 4/8/16 workers, reporting p50/p95 time-to-first-partial
+and time-to-complete.  Results land in ``benchmarks/results/`` for
+EXPERIMENTS.md.
+
+The per-shard throttle (2 ms) pins leaf cost, so the delta between the two
+engines is dispatch + serialization + socket latency — the real price of
+the process boundary — rather than numpy speed on tiny shards.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _harness import format_table, human_seconds
+from conftest import add_report
+
+import repro.service.slow  # noqa: F401 — registers the "slow" sketch type
+from repro.data.flights import FlightsSource
+from repro.engine.cluster import Cluster
+from repro.engine.local import LocalDataSet
+from repro.engine.rpc import sketch_from_json
+from repro.engine.remote import ProcessCluster
+from repro.table.table import Table
+
+ROWS = 48_000
+PARTITIONS = 48
+PER_SHARD_SECONDS = 0.002
+WORKER_COUNTS = (4, 8, 16)
+RUNS = 7
+SOURCE = FlightsSource(ROWS, partitions=PARTITIONS, seed=23)
+
+
+def sketch_spec() -> dict:
+    # "slow" is non-deterministic, so repeats bypass the computation cache
+    # and every run exercises the full execution tree.
+    return {
+        "type": "slow",
+        "perShardSeconds": PER_SHARD_SECONDS,
+        "inner": {
+            "type": "histogram",
+            "column": "Distance",
+            "buckets": {"type": "double", "min": 0, "max": 6000, "count": 25},
+        },
+    }
+
+
+def percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def stream_once(dataset, reference_bytes: bytes) -> tuple[float, float, int]:
+    start = time.perf_counter()
+    first = None
+    partials = 0
+    final = None
+    for partial in dataset.sketch_stream(sketch_from_json(sketch_spec())):
+        if first is None:
+            first = time.perf_counter() - start
+        partials += 1
+        final = partial.value
+    total = time.perf_counter() - start
+    assert final is not None and final.to_bytes() == reference_bytes
+    return first, total, partials
+
+
+def measure(cluster, engine: str, workers: int, reference_bytes: bytes) -> dict:
+    dataset = cluster.load(SOURCE)
+    stream_once(dataset, reference_bytes)  # warm shard stores and pools
+    firsts, totals, partials = [], [], 0
+    for _ in range(RUNS):
+        first, total, count = stream_once(dataset, reference_bytes)
+        firsts.append(first)
+        totals.append(total)
+        partials += count
+    return {
+        "workers": workers,
+        "engine": engine,
+        "p50_first": percentile(firsts, 0.50),
+        "p95_first": percentile(firsts, 0.95),
+        "p50_total": percentile(totals, 0.50),
+        "p95_total": percentile(totals, 0.95),
+        "partials": partials / RUNS,
+    }
+
+
+def test_in_process_vs_multiprocess_time_to_first_partial():
+    reference_bytes = (
+        LocalDataSet(Table.concat(SOURCE.load()))
+        .sketch(sketch_from_json(sketch_spec()))
+        .to_bytes()
+    )
+    measurements = []
+    for workers in WORKER_COUNTS:
+        threaded = Cluster(
+            num_workers=workers, cores_per_worker=2, aggregation_interval=0.02
+        )
+        measurements.append(
+            measure(threaded, "threads", workers, reference_bytes)
+        )
+        spawned = ProcessCluster(
+            num_workers=workers, cores_per_worker=2, aggregation_interval=0.02
+        )
+        try:
+            measurements.append(
+                measure(spawned, "processes", workers, reference_bytes)
+            )
+        finally:
+            spawned.close()
+
+    # Sanity: both engines stay interactive at every fleet size.
+    for m in measurements:
+        assert m["p95_first"] < 5.0, m
+
+    rows = [
+        [
+            m["workers"],
+            m["engine"],
+            human_seconds(m["p50_first"]),
+            human_seconds(m["p95_first"]),
+            human_seconds(m["p50_total"]),
+            human_seconds(m["p95_total"]),
+            f"{m['partials']:.1f}",
+        ]
+        for m in measurements
+    ]
+    body = format_table(
+        [
+            "workers",
+            "engine",
+            "p50 first",
+            "p95 first",
+            "p50 done",
+            "p95 done",
+            "partials/q",
+        ],
+        rows,
+    )
+    body += (
+        f"\n\n{ROWS:,} flight rows x {PARTITIONS} partitions, "
+        f"{PER_SHARD_SECONDS * 1000:.0f}ms/shard throttle, 2 cores/worker, "
+        f"{RUNS} runs per cell; 'processes' = spawned `repro worker` "
+        "subprocesses speaking uvarint-framed JSON"
+    )
+    add_report(
+        "process workers: in-process vs multiprocess time-to-first-partial",
+        body,
+    )

@@ -9,9 +9,12 @@ data source::
     python -m repro.cli data.db --sql-table events
     python -m repro.cli --demo-flights 200000
 
-The same binary also runs the concurrent multi-client service layer::
+The same binary also runs the concurrent multi-client service layer and
+the worker daemons of a process-level fleet::
 
     python -m repro.cli serve --demo-flights 500000 --port 8947
+    python -m repro.cli serve --demo-flights 500000 --spawn --workers 8
+    python -m repro.cli worker --listen 0.0.0.0:9301 --cores 8
     python -m repro.cli client --port 8947 --commands "load; rows; hist Distance 0 3000"
 
 Commands (also shown by ``help``)::
@@ -362,6 +365,19 @@ def serve_main(argv: list[str]) -> int:
         help="serve N synthetic flight rows as the default dataset",
     )
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--spawn", action="store_true",
+        help="run workers as spawned subprocesses instead of threads",
+    )
+    parser.add_argument(
+        "--worker-address", action="append", metavar="HOST:PORT",
+        help="attach to a pre-started `repro worker --listen` daemon "
+             "(repeatable; overrides --workers/--spawn)",
+    )
+    parser.add_argument(
+        "--cores-per-worker", type=int, default=4,
+        help="leaf thread pool size per worker",
+    )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8947)
     parser.add_argument(
@@ -376,8 +392,30 @@ def serve_main(argv: list[str]) -> int:
 
     from repro.service import ServiceServer
 
+    if args.worker_address:
+        from repro.engine.remote import ProcessCluster
+
+        addresses = []
+        for spec in args.worker_address:
+            worker_host, _, worker_port = spec.rpartition(":")
+            addresses.append((worker_host or "127.0.0.1", int(worker_port)))
+        cluster = ProcessCluster(addresses=addresses)
+        topology = f"{len(addresses)} attached worker processes"
+    elif args.spawn:
+        from repro.engine.remote import ProcessCluster
+
+        cluster = ProcessCluster(
+            num_workers=args.workers, cores_per_worker=args.cores_per_worker
+        )
+        topology = f"{args.workers} spawned worker processes"
+    else:
+        cluster = Cluster(
+            num_workers=args.workers, cores_per_worker=args.cores_per_worker
+        )
+        topology = f"{args.workers} in-process workers"
+
     server = ServiceServer(
-        Cluster(num_workers=args.workers),
+        cluster,
         host=args.host,
         port=args.port,
         max_concurrent=args.max_concurrent,
@@ -385,8 +423,11 @@ def serve_main(argv: list[str]) -> int:
         default_source=_serve_source(args),
     )
     print(f"hillview service on {args.host}:{args.port} "
-          f"({args.workers} workers, {args.max_concurrent} query slots)")
-    server.run()
+          f"({topology}, {args.max_concurrent} query slots)")
+    try:
+        server.run()
+    finally:
+        cluster.close()
     return 0
 
 
@@ -458,7 +499,9 @@ class RemoteSession:
                 final = reply
             if final.kind == "error":
                 raise HillviewError(f"[{final.code}] {final.error}")
-            if final.kind != "complete" or final.payload is None:
+            from repro.engine.rpc import NO_PAYLOAD
+
+            if final.kind != "complete" or final.payload in (None, NO_PAYLOAD):
                 raise HillviewError(f"query ended early ({final.kind})")
             counts = final.payload["counts"]
             peak = max(counts) or 1
@@ -560,6 +603,10 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "client":
         return client_main(argv[1:])
+    if argv and argv[0] == "worker":
+        from repro.engine.remote import worker_main
+
+        return worker_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Browse a dataset in the terminal."
     )

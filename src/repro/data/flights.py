@@ -480,6 +480,26 @@ class FlightsSource(DataSource):
             self.total_rows, self.partitions, self.seed, self.extra_columns
         )
 
+    def _load_slice(self, index: int, count: int) -> list[Table]:
+        """Generate only this worker's partitions (each is independently
+        reproducible, so a worker process loads 1/N of the data)."""
+        base = self.total_rows // self.partitions
+        remainder = self.total_rows % self.partitions
+        sized = [
+            (i, base + (1 if i < remainder else 0))
+            for i in range(self.partitions)
+        ]
+        populated = [(i, rows) for i, rows in sized if rows > 0]
+        return [
+            generate_flights(
+                rows,
+                seed=self.seed,
+                extra_columns=self.extra_columns,
+                shard_id=f"flights-{i:04d}",
+            )
+            for i, rows in populated[index::count]
+        ]
+
     def spec(self) -> str:
         return (
             f"FlightsSource(rows={self.total_rows},parts={self.partitions},"

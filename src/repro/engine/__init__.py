@@ -33,7 +33,17 @@ from repro.engine.dataset import (
 )
 from repro.engine.local import LocalDataSet, ParallelDataSet, parallel_dataset
 from repro.engine.cache import ComputationCache, DataCache
-from repro.engine.cluster import Cluster, ClusterDataSet, Worker
+from repro.engine.cluster import (
+    Cluster,
+    ClusterDataSet,
+    Worker,
+    WorkerProtocol,
+)
+from repro.engine.remote import (
+    ProcessCluster,
+    RemoteWorkerProxy,
+    WorkerServer,
+)
 from repro.engine.rpc import ProtocolError, RpcReply, RpcRequest
 from repro.engine.web import WebServer
 
@@ -58,5 +68,9 @@ __all__ = [
     "DataCache",
     "Cluster",
     "ClusterDataSet",
+    "ProcessCluster",
+    "RemoteWorkerProxy",
     "Worker",
+    "WorkerProtocol",
+    "WorkerServer",
 ]

@@ -1,19 +1,31 @@
-"""The multi-server cluster engine (paper §5.2–5.8), in process.
+"""The multi-server cluster engine (paper §5.2–5.8).
 
-A :class:`Cluster` owns a set of :class:`Worker` nodes (one per simulated
-server).  Each worker holds its shard of every dataset in a *soft* object
-store — entries can be evicted or lost to a crash at any time and are
-reconstructed by replaying the root's redo log (§5.7).  Sketch execution
-follows the paper's tree:
+A :class:`Cluster` owns a set of workers — each one server of the paper's
+deployment — behind the :class:`WorkerProtocol` interface.  Two
+implementations exist:
 
-* the root broadcasts the query; every worker materializes its shards
-  (replaying lineage if its soft state is gone);
+* :class:`Worker` (this module): in-process, a soft object store plus a
+  leaf thread pool; the default, used by tests and single-machine serving;
+* :class:`~repro.engine.remote.RemoteWorkerProxy`: a worker living in a
+  separate OS process (or machine), spoken to over uvarint-framed JSON —
+  see :class:`~repro.engine.remote.ProcessCluster`.
+
+Sketch execution follows the paper's tree regardless of substrate:
+
+* the root broadcasts the query with the dataset's redo-log lineage; every
+  worker materializes its shards (replaying lineage if its soft state is
+  gone, §5.7);
 * each worker's thread pool runs ``summarize`` per micropartition and the
   worker (acting as its aggregation node) merges locally, forwarding a
   cumulative partial to the root at the aggregation cadence (0.1 s in the
   paper);
 * the root merges the latest partial from every worker and streams
   progressively better results to the client, counting received bytes.
+
+A worker that dies mid-sketch is revived (see ``Cluster.revive_worker``)
+and its stream re-run from scratch; because every partial is *cumulative*,
+the root simply replaces that worker's contribution and the final merge is
+still exact (§5.8).
 
 Deterministic sketch results are served from the computation cache (§5.4).
 """
@@ -25,23 +37,99 @@ import itertools
 import queue
 import threading
 import time
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator, TypeVar
+from typing import Iterator, Sequence, TypeVar
 
 from repro.core.sketch import Sketch
 from repro.engine.cache import ComputationCache, DataCache
 from repro.engine.dataset import IDataSet, TableMap
 from repro.engine.progress import CancellationToken, PartialResult, SketchRun
 from repro.engine.redo_log import LoadOp, MapOp, RedoLog
-from repro.errors import DatasetMissingError, EngineError
+from repro.errors import (
+    DatasetMissingError,
+    EngineError,
+    WorkerUnavailableError,
+)
 from repro.storage.loader import DataSource
+from repro.table.schema import Schema
 from repro.table.table import Table
 
 R = TypeVar("R")
 
+#: How many times the root re-runs a worker's stream after revival before
+#: giving up on the query (§5.8: repeated failures surface to the client).
+MAX_WORKER_RETRIES = 3
 
-class Worker:
-    """One server: a soft object store plus a leaf thread pool (§5.2)."""
+
+@dataclass
+class WorkerEmission:
+    """One cumulative partial emitted by a worker's aggregation node."""
+
+    summary: object
+    shards_done: int
+    bytes: int
+
+
+class WorkerProtocol(ABC):
+    """One server of the cluster, local or remote (§5.2).
+
+    ``lineage`` arguments carry the dataset's redo-log chain (LoadOp then
+    MapOps, in application order) so the worker can rebuild any soft state
+    it lost without calling back into the root (§5.7).
+    """
+
+    name: str
+    cores: int
+
+    @abstractmethod
+    def configure(
+        self, index: int, count: int, aggregation_interval: float
+    ) -> None:
+        """Assign this worker its shard slice (index of count) and cadence."""
+
+    @abstractmethod
+    def load_source(self, dataset_id: str, source: DataSource) -> int:
+        """Load the source and keep this worker's slice; returns shard count."""
+
+    @abstractmethod
+    def ensure(self, dataset_id: str, lineage: list) -> int:
+        """Materialize the dataset (replaying lineage); returns shard count."""
+
+    @abstractmethod
+    def shard_rows(self, dataset_id: str, lineage: list) -> int:
+        """Total rows across this worker's shards of the dataset."""
+
+    @abstractmethod
+    def shard_schema(self, dataset_id: str, lineage: list) -> Schema | None:
+        """The dataset's schema, or None when this worker holds no shards."""
+
+    @abstractmethod
+    def sketch_partials(
+        self,
+        dataset_id: str,
+        sketch: Sketch,
+        lineage: list,
+        token: CancellationToken | None = None,
+    ) -> Iterator[WorkerEmission]:
+        """Run the sketch over this worker's shards, yielding cumulative
+        partials at the aggregation cadence; the final emission reflects
+        every summarized shard."""
+
+    @abstractmethod
+    def evict(self, dataset_id: str) -> None:
+        """Drop this worker's shards of one dataset (soft state)."""
+
+    @abstractmethod
+    def crash(self) -> None:
+        """Lose all soft state, as after a process restart (§5.8)."""
+
+    def close(self) -> None:
+        """Release resources (sockets, subprocesses); local workers no-op."""
+
+
+class Worker(WorkerProtocol):
+    """One in-process server: a soft object store plus a leaf pool (§5.2)."""
 
     def __init__(
         self,
@@ -60,7 +148,19 @@ class Worker:
         )
         self.crashes = 0
         self.shards_summarized = 0
+        self.index = 0
+        self.count = 1
+        self.aggregation_interval = 0.1
 
+    # -- configuration --------------------------------------------------
+    def configure(
+        self, index: int, count: int, aggregation_interval: float
+    ) -> None:
+        self.index = index
+        self.count = count
+        self.aggregation_interval = aggregation_interval
+
+    # -- soft object store ----------------------------------------------
     def fetch(self, dataset_id: str) -> list[Table]:
         """This worker's shards of ``dataset_id``; raises if evicted."""
         shards = self.store.get(dataset_id)
@@ -71,10 +171,116 @@ class Worker:
     def put(self, dataset_id: str, shards: list[Table]) -> None:
         self.store.put(dataset_id, shards)
 
+    def evict(self, dataset_id: str) -> None:
+        self.store.evict(dataset_id)
+
     def crash(self) -> None:
         """Lose all soft state, as after a process restart (§5.8)."""
         self.store.clear()
         self.crashes += 1
+
+    # -- materialization (replay, §5.7) ---------------------------------
+    def shards(self, dataset_id: str, lineage: list) -> list[Table]:
+        """This worker's shards, replaying redo-log lineage when evicted.
+
+        Replay walks the lineage from the load op forward, re-applying maps
+        (§5.7: "the recursion ends when data is read from disk").
+        """
+        try:
+            return self.fetch(dataset_id)
+        except DatasetMissingError:
+            pass
+        shards: list[Table] | None = None
+        for op in lineage:
+            if isinstance(op, LoadOp):
+                try:
+                    shards = self.fetch(op.dataset_id)
+                    continue
+                except DatasetMissingError:
+                    shards = op.source.load_slice(self.index, self.count)
+            elif isinstance(op, MapOp):
+                assert shards is not None
+                try:
+                    shards = self.fetch(op.dataset_id)
+                    continue
+                except DatasetMissingError:
+                    shards = [op.table_map.apply(shard) for shard in shards]
+            self.put(op.dataset_id, shards)
+        if shards is None:
+            raise DatasetMissingError(dataset_id, self.name)
+        return shards
+
+    def load_source(self, dataset_id: str, source: DataSource) -> int:
+        shards = source.load_slice(self.index, self.count)
+        self.put(dataset_id, shards)
+        return len(shards)
+
+    def ensure(self, dataset_id: str, lineage: list) -> int:
+        return len(self.shards(dataset_id, lineage))
+
+    def shard_rows(self, dataset_id: str, lineage: list) -> int:
+        return sum(s.num_rows for s in self.shards(dataset_id, lineage))
+
+    def shard_schema(self, dataset_id: str, lineage: list) -> Schema | None:
+        shards = self.shards(dataset_id, lineage)
+        return shards[0].schema if shards else None
+
+    # -- sketch execution (leaf pool + aggregation cadence) --------------
+    def sketch_partials(
+        self,
+        dataset_id: str,
+        sketch: Sketch,
+        lineage: list,
+        token: CancellationToken | None = None,
+    ) -> Iterator[WorkerEmission]:
+        shards = self.shards(dataset_id, lineage)
+        interval = self.aggregation_interval
+
+        def leaf(shard: Table) -> object | None:
+            # Cancellation removes queued micropartitions only (§5.3).
+            if token is not None and token.cancelled:
+                return None
+            self.shards_summarized += 1
+            return sketch.summarize(shard)
+
+        accumulated = sketch.zero()
+        done = 0
+        pending_since_emit = 0
+        last_emit = time.monotonic()
+        failure: BaseException | None = None
+        with concurrent.futures.ThreadPoolExecutor(self.cores) as pool:
+            futures = [pool.submit(leaf, shard) for shard in shards]
+            for future in concurrent.futures.as_completed(futures):
+                try:
+                    summary = future.result()
+                except Exception as exc:
+                    # A leaf failed (bad column, broken expression...):
+                    # drop this worker's remaining shards and surface
+                    # the failure at the root instead of dying silently.
+                    failure = exc
+                    for pending in futures:
+                        pending.cancel()
+                    break
+                done += 1
+                if summary is not None:
+                    accumulated = sketch.merge(accumulated, summary)
+                    pending_since_emit += 1
+                now = time.monotonic()
+                finished = done == len(shards)
+                if pending_since_emit and (
+                    now - last_emit >= interval or finished
+                ):
+                    yield WorkerEmission(
+                        accumulated,
+                        done,
+                        accumulated.serialized_size()
+                        if hasattr(accumulated, "serialized_size")
+                        else 0,
+                    )
+                    pending_since_emit = 0
+                    last_emit = now
+        if failure is not None:
+            raise failure
 
     def __repr__(self) -> str:
         return f"<Worker {self.name} cores={self.cores}>"
@@ -101,19 +307,27 @@ class Cluster:
         aggregation_interval: float = 0.1,
         cache_entries: int = 64,
         cache_ttl_seconds: float = 2 * 3600.0,
+        workers: Sequence[WorkerProtocol] | None = None,
     ):
-        if num_workers < 1:
+        if workers is not None:
+            self.workers: list[WorkerProtocol] = list(workers)
+        else:
+            if num_workers < 1:
+                raise ValueError("a cluster needs at least one worker")
+            self.workers = [
+                Worker(
+                    f"worker-{i}",
+                    cores=cores_per_worker,
+                    cache_entries=cache_entries,
+                    cache_ttl_seconds=cache_ttl_seconds,
+                )
+                for i in range(num_workers)
+            ]
+        if not self.workers:
             raise ValueError("a cluster needs at least one worker")
-        self.workers = [
-            Worker(
-                f"worker-{i}",
-                cores=cores_per_worker,
-                cache_entries=cache_entries,
-                cache_ttl_seconds=cache_ttl_seconds,
-            )
-            for i in range(num_workers)
-        ]
         self.aggregation_interval = aggregation_interval
+        for index, worker in enumerate(self.workers):
+            worker.configure(index, len(self.workers), aggregation_interval)
         self.redo_log = RedoLog()
         self.computation_cache = ComputationCache()
         self.total_bytes_to_root = 0
@@ -138,56 +352,77 @@ class Cluster:
     def _new_dataset_id(self, prefix: str) -> str:
         return f"{prefix}-{next(self._ids)}"
 
+    def lineage(self, dataset_id: str) -> list:
+        """The redo-log chain workers replay to rebuild ``dataset_id``."""
+        return self.redo_log.lineage(dataset_id)
+
     def load(self, source: DataSource) -> "ClusterDataSet":
         """Load a data source, distributing partitions over workers."""
         dataset_id = self._new_dataset_id("ds")
         self.redo_log.record_load(dataset_id, source)
-        shards = source.load()
-        for index, worker in enumerate(self.workers):
-            worker.put(dataset_id, self._assigned(shards, index))
+        if all(isinstance(w, Worker) for w in self.workers):
+            # In-process fast path: load once at the root, hand each
+            # worker its slice (identical to the slice it would compute).
+            shards = source.load()
+            for index, worker in enumerate(self.workers):
+                worker.put(dataset_id, self._assigned(shards, index))  # type: ignore[union-attr]
+        else:
+            # Remote workers load the source themselves, in parallel: a
+            # table cannot cross the process boundary, a description can.
+            self._for_all_workers(
+                lambda i, w: w.load_source(dataset_id, source)
+            )
         return ClusterDataSet(self, dataset_id)
 
     def _assigned(self, shards: list[Table], worker_index: int) -> list[Table]:
         """Round-robin shard placement; deterministic, so replay agrees."""
         return shards[worker_index :: len(self.workers)]
 
+    def _for_all_workers(self, fn) -> list:
+        """Run ``fn(index, worker)`` for every worker in parallel, reviving
+        and retrying a worker whose process died (§5.8)."""
+        with concurrent.futures.ThreadPoolExecutor(len(self.workers)) as pool:
+            return list(
+                pool.map(
+                    lambda i: self._with_revival(i, fn),
+                    range(len(self.workers)),
+                )
+            )
+
+    def _with_revival(self, index: int, fn):
+        attempts = 0
+        while True:
+            try:
+                return fn(index, self.workers[index])
+            except WorkerUnavailableError:
+                attempts += 1
+                if attempts > MAX_WORKER_RETRIES or not self.revive_worker(index):
+                    raise
+
     def materialize(self, worker_index: int, dataset_id: str) -> list[Table]:
         """The worker's shards, replaying redo-log lineage when evicted.
 
-        Replay walks the lineage from the load op forward, re-applying maps
-        (§5.7: "the recursion ends when data is read from disk").
+        Only meaningful for in-process workers — a remote worker's shards
+        live in another process and cannot be handed out as objects.
         """
         worker = self.workers[worker_index]
-        try:
-            return worker.fetch(dataset_id)
-        except DatasetMissingError:
-            pass
-        chain = self.redo_log.lineage(dataset_id)
-        shards: list[Table] | None = None
-        for op in chain:
-            if isinstance(op, LoadOp):
-                try:
-                    shards = worker.fetch(op.dataset_id)
-                    continue
-                except DatasetMissingError:
-                    shards = self._assigned(op.source.load(), worker_index)
-            elif isinstance(op, MapOp):
-                assert shards is not None
-                try:
-                    shards = worker.fetch(op.dataset_id)
-                    continue
-                except DatasetMissingError:
-                    shards = [op.table_map.apply(shard) for shard in shards]
-            worker.put(op.dataset_id, shards)
-        assert shards is not None
-        return shards
+        if not isinstance(worker, Worker):
+            raise EngineError(
+                f"worker {worker.name} is remote; its shards cannot be "
+                "materialized in the root process"
+            )
+        return worker.shards(dataset_id, self.lineage(dataset_id))
 
     # ------------------------------------------------------------------
-    # Fault injection
+    # Fault injection and recovery
     # ------------------------------------------------------------------
     def kill_worker(self, index: int) -> None:
         """Crash-restart one worker: all its soft state is lost."""
         self.workers[index].crash()
+
+    def revive_worker(self, index: int) -> bool:
+        """Bring a dead worker back; in-process workers never die."""
+        return False
 
     def evict_dataset(self, dataset_id: str, worker_index: int | None = None) -> None:
         """Evict a dataset's shards (memory pressure / TTL expiry)."""
@@ -197,11 +432,25 @@ class Cluster:
             else [self.workers[worker_index]]
         )
         for worker in targets:
-            worker.store.evict(dataset_id)
+            worker.evict(dataset_id)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release worker resources (no-op for in-process workers)."""
+        for worker in self.workers:
+            worker.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (
-            f"<Cluster workers={len(self.workers)} "
+            f"<{type(self).__name__} workers={len(self.workers)} "
             f"cores={self.workers[0].cores} log={len(self.redo_log)} ops>"
         )
 
@@ -213,23 +462,16 @@ class ClusterDataSet(IDataSet):
         self.cluster = cluster
         self.dataset_id = dataset_id
 
-    def _materialize_all(self) -> list[list[Table]]:
-        """Every worker's shards, materialized in parallel (one thread per
-        worker, mirroring the root's broadcast in :meth:`sketch_stream`)."""
-        cluster = self.cluster
-        workers = range(len(cluster.workers))
-        with concurrent.futures.ThreadPoolExecutor(len(cluster.workers)) as pool:
-            return list(
-                pool.map(lambda i: cluster.materialize(i, self.dataset_id), workers)
-            )
-
     @property
     def total_rows(self) -> int:
         cached = self.cluster.cached_row_count(self.dataset_id)
         if cached is not None:
             return cached
+        lineage = self.cluster.lineage(self.dataset_id)
         total = sum(
-            shard.num_rows for shards in self._materialize_all() for shard in shards
+            self.cluster._for_all_workers(
+                lambda i, w: w.shard_rows(self.dataset_id, lineage)
+            )
         )
         self.cluster.cache_row_count(self.dataset_id, total)
         return total
@@ -238,83 +480,80 @@ class ClusterDataSet(IDataSet):
     def schema(self):
         # Lazily walk workers in order: the schema needs only one shard,
         # so materializing every worker (replay included) would be waste.
+        lineage = self.cluster.lineage(self.dataset_id)
         for index in range(len(self.cluster.workers)):
-            shards = self.cluster.materialize(index, self.dataset_id)
-            if shards:
-                return shards[0].schema
+            schema = self.cluster._with_revival(
+                index, lambda i, w: w.shard_schema(self.dataset_id, lineage)
+            )
+            if schema is not None:
+                return schema
         raise EngineError(f"dataset {self.dataset_id!r} has no shards")
 
     def map(self, table_map: TableMap) -> "ClusterDataSet":
         new_id = self.cluster._new_dataset_id("ds")
         self.cluster.redo_log.record_map(new_id, self.dataset_id, table_map)
-        for index, worker in enumerate(self.cluster.workers):
-            shards = self.cluster.materialize(index, self.dataset_id)
-            worker.put(new_id, [table_map.apply(shard) for shard in shards])
+        # The new dataset's lineage ends with the map op just recorded, so
+        # "ensure" both applies the map and registers the result (§5.7).
+        lineage = self.cluster.lineage(new_id)
+        self.cluster._for_all_workers(lambda i, w: w.ensure(new_id, lineage))
         return ClusterDataSet(self.cluster, new_id)
 
     # ------------------------------------------------------------------
     # Sketch execution
     # ------------------------------------------------------------------
-    def _worker_loop(
+    def _worker_stream(
         self,
         worker_index: int,
         sketch: Sketch[R],
+        lineage: list,
         token: CancellationToken | None,
-        shards: list[Table],
         emissions: "queue.Queue[_Emission]",
     ) -> None:
-        """One worker's execution: leaf pool + aggregation cadence."""
-        worker = self.cluster.workers[worker_index]
-        interval = self.cluster.aggregation_interval
+        """Drive one worker's partial stream, reviving it if it dies.
 
-        def leaf(shard: Table) -> object | None:
-            # Cancellation removes queued micropartitions only (§5.3).
-            if token is not None and token.cancelled:
-                return None
-            worker.shards_summarized += 1
-            return sketch.summarize(shard)
-
-        accumulated = sketch.zero()
+        Because partials are cumulative, a retry after revival simply
+        *replaces* this worker's contribution at the root — no double
+        counting (§5.8).
+        """
+        cluster = self.cluster
         done = 0
-        pending_since_emit = 0
-        last_emit = time.monotonic()
         failure: BaseException | None = None
+        attempts = 0
         try:
-            with concurrent.futures.ThreadPoolExecutor(worker.cores) as pool:
-                futures = [pool.submit(leaf, shard) for shard in shards]
-                for future in concurrent.futures.as_completed(futures):
-                    try:
-                        summary = future.result()
-                    except Exception as exc:
-                        # A leaf failed (bad column, broken expression...):
-                        # drop this worker's remaining shards and surface
-                        # the failure at the root instead of dying silently.
-                        failure = exc
-                        for pending in futures:
-                            pending.cancel()
-                        break
-                    done += 1
-                    if summary is not None:
-                        accumulated = sketch.merge(accumulated, summary)
-                        pending_since_emit += 1
-                    now = time.monotonic()
-                    finished = done == len(shards)
-                    if pending_since_emit and (
-                        now - last_emit >= interval or finished
+            while True:
+                try:
+                    worker = cluster.workers[worker_index]
+                    for emission in worker.sketch_partials(
+                        self.dataset_id, sketch, lineage, token
                     ):
+                        done = emission.shards_done
                         emissions.put(
                             _Emission(
                                 worker_index,
-                                accumulated,
-                                done,
-                                accumulated.serialized_size()
-                                if hasattr(accumulated, "serialized_size")
-                                else 0,
+                                emission.summary,
+                                emission.shards_done,
+                                emission.bytes,
                             )
                         )
-                        pending_since_emit = 0
-                        last_emit = now
+                except WorkerUnavailableError as exc:
+                    attempts += 1
+                    cancelled = token is not None and token.cancelled
+                    if (
+                        not cancelled
+                        and attempts <= MAX_WORKER_RETRIES
+                        and cluster.revive_worker(worker_index)
+                    ):
+                        done = 0
+                        continue  # re-run against the revived worker
+                    failure = exc
+                except Exception as exc:  # noqa: BLE001 — surfaced at the root
+                    failure = exc
+                break
+        except BaseException as exc:  # noqa: BLE001 — sentinel must still post
+            failure = failure if failure is not None else exc
         finally:
+            # The done sentinel is unconditional: without it the root's
+            # merge loop would wait on this worker forever.
             emissions.put(_Emission(worker_index, None, done, 0, error=failure))
 
     def sketch_stream(
@@ -335,19 +574,19 @@ class ClusterDataSet(IDataSet):
 
         # Phase 1 (request broadcast + data materialization): every worker
         # resolves its shards, replaying the redo log if state was lost.
-        workers = range(len(cluster.workers))
-        with concurrent.futures.ThreadPoolExecutor(len(cluster.workers)) as pool:
-            shard_lists = list(
-                pool.map(lambda i: cluster.materialize(i, self.dataset_id), workers)
-            )
-        total_shards = sum(len(s) for s in shard_lists) or 1
+        lineage = cluster.lineage(self.dataset_id)
+        shard_counts = cluster._for_all_workers(
+            lambda i, w: w.ensure(self.dataset_id, lineage)
+        )
+        total_shards = sum(shard_counts) or 1
 
         # Phase 2: leaves summarize; aggregation nodes emit partials.
+        workers = range(len(cluster.workers))
         emissions: "queue.Queue[_Emission]" = queue.Queue()
         threads = [
             threading.Thread(
-                target=self._worker_loop,
-                args=(i, sketch, token, shard_lists[i], emissions),
+                target=self._worker_stream,
+                args=(i, sketch, lineage, token, emissions),
                 daemon=True,
             )
             for i in workers

@@ -1,0 +1,968 @@
+"""Out-of-process workers: the root/worker wire of the paper (§5.2, §5.8).
+
+Hillview's root node fans queries out to worker *processes* on separate
+servers.  This module is that deployment for the reproduction:
+
+* :class:`WorkerServer` — the worker daemon (``repro worker``): owns a
+  shard store and a leaf thread pool (a plain in-process
+  :class:`~repro.engine.cluster.Worker`) and speaks uvarint-framed JSON
+  request/reply envelopes over TCP, streaming cumulative sketch partials;
+* :class:`RemoteWorkerProxy` — the root's view of one worker process;
+  implements :class:`~repro.engine.cluster.WorkerProtocol`, so the generic
+  :class:`~repro.engine.cluster.Cluster` machinery (broadcast, 0.1 s
+  aggregation cadence, progressive merge, redo-log replay) runs unchanged
+  over a real network;
+* :class:`ProcessCluster` — a cluster whose workers are spawned
+  subprocesses (or pre-started daemons reached by address).  A worker that
+  dies — even SIGKILL mid-sketch — is respawned and its stream re-run;
+  lineage replay rebuilds its soft state and cumulative partials make the
+  retry invisible to the streaming client (§5.7–5.8).
+
+Everything on this wire is JSON: sketches travel as the same specs a
+browser submits, summaries travel as the same payloads the UI renders, and
+lineage travels as load/map descriptions — one codec for every hop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import queue
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Iterator
+
+from repro.core.framing import FrameError, read_frame_blocking, write_frame
+from repro.engine.cluster import (
+    Cluster,
+    Worker,
+    WorkerEmission,
+    WorkerProtocol,
+)
+from repro.engine.progress import CancellationToken
+from repro.engine.rpc import (
+    ProtocolError,
+    RpcReply,
+    RpcRequest,
+    lineage_from_json,
+    lineage_to_json,
+    sketch_from_json,
+    sketch_to_json,
+    source_from_json,
+    source_to_json,
+    summary_from_json,
+    summary_to_json,
+)
+from repro.errors import EngineError, HillviewError, WorkerUnavailableError
+from repro.storage.loader import DataSource
+from repro.table.schema import ColumnDescription, Schema
+
+#: Reply kinds that end one request's reply stream.
+_TERMINAL = frozenset({"ack", "complete", "cancelled", "error"})
+
+
+# ---------------------------------------------------------------------------
+# The worker daemon
+# ---------------------------------------------------------------------------
+class WorkerServer:
+    """One worker process: a shard store + leaf pool behind a socket.
+
+    Two attachment modes mirror real deployments:
+
+    * ``run_connect`` — dial the root that spawned us (``--connect``);
+    * ``run_listen`` — bind a port and wait for a root to dial in
+      (``--listen``), e.g. a fleet of daemons started by an init system.
+
+    The connection protocol is symmetric request/reply: after a ``hello``
+    info exchange the root sends :class:`~repro.engine.rpc.RpcRequest`
+    envelopes (``configure``, ``load``, ``ensure``, ``rows``, ``schema``,
+    ``sketch``, ``cancel``, ``evict``, ``crash``, ``ping``, ``stats``,
+    ``shutdown``) and the worker streams back replies, interleaved by
+    request id.  ``sketch`` yields one ``partial`` per aggregation-cadence
+    tick carrying the cumulative summary as a JSON payload.
+    """
+
+    def __init__(
+        self,
+        name: str | None = None,
+        cores: int = 4,
+        cache_entries: int = 64,
+        cache_ttl_seconds: float = 2 * 3600.0,
+    ):
+        # "slow" sketches (service load tests) must deserialize here too.
+        import repro.service.slow  # noqa: F401
+
+        self.worker = Worker(
+            name or f"worker-{os.getpid()}",
+            cores=cores,
+            cache_entries=cache_entries,
+            cache_ttl_seconds=cache_ttl_seconds,
+        )
+        self._tokens: dict[int, CancellationToken] = {}
+        #: Cancels that arrived before their sketch left the request pool's
+        #: queue (the token is only registered when execution starts).
+        self._cancelled_early: set[int] = set()
+        self._tokens_lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self.requests_served = 0
+
+    # -- attachment modes ----------------------------------------------
+    def run_connect(self, host: str, port: int, timeout: float = 10.0) -> None:
+        """Dial the root and serve it until it disconnects (spawn mode)."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        wfile = sock.makefile("wb")
+        write_frame(
+            wfile,
+            RpcRequest(0, "", "hello", self._info()).to_json().encode("utf-8"),
+        )
+        rfile = sock.makefile("rb")
+        frame = read_frame_blocking(rfile, error=FrameError)
+        if frame is None:
+            raise EngineError("root closed the connection during handshake")
+        RpcReply.from_json(frame.decode("utf-8"))  # the root's ack
+        self._serve(rfile, wfile)
+
+    def run_listen(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_bound=None,
+        once: bool = False,
+    ) -> None:
+        """Bind and serve roots as they dial in (daemon-fleet mode)."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(1)
+        if on_bound is not None:
+            on_bound(listener.getsockname()[:2])
+        try:
+            while not self._shutdown.is_set():
+                sock, _ = listener.accept()
+                sock.settimeout(None)
+                rfile = sock.makefile("rb")
+                wfile = sock.makefile("wb")
+                try:
+                    self._serve(rfile, wfile)
+                finally:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                if once:
+                    break
+        finally:
+            listener.close()
+
+    def _info(self) -> dict:
+        return {
+            "name": self.worker.name,
+            "pid": os.getpid(),
+            "cores": self.worker.cores,
+        }
+
+    # -- the request loop ----------------------------------------------
+    def _serve(self, rfile, wfile) -> None:
+        import concurrent.futures
+
+        with concurrent.futures.ThreadPoolExecutor(
+            max(4, self.worker.cores)
+        ) as pool:
+            try:
+                while not self._shutdown.is_set():
+                    frame = read_frame_blocking(rfile, error=FrameError)
+                    if frame is None:
+                        break
+                    try:
+                        request = RpcRequest.from_json(frame.decode("utf-8"))
+                    except (ProtocolError, UnicodeDecodeError) as exc:
+                        self._reply(
+                            wfile,
+                            RpcReply(-1, "error", error=str(exc), code="protocol"),
+                        )
+                        continue
+                    self.requests_served += 1
+                    if request.method == "hello":
+                        self._reply(
+                            wfile,
+                            RpcReply(request.request_id, "ack", payload=self._info()),
+                        )
+                    elif request.method == "cancel":
+                        # Handled inline so a cancel is never stuck behind
+                        # the sketch it is trying to stop.  A cancel may
+                        # outrun its sketch through the request pool: the
+                        # target id is remembered and honored when the
+                        # sketch registers its token (§5.3 must hold even
+                        # on a saturated worker).
+                        target = int(request.args.get("requestId", -1))
+                        with self._tokens_lock:
+                            token = self._tokens.get(target)
+                            if token is None:
+                                self._cancelled_early.add(target)
+                                if len(self._cancelled_early) > 1024:
+                                    self._cancelled_early.clear()
+                        if token is not None:
+                            token.cancel()
+                        self._reply(
+                            wfile,
+                            RpcReply(
+                                request.request_id,
+                                "ack",
+                                payload={"cancelled": True},
+                            ),
+                        )
+                    elif request.method == "shutdown":
+                        self._reply(wfile, RpcReply(request.request_id, "ack"))
+                        self._shutdown.set()
+                        break
+                    else:
+                        pool.submit(self._handle, request, wfile)
+            except (FrameError, ConnectionError, OSError):
+                pass  # root went away; fall through to cancel leftovers
+            finally:
+                with self._tokens_lock:
+                    for token in self._tokens.values():
+                        token.cancel()
+
+    def _reply(self, wfile, reply: RpcReply) -> None:
+        with self._write_lock:
+            write_frame(wfile, reply.to_json().encode("utf-8"))
+
+    def _handle(self, request: RpcRequest, wfile) -> None:
+        try:
+            for reply in self._dispatch(request):
+                self._reply(wfile, reply)
+        except (ConnectionError, OSError, ValueError):
+            # The root is gone mid-stream: stop producing for it.
+            with self._tokens_lock:
+                token = self._tokens.get(request.request_id)
+            if token is not None:
+                token.cancel()
+        except HillviewError as exc:
+            self._safe_error(wfile, request, str(exc), exc.code)
+        except Exception as exc:  # noqa: BLE001 — shield the worker loop
+            self._safe_error(
+                wfile, request, f"internal error: {type(exc).__name__}: {exc}",
+                "internal",
+            )
+
+    def _safe_error(self, wfile, request, message: str, code: str) -> None:
+        try:
+            self._reply(
+                wfile,
+                RpcReply(request.request_id, "error", error=message, code=code),
+            )
+        except (ConnectionError, OSError, ValueError):
+            pass
+
+    def _dispatch(self, request: RpcRequest) -> Iterator[RpcReply]:
+        method = request.method
+        args = request.args
+        worker = self.worker
+        if method == "configure":
+            worker.configure(
+                int(args["index"]),
+                int(args["count"]),
+                float(args.get("aggregationInterval", 0.1)),
+            )
+            yield RpcReply(request.request_id, "ack")
+        elif method == "load":
+            shards = worker.load_source(
+                str(args["dataset"]), source_from_json(args["source"])
+            )
+            yield RpcReply(
+                request.request_id, "ack", payload={"shards": shards}
+            )
+        elif method == "ensure":
+            shards = worker.ensure(
+                str(args["dataset"]), lineage_from_json(args["lineage"])
+            )
+            yield RpcReply(
+                request.request_id, "ack", payload={"shards": shards}
+            )
+        elif method == "rows":
+            rows = worker.shard_rows(
+                str(args["dataset"]), lineage_from_json(args["lineage"])
+            )
+            yield RpcReply(
+                request.request_id, "complete", payload={"rows": rows}
+            )
+        elif method == "schema":
+            schema = worker.shard_schema(
+                str(args["dataset"]), lineage_from_json(args["lineage"])
+            )
+            yield RpcReply(
+                request.request_id,
+                "complete",
+                payload={
+                    "columns": (
+                        None
+                        if schema is None
+                        else [d.to_json() for d in schema]
+                    )
+                },
+            )
+        elif method == "sketch":
+            yield from self._run_sketch(request)
+        elif method == "evict":
+            worker.evict(str(args["dataset"]))
+            yield RpcReply(request.request_id, "ack")
+        elif method == "crash":
+            worker.crash()
+            yield RpcReply(request.request_id, "ack")
+        elif method == "ping":
+            yield RpcReply(
+                request.request_id, "ack", payload={"pong": True}
+            )
+        elif method == "stats":
+            yield RpcReply(
+                request.request_id,
+                "complete",
+                payload={
+                    **self._info(),
+                    "shardsSummarized": worker.shards_summarized,
+                    "crashes": worker.crashes,
+                    "requestsServed": self.requests_served,
+                },
+            )
+        else:
+            raise ProtocolError(f"unknown worker method {method!r}")
+
+    def _run_sketch(self, request: RpcRequest) -> Iterator[RpcReply]:
+        args = request.args
+        sketch = sketch_from_json(args["sketch"])
+        lineage = lineage_from_json(args["lineage"])
+        token = CancellationToken()
+        with self._tokens_lock:
+            self._tokens[request.request_id] = token
+            if request.request_id in self._cancelled_early:
+                self._cancelled_early.discard(request.request_id)
+                token.cancel()
+        done = 0
+        try:
+            for emission in self.worker.sketch_partials(
+                str(args["dataset"]), sketch, lineage, token
+            ):
+                done = emission.shards_done
+                yield RpcReply(
+                    request.request_id,
+                    "partial",
+                    progress=0.0,
+                    payload={
+                        "summary": summary_to_json(emission.summary),
+                        "shardsDone": emission.shards_done,
+                        "bytes": emission.bytes,
+                    },
+                )
+            yield RpcReply(
+                request.request_id,
+                "complete",
+                payload={"shardsDone": done, "cancelled": token.cancelled},
+            )
+        finally:
+            with self._tokens_lock:
+                self._tokens.pop(request.request_id, None)
+
+
+# ---------------------------------------------------------------------------
+# Root side: channel + proxy
+# ---------------------------------------------------------------------------
+class _WorkerChannel:
+    """One framed connection to a worker, demultiplexed by request id."""
+
+    def __init__(self, sock: socket.socket, name: str):
+        self.name = name
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wfile = sock.makefile("wb")
+        self._ids = itertools.count(1)
+        self._pending: dict[int, "queue.Queue[RpcReply]"] = {}
+        self._lock = threading.Lock()
+        self.dead = threading.Event()
+        self._reader = threading.Thread(
+            target=self._reader_loop, name=f"{name}-reader", daemon=True
+        )
+        self._reader.start()
+
+    def submit(self, method: str, args: dict) -> tuple[int, "queue.Queue[RpcReply]"]:
+        request = RpcRequest(next(self._ids), "", method, args)
+        replies: "queue.Queue[RpcReply]" = queue.Queue()
+        with self._lock:
+            if self.dead.is_set():
+                raise WorkerUnavailableError(
+                    f"worker {self.name} connection is closed"
+                )
+            self._pending[request.request_id] = replies
+            try:
+                write_frame(
+                    self._wfile, request.to_json().encode("utf-8")
+                )
+            except (ConnectionError, OSError, ValueError) as exc:
+                self._pending.pop(request.request_id, None)
+                self.dead.set()
+                raise WorkerUnavailableError(
+                    f"worker {self.name} is unreachable: {exc}"
+                ) from exc
+        return request.request_id, replies
+
+    def call(self, method: str, args: dict, timeout: float = 60.0) -> RpcReply:
+        """One request, blocking for its terminal reply."""
+        _, replies = self.submit(method, args)
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerUnavailableError(
+                    f"worker {self.name} did not answer {method!r} "
+                    f"within {timeout:.0f}s"
+                )
+            try:
+                reply = replies.get(timeout=min(remaining, 0.5))
+            except queue.Empty:
+                continue
+            if reply.kind == "error":
+                if reply.code in ("connection", "worker_unavailable"):
+                    raise WorkerUnavailableError(
+                        f"worker {self.name}: {reply.error}"
+                    )
+                raise EngineError(f"worker {self.name}: [{reply.code}] {reply.error}")
+            if reply.kind in _TERMINAL:
+                return reply
+
+    def _reader_loop(self) -> None:
+        try:
+            while True:
+                frame = read_frame_blocking(self._rfile, error=FrameError)
+                if frame is None:
+                    break
+                reply = RpcReply.from_json(frame.decode("utf-8"))
+                with self._lock:
+                    replies = self._pending.get(reply.request_id)
+                    if replies is not None and reply.kind in _TERMINAL:
+                        del self._pending[reply.request_id]
+                if replies is not None:
+                    replies.put(reply)
+        except (FrameError, OSError, ValueError):
+            pass
+        finally:
+            self.dead.set()
+            with self._lock:
+                orphans = list(self._pending.items())
+                self._pending.clear()
+            for request_id, replies in orphans:
+                replies.put(
+                    RpcReply(
+                        request_id,
+                        "error",
+                        error=f"connection to worker {self.name} lost",
+                        code="connection",
+                    )
+                )
+
+    def close(self) -> None:
+        self.dead.set()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._reader.join(timeout=5.0)
+
+
+class RemoteWorkerProxy(WorkerProtocol):
+    """The root's handle on one worker process (drop-in for ``Worker``)."""
+
+    def __init__(
+        self,
+        name: str,
+        channel: _WorkerChannel,
+        cores: int,
+        process: "subprocess.Popen | None" = None,
+        address: tuple[str, int] | None = None,
+        request_timeout: float = 300.0,
+    ):
+        self.name = name
+        self.channel = channel
+        self.cores = cores
+        self.process = process
+        self.address = address
+        self.request_timeout = request_timeout
+        self.index = 0
+        self.count = 1
+        self.aggregation_interval = 0.1
+
+    @property
+    def alive(self) -> bool:
+        if self.channel.dead.is_set():
+            return False
+        if self.process is not None and self.process.poll() is not None:
+            return False
+        return True
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    # -- WorkerProtocol -------------------------------------------------
+    def configure(
+        self, index: int, count: int, aggregation_interval: float
+    ) -> None:
+        self.index = index
+        self.count = count
+        self.aggregation_interval = aggregation_interval
+        self.channel.call(
+            "configure",
+            {
+                "index": index,
+                "count": count,
+                "aggregationInterval": aggregation_interval,
+            },
+            timeout=self.request_timeout,
+        )
+
+    def load_source(self, dataset_id: str, source: DataSource) -> int:
+        reply = self.channel.call(
+            "load",
+            {"dataset": dataset_id, "source": source_to_json(source)},
+            timeout=self.request_timeout,
+        )
+        return int(reply.payload["shards"])
+
+    def ensure(self, dataset_id: str, lineage: list) -> int:
+        reply = self.channel.call(
+            "ensure",
+            {"dataset": dataset_id, "lineage": lineage_to_json(lineage)},
+            timeout=self.request_timeout,
+        )
+        return int(reply.payload["shards"])
+
+    def shard_rows(self, dataset_id: str, lineage: list) -> int:
+        reply = self.channel.call(
+            "rows",
+            {"dataset": dataset_id, "lineage": lineage_to_json(lineage)},
+            timeout=self.request_timeout,
+        )
+        return int(reply.payload["rows"])
+
+    def shard_schema(self, dataset_id: str, lineage: list) -> Schema | None:
+        reply = self.channel.call(
+            "schema",
+            {"dataset": dataset_id, "lineage": lineage_to_json(lineage)},
+            timeout=self.request_timeout,
+        )
+        columns = reply.payload["columns"]
+        if columns is None:
+            return None
+        return Schema(ColumnDescription.from_json(c) for c in columns)
+
+    def sketch_partials(
+        self,
+        dataset_id: str,
+        sketch,
+        lineage: list,
+        token: CancellationToken | None = None,
+    ) -> Iterator[WorkerEmission]:
+        request_id, replies = self.channel.submit(
+            "sketch",
+            {
+                "dataset": dataset_id,
+                "sketch": sketch_to_json(sketch),
+                "lineage": lineage_to_json(lineage),
+            },
+        )
+        cancel_sent = False
+        deadline = time.monotonic() + self.request_timeout
+        while True:
+            if token is not None and token.cancelled and not cancel_sent:
+                cancel_sent = True
+                try:
+                    self.channel.submit("cancel", {"requestId": request_id})
+                except WorkerUnavailableError:
+                    pass  # the dead-channel path below reports it
+            try:
+                reply = replies.get(timeout=0.05)
+            except queue.Empty:
+                if self.channel.dead.is_set():
+                    raise WorkerUnavailableError(
+                        f"worker {self.name} died mid-sketch"
+                    )
+                if time.monotonic() > deadline:
+                    raise WorkerUnavailableError(
+                        f"worker {self.name} stalled mid-sketch "
+                        f"(> {self.request_timeout:.0f}s)"
+                    )
+                continue
+            deadline = time.monotonic() + self.request_timeout
+            if reply.kind == "partial":
+                payload = reply.payload
+                yield WorkerEmission(
+                    summary_from_json(payload["summary"]),
+                    int(payload["shardsDone"]),
+                    int(payload["bytes"]),
+                )
+            elif reply.kind == "complete":
+                return
+            elif reply.kind == "error":
+                if reply.code in ("connection", "worker_unavailable"):
+                    raise WorkerUnavailableError(
+                        f"worker {self.name}: {reply.error}"
+                    )
+                raise EngineError(
+                    f"worker {self.name}: [{reply.code}] {reply.error}"
+                )
+            else:  # cancelled / ack — treat as stream end
+                return
+
+    def evict(self, dataset_id: str) -> None:
+        self.channel.call(
+            "evict", {"dataset": dataset_id}, timeout=self.request_timeout
+        )
+
+    def crash(self) -> None:
+        self.channel.call("crash", {}, timeout=self.request_timeout)
+
+    # -- liveness / lifecycle -------------------------------------------
+    def ping(self, timeout: float = 5.0) -> bool:
+        try:
+            reply = self.channel.call("ping", {}, timeout=timeout)
+            return bool(reply.payload.get("pong"))
+        except (WorkerUnavailableError, EngineError):
+            return False
+
+    def stats(self) -> dict:
+        return self.channel.call("stats", {}, timeout=self.request_timeout).payload
+
+    def kill_process(self, sig: int = signal.SIGKILL) -> None:
+        """Hard-kill the worker process (chaos testing)."""
+        if self.process is None:
+            raise EngineError(f"worker {self.name} was not spawned by us")
+        self.process.send_signal(sig)
+
+    def close(self) -> None:
+        if not self.channel.dead.is_set():
+            try:
+                self.channel.call("shutdown", {}, timeout=2.0)
+            except (WorkerUnavailableError, EngineError):
+                pass
+        self.channel.close()
+        if self.process is not None:
+            try:
+                self.process.terminate()
+                self.process.wait(timeout=5.0)
+            except (OSError, subprocess.TimeoutExpired):
+                try:
+                    self.process.kill()
+                    self.process.wait(timeout=5.0)
+                except (OSError, subprocess.TimeoutExpired):
+                    pass
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<RemoteWorkerProxy {self.name} cores={self.cores} {state}>"
+
+
+# ---------------------------------------------------------------------------
+# ProcessCluster
+# ---------------------------------------------------------------------------
+def _worker_command(
+    python: str, connect: tuple[str, int], name: str, cores: int
+) -> list[str]:
+    host, port = connect
+    return [
+        python,
+        "-m",
+        "repro.cli",
+        "worker",
+        "--connect",
+        f"{host}:{port}",
+        "--name",
+        name,
+        "--cores",
+        str(cores),
+    ]
+
+
+def _spawn_env() -> dict:
+    """The child's environment, with this package importable."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    return env
+
+
+class ProcessCluster(Cluster):
+    """A cluster whose workers are separate OS processes (§5.2).
+
+    Two construction modes:
+
+    * ``ProcessCluster(num_workers=4)`` — spawn ``repro worker``
+      subprocesses that dial back into the root; the default zero-config
+      path (``repro serve --spawn``).
+    * ``ProcessCluster(addresses=[(host, port), ...])`` — attach to
+      pre-started ``repro worker --listen`` daemons, one per server.
+
+    ``respawn=True`` (default, spawn mode) revives a worker that dies
+    mid-query: the subprocess is relaunched, reconfigured, and the sketch
+    stream re-run; redo-log lineage rebuilds its soft state (§5.8).
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        cores_per_worker: int = 2,
+        aggregation_interval: float = 0.1,
+        addresses: "list[tuple[str, int]] | None" = None,
+        python: str | None = None,
+        startup_timeout: float = 30.0,
+        request_timeout: float = 300.0,
+        respawn: bool = True,
+        cache_entries: int = 64,
+        cache_ttl_seconds: float = 2 * 3600.0,
+    ):
+        self._python = python or sys.executable
+        self._startup_timeout = startup_timeout
+        self._request_timeout = request_timeout
+        self._respawn = respawn
+        self._revive_lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._addresses = list(addresses) if addresses is not None else None
+        workers: list[RemoteWorkerProxy] = []
+        try:
+            if self._addresses is None:
+                self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                self._listener.bind(("127.0.0.1", 0))
+                self._listener.listen(max(num_workers, 4))
+                self._env = _spawn_env()
+                for i in range(num_workers):
+                    workers.append(self._spawn_worker(i, cores_per_worker))
+            else:
+                for host, port in self._addresses:
+                    workers.append(self._dial_worker(host, port))
+        except BaseException:
+            for proxy in workers:
+                proxy.close()
+            if self._listener is not None:
+                self._listener.close()
+            raise
+        super().__init__(
+            aggregation_interval=aggregation_interval,
+            cache_entries=cache_entries,
+            cache_ttl_seconds=cache_ttl_seconds,
+            workers=workers,
+        )
+
+    # -- attachment ------------------------------------------------------
+    def _spawn_worker(self, index: int, cores: int) -> RemoteWorkerProxy:
+        assert self._listener is not None
+        host, port = self._listener.getsockname()[:2]
+        name = f"worker-{index}"
+        process = subprocess.Popen(
+            _worker_command(self._python, (host, port), name, cores),
+            env=self._env,
+            stdout=subprocess.DEVNULL,
+        )
+        try:
+            self._listener.settimeout(self._startup_timeout)
+            while True:
+                sock, _ = self._listener.accept()
+                proxy = self._handshake(sock, process)
+                if proxy is not None:
+                    return proxy
+        except socket.timeout:
+            process.kill()
+            raise EngineError(
+                f"worker {name} did not attach within "
+                f"{self._startup_timeout:.0f}s"
+            ) from None
+        finally:
+            self._listener.settimeout(None)
+
+    def _handshake(
+        self, sock: socket.socket, process: "subprocess.Popen | None"
+    ) -> RemoteWorkerProxy | None:
+        """Read the worker's hello, ack it, wrap the socket in a channel."""
+        sock.settimeout(self._startup_timeout)
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
+        try:
+            frame = read_frame_blocking(rfile, error=FrameError)
+            if frame is None:
+                sock.close()
+                return None
+            hello = RpcRequest.from_json(frame.decode("utf-8"))
+            if hello.method != "hello":
+                sock.close()
+                return None
+            write_frame(
+                wfile, RpcReply(hello.request_id, "ack").to_json().encode("utf-8")
+            )
+        except (FrameError, ProtocolError, OSError, ValueError):
+            sock.close()
+            return None
+        sock.settimeout(None)
+        name = str(hello.args.get("name", "worker"))
+        cores = int(hello.args.get("cores", 1))
+        return RemoteWorkerProxy(
+            name,
+            _WorkerChannel(sock, name),
+            cores,
+            process=process,
+            request_timeout=self._request_timeout,
+        )
+
+    def _dial_worker(self, host: str, port: int) -> RemoteWorkerProxy:
+        sock = socket.create_connection(
+            (host, port), timeout=self._startup_timeout
+        )
+        sock.settimeout(None)
+        wfile = sock.makefile("wb")
+        rfile = sock.makefile("rb")
+        write_frame(wfile, RpcRequest(0, "", "hello", {}).to_json().encode("utf-8"))
+        frame = read_frame_blocking(rfile, error=FrameError)
+        if frame is None:
+            raise EngineError(f"worker at {host}:{port} closed during handshake")
+        ack = RpcReply.from_json(frame.decode("utf-8"))
+        payload = ack.payload if isinstance(ack.payload, dict) else {}
+        name = str(payload.get("name", f"{host}:{port}"))
+        cores = int(payload.get("cores", 1))
+        proxy = RemoteWorkerProxy(
+            name,
+            _WorkerChannel(sock, name),
+            cores,
+            address=(host, port),
+            request_timeout=self._request_timeout,
+        )
+        return proxy
+
+    # -- fault recovery (§5.8) ------------------------------------------
+    def revive_worker(self, index: int) -> bool:
+        """Respawn (or re-dial) a dead worker and reconfigure it."""
+        if not self._respawn:
+            return False
+        with self._revive_lock:
+            proxy = self.workers[index]
+            if not isinstance(proxy, RemoteWorkerProxy):
+                return False
+            if proxy.alive and proxy.ping():
+                return True  # another thread already revived it
+            proxy.close()
+            try:
+                if proxy.address is not None:
+                    replacement = self._retry_dial(proxy.address)
+                else:
+                    replacement = self._spawn_worker(index, proxy.cores)
+            except (EngineError, OSError):
+                return False
+            if replacement is None:
+                return False
+            try:
+                replacement.configure(
+                    index, len(self.workers), self.aggregation_interval
+                )
+            except (WorkerUnavailableError, EngineError):
+                # The replacement died during configuration; revive_worker
+                # must report failure, never raise (callers retry on True).
+                replacement.close()
+                return False
+            self.workers[index] = replacement
+            return True
+
+    def _retry_dial(
+        self, address: tuple[str, int], attempts: int = 10, delay: float = 0.3
+    ) -> RemoteWorkerProxy | None:
+        for _ in range(attempts):
+            try:
+                return self._dial_worker(*address)
+            except (OSError, EngineError):
+                time.sleep(delay)
+        return None
+
+    def kill_worker_process(self, index: int, sig: int = signal.SIGKILL) -> None:
+        """SIGKILL one worker process (chaos testing; §5.8 fault model)."""
+        proxy = self.workers[index]
+        if not isinstance(proxy, RemoteWorkerProxy):
+            raise EngineError("kill_worker_process needs a remote worker")
+        proxy.kill_process(sig)
+
+    def worker_pids(self) -> list[int | None]:
+        return [
+            w.pid if isinstance(w, RemoteWorkerProxy) else None
+            for w in self.workers
+        ]
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.close()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+
+# ---------------------------------------------------------------------------
+# CLI entry (``repro worker``)
+# ---------------------------------------------------------------------------
+def worker_main(argv: list[str]) -> int:
+    """`repro worker`: run one worker daemon."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli worker",
+        description="Run one Hillview worker process.",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="dial a root that spawned this worker",
+    )
+    mode.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="bind and wait for a root to dial in (daemon fleet)",
+    )
+    parser.add_argument("--name", help="worker name (defaults to worker-<pid>)")
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument(
+        "--cache-entries", type=int, default=64,
+        help="soft object store capacity (datasets per worker)",
+    )
+    args = parser.parse_args(argv)
+
+    server = WorkerServer(
+        name=args.name, cores=args.cores, cache_entries=args.cache_entries
+    )
+    try:
+        if args.connect:
+            host, _, port = args.connect.rpartition(":")
+            server.run_connect(host or "127.0.0.1", int(port))
+        else:
+            host, _, port = args.listen.rpartition(":")
+
+            def announce(address: tuple[str, int]) -> None:
+                print(
+                    json.dumps({"worker": server.worker.name, "port": address[1]}),
+                    flush=True,
+                )
+
+            server.run_listen(host or "127.0.0.1", int(port), on_bound=announce)
+    except KeyboardInterrupt:
+        # Ctrl-C on a foreground `repro serve --spawn` reaches the whole
+        # process group; workers exit quietly, like the root does.
+        pass
+    return 0

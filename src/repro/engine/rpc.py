@@ -121,6 +121,35 @@ class RpcRequest:
         )
 
 
+class _NoPayload:
+    """Sentinel distinguishing "no payload key" from an explicit null.
+
+    A ``complete`` envelope whose payload is legitimately ``None`` (a sketch
+    that streamed nothing) must not decode identically to an ``ack`` that
+    never had a payload; encoding via this sentinel keeps the two apart on
+    the wire.  Falsy, singleton, and survives copy/pickle as itself.
+    """
+
+    _instance: "_NoPayload | None" = None
+
+    def __new__(cls) -> "_NoPayload":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<no payload>"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (_NoPayload, ())
+
+
+NO_PAYLOAD = _NoPayload()
+
+
 @dataclass
 class RpcReply:
     """One server message: a partial/final payload, an ack, or an error.
@@ -132,12 +161,15 @@ class RpcReply:
     ``code`` is a short machine-readable tag qualifying error and
     cancellation envelopes (``protocol``, ``unknown_handle``, ``internal``,
     ``superseded``, ...) so clients dispatch without parsing messages.
+
+    ``payload`` defaults to :data:`NO_PAYLOAD` (the envelope carries no
+    payload key at all); pass ``None`` explicitly to send a null payload.
     """
 
     request_id: int
     kind: str
     progress: float = 1.0
-    payload: object | None = None
+    payload: object | None = NO_PAYLOAD
     error: str | None = None
     code: str | None = None
 
@@ -147,7 +179,7 @@ class RpcReply:
             "kind": self.kind,
             "progress": round(self.progress, 6),
         }
-        if self.payload is not None:
+        if self.payload is not NO_PAYLOAD:
             data["payload"] = self.payload
         if self.error is not None:
             data["error"] = self.error
@@ -162,7 +194,7 @@ class RpcReply:
             request_id=int(data["requestId"]),
             kind=str(data["kind"]),
             progress=float(data.get("progress", 1.0)),
-            payload=data.get("payload"),
+            payload=data["payload"] if "payload" in data else NO_PAYLOAD,
             error=data.get("error"),
             code=data.get("code"),
         )
@@ -580,7 +612,14 @@ def _frequency_payload(s: FrequencySummary) -> dict:
 
 
 def _hll_payload(s: HllSummary) -> dict:
-    return {"type": "distinct", "estimate": s.estimate()}
+    # The UI reads "estimate"; "registers" makes the payload lossless so a
+    # root can merge summaries received from worker processes.
+    return {
+        "type": "distinct",
+        "estimate": s.estimate(),
+        "registers": s.registers.tolist(),
+        "missing": s.missing,
+    }
 
 
 def _quantile_payload(s: QuantileSummary) -> dict:
@@ -595,6 +634,7 @@ def _quantile_payload(s: QuantileSummary) -> dict:
 def _find_payload(s: FindResult) -> dict:
     return {
         "type": "find",
+        "order": order_to_json(s.order),
         "firstMatch": (
             None
             if s.first_match is None
@@ -606,10 +646,15 @@ def _find_payload(s: FindResult) -> dict:
 
 
 def _bottom_k_payload(s: BottomKSummary) -> dict:
+    # "values"/"saturated" feed the UI; "k"/"entries"/"missing" make the
+    # payload lossless for root-side merging of worker partials.
     return {
         "type": "bottomK",
         "values": s.values_sorted(),
         "saturated": s.saturated,
+        "k": s.k,
+        "entries": [[hash_value, value] for hash_value, value in s.entries],
+        "missing": s.missing,
     }
 
 
@@ -658,3 +703,560 @@ def summary_to_json(summary: object) -> dict:
     raise ProtocolError(
         f"no JSON payload for summary type {type(summary).__name__}"
     )
+
+
+# ---------------------------------------------------------------------------
+# JSON -> summary: the inverse converters
+# ---------------------------------------------------------------------------
+# Worker processes ship cumulative partials to the root as the same JSON
+# payloads the UI consumes (one codec, two wires); the root must rebuild
+# real summary objects to keep merging them.  Every converter here is the
+# exact inverse of its _PAYLOADS counterpart: from_json(to_json(s)) encodes
+# bit-identically to s (fuzzed in tests/test_rpc_properties.py).
+
+
+def _counts_array(data: list, dtype=np.int64) -> np.ndarray:
+    return np.asarray(data, dtype=dtype)
+
+
+def _histogram_from_json(d: dict) -> HistogramSummary:
+    return HistogramSummary(
+        counts=_counts_array(d["counts"]),
+        missing=int(d["missing"]),
+        out_of_range=int(d["outOfRange"]),
+        sampled_rows=int(d["sampledRows"]),
+    )
+
+
+def _heatmap_from_json(d: dict) -> HeatmapSummary:
+    return HeatmapSummary(
+        counts=_counts_array(d["counts"]),
+        x_missing=int(d["xMissing"]),
+        y_missing=int(d["yMissing"]),
+        out_of_range=int(d["outOfRange"]),
+        sampled_rows=int(d["sampledRows"]),
+    )
+
+
+def _stacked_from_json(d: dict) -> StackedHistogramSummary:
+    return StackedHistogramSummary(
+        bar_counts=_counts_array(d["barCounts"]),
+        cell_counts=_counts_array(d["cellCounts"]),
+        y_missing=_counts_array(d["yMissing"]),
+        missing=int(d["missing"]),
+        out_of_range=int(d["outOfRange"]),
+        sampled_rows=int(d["sampledRows"]),
+    )
+
+
+def _trellis_from_json(d: dict) -> TrellisSummary:
+    return TrellisSummary(
+        panes=[_heatmap_from_json(p) for p in d["panes"]],
+        group_missing=int(d["groupMissing"]),
+        group_out_of_range=int(d["groupOutOfRange"]),
+        sampled_rows=int(d["sampledRows"]),
+    )
+
+
+def _trellis_histogram_from_json(d: dict) -> TrellisHistogramSummary:
+    return TrellisHistogramSummary(
+        panes=[_histogram_from_json(p) for p in d["panes"]],
+        group_missing=int(d["groupMissing"]),
+        group_out_of_range=int(d["groupOutOfRange"]),
+        sampled_rows=int(d["sampledRows"]),
+    )
+
+
+def _stats_from_json(d: dict) -> ColumnStats:
+    return ColumnStats(
+        present_count=int(d["presentCount"]),
+        missing_count=int(d["missingCount"]),
+        min_value=cell_from_json(d["min"]),
+        max_value=cell_from_json(d["max"]),
+        power_sums=[float(s) for s in d["powerSums"]],
+    )
+
+
+def _next_k_from_json(d: dict) -> NextKList:
+    return NextKList(
+        order=order_from_json(d["order"]),
+        rows=[tuple(cell_from_json(v) for v in values) for values in d["rows"]],
+        counts=[int(c) for c in d["counts"]],
+        preceding=int(d["preceding"]),
+        scanned=int(d["scanned"]),
+    )
+
+
+def _frequency_from_json(d: dict) -> FrequencySummary:
+    return FrequencySummary(
+        counts={
+            cell_from_json(value): int(count) for value, count in d["counts"]
+        },
+        error_bound=int(d["errorBound"]),
+        scanned=int(d["scanned"]),
+    )
+
+
+def _hll_from_json(d: dict) -> HllSummary:
+    return HllSummary(
+        registers=_counts_array(d["registers"], dtype=np.uint8),
+        missing=int(d["missing"]),
+    )
+
+
+def _quantile_from_json(d: dict) -> QuantileSummary:
+    return QuantileSummary(
+        order=order_from_json(d["order"]),
+        samples=[
+            tuple(cell_from_json(v) for v in values) for values in d["samples"]
+        ],
+        scanned=int(d["scanned"]),
+    )
+
+
+def _find_from_json(d: dict) -> FindResult:
+    first = d["firstMatch"]
+    return FindResult(
+        order=order_from_json(d["order"]),
+        first_match=(
+            None if first is None else tuple(cell_from_json(v) for v in first)
+        ),
+        matches_before=int(d["matchesBefore"]),
+        matches_after=int(d["matchesAfter"]),
+    )
+
+
+def _bottom_k_from_json(d: dict) -> BottomKSummary:
+    return BottomKSummary(
+        k=int(d["k"]),
+        entries=[(int(h), str(v)) for h, v in d["entries"]],
+        missing=int(d["missing"]),
+    )
+
+
+def _correlation_from_json(d: dict) -> CorrelationSummary:
+    return CorrelationSummary(
+        columns=[str(c) for c in d["columns"]],
+        count=int(d["count"]),
+        sums=_counts_array(d["sums"], dtype=np.float64),
+        products=_counts_array(d["products"], dtype=np.float64),
+    )
+
+
+def _save_from_json(d: dict) -> SaveStatus:
+    return SaveStatus(
+        files=[str(f) for f in d["files"]],
+        rows_written=int(d["rowsWritten"]),
+        errors=[str(e) for e in d["errors"]],
+    )
+
+
+#: Payload "type" tag -> parser; the inverse of :data:`_PAYLOADS`.
+SUMMARY_PARSERS: dict[str, Callable[[dict], object]] = {
+    "histogram": _histogram_from_json,
+    "heatmap": _heatmap_from_json,
+    "stacked": _stacked_from_json,
+    "trellisHeatmap": _trellis_from_json,
+    "trellisHistogram": _trellis_histogram_from_json,
+    "columnStats": _stats_from_json,
+    "nextK": _next_k_from_json,
+    "frequencies": _frequency_from_json,
+    "distinct": _hll_from_json,
+    "quantile": _quantile_from_json,
+    "find": _find_from_json,
+    "bottomK": _bottom_k_from_json,
+    "correlation": _correlation_from_json,
+    "saveStatus": _save_from_json,
+}
+
+
+def summary_from_json(data: dict) -> object:
+    """Rebuild a summary object from its JSON payload."""
+    kind = data.get("type")
+    parser = SUMMARY_PARSERS.get(str(kind))
+    if parser is None:
+        raise ProtocolError(f"unknown summary payload type {kind!r}")
+    try:
+        return parser(data)
+    except KeyError as exc:
+        raise ProtocolError(
+            f"summary payload {kind!r} missing field {exc}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Sketch -> JSON spec: the inverse of SKETCH_BUILDERS
+# ---------------------------------------------------------------------------
+def _start_to_json(sketch) -> dict:
+    if sketch.start_key is None:
+        return {}
+    return {"start": [cell_to_json(v) for v in sketch.start_key.values()]}
+
+
+def _group2_to_json(sketch) -> dict:
+    if sketch.group2_column is None:
+        return {}
+    return {
+        "group2Column": sketch.group2_column,
+        "group2Buckets": buckets_to_json(sketch.group2_buckets),
+    }
+
+
+def _encode_histogram(s: HistogramSketch) -> dict:
+    return {
+        "type": "histogram",
+        "column": s.column,
+        "buckets": buckets_to_json(s.buckets),
+        "rate": s.rate,
+        "seed": s.seed,
+    }
+
+
+def _encode_cdf(s: CdfSketch) -> dict:
+    return {**_encode_histogram(s), "type": "cdf"}
+
+
+def _encode_heatmap(s: HeatmapSketch) -> dict:
+    return {
+        "type": "heatmap",
+        "xColumn": s.x_column,
+        "xBuckets": buckets_to_json(s.x_buckets),
+        "yColumn": s.y_column,
+        "yBuckets": buckets_to_json(s.y_buckets),
+        "rate": s.rate,
+        "seed": s.seed,
+    }
+
+
+def _encode_stacked(s: StackedHistogramSketch) -> dict:
+    return {
+        "type": "stacked",
+        "xColumn": s.x_column,
+        "xBuckets": buckets_to_json(s.x_buckets),
+        "yColumn": s.y_column,
+        "yBuckets": buckets_to_json(s.y_buckets),
+        "rate": s.rate,
+        "seed": s.seed,
+    }
+
+
+def _encode_trellis_heatmap(s: TrellisHeatmapSketch) -> dict:
+    return {
+        "type": "trellisHeatmap",
+        "groupColumn": s.group_column,
+        "groupBuckets": buckets_to_json(s.group_buckets),
+        "xColumn": s.x_column,
+        "xBuckets": buckets_to_json(s.x_buckets),
+        "yColumn": s.y_column,
+        "yBuckets": buckets_to_json(s.y_buckets),
+        "rate": s.rate,
+        "seed": s.seed,
+        **_group2_to_json(s),
+    }
+
+
+def _encode_trellis_histogram(s: TrellisHistogramSketch) -> dict:
+    return {
+        "type": "trellisHistogram",
+        "groupColumn": s.group_column,
+        "groupBuckets": buckets_to_json(s.group_buckets),
+        "xColumn": s.x_column,
+        "xBuckets": buckets_to_json(s.x_buckets),
+        "rate": s.rate,
+        "seed": s.seed,
+        **_group2_to_json(s),
+    }
+
+
+def _encode_moments(s: MomentsSketch) -> dict:
+    return {"type": "moments", "column": s.column, "moments": s.moments}
+
+
+def _encode_distinct(s: HyperLogLogSketch) -> dict:
+    return {
+        "type": "distinct",
+        "column": s.column,
+        "precision": s.precision,
+        "seed": s.seed,
+    }
+
+
+def _encode_misra_gries(s: MisraGriesSketch) -> dict:
+    return {
+        "type": "heavyHitters",
+        "method": "streaming",
+        "column": s.column,
+        "k": s.k,
+    }
+
+
+def _encode_sample_heavy_hitters(s: SampleHeavyHittersSketch) -> dict:
+    return {
+        "type": "heavyHitters",
+        "method": "sampling",
+        "column": s.column,
+        "k": s.k,
+        "rate": s.rate,
+        "seed": s.seed,
+    }
+
+
+def _encode_next_k(s: NextKSketch) -> dict:
+    return {
+        "type": "nextK",
+        "order": order_to_json(s.order),
+        "k": s.k,
+        "inclusive": s.inclusive,
+        **_start_to_json(s),
+    }
+
+
+def _encode_quantile(s: SampleQuantileSketch) -> dict:
+    return {
+        "type": "quantile",
+        "order": order_to_json(s.order),
+        "rate": s.rate,
+        "seed": s.seed,
+    }
+
+
+def _encode_find(s: FindTextSketch) -> dict:
+    return {
+        "type": "find",
+        "order": order_to_json(s.order),
+        "match": predicate_to_json(s.predicate),
+        **_start_to_json(s),
+    }
+
+
+def _encode_bottom_k(s: BottomKDistinctSketch) -> dict:
+    return {"type": "bottomK", "column": s.column, "k": s.k, "seed": s.seed}
+
+
+def _encode_correlation(s: CorrelationSketch) -> dict:
+    return {
+        "type": "correlation",
+        "columns": list(s.columns),
+        "rate": s.rate,
+        "seed": s.seed,
+    }
+
+
+def _encode_save(s: SaveTableSketch) -> dict:
+    return {"type": "save", "directory": s.directory, "format": s.format}
+
+
+#: Sketch class -> JSON spec encoder, checked in order (subclasses first:
+#: CdfSketch extends HistogramSketch).  Extensible: service-level sketch
+#: types (e.g. "slow") append their own entries at import time, mirroring
+#: how they register in SKETCH_BUILDERS.
+SKETCH_ENCODERS: list[tuple[type, Callable[[Sketch], dict]]] = [
+    (CdfSketch, _encode_cdf),
+    (HistogramSketch, _encode_histogram),
+    (HeatmapSketch, _encode_heatmap),
+    (StackedHistogramSketch, _encode_stacked),
+    (TrellisHeatmapSketch, _encode_trellis_heatmap),
+    (TrellisHistogramSketch, _encode_trellis_histogram),
+    (MomentsSketch, _encode_moments),
+    (HyperLogLogSketch, _encode_distinct),
+    (MisraGriesSketch, _encode_misra_gries),
+    (SampleHeavyHittersSketch, _encode_sample_heavy_hitters),
+    (NextKSketch, _encode_next_k),
+    (SampleQuantileSketch, _encode_quantile),
+    (FindTextSketch, _encode_find),
+    (BottomKDistinctSketch, _encode_bottom_k),
+    (CorrelationSketch, _encode_correlation),
+    (SaveTableSketch, _encode_save),
+]
+
+
+def sketch_to_json(sketch: Sketch) -> dict:
+    """Encode a sketch as the JSON spec :func:`sketch_from_json` accepts.
+
+    The root uses this to broadcast queries to worker processes: any sketch
+    the engine can run locally travels the wire as the same spec a browser
+    would submit.
+    """
+    for cls, encoder in SKETCH_ENCODERS:
+        if type(sketch) is cls:
+            return encoder(sketch)
+    # Fall back to subclass matching for sketch types registered by other
+    # modules (exact-type pass first so e.g. Cdf does not match Histogram).
+    for cls, encoder in SKETCH_ENCODERS:
+        if isinstance(sketch, cls):
+            return encoder(sketch)
+    raise ProtocolError(
+        f"cannot encode sketch of type {type(sketch).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table maps and data sources: the lineage codecs (§5.7 over a real wire)
+# ---------------------------------------------------------------------------
+def table_map_to_json(table_map) -> dict:
+    """Encode a declarative table map for replay on a remote worker."""
+    from repro.engine.dataset import ExpressionMap, FilterMap, ProjectMap
+
+    if isinstance(table_map, FilterMap):
+        return {"type": "filter", "predicate": predicate_to_json(table_map.predicate)}
+    if isinstance(table_map, ProjectMap):
+        return {"type": "project", "columns": list(table_map.columns)}
+    if isinstance(table_map, ExpressionMap):
+        return {
+            "type": "expression",
+            "name": table_map.name,
+            "expression": table_map.expression,
+        }
+    raise ProtocolError(
+        f"table map {type(table_map).__name__} carries a Python callable and "
+        "cannot cross a process boundary; use an expression map instead"
+    )
+
+
+def table_map_from_json(data: dict):
+    """Inverse of :func:`table_map_to_json`."""
+    from repro.engine.dataset import ExpressionMap, FilterMap, ProjectMap
+
+    kind = data.get("type")
+    if kind == "filter":
+        return FilterMap(predicate_from_json(data["predicate"]))
+    if kind == "project":
+        return ProjectMap([str(c) for c in data["columns"]])
+    if kind == "expression":
+        return ExpressionMap(str(data["name"]), str(data["expression"]))
+    raise ProtocolError(f"unknown table map type {kind!r}")
+
+
+def source_to_json(source) -> dict:
+    """Encode a data source so a worker process can (re)load it itself.
+
+    Only *reloadable-by-description* sources can cross a process boundary;
+    an in-memory :class:`~repro.storage.loader.TableSource` cannot, which is
+    exactly the paper's constraint that lineage must bottom out at a load
+    from the storage layer (§5.7).
+    """
+    from repro.data.flights import FlightsSource
+    from repro.storage.loader import (
+        ColumnarDatasetSource,
+        CsvSource,
+        JsonlSource,
+        SqlSource,
+        SyslogSource,
+    )
+
+    if isinstance(source, FlightsSource):
+        return {
+            "kind": "flights",
+            "rows": source.total_rows,
+            "partitions": source.partitions,
+            "seed": source.seed,
+            "extraColumns": source.extra_columns,
+        }
+    if isinstance(source, CsvSource):
+        return {"kind": "csv", "pattern": source.pattern}
+    if isinstance(source, JsonlSource):
+        return {"kind": "jsonl", "pattern": source.pattern}
+    if isinstance(source, SyslogSource):
+        return {"kind": "syslog", "pattern": source.pattern}
+    if isinstance(source, SqlSource):
+        return {
+            "kind": "sql",
+            "path": source.db_path,
+            "table": source.table,
+            "partitions": source.partitions,
+        }
+    if isinstance(source, ColumnarDatasetSource):
+        return {"kind": "hvc", "directory": source.directory}
+    raise ProtocolError(
+        f"data source {type(source).__name__} is not reloadable by "
+        "description and cannot cross a process boundary (§5.7: lineage "
+        "must end at a load from the storage layer)"
+    )
+
+
+def source_from_json(data: dict):
+    """Inverse of :func:`source_to_json`."""
+    from repro.data.flights import FlightsSource
+    from repro.storage.loader import (
+        ColumnarDatasetSource,
+        CsvSource,
+        JsonlSource,
+        SqlSource,
+        SyslogSource,
+    )
+
+    kind = data.get("kind")
+    if kind == "flights":
+        return FlightsSource(
+            int(data["rows"]),
+            partitions=int(data.get("partitions", 8)),
+            seed=int(data.get("seed", 0)),
+            extra_columns=int(data.get("extraColumns", 0)),
+        )
+    if kind == "csv":
+        return CsvSource(str(data["pattern"]))
+    if kind == "jsonl":
+        return JsonlSource(str(data["pattern"]))
+    if kind == "syslog":
+        return SyslogSource(str(data["pattern"]))
+    if kind == "sql":
+        return SqlSource(
+            str(data["path"]),
+            str(data["table"]),
+            partitions=int(data.get("partitions", 1)),
+        )
+    if kind == "hvc":
+        return ColumnarDatasetSource(str(data["directory"]))
+    raise ProtocolError(f"unknown source kind {kind!r}")
+
+
+def lineage_to_json(chain: list) -> list[dict]:
+    """Encode a redo-log lineage chain (LoadOp, MapOp...) for a worker."""
+    from repro.engine.redo_log import LoadOp, MapOp
+
+    encoded = []
+    for op in chain:
+        if isinstance(op, LoadOp):
+            encoded.append(
+                {
+                    "op": "load",
+                    "dataset": op.dataset_id,
+                    "source": source_to_json(op.source),
+                }
+            )
+        elif isinstance(op, MapOp):
+            encoded.append(
+                {
+                    "op": "map",
+                    "dataset": op.dataset_id,
+                    "parent": op.parent_id,
+                    "map": table_map_to_json(op.table_map),
+                }
+            )
+        else:
+            raise ProtocolError(f"cannot encode lineage op {op!r}")
+    return encoded
+
+
+def lineage_from_json(data: list) -> list:
+    """Inverse of :func:`lineage_to_json`: LoadOp/MapOp values for replay."""
+    from repro.engine.redo_log import LoadOp, MapOp
+
+    chain = []
+    for item in data:
+        op = item.get("op")
+        if op == "load":
+            chain.append(
+                LoadOp(str(item["dataset"]), source_from_json(item["source"]))
+            )
+        elif op == "map":
+            chain.append(
+                MapOp(
+                    str(item["dataset"]),
+                    str(item["parent"]),
+                    table_map_from_json(item["map"]),
+                )
+            )
+        else:
+            raise ProtocolError(f"unknown lineage op {op!r}")
+    return chain

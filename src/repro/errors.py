@@ -73,5 +73,16 @@ class CancelledError(EngineError):
     code = "cancelled"
 
 
+class WorkerUnavailableError(EngineError):
+    """A worker process died or its connection broke mid-request.
+
+    The root treats this like any other soft-state loss (§5.8): respawn or
+    reconnect the worker, replay lineage, and re-run the sketch — cumulative
+    partials make the retry transparent to the streaming client.
+    """
+
+    code = "worker_unavailable"
+
+
 class QueryError(HillviewError):
     """A baseline database query was malformed."""

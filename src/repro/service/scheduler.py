@@ -279,13 +279,34 @@ class FairShareScheduler:
             return sum(len(q) for q in self._queues.values())
 
     def forget_session(self, session_id: str) -> None:
-        """Drop a closed session's queue (its tokens are already cancelled)."""
+        """Drop a closed session's queue, finalizing the queries still in it.
+
+        Tasks that were admitted but never ran must not dangle: each gets
+        its token cancelled, a terminal ``cancelled`` envelope (best
+        effort — the connection is usually gone too), and its ``done``
+        event set so anything awaiting the task wakes up.
+        """
         with self._cond:
-            self._queues.pop(session_id, None)
+            dropped = list(self._queues.pop(session_id, ()))
             try:
                 self._order.remove(session_id)
             except ValueError:
                 pass
+            self.metrics.cancelled += len(dropped)
+        for task in dropped:
+            task.token.cancel()
+            task.state = DONE
+            task.session.metrics.cancelled += 1
+            self._safe_sink(
+                task,
+                RpcReply(
+                    task.request.request_id,
+                    "cancelled",
+                    code="session_closed",
+                ),
+            )
+            task.session.finish_task(task)
+            task.done.set()
 
     def shutdown(self, timeout: float = 5.0) -> None:
         """Cancel everything queued and stop the worker threads."""

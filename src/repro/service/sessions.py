@@ -40,7 +40,11 @@ def source_from_json(
 
     ``{}`` or ``{"kind": "default"}`` selects the server's configured
     default dataset; ``{"kind": "flights", ...}`` generates synthetic
-    flights; ``{"kind": "path", ...}`` opens a file by extension.
+    flights; ``{"kind": "path", ...}`` opens a file by extension.  Every
+    engine-level source kind (``csv``, ``jsonl``, ``syslog``, ``sql``,
+    ``hvc``) also works, via the same codec the root uses to describe
+    sources to worker processes — what a client loads is exactly what a
+    worker can replay (§5.7).
     """
     kind = spec.get("kind", "default")
     if kind == "default":
@@ -61,7 +65,9 @@ def source_from_json(
         return source_for_path(
             str(spec["path"]), sql_table=spec.get("sqlTable")
         )
-    raise ProtocolError(f"unknown source kind {kind!r}")
+    from repro.engine.rpc import source_from_json as engine_source_from_json
+
+    return engine_source_from_json(spec)
 
 
 @dataclass

@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 
 from repro.core.sketch import Sketch
-from repro.engine.rpc import SKETCH_BUILDERS, sketch_from_json
+from repro.engine.rpc import SKETCH_BUILDERS, SKETCH_ENCODERS, sketch_from_json
 
 
 class SlowdownSketch(Sketch):
@@ -64,4 +64,16 @@ def _build_slow(args: dict) -> Sketch:
     )
 
 
+def _encode_slow(sketch: SlowdownSketch) -> dict:
+    from repro.engine.rpc import sketch_to_json
+
+    return {
+        "type": "slow",
+        "perShardSeconds": sketch.per_shard_seconds,
+        "inner": sketch_to_json(sketch.inner),
+    }
+
+
 SKETCH_BUILDERS.setdefault("slow", _build_slow)
+if not any(cls is SlowdownSketch for cls, _ in SKETCH_ENCODERS):
+    SKETCH_ENCODERS.append((SlowdownSketch, _encode_slow))

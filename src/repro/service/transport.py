@@ -24,13 +24,19 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import functools
 import itertools
 import queue as queue_mod
 import socket
 import threading
 from typing import BinaryIO, Callable, Iterator
 
-from repro.core.serialization import Encoder
+from repro.core.framing import (
+    MAX_FRAME_BYTES,  # noqa: F401 — re-exported; part of the public API
+    encode_frame,
+)
+from repro.core.framing import read_frame as _read_frame
+from repro.core.framing import read_frame_blocking as _read_frame_blocking
 from repro.engine.cluster import Cluster
 from repro.engine.rpc import ProtocolError, RpcReply, RpcRequest
 from repro.errors import EngineError, HillviewError
@@ -38,10 +44,6 @@ from repro.service import slow  # noqa: F401 — registers the "slow" sketch typ
 from repro.service.scheduler import FairShareScheduler
 from repro.service.sessions import Session, SessionManager
 from repro.storage.loader import DataSource
-
-#: Frames larger than this are a protocol violation (a reply payload is
-#: resolution-bounded, §4.2; requests are tiny).
-MAX_FRAME_BYTES = 32 * 1024 * 1024
 
 #: Reply kinds that terminate one request's reply stream.
 TERMINAL_KINDS = frozenset({"ack", "complete", "cancelled", "error"})
@@ -53,64 +55,15 @@ class ServiceError(HillviewError):
     code = "connection"
 
 
-# ---------------------------------------------------------------------------
-# Framing: uvarint length prefix + payload, shared by both directions
-# ---------------------------------------------------------------------------
-def encode_frame(payload: bytes) -> bytes:
-    """One wire frame: uvarint length prefix + payload bytes."""
-    enc = Encoder()
-    enc.write_bytes(payload)
-    return enc.to_bytes()
-
-
-async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
-    """Read one frame; None on clean EOF at a frame boundary."""
-    length = 0
-    shift = 0
-    while True:
-        try:
-            byte = (await reader.readexactly(1))[0]
-        except asyncio.IncompleteReadError:
-            if shift == 0:
-                return None  # clean close between frames
-            raise ProtocolError("connection closed inside a frame header")
-        length |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            break
-        shift += 7
-        if shift > 70:
-            raise ProtocolError("frame header uvarint too long")
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame of {length} bytes exceeds the maximum")
-    try:
-        return await reader.readexactly(length)
-    except asyncio.IncompleteReadError:
-        raise ProtocolError("connection closed inside a frame body")
+# Framing lives in repro.core.framing (it is shared with the root<->worker
+# wire); these bindings keep this module's historical API, with each side's
+# own error vocabulary.
+read_frame = functools.partial(_read_frame, error=ProtocolError)
 
 
 def read_frame_blocking(stream: BinaryIO) -> bytes | None:
     """Blocking twin of :func:`read_frame` for the synchronous client."""
-    length = 0
-    shift = 0
-    while True:
-        chunk = stream.read(1)
-        if not chunk:
-            if shift == 0:
-                return None
-            raise ServiceError("connection closed inside a frame header")
-        byte = chunk[0]
-        length |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            break
-        shift += 7
-        if shift > 70:
-            raise ServiceError("frame header uvarint too long")
-    if length > MAX_FRAME_BYTES:
-        raise ServiceError(f"frame of {length} bytes exceeds the maximum")
-    payload = stream.read(length)
-    if len(payload) != length:
-        raise ServiceError("connection closed inside a frame body")
-    return payload
+    return _read_frame_blocking(stream, error=ServiceError)
 
 
 # ---------------------------------------------------------------------------

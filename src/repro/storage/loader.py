@@ -29,6 +29,24 @@ class DataSource(ABC):
     def spec(self) -> str:
         """Stable description used in redo logs and cache keys."""
 
+    def load_slice(self, index: int, count: int) -> list[Table]:
+        """One worker's round-robin share: ``load()[index::count]``.
+
+        The default (:meth:`_load_slice`) loads everything and discards
+        the rest; sources whose partitions are individually addressable
+        override the hook so each worker process fetches only its own
+        share — the load (and every §5.7 lineage replay) then costs 1/N
+        per worker instead of N full loads across the fleet.  Overrides
+        must return exactly the default's slice: the root's shard
+        placement and a worker's self-computed slice have to agree.
+        """
+        if count < 1 or not 0 <= index < count:
+            raise ValueError(f"invalid slice {index}/{count}")
+        return self._load_slice(index, count)
+
+    def _load_slice(self, index: int, count: int) -> list[Table]:
+        return self.load()[index::count]
+
     def __repr__(self) -> str:
         return self.spec()
 
@@ -80,6 +98,12 @@ class CsvSource(DataSource):
     def load(self) -> list[Table]:
         return [csv_io.read_csv(path, shard_id=os.path.basename(path)) for path in self._paths()]
 
+    def _load_slice(self, index: int, count: int) -> list[Table]:
+        return [
+            csv_io.read_csv(path, shard_id=os.path.basename(path))
+            for path in self._paths()[index::count]
+        ]
+
     def spec(self) -> str:
         return f"CsvSource({self.pattern!r})"
 
@@ -90,13 +114,22 @@ class JsonlSource(DataSource):
     def __init__(self, pattern: str):
         self.pattern = pattern
 
-    def load(self) -> list[Table]:
+    def _paths(self) -> list[str]:
         paths = sorted(glob.glob(self.pattern))
         if not paths:
             raise StorageError(f"no JSON-lines files match {self.pattern!r}")
+        return paths
+
+    def load(self) -> list[Table]:
         return [
             jsonl_io.read_jsonl(path, shard_id=os.path.basename(path))
-            for path in paths
+            for path in self._paths()
+        ]
+
+    def _load_slice(self, index: int, count: int) -> list[Table]:
+        return [
+            jsonl_io.read_jsonl(path, shard_id=os.path.basename(path))
+            for path in self._paths()[index::count]
         ]
 
     def spec(self) -> str:
@@ -109,13 +142,22 @@ class SyslogSource(DataSource):
     def __init__(self, pattern: str):
         self.pattern = pattern
 
-    def load(self) -> list[Table]:
+    def _paths(self) -> list[str]:
         paths = sorted(glob.glob(self.pattern))
         if not paths:
             raise StorageError(f"no log files match {self.pattern!r}")
+        return paths
+
+    def load(self) -> list[Table]:
         return [
             logs_io.read_syslog(path, shard_id=os.path.basename(path))
-            for path in paths
+            for path in self._paths()
+        ]
+
+    def _load_slice(self, index: int, count: int) -> list[Table]:
+        return [
+            logs_io.read_syslog(path, shard_id=os.path.basename(path))
+            for path in self._paths()[index::count]
         ]
 
     def spec(self) -> str:

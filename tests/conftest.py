@@ -5,6 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "tier2: distributed correctness tests that spawn worker processes "
+        "(also run by the scheduled CI chaos job)",
+    )
+
 from repro.data.flights import FlightsSource, generate_flights
 from repro.engine.cluster import Cluster
 from repro.storage.loader import TableSource

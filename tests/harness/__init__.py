@@ -1,0 +1,11 @@
+"""Chaos/property harness for the distributed engine (tier-2 tests).
+
+The harness spawns *real* worker processes behind a root, injects the
+paper's fault model (SIGKILL mid-sketch, soft-state loss), and asserts the
+root converges to the same final summary a single-process run computes on
+the same data (§5.7–5.8).
+"""
+
+from .chaos import ChaosOutcome, ChaosRunner
+
+__all__ = ["ChaosOutcome", "ChaosRunner"]

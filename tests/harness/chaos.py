@@ -1,0 +1,138 @@
+"""The chaos runner: SIGKILL real worker processes mid-sketch (§5.8).
+
+Hillview's correctness story is that *any* soft state can disappear at any
+time — a worker process dying mid-query included — and the streamed result
+is still exact, because lineage replays from the redo log and cumulative
+partials let the root simply replace a revived worker's contribution.
+This runner makes that claim executable:
+
+1. spawn a :class:`~repro.engine.remote.ProcessCluster` (real
+   subprocesses speaking the uvarint-framed JSON worker protocol);
+2. start a sketch, slowed per shard so the query is genuinely in flight;
+3. SIGKILL chosen workers after the first streamed partial;
+4. drain the stream to completion and compare the final summary
+   byte-for-byte against a single-process :class:`LocalDataSet` run over
+   the same data.
+"""
+
+from __future__ import annotations
+
+import signal
+from dataclasses import dataclass, field
+
+from repro.data.flights import FlightsSource
+from repro.engine.local import LocalDataSet
+from repro.engine.remote import ProcessCluster
+from repro.table.table import Table
+
+
+@dataclass
+class ChaosOutcome:
+    """What one chaos run produced, ready for assertions."""
+
+    final: object
+    reference: object
+    partials: int
+    killed_pids: list[int] = field(default_factory=list)
+    respawned: bool = False
+
+    @property
+    def converged(self) -> bool:
+        """Final streamed summary is byte-identical to the reference."""
+        return (
+            self.final is not None
+            and self.final.to_bytes() == self.reference.to_bytes()
+        )
+
+
+class ChaosRunner:
+    """Spawns a ProcessCluster over synthetic flights and kills workers.
+
+    Use as a context manager; ``dataset`` is the cluster-resident flights
+    dataset and ``reference_table`` the same rows as one local table.
+    """
+
+    def __init__(
+        self,
+        rows: int = 24_000,
+        partitions: int = 12,
+        num_workers: int = 3,
+        cores_per_worker: int = 2,
+        seed: int = 7,
+        per_shard_seconds: float = 0.08,
+        aggregation_interval: float = 0.02,
+    ):
+        self.source = FlightsSource(rows, partitions=partitions, seed=seed)
+        self.num_workers = num_workers
+        self.cores_per_worker = cores_per_worker
+        self.per_shard_seconds = per_shard_seconds
+        self.aggregation_interval = aggregation_interval
+        self.cluster: ProcessCluster | None = None
+        self.dataset = None
+        self.reference_table: Table | None = None
+
+    def __enter__(self) -> "ChaosRunner":
+        self.cluster = ProcessCluster(
+            num_workers=self.num_workers,
+            cores_per_worker=self.cores_per_worker,
+            aggregation_interval=self.aggregation_interval,
+        )
+        self.dataset = self.cluster.load(self.source)
+        self.reference_table = Table.concat(self.source.load())
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.cluster is not None:
+            self.cluster.close()
+
+    # -- building blocks -------------------------------------------------
+    def reference(self, sketch):
+        """The single-process ground truth for ``sketch`` on the same rows."""
+        return LocalDataSet(self.reference_table).sketch(sketch)
+
+    def slowed(self, sketch):
+        """Wrap a sketch so each micropartition costs real wall-clock time,
+        keeping the query in flight long enough to be killed mid-stream."""
+        from repro.service.slow import SlowdownSketch
+
+        return SlowdownSketch(sketch, per_shard_seconds=self.per_shard_seconds)
+
+    # -- the chaos experiment --------------------------------------------
+    def run_with_kill(
+        self,
+        sketch,
+        kill_workers: tuple[int, ...] = (0,),
+        kill_after_partials: int = 1,
+        sig: int = signal.SIGKILL,
+    ) -> ChaosOutcome:
+        """Stream ``sketch`` (slowed), SIGKILL workers mid-stream, drain.
+
+        The kill fires after ``kill_after_partials`` streamed partials, when
+        the victims are provably mid-computation; the run then continues to
+        completion through respawn + lineage replay.
+        """
+        assert self.cluster is not None and self.dataset is not None
+        pids_before = self.cluster.worker_pids()
+        slow_sketch = self.slowed(sketch)
+        partials = 0
+        killed: list[int] = []
+        final = None
+        for partial in self.dataset.sketch_stream(slow_sketch):
+            partials += 1
+            final = partial.value
+            if partials == kill_after_partials and not killed:
+                for index in kill_workers:
+                    self.cluster.kill_worker_process(index, sig)
+                    killed.append(pids_before[index])
+        pids_after = self.cluster.worker_pids()
+        respawned = all(
+            pids_after[i] is not None and pids_after[i] != pids_before[i]
+            for i in kill_workers
+        )
+        return ChaosOutcome(
+            final=final,
+            reference=self.reference(sketch),
+            partials=partials,
+            killed_pids=killed,
+            respawned=respawned,
+        )

@@ -1,0 +1,215 @@
+"""Process-cluster integration: the RPC surface, maps, sessions, attach mode.
+
+Everything here runs against real spawned ``repro worker`` subprocesses —
+the multi-server topology of §5.2 on one machine.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.buckets import DoubleBuckets
+from repro.data.flights import FlightsSource
+from repro.engine.dataset import ExpressionMap, FilterMap, ProjectMap
+from repro.engine.local import LocalDataSet
+from repro.engine.remote import ProcessCluster, RemoteWorkerProxy, _spawn_env
+from repro.engine.rpc import RpcRequest
+from repro.sketches.histogram import HistogramSketch
+from repro.table.compute import ColumnPredicate
+from repro.table.table import Table
+
+pytestmark = pytest.mark.tier2
+
+SOURCE = FlightsSource(4_000, partitions=8, seed=11)
+DISTANCE = DoubleBuckets(0, 3000, 10)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    c = ProcessCluster(
+        num_workers=2, cores_per_worker=2, aggregation_interval=0.01
+    )
+    try:
+        yield c
+    finally:
+        c.close()
+
+
+@pytest.fixture(scope="module")
+def dataset(cluster):
+    return cluster.load(SOURCE)
+
+
+@pytest.fixture(scope="module")
+def reference() -> Table:
+    return Table.concat(SOURCE.load())
+
+
+class TestRemoteDatasets:
+    def test_workers_are_separate_processes(self, cluster):
+        pids = cluster.worker_pids()
+        assert len(pids) == 2
+        assert all(pid is not None and pid != os.getpid() for pid in pids)
+        for proxy in cluster.workers:
+            assert isinstance(proxy, RemoteWorkerProxy)
+            stats = proxy.stats()
+            assert stats["pid"] == proxy.pid
+
+    def test_rows_and_schema(self, dataset, reference):
+        assert dataset.total_rows == reference.num_rows
+        assert [d.name for d in dataset.schema] == [
+            d.name for d in reference.schema
+        ]
+
+    def test_maps_run_on_the_workers(self, dataset, reference):
+        """filter -> derive-expression -> project, all over the wire, then
+        a sketch on the derived column; byte-identical to local."""
+        chain = [
+            FilterMap(ColumnPredicate("Distance", ">", 500.0)),
+            ExpressionMap("gain", "DepDelay - ArrDelay"),
+            ProjectMap(["gain"]),
+        ]
+        remote = dataset
+        local_table = reference
+        for table_map in chain:
+            remote = remote.map(table_map)
+            local_table = table_map.apply(local_table)
+        sketch = HistogramSketch("gain", DoubleBuckets(-60, 60, 8))
+        assert (
+            remote.sketch(sketch).to_bytes()
+            == LocalDataSet(local_table).sketch(sketch).to_bytes()
+        )
+        assert remote.total_rows == local_table.num_rows
+
+    def test_eviction_rebuilds_via_lineage(self, cluster, dataset, reference):
+        cluster.evict_dataset(dataset.dataset_id)
+        sketch = HistogramSketch("Distance", DoubleBuckets(0, 3000, 7))
+        assert (
+            dataset.sketch(sketch).to_bytes()
+            == LocalDataSet(reference).sketch(sketch).to_bytes()
+        )
+
+
+class TestSessionsOverProcessWorkers:
+    def test_session_rebuild_from_lineage_on_remote_workers(
+        self, cluster, reference
+    ):
+        """An idle-swept session's handle chain rebuilds even though the
+        missing shard state lives in worker processes (§5.7): the rebuild
+        walks the lineage and every hop goes over the worker wire."""
+        from repro.service import SessionManager
+
+        manager = SessionManager(cluster, idle_ttl_seconds=900.0)
+        session = manager.get_or_create("remote-user")
+        root = session.web.load(SOURCE)
+        [ack] = list(
+            session.web.execute(
+                RpcRequest(
+                    1,
+                    root,
+                    "filter",
+                    {
+                        "predicate": {
+                            "type": "column",
+                            "column": "Distance",
+                            "op": ">",
+                            "value": 1000.0,
+                        }
+                    },
+                )
+            )
+        )
+        derived = ack.payload["handle"]
+        spec = {
+            "type": "histogram",
+            "column": "Distance",
+            "buckets": {"type": "double", "min": 0, "max": 3000, "count": 9},
+        }
+        before = list(
+            session.web.execute(
+                RpcRequest(2, derived, "sketch", {"sketch": spec})
+            )
+        )
+        assert before[-1].kind == "complete"
+
+        # Lose every layer of soft state: the session's handles AND the
+        # workers' shard stores (crash RPC to each worker process).
+        assert session.evict_handles() >= 2
+        for index in range(len(cluster.workers)):
+            cluster.kill_worker(index)
+
+        after = list(
+            session.web.execute(
+                RpcRequest(3, derived, "sketch", {"sketch": spec})
+            )
+        )
+        assert after[-1].kind == "complete"
+        assert after[-1].payload == before[-1].payload
+
+        expected = (
+            Table.concat(SOURCE.load())
+            .filter(ColumnPredicate("Distance", ">", 1000.0))
+        )
+        local = LocalDataSet(expected).sketch(
+            HistogramSketch("Distance", DoubleBuckets(0, 3000, 9))
+        )
+        assert after[-1].payload["counts"] == local.counts.tolist()
+
+
+class TestListenMode:
+    def test_attach_to_prestarted_worker_daemons(self):
+        """`repro worker --listen` daemons + ProcessCluster(addresses=...):
+        the fleet topology where workers outlive any particular root."""
+        import json as json_mod
+
+        env = _spawn_env()
+        daemons = []
+        addresses = []
+        try:
+            for i in range(2):
+                proc = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.cli",
+                        "worker",
+                        "--listen",
+                        "127.0.0.1:0",
+                        "--name",
+                        f"daemon-{i}",
+                        "--cores",
+                        "2",
+                    ],
+                    env=env,
+                    stdout=subprocess.PIPE,
+                    text=True,
+                )
+                daemons.append(proc)
+                announcement = json_mod.loads(proc.stdout.readline())
+                addresses.append(("127.0.0.1", int(announcement["port"])))
+            cluster = ProcessCluster(
+                addresses=addresses, aggregation_interval=0.01
+            )
+            try:
+                dataset = cluster.load(SOURCE)
+                sketch = HistogramSketch("Distance", DISTANCE)
+                remote = dataset.sketch(sketch)
+                local = LocalDataSet(Table.concat(SOURCE.load())).sketch(sketch)
+                assert remote.to_bytes() == local.to_bytes()
+                assert {w.name for w in cluster.workers} == {
+                    "daemon-0",
+                    "daemon-1",
+                }
+            finally:
+                cluster.close()
+        finally:
+            for proc in daemons:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()

@@ -78,6 +78,25 @@ class TestEnvelopes:
         assert back.progress == 0.25
         assert back.payload == {"a": [1, 2]}
 
+    def test_null_payload_is_distinct_from_absent_payload(self):
+        """Regression: a complete envelope whose payload is legitimately
+        None must encode the null, while a payload-less ack must not grow
+        a payload key — and both must round-trip to what they were."""
+        import json
+
+        from repro.engine.rpc import NO_PAYLOAD
+
+        null_payload = RpcReply(7, "complete", payload=None)
+        encoded = json.loads(null_payload.to_json())
+        assert "payload" in encoded and encoded["payload"] is None
+        back = RpcReply.from_json(null_payload.to_json())
+        assert back.payload is None
+        assert back.payload is not NO_PAYLOAD
+
+        no_payload = RpcReply(8, "ack")
+        assert "payload" not in json.loads(no_payload.to_json())
+        assert RpcReply.from_json(no_payload.to_json()).payload is NO_PAYLOAD
+
     def test_malformed_json_rejected(self):
         with pytest.raises(ProtocolError, match="not valid JSON"):
             RpcRequest.from_json("{nope")

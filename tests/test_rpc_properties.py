@@ -11,21 +11,35 @@ from __future__ import annotations
 import json
 from datetime import datetime, timezone
 
+import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.buckets import DoubleBuckets, ExplicitStringBuckets, StringBuckets
 from repro.engine.rpc import (
+    NO_PAYLOAD,
+    SKETCH_BUILDERS,
+    SUMMARY_PARSERS,
     RpcReply,
     RpcRequest,
     buckets_from_json,
     buckets_to_json,
     cell_from_json,
     cell_to_json,
+    lineage_from_json,
+    lineage_to_json,
     order_from_json,
     order_to_json,
     predicate_from_json,
     predicate_to_json,
+    sketch_from_json,
+    sketch_to_json,
+    source_to_json,
+    summary_from_json,
+    summary_to_json,
+    table_map_from_json,
+    table_map_to_json,
 )
 from repro.table.compute import (
     AndPredicate,
@@ -144,6 +158,509 @@ class TestCodecRoundTrips:
         assert cell_from_json(encoded) == value
 
 
+# ---------------------------------------------------------------------------
+# Sketch specs: from_json(to_json(x)) == x for every SKETCH_BUILDERS entry
+# ---------------------------------------------------------------------------
+rates = st.floats(0.01, 1.0, allow_nan=False)
+seeds = st.integers(0, 2**31)
+small_k = st.integers(1, 50)
+
+_single_col_orders = st.builds(lambda c: RecordOrder.of(c), column_names)
+
+
+def _with_xy(builder):
+    return st.builds(
+        builder, column_names, buckets, column_names, buckets, rates, seeds
+    )
+
+
+@st.composite
+def _start_keys(draw, order):
+    values = tuple(
+        draw(st.one_of(st.none(), scalar_values))
+        for _ in order.orientations
+    )
+    return order.key_from_values(values)
+
+
+@st.composite
+def _next_k_sketches(draw):
+    from repro.sketches.next_items import NextKSketch
+
+    order = draw(orders)
+    start = draw(st.one_of(st.none(), _start_keys(order)))
+    return NextKSketch(
+        order, draw(small_k), start_key=start, inclusive=draw(st.booleans())
+    )
+
+
+@st.composite
+def _find_sketches(draw):
+    from repro.sketches.find_text import FindTextSketch
+
+    order = draw(orders)
+    predicate = StringMatchPredicate(
+        draw(column_names),
+        draw(st.text(min_size=1, max_size=10)),
+        draw(st.sampled_from(["exact", "substring", "regex"])),
+        draw(st.booleans()),
+    )
+    start = draw(st.one_of(st.none(), _start_keys(order)))
+    return FindTextSketch(predicate, order, start_key=start)
+
+
+@st.composite
+def _trellis_sketches(draw, cls, with_y):
+    args = [draw(column_names), draw(buckets), draw(column_names), draw(buckets)]
+    if with_y:
+        args += [draw(column_names), draw(buckets)]
+    group2 = draw(st.booleans())
+    kwargs = {"rate": draw(rates), "seed": draw(seeds)}
+    if group2:
+        kwargs["group2_column"] = draw(column_names)
+        kwargs["group2_buckets"] = draw(buckets)
+    return cls(*args, **kwargs)
+
+
+def _sketch_strategies():
+    from repro.service.slow import SlowdownSketch
+    from repro.sketches.bottomk import BottomKDistinctSketch
+    from repro.sketches.cdf import CdfSketch
+    from repro.sketches.heatmap import HeatmapSketch
+    from repro.sketches.heavy_hitters import (
+        MisraGriesSketch,
+        SampleHeavyHittersSketch,
+    )
+    from repro.sketches.histogram import HistogramSketch
+    from repro.sketches.hll import HyperLogLogSketch
+    from repro.sketches.moments import MomentsSketch
+    from repro.sketches.pca import CorrelationSketch
+    from repro.sketches.quantile import SampleQuantileSketch
+    from repro.sketches.save import SaveTableSketch
+    from repro.sketches.stacked import StackedHistogramSketch
+    from repro.sketches.trellis import (
+        TrellisHeatmapSketch,
+        TrellisHistogramSketch,
+    )
+
+    histograms = st.builds(HistogramSketch, column_names, buckets, rates, seeds)
+    return {
+        "histogram": histograms,
+        "cdf": st.builds(CdfSketch, column_names, buckets, rates, seeds),
+        "heatmap": _with_xy(HeatmapSketch),
+        "stacked": _with_xy(StackedHistogramSketch),
+        "trellisHeatmap": _trellis_sketches(TrellisHeatmapSketch, True),
+        "trellisHistogram": _trellis_sketches(TrellisHistogramSketch, False),
+        "moments": st.builds(MomentsSketch, column_names, st.integers(0, 4)),
+        "distinct": st.builds(
+            HyperLogLogSketch, column_names, st.integers(4, 16), seeds
+        ),
+        "heavyHitters": st.one_of(
+            st.builds(MisraGriesSketch, column_names, small_k),
+            st.builds(
+                SampleHeavyHittersSketch, column_names, small_k, rates, seeds
+            ),
+        ),
+        "nextK": _next_k_sketches(),
+        "quantile": st.builds(SampleQuantileSketch, orders, rates, seeds),
+        "find": _find_sketches(),
+        "bottomK": st.builds(
+            BottomKDistinctSketch, column_names, st.integers(1, 500), seeds
+        ),
+        "correlation": st.builds(
+            CorrelationSketch,
+            st.lists(
+                st.sampled_from(["a", "b", "c", "d"]),
+                min_size=2,
+                max_size=4,
+                unique=True,
+            ),
+            rates,
+            seeds,
+        ),
+        "save": st.builds(
+            SaveTableSketch,
+            st.text(min_size=1, max_size=12).filter(lambda s: "\x00" not in s),
+            st.sampled_from(["hvc", "csv"]),
+        ),
+        "slow": st.builds(
+            SlowdownSketch, histograms, st.floats(0.0, 0.5, allow_nan=False)
+        ),
+    }
+
+
+class TestSketchSpecRoundTrips:
+    """Every registered sketch type survives to_json -> from_json exactly."""
+
+    def test_every_builder_is_fuzzed(self):
+        import repro.service.slow  # noqa: F401 — registers "slow"
+
+        assert set(_sketch_strategies()) == set(SKETCH_BUILDERS)
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_sketches(self, data):
+        strategies = _sketch_strategies()
+        kind = data.draw(st.sampled_from(sorted(strategies)))
+        sketch = data.draw(strategies[kind])
+        spec = sketch_to_json(sketch)
+        json.dumps(spec)  # must be pure JSON
+        back = sketch_from_json(spec)
+        assert type(back) is type(sketch)
+        assert sketch_to_json(back) == spec
+        assert back.cache_key() == sketch.cache_key()
+        assert back.name == sketch.name
+
+
+# ---------------------------------------------------------------------------
+# Summary payloads: from_json(to_json(x)) == x for every _PAYLOADS converter
+# ---------------------------------------------------------------------------
+counts_1d = st.lists(st.integers(0, 10**9), min_size=1, max_size=8).map(
+    lambda v: np.asarray(v, dtype=np.int64)
+)
+small_ints = st.integers(0, 10**9)
+finite_floats = st.floats(-1e12, 1e12, allow_nan=False)
+
+
+@st.composite
+def _counts_2d(draw):
+    bx = draw(st.integers(1, 4))
+    by = draw(st.integers(1, 4))
+    flat = draw(
+        st.lists(st.integers(0, 10**9), min_size=bx * by, max_size=bx * by)
+    )
+    return np.asarray(flat, dtype=np.int64).reshape(bx, by)
+
+
+@st.composite
+def _histogram_summaries(draw):
+    from repro.sketches.histogram import HistogramSummary
+
+    return HistogramSummary(
+        counts=draw(counts_1d),
+        missing=draw(small_ints),
+        out_of_range=draw(small_ints),
+        sampled_rows=draw(small_ints),
+    )
+
+
+@st.composite
+def _heatmap_summaries(draw):
+    from repro.sketches.heatmap import HeatmapSummary
+
+    return HeatmapSummary(
+        counts=draw(_counts_2d()),
+        x_missing=draw(small_ints),
+        y_missing=draw(small_ints),
+        out_of_range=draw(small_ints),
+        sampled_rows=draw(small_ints),
+    )
+
+
+@st.composite
+def _stacked_summaries(draw):
+    from repro.sketches.stacked import StackedHistogramSummary
+
+    cells = draw(_counts_2d())
+    bx = cells.shape[0]
+    bars = st.lists(st.integers(0, 10**9), min_size=bx, max_size=bx)
+    return StackedHistogramSummary(
+        bar_counts=np.asarray(draw(bars), dtype=np.int64),
+        cell_counts=cells,
+        y_missing=np.asarray(draw(bars), dtype=np.int64),
+        missing=draw(small_ints),
+        out_of_range=draw(small_ints),
+        sampled_rows=draw(small_ints),
+    )
+
+
+@st.composite
+def _trellis_summaries(draw):
+    from repro.sketches.trellis import TrellisSummary
+
+    return TrellisSummary(
+        panes=draw(st.lists(_heatmap_summaries(), min_size=1, max_size=3)),
+        group_missing=draw(small_ints),
+        group_out_of_range=draw(small_ints),
+        sampled_rows=draw(small_ints),
+    )
+
+
+@st.composite
+def _trellis_histogram_summaries(draw):
+    from repro.sketches.trellis import TrellisHistogramSummary
+
+    return TrellisHistogramSummary(
+        panes=draw(st.lists(_histogram_summaries(), min_size=1, max_size=3)),
+        group_missing=draw(small_ints),
+        group_out_of_range=draw(small_ints),
+        sampled_rows=draw(small_ints),
+    )
+
+
+@st.composite
+def _column_stats(draw):
+    from repro.sketches.moments import ColumnStats
+
+    return ColumnStats(
+        present_count=draw(small_ints),
+        missing_count=draw(small_ints),
+        min_value=draw(st.one_of(st.none(), scalar_values)),
+        max_value=draw(st.one_of(st.none(), scalar_values)),
+        power_sums=draw(st.lists(finite_floats, max_size=4)),
+    )
+
+
+@st.composite
+def _row_tuples(draw, order):
+    width = len(order.orientations)
+    return tuple(
+        draw(st.one_of(st.none(), scalar_values)) for _ in range(width)
+    )
+
+
+@st.composite
+def _next_k_lists(draw):
+    from repro.sketches.next_items import NextKList
+
+    order = draw(orders)
+    rows = draw(st.lists(_row_tuples(order), max_size=6))
+    return NextKList(
+        order=order,
+        rows=rows,
+        counts=draw(
+            st.lists(
+                st.integers(1, 10**6),
+                min_size=len(rows),
+                max_size=len(rows),
+            )
+        ),
+        preceding=draw(small_ints),
+        scanned=draw(small_ints),
+    )
+
+
+@st.composite
+def _frequency_summaries(draw):
+    from repro.sketches.heavy_hitters import FrequencySummary
+
+    return FrequencySummary(
+        counts=draw(
+            st.dictionaries(
+                st.one_of(st.text(max_size=8), st.integers(-1000, 1000)),
+                st.integers(0, 10**9),
+                max_size=8,
+            )
+        ),
+        error_bound=draw(small_ints),
+        scanned=draw(small_ints),
+    )
+
+
+@st.composite
+def _hll_summaries(draw):
+    from repro.sketches.hll import HllSummary
+
+    registers = draw(
+        st.lists(st.integers(0, 61), min_size=16, max_size=16)
+    )
+    return HllSummary(
+        registers=np.asarray(registers, dtype=np.uint8),
+        missing=draw(small_ints),
+    )
+
+
+@st.composite
+def _quantile_summaries(draw):
+    from repro.sketches.quantile import QuantileSummary
+
+    order = draw(orders)
+    return QuantileSummary(
+        order=order,
+        samples=draw(st.lists(_row_tuples(order), max_size=6)),
+        scanned=draw(small_ints),
+    )
+
+
+@st.composite
+def _find_results(draw):
+    from repro.sketches.find_text import FindResult
+
+    order = draw(orders)
+    return FindResult(
+        order=order,
+        first_match=draw(st.one_of(st.none(), _row_tuples(order))),
+        matches_before=draw(small_ints),
+        matches_after=draw(small_ints),
+    )
+
+
+@st.composite
+def _bottom_k_summaries(draw):
+    from repro.sketches.bottomk import BottomKSummary
+
+    entries = sorted(
+        (h, v)
+        for h, v in draw(
+            st.dictionaries(
+                st.integers(0, 2**63), st.text(max_size=8), max_size=8
+            )
+        ).items()
+    )
+    return BottomKSummary(
+        k=draw(st.integers(1, 10)),
+        entries=entries,
+        missing=draw(small_ints),
+    )
+
+
+@st.composite
+def _correlation_summaries(draw):
+    columns = draw(
+        st.lists(
+            st.sampled_from(["a", "b", "c", "d"]),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        )
+    )
+    from repro.sketches.pca import CorrelationSummary
+
+    n = len(columns)
+    sums = draw(st.lists(finite_floats, min_size=n, max_size=n))
+    products = draw(
+        st.lists(finite_floats, min_size=n * n, max_size=n * n)
+    )
+    return CorrelationSummary(
+        columns=columns,
+        count=draw(small_ints),
+        sums=np.asarray(sums, dtype=np.float64),
+        products=np.asarray(products, dtype=np.float64).reshape(n, n),
+    )
+
+
+@st.composite
+def _save_statuses(draw):
+    from repro.sketches.save import SaveStatus
+
+    return SaveStatus(
+        files=draw(st.lists(st.text(min_size=1, max_size=12), max_size=4)),
+        rows_written=draw(small_ints),
+        errors=draw(st.lists(st.text(min_size=1, max_size=12), max_size=2)),
+    )
+
+
+def _summary_strategies():
+    return {
+        "histogram": _histogram_summaries(),
+        "heatmap": _heatmap_summaries(),
+        "stacked": _stacked_summaries(),
+        "trellisHeatmap": _trellis_summaries(),
+        "trellisHistogram": _trellis_histogram_summaries(),
+        "columnStats": _column_stats(),
+        "nextK": _next_k_lists(),
+        "frequencies": _frequency_summaries(),
+        "distinct": _hll_summaries(),
+        "quantile": _quantile_summaries(),
+        "find": _find_results(),
+        "bottomK": _bottom_k_summaries(),
+        "correlation": _correlation_summaries(),
+        "saveStatus": _save_statuses(),
+    }
+
+
+class TestSummaryPayloadRoundTrips:
+    """Every _PAYLOADS converter has an exact inverse (worker-wire safety)."""
+
+    def test_every_parser_is_fuzzed(self):
+        assert set(_summary_strategies()) == set(SUMMARY_PARSERS)
+
+    @given(data=st.data())
+    @settings(max_examples=250, deadline=None)
+    def test_summaries(self, data):
+        strategies = _summary_strategies()
+        kind = data.draw(st.sampled_from(sorted(strategies)))
+        summary = data.draw(strategies[kind])
+        payload = summary_to_json(summary)
+        json.dumps(payload)  # must be pure JSON
+        assert payload["type"] == kind
+        back = summary_from_json(payload)
+        assert type(back) is type(summary)
+        # The binary wire encoding is the engine's identity notion: equal
+        # bytes means the root merges the rebuilt summary identically.
+        assert back.to_bytes() == summary.to_bytes()
+        assert summary_to_json(back) == payload
+
+
+# ---------------------------------------------------------------------------
+# Lineage: table maps and sources round-trip for worker-side replay
+# ---------------------------------------------------------------------------
+class TestLineageRoundTrips:
+    @given(predicate=predicates)
+    @settings(max_examples=60, deadline=None)
+    def test_filter_maps(self, predicate):
+        from repro.engine.dataset import FilterMap
+
+        encoded = table_map_to_json(FilterMap(predicate))
+        json.dumps(encoded)
+        assert table_map_from_json(encoded).spec() == FilterMap(predicate).spec()
+
+    @given(
+        columns=st.lists(
+            st.sampled_from(["a", "b", "c"]), min_size=1, max_size=3, unique=True
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_project_maps(self, columns):
+        from repro.engine.dataset import ProjectMap
+
+        encoded = table_map_to_json(ProjectMap(columns))
+        assert table_map_from_json(encoded).spec() == ProjectMap(columns).spec()
+
+    def test_expression_maps(self):
+        from repro.engine.dataset import ExpressionMap
+
+        table_map = ExpressionMap("gain", "DepDelay - ArrDelay")
+        encoded = table_map_to_json(table_map)
+        json.dumps(encoded)
+        assert table_map_from_json(encoded).spec() == table_map.spec()
+
+    def test_derive_maps_are_rejected(self):
+        from repro.engine.dataset import DeriveMap
+        from repro.engine.rpc import ProtocolError
+        from repro.table.schema import ContentsKind
+
+        with pytest.raises(ProtocolError):
+            table_map_to_json(DeriveMap("x", ContentsKind.DOUBLE, lambda v: v))
+
+    def test_lineage_chain_round_trips(self):
+        from repro.data.flights import FlightsSource
+        from repro.engine.dataset import FilterMap, ProjectMap
+        from repro.engine.redo_log import LoadOp, MapOp
+
+        chain = [
+            LoadOp("ds-0", FlightsSource(1000, partitions=4, seed=2)),
+            MapOp("ds-1", "ds-0", FilterMap(ColumnPredicate("x", ">", 3))),
+            MapOp("ds-2", "ds-1", ProjectMap(["x", "y"])),
+        ]
+        encoded = lineage_to_json(chain)
+        json.dumps(encoded)
+        back = lineage_from_json(encoded)
+        assert [op.dataset_id for op in back] == ["ds-0", "ds-1", "ds-2"]
+        assert back[0].source.spec() == chain[0].source.spec()
+        assert back[1].table_map.spec() == chain[1].table_map.spec()
+        assert back[2].table_map.spec() == chain[2].table_map.spec()
+
+    def test_in_memory_sources_are_rejected(self):
+        from repro.engine.rpc import ProtocolError
+        from repro.storage.loader import TableSource
+        from repro.table.table import Table
+
+        table = Table.from_pydict({"x": [1, 2, 3]})
+        with pytest.raises(ProtocolError):
+            source_to_json(TableSource([table]))
+
+
 class TestEnvelopeRoundTrips:
     @given(
         request_id=st.integers(0, 2**31),
@@ -168,3 +685,27 @@ class TestEnvelopeRoundTrips:
         assert back.kind == kind
         assert abs(back.progress - progress) < 1e-5
         assert back.payload == {"n": 1}
+
+    @given(
+        request_id=st.integers(0, 2**31),
+        kind=st.sampled_from(["partial", "complete", "ack", "error"]),
+        payload=st.one_of(
+            st.just(NO_PAYLOAD), st.none(), st.dictionaries(st.text(), st.integers())
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_null_payload_survives_but_absent_payload_stays_absent(
+        self, request_id, kind, payload
+    ):
+        """An explicit None payload and an absent payload are different
+        envelopes and must stay different through the wire."""
+        reply = RpcReply(request_id, kind, payload=payload)
+        encoded = json.loads(reply.to_json())
+        if payload is NO_PAYLOAD:
+            assert "payload" not in encoded
+        else:
+            assert "payload" in encoded and encoded["payload"] == payload
+        back = RpcReply.from_json(reply.to_json())
+        assert (back.payload is NO_PAYLOAD) == (payload is NO_PAYLOAD)
+        if payload is not NO_PAYLOAD:
+            assert back.payload == payload

@@ -256,6 +256,112 @@ class TestNewestQueryWins:
             scheduler.shutdown()
 
 
+class TestCancellationEdgeCases:
+    def test_chain_of_supersessions_while_queued_runs_only_the_newest(
+        self, manager, numbers_source
+    ):
+        """Sketches superseded while still queued are answered without ever
+        being admitted to a worker slot; only the newest executes."""
+        scheduler = FairShareScheduler(max_concurrent=1)
+        try:
+            blocker_session = manager.get_or_create("blocker")
+            blocker_handle = blocker_session.web.load(numbers_source)
+            blocker = scheduler.submit(
+                blocker_session,
+                sketch_request(1, blocker_handle, slow=0.02),
+                Collector(),
+            )
+            session = manager.get_or_create("impatient")
+            handle = session.web.load(numbers_source)
+            sinks = [Collector() for _ in range(3)]
+            tasks = [
+                scheduler.submit(session, sketch_request(10 + i, handle), sinks[i])
+                for i in range(3)
+            ]
+            for task in tasks + [blocker]:
+                assert task.done.wait(timeout=30)
+            for stale_sink in sinks[:2]:
+                assert stale_sink.terminal.kind == "cancelled"
+                assert stale_sink.terminal.code == "superseded"
+                # Never admitted to a slot: the single envelope is the
+                # answer, with no partials ever streamed.
+                assert len(stale_sink.replies) == 1
+            assert sinks[2].terminal.kind == "complete"
+            assert scheduler.metrics.preempted == 2
+        finally:
+            scheduler.shutdown()
+
+    def test_cancel_racing_the_final_complete_is_clean(
+        self, manager, numbers_source
+    ):
+        """Cancelling at the instant the final envelope is produced must
+        yield exactly one terminal reply — complete or cancelled, never
+        both, never an exception."""
+        scheduler = FairShareScheduler(max_concurrent=1)
+        try:
+            session = manager.get_or_create("racer")
+            handle = session.web.load(numbers_source)
+            for request_id in range(1, 11):
+                sink = Collector()
+                task = scheduler.submit(
+                    session, sketch_request(request_id, handle, slow=0.001), sink
+                )
+                sink.wait_first(timeout=30)
+                session.cancel_request(request_id)  # races the terminal
+                assert task.done.wait(timeout=30)
+                terminals = [
+                    r for r in sink.replies if r.kind in ("complete", "cancelled")
+                ]
+                assert len(terminals) == 1
+                assert terminals[-1] is sink.replies[-1]
+            metrics = scheduler.metrics
+            assert metrics.completed + metrics.cancelled == 10
+        finally:
+            scheduler.shutdown()
+
+    def test_session_close_finalizes_queued_queries(
+        self, manager, numbers_source
+    ):
+        """Closing a session with queries still in the admission queue must
+        cancel and finalize them (no dangling done events), and must not
+        disturb other sessions' work."""
+        scheduler = FairShareScheduler(max_concurrent=1)
+        try:
+            blocker_session = manager.get_or_create("survivor")
+            blocker_handle = blocker_session.web.load(numbers_source)
+            blocker_sink = Collector()
+            blocker = scheduler.submit(
+                blocker_session,
+                sketch_request(1, blocker_handle, slow=0.02),
+                blocker_sink,
+            )
+            blocker_sink.wait_first()  # the only slot is now occupied
+            doomed = manager.get_or_create("doomed")
+            handle = doomed.web.load(numbers_source)
+            sinks = [Collector() for _ in range(3)]
+            tasks = [
+                # rowCount queries are not preemptible, so all three queue.
+                scheduler.submit(
+                    doomed, RpcRequest(10 + i, handle, "rowCount"), sinks[i]
+                )
+                for i in range(3)
+            ]
+            assert manager.close("doomed")
+            scheduler.forget_session("doomed")
+            for task in tasks:
+                assert task.done.wait(timeout=10), "queued task left dangling"
+                assert task.token.cancelled
+            for sink in sinks:
+                assert sink.terminal is not None
+                assert sink.terminal.kind == "cancelled"
+                assert sink.terminal.code == "session_closed"
+            assert blocker.done.wait(timeout=30)
+            assert blocker_sink.terminal.kind == "complete"
+            assert scheduler.queued_count("doomed") == 0
+        finally:
+            scheduler.shutdown()
+
+
 class TestFailureModes:
     def test_worker_crash_mid_query(self, service_cluster, manager, numbers_source):
         """A worker losing its soft state mid-query does not corrupt the

@@ -206,3 +206,32 @@ class TestSources:
         (tmp_path / "a.log").write_text("\n".join(lines) + "\n")
         source = SyslogSource(str(tmp_path / "*.log"))
         assert source.load()[0].num_rows == 10
+
+    def test_load_slice_matches_full_load(self, small_table, tmp_path):
+        """The shard-placement law: a worker's load_slice must equal the
+        root's load()[index::count] slice, partition for partition —
+        including the partition-granular overrides."""
+        from repro.data.flights import FlightsSource
+
+        for i in range(5):
+            csv_io.write_csv(small_table, str(tmp_path / f"part{i}.csv"))
+        sources = [
+            TableSource([small_table], shards_per_table=5),
+            CsvSource(str(tmp_path / "part*.csv")),
+            FlightsSource(1_000, partitions=7, seed=3),
+            FlightsSource(3, partitions=5, seed=3),  # some empty partitions
+        ]
+        for source in sources:
+            full = source.load()
+            for count in (1, 2, 3):
+                for index in range(count):
+                    sliced = source.load_slice(index, count)
+                    expected = full[index::count]
+                    assert [s.shard_id for s in sliced] == [
+                        s.shard_id for s in expected
+                    ], source.spec()
+                    assert [s.num_rows for s in sliced] == [
+                        s.num_rows for s in expected
+                    ], source.spec()
+        with pytest.raises(ValueError):
+            CsvSource(str(tmp_path / "part*.csv")).load_slice(2, 2)
