@@ -15,6 +15,8 @@ the worker daemons of a process-level fleet::
     python -m repro.cli serve --demo-flights 500000 --port 8947
     python -m repro.cli serve --demo-flights 500000 --spawn --workers 8
     python -m repro.cli worker --listen 0.0.0.0:9301 --cores 8
+    python -m repro.cli serve --join host-a:9301,host-b:9301 \
+        --session-store sessions.db --port 8948
     python -m repro.cli client --port 8947 --commands "load; rows; hist Distance 0 3000"
 
 Commands (also shown by ``help``)::
@@ -375,6 +377,19 @@ def serve_main(argv: list[str]) -> int:
              "(repeatable; overrides --workers/--spawn)",
     )
     parser.add_argument(
+        "--join", metavar="FLEET",
+        help="join a shared worker fleet as one of several roots: "
+             "'host:port,host:port' or '@file' with one address per line; "
+             "roots adopt the fleet's shard placement instead of slicing "
+             "it themselves",
+    )
+    parser.add_argument(
+        "--session-store", metavar="PATH",
+        help="shared session store so clients can resume a session id on "
+             "any root of the tier ('memory' or a SQLite file path; "
+             "default: memory)",
+    )
+    parser.add_argument(
         "--cores-per-worker", type=int, default=4,
         help="leaf thread pool size per worker",
     )
@@ -390,15 +405,22 @@ def serve_main(argv: list[str]) -> int:
     )
     args = parser.parse_args(argv)
 
-    from repro.service import ServiceServer
+    from repro.service import ServiceServer, open_session_store
 
-    if args.worker_address:
+    if args.join:
         from repro.engine.remote import ProcessCluster
+        from repro.service import parse_fleet_spec
 
-        addresses = []
-        for spec in args.worker_address:
-            worker_host, _, worker_port = spec.rpartition(":")
-            addresses.append((worker_host or "127.0.0.1", int(worker_port)))
+        addresses = parse_fleet_spec(args.join)
+        cluster = ProcessCluster(addresses=addresses)
+        topology = (
+            f"joined a shared fleet of {len(addresses)} worker processes"
+        )
+    elif args.worker_address:
+        from repro.engine.remote import ProcessCluster
+        from repro.service import parse_fleet_spec
+
+        addresses = parse_fleet_spec(",".join(args.worker_address))
         cluster = ProcessCluster(addresses=addresses)
         topology = f"{len(addresses)} attached worker processes"
     elif args.spawn:
@@ -421,6 +443,7 @@ def serve_main(argv: list[str]) -> int:
         max_concurrent=args.max_concurrent,
         idle_ttl_seconds=args.idle_ttl,
         default_source=_serve_source(args),
+        session_store=open_session_store(args.session_store),
     )
     print(f"hillview service on {args.host}:{args.port} "
           f"({topology}, {args.max_concurrent} query slots)")

@@ -33,10 +33,12 @@ Deterministic sketch results are served from the computation cache (§5.4).
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import itertools
 import queue
 import threading
 import time
+import uuid
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterator, Sequence, TypeVar
@@ -211,6 +213,12 @@ class Worker(WorkerProtocol):
         return shards
 
     def load_source(self, dataset_id: str, source: DataSource) -> int:
+        # Content-addressed ids make this idempotent: when another root of
+        # a shared fleet (or an earlier session) already loaded the same
+        # source, the resident shards are byte-identical by construction.
+        resident = self.store.get(dataset_id)
+        if resident is not None:
+            return len(resident)
         shards = source.load_slice(self.index, self.count)
         self.put(dataset_id, shards)
         return len(shards)
@@ -332,6 +340,10 @@ class Cluster:
         self.computation_cache = ComputationCache()
         self.total_bytes_to_root = 0
         self._ids = itertools.count()
+        #: Distinguishes this root's counter-minted ids from another
+        #: root's on a shared worker fleet (content-addressed ids need no
+        #: such qualifier: equal id means equal content by construction).
+        self._root_nonce = uuid.uuid4().hex[:8]
         self._lock = threading.Lock()
         #: dataset id -> total row count.  Datasets are immutable once
         #: created, so a counted total stays valid across eviction, crash
@@ -350,7 +362,46 @@ class Cluster:
     # Dataset lifecycle
     # ------------------------------------------------------------------
     def _new_dataset_id(self, prefix: str) -> str:
-        return f"{prefix}-{next(self._ids)}"
+        return f"{prefix}-{self._root_nonce}-{next(self._ids)}"
+
+    @staticmethod
+    def _content_id(description: str) -> str:
+        return "ds-" + hashlib.sha1(description.encode("utf-8")).hexdigest()[:12]
+
+    def _load_dataset_id(self, source: DataSource) -> str:
+        """A content-addressed id for a loaded source.
+
+        Dataset ids name *content*, not creation events: every root (and
+        every session on every root) loading the same source derives the
+        same id, so workers of a shared fleet hold one copy of the shards
+        and the redo logs of independent roots agree byte-for-byte.  The
+        hash covers the source's stable ``spec()`` — the same string the
+        redo log and the session dataset pool already key on.
+        """
+        try:
+            spec = source.spec()
+        except Exception:  # noqa: BLE001 — exotic sources fall back safely
+            return self._new_dataset_id("ds")
+        return self._content_id(f"load|{spec}")
+
+    def _map_dataset_id(self, parent_id: str, table_map: TableMap) -> str:
+        """A content-addressed id for a derived dataset.
+
+        Only *declarative* maps (the ones that can cross the worker wire)
+        are content-addressed: their JSON encoding is the content.  Maps
+        carrying Python callables get a per-root unique id instead — two
+        different lambdas can share a ``spec()`` string, and colliding
+        their ids would silently serve one map's shards for the other.
+        """
+        from repro.engine.rpc import ProtocolError, table_map_to_json
+
+        try:
+            import json as json_mod
+
+            encoded = json_mod.dumps(table_map_to_json(table_map), sort_keys=True)
+        except ProtocolError:
+            return self._new_dataset_id("ds")
+        return self._content_id(f"map|{parent_id}|{encoded}")
 
     def lineage(self, dataset_id: str) -> list:
         """The redo-log chain workers replay to rebuild ``dataset_id``."""
@@ -358,14 +409,21 @@ class Cluster:
 
     def load(self, source: DataSource) -> "ClusterDataSet":
         """Load a data source, distributing partitions over workers."""
-        dataset_id = self._new_dataset_id("ds")
+        dataset_id = self._load_dataset_id(source)
         self.redo_log.record_load(dataset_id, source)
         if all(isinstance(w, Worker) for w in self.workers):
             # In-process fast path: load once at the root, hand each
             # worker its slice (identical to the slice it would compute).
-            shards = source.load()
-            for index, worker in enumerate(self.workers):
-                worker.put(dataset_id, self._assigned(shards, index))  # type: ignore[union-attr]
+            # Content-addressed ids make a repeat load of the same source
+            # a no-op when every worker still holds its shards.  The
+            # TTL-aware get() matters: a stale entry must trigger one
+            # shared reload here, not N per-worker replays later.
+            if not all(
+                w.store.get(dataset_id) is not None for w in self.workers  # type: ignore[union-attr]
+            ):
+                shards = source.load()
+                for index, worker in enumerate(self.workers):
+                    worker.put(dataset_id, self._assigned(shards, index))  # type: ignore[union-attr]
         else:
             # Remote workers load the source themselves, in parallel: a
             # table cannot cross the process boundary, a description can.
@@ -490,7 +548,7 @@ class ClusterDataSet(IDataSet):
         raise EngineError(f"dataset {self.dataset_id!r} has no shards")
 
     def map(self, table_map: TableMap) -> "ClusterDataSet":
-        new_id = self.cluster._new_dataset_id("ds")
+        new_id = self.cluster._map_dataset_id(self.dataset_id, table_map)
         self.cluster.redo_log.record_map(new_id, self.dataset_id, table_map)
         # The new dataset's lineage ends with the map op just recorded, so
         # "ensure" both applies the map and registers the result (§5.7).

@@ -1,0 +1,185 @@
+"""Shard-placement agreement for multi-root worker fleets (§5.2–5.3).
+
+Hillview's web server is stateless: many roots can serve one worker
+cluster, which is what lets the system scale to many simultaneous users.
+For that to be *correct*, every root must agree on the fleet's slicing —
+which worker owns shard slice ``index`` of ``count``.  A root that
+invented its own assignment (say, by the order its ``--worker-address``
+flags happened to be written) would silently reconfigure workers under
+another root's feet: datasets already loaded under the old slicing would
+replay their lineage against a different slice and produce wrong answers
+without any error.
+
+The registry is therefore *worker-resident* and sticky:
+
+* each worker daemon remembers the first placement it was configured
+  with and reports it over the ``placement`` RPC;
+* an attaching root asks every worker for its placement and calls
+  :func:`agree_placement` — adopting the fleet's existing assignment
+  when there is one, or minting the canonical assignment (workers sorted
+  by address) when the fleet is fresh, so any two roots compute the same
+  bytes;
+* a worker rejects a conflicting ``configure`` (code
+  ``placement_conflict``) instead of silently re-slicing.
+
+:func:`parse_fleet_spec` turns the ``repro serve --join`` argument into
+the address list both of those steps consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HillviewError
+
+
+class PlacementError(HillviewError):
+    """The fleet's reported placements cannot be reconciled.
+
+    ``retryable`` marks the transient case — a fleet *being* placed by
+    another root right now — which an attaching root should re-query
+    rather than treat as fatal.
+    """
+
+    code = "placement_conflict"
+    retryable = False
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """One worker's slice assignment: ``index`` of ``count`` (§5.2)."""
+
+    index: int
+    count: int
+
+    def to_json(self) -> dict:
+        return {"index": self.index, "count": self.count}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ShardPlacement | None":
+        if not isinstance(data, dict) or data.get("index") is None:
+            return None
+        return cls(int(data["index"]), int(data["count"]))
+
+
+def canonical_order(addresses: list[tuple[str, int]]) -> list[int]:
+    """The fresh-fleet assignment: positions sorted by (host, port).
+
+    Returns, for each input position, the index that worker should own.
+    Sorting by address (not argument order) is what makes two roots that
+    list the same fleet in different orders mint identical placements.
+    """
+    by_address = sorted(range(len(addresses)), key=lambda i: addresses[i])
+    assignment = [0] * len(addresses)
+    for index, position in enumerate(by_address):
+        assignment[position] = index
+    return assignment
+
+
+def agree_placement(
+    addresses: list[tuple[str, int]],
+    reported: "list[ShardPlacement | None]",
+) -> list[int]:
+    """Reconcile a fleet's reported placements into one slice assignment.
+
+    ``addresses[i]`` and ``reported[i]`` describe the same worker; the
+    result maps each position ``i`` to the shard index that worker must
+    serve.  Three cases:
+
+    * **fresh fleet** (no worker placed): mint the canonical assignment;
+    * **placed fleet** (every worker placed, indices a permutation of
+      ``0..n-1`` with matching count): adopt it verbatim;
+    * anything else — a partially-configured fleet, duplicate indices, a
+      count that disagrees with the fleet size — raises
+      :class:`PlacementError`; guessing here risks silently re-slicing
+      datasets another root already loaded.
+    """
+    if len(addresses) != len(reported):
+        raise PlacementError(
+            f"{len(addresses)} workers but {len(reported)} placements"
+        )
+    count = len(addresses)
+    placed = [p for p in reported if p is not None]
+    if not placed:
+        return canonical_order(addresses)
+    if len(placed) < count:
+        missing = [
+            f"{host}:{port}"
+            for (host, port), p in zip(addresses, reported)
+            if p is None
+        ]
+        error = PlacementError(
+            f"fleet is partially placed: {', '.join(missing)} report no "
+            "placement yet; another root may be configuring the fleet "
+            "right now (retried automatically on attach)"
+        )
+        error.retryable = True
+        raise error
+    counts = {p.count for p in placed}
+    if counts != {count}:
+        raise PlacementError(
+            f"fleet reports slice count(s) {sorted(counts)} but this root "
+            f"attached {count} workers; the address list does not match "
+            "the fleet that was placed"
+        )
+    indices = [p.index for p in placed]
+    if sorted(indices) != list(range(count)):
+        raise PlacementError(
+            f"fleet reports slice indices {sorted(indices)}; expected a "
+            f"permutation of 0..{count - 1}"
+        )
+    return indices
+
+
+def parse_fleet_spec(spec: str) -> list[tuple[str, int]]:
+    """Parse a ``--join`` fleet spec into worker addresses.
+
+    Two forms:
+
+    * ``host:port,host:port,...`` — inline, comma-separated;
+    * ``@path`` — a file with one ``host:port`` per line (``#`` comments
+      and blank lines ignored).  Lines may also be the JSON announcement
+      a ``repro worker --listen`` daemon prints (``{"worker": ...,
+      "port": N}``), so a fleet file can be built by redirecting daemon
+      stdout.
+    """
+    entries: list[str]
+    if spec.startswith("@"):
+        try:
+            with open(spec[1:], "r", encoding="utf-8") as handle:
+                entries = handle.readlines()
+        except OSError as exc:
+            raise PlacementError(f"cannot read fleet file {spec[1:]!r}: {exc}")
+    else:
+        entries = spec.split(",")
+    addresses: list[tuple[str, int]] = []
+    for raw in entries:
+        entry = raw.strip()
+        if not entry or entry.startswith("#"):
+            continue
+        if entry.startswith("{"):
+            import json
+
+            try:
+                announcement = json.loads(entry)
+                addresses.append(
+                    (
+                        str(announcement.get("host", "127.0.0.1")),
+                        int(announcement["port"]),
+                    )
+                )
+                continue
+            except (ValueError, KeyError) as exc:
+                raise PlacementError(
+                    f"bad worker announcement {entry!r}: {exc}"
+                )
+        host, _, port = entry.rpartition(":")
+        try:
+            addresses.append((host or "127.0.0.1", int(port)))
+        except ValueError:
+            raise PlacementError(
+                f"bad fleet entry {entry!r}; expected host:port"
+            ) from None
+    if not addresses:
+        raise PlacementError(f"fleet spec {spec!r} names no workers")
+    return addresses

@@ -68,8 +68,18 @@ class RedoLog:
     def record_load(self, dataset_id: str, source: "DataSource") -> LoadOp:
         op = LoadOp(dataset_id, source)
         with self._lock:
-            if dataset_id in self._by_dataset:
-                raise EngineError(f"dataset {dataset_id!r} already recorded")
+            existing = self._by_dataset.get(dataset_id)
+            if existing is not None:
+                # Dataset ids are content-addressed: re-recording the same
+                # load (another session, another root over a shared fleet)
+                # is a no-op, while the same id naming *different* content
+                # is corruption and must never pass silently.
+                if existing.describe() != op.describe():
+                    raise EngineError(
+                        f"dataset {dataset_id!r} already recorded as "
+                        f"{existing.describe()!r}"
+                    )
+                return existing
             self.entries.append(op)
             self._by_dataset[dataset_id] = op
         return op
@@ -79,8 +89,14 @@ class RedoLog:
     ) -> MapOp:
         op = MapOp(dataset_id, parent_id, table_map)
         with self._lock:
-            if dataset_id in self._by_dataset:
-                raise EngineError(f"dataset {dataset_id!r} already recorded")
+            existing = self._by_dataset.get(dataset_id)
+            if existing is not None:
+                if existing.describe() != op.describe():
+                    raise EngineError(
+                        f"dataset {dataset_id!r} already recorded as "
+                        f"{existing.describe()!r}"
+                    )
+                return existing
             if parent_id not in self._by_dataset:
                 raise EngineError(f"unknown parent dataset {parent_id!r}")
             self.entries.append(op)

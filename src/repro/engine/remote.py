@@ -44,6 +44,11 @@ from repro.engine.cluster import (
     WorkerEmission,
     WorkerProtocol,
 )
+from repro.engine.placement import (
+    PlacementError,
+    ShardPlacement,
+    agree_placement,
+)
 from repro.engine.progress import CancellationToken
 from repro.engine.rpc import (
     ProtocolError,
@@ -69,22 +74,50 @@ _TERMINAL = frozenset({"ack", "complete", "cancelled", "error"})
 # ---------------------------------------------------------------------------
 # The worker daemon
 # ---------------------------------------------------------------------------
+class _RootLink:
+    """One root's connection to this worker, with its own request-id space.
+
+    A fleet daemon serves several roots at once (the multi-root service
+    tier); each root numbers its requests independently, so cancellation
+    state and the write lock must be per-connection — a shared token table
+    would let root A's request #7 cancel root B's request #7.
+    """
+
+    def __init__(self, rfile, wfile):
+        self.rfile = rfile
+        self.wfile = wfile
+        self.write_lock = threading.Lock()
+        self.tokens: dict[int, CancellationToken] = {}
+        #: Cancels that arrived before their sketch left the request pool's
+        #: queue (the token is only registered when execution starts).
+        self.cancelled_early: set[int] = set()
+        self.tokens_lock = threading.Lock()
+
+
 class WorkerServer:
     """One worker process: a shard store + leaf pool behind a socket.
 
     Two attachment modes mirror real deployments:
 
     * ``run_connect`` — dial the root that spawned us (``--connect``);
-    * ``run_listen`` — bind a port and wait for a root to dial in
+    * ``run_listen`` — bind a port and serve roots as they dial in
       (``--listen``), e.g. a fleet of daemons started by an init system.
+      Several roots may be connected at once, each on its own thread —
+      the multi-root service tier shares one fleet this way.
 
     The connection protocol is symmetric request/reply: after a ``hello``
     info exchange the root sends :class:`~repro.engine.rpc.RpcRequest`
-    envelopes (``configure``, ``load``, ``ensure``, ``rows``, ``schema``,
-    ``sketch``, ``cancel``, ``evict``, ``crash``, ``ping``, ``stats``,
-    ``shutdown``) and the worker streams back replies, interleaved by
-    request id.  ``sketch`` yields one ``partial`` per aggregation-cadence
-    tick carrying the cumulative summary as a JSON payload.
+    envelopes (``configure``, ``placement``, ``load``, ``ensure``,
+    ``rows``, ``schema``, ``sketch``, ``cancel``, ``evict``, ``crash``,
+    ``ping``, ``stats``, ``shutdown``) and the worker streams back
+    replies, interleaved by request id.  ``sketch`` yields one
+    ``partial`` per aggregation-cadence tick carrying the cumulative
+    summary as a JSON payload.
+
+    The worker's shard-slice assignment is **sticky**: the first
+    ``configure`` pins it, every root can read it back via ``placement``,
+    and a conflicting ``configure`` is rejected (``placement_conflict``)
+    instead of silently re-slicing datasets another root already loaded.
     """
 
     def __init__(
@@ -103,14 +136,12 @@ class WorkerServer:
             cache_entries=cache_entries,
             cache_ttl_seconds=cache_ttl_seconds,
         )
-        self._tokens: dict[int, CancellationToken] = {}
-        #: Cancels that arrived before their sketch left the request pool's
-        #: queue (the token is only registered when execution starts).
-        self._cancelled_early: set[int] = set()
-        self._tokens_lock = threading.Lock()
-        self._write_lock = threading.Lock()
+        self._placement: tuple[int, int] | None = None
+        self._placement_lock = threading.Lock()
         self._shutdown = threading.Event()
+        self._listener: socket.socket | None = None
         self.requests_served = 0
+        self.roots_served = 0
 
     # -- attachment modes ----------------------------------------------
     def run_connect(self, host: str, port: int, timeout: float = 10.0) -> None:
@@ -136,30 +167,53 @@ class WorkerServer:
         on_bound=None,
         once: bool = False,
     ) -> None:
-        """Bind and serve roots as they dial in (daemon-fleet mode)."""
+        """Bind and serve roots as they dial in (daemon-fleet mode).
+
+        Each root gets its own serving thread, so N service front-ends can
+        share this worker concurrently; ``once=True`` serves a single
+        connection inline and returns (tests).
+        """
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((host, port))
-        listener.listen(1)
+        listener.listen(16)
+        self._listener = listener
         if on_bound is not None:
             on_bound(listener.getsockname()[:2])
         try:
             while not self._shutdown.is_set():
-                sock, _ = listener.accept()
-                sock.settimeout(None)
-                rfile = sock.makefile("rb")
-                wfile = sock.makefile("wb")
                 try:
-                    self._serve(rfile, wfile)
-                finally:
-                    try:
-                        sock.close()
-                    except OSError:
-                        pass
+                    sock, _ = listener.accept()
+                except OSError:
+                    break  # listener closed by a shutdown RPC
+                sock.settimeout(None)
+                self.roots_served += 1
                 if once:
+                    self._serve_socket(sock)
                     break
+                threading.Thread(
+                    target=self._serve_socket,
+                    args=(sock,),
+                    name=f"{self.worker.name}-root-{self.roots_served}",
+                    daemon=True,
+                ).start()
         finally:
-            listener.close()
+            self._listener = None
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    def _serve_socket(self, sock: socket.socket) -> None:
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
+        try:
+            self._serve(rfile, wfile)
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def _info(self) -> dict:
         return {
@@ -172,6 +226,7 @@ class WorkerServer:
     def _serve(self, rfile, wfile) -> None:
         import concurrent.futures
 
+        link = _RootLink(rfile, wfile)
         with concurrent.futures.ThreadPoolExecutor(
             max(4, self.worker.cores)
         ) as pool:
@@ -184,14 +239,14 @@ class WorkerServer:
                         request = RpcRequest.from_json(frame.decode("utf-8"))
                     except (ProtocolError, UnicodeDecodeError) as exc:
                         self._reply(
-                            wfile,
+                            link,
                             RpcReply(-1, "error", error=str(exc), code="protocol"),
                         )
                         continue
                     self.requests_served += 1
                     if request.method == "hello":
                         self._reply(
-                            wfile,
+                            link,
                             RpcReply(request.request_id, "ack", payload=self._info()),
                         )
                     elif request.method == "cancel":
@@ -202,16 +257,16 @@ class WorkerServer:
                         # sketch registers its token (§5.3 must hold even
                         # on a saturated worker).
                         target = int(request.args.get("requestId", -1))
-                        with self._tokens_lock:
-                            token = self._tokens.get(target)
+                        with link.tokens_lock:
+                            token = link.tokens.get(target)
                             if token is None:
-                                self._cancelled_early.add(target)
-                                if len(self._cancelled_early) > 1024:
-                                    self._cancelled_early.clear()
+                                link.cancelled_early.add(target)
+                                if len(link.cancelled_early) > 1024:
+                                    link.cancelled_early.clear()
                         if token is not None:
                             token.cancel()
                         self._reply(
-                            wfile,
+                            link,
                             RpcReply(
                                 request.request_id,
                                 "ack",
@@ -219,60 +274,99 @@ class WorkerServer:
                             ),
                         )
                     elif request.method == "shutdown":
-                        self._reply(wfile, RpcReply(request.request_id, "ack"))
+                        self._reply(link, RpcReply(request.request_id, "ack"))
                         self._shutdown.set()
+                        listener = self._listener
+                        if listener is not None:
+                            try:  # unblock the accept loop
+                                listener.close()
+                            except OSError:
+                                pass
                         break
                     else:
-                        pool.submit(self._handle, request, wfile)
+                        pool.submit(self._handle, request, link)
             except (FrameError, ConnectionError, OSError):
                 pass  # root went away; fall through to cancel leftovers
             finally:
-                with self._tokens_lock:
-                    for token in self._tokens.values():
+                with link.tokens_lock:
+                    for token in link.tokens.values():
                         token.cancel()
 
-    def _reply(self, wfile, reply: RpcReply) -> None:
-        with self._write_lock:
-            write_frame(wfile, reply.to_json().encode("utf-8"))
+    def _reply(self, link: _RootLink, reply: RpcReply) -> None:
+        with link.write_lock:
+            write_frame(link.wfile, reply.to_json().encode("utf-8"))
 
-    def _handle(self, request: RpcRequest, wfile) -> None:
+    def _handle(self, request: RpcRequest, link: _RootLink) -> None:
         try:
-            for reply in self._dispatch(request):
-                self._reply(wfile, reply)
+            for reply in self._dispatch(request, link):
+                self._reply(link, reply)
         except (ConnectionError, OSError, ValueError):
             # The root is gone mid-stream: stop producing for it.
-            with self._tokens_lock:
-                token = self._tokens.get(request.request_id)
+            with link.tokens_lock:
+                token = link.tokens.get(request.request_id)
             if token is not None:
                 token.cancel()
         except HillviewError as exc:
-            self._safe_error(wfile, request, str(exc), exc.code)
+            self._safe_error(link, request, str(exc), exc.code)
         except Exception as exc:  # noqa: BLE001 — shield the worker loop
             self._safe_error(
-                wfile, request, f"internal error: {type(exc).__name__}: {exc}",
+                link, request, f"internal error: {type(exc).__name__}: {exc}",
                 "internal",
             )
 
-    def _safe_error(self, wfile, request, message: str, code: str) -> None:
+    def _safe_error(
+        self, link: _RootLink, request, message: str, code: str
+    ) -> None:
         try:
             self._reply(
-                wfile,
+                link,
                 RpcReply(request.request_id, "error", error=message, code=code),
             )
         except (ConnectionError, OSError, ValueError):
             pass
 
-    def _dispatch(self, request: RpcRequest) -> Iterator[RpcReply]:
+    def _dispatch(
+        self, request: RpcRequest, link: _RootLink
+    ) -> Iterator[RpcReply]:
         method = request.method
         args = request.args
         worker = self.worker
         if method == "configure":
+            index = int(args["index"])
+            count = int(args["count"])
+            with self._placement_lock:
+                if self._placement is None:
+                    # First configure pins this worker's slice for the
+                    # fleet's lifetime; later roots must agree with it.
+                    self._placement = (index, count)
+                elif self._placement != (index, count):
+                    held = self._placement
+                    raise PlacementError(
+                        f"worker {worker.name} is placed as slice "
+                        f"{held[0]}/{held[1]} but this root asked for "
+                        f"{index}/{count}; re-slicing a shared fleet would "
+                        "corrupt datasets other roots already loaded"
+                    )
             worker.configure(
-                int(args["index"]),
-                int(args["count"]),
-                float(args.get("aggregationInterval", 0.1)),
+                index, count, float(args.get("aggregationInterval", 0.1))
             )
-            yield RpcReply(request.request_id, "ack")
+            yield RpcReply(
+                request.request_id,
+                "ack",
+                payload={"index": index, "count": count},
+            )
+        elif method == "placement":
+            with self._placement_lock:
+                placement = self._placement
+            yield RpcReply(
+                request.request_id,
+                "complete",
+                payload={
+                    "name": worker.name,
+                    "index": None if placement is None else placement[0],
+                    "count": None if placement is None else placement[1],
+                },
+            )
         elif method == "load":
             shards = worker.load_source(
                 str(args["dataset"]), source_from_json(args["source"])
@@ -310,7 +404,7 @@ class WorkerServer:
                 },
             )
         elif method == "sketch":
-            yield from self._run_sketch(request)
+            yield from self._run_sketch(request, link)
         elif method == "evict":
             worker.evict(str(args["dataset"]))
             yield RpcReply(request.request_id, "ack")
@@ -335,15 +429,17 @@ class WorkerServer:
         else:
             raise ProtocolError(f"unknown worker method {method!r}")
 
-    def _run_sketch(self, request: RpcRequest) -> Iterator[RpcReply]:
+    def _run_sketch(
+        self, request: RpcRequest, link: _RootLink
+    ) -> Iterator[RpcReply]:
         args = request.args
         sketch = sketch_from_json(args["sketch"])
         lineage = lineage_from_json(args["lineage"])
         token = CancellationToken()
-        with self._tokens_lock:
-            self._tokens[request.request_id] = token
-            if request.request_id in self._cancelled_early:
-                self._cancelled_early.discard(request.request_id)
+        with link.tokens_lock:
+            link.tokens[request.request_id] = token
+            if request.request_id in link.cancelled_early:
+                link.cancelled_early.discard(request.request_id)
                 token.cancel()
         done = 0
         try:
@@ -367,8 +463,8 @@ class WorkerServer:
                 payload={"shardsDone": done, "cancelled": token.cancelled},
             )
         finally:
-            with self._tokens_lock:
-                self._tokens.pop(request.request_id, None)
+            with link.tokens_lock:
+                link.tokens.pop(request.request_id, None)
 
 
 # ---------------------------------------------------------------------------
@@ -631,6 +727,14 @@ class RemoteWorkerProxy(WorkerProtocol):
     def crash(self) -> None:
         self.channel.call("crash", {}, timeout=self.request_timeout)
 
+    def query_placement(self) -> "ShardPlacement | None":
+        """The worker's sticky slice assignment, or None if unplaced."""
+        reply = self.channel.call(
+            "placement", {}, timeout=self.request_timeout
+        )
+        payload = reply.payload if isinstance(reply.payload, dict) else {}
+        return ShardPlacement.from_json(payload)
+
     # -- liveness / lifecycle -------------------------------------------
     def ping(self, timeout: float = 5.0) -> bool:
         try:
@@ -649,7 +753,11 @@ class RemoteWorkerProxy(WorkerProtocol):
         self.process.send_signal(sig)
 
     def close(self) -> None:
-        if not self.channel.dead.is_set():
+        # Only a worker we spawned is ours to shut down.  A pre-started
+        # daemon is shared fleet infrastructure: other roots may be
+        # serving through it right now, so detaching just closes this
+        # root's connection (the daemon outlives any particular root).
+        if self.process is not None and not self.channel.dead.is_set():
             try:
                 self.channel.call("shutdown", {}, timeout=2.0)
             except (WorkerUnavailableError, EngineError):
@@ -753,6 +861,7 @@ class ProcessCluster(Cluster):
             else:
                 for host, port in self._addresses:
                     workers.append(self._dial_worker(host, port))
+                workers = self._agree_placement(workers)
         except BaseException:
             for proxy in workers:
                 proxy.close()
@@ -824,6 +933,39 @@ class ProcessCluster(Cluster):
             process=process,
             request_timeout=self._request_timeout,
         )
+
+    def _agree_placement(
+        self, proxies: "list[RemoteWorkerProxy]"
+    ) -> "list[RemoteWorkerProxy]":
+        """Order attached workers by the fleet's agreed slice assignment.
+
+        Workers report their sticky placement; a fresh fleet gets the
+        canonical (address-sorted) assignment, a placed fleet is adopted
+        verbatim.  Every root attaching to the same daemons therefore
+        configures the same worker with the same slice index — the
+        byte-for-byte agreement the multi-root service tier needs (the
+        ``configure`` calls in ``Cluster.__init__`` then match each
+        worker's pinned placement instead of fighting it).
+
+        A *partially* placed fleet is a transient state — another root is
+        pinning workers one by one at this very moment — so that case is
+        re-queried briefly instead of failing the attach.
+        """
+        assert self._addresses is not None
+        deadline = time.monotonic() + min(self._startup_timeout, 10.0)
+        while True:
+            reported = [proxy.query_placement() for proxy in proxies]
+            try:
+                assignment = agree_placement(self._addresses, reported)
+                break
+            except PlacementError as exc:
+                if not exc.retryable or time.monotonic() > deadline:
+                    raise
+                time.sleep(0.1)
+        ordered: "list[RemoteWorkerProxy | None]" = [None] * len(proxies)
+        for position, index in enumerate(assignment):
+            ordered[index] = proxies[position]
+        return [proxy for proxy in ordered if proxy is not None]
 
     def _dial_worker(self, host: str, port: int) -> RemoteWorkerProxy:
         sock = socket.create_connection(
@@ -955,8 +1097,22 @@ def worker_main(argv: list[str]) -> int:
             host, _, port = args.listen.rpartition(":")
 
             def announce(address: tuple[str, int]) -> None:
+                # The announcement line is a valid @fleet.txt entry: it
+                # must carry a *dialable* host, so a wildcard bind falls
+                # back to loopback (multi-host fleets edit the file or
+                # announce a real interface address).
+                bound = address[0]
+                dialable = (
+                    "127.0.0.1" if bound in ("0.0.0.0", "::", "") else bound
+                )
                 print(
-                    json.dumps({"worker": server.worker.name, "port": address[1]}),
+                    json.dumps(
+                        {
+                            "worker": server.worker.name,
+                            "host": dialable,
+                            "port": address[1],
+                        }
+                    ),
                     flush=True,
                 )
 

@@ -74,6 +74,10 @@ class WebServer:
         self._tokens: dict[int, CancellationToken] = {}
         self._counter = 0
         self._lock = threading.Lock()
+        #: Invoked after every handle mint (load or derive); the session
+        #: layer hooks this to persist the session's recipe book into a
+        #: shared store, so another root can resume the session (§5.2).
+        self.on_lineage_change: Callable[[], None] | None = None
 
     # ------------------------------------------------------------------
     # Remote object handles (soft state)
@@ -100,8 +104,14 @@ class WebServer:
             if self.dataset_pool is not None:
                 self.dataset_pool[spec] = dataset
         self._handles[handle] = dataset
-        self._lineage[handle] = source
+        with self._lock:
+            self._lineage[handle] = source
+        self._lineage_changed()
         return handle
+
+    def _lineage_changed(self) -> None:
+        if self.on_lineage_change is not None:
+            self.on_lineage_change()
 
     def evict(self, handle: str) -> None:
         """Drop a handle's dataset (soft state); it rebuilds on next use."""
@@ -117,7 +127,8 @@ class WebServer:
     @property
     def handles(self) -> list[str]:
         """Every handle this session has minted (resident or evicted)."""
-        return list(self._lineage)
+        with self._lock:
+            return list(self._lineage)
 
     def dataset(self, handle: str) -> IDataSet:
         """The dataset behind ``handle``, lazily rebuilt if evicted (§5.7)."""
@@ -148,8 +159,82 @@ class WebServer:
     def _derive(self, parent: str, table_map: TableMap) -> str:
         handle = self._new_handle()
         self._handles[handle] = self.dataset(parent).map(table_map)
-        self._lineage[handle] = (parent, table_map)
+        with self._lock:
+            self._lineage[handle] = (parent, table_map)
+        self._lineage_changed()
         return handle
+
+    # ------------------------------------------------------------------
+    # Lineage export/restore: session migration between roots (§5.2)
+    # ------------------------------------------------------------------
+    def export_lineage(self) -> list[dict]:
+        """The session's recipe book as JSON records, in mint order.
+
+        Handles whose recipe cannot cross a process boundary (an
+        in-memory :class:`~repro.storage.loader.TableSource`, a map
+        carrying a Python callable) are skipped along with their
+        descendants — exactly the §5.7 constraint that durable lineage
+        must bottom out at a reloadable source.
+        """
+        from repro.engine.rpc import source_to_json, table_map_to_json
+
+        records: list[dict] = []
+        exported: set[str] = set()
+        # Snapshot under the mint lock: concurrent queries of the same
+        # session may be minting handles while persistence runs.
+        with self._lock:
+            lineage = list(self._lineage.items())
+        for handle, recipe in lineage:
+            try:
+                if isinstance(recipe, tuple):
+                    parent, table_map = recipe
+                    if parent not in exported:
+                        continue  # the parent itself was not exportable
+                    record = {
+                        "handle": handle,
+                        "parent": parent,
+                        "map": table_map_to_json(table_map),
+                    }
+                else:
+                    record = {"handle": handle, "source": source_to_json(recipe)}
+            except ProtocolError:
+                continue
+            records.append(record)
+            exported.add(handle)
+        return records
+
+    def restore_lineage(self, records: list[dict], counter: int = 0) -> int:
+        """Rebuild the recipe book from :meth:`export_lineage` output.
+
+        Nothing is materialized here: handles rebuild lazily through
+        :meth:`dataset` on first use, the same way an idle-swept session
+        comes back.  ``counter`` restores the handle counter high-water
+        mark so newly minted handles cannot collide with restored ones.
+        Returns the number of handles restored.
+        """
+        from repro.engine.rpc import source_from_json, table_map_from_json
+
+        restored = 0
+        for record in records:
+            handle = str(record["handle"])
+            if "map" in record:
+                recipe: Union[DataSource, tuple[str, TableMap]] = (
+                    str(record["parent"]),
+                    table_map_from_json(record["map"]),
+                )
+            else:
+                recipe = source_from_json(record["source"])
+            with self._lock:
+                self._lineage[handle] = recipe
+            restored += 1
+        with self._lock:
+            numbered = [
+                int(h.split("-", 1)[1])
+                for h in self._lineage
+                if h.startswith("obj-") and h.split("-", 1)[1].isdigit()
+            ]
+            self._counter = max([counter, self._counter, *numbered, 0])
+        return restored
 
     # ------------------------------------------------------------------
     # Cancellation (§5.3)

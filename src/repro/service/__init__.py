@@ -3,14 +3,33 @@
 Turns the in-process engine into a real service: an asyncio TCP transport
 streaming progressive results with backpressure (:mod:`transport`), a
 session manager holding per-client soft state with idle-TTL eviction
-(:mod:`sessions`), and an admission-controlled fair-share query scheduler
-with newest-query-wins cancellation (:mod:`scheduler`).
+(:mod:`sessions`), an admission-controlled fair-share query scheduler
+with newest-query-wins cancellation (:mod:`scheduler`), and — for the
+horizontal tier — shard-placement agreement so many roots share one
+worker fleet (:mod:`placement`), pluggable shared session stores so a
+session resumes on any root (:mod:`session_store`), and a round-robin
+connection director for tests and benchmarks (:mod:`director`).
 """
 
+from repro.service.director import ConnectionDirector
+from repro.service.placement import (
+    PlacementError,
+    ShardPlacement,
+    agree_placement,
+    parse_fleet_spec,
+)
 from repro.service.scheduler import (
     FairShareScheduler,
     QueryTask,
     SchedulerMetrics,
+)
+from repro.service.session_store import (
+    InMemorySessionStore,
+    SessionRecord,
+    SessionStore,
+    SessionStoreError,
+    SqliteSessionStore,
+    open_session_store,
 )
 from repro.service.sessions import (
     Session,
@@ -29,8 +48,11 @@ from repro.service.transport import (
 )
 
 __all__ = [
+    "ConnectionDirector",
     "FairShareScheduler",
+    "InMemorySessionStore",
     "PendingQuery",
+    "PlacementError",
     "QueryTask",
     "SchedulerMetrics",
     "ServiceClient",
@@ -39,8 +61,16 @@ __all__ = [
     "Session",
     "SessionManager",
     "SessionMetrics",
+    "SessionRecord",
+    "SessionStore",
+    "SessionStoreError",
+    "ShardPlacement",
     "SlowdownSketch",
+    "SqliteSessionStore",
+    "agree_placement",
     "encode_frame",
+    "open_session_store",
+    "parse_fleet_spec",
     "read_frame_blocking",
     "source_from_json",
 ]

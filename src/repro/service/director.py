@@ -1,0 +1,81 @@
+"""A thin connection director over a multi-root service tier (§5.2).
+
+Production deployments put a TCP load balancer in front of the root
+fleet; tests and benchmarks need the same behavior without one.  The
+director holds the root addresses and deals connections round-robin,
+with one twist a plain balancer also needs: **session affinity**.  A
+session's soft state lives on whichever root served it last; the
+director remembers the root each session was dealt and sends that
+session's reconnects back there.  Affinity is an optimization, not a
+correctness requirement — when a shared session store is configured, a
+session resumed on the *wrong* root is rebuilt from its stored recipe
+book (that path is exactly what the multi-root tests exercise).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.service.transport import ServiceClient
+
+
+class ConnectionDirector:
+    """Round-robin connections across the roots of one service tier."""
+
+    def __init__(
+        self,
+        addresses: "list[tuple[str, int]]",
+        client_factory: "Callable[..., ServiceClient] | None" = None,
+    ):
+        if not addresses:
+            raise ValueError("a director needs at least one root address")
+        self.addresses = list(addresses)
+        self._factory = client_factory if client_factory is not None else ServiceClient
+        self._next = 0
+        self._affinity: dict[str, tuple[str, int]] = {}
+        self._lock = threading.Lock()
+
+    def _pick(self, session: str | None) -> tuple[str, int]:
+        """The root to try next: the session's pin, else round-robin.
+
+        Picking never records affinity — a pin is only worth keeping if
+        the connection actually succeeded, otherwise a dead root would
+        capture the session forever."""
+        with self._lock:
+            if session is not None:
+                pinned = self._affinity.get(session)
+                if pinned is not None and pinned in self.addresses:
+                    return pinned
+            address = self.addresses[self._next % len(self.addresses)]
+            self._next += 1
+            return address
+
+    def connect(self, session: str | None = None, **kwargs) -> ServiceClient:
+        """A client on the session's pinned root, or the next one."""
+        address = self._pick(session)
+        try:
+            client = self._factory(*address, session=session, **kwargs)
+        except (OSError, ConnectionError):
+            # The pinned root is unreachable: drop the pin so the retry
+            # falls through to round-robin (and, with a shared session
+            # store, resumes the session on a healthy root).
+            if session is not None:
+                with self._lock:
+                    if self._affinity.get(session) == address:
+                        del self._affinity[session]
+            raise
+        # Pin only after the dial succeeded, under the id the connection
+        # actually carries (the server mints one when session is None).
+        with self._lock:
+            self._affinity[client.session_id] = address
+        return client
+
+    def forget(self, session: str) -> None:
+        """Drop a session's pin (it expired, or the test moves it)."""
+        with self._lock:
+            self._affinity.pop(session, None)
+
+    def __repr__(self) -> str:
+        roots = ", ".join(f"{h}:{p}" for h, p in self.addresses)
+        return f"<ConnectionDirector roots=[{roots}]>"

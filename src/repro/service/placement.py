@@ -1,0 +1,23 @@
+"""Service-level re-export of the fleet placement protocol.
+
+The implementation lives in :mod:`repro.engine.placement` because the
+worker daemon enforces the sticky-placement contract and must not drag
+the asyncio service stack into every worker process; the service tier
+(roots, CLI, tests) imports it from here.
+"""
+
+from repro.engine.placement import (
+    PlacementError,
+    ShardPlacement,
+    agree_placement,
+    canonical_order,
+    parse_fleet_spec,
+)
+
+__all__ = [
+    "PlacementError",
+    "ShardPlacement",
+    "agree_placement",
+    "canonical_order",
+    "parse_fleet_spec",
+]

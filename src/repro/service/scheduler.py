@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable
 
 from repro.engine.progress import CancellationToken
@@ -135,16 +135,21 @@ class FairShareScheduler:
         with self._cond:
             if self._shutdown:
                 raise EngineError("scheduler is shut down")
-            queue = self._queues.setdefault(session.session_id, deque())
-            if session.session_id not in self._order:
-                self._order.append(session.session_id)
+            queue = self._queues.get(session.session_id)
+            backlog = len(queue) if queue is not None else 0
             # Admission control runs BEFORE preemption: a rejected request
-            # must leave the session's in-flight query untouched.
-            if len(queue) >= self.max_queue_per_session:
+            # must leave the session's in-flight query untouched.  It also
+            # runs before any bookkeeping: a rejected submit must not
+            # leave a queue entry or a round-robin slot behind.
+            if backlog >= self.max_queue_per_session:
                 self.metrics.rejected += 1
                 task.state = DONE
                 rejected = True
             else:
+                if queue is None:
+                    queue = self._queues.setdefault(session.session_id, deque())
+                if session.session_id not in self._order:
+                    self._order.append(session.session_id)
                 if task.preemptible:
                     self._preempt_older(session, queue)
                 queue.append(task)
@@ -187,13 +192,21 @@ class FairShareScheduler:
     # Execution
     # ------------------------------------------------------------------
     def _next_task(self) -> QueryTask | None:
-        """Pop the next task, visiting sessions round-robin (fair share)."""
-        for _ in range(len(self._order)):
+        """Pop the next task, visiting sessions round-robin (fair share).
+
+        Sessions whose backlog has drained are purged as they are
+        visited — ``_queues`` entries and round-robin slots must not
+        accumulate over a long-lived server's lifetime.  A purged session
+        re-enters the rotation (at the back) on its next submit.
+        """
+        while self._order:
             session_id = self._order[0]
-            self._order.rotate(-1)
             queue = self._queues.get(session_id)
             if queue:
+                self._order.rotate(-1)
                 return queue.popleft()
+            self._order.popleft()
+            self._queues.pop(session_id, None)
         return None
 
     def _worker_loop(self) -> None:
@@ -239,7 +252,11 @@ class FairShareScheduler:
         last_kind = None
         for reply in session.web.execute(request, token=task.token):
             if reply.kind == "cancelled" and task.superseded and reply.code is None:
-                reply.code = "superseded"
+                # Qualify on a copy: the envelope object belongs to the
+                # execution layer and may be shared (yielded to another
+                # consumer, cached); mutating it in place would leak the
+                # "superseded" tag into someone else's reply.
+                reply = replace(reply, code="superseded")
             session.record_reply(reply)
             last_kind = reply.kind
             if not self._safe_sink(task, reply):
@@ -247,7 +264,12 @@ class FairShareScheduler:
                 # remaining micropartitions.
                 task.token.cancel()
         with self._cond:
-            if last_kind == "cancelled":
+            if last_kind == "cancelled" or (
+                last_kind is None and task.token.cancelled
+            ):
+                # An empty reply stream is classified by token state: a
+                # query cancelled before its first envelope did not
+                # "complete".
                 self.metrics.cancelled += 1
             elif last_kind == "error":
                 self.metrics.errors += 1

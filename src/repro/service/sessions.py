@@ -27,6 +27,7 @@ from repro.engine.cluster import Cluster
 from repro.engine.dataset import IDataSet
 from repro.engine.rpc import ProtocolError, RpcReply
 from repro.engine.web import WebServer
+from repro.service.session_store import SessionRecord, SessionStore
 from repro.storage.loader import DataSource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -119,9 +120,16 @@ class Session:
         self.metrics = SessionMetrics()
         self._clock = clock
         self.created_at = clock()
+        self.created_wall = time.time()
         self.last_active = clock()
         self._tasks: dict[int, "QueryTask"] = {}
         self._lock = threading.Lock()
+        #: What this root last wrote to the shared store: the record's
+        #: wall-clock stamp and the local activity mark it described.
+        #: A stored record *newer* than ``_persisted_wall`` was written
+        #: by another root — it is not ours to delete on expiry.
+        self._persisted_wall = 0.0
+        self._persisted_activity = self.last_active
 
     # -- liveness ------------------------------------------------------
     def touch(self) -> None:
@@ -179,6 +187,16 @@ class Session:
             self.metrics.errors += 1
 
     # -- soft state ----------------------------------------------------
+    def snapshot_record(self) -> SessionRecord:
+        """This session's durable description for a shared store (§5.2)."""
+        return SessionRecord(
+            session_id=self.session_id,
+            created_at=self.created_wall,
+            last_active=time.time(),
+            counter=self.web._counter,
+            handles=self.web.export_lineage(),
+        )
+
     def evict_handles(self) -> int:
         """Drop every resident dataset handle; lineage rebuilds them (§5.7)."""
         count = self.web.evict_all()
@@ -201,7 +219,19 @@ class Session:
 
 
 class SessionManager:
-    """Creates, resolves, sweeps, and closes sessions over one cluster."""
+    """Creates, resolves, sweeps, and closes sessions over one cluster.
+
+    ``store``, when given, is the shared session store of a multi-root
+    tier: every handle mint persists the session's recipe book, and a
+    session id unknown locally but present in the store is *resumed* —
+    its lineage restored, its handles rebuilt lazily by §5.7 replay — so
+    a client can reconnect to any root of the tier.
+
+    ``on_close`` is invoked (with the session id) whenever a session is
+    closed or expired, however that happens; the service layer hooks the
+    scheduler's ``forget_session`` here so TTL-expired sessions release
+    their scheduler state exactly like explicitly closed ones.
+    """
 
     def __init__(
         self,
@@ -210,6 +240,8 @@ class SessionManager:
         expire_ttl_seconds: float | None = None,
         default_source: DataSource | None = None,
         clock: Callable[[], float] = time.monotonic,
+        store: SessionStore | None = None,
+        on_close: Callable[[str], None] | None = None,
     ):
         self.cluster = cluster if cluster is not None else Cluster()
         self.idle_ttl_seconds = idle_ttl_seconds
@@ -223,57 +255,149 @@ class SessionManager:
             else idle_ttl_seconds * 4
         )
         self.default_source = default_source
+        self.store = store
+        self.on_close = on_close
         self._clock = clock
         self._sessions: dict[str, Session] = {}
         self._dataset_pool: dict[str, IDataSet] = {}
         self._counter = itertools.count(1)
         self._lock = threading.Lock()
         self.sessions_created = 0
+        self.sessions_resumed = 0
         self.sessions_swept = 0
         self.sessions_expired = 0
+        self.store_errors = 0
+        #: How often (wall-clock) an *active* session's store record is
+        #: refreshed by the sweep loop, so sibling roots can tell a live
+        #: session from an abandoned one at expiry time.
+        self.store_refresh_seconds = min(300.0, self.expire_ttl_seconds / 4)
 
     def _resolve_source(self, spec: dict) -> DataSource:
         return source_from_json(spec, default=self.default_source)
 
     # -- lifecycle -----------------------------------------------------
+    def _create_locked(self, session_id: str | None) -> Session:
+        """Mint and register a session; the manager lock must be held."""
+        if session_id is None:
+            session_id = f"sess-{next(self._counter)}"
+        if session_id in self._sessions:
+            raise ProtocolError(f"session {session_id!r} already exists")
+        session = Session(
+            session_id,
+            self.cluster,
+            self._dataset_pool,
+            self._resolve_source,
+            clock=self._clock,
+        )
+        session.web.on_lineage_change = lambda: self._persist(session)
+        self._sessions[session_id] = session
+        self.sessions_created += 1
+        return session
+
+    def _persist(self, session: Session) -> None:
+        """Write one session's recipe book to the shared store.
+
+        A store outage must degrade to single-root behavior (the session
+        keeps working where it is), never fail the query that minted the
+        handle."""
+        if self.store is None:
+            return
+        record = session.snapshot_record()
+        try:
+            self.store.put(record)
+        except Exception:  # noqa: BLE001 — see docstring
+            self.store_errors += 1
+            return
+        session._persisted_wall = record.last_active
+        session._persisted_activity = session.last_active
+
     def create(self, session_id: str | None = None) -> Session:
         with self._lock:
-            if session_id is None:
-                session_id = f"sess-{next(self._counter)}"
-            if session_id in self._sessions:
-                raise ProtocolError(f"session {session_id!r} already exists")
-            session = Session(
-                session_id,
-                self.cluster,
-                self._dataset_pool,
-                self._resolve_source,
-                clock=self._clock,
-            )
-            self._sessions[session_id] = session
-            self.sessions_created += 1
-            return session
+            session = self._create_locked(session_id)
+        self._persist(session)
+        return session
 
     def get(self, session_id: str) -> Session | None:
         with self._lock:
             return self._sessions.get(session_id)
 
     def get_or_create(self, session_id: str | None = None) -> Session:
-        """Resume a session by id (soft-state reattach) or mint a new one."""
-        if session_id is not None:
-            existing = self.get(session_id)
+        """Resume a session by id — locally, or from the shared store —
+        or mint a new one.  Atomic under the manager lock: two
+        connections racing to resume the same id both get the same
+        session instead of one of them being told it "already exists".
+
+        The store read happens *outside* the lock (SQLite can block on a
+        busy tier database; the manager lock gates every connection on
+        this root), with the local table re-checked afterwards — a racer
+        that created the session in the meantime wins and is reused."""
+        if session_id is None:
+            with self._lock:
+                session = self._create_locked(None)
+            self._persist(session)
+            return session
+        with self._lock:
+            existing = self._sessions.get(session_id)
             if existing is not None:
                 existing.touch()
                 return existing
-        return self.create(session_id)
+        record: SessionRecord | None = None
+        if self.store is not None:
+            try:
+                record = self.store.get(session_id)
+            except Exception:  # noqa: BLE001 — store outage
+                self.store_errors += 1
+        with self._lock:
+            existing = self._sessions.get(session_id)
+            if existing is not None:  # a racer resumed it while we read
+                existing.touch()
+                return existing
+            session = self._create_locked(session_id)
+            if record is not None:
+                # Another root minted these handles; restore the
+                # recipes only — datasets rebuild lazily (§5.7).
+                session.web.restore_lineage(record.handles, record.counter)
+                session.created_wall = record.created_at
+                self.sessions_resumed += 1
+        self._persist(session)
+        return session
 
     def close(self, session_id: str) -> bool:
         with self._lock:
             session = self._sessions.pop(session_id, None)
         if session is None:
             return False
+        self._teardown(session)
+        return True
+
+    def _teardown(self, session: Session, expired: bool = False) -> None:
+        """Release everything a dropped session holds, everywhere: local
+        tasks and handles, the scheduler's per-session state (via
+        ``on_close``), and the shared store's record.
+
+        On *expiry* the store delete is conditional: a record newer than
+        what this root last wrote means another root of the tier has
+        been serving the session since — this root only expires its own
+        stale copy and must leave the tier-wide resume state alone.  An
+        explicit close is an instruction, not a timeout, and deletes
+        unconditionally."""
         session.cancel_all()
         session.evict_handles()
-        return True
+        if self.on_close is not None:
+            self.on_close(session.session_id)
+        if self.store is None:
+            return
+        try:
+            if expired:
+                record = self.store.get(session.session_id)
+                if (
+                    record is not None
+                    and record.last_active > session._persisted_wall + 1e-6
+                ):
+                    return  # another root owns the session now
+            self.store.delete(session.session_id)
+        except Exception:  # noqa: BLE001 — store outage
+            self.store_errors += 1
 
     # -- idle sweep ----------------------------------------------------
     def sweep(self) -> int:
@@ -287,8 +411,28 @@ class SessionManager:
                 for s in self._sessions.values()
                 if s.idle_seconds() > self.idle_ttl_seconds and not s.active
             ]
+            live = (
+                [
+                    s
+                    for s in self._sessions.values()
+                    if s.last_active > s._persisted_activity
+                    and time.time() - s._persisted_wall
+                    > self.store_refresh_seconds
+                ]
+                if self.store is not None
+                else []
+            )
+        # Refresh the store record of sessions that have been active since
+        # the last write: sibling roots read the stamp to decide whether an
+        # expiring session is abandoned or merely being served elsewhere.
+        for session in live:
+            self._persist(session)
         evicted = 0
         for session in idle:
+            # Re-check at eviction time: a query admitted after the
+            # snapshot must not run against handles being torn down.
+            if session.active or session.idle_seconds() <= self.idle_ttl_seconds:
+                continue
             count = session.evict_handles()
             if count:
                 self.sessions_swept += 1
@@ -296,18 +440,32 @@ class SessionManager:
         return evicted
 
     def expire(self) -> list[str]:
-        """Drop sessions idle past the expiry TTL entirely; returns their
-        ids so the caller can release scheduler state too.  An expired
+        """Drop sessions idle past the expiry TTL entirely; their
+        scheduler state is released through ``on_close``.  An expired
         session cannot be resumed — reconnecting clients start fresh."""
         with self._lock:
-            expired = [
+            candidates = [
                 s.session_id
                 for s in self._sessions.values()
                 if s.idle_seconds() > self.expire_ttl_seconds and not s.active
             ]
-        for session_id in expired:
-            self.close(session_id)
+        expired = []
+        for session_id in candidates:
+            with self._lock:
+                session = self._sessions.get(session_id)
+                if (
+                    session is None
+                    or session.active
+                    or session.idle_seconds() <= self.expire_ttl_seconds
+                ):
+                    # Became active (or was touched/closed) between the
+                    # snapshot and now: tearing it down would cancel a
+                    # legitimately admitted query.
+                    continue
+                del self._sessions[session_id]
+            self._teardown(session, expired=True)
             self.sessions_expired += 1
+            expired.append(session_id)
         return expired
 
     # -- introspection -------------------------------------------------
@@ -319,8 +477,10 @@ class SessionManager:
     def to_json(self) -> dict:
         return {
             "sessionsCreated": self.sessions_created,
+            "sessionsResumed": self.sessions_resumed,
             "sessionsSwept": self.sessions_swept,
             "sessionsExpired": self.sessions_expired,
+            "storeErrors": self.store_errors,
             "idleTtlSeconds": self.idle_ttl_seconds,
             "sharedDatasets": len(self._dataset_pool),
             "sessions": [s.to_json() for s in self.sessions],

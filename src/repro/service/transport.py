@@ -42,6 +42,7 @@ from repro.engine.rpc import ProtocolError, RpcReply, RpcRequest
 from repro.errors import EngineError, HillviewError
 from repro.service import slow  # noqa: F401 — registers the "slow" sketch type
 from repro.service.scheduler import FairShareScheduler
+from repro.service.session_store import SessionStore
 from repro.service.sessions import Session, SessionManager
 from repro.storage.loader import DataSource
 
@@ -116,19 +117,25 @@ class ServiceServer:
         default_source: DataSource | None = None,
         outbox_frames: int = 64,
         sink_timeout_seconds: float = 30.0,
+        session_store: "SessionStore | None" = None,
     ):
         self.cluster = cluster if cluster is not None else Cluster()
         self.host = host
         self.port = port
+        self.scheduler = FairShareScheduler(
+            max_concurrent=max_concurrent,
+            max_queue_per_session=max_queue_per_session,
+        )
         self.sessions = SessionManager(
             self.cluster,
             idle_ttl_seconds=idle_ttl_seconds,
             expire_ttl_seconds=expire_ttl_seconds,
             default_source=default_source,
-        )
-        self.scheduler = FairShareScheduler(
-            max_concurrent=max_concurrent,
-            max_queue_per_session=max_queue_per_session,
+            store=session_store,
+            # However a session ends — explicit close, idle-TTL expiry —
+            # the scheduler must drop its queue and round-robin slot, or
+            # a long-lived root leaks per-session scheduler state.
+            on_close=self.scheduler.forget_session,
         )
         self.sweep_interval_seconds = sweep_interval_seconds
         self.outbox_frames = outbox_frames
@@ -157,8 +164,9 @@ class ServiceServer:
         while True:
             await asyncio.sleep(self.sweep_interval_seconds)
             self.sessions.sweep()
-            for session_id in self.sessions.expire():
-                self.scheduler.forget_session(session_id)
+            # Expiry releases scheduler state through the manager's
+            # on_close hook; nothing extra to do here.
+            self.sessions.expire()
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled — the CLI entry."""

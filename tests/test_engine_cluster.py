@@ -159,11 +159,21 @@ class TestRedoLog:
         with pytest.raises(EngineError):
             log.lineage("nope")
 
-    def test_duplicate_registration_rejected(self, loaded):
+    def test_duplicate_registration_is_idempotent(self, loaded):
+        """Dataset ids are content-addressed: re-recording the same load
+        (another session or root) is a no-op, but the same id naming
+        different content is corruption and must raise."""
         log = loaded.cluster.redo_log
         op = log.creation_op(loaded.dataset_id)
-        with pytest.raises(EngineError):
-            log.record_load(loaded.dataset_id, op.source)
+        before = len(log)
+        assert log.record_load(loaded.dataset_id, op.source) is op
+        assert len(log) == before
+        from repro.data.flights import FlightsSource
+
+        with pytest.raises(EngineError, match="already recorded"):
+            log.record_load(
+                loaded.dataset_id, FlightsSource(10, partitions=1, seed=3)
+            )
 
     def test_sketch_ops_recorded_with_seed(self, loaded):
         loaded.sketch(HistogramSketch("value", BUCKETS, rate=0.5, seed=123))

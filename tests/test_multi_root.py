@@ -1,0 +1,297 @@
+"""The horizontal service tier: N roots over one shared worker fleet.
+
+Two real ``ServiceServer`` front-ends attach to the same pre-started
+``repro worker --listen`` daemons (the paper's stateless-web-server
+deployment, §5.2–5.3) and must be indistinguishable to clients: identical
+shard placement, byte-identical summaries for every wire-level sketch
+type, and sessions that resume on either root through the shared
+session store with handles rebuilt by lineage replay (§5.7).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.data.flights import FlightsSource
+from repro.engine.local import LocalDataSet
+from repro.engine.remote import ProcessCluster, _spawn_env
+from repro.engine.rpc import sketch_from_json, summary_to_json
+from repro.service import (
+    ConnectionDirector,
+    ServiceClient,
+    ServiceServer,
+    SqliteSessionStore,
+)
+from repro.table.table import Table
+
+from tests.test_engine_equivalence import SKETCH_SPECS
+
+pytestmark = pytest.mark.tier2
+
+ROWS = 2_000
+PARTITIONS = 8
+SEED = 5
+SOURCE = FlightsSource(ROWS, partitions=PARTITIONS, seed=SEED)
+#: The same dataset, described the way a wire client loads it.
+FLIGHTS_SPEC = {
+    "kind": "flights",
+    "rows": ROWS,
+    "partitions": PARTITIONS,
+    "seed": SEED,
+}
+HIST = {
+    "type": "histogram",
+    "column": "Distance",
+    "buckets": {"type": "double", "min": 0, "max": 3000, "count": 9},
+}
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def spawn_daemon(index: int):
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--listen",
+            "127.0.0.1:0",
+            "--name",
+            f"fleet-{index}",
+            "--cores",
+            "2",
+        ],
+        env=_spawn_env(),
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    announcement = json.loads(proc.stdout.readline())
+    return proc, ("127.0.0.1", int(announcement["port"]))
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Two pre-started worker daemons that outlive any root."""
+    daemons, addresses = [], []
+    try:
+        for i in range(2):
+            proc, address = spawn_daemon(i)
+            daemons.append(proc)
+            addresses.append(address)
+        yield addresses
+    finally:
+        for proc in daemons:
+            proc.terminate()
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+@pytest.fixture(scope="module")
+def tier(fleet, tmp_path_factory):
+    """Two ServiceServer roots over the shared fleet + shared store."""
+    store_path = str(tmp_path_factory.mktemp("tier") / "sessions.db")
+    roots = []
+    try:
+        for _ in range(2):
+            cluster = ProcessCluster(
+                addresses=fleet, aggregation_interval=0.01
+            )
+            server = ServiceServer(
+                cluster,
+                port=0,
+                session_store=SqliteSessionStore(store_path),
+                sweep_interval_seconds=30.0,
+            )
+            address = server.start_background()
+            roots.append((server, cluster, address))
+        yield roots
+    finally:
+        for server, cluster, _ in roots:
+            server.close()
+            cluster.close()
+
+
+@pytest.fixture(scope="module")
+def reference_table() -> Table:
+    return Table.concat(SOURCE.load())
+
+
+class TestSharedPlacement:
+    def test_roots_adopt_one_slicing(self, tier):
+        """Both roots hold the same workers in the same slice order —
+        the placement registry's byte-for-byte agreement."""
+        (_, cluster_a, _), (_, cluster_b, _) = tier
+        names_a = [w.name for w in cluster_a.workers]
+        names_b = [w.name for w in cluster_b.workers]
+        assert names_a == names_b
+        assert sorted(names_a) == ["fleet-0", "fleet-1"]
+        for index, worker in enumerate(cluster_b.workers):
+            placement = worker.query_placement()
+            assert placement is not None
+            assert placement.index == index
+            assert placement.count == len(cluster_b.workers)
+
+    def test_conflicting_root_is_rejected_not_obeyed(self, fleet, tier):
+        """A root that tries to re-slice the placed fleet (wrong worker
+        count) must be refused attachment."""
+        from repro.service import PlacementError
+
+        with pytest.raises(PlacementError):
+            ProcessCluster(addresses=fleet[:1])
+
+
+class TestByteIdenticalSummaries:
+    @pytest.mark.parametrize("kind", sorted(SKETCH_SPECS))
+    def test_every_sketch_agrees_across_roots(
+        self, kind, tier, reference_table
+    ):
+        """Every SKETCH_BUILDERS entry returns byte-identical summaries
+        from both roots, equal to the single-process reference.
+
+        Across roots the *wire payload text* must match byte for byte
+        (same placement, same merge order, same JSON).  Against the local
+        reference the comparison is the summary's canonical ``to_bytes``
+        encoding — JSON key order there legitimately reflects merge
+        order (e.g. frequency maps), which a single process lacks.
+        """
+        from repro.engine.rpc import summary_from_json
+
+        spec = SKETCH_SPECS[kind]
+        local_bytes = (
+            LocalDataSet(reference_table)
+            .sketch(sketch_from_json(spec))
+            .to_bytes()
+        )
+        payloads = []
+        for _, _, (host, port) in tier:
+            with ServiceClient(host, port) as client:
+                handle = client.load(FLIGHTS_SPEC)
+                reply = client.sketch(handle, spec).result(timeout=120)
+                assert reply.kind == "complete", reply.error
+                payloads.append(canonical(reply.payload))
+                assert (
+                    summary_from_json(reply.payload).to_bytes() == local_bytes
+                ), f"{kind} differs from the local reference on {host}:{port}"
+        assert payloads[0] == payloads[1], (
+            f"{kind}: the two roots returned different wire payloads"
+        )
+
+    def test_concurrent_sessions_across_roots(self, tier, reference_table):
+        """Eight sessions spread over both roots, all streaming at once,
+        every result byte-identical to the single-root answer."""
+        local = canonical(
+            summary_to_json(
+                LocalDataSet(reference_table).sketch(sketch_from_json(HIST))
+            )
+        )
+        director = ConnectionDirector([address for _, _, address in tier])
+        results, errors = [], []
+
+        def one_session() -> None:
+            try:
+                with director.connect() as client:
+                    handle = client.load(FLIGHTS_SPEC)
+                    reply = client.sketch(handle, HIST).result(timeout=120)
+                    results.append(canonical(reply.payload))
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one_session) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors[0]
+        assert len(results) == 8
+        assert all(result == local for result in results)
+        # Both roots actually served traffic.
+        for server, _, _ in tier:
+            assert server.connections_accepted >= 4
+
+
+class TestSessionMobility:
+    def test_session_created_on_root_a_resumes_on_root_b(self, tier):
+        """The acceptance path: load + filter on root A, reconnect to
+        root B by session id, and query the *derived* handle — root B
+        rebuilds it from the stored recipe book via lineage replay."""
+        (server_a, _, address_a), (server_b, _, address_b) = tier
+        with ServiceClient(*address_a, session="roaming") as client_a:
+            root_handle = client_a.load(FLIGHTS_SPEC)
+            derived = client_a.call(
+                "filter",
+                root_handle,
+                {
+                    "predicate": {
+                        "type": "column",
+                        "column": "Distance",
+                        "op": ">",
+                        "value": 500.0,
+                    }
+                },
+            ).payload["handle"]
+            reference = client_a.sketch(derived, HIST).result(timeout=120)
+            reference_rows = client_a.row_count(derived)
+
+        with ServiceClient(*address_b, session="roaming") as client_b:
+            assert client_b.session_id == "roaming"
+            assert client_b.row_count(derived) == reference_rows
+            resumed = client_b.sketch(derived, HIST).result(timeout=120)
+            assert canonical(resumed.payload) == canonical(reference.payload)
+        assert server_b.sessions.sessions_resumed >= 1
+
+    def test_director_pins_sessions_and_rotates_fresh_connections(self):
+        """Round-robin for fresh connections; affinity pins a session to
+        the root that actually served it — and only after the dial
+        succeeded, so a dead root cannot capture a session forever."""
+        addresses = [("root-a", 1), ("root-b", 2)]
+        dialed = []
+
+        class StubClient:
+            def __init__(self, host, port, session=None):
+                if host == "root-b" and down["b"]:
+                    raise ConnectionRefusedError("root-b is down")
+                dialed.append((host, port))
+                self.session_id = session or f"minted-{len(dialed)}"
+
+        down = {"b": False}
+        director = ConnectionDirector(addresses, client_factory=StubClient)
+        first = director.connect(session="sticky")
+        assert dialed[-1] == ("root-a", 1)
+        for _ in range(3):  # reconnects stay pinned
+            assert director.connect(session="sticky").session_id == "sticky"
+            assert dialed[-1] == ("root-a", 1)
+        # Fresh connections keep rotating across the remaining slots.
+        fresh = director.connect()
+        assert dialed[-1] == ("root-b", 2)
+        assert director.connect(session=fresh.session_id).session_id == fresh.session_id
+        assert dialed[-1] == ("root-b", 2), "minted ids pin too"
+        # A failed dial must not pin: the session retries onto a live root.
+        director.connect()  # consume the root-a rotation slot
+        down["b"] = True
+        with pytest.raises(ConnectionRefusedError):
+            director.connect(session="roamer")  # round-robin lands on b
+        assert director.connect(session="roamer").session_id == "roamer"
+        assert dialed[-1] == ("root-a", 1)
+        assert first.session_id == "sticky"
+        # A dead *pinned* root must not capture its session either: the
+        # failed dial drops the pin, and the retry (with the shared
+        # store behind it) resumes the session on a healthy root.
+        with pytest.raises(ConnectionRefusedError):
+            director.connect(session=fresh.session_id)  # pinned to dead b
+        with pytest.raises(ConnectionRefusedError):
+            director.connect(session=fresh.session_id)  # rotation hits b too
+        assert (
+            director.connect(session=fresh.session_id).session_id
+            == fresh.session_id
+        )
+        assert dialed[-1] == ("root-a", 1)

@@ -419,6 +419,163 @@ class TestFailureModes:
             scheduler.shutdown()
 
 
+class TestSchedulerStateLifecycle:
+    """Regression: per-session scheduler state must not outlive the session.
+
+    ``_queues`` entries and round-robin slots used to accumulate forever on
+    a long-lived server — TTL-expired sessions never reached
+    ``forget_session``, drained queues were never purged, and even a
+    rejected submit left bookkeeping behind."""
+
+    @staticmethod
+    def _wait_empty(scheduler, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with scheduler._cond:
+                if not scheduler._queues and not scheduler._order:
+                    return
+            time.sleep(0.01)
+        with scheduler._cond:
+            assert not scheduler._queues, dict(scheduler._queues)
+            assert not scheduler._order, list(scheduler._order)
+
+    def test_ttl_expired_session_releases_scheduler_state(
+        self, service_cluster, numbers_source
+    ):
+        class FakeClock:
+            t = 1000.0
+
+            def now(self):
+                return self.t
+
+        clock = FakeClock()
+        scheduler = FairShareScheduler(max_concurrent=1)
+        manager = SessionManager(
+            service_cluster,
+            idle_ttl_seconds=10.0,
+            expire_ttl_seconds=20.0,
+            clock=clock.now,
+            on_close=scheduler.forget_session,
+        )
+        try:
+            session = manager.get_or_create("leaky")
+            handle = session.web.load(numbers_source)
+            task = scheduler.submit(
+                session, RpcRequest(1, handle, "rowCount"), Collector()
+            )
+            assert task.done.wait(timeout=10)
+            clock.t += 21.0
+            assert manager.expire() == ["leaky"]
+            self._wait_empty(scheduler)
+        finally:
+            scheduler.shutdown()
+
+    def test_drained_session_queues_are_purged(self, manager, numbers_source):
+        scheduler = FairShareScheduler(max_concurrent=2)
+        try:
+            tasks = []
+            for i in range(3):
+                session = manager.get_or_create(f"drain-{i}")
+                handle = session.web.load(numbers_source)
+                tasks.append(
+                    scheduler.submit(
+                        session, RpcRequest(i + 1, handle, "rowCount"), Collector()
+                    )
+                )
+            for task in tasks:
+                assert task.done.wait(timeout=10)
+            # With the backlog drained and the workers idle, no per-session
+            # residue may remain.
+            self._wait_empty(scheduler)
+        finally:
+            scheduler.shutdown()
+
+    def test_rejected_submit_leaves_no_scheduler_state(
+        self, manager, numbers_source
+    ):
+        scheduler = FairShareScheduler(max_concurrent=1, max_queue_per_session=0)
+        try:
+            session = manager.get_or_create("bounced")
+            handle = session.web.load(numbers_source)
+            sink = Collector()
+            task = scheduler.submit(
+                session, RpcRequest(1, handle, "rowCount"), sink
+            )
+            assert task.done.wait(timeout=10)
+            assert sink.terminal.code == "overloaded"
+            assert scheduler.metrics.rejected == 1
+            with scheduler._cond:
+                assert session.session_id not in scheduler._queues
+                assert session.session_id not in scheduler._order
+        finally:
+            scheduler.shutdown()
+
+
+class TestReplyHygiene:
+    """Regression: reply-stream classification and envelope ownership."""
+
+    def test_empty_stream_with_cancelled_token_counts_as_cancelled(
+        self, manager
+    ):
+        """A token cancelled before the first envelope used to be counted
+        as 'completed' (last_kind is None fell into the else branch)."""
+        scheduler = FairShareScheduler(max_concurrent=1)
+        try:
+            session = manager.get_or_create("hollow")
+
+            def hollow_execute(request, token=None):
+                token.cancel()  # cancelled before any envelope is produced
+                return iter(())
+
+            session.web.execute = hollow_execute
+            task = scheduler.submit(
+                session, RpcRequest(1, "obj-1", "rowCount"), Collector()
+            )
+            assert task.done.wait(timeout=10)
+            assert scheduler.metrics.cancelled == 1
+            assert scheduler.metrics.completed == 0
+        finally:
+            scheduler.shutdown()
+
+    def test_empty_stream_without_cancellation_still_counts_completed(
+        self, manager
+    ):
+        scheduler = FairShareScheduler(max_concurrent=1)
+        try:
+            session = manager.get_or_create("benign")
+            session.web.execute = lambda request, token=None: iter(())
+            task = scheduler.submit(
+                session, RpcRequest(1, "obj-1", "rowCount"), Collector()
+            )
+            assert task.done.wait(timeout=10)
+            assert scheduler.metrics.completed == 1
+            assert scheduler.metrics.cancelled == 0
+        finally:
+            scheduler.shutdown()
+
+    def test_superseded_code_is_stamped_on_a_copy(self, manager):
+        """The scheduler must not mutate reply envelopes it does not own:
+        the 'superseded' qualifier goes on a copy, the original object
+        (which the execution layer may share) stays untouched."""
+        from repro.engine.rpc import RpcReply
+        from repro.service import QueryTask
+
+        scheduler = FairShareScheduler(max_concurrent=1)
+        try:
+            session = manager.get_or_create("copycat")
+            shared = RpcReply(7, "cancelled")
+            session.web.execute = lambda request, token=None: iter([shared])
+            sink = Collector()
+            task = QueryTask(session, sketch_request(7, "obj-1"), sink)
+            task.superseded = True
+            scheduler._execute(task)
+            assert sink.terminal.code == "superseded"
+            assert sink.terminal is not shared
+            assert shared.code is None, "shared envelope was mutated in place"
+        finally:
+            scheduler.shutdown()
+
+
 def test_threads_wind_down_after_shutdown(manager, numbers_source):
     scheduler = FairShareScheduler(max_concurrent=2)
     session = manager.get_or_create("bye")

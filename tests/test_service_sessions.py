@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -156,6 +158,91 @@ class TestIdleSweep:
         clock.advance(120.0)
         assert manager.sweep() >= 2  # root and derived both evicted
         assert row_count(session, derived) == before
+
+
+class TestLifecycleRaces:
+    """Regression tests for the get-or-create and sweep/expire races."""
+
+    def test_racing_resumes_of_one_id_are_atomic(self, manager):
+        """Two connections resuming the same id used to race get() and
+        create(): both could miss, and the loser got a protocol error for
+        a perfectly legitimate reconnect.  get-or-create is now atomic
+        under the manager lock: every racer receives the same session.
+
+        A delay injected into ``get`` widens the old check-then-act
+        window so the race is caught deterministically; the atomic
+        implementation never leaves the lock between check and create,
+        so the delay is harmless there."""
+        import time as time_mod
+
+        original_get = manager.get
+
+        def slow_get(session_id):
+            result = original_get(session_id)
+            time_mod.sleep(0.002)
+            return result
+
+        manager.get = slow_get
+        for round_no in range(20):
+            session_id = f"racer-{round_no}"
+            barrier = threading.Barrier(8)
+            results, errors = [], []
+
+            def attempt():
+                barrier.wait()
+                try:
+                    results.append(manager.get_or_create(session_id))
+                except Exception as exc:  # noqa: BLE001 — the regression
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=attempt) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert not errors, f"round {round_no}: {errors[0]!r}"
+            assert len(results) == 8
+            assert len({id(s) for s in results}) == 1
+
+    @staticmethod
+    def _flip_active(session) -> dict:
+        """Make ``session.active`` read False once (the sweep snapshot),
+        then True forever — simulating a query admitted between the
+        snapshot and the teardown."""
+        reads = {"count": 0}
+        base = type(session)
+
+        class FlipActive(base):
+            @property
+            def active(self):  # noqa: D401 — test double
+                reads["count"] += 1
+                return reads["count"] > 1
+
+        session.__class__ = FlipActive
+        return reads
+
+    def test_expire_skips_session_that_became_active(
+        self, manager, clock, source
+    ):
+        session = manager.get_or_create("lively")
+        session.web.load(source)
+        reads = self._flip_active(session)
+        clock.advance(241.0)
+        assert manager.expire() == []
+        assert reads["count"] >= 2, "activity was not re-checked at teardown"
+        assert manager.get("lively") is session
+        assert session.web._handles != {}, "active session was torn down"
+
+    def test_sweep_skips_session_that_became_active(
+        self, manager, clock, source
+    ):
+        session = manager.get_or_create("reprieved")
+        session.web.load(source)
+        reads = self._flip_active(session)
+        clock.advance(61.0)
+        assert manager.sweep() == 0
+        assert reads["count"] >= 2, "activity was not re-checked at eviction"
+        assert session.web._handles != {}, "active session's handles evicted"
 
 
 class TestSharedDatasets:
