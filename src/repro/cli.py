@@ -390,6 +390,11 @@ def serve_main(argv: list[str]) -> int:
              "default: memory)",
     )
     parser.add_argument(
+        "--session-store-ttl", type=float, metavar="SECONDS",
+        help="compact the shared session store: records idle longer than "
+             "this are purged by the sweep loop (default: never)",
+    )
+    parser.add_argument(
         "--cores-per-worker", type=int, default=4,
         help="leaf thread pool size per worker",
     )
@@ -444,6 +449,7 @@ def serve_main(argv: list[str]) -> int:
         idle_ttl_seconds=args.idle_ttl,
         default_source=_serve_source(args),
         session_store=open_session_store(args.session_store),
+        session_store_ttl_seconds=args.session_store_ttl,
     )
     print(f"hillview service on {args.host}:{args.port} "
           f"({topology}, {args.max_concurrent} query slots)")
@@ -571,10 +577,38 @@ class RemoteSession:
                 f"{scheduler['preempted']} preempted, "
                 f"{scheduler['rejected']} rejected"
             )
+        elif name == "cachestats":
+            stats = self.client.cache_stats()
+            cluster = stats["cluster"]
+            if cluster.get("disabled"):
+                self.print("  caches DISABLED (REPRO_DISABLE_CACHES)")
+            for tier, counters in cluster["root"].items():
+                self.print(
+                    f"  root/{tier}: {counters['entries']} entries, "
+                    f"{counters['bytes']:,}B, {counters['hits']} hits / "
+                    f"{counters['misses']} misses, "
+                    f"{counters['evictions']} evictions"
+                )
+            for worker in cluster["workers"]:
+                if "error" in worker:
+                    self.print(f"  {worker.get('name', '?')}: {worker['error']}")
+                    continue
+                memo = worker["memo"]
+                store = worker["store"]
+                self.print(
+                    f"  {worker['name']}: memo {memo['entries']} entries "
+                    f"({memo['hits']} hits), store {store['entries']} "
+                    f"datasets, {worker['shardsSummarized']} shards scanned"
+                )
+            mine = stats["sessions"].get(self.client.session_id, {})
+            self.print(
+                f"  this session: {mine.get('cacheHits', 0)} root hits, "
+                f"{mine.get('workerCacheHits', 0)} worker partial hits"
+            )
         elif name == "help":
             self.print("  load [path] | cols | rows | hist <col> <min> <max>"
                        " [buckets] | distinct <col> | filter <col> <op> <v>"
-                       " | stats | quit")
+                       " | stats | cachestats | quit")
         else:
             self.print(f"unknown command {name!r}; try 'help'")
 

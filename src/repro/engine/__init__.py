@@ -32,7 +32,13 @@ from repro.engine.dataset import (
     ProjectMap,
 )
 from repro.engine.local import LocalDataSet, ParallelDataSet, parallel_dataset
-from repro.engine.cache import ComputationCache, DataCache
+from repro.engine.cache import (
+    CacheStats,
+    ComputationCache,
+    DataCache,
+    MemoCache,
+    caches_disabled,
+)
 from repro.engine.cluster import (
     Cluster,
     ClusterDataSet,
@@ -60,7 +66,10 @@ __all__ = [
     "LocalDataSet",
     "ParallelDataSet",
     "parallel_dataset",
+    "CacheStats",
     "ComputationCache",
+    "MemoCache",
+    "caches_disabled",
     "ProtocolError",
     "RpcReply",
     "RpcRequest",

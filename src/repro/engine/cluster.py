@@ -27,7 +27,12 @@ and its stream re-run from scratch; because every partial is *cumulative*,
 the root simply replaces that worker's contribution and the final merge is
 still exact (§5.8).
 
-Deterministic sketch results are served from the computation cache (§5.4).
+Deterministic sketch results are served from the multi-tier memoization
+subsystem (§5.4): whole results from the root's computation cache, and
+per-worker cumulative partials from each worker's memo cache — keyed by
+content-addressed dataset id and shard slice, so on a shared fleet a
+sketch computed for one root is served from the worker cache to every
+other root (see :mod:`repro.engine.cache`).
 """
 
 from __future__ import annotations
@@ -44,7 +49,14 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence, TypeVar
 
 from repro.core.sketch import Sketch
-from repro.engine.cache import ComputationCache, DataCache
+from repro.engine.cache import (
+    KEY_SEP,
+    ComputationCache,
+    DataCache,
+    MemoCache,
+    caches_disabled,
+    summary_size,
+)
 from repro.engine.dataset import IDataSet, TableMap
 from repro.engine.progress import CancellationToken, PartialResult, SketchRun
 from repro.engine.redo_log import LoadOp, MapOp, RedoLog
@@ -66,11 +78,16 @@ MAX_WORKER_RETRIES = 3
 
 @dataclass
 class WorkerEmission:
-    """One cumulative partial emitted by a worker's aggregation node."""
+    """One cumulative partial emitted by a worker's aggregation node.
+
+    ``cache_hit`` marks a partial served whole from the worker's memo
+    cache — no shard was scanned to produce it (§5.4 at the worker tier).
+    """
 
     summary: object
     shards_done: int
     bytes: int
+    cache_hit: bool = False
 
 
 class WorkerProtocol(ABC):
@@ -126,6 +143,18 @@ class WorkerProtocol(ABC):
     def crash(self) -> None:
         """Lose all soft state, as after a process restart (§5.8)."""
 
+    def cache_stats(self) -> dict:
+        """This worker's cache counters (shard store + sketch memo)."""
+        return {"name": self.name}
+
+    def sweep_caches(self) -> int:
+        """Purge TTL-expired cache entries; returns how many were dropped.
+
+        Remote workers sweep themselves on their own daemon-side timer,
+        so the proxy default is a no-op.
+        """
+        return 0
+
     def close(self) -> None:
         """Release resources (sockets, subprocesses); local workers no-op."""
 
@@ -139,6 +168,9 @@ class Worker(WorkerProtocol):
         cores: int = 4,
         cache_entries: int = 64,
         cache_ttl_seconds: float = 2 * 3600.0,
+        memo_entries: int = 4096,
+        memo_bytes: int = 32 * 1024 * 1024,
+        clock=time.monotonic,
     ):
         if cores < 1:
             raise ValueError("a worker needs at least one core")
@@ -146,7 +178,24 @@ class Worker(WorkerProtocol):
         self.cores = cores
         # The data cache: dataset id -> this worker's micropartitions.
         self.store: DataCache[list[Table]] = DataCache(
-            max_entries=cache_entries, ttl_seconds=cache_ttl_seconds
+            max_entries=cache_entries,
+            ttl_seconds=cache_ttl_seconds,
+            clock=clock,
+            name=f"{name}-store",
+        )
+        #: The worker tier of the computation cache (§5.4): cumulative
+        #: *partial* sketch results keyed by (content-addressed dataset id,
+        #: sketch cache key, this worker's shard slice).  On a shared
+        #: fleet, a deterministic sketch computed for one root is served
+        #: from here to every other root — zero shard scans.
+        self.memo: MemoCache[tuple[object, int]] = MemoCache(
+            max_entries=memo_entries,
+            max_bytes=memo_bytes,
+            ttl_seconds=cache_ttl_seconds,
+            clock=clock,
+            sizer=lambda entry: summary_size(entry[0]),
+            name=f"{name}-memo",
+            disableable=True,
         )
         self.crashes = 0
         self.shards_summarized = 0
@@ -175,11 +224,28 @@ class Worker(WorkerProtocol):
 
     def evict(self, dataset_id: str) -> None:
         self.store.evict(dataset_id)
+        # The invalidation invariant: evicting a dataset drops every
+        # dependent memoized partial at this tier too.
+        self.memo.invalidate_prefix(dataset_id + KEY_SEP)
 
     def crash(self) -> None:
         """Lose all soft state, as after a process restart (§5.8)."""
         self.store.clear()
+        self.memo.clear()
         self.crashes += 1
+
+    def cache_stats(self) -> dict:
+        return {
+            "name": self.name,
+            "store": self.store.stats().to_json(),
+            "memo": self.memo.stats().to_json(),
+            "shardsSummarized": self.shards_summarized,
+        }
+
+    def sweep_caches(self) -> int:
+        """The paper's "unused for 2 hours → purged" behavior, for real:
+        drop TTL-expired shards and memoized partials."""
+        return self.store.purge_stale() + self.memo.purge_stale()
 
     # -- materialization (replay, §5.7) ---------------------------------
     def shards(self, dataset_id: str, lineage: list) -> list[Table]:
@@ -234,6 +300,14 @@ class Worker(WorkerProtocol):
         return shards[0].schema if shards else None
 
     # -- sketch execution (leaf pool + aggregation cadence) --------------
+    def _memo_key(self, dataset_id: str, cache_key: str) -> str:
+        """Keyed by (dataset, sketch, shard slice): a reconfigured worker
+        must never serve partials computed over a different slice."""
+        return (
+            f"{dataset_id}{KEY_SEP}{cache_key}{KEY_SEP}"
+            f"{self.index}/{self.count}"
+        )
+
     def sketch_partials(
         self,
         dataset_id: str,
@@ -241,6 +315,22 @@ class Worker(WorkerProtocol):
         lineage: list,
         token: CancellationToken | None = None,
     ) -> Iterator[WorkerEmission]:
+        memo_key = None
+        cache_key = sketch.cache_key()
+        if cache_key is not None:
+            memo_key = self._memo_key(dataset_id, cache_key)
+            memoized = self.memo.get(memo_key)
+            if memoized is not None:
+                summary, shard_count = memoized
+                yield WorkerEmission(
+                    summary,
+                    shard_count,
+                    summary.serialized_size()
+                    if hasattr(summary, "serialized_size")
+                    else 0,
+                    cache_hit=True,
+                )
+                return
         shards = self.shards(dataset_id, lineage)
         interval = self.aggregation_interval
 
@@ -289,6 +379,16 @@ class Worker(WorkerProtocol):
                     last_emit = now
         if failure is not None:
             raise failure
+        if (
+            memo_key is not None
+            and shards
+            and done == len(shards)
+            and not (token is not None and token.cancelled)
+        ):
+            # Every shard was summarized into the cumulative partial:
+            # memoize it for the next root (or session) asking for the
+            # same deterministic sketch over the same dataset slice.
+            self.memo.put(memo_key, (accumulated, len(shards)))
 
     def __repr__(self) -> str:
         return f"<Worker {self.name} cores={self.cores}>"
@@ -303,6 +403,7 @@ class _Emission:
     shards_done: int
     bytes: int
     error: BaseException | None = None  # a leaf failure, reported at the root
+    cache_hit: bool = False  # served from the worker's memo cache
 
 
 class Cluster:
@@ -338,6 +439,20 @@ class Cluster:
             worker.configure(index, len(self.workers), aggregation_interval)
         self.redo_log = RedoLog()
         self.computation_cache = ComputationCache()
+        #: dataset id -> total row count, behind the same cache interface
+        #: as every other memo tier (stats-bearing, evictable, honors the
+        #: disable switch).  Datasets are immutable once created, so a
+        #: counted total stays valid across crash and redo-log replay;
+        #: repeated rowCount queries skip the shard walk.  An explicit
+        #: dataset eviction still invalidates the entry — the invariant
+        #: "evicting a dataset drops its cache entries at every tier" is
+        #: worth more than the saved recount.
+        self.row_count_cache: MemoCache[int] = MemoCache(
+            max_entries=65536,
+            sizer=lambda _: 32,
+            name="row-counts",
+            disableable=True,
+        )
         self.total_bytes_to_root = 0
         self._ids = itertools.count()
         #: Distinguishes this root's counter-minted ids from another
@@ -345,18 +460,43 @@ class Cluster:
         #: such qualifier: equal id means equal content by construction).
         self._root_nonce = uuid.uuid4().hex[:8]
         self._lock = threading.Lock()
-        #: dataset id -> total row count.  Datasets are immutable once
-        #: created, so a counted total stays valid across eviction, crash
-        #: and redo-log replay; repeated rowCount queries skip the shard walk.
-        self._row_counts: dict[str, int] = {}
 
     def cached_row_count(self, dataset_id: str) -> int | None:
-        with self._lock:
-            return self._row_counts.get(dataset_id)
+        return self.row_count_cache.get(dataset_id)
 
     def cache_row_count(self, dataset_id: str, rows: int) -> None:
-        with self._lock:
-            self._row_counts[dataset_id] = rows
+        self.row_count_cache.put(dataset_id, rows)
+
+    def cache_stats(self) -> dict:
+        """Every cache tier's counters, for the ``cache_stats`` RPC."""
+        workers = []
+        for worker in self.workers:
+            try:
+                workers.append(worker.cache_stats())
+            except (WorkerUnavailableError, EngineError) as exc:
+                workers.append({"name": worker.name, "error": str(exc)})
+        return {
+            "disabled": caches_disabled(),
+            "root": {
+                "computation": self.computation_cache.stats().to_json(),
+                "rowCounts": self.row_count_cache.stats().to_json(),
+            },
+            "workers": workers,
+        }
+
+    def sweep_caches(self) -> int:
+        """Purge TTL-expired entries at every local tier; remote workers
+        run their own daemon-side sweep.  Returns entries dropped."""
+        purged = (
+            self.computation_cache.purge_stale()
+            + self.row_count_cache.purge_stale()
+        )
+        for worker in self.workers:
+            try:
+                purged += worker.sweep_caches()
+            except (WorkerUnavailableError, EngineError):
+                continue
+        return purged
 
     # ------------------------------------------------------------------
     # Dataset lifecycle
@@ -483,7 +623,12 @@ class Cluster:
         return False
 
     def evict_dataset(self, dataset_id: str, worker_index: int | None = None) -> None:
-        """Evict a dataset's shards (memory pressure / TTL expiry)."""
+        """Evict a dataset's shards (memory pressure / TTL expiry).
+
+        A full eviction also invalidates every dependent cache entry at
+        the root tier (computation cache, row count); each worker drops
+        its own memoized partials inside :meth:`WorkerProtocol.evict`.
+        """
         targets = (
             self.workers
             if worker_index is None
@@ -491,6 +636,9 @@ class Cluster:
         )
         for worker in targets:
             worker.evict(dataset_id)
+        if worker_index is None:
+            self.computation_cache.invalidate_dataset(dataset_id)
+            self.row_count_cache.evict(dataset_id)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -591,6 +739,7 @@ class ClusterDataSet(IDataSet):
                                 emission.summary,
                                 emission.shards_done,
                                 emission.bytes,
+                                cache_hit=emission.cache_hit,
                             )
                         )
                 except WorkerUnavailableError as exc:
@@ -627,7 +776,7 @@ class ClusterDataSet(IDataSet):
         if cache_key is not None:
             cached = cluster.computation_cache.get(self.dataset_id, cache_key)
             if cached is not None:
-                yield PartialResult(1.0, cached, received_bytes=0)
+                yield PartialResult(1.0, cached, received_bytes=0, cache_hit=True)
                 return
 
         # Phase 1 (request broadcast + data materialization): every worker
@@ -654,6 +803,7 @@ class ClusterDataSet(IDataSet):
 
         latest: dict[int, R] = {}
         done_counts = dict.fromkeys(workers, 0)
+        hit_workers: set[int] = set()
         finished = 0
         final: R | None = None
         leaf_error: BaseException | None = None
@@ -665,6 +815,8 @@ class ClusterDataSet(IDataSet):
                 if emission.error is not None and leaf_error is None:
                     leaf_error = emission.error
                 continue
+            if emission.cache_hit:
+                hit_workers.add(emission.worker_index)
             latest[emission.worker_index] = emission.summary  # type: ignore[assignment]
             with cluster._lock:
                 cluster.total_bytes_to_root += emission.bytes
@@ -674,6 +826,7 @@ class ClusterDataSet(IDataSet):
                 sum(done_counts.values()) / total_shards,
                 merged,
                 received_bytes=emission.bytes,
+                worker_cache_hits=len(hit_workers),
             )
         for thread in threads:
             thread.join()
@@ -690,16 +843,11 @@ class ClusterDataSet(IDataSet):
     def run(
         self, sketch: Sketch[R], token: CancellationToken | None = None
     ) -> SketchRun[R]:
-        """Execute with statistics; cache hits are flagged."""
-        cache_key = sketch.cache_key()
-        cached = (
-            self.cluster.computation_cache.get(self.dataset_id, cache_key)
-            if cache_key is not None
-            else None
-        )
+        """Execute with statistics; cache hits are flagged by the stream
+        itself (``drain`` copies them off the partials), so the cache is
+        probed exactly once per execution and stats stay honest."""
         run = super().run(sketch, token)
-        run.cache_hit = cached is not None
         run.cancelled = token is not None and token.cancelled
-        if run.value is None and cached is None:
+        if run.value is None:
             raise EngineError("sketch execution produced no result")
         return run

@@ -26,11 +26,18 @@ class PartialResult(Generic[R]):
     ``received_bytes``, when set by the engine, is the serialized size of
     the summary that *arrived at the root* to produce this partial (the
     network cost), which can be smaller than the cumulative value.
+
+    ``cache_hit`` marks a result served whole from the root's computation
+    cache (§5.4); ``worker_cache_hits`` counts the workers whose partial
+    was served from their own memo cache instead of a shard scan — the
+    worker tier of the multi-tier memoization story.
     """
 
     progress: float  # in [0, 1]: fraction of leaves merged so far
     value: R
     received_bytes: int | None = None
+    cache_hit: bool = False
+    worker_cache_hits: int = 0
 
     def __post_init__(self) -> None:
         self.progress = min(max(self.progress, 0.0), 1.0)
@@ -75,6 +82,7 @@ class SketchRun(Generic[R]):
     first_partial_seconds: float = 0.0
     total_seconds: float = 0.0
     cache_hit: bool = False
+    worker_cache_hits: int = 0
     cancelled: bool = False
 
     def __repr__(self) -> str:
@@ -100,6 +108,10 @@ def drain(
             first = now - start
         run.partials += 1
         run.value = partial.value
+        run.cache_hit = run.cache_hit or partial.cache_hit
+        run.worker_cache_hits = max(
+            run.worker_cache_hits, partial.worker_cache_hits
+        )
         if count_bytes:
             if partial.received_bytes is not None:
                 run.bytes_received += partial.received_bytes

@@ -126,6 +126,7 @@ class WorkerServer:
         cores: int = 4,
         cache_entries: int = 64,
         cache_ttl_seconds: float = 2 * 3600.0,
+        cache_sweep_interval_seconds: float = 300.0,
     ):
         # "slow" sketches (service load tests) must deserialize here too.
         import repro.service.slow  # noqa: F401
@@ -142,10 +143,38 @@ class WorkerServer:
         self._listener: socket.socket | None = None
         self.requests_served = 0
         self.roots_served = 0
+        #: The daemon-side cache sweep (§5.4: "unused for 2 hours →
+        #: purged"): a timer thread drops TTL-expired shards and memo
+        #: entries so idle daemons actually release memory instead of
+        #: waiting for the next get() to notice staleness.  <= 0 disables.
+        self.cache_sweep_interval_seconds = cache_sweep_interval_seconds
+        self.cache_entries_purged = 0
+        self._sweeper: threading.Thread | None = None
+        self._sweeper_lock = threading.Lock()
+
+    # -- the cache sweep -------------------------------------------------
+    def _start_sweeper(self) -> None:
+        """Start the periodic cache sweep (idempotent; daemon thread)."""
+        if self.cache_sweep_interval_seconds <= 0:
+            return
+        with self._sweeper_lock:
+            if self._sweeper is not None and self._sweeper.is_alive():
+                return
+            self._sweeper = threading.Thread(
+                target=self._sweep_loop,
+                name=f"{self.worker.name}-cache-sweep",
+                daemon=True,
+            )
+            self._sweeper.start()
+
+    def _sweep_loop(self) -> None:
+        while not self._shutdown.wait(self.cache_sweep_interval_seconds):
+            self.cache_entries_purged += self.worker.sweep_caches()
 
     # -- attachment modes ----------------------------------------------
     def run_connect(self, host: str, port: int, timeout: float = 10.0) -> None:
         """Dial the root and serve it until it disconnects (spawn mode)."""
+        self._start_sweeper()
         sock = socket.create_connection((host, port), timeout=timeout)
         sock.settimeout(None)
         wfile = sock.makefile("wb")
@@ -173,6 +202,7 @@ class WorkerServer:
         share this worker concurrently; ``once=True`` serves a single
         connection inline and returns (tests).
         """
+        self._start_sweeper()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((host, port))
@@ -426,6 +456,23 @@ class WorkerServer:
                     "requestsServed": self.requests_served,
                 },
             )
+        elif method == "cacheStats":
+            yield RpcReply(
+                request.request_id,
+                "complete",
+                payload={
+                    **worker.cache_stats(),
+                    "entriesPurged": self.cache_entries_purged,
+                },
+            )
+        elif method == "sweepCaches":
+            # An on-demand sweep (operators, tests); the periodic daemon
+            # sweep calls the same worker hook.
+            purged = worker.sweep_caches()
+            self.cache_entries_purged += purged
+            yield RpcReply(
+                request.request_id, "complete", payload={"purged": purged}
+            )
         else:
             raise ProtocolError(f"unknown worker method {method!r}")
 
@@ -442,11 +489,13 @@ class WorkerServer:
                 link.cancelled_early.discard(request.request_id)
                 token.cancel()
         done = 0
+        cache_hit = False
         try:
             for emission in self.worker.sketch_partials(
                 str(args["dataset"]), sketch, lineage, token
             ):
                 done = emission.shards_done
+                cache_hit = cache_hit or emission.cache_hit
                 yield RpcReply(
                     request.request_id,
                     "partial",
@@ -455,12 +504,17 @@ class WorkerServer:
                         "summary": summary_to_json(emission.summary),
                         "shardsDone": emission.shards_done,
                         "bytes": emission.bytes,
+                        "cacheHit": emission.cache_hit,
                     },
                 )
             yield RpcReply(
                 request.request_id,
                 "complete",
-                payload={"shardsDone": done, "cancelled": token.cancelled},
+                payload={
+                    "shardsDone": done,
+                    "cancelled": token.cancelled,
+                    "cacheHit": cache_hit,
+                },
             )
         finally:
             with link.tokens_lock:
@@ -705,6 +759,7 @@ class RemoteWorkerProxy(WorkerProtocol):
                     summary_from_json(payload["summary"]),
                     int(payload["shardsDone"]),
                     int(payload["bytes"]),
+                    cache_hit=bool(payload.get("cacheHit", False)),
                 )
             elif reply.kind == "complete":
                 return
@@ -745,6 +800,19 @@ class RemoteWorkerProxy(WorkerProtocol):
 
     def stats(self) -> dict:
         return self.channel.call("stats", {}, timeout=self.request_timeout).payload
+
+    def cache_stats(self) -> dict:
+        """The daemon-side cache counters (store + memo + sweep totals)."""
+        return self.channel.call(
+            "cacheStats", {}, timeout=self.request_timeout
+        ).payload
+
+    def sweep_remote_caches(self) -> int:
+        """Trigger an on-demand TTL sweep on the worker daemon."""
+        reply = self.channel.call(
+            "sweepCaches", {}, timeout=self.request_timeout
+        )
+        return int(reply.payload["purged"])
 
     def kill_process(self, sig: int = signal.SIGKILL) -> None:
         """Hard-kill the worker process (chaos testing)."""
@@ -1084,10 +1152,24 @@ def worker_main(argv: list[str]) -> int:
         "--cache-entries", type=int, default=64,
         help="soft object store capacity (datasets per worker)",
     )
+    parser.add_argument(
+        "--cache-ttl", type=float, default=2 * 3600.0,
+        help="seconds before an unused dataset/memo entry is purged "
+             "(the paper's 2-hour soft-state TTL)",
+    )
+    parser.add_argument(
+        "--cache-sweep-interval", type=float, default=300.0,
+        help="how often the daemon purges TTL-expired cache entries "
+             "(<= 0 disables the periodic sweep)",
+    )
     args = parser.parse_args(argv)
 
     server = WorkerServer(
-        name=args.name, cores=args.cores, cache_entries=args.cache_entries
+        name=args.name,
+        cores=args.cores,
+        cache_entries=args.cache_entries,
+        cache_ttl_seconds=args.cache_ttl,
+        cache_sweep_interval_seconds=args.cache_sweep_interval,
     )
     try:
         if args.connect:

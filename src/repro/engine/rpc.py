@@ -164,6 +164,13 @@ class RpcReply:
 
     ``payload`` defaults to :data:`NO_PAYLOAD` (the envelope carries no
     payload key at all); pass ``None`` explicitly to send a null payload.
+
+    ``cache``, when present on a terminal sketch reply, is the query's
+    cache telemetry: ``{"hit": bool, "workerHits": int}`` — whether the
+    result came whole from the root's computation cache, and how many
+    workers served their partial from their own memo tier.  It rides the
+    envelope, never the payload, so byte-identity of *results* across
+    roots is unaffected by which root happened to be warm.
     """
 
     request_id: int
@@ -172,6 +179,7 @@ class RpcReply:
     payload: object | None = NO_PAYLOAD
     error: str | None = None
     code: str | None = None
+    cache: dict | None = None
 
     def to_json(self) -> str:
         data: dict = {
@@ -185,6 +193,8 @@ class RpcReply:
             data["error"] = self.error
         if self.code is not None:
             data["code"] = self.code
+        if self.cache is not None:
+            data["cache"] = self.cache
         return json.dumps(data)
 
     @classmethod
@@ -197,6 +207,7 @@ class RpcReply:
             payload=data["payload"] if "payload" in data else NO_PAYLOAD,
             error=data.get("error"),
             code=data.get("code"),
+            cache=data.get("cache"),
         )
 
 

@@ -374,11 +374,24 @@ class WebServer:
             token = CancellationToken()
         self._tokens[request.request_id] = token
         last_payload: object | None = None
+        # Cache telemetry for the terminal envelope (§5.4): a root-tier
+        # hit, and/or how many workers served memoized partials.  It
+        # rides the envelope so payload bytes stay identical across
+        # warm and cold roots.
+        cache_info = {"hit": False, "workerHits": 0}
         try:
+            # The stream is drained to exhaustion, never abandoned early:
+            # breaking at the final partial would kill the generator
+            # before its completion work (the root-tier cache write in
+            # ClusterDataSet.sketch_stream) could run.
             for partial in dataset.sketch_stream(sketch, token):
                 last_payload = summary_to_json(partial.value)
+                cache_info["hit"] = cache_info["hit"] or partial.cache_hit
+                cache_info["workerHits"] = max(
+                    cache_info["workerHits"], partial.worker_cache_hits
+                )
                 if partial.progress >= 1.0:
-                    break  # the final summary becomes the complete reply
+                    continue  # the final summary becomes the complete reply
                 yield RpcReply(
                     request.request_id,
                     "partial",
@@ -391,6 +404,7 @@ class WebServer:
                     "cancelled",
                     progress=1.0,
                     payload=last_payload,
+                    cache=cache_info,
                 )
             else:
                 self._finalize(sketch, last_payload)
@@ -399,6 +413,7 @@ class WebServer:
                     "complete",
                     progress=1.0,
                     payload=last_payload,
+                    cache=cache_info,
                 )
         finally:
             self._tokens.pop(request.request_id, None)

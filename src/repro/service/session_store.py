@@ -94,6 +94,16 @@ class SessionStore(ABC):
     def list_ids(self) -> list[str]:
         """Every stored session id (monitoring, tests)."""
 
+    def purge_expired(self, ttl_seconds: float) -> int:
+        """Drop records idle (wall clock) past ``ttl_seconds``.
+
+        Tier-wide compaction: any root's sweep may call this, cleaning up
+        sessions abandoned on *every* root — without it a long-lived tier
+        database grows one record per session id forever.  Returns how
+        many records were dropped.
+        """
+        return 0
+
     def close(self) -> None:  # pragma: no cover - trivial default
         """Release backing resources, if any."""
 
@@ -121,6 +131,18 @@ class InMemorySessionStore(SessionStore):
         with self._lock:
             return sorted(self._records)
 
+    def purge_expired(self, ttl_seconds: float) -> int:
+        cutoff = time.time() - ttl_seconds
+        with self._lock:
+            stale = [
+                session_id
+                for session_id, record in self._records.items()
+                if record.last_active < cutoff
+            ]
+            for session_id in stale:
+                del self._records[session_id]
+            return len(stale)
+
 
 class SqliteSessionStore(SessionStore):
     """A file-backed store that N roots of one tier share.
@@ -146,6 +168,13 @@ class SqliteSessionStore(SessionStore):
                 "  record TEXT NOT NULL,"
                 "  updated_at REAL NOT NULL"
                 ")"
+            )
+            # Compaction (purge_expired) filters on updated_at from every
+            # root's sweep loop; without this index each purge would scan
+            # the whole tier database under SQLite's write lock.
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS sessions_updated_at "
+                "ON sessions(updated_at)"
             )
             self._conn.commit()
         except sqlite3.Error as exc:
@@ -195,6 +224,18 @@ class SqliteSessionStore(SessionStore):
                 "SELECT session_id FROM sessions ORDER BY session_id"
             ).fetchall()
         return [row[0] for row in rows]
+
+    def purge_expired(self, ttl_seconds: float) -> int:
+        # ``updated_at`` is stamped by put() on every handle mint and
+        # activity refresh, so it tracks the record's last_active closely;
+        # the sessions_updated_at index keeps this DELETE off a full scan.
+        cutoff = time.time() - ttl_seconds
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM sessions WHERE updated_at < ?", (cutoff,)
+            )
+            self._conn.commit()
+            return cursor.rowcount
 
     def close(self) -> None:
         with self._lock:

@@ -84,6 +84,11 @@ class SessionMetrics:
     preempted: int = 0
     errors: int = 0
     handle_evictions: int = 0
+    #: Sketches answered whole from the root's computation cache (§5.4).
+    cache_hits: int = 0
+    #: Worker partials served from worker-side memo caches, summed over
+    #: this session's sketches (the multi-tier story's worker tier).
+    worker_cache_hits: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -96,6 +101,8 @@ class SessionMetrics:
             "preempted": self.preempted,
             "errors": self.errors,
             "handleEvictions": self.handle_evictions,
+            "cacheHits": self.cache_hits,
+            "workerCacheHits": self.worker_cache_hits,
         }
 
 
@@ -185,6 +192,12 @@ class Session:
             self.metrics.cancelled += 1
         elif reply.kind == "error":
             self.metrics.errors += 1
+        if isinstance(reply.cache, dict):
+            if reply.cache.get("hit"):
+                self.metrics.cache_hits += 1
+            self.metrics.worker_cache_hits += int(
+                reply.cache.get("workerHits", 0) or 0
+            )
 
     # -- soft state ----------------------------------------------------
     def snapshot_record(self) -> SessionRecord:
@@ -241,6 +254,7 @@ class SessionManager:
         default_source: DataSource | None = None,
         clock: Callable[[], float] = time.monotonic,
         store: SessionStore | None = None,
+        store_ttl_seconds: float | None = None,
         on_close: Callable[[str], None] | None = None,
     ):
         self.cluster = cluster if cluster is not None else Cluster()
@@ -256,6 +270,11 @@ class SessionManager:
         )
         self.default_source = default_source
         self.store = store
+        #: Tier-wide compaction: records whose wall-clock ``last_active``
+        #: is older than this are purged from the shared store by the
+        #: sweep loop, so an abandoned tier database stops growing
+        #: forever.  ``None`` disables compaction (single-root default).
+        self.store_ttl_seconds = store_ttl_seconds
         self.on_close = on_close
         self._clock = clock
         self._sessions: dict[str, Session] = {}
@@ -267,6 +286,9 @@ class SessionManager:
         self.sessions_swept = 0
         self.sessions_expired = 0
         self.store_errors = 0
+        self.store_records_purged = 0
+        #: Sentinel "never": the first sweep after startup always purges.
+        self._last_store_purge = -float("inf")
         #: How often (wall-clock) an *active* session's store record is
         #: refreshed by the sweep loop, so sibling roots can tell a live
         #: session from an abandoned one at expiry time.
@@ -437,7 +459,39 @@ class SessionManager:
             if count:
                 self.sessions_swept += 1
             evicted += count
+        self.purge_store()
         return evicted
+
+    def purge_store(self) -> int:
+        """Compact the shared session store: drop records idle past the
+        store TTL (tier-wide, so one root's sweep cleans up sessions
+        abandoned on any root).  Throttled to the store refresh cadence;
+        a store outage degrades silently, like every other store path."""
+        if self.store is None or self.store_ttl_seconds is None:
+            return 0
+        now = self._clock()
+        if now - self._last_store_purge < self.store_refresh_seconds:
+            return 0
+        self._last_store_purge = now
+        # The effective TTL is clamped twice over: (a) an active
+        # session's record is only re-stamped every store_refresh_seconds,
+        # so anything below twice that cadence would purge *live*
+        # sessions between refreshes; (b) an idle-but-unexpired session
+        # (still resumable on its root) is never re-stamped at all, so
+        # the store record must outlive in-memory expiry — purging below
+        # expire_ttl_seconds would silently break cross-root resume.
+        ttl = max(
+            self.store_ttl_seconds,
+            self.expire_ttl_seconds,
+            2 * self.store_refresh_seconds,
+        )
+        try:
+            purged = self.store.purge_expired(ttl)
+        except Exception:  # noqa: BLE001 — store outage
+            self.store_errors += 1
+            return 0
+        self.store_records_purged += purged
+        return purged
 
     def expire(self) -> list[str]:
         """Drop sessions idle past the expiry TTL entirely; their
@@ -481,6 +535,7 @@ class SessionManager:
             "sessionsSwept": self.sessions_swept,
             "sessionsExpired": self.sessions_expired,
             "storeErrors": self.store_errors,
+            "storeRecordsPurged": self.store_records_purged,
             "idleTtlSeconds": self.idle_ttl_seconds,
             "sharedDatasets": len(self._dataset_pool),
             "sessions": [s.to_json() for s in self.sessions],

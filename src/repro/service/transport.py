@@ -118,6 +118,7 @@ class ServiceServer:
         outbox_frames: int = 64,
         sink_timeout_seconds: float = 30.0,
         session_store: "SessionStore | None" = None,
+        session_store_ttl_seconds: float | None = None,
     ):
         self.cluster = cluster if cluster is not None else Cluster()
         self.host = host
@@ -132,6 +133,7 @@ class ServiceServer:
             expire_ttl_seconds=expire_ttl_seconds,
             default_source=default_source,
             store=session_store,
+            store_ttl_seconds=session_store_ttl_seconds,
             # However a session ends — explicit close, idle-TTL expiry —
             # the scheduler must drop its queue and round-robin slot, or
             # a long-lived root leaks per-session scheduler state.
@@ -167,6 +169,11 @@ class ServiceServer:
             # Expiry releases scheduler state through the manager's
             # on_close hook; nothing extra to do here.
             self.sessions.expire()
+            # The cache sweep makes the paper's "unused for 2 hours →
+            # purged" real for in-process workers and the root's own
+            # tiers; it walks small in-memory tables, so running it at
+            # the sweep cadence is cheap (remote daemons self-sweep).
+            self.cluster.sweep_caches()
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled — the CLI entry."""
@@ -285,6 +292,16 @@ class ServiceServer:
                     await outbox.put(
                         RpcReply(request.request_id, "complete", payload=self.stats())
                     )
+                elif request.method == "cacheStats":
+                    # Worker daemons are queried over their sockets;
+                    # run off the event loop so a slow worker cannot
+                    # stall every connection.
+                    payload = await self._loop.run_in_executor(
+                        None, self.cache_stats
+                    )
+                    await outbox.put(
+                        RpcReply(request.request_id, "complete", payload=payload)
+                    )
                 else:
                     tasks.append(self.scheduler.submit(session, request, conn.sink))
                     tasks = [t for t in tasks if not t.done.is_set()]
@@ -329,6 +346,21 @@ class ServiceServer:
             "cluster": {
                 "workers": len(self.cluster.workers),
                 "bytesToRoot": self.cluster.total_bytes_to_root,
+            },
+        }
+
+    def cache_stats(self) -> dict:
+        """Every cache tier visible from this root, plus per-session
+        hit telemetry — the ``cacheStats`` RPC payload."""
+        return {
+            "type": "cacheStats",
+            "cluster": self.cluster.cache_stats(),
+            "sessions": {
+                session.session_id: {
+                    "cacheHits": session.metrics.cache_hits,
+                    "workerCacheHits": session.metrics.worker_cache_hits,
+                }
+                for session in self.sessions.sessions
             },
         }
 
@@ -486,6 +518,9 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self.call("stats").payload
+
+    def cache_stats(self) -> dict:
+        return self.call("cacheStats").payload
 
     def ping(self) -> bool:
         return self.call("ping").payload == {"pong": True}

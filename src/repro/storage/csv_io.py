@@ -65,8 +65,18 @@ def _infer_column_kind(cells: list[str | None]) -> ContentsKind:
     return kind if saw_value else ContentsKind.STRING
 
 
-def _convert(cell: str | None, kind: ContentsKind) -> object | None:
+def _convert(
+    cell: str | None, kind: ContentsKind, declared: bool = False
+) -> object | None:
     if cell is None:
+        return None
+    if kind is ContentsKind.STRING and declared:
+        # Only the empty cell is missing for a *declared* string column:
+        # tokens like "NaN" are legitimate values there, and mapping them
+        # to missing would silently corrupt write/read round-trips.
+        # Inferred string columns keep the historical token semantics.
+        return cell if cell != "" else None
+    if cell in MISSING_TOKENS:
         return None
     try:
         if kind is ContentsKind.INTEGER:
@@ -105,11 +115,21 @@ def read_csv(
                     f"got {len(row)}"
                 )
             for i, cell in enumerate(row):
-                raw_columns[i].append(None if cell in MISSING_TOKENS else cell)
+                raw_columns[i].append(cell)
     columns = []
     for name, cells in zip(header, raw_columns):
-        kind = kinds.get(name) or _infer_column_kind(cells)
-        values = [_convert(cell, kind) for cell in cells]
+        # Kind inference treats every missing token as absent (the mask
+        # is only built when inference actually runs); the per-cell
+        # conversion below is kind-aware (declared string columns keep
+        # tokens like "NaN" as values).
+        declared = kinds.get(name)
+        kind = declared or _infer_column_kind(
+            [None if c in MISSING_TOKENS else c for c in cells]
+        )
+        values = [
+            _convert(cell, kind, declared=declared is not None)
+            for cell in cells
+        ]
         columns.append(column_from_values(name, values, kind))
     return Table(columns, shard_id=shard_id or path)
 

@@ -14,9 +14,18 @@ def pytest_configure(config):
     )
 
 from repro.data.flights import FlightsSource, generate_flights
+from repro.engine.cache import caches_disabled
 from repro.engine.cluster import Cluster
 from repro.storage.loader import TableSource
 from repro.table.table import Table
+
+#: Shared guard for tests that assert *cache hits happen*: the CI matrix
+#: leg running with REPRO_DISABLE_CACHES=1 makes every memoization tier
+#: pass-through by design, so only byte-identity assertions remain
+#: meaningful there.  Import from tests.conftest — do not redefine.
+requires_caches = pytest.mark.skipif(
+    caches_disabled(), reason="memoization disabled via REPRO_DISABLE_CACHES"
+)
 
 
 @pytest.fixture

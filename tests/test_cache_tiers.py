@@ -1,0 +1,574 @@
+"""The multi-tier memoization subsystem (§5.4).
+
+One cache interface from worker partials to the multi-root tier:
+
+* :class:`MemoCache` semantics — byte budgets, TTL/LRU, stats, prefix
+  invalidation, the ``REPRO_DISABLE_CACHES`` pass-through switch, and the
+  locking/TTL regression on ``__contains__``/``__len__``;
+* the worker tier — two roots (two ``Cluster`` objects) over one shared
+  worker set: a deterministic sketch computed for root A is served to
+  root B from the workers' memo caches with zero shard scans;
+* the invalidation invariant — evicting a dataset drops its dependent
+  entries at every tier, and recomputation is byte-identical;
+* cache-key hygiene — non-deterministic sketches are never cacheable and
+  wire round-trips preserve cache keys exactly, for every registered
+  sketch type;
+* the periodic sweep — the paper's "unused for 2 hours → purged"
+  behavior on workers and worker daemons;
+* session-store compaction — ``purge_expired`` on both stores and the
+  session manager's sweep wiring.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buckets import DoubleBuckets
+from repro.data.flights import FlightsSource
+from repro.engine.cache import (
+    KEY_SEP,
+    ComputationCache,
+    DataCache,
+    MemoCache,
+    caches_disabled,
+)
+from repro.engine.cluster import Cluster, Worker
+from repro.engine.rpc import SKETCH_BUILDERS, sketch_from_json, sketch_to_json
+from repro.sketches.histogram import HistogramSketch
+from repro.storage.loader import TableSource
+
+import repro.service.slow  # noqa: F401 — registers the "slow" sketch type
+
+from tests.conftest import requires_caches
+
+BUCKETS = DoubleBuckets(0, 3000, 10)
+SOURCE = FlightsSource(4_000, partitions=8, seed=3)
+
+
+class _Sized:
+    """A value with a fixed serialized size (drives byte budgets)."""
+
+    def __init__(self, size: int):
+        self.size = size
+
+    def serialized_size(self) -> int:
+        return self.size
+
+
+# ---------------------------------------------------------------------------
+# The shared interface
+# ---------------------------------------------------------------------------
+class TestMemoCache:
+    def test_byte_budget_evicts_lru_first(self):
+        cache: MemoCache[_Sized] = MemoCache(
+            max_entries=100,
+            max_bytes=100,
+            sizer=lambda v: v.serialized_size(),
+        )
+        cache.put("a", _Sized(40))
+        cache.put("b", _Sized(40))
+        cache.get("a")  # a becomes MRU
+        cache.put("c", _Sized(40))  # 120 bytes: b (LRU) must go
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.current_bytes == 80
+        assert cache.evictions == 1
+
+    def test_replacing_an_entry_reaccounts_bytes(self):
+        cache: MemoCache[_Sized] = MemoCache(
+            max_entries=10, max_bytes=1000, sizer=lambda v: v.serialized_size()
+        )
+        cache.put("a", _Sized(100))
+        cache.put("a", _Sized(30))
+        assert cache.current_bytes == 30
+        assert len(cache) == 1
+
+    def test_invalidate_prefix_drops_only_that_dataset(self):
+        cache: MemoCache[int] = MemoCache(max_entries=10)
+        cache.put(f"ds-1{KEY_SEP}hist", 1)
+        cache.put(f"ds-1{KEY_SEP}moments", 2)
+        cache.put(f"ds-2{KEY_SEP}hist", 3)
+        assert cache.invalidate_prefix("ds-1" + KEY_SEP) == 2
+        assert cache.get(f"ds-1{KEY_SEP}hist") is None
+        assert cache.get(f"ds-2{KEY_SEP}hist") == 3
+        assert cache.invalidations == 2
+
+    def test_stats_snapshot(self):
+        clock = [0.0]
+        cache: MemoCache[int] = MemoCache(
+            max_entries=10, ttl_seconds=5.0, clock=lambda: clock[0], name="t"
+        )
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats.name == "t"
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.entries == 1
+        clock[0] = 10.0
+        assert cache.stats().entries == 0  # expired entries are not live
+
+    def test_disable_switch_is_pass_through(self, monkeypatch):
+        cache: MemoCache[int] = MemoCache(max_entries=10, disableable=True)
+        always_on: MemoCache[int] = MemoCache(max_entries=10)
+        monkeypatch.setenv("REPRO_DISABLE_CACHES", "1")
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        # Non-disableable caches (the worker shard store) keep working.
+        always_on.put("a", 1)
+        assert always_on.get("a") == 1
+        monkeypatch.setenv("REPRO_DISABLE_CACHES", "0")
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+
+
+class TestDataCacheRegression:
+    """The satellite fix: ``__contains__``/``__len__`` used to read
+    ``_entries`` without the lock, and ``__contains__`` reported
+    TTL-expired entries as present."""
+
+    def test_contains_applies_ttl(self):
+        clock = [0.0]
+        cache: DataCache[int] = DataCache(
+            max_entries=10, ttl_seconds=5.0, clock=lambda: clock[0]
+        )
+        cache.put("a", 1)
+        assert "a" in cache
+        clock[0] = 10.0
+        assert "a" not in cache, "expired entry reported as present"
+        # ...and it is indeed unreachable through get().
+        assert cache.get("a") is None
+
+    def test_len_counts_live_entries_only(self):
+        clock = [0.0]
+        cache: DataCache[int] = DataCache(
+            max_entries=10, ttl_seconds=5.0, clock=lambda: clock[0]
+        )
+        cache.put("a", 1)
+        cache.put("b", 2)
+        clock[0] = 3.0
+        cache.put("c", 3)
+        clock[0] = 7.0  # a and b expired, c alive
+        assert len(cache) == 1
+
+    def test_contains_takes_the_lock(self):
+        cache: DataCache[int] = DataCache(max_entries=4)
+        cache.put("a", 1)
+        # The lock must be free after every public call (no deadlock) and
+        # __contains__ must acquire it: holding the lock blocks membership.
+        assert cache._lock.acquire(timeout=1)
+        try:
+            import threading
+
+            result: list[bool] = []
+            probe = threading.Thread(target=lambda: result.append("a" in cache))
+            probe.start()
+            probe.join(timeout=0.2)
+            assert probe.is_alive(), "__contains__ did not take the lock"
+        finally:
+            cache._lock.release()
+        probe.join(timeout=2)
+        assert result == [True]
+
+
+class TestComputationCacheInterface:
+    @requires_caches
+    def test_byte_accounting_and_dataset_invalidation(self):
+        cache = ComputationCache(max_entries=100)
+        cache.put("ds-1", "hist", _Sized(100))
+        cache.put("ds-1", "cdf", _Sized(50))
+        cache.put("ds-2", "hist", _Sized(25))
+        assert cache.current_bytes == 175
+        assert cache.invalidate_dataset("ds-1") == 2
+        assert cache.current_bytes == 25
+        assert cache.get("ds-2", "hist") is not None
+
+    @requires_caches
+    def test_real_eviction_under_byte_budget(self):
+        cache = ComputationCache(max_entries=100, max_bytes=120)
+        for i in range(5):
+            cache.put("ds", f"k{i}", _Sized(50))
+        assert len(cache) <= 3
+        assert cache.current_bytes <= 120
+
+
+# ---------------------------------------------------------------------------
+# The worker tier: cross-root warm hits over shared workers
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def shared_workers():
+    return [Worker(f"w{i}", cores=2) for i in range(3)]
+
+
+@pytest.fixture
+def two_roots(shared_workers):
+    """Two independent roots over one worker set — the in-process
+    analogue of two ``ServiceServer`` roots sharing a daemon fleet."""
+    root_a = Cluster(workers=shared_workers, aggregation_interval=0.01)
+    root_b = Cluster(workers=shared_workers, aggregation_interval=0.01)
+    return root_a, root_b
+
+
+class TestWorkerMemoTier:
+    @requires_caches
+    def test_cross_root_warm_hit_zero_shard_scans(self, two_roots, shared_workers):
+        root_a, root_b = two_roots
+        ds_a = root_a.load(SOURCE)
+        ds_b = root_b.load(SOURCE)
+        assert ds_a.dataset_id == ds_b.dataset_id  # content-addressed
+        sketch = HistogramSketch("Distance", BUCKETS)
+        cold = ds_a.run(sketch)
+        scans_after_cold = [w.shards_summarized for w in shared_workers]
+        warm = ds_b.run(sketch)
+        assert [w.shards_summarized for w in shared_workers] == scans_after_cold, (
+            "the cross-root warm run scanned shards"
+        )
+        assert not warm.cache_hit  # root B's own computation cache was cold
+        assert warm.worker_cache_hits == len(shared_workers)
+        assert warm.value.to_bytes() == cold.value.to_bytes()
+
+    @requires_caches
+    def test_same_root_second_run_hits_root_tier(self, two_roots):
+        root_a, _ = two_roots
+        dataset = root_a.load(SOURCE)
+        sketch = HistogramSketch("Distance", BUCKETS)
+        cold = dataset.run(sketch)
+        warm = dataset.run(sketch)
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.bytes_received == 0
+        assert warm.value.to_bytes() == cold.value.to_bytes()
+
+    def test_non_deterministic_sketch_never_memoized(self, two_roots, shared_workers):
+        root_a, root_b = two_roots
+        ds_a = root_a.load(SOURCE)
+        ds_b = root_b.load(SOURCE)
+        sampled = HistogramSketch("Distance", BUCKETS, rate=0.5, seed=7)
+        first = ds_a.run(sampled)
+        before = [w.shards_summarized for w in shared_workers]
+        second = ds_b.run(sampled)
+        assert [w.shards_summarized for w in shared_workers] != before
+        assert second.worker_cache_hits == 0 and not second.cache_hit
+        # Same seed + same shard ids -> identical anyway (§5.8), which is
+        # exactly why correctness never depends on the cache tiers.
+        assert first.value.to_bytes() == second.value.to_bytes()
+
+    @requires_caches
+    def test_memo_keyed_by_shard_slice(self):
+        """A worker re-used under a different slice assignment must not
+        serve partials computed over its old slice."""
+        worker = Worker("w", cores=2)
+        solo = Cluster(workers=[worker], aggregation_interval=0.01)
+        dataset = solo.load(SOURCE)
+        sketch = HistogramSketch("Distance", BUCKETS)
+        dataset.run(sketch)
+        key_full = worker._memo_key(dataset.dataset_id, sketch.cache_key())
+        assert key_full in worker.memo
+        worker.configure(1, 4, 0.01)
+        key_sliced = worker._memo_key(dataset.dataset_id, sketch.cache_key())
+        assert key_sliced != key_full
+        assert key_sliced not in worker.memo
+
+    @requires_caches
+    def test_cancelled_runs_are_not_memoized(self, two_roots):
+        from repro.engine.progress import CancellationToken
+
+        root_a, _ = two_roots
+        dataset = root_a.load(SOURCE)
+        sketch = HistogramSketch("Distance", BUCKETS)
+        token = CancellationToken()
+        token.cancel()
+        list(dataset.sketch_stream(sketch, token))
+        for worker in root_a.workers:
+            assert len(worker.memo) == 0, "a cancelled run was memoized"
+
+    @requires_caches
+    def test_worker_crash_clears_memo_and_replay_is_identical(
+        self, two_roots, shared_workers
+    ):
+        root_a, root_b = two_roots
+        dataset = root_a.load(SOURCE)
+        sketch = HistogramSketch("Distance", BUCKETS)
+        cold = dataset.run(sketch)
+        root_a.kill_worker(0)
+        assert len(shared_workers[0].memo) == 0
+        root_a.computation_cache.clear()
+        replayed = dataset.run(sketch)
+        assert replayed.value.to_bytes() == cold.value.to_bytes()
+
+
+class TestEvictionInvalidatesEveryTier:
+    @requires_caches
+    def test_evict_dataset_drops_all_dependent_entries(
+        self, two_roots, shared_workers
+    ):
+        root_a, root_b = two_roots
+        ds_a = root_a.load(SOURCE)
+        ds_b = root_b.load(SOURCE)
+        sketch = HistogramSketch("Distance", BUCKETS)
+        cold = ds_a.run(sketch)
+        assert ds_a.total_rows == 4_000
+        ds_b.run(sketch)  # warms root B's tier too
+        assert len(root_a.computation_cache) == 1
+        assert root_a.cached_row_count(ds_a.dataset_id) == 4_000
+        assert all(len(w.memo) == 1 for w in shared_workers)
+
+        root_a.evict_dataset(ds_a.dataset_id)
+
+        # Every tier of root A and the shared workers is clean.
+        assert len(root_a.computation_cache) == 0
+        assert root_a.cached_row_count(ds_a.dataset_id) is None
+        assert all(len(w.memo) == 0 for w in shared_workers)
+        # Recomputation replays lineage and is byte-identical.
+        scans_before = [w.shards_summarized for w in shared_workers]
+        recomputed = ds_a.run(sketch)
+        assert [w.shards_summarized for w in shared_workers] != scans_before
+        assert recomputed.worker_cache_hits == 0
+        assert recomputed.value.to_bytes() == cold.value.to_bytes()
+
+    @requires_caches
+    def test_single_worker_eviction_invalidates_that_worker_only(
+        self, two_roots, shared_workers
+    ):
+        root_a, _ = two_roots
+        dataset = root_a.load(SOURCE)
+        sketch = HistogramSketch("Distance", BUCKETS)
+        dataset.run(sketch)
+        root_a.evict_dataset(dataset.dataset_id, worker_index=0)
+        assert len(shared_workers[0].memo) == 0
+        assert len(shared_workers[1].memo) == 1
+        # The root tier survives a partial eviction: the dataset still
+        # exists; only one worker's soft copy went away.
+        assert len(root_a.computation_cache) == 1
+
+
+# ---------------------------------------------------------------------------
+# Cache-key hygiene: every registered sketch type
+# ---------------------------------------------------------------------------
+from tests.test_engine_equivalence import SKETCH_SPECS  # noqa: E402
+
+#: One spec per registered wire type, including the side-effecting "save".
+ALL_SPECS = dict(SKETCH_SPECS)
+ALL_SPECS["save"] = {"type": "save", "directory": "/tmp/unused", "format": "hvc"}
+
+
+class TestCacheKeyHygiene:
+    def test_specs_cover_every_registered_builder(self):
+        assert set(ALL_SPECS) >= set(SKETCH_BUILDERS)
+
+    @pytest.mark.parametrize("kind", sorted(ALL_SPECS))
+    def test_non_deterministic_implies_no_cache_key(self, kind):
+        sketch = sketch_from_json(ALL_SPECS[kind])
+        if not sketch.deterministic:
+            assert sketch.cache_key() is None, (
+                f"{kind}: non-deterministic sketches must never be cacheable"
+            )
+
+    @given(rate=st.floats(0.01, 0.99), seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_sampled_variants_are_never_cacheable(self, rate, seed):
+        """Every sampled-capable spec, re-keyed to a genuine sampling
+        rate, must refuse a cache key (the §5.4 invariant)."""
+        for kind in ("histogram", "cdf", "heatmap", "stacked", "quantile"):
+            spec = dict(ALL_SPECS[kind])
+            spec["rate"] = rate
+            spec["seed"] = seed
+            sketch = sketch_from_json(spec)
+            assert not sketch.deterministic
+            assert sketch.cache_key() is None
+
+    @pytest.mark.parametrize("kind", sorted(ALL_SPECS))
+    def test_wire_round_trip_preserves_cache_key(self, kind):
+        sketch = sketch_from_json(ALL_SPECS[kind])
+        round_tripped = sketch_from_json(sketch_to_json(sketch))
+        assert round_tripped.cache_key() == sketch.cache_key(), (
+            f"{kind}: cache key changed across a wire round-trip"
+        )
+        assert round_tripped.deterministic == sketch.deterministic
+
+
+# ---------------------------------------------------------------------------
+# The periodic sweep (satellite: purge_stale actually runs)
+# ---------------------------------------------------------------------------
+class TestWorkerSweep:
+    def test_worker_sweep_purges_stale_store_and_memo(self):
+        clock = [0.0]
+        worker = Worker(
+            "w", cores=1, cache_ttl_seconds=100.0, clock=lambda: clock[0]
+        )
+        cluster = Cluster(workers=[worker], aggregation_interval=0.01)
+        dataset = cluster.load(TableSource(SOURCE.load(), shards_per_table=1))
+        dataset.run(HistogramSketch("Distance", BUCKETS))
+        assert len(worker.store) >= 1
+        clock[0] = 200.0
+        purged = worker.sweep_caches()
+        assert purged >= 1
+        assert len(worker.store) == 0
+        assert len(worker.memo) == 0
+
+    def test_cluster_sweep_covers_root_tiers(self):
+        cluster = Cluster(num_workers=2, cores_per_worker=1)
+        # Root tiers use an infinite TTL: the sweep must be a safe no-op.
+        dataset = cluster.load(SOURCE)
+        dataset.run(HistogramSketch("Distance", BUCKETS))
+        assert cluster.sweep_caches() == 0
+        if not caches_disabled():
+            assert len(cluster.computation_cache) == 1
+
+    def test_worker_server_periodic_sweep_thread(self):
+        from repro.engine.remote import WorkerServer
+
+        clock = [0.0]
+        server = WorkerServer(
+            name="sweeper", cores=1, cache_sweep_interval_seconds=0.05
+        )
+        # Swap in TTL'd caches driven by a fake clock.
+        server.worker.store.ttl_seconds = 10.0
+        server.worker.store._clock = lambda: clock[0]
+        server.worker.store.put("ds", [])
+        server._start_sweeper()
+        try:
+            clock[0] = 50.0
+            deadline = time.monotonic() + 5.0
+            # len() is TTL-aware and reports 0 immediately; the sweeper's
+            # purge counter shows the entry was actually *dropped*.
+            while time.monotonic() < deadline and server.cache_entries_purged == 0:
+                time.sleep(0.02)
+            assert server.cache_entries_purged >= 1
+            assert len(server.worker.store) == 0
+        finally:
+            server._shutdown.set()
+
+    def test_sweep_caches_rpc(self):
+        """The on-demand daemon sweep, over the real wire."""
+        import threading
+
+        from repro.engine.remote import ProcessCluster
+
+        cluster = ProcessCluster(
+            num_workers=1, cores_per_worker=1, aggregation_interval=0.01
+        )
+        try:
+            dataset = cluster.load(SOURCE)
+            dataset.run(HistogramSketch("Distance", BUCKETS))
+            proxy = cluster.workers[0]
+            stats = proxy.cache_stats()
+            assert stats["store"]["entries"] >= 1
+            assert proxy.sweep_remote_caches() == 0  # nothing stale yet
+        finally:
+            cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# Session-store compaction (satellite)
+# ---------------------------------------------------------------------------
+class TestSessionStoreCompaction:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_purge_expired_drops_only_stale_records(self, backend, tmp_path):
+        from repro.service.session_store import (
+            InMemorySessionStore,
+            SessionRecord,
+            SqliteSessionStore,
+        )
+
+        store = (
+            InMemorySessionStore()
+            if backend == "memory"
+            else SqliteSessionStore(str(tmp_path / "tier.db"))
+        )
+        now = time.time()
+        store.put(SessionRecord("old", now - 5000, now - 5000))
+        store.put(SessionRecord("fresh", now, now))
+        if backend == "sqlite":
+            # Backdate the row stamp the DELETE filters on (put() stamps
+            # "now"; a genuinely old record was written long ago).
+            with store._lock:
+                store._conn.execute(
+                    "UPDATE sessions SET updated_at = ? WHERE session_id = ?",
+                    (now - 5000, "old"),
+                )
+                store._conn.commit()
+        assert store.purge_expired(3600.0) == 1
+        assert store.list_ids() == ["fresh"]
+        assert store.purge_expired(3600.0) == 0
+        store.close()
+
+    def test_manager_sweep_compacts_the_store(self):
+        from repro.service.session_store import InMemorySessionStore, SessionRecord
+        from repro.service.sessions import SessionManager
+
+        store = InMemorySessionStore()
+        now = time.time()
+        store.put(SessionRecord("abandoned", now - 9000, now - 9000))
+        manager = SessionManager(
+            Cluster(num_workers=1, cores_per_worker=1),
+            store=store,
+            store_ttl_seconds=3600.0,
+        )
+        assert manager.sweep() == 0  # no handles to evict...
+        assert store.list_ids() == []  # ...but the store was compacted
+        assert manager.store_records_purged == 1
+
+    def test_manager_purge_is_throttled(self):
+        from repro.service.session_store import InMemorySessionStore, SessionRecord
+        from repro.service.sessions import SessionManager
+
+        store = InMemorySessionStore()
+        manager = SessionManager(
+            Cluster(num_workers=1, cores_per_worker=1),
+            store=store,
+            store_ttl_seconds=3600.0,
+        )
+        manager.sweep()
+        now = time.time()
+        store.put(SessionRecord("late", now - 9000, now - 9000))
+        # Within the refresh window the purge must not re-run.
+        assert manager.purge_store() == 0
+        assert store.list_ids() == ["late"]
+
+    def test_no_ttl_means_no_compaction(self):
+        from repro.service.session_store import InMemorySessionStore, SessionRecord
+        from repro.service.sessions import SessionManager
+
+        store = InMemorySessionStore()
+        now = time.time()
+        store.put(SessionRecord("ancient", now - 10**6, now - 10**6))
+        manager = SessionManager(
+            Cluster(num_workers=1, cores_per_worker=1), store=store
+        )
+        manager.sweep()
+        assert store.list_ids() == ["ancient"]
+
+
+# ---------------------------------------------------------------------------
+# The disable switch end to end (the CI matrix leg's contract)
+# ---------------------------------------------------------------------------
+class TestDisableSwitch:
+    def test_disabled_paths_are_byte_identical(self, monkeypatch):
+        sketch = HistogramSketch("Distance", BUCKETS)
+        cluster = Cluster(num_workers=2, cores_per_worker=2)
+        dataset = cluster.load(SOURCE)
+        warm_capable = dataset.run(sketch)
+
+        monkeypatch.setenv("REPRO_DISABLE_CACHES", "1")
+        uncached_first = dataset.run(sketch)
+        uncached_second = dataset.run(sketch)
+        assert not uncached_first.cache_hit
+        assert not uncached_second.cache_hit
+        assert uncached_second.worker_cache_hits == 0
+        assert (
+            uncached_first.value.to_bytes()
+            == uncached_second.value.to_bytes()
+            == warm_capable.value.to_bytes()
+        )
+
+    def test_cache_stats_reports_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_CACHES", "1")
+        cluster = Cluster(num_workers=1, cores_per_worker=1)
+        stats = cluster.cache_stats()
+        assert stats["disabled"] is True
+        assert stats["root"]["computation"]["disabled"] is True

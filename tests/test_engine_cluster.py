@@ -7,6 +7,8 @@ import pytest
 
 from repro.core.buckets import DoubleBuckets
 from repro.engine.cache import ComputationCache, DataCache
+
+from tests.conftest import requires_caches
 from repro.engine.cluster import Cluster
 from repro.engine.dataset import DeriveMap, FilterMap
 from repro.engine.faults import FaultInjector
@@ -61,6 +63,7 @@ class TestExecution:
 
 
 class TestComputationCache:
+    @requires_caches
     def test_deterministic_sketch_cached(self, loaded):
         first = loaded.run(HistogramSketch("value", BUCKETS))
         second = loaded.run(HistogramSketch("value", BUCKETS))
@@ -214,6 +217,7 @@ class TestCaches:
         assert cache.purge_stale() == 2
         assert len(cache) == 0
 
+    @requires_caches
     def test_computation_cache_stats(self):
         cache = ComputationCache()
         assert cache.get("ds", "k") is None

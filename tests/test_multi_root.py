@@ -29,6 +29,7 @@ from repro.service import (
 )
 from repro.table.table import Table
 
+from tests.conftest import requires_caches
 from tests.test_engine_equivalence import SKETCH_SPECS
 
 pytestmark = pytest.mark.tier2
@@ -217,6 +218,75 @@ class TestByteIdenticalSummaries:
         # Both roots actually served traffic.
         for server, _, _ in tier:
             assert server.connections_accepted >= 4
+
+
+@requires_caches
+class TestCrossRootWarmCache:
+    """The multi-tier memoization acceptance path (§5.4): a sketch first
+    run via root A completes via root B with *zero* worker-side shard
+    scans, served from the worker daemons' memo caches."""
+
+    #: A bucketing no other test in this module uses, so the fleet's memo
+    #: caches are guaranteed cold for it until this test runs.
+    WARM_SPEC = {
+        "type": "histogram",
+        "column": "Distance",
+        "buckets": {"type": "double", "min": 0, "max": 3000, "count": 13},
+    }
+
+    def worker_scans(self, client: ServiceClient) -> list[int]:
+        stats = client.cache_stats()
+        workers = stats["cluster"]["workers"]
+        assert all("error" not in w for w in workers), workers
+        return [w["shardsSummarized"] for w in workers]
+
+    def test_sketch_warmed_via_root_a_hits_via_root_b(self, tier):
+        (_, _, address_a), (_, _, address_b) = tier
+        with ServiceClient(*address_a) as client_a:
+            handle = client_a.load(FLIGHTS_SPEC)
+            cold = client_a.sketch(handle, self.WARM_SPEC).result(timeout=120)
+            assert cold.kind == "complete", cold.error
+            assert cold.cache == {"hit": False, "workerHits": 0}
+
+        with ServiceClient(*address_b) as client_b:
+            scans_before = self.worker_scans(client_b)
+            handle = client_b.load(FLIGHTS_SPEC)
+            warm = client_b.sketch(handle, self.WARM_SPEC).result(timeout=120)
+            assert warm.kind == "complete", warm.error
+            scans_after = self.worker_scans(client_b)
+            # Zero worker-side shard scans: every daemon answered root B
+            # from the memo entry root A's run left behind.
+            assert scans_after == scans_before, (
+                f"warm run scanned shards: {scans_before} -> {scans_after}"
+            )
+            assert warm.cache is not None
+            assert warm.cache["workerHits"] == len(scans_after)
+            assert not warm.cache["hit"]  # root B's own root tier was cold
+            assert canonical(warm.payload) == canonical(cold.payload)
+            # The per-session telemetry shows up in the cacheStats RPC.
+            session_stats = client_b.cache_stats()["sessions"]
+            assert (
+                session_stats[client_b.session_id]["workerCacheHits"]
+                == len(scans_after)
+            )
+
+    def test_second_run_on_same_root_hits_root_tier(self, tier):
+        (_, _, address_a), _ = tier
+        spec = {  # a bucketing of this test's own, so it self-warms
+            "type": "histogram",
+            "column": "Distance",
+            "buckets": {"type": "double", "min": 0, "max": 3000, "count": 17},
+        }
+        with ServiceClient(*address_a) as client:
+            handle = client.load(FLIGHTS_SPEC)
+            first = client.sketch(handle, spec).result(timeout=120)
+            assert first.kind == "complete", first.error
+            again = client.sketch(handle, spec).result(timeout=120)
+            assert again.kind == "complete", again.error
+            assert again.cache is not None and again.cache["hit"]
+            assert canonical(again.payload) == canonical(first.payload)
+            session_stats = client.cache_stats()["sessions"]
+            assert session_stats[client.session_id]["cacheHits"] >= 1
 
 
 class TestSessionMobility:
