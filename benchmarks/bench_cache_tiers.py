@@ -19,6 +19,7 @@ same-root warm.  Results land in ``benchmarks/results/``.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
 import time
@@ -29,10 +30,14 @@ from conftest import add_report
 from repro.engine.remote import ProcessCluster, _spawn_env
 from repro.service import ServiceClient, ServiceServer
 
-ROWS = 30_000
+#: Quick mode (REPRO_BENCH_QUICK=1): the nightly CI perf-smoke job wants
+#: the same shape in a fraction of the time — smaller dataset, fewer
+#: distinct bucketings, the same three tiers.
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+ROWS = 10_000 if QUICK else 30_000
 PARTITIONS = 24
 FLEET_SIZE = 3
-RUNS = 12
+RUNS = 6 if QUICK else 12
 FLIGHTS_SPEC = {"kind": "flights", "rows": ROWS, "partitions": PARTITIONS, "seed": 23}
 
 
@@ -92,7 +97,10 @@ def timed_sketch(client: ServiceClient, handle: str, spec: dict):
     return first, time.perf_counter() - start, terminal
 
 
-def test_cache_tier_latencies():
+def collect() -> tuple[dict, dict]:
+    """Measure the three cache tiers; returns (results, hits) where
+    ``results`` maps mode -> [(first, total), ...].  Shared by the pytest
+    benchmark below and the nightly CI perf-smoke runner."""
     daemons, addresses = spawn_fleet(FLEET_SIZE)
     servers, clusters = [], []
     try:
@@ -129,44 +137,7 @@ def test_cache_tier_latencies():
                 hits["cross-root warm"] += bool(
                     reply.cache and reply.cache["workerHits"]
                 )
-
-        rows = []
-        for mode, samples in results.items():
-            firsts = [s[0] for s in samples]
-            totals = [s[1] for s in samples]
-            rows.append(
-                [
-                    mode,
-                    len(samples),
-                    human_seconds(percentile(firsts, 0.50)),
-                    human_seconds(percentile(firsts, 0.95)),
-                    human_seconds(percentile(totals, 0.50)),
-                    human_seconds(percentile(totals, 0.95)),
-                ]
-            )
-        table = format_table(
-            ["mode", "runs", "first p50", "first p95", "complete p50", "complete p95"],
-            rows,
-        )
-        body = (
-            f"{ROWS:,} flight rows x {PARTITIONS} partitions on a shared "
-            f"fleet of {FLEET_SIZE} worker daemons; {RUNS} distinct "
-            f"bucketings per mode.\n"
-            f"root-tier hits: {hits['warm same-root']}/{RUNS}; "
-            f"cross-root worker-tier warm runs: "
-            f"{hits['cross-root warm']}/{RUNS}.\n\n" + table
-        )
-        add_report("Cache tiers: cold vs warm vs cross-root warm (§5.4)", body)
-        print(body)
-
-        # The benchmark doubles as a regression check: warm must beat cold.
-        cold_p50 = percentile([s[0] for s in results["cold"]], 0.50)
-        cross_p50 = percentile([s[0] for s in results["cross-root warm"]], 0.50)
-        assert hits["warm same-root"] == RUNS
-        assert hits["cross-root warm"] == RUNS
-        assert cross_p50 < cold_p50, (
-            f"cross-root warm p50 {cross_p50} not below cold p50 {cold_p50}"
-        )
+        return results, hits
     finally:
         for server in servers:
             server.close()
@@ -178,6 +149,47 @@ def test_cache_tier_latencies():
                 proc.wait(timeout=5)
             except subprocess.TimeoutExpired:
                 proc.kill()
+
+
+def test_cache_tier_latencies():
+    results, hits = collect()
+    rows = []
+    for mode, samples in results.items():
+        firsts = [s[0] for s in samples]
+        totals = [s[1] for s in samples]
+        rows.append(
+            [
+                mode,
+                len(samples),
+                human_seconds(percentile(firsts, 0.50)),
+                human_seconds(percentile(firsts, 0.95)),
+                human_seconds(percentile(totals, 0.50)),
+                human_seconds(percentile(totals, 0.95)),
+            ]
+        )
+    table = format_table(
+        ["mode", "runs", "first p50", "first p95", "complete p50", "complete p95"],
+        rows,
+    )
+    body = (
+        f"{ROWS:,} flight rows x {PARTITIONS} partitions on a shared "
+        f"fleet of {FLEET_SIZE} worker daemons; {RUNS} distinct "
+        f"bucketings per mode.\n"
+        f"root-tier hits: {hits['warm same-root']}/{RUNS}; "
+        f"cross-root worker-tier warm runs: "
+        f"{hits['cross-root warm']}/{RUNS}.\n\n" + table
+    )
+    add_report("Cache tiers: cold vs warm vs cross-root warm (§5.4)", body)
+    print(body)
+
+    # The benchmark doubles as a regression check: warm must beat cold.
+    cold_p50 = percentile([s[0] for s in results["cold"]], 0.50)
+    cross_p50 = percentile([s[0] for s in results["cross-root warm"]], 0.50)
+    assert hits["warm same-root"] == RUNS
+    assert hits["cross-root warm"] == RUNS
+    assert cross_p50 < cold_p50, (
+        f"cross-root warm p50 {cross_p50} not below cold p50 {cold_p50}"
+    )
 
 
 if __name__ == "__main__":

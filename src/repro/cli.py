@@ -18,6 +18,10 @@ the worker daemons of a process-level fleet::
     python -m repro.cli serve --join host-a:9301,host-b:9301 \
         --session-store sessions.db --port 8948
     python -m repro.cli client --port 8947 --commands "load; rows; hist Distance 0 3000"
+    python -m repro.cli fleet status --join @fleet.txt
+    python -m repro.cli fleet grow --join @fleet.txt --add host-c:9301
+    python -m repro.cli fleet shrink --join @fleet.txt --remove host-b:9301
+    python -m repro.cli fleet drain --root 127.0.0.1:8948
 
 Commands (also shown by ``help``)::
 
@@ -620,6 +624,134 @@ class RemoteSession:
                 break
 
 
+def fleet_main(argv: list[str], out: TextIO | None = None) -> int:
+    """`repro fleet`: operate a live worker fleet / root tier.
+
+    Subcommands::
+
+        status  --join FLEET                 placement + inventory per worker
+        grow    --join FLEET --add H:P ...   add daemons, re-balance shards
+        shrink  --join FLEET --remove H:P .. retire daemons, re-balance
+        drain   --root H:P                   root: persist sessions, refuse new
+        undrain --root H:P                   root: return to rotation
+
+    ``grow``/``shrink`` attach a transient administrative root to the
+    fleet, stream only the moved shard slices between daemons, and bump
+    the placement version; serving roots adopt the new assignment on
+    their next request (stale-version requests are rejected and retried
+    internally — clients never notice).
+    """
+    stream = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro.cli fleet",
+        description="Operate a live worker fleet (grow/shrink/drain).",
+    )
+    parser.add_argument(
+        "action", choices=["status", "grow", "shrink", "drain", "undrain"]
+    )
+    parser.add_argument(
+        "--join", metavar="FLEET",
+        help="the current fleet: 'host:port,...' or '@file' "
+             "(status/grow/shrink)",
+    )
+    parser.add_argument(
+        "--add", action="append", metavar="HOST:PORT", default=[],
+        help="daemon to add (grow; repeatable)",
+    )
+    parser.add_argument(
+        "--remove", action="append", metavar="HOST:PORT", default=[],
+        help="daemon to retire (shrink; repeatable)",
+    )
+    parser.add_argument(
+        "--root", metavar="HOST:PORT",
+        help="service root to drain/undrain",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.engine.placement import parse_address, parse_fleet_spec
+    from repro.engine.remote import ProcessCluster, query_fleet
+
+    def print_fleet(addresses) -> None:
+        for report in query_fleet(addresses):
+            if "error" in report:
+                print(f"  {report['address']}: DOWN ({report['error']})",
+                      file=stream)
+                continue
+            if report.get("retired"):
+                place = "retired"
+            elif report.get("index") is None:
+                place = "unplaced"
+            else:
+                place = f"slice {report['index']}/{report['count']}"
+            datasets = report.get("datasets") or {}
+            shard_count = sum(
+                entry.get("shards", 0) if isinstance(entry, dict) else entry
+                for entry in datasets.values()
+            )
+            print(
+                f"  {report['address']}  {report.get('name', '?')}  "
+                f"{place}  v{report.get('version', 0)}  "
+                f"{len(datasets)} dataset(s), {shard_count} shard(s)",
+                file=stream,
+            )
+
+    if args.action in ("drain", "undrain"):
+        if not args.root:
+            raise HillviewError(f"{args.action} needs --root host:port")
+        from repro.service.director import admin_call
+
+        reply = admin_call(parse_address(args.root), args.action)
+        if reply.kind == "error":
+            raise HillviewError(f"[{reply.code}] {reply.error}")
+        payload = reply.payload or {}
+        if args.action == "drain":
+            print(
+                f"root {args.root} draining: {payload.get('persisted', 0)} "
+                f"session(s) persisted to the shared store",
+                file=stream,
+            )
+        else:
+            print(f"root {args.root} back in rotation", file=stream)
+        return 0
+
+    if not args.join:
+        raise HillviewError(f"{args.action} needs --join FLEET")
+    addresses = parse_fleet_spec(args.join)
+    if args.action == "status":
+        print(f"fleet of {len(addresses)} worker daemon(s):", file=stream)
+        print_fleet(addresses)
+        return 0
+
+    # preserve_cadence: this administrative attach must not rewrite the
+    # serving tier's aggregation interval with our own default.
+    cluster = ProcessCluster(addresses=addresses, preserve_cadence=True)
+    try:
+        if args.action == "grow":
+            if not args.add:
+                raise HillviewError("grow needs at least one --add host:port")
+            count = cluster.grow([parse_address(a) for a in args.add])
+            print(
+                f"fleet grown to {count} workers "
+                f"(placement v{cluster.placement_version}):",
+                file=stream,
+            )
+        else:
+            if not args.remove:
+                raise HillviewError(
+                    "shrink needs at least one --remove host:port"
+                )
+            count = cluster.shrink([parse_address(a) for a in args.remove])
+            print(
+                f"fleet shrunk to {count} workers "
+                f"(placement v{cluster.placement_version}):",
+                file=stream,
+            )
+        print_fleet([w.address for w in cluster.workers])
+    finally:
+        cluster.close()
+    return 0
+
+
 def client_main(argv: list[str], out: TextIO | None = None) -> int:
     """`repro client`: connect a terminal session to a running service."""
     parser = argparse.ArgumentParser(
@@ -634,11 +766,13 @@ def client_main(argv: list[str], out: TextIO | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    from repro.service import ServiceClient
+    from repro.service import ServiceClient, ServiceError
 
     try:
         client = ServiceClient(args.host, args.port, session=args.session)
-    except OSError as exc:
+    except (OSError, ServiceError) as exc:
+        # Unreachable, or the root refused the handshake (e.g. it is
+        # draining for maintenance): one friendly line, exit 1.
         print(
             f"error: cannot connect to {args.host}:{args.port}: {exc}",
             file=out if out is not None else sys.stderr,
@@ -664,6 +798,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine.remote import worker_main
 
         return worker_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        try:
+            return fleet_main(argv[1:])
+        except (HillviewError, OSError) as exc:
+            # Operator-facing surface: usage mistakes and unreachable
+            # daemons/roots get one friendly line, like `repro client`.
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Browse a dataset in the terminal."
     )

@@ -247,6 +247,34 @@ class MemoCache(Generic[V]):
             self._entries.clear()
             self.current_bytes = 0
 
+    def keys(self) -> list[str]:
+        """Live (non-expired) keys, LRU-first; takes the lock.
+
+        Used by fleet rebalancing to inventory a worker's resident
+        datasets without disturbing recency or hit/miss counters.
+        """
+        now = self._clock()
+        with self._lock:
+            return [
+                key
+                for key, (stored_at, _, _) in self._entries.items()
+                if not self._expired(stored_at, now)
+            ]
+
+    def peek(self, key: str) -> V | None:
+        """Read an entry without touching it: no MRU move, no TTL
+        refresh, no hit/miss accounting.  Inventory and monitoring paths
+        use this so polling ``fleet status`` can never keep a dead
+        dataset alive past the §5.4 idle TTL (or inflate hit rates)."""
+        now = self._clock()
+        with self._lock:
+            if self._disabled():
+                return None
+            entry = self._entries.get(key)
+            if entry is None or self._expired(entry[0], now):
+                return None
+            return entry[1]
+
     def stats(self) -> CacheStats:
         with self._lock:
             now = self._clock()

@@ -38,6 +38,7 @@ other root (see :mod:`repro.engine.cache`).
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import hashlib
 import itertools
 import queue
@@ -58,6 +59,11 @@ from repro.engine.cache import (
     summary_size,
 )
 from repro.engine.dataset import IDataSet, TableMap
+from repro.engine.placement import (
+    PlacementError,
+    StalePlacementError,
+    plan_moves,
+)
 from repro.engine.progress import CancellationToken, PartialResult, SketchRun
 from repro.engine.redo_log import LoadOp, MapOp, RedoLog
 from repro.errors import (
@@ -74,6 +80,12 @@ R = TypeVar("R")
 #: How many times the root re-runs a worker's stream after revival before
 #: giving up on the query (§5.8: repeated failures surface to the client).
 MAX_WORKER_RETRIES = 3
+
+#: How many times a root re-syncs and retries after a worker rejects a
+#: stale-versioned request before surfacing the failure.  Each retry
+#: re-reads the fleet's placement, so this bounds how many back-to-back
+#: rebalances a single query can ride out.
+MAX_PLACEMENT_RETRIES = 8
 
 
 @dataclass
@@ -147,6 +159,20 @@ class WorkerProtocol(ABC):
         """This worker's cache counters (shard store + sketch memo)."""
         return {"name": self.name}
 
+    def inventory(self) -> dict[str, dict]:
+        """Resident datasets: ``{id: {"shards": n, "loaded": bool}}``.
+
+        Fleet rebalancing reads this to plan which shard slices move.
+        ``loaded`` marks datasets materialized straight from a data
+        source (dense tables): only those are safe to stream as bytes —
+        derived datasets are views and replay instead.  The marking
+        lives at the worker so a rebalance driven by an *administrative*
+        root (whose redo log is empty) can still classify another root's
+        datasets.  Workers that cannot report return ``{}`` and their
+        datasets fall back to redo-log replay on the new slicing.
+        """
+        return {}
+
     def sweep_caches(self) -> int:
         """Purge TTL-expired cache entries; returns how many were dropped.
 
@@ -197,6 +223,11 @@ class Worker(WorkerProtocol):
             name=f"{name}-memo",
             disableable=True,
         )
+        #: Dataset ids whose resident shards came straight from a data
+        #: source (LoadOp materializations — dense tables).  Rebalances
+        #: stream only these as bytes; derived datasets are views whose
+        #: serialization would flatten membership, so they replay.
+        self._loaded: set[str] = set()
         self.crashes = 0
         self.shards_summarized = 0
         self.index = 0
@@ -219,11 +250,18 @@ class Worker(WorkerProtocol):
             raise DatasetMissingError(dataset_id, self.name)
         return shards
 
-    def put(self, dataset_id: str, shards: list[Table]) -> None:
+    def put(
+        self, dataset_id: str, shards: list[Table], loaded: bool = False
+    ) -> None:
         self.store.put(dataset_id, shards)
+        if loaded:
+            self._loaded.add(dataset_id)
+        else:
+            self._loaded.discard(dataset_id)
 
     def evict(self, dataset_id: str) -> None:
         self.store.evict(dataset_id)
+        self._loaded.discard(dataset_id)
         # The invalidation invariant: evicting a dataset drops every
         # dependent memoized partial at this tier too.
         self.memo.invalidate_prefix(dataset_id + KEY_SEP)
@@ -232,6 +270,7 @@ class Worker(WorkerProtocol):
         """Lose all soft state, as after a process restart (§5.8)."""
         self.store.clear()
         self.memo.clear()
+        self._loaded.clear()
         self.crashes += 1
 
     def cache_stats(self) -> dict:
@@ -241,6 +280,73 @@ class Worker(WorkerProtocol):
             "memo": self.memo.stats().to_json(),
             "shardsSummarized": self.shards_summarized,
         }
+
+    def inventory(self) -> dict[str, dict]:
+        # peek, not get: a monitoring loop polling `fleet status` must
+        # not refresh recency/TTL or inflate hit counters.
+        return {
+            dataset_id: {
+                "shards": len(shards),
+                "loaded": dataset_id in self._loaded,
+            }
+            for dataset_id in self.store.keys()
+            if (shards := self.store.peek(dataset_id)) is not None
+        }
+
+    def rebalance_store(
+        self,
+        new_index: int,
+        new_count: int,
+        totals: dict[str, int],
+        adopted: "dict[str, dict[int, Table]] | None" = None,
+    ) -> dict[str, int]:
+        """Re-key this worker's shard store for a new slice assignment.
+
+        The caller must :meth:`configure` the new slice afterwards —
+        this method reads ``self.index``/``self.count`` as the *old*
+        assignment to locate kept shards.  ``totals`` maps each
+        *transferred* dataset to its global shard count; ``adopted``
+        holds shards streamed in from other workers, keyed by global
+        index.  For each transferred dataset the worker
+        keeps its still-owned shards (global index ≡ new slice), merges
+        the adopted ones, and stores the result in ascending global
+        order — byte-identical to what ``load_slice(new_index,
+        new_count)`` would have produced.  A dataset that ends up
+        incomplete (a transfer failed, a source worker had gone cold) is
+        dropped instead: redo-log replay rebuilds it on first use
+        (§5.7), which is always correct and merely slower.  Datasets not
+        listed in ``totals`` (derived datasets, another root's datasets
+        this root cannot classify) are evicted for the same replay
+        fallback.  Returns ``{dataset_id: resident shard count}`` after
+        the re-key.
+        """
+        adopted = adopted or {}
+        old_index, old_count = self.index, self.count
+        kept: dict[str, int] = {}
+        for dataset_id in self.store.keys():
+            if dataset_id not in totals:
+                self.evict(dataset_id)
+        for dataset_id, total in totals.items():
+            by_global: dict[int, Table] = dict(adopted.get(dataset_id, {}))
+            resident = self.store.get(dataset_id)
+            if resident is not None:
+                for position, shard in enumerate(resident):
+                    g = old_index + position * old_count
+                    if g % new_count == new_index:
+                        by_global.setdefault(g, shard)
+            expected = list(range(new_index, total, new_count))
+            if sorted(by_global) != expected:
+                # Incomplete slice: drop it, lineage replay rebuilds.
+                self.evict(dataset_id)
+                continue
+            # Transferred datasets are loads by construction (only dense
+            # LoadOp materializations qualify for transfer), and must
+            # stay marked so the *next* rebalance can move them again.
+            self.put(
+                dataset_id, [by_global[g] for g in expected], loaded=True
+            )
+            kept[dataset_id] = len(expected)
+        return kept
 
     def sweep_caches(self) -> int:
         """The paper's "unused for 2 hours → purged" behavior, for real:
@@ -273,7 +379,7 @@ class Worker(WorkerProtocol):
                     continue
                 except DatasetMissingError:
                     shards = [op.table_map.apply(shard) for shard in shards]
-            self.put(op.dataset_id, shards)
+            self.put(op.dataset_id, shards, loaded=isinstance(op, LoadOp))
         if shards is None:
             raise DatasetMissingError(dataset_id, self.name)
         return shards
@@ -286,7 +392,7 @@ class Worker(WorkerProtocol):
         if resident is not None:
             return len(resident)
         shards = source.load_slice(self.index, self.count)
-        self.put(dataset_id, shards)
+        self.put(dataset_id, shards, loaded=True)
         return len(shards)
 
     def ensure(self, dataset_id: str, lineage: list) -> int:
@@ -435,6 +541,19 @@ class Cluster:
         if not self.workers:
             raise ValueError("a cluster needs at least one worker")
         self.aggregation_interval = aggregation_interval
+        #: Bumped by every grow/shrink; remote proxies stamp it onto each
+        #: dataset RPC so workers can reject requests from a root that
+        #: has not yet adopted the current assignment.
+        if not hasattr(self, "placement_version"):
+            self.placement_version = 0
+        #: The rebalance barrier: a grow/shrink waits for in-flight
+        #: sketch streams to drain on the old placement, and blocks new
+        #: streams for the (brief) duration of the re-key, so no stream
+        #: ever observes a half-moved fleet.
+        self._stream_gate = threading.Condition()
+        self._active_streams = 0
+        self._rebalancing = False
+        self.rebalances = 0
         for index, worker in enumerate(self.workers):
             worker.configure(index, len(self.workers), aggregation_interval)
         self.redo_log = RedoLog()
@@ -499,6 +618,274 @@ class Cluster:
         return purged
 
     # ------------------------------------------------------------------
+    # Fleet elasticity: grow/shrink with shard re-balancing
+    # ------------------------------------------------------------------
+    def _enter_stream(self) -> None:
+        """Register an in-flight sketch stream; blocks during a rebalance."""
+        with self._stream_gate:
+            while self._rebalancing:
+                self._stream_gate.wait()
+            self._active_streams += 1
+
+    def _exit_stream(self) -> None:
+        with self._stream_gate:
+            self._active_streams -= 1
+            self._stream_gate.notify_all()
+
+    @contextlib.contextmanager
+    def _stream_guard(self):
+        """Gate for every whole-fleet operation (load, map, row counts,
+        sketch fan-outs): counted so a rebalance can drain them, blocked
+        while one is re-keying the fleet.  Must never nest on one thread
+        — the rebalance waits for the count to reach zero."""
+        self._enter_stream()
+        try:
+            yield
+        finally:
+            self._exit_stream()
+
+    def _begin_rebalance(self, drain_timeout: float = 300.0) -> None:
+        """Block new sketch streams and wait for in-flight ones to drain
+        on the old placement — the barrier that keeps every stream's
+        merge consistent with exactly one slice assignment."""
+        with self._stream_gate:
+            if self._rebalancing:
+                raise PlacementError("a rebalance is already in progress")
+            self._rebalancing = True
+            deadline = time.monotonic() + drain_timeout
+            while self._active_streams:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._rebalancing = False
+                    self._stream_gate.notify_all()
+                    raise PlacementError(
+                        f"{self._active_streams} sketch stream(s) did not "
+                        f"drain within {drain_timeout:.0f}s; rebalance aborted"
+                    )
+                self._stream_gate.wait(timeout=min(remaining, 0.5))
+
+    def _end_rebalance(self) -> None:
+        with self._stream_gate:
+            self._rebalancing = False
+            self._stream_gate.notify_all()
+
+    def grow(self, workers: "int | Sequence[WorkerProtocol]") -> int:
+        """Add workers to a live cluster, re-balancing resident shards.
+
+        ``workers`` is a count of fresh in-process workers to mint, or
+        concrete :class:`WorkerProtocol` instances.  Existing workers
+        keep their slice indices (minimizing shard movement); the new
+        ones take indices ``n..m-1``.  Returns the new worker count.
+        """
+        if isinstance(workers, int):
+            if workers < 1:
+                raise ValueError("grow needs at least one new worker")
+            template = self.workers[0]
+            # Mint names no current worker holds: after a shrink the
+            # low indices may be gone but the high names survive, and a
+            # duplicate name would break shrink-by-name later.
+            taken = {w.name for w in self.workers}
+            added: list[WorkerProtocol] = []
+            candidate = len(self.workers)
+            while len(added) < workers:
+                name = f"worker-{candidate}"
+                candidate += 1
+                if name in taken:
+                    continue
+                taken.add(name)
+                added.append(
+                    Worker(
+                        name,
+                        cores=template.cores,
+                        cache_entries=getattr(
+                            getattr(template, "store", None), "max_entries", 64
+                        ),
+                    )
+                )
+        else:
+            added = list(workers)
+            if not added:
+                raise ValueError("grow needs at least one new worker")
+        old = list(self.workers)
+        new_indices: "list[int | None]" = list(range(len(old)))
+        self._rebalance(old, new_indices, old + added)
+        return len(self.workers)
+
+    def shrink(self, selectors: "Sequence[int | str]") -> int:
+        """Remove workers, re-balancing their shards onto the survivors.
+
+        ``selectors`` name workers by index or by name.  At least one
+        worker must survive.  Returns the new worker count.
+        """
+        removed = set()
+        for selector in selectors:
+            removed.add(self._find_worker(selector))
+        if not removed:
+            raise ValueError("shrink needs at least one worker to remove")
+        if len(removed) >= len(self.workers):
+            raise PlacementError("cannot shrink a cluster to zero workers")
+        old = list(self.workers)
+        survivors = [w for i, w in enumerate(old) if i not in removed]
+        new_indices: "list[int | None]" = []
+        next_index = 0
+        for i in range(len(old)):
+            if i in removed:
+                new_indices.append(None)
+            else:
+                new_indices.append(next_index)
+                next_index += 1
+        self._rebalance(old, new_indices, survivors)
+        return len(self.workers)
+
+    def _find_worker(self, selector: "int | str") -> int:
+        if isinstance(selector, int):
+            if not 0 <= selector < len(self.workers):
+                raise PlacementError(f"no worker at index {selector}")
+            return selector
+        for index, worker in enumerate(self.workers):
+            if worker.name == selector:
+                return index
+        raise PlacementError(f"no worker named {selector!r}")
+
+    @staticmethod
+    def _inventory_shards(inventory: dict, dataset_id: str) -> int:
+        entry = inventory.get(dataset_id) or {}
+        return int(entry.get("shards", 0))
+
+    def _transferable_datasets(
+        self, inventories: "list[dict[str, dict]]"
+    ) -> dict[str, int]:
+        """Datasets whose shards move as bytes during a rebalance.
+
+        Only *loaded* datasets (every worker marks them as materialized
+        straight from a data source) that are fully resident on every
+        worker qualify: their shards are exactly the dense tables
+        ``load_slice`` produces, so streaming them is byte-identical to
+        reloading.  The marker is worker-resident, so an administrative
+        root whose redo log never saw the dataset still transfers it.
+        Derived datasets are dropped and replayed from their (moved)
+        parents — re-applying a map in memory is cheap next to
+        re-reading a source, and replay is the §5.7-correct fallback for
+        everything else.  Returns ``{dataset_id: total shard count}``.
+        """
+        if not inventories:
+            return {}
+        candidates = set(inventories[0])
+        for inventory in inventories[1:]:
+            candidates &= set(inventory)
+        totals: dict[str, int] = {}
+        for dataset_id in candidates:
+            if not all(
+                (inv.get(dataset_id) or {}).get("loaded")
+                for inv in inventories
+            ):
+                continue  # derived or unclassifiable; replay on demand
+            totals[dataset_id] = sum(
+                self._inventory_shards(inv, dataset_id) for inv in inventories
+            )
+        return totals
+
+    def _collect_inventories(
+        self, old: "list[WorkerProtocol]"
+    ) -> "list[dict[str, dict]]":
+        inventories = []
+        for worker in old:
+            try:
+                inventories.append(dict(worker.inventory()))
+            except (WorkerUnavailableError, EngineError):
+                inventories.append({})
+        return inventories
+
+    def _rebalance(
+        self,
+        old: "list[WorkerProtocol]",
+        new_indices: "list[int | None]",
+        new_workers: "list[WorkerProtocol]",
+    ) -> None:
+        """The in-process rebalance: move shard references directly.
+
+        :class:`~repro.engine.remote.ProcessCluster` overrides this with
+        the wire protocol (``transferShards``/``adoptShards``/
+        ``rebalanceCommit``); the plan computation and the barrier are
+        shared.
+        """
+        self._begin_rebalance()
+        try:
+            new_count = len(new_workers)
+            inventories = self._collect_inventories(old)
+            totals = self._transferable_datasets(inventories)
+            # Stage every moving shard (references; this is one process)
+            # before mutating any store, then commit worker by worker.
+            staged: "list[dict[str, dict[int, Table]]]" = [
+                {} for _ in range(new_count)
+            ]
+            for dataset_id, total in totals.items():
+                resident: "list[list[int]]" = []
+                for position, worker in enumerate(old):
+                    count = self._inventory_shards(
+                        inventories[position], dataset_id
+                    )
+                    resident.append(
+                        [worker.index + p * worker.count for p in range(count)]
+                    )
+                moves = plan_moves(resident, new_indices, new_count)
+                for (position, owner), globals_moved in moves.items():
+                    worker = old[position]
+                    assert isinstance(worker, Worker)
+                    shards = worker.store.get(dataset_id) or []
+                    bucket = staged[owner].setdefault(dataset_id, {})
+                    for g in globals_moved:
+                        local = (g - worker.index) // worker.count
+                        if 0 <= local < len(shards):
+                            bucket[g] = shards[local]
+            for index, worker in enumerate(new_workers):
+                assert isinstance(worker, Worker)
+                worker.rebalance_store(
+                    index, new_count, totals, staged[index]
+                )
+                worker.configure(index, new_count, self.aggregation_interval)
+            for position, new_index in enumerate(new_indices):
+                if new_index is None:
+                    old[position].crash()  # drop the removed worker's state
+            self.workers = list(new_workers)
+            self.placement_version += 1
+            self.rebalances += 1
+        finally:
+            self._end_rebalance()
+
+    def resync_placement(self, observed_version: int | None = None) -> bool:
+        """Adopt the fleet's current placement after a stale rejection.
+
+        ``observed_version`` is the placement version the caller was at
+        when its request failed: if another thread already adopted a
+        newer placement in the meantime, the retry is immediately
+        worthwhile — without the witness, the second of two concurrent
+        resyncs would wait for a version the fleet never reaches.
+
+        In-process clusters are always in sync (the placement only
+        changes through this object), so the base implementation
+        reports "nothing to adopt"; :class:`ProcessCluster` re-reads
+        the fleet.
+        """
+        return False
+
+    def _with_placement_retries(self, fn):
+        """Run ``fn`` (a whole-fleet operation), re-syncing placement and
+        retrying when the fleet rebalanced underneath it."""
+        attempts = 0
+        while True:
+            observed = self.placement_version
+            try:
+                return fn()
+            except StalePlacementError:
+                attempts += 1
+                if attempts > MAX_PLACEMENT_RETRIES or not self.resync_placement(
+                    observed
+                ):
+                    raise
+                time.sleep(min(0.05 * attempts, 0.5))
+
+    # ------------------------------------------------------------------
     # Dataset lifecycle
     # ------------------------------------------------------------------
     def _new_dataset_id(self, prefix: str) -> str:
@@ -551,6 +938,11 @@ class Cluster:
         """Load a data source, distributing partitions over workers."""
         dataset_id = self._load_dataset_id(source)
         self.redo_log.record_load(dataset_id, source)
+        with self._stream_guard():
+            self._load_shards(dataset_id, source)
+        return ClusterDataSet(self, dataset_id)
+
+    def _load_shards(self, dataset_id: str, source: DataSource) -> None:
         if all(isinstance(w, Worker) for w in self.workers):
             # In-process fast path: load once at the root, hand each
             # worker its slice (identical to the slice it would compute).
@@ -563,14 +955,19 @@ class Cluster:
             ):
                 shards = source.load()
                 for index, worker in enumerate(self.workers):
-                    worker.put(dataset_id, self._assigned(shards, index))  # type: ignore[union-attr]
+                    worker.put(  # type: ignore[union-attr]
+                        dataset_id,
+                        self._assigned(shards, index),
+                        loaded=True,
+                    )
         else:
             # Remote workers load the source themselves, in parallel: a
             # table cannot cross the process boundary, a description can.
-            self._for_all_workers(
-                lambda i, w: w.load_source(dataset_id, source)
+            self._with_placement_retries(
+                lambda: self._for_all_workers(
+                    lambda i, w: w.load_source(dataset_id, source)
+                )
             )
-        return ClusterDataSet(self, dataset_id)
 
     def _assigned(self, shards: list[Table], worker_index: int) -> list[Table]:
         """Round-robin shard placement; deterministic, so replay agrees."""
@@ -629,16 +1026,23 @@ class Cluster:
         the root tier (computation cache, row count); each worker drops
         its own memoized partials inside :meth:`WorkerProtocol.evict`.
         """
-        targets = (
-            self.workers
-            if worker_index is None
-            else [self.workers[worker_index]]
-        )
-        for worker in targets:
-            worker.evict(dataset_id)
-        if worker_index is None:
-            self.computation_cache.invalidate_dataset(dataset_id)
-            self.row_count_cache.evict(dataset_id)
+        if worker_index is not None:
+            self.workers[worker_index].evict(dataset_id)
+            return
+
+        def evict_everywhere() -> None:
+            for worker in self.workers:
+                worker.evict(dataset_id)
+
+        # Same rebalance discipline as every other whole-fleet op: the
+        # stream guard keeps an in-process rebalance from re-planting
+        # staged copies of the dataset being evicted, and the placement
+        # retries keep an external rebalance from leaving some workers
+        # holding shards while the root-tier caches are dropped below.
+        with self._stream_guard():
+            self._with_placement_retries(evict_everywhere)
+        self.computation_cache.invalidate_dataset(dataset_id)
+        self.row_count_cache.evict(dataset_id)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -674,11 +1078,14 @@ class ClusterDataSet(IDataSet):
         if cached is not None:
             return cached
         lineage = self.cluster.lineage(self.dataset_id)
-        total = sum(
-            self.cluster._for_all_workers(
-                lambda i, w: w.shard_rows(self.dataset_id, lineage)
+        with self.cluster._stream_guard():
+            total = sum(
+                self.cluster._with_placement_retries(
+                    lambda: self.cluster._for_all_workers(
+                        lambda i, w: w.shard_rows(self.dataset_id, lineage)
+                    )
+                )
             )
-        )
         self.cluster.cache_row_count(self.dataset_id, total)
         return total
 
@@ -686,6 +1093,10 @@ class ClusterDataSet(IDataSet):
     def schema(self):
         # Lazily walk workers in order: the schema needs only one shard,
         # so materializing every worker (replay included) would be waste.
+        with self.cluster._stream_guard():
+            return self.cluster._with_placement_retries(self._schema_once)
+
+    def _schema_once(self):
         lineage = self.cluster.lineage(self.dataset_id)
         for index in range(len(self.cluster.workers)):
             schema = self.cluster._with_revival(
@@ -701,7 +1112,12 @@ class ClusterDataSet(IDataSet):
         # The new dataset's lineage ends with the map op just recorded, so
         # "ensure" both applies the map and registers the result (§5.7).
         lineage = self.cluster.lineage(new_id)
-        self.cluster._for_all_workers(lambda i, w: w.ensure(new_id, lineage))
+        with self.cluster._stream_guard():
+            self.cluster._with_placement_retries(
+                lambda: self.cluster._for_all_workers(
+                    lambda i, w: w.ensure(new_id, lineage)
+                )
+            )
         return ClusterDataSet(self.cluster, new_id)
 
     # ------------------------------------------------------------------
@@ -714,12 +1130,16 @@ class ClusterDataSet(IDataSet):
         lineage: list,
         token: CancellationToken | None,
         emissions: "queue.Queue[_Emission]",
+        workers: "list[WorkerProtocol]",
     ) -> None:
         """Drive one worker's partial stream, reviving it if it dies.
 
         Because partials are cumulative, a retry after revival simply
         *replaces* this worker's contribution at the root — no double
-        counting (§5.8).
+        counting (§5.8).  ``workers`` is this attempt's placement
+        snapshot: if the cluster's live list diverges from it (the fleet
+        rebalanced under a concurrent stream), revival is abandoned and
+        the whole fan-out restarts on the new placement.
         """
         cluster = self.cluster
         done = 0
@@ -728,7 +1148,7 @@ class ClusterDataSet(IDataSet):
         try:
             while True:
                 try:
-                    worker = cluster.workers[worker_index]
+                    worker = workers[worker_index]
                     for emission in worker.sketch_partials(
                         self.dataset_id, sketch, lineage, token
                     ):
@@ -745,14 +1165,26 @@ class ClusterDataSet(IDataSet):
                 except WorkerUnavailableError as exc:
                     attempts += 1
                     cancelled = token is not None and token.cancelled
+                    in_sync = (
+                        worker_index < len(cluster.workers)
+                        and cluster.workers[worker_index] is workers[worker_index]
+                    )
                     if (
                         not cancelled
                         and attempts <= MAX_WORKER_RETRIES
+                        and in_sync
                         and cluster.revive_worker(worker_index)
                     ):
+                        workers[worker_index] = cluster.workers[worker_index]
                         done = 0
                         continue  # re-run against the revived worker
-                    failure = exc
+                    if not in_sync:
+                        failure = StalePlacementError(
+                            f"worker {worker.name} left the placement "
+                            "while streaming; re-running on the new fleet"
+                        )
+                    else:
+                        failure = exc
                 except Exception as exc:  # noqa: BLE001 — surfaced at the root
                     failure = exc
                 break
@@ -779,59 +1211,26 @@ class ClusterDataSet(IDataSet):
                 yield PartialResult(1.0, cached, received_bytes=0, cache_hit=True)
                 return
 
-        # Phase 1 (request broadcast + data materialization): every worker
-        # resolves its shards, replaying the redo log if state was lost.
-        lineage = cluster.lineage(self.dataset_id)
-        shard_counts = cluster._for_all_workers(
-            lambda i, w: w.ensure(self.dataset_id, lineage)
-        )
-        total_shards = sum(shard_counts) or 1
-
-        # Phase 2: leaves summarize; aggregation nodes emit partials.
-        workers = range(len(cluster.workers))
-        emissions: "queue.Queue[_Emission]" = queue.Queue()
-        threads = [
-            threading.Thread(
-                target=self._worker_stream,
-                args=(i, sketch, lineage, token, emissions),
-                daemon=True,
-            )
-            for i in workers
-        ]
-        for thread in threads:
-            thread.start()
-
-        latest: dict[int, R] = {}
-        done_counts = dict.fromkeys(workers, 0)
-        hit_workers: set[int] = set()
-        finished = 0
+        # The whole fan-out restarts from scratch when the fleet
+        # rebalances underneath it (a worker rejects our stale placement
+        # version): partials already streamed remain valid progressive
+        # approximations, and the retry's cumulative partials simply
+        # replace them — the final merge is computed entirely on one
+        # placement, so bytes stay identical across rebalances.
+        attempts = 0
         final: R | None = None
-        leaf_error: BaseException | None = None
-        while finished < len(cluster.workers):
-            emission = emissions.get()
-            done_counts[emission.worker_index] = emission.shards_done
-            if emission.summary is None:
-                finished += 1
-                if emission.error is not None and leaf_error is None:
-                    leaf_error = emission.error
-                continue
-            if emission.cache_hit:
-                hit_workers.add(emission.worker_index)
-            latest[emission.worker_index] = emission.summary  # type: ignore[assignment]
-            with cluster._lock:
-                cluster.total_bytes_to_root += emission.bytes
-            merged = sketch.merge_all(list(latest.values()))
-            final = merged
-            yield PartialResult(
-                sum(done_counts.values()) / total_shards,
-                merged,
-                received_bytes=emission.bytes,
-                worker_cache_hits=len(hit_workers),
-            )
-        for thread in threads:
-            thread.join()
-        if leaf_error is not None:
-            raise leaf_error
+        while True:
+            observed = cluster.placement_version
+            try:
+                final = yield from self._sketch_attempt(sketch, token)
+                break
+            except StalePlacementError:
+                attempts += 1
+                if attempts > MAX_PLACEMENT_RETRIES or not cluster.resync_placement(
+                    observed
+                ):
+                    raise
+                time.sleep(min(0.05 * attempts, 0.5))
 
         if (
             cache_key is not None
@@ -839,6 +1238,76 @@ class ClusterDataSet(IDataSet):
             and not (token is not None and token.cancelled)
         ):
             cluster.computation_cache.put(self.dataset_id, cache_key, final)
+
+    def _sketch_attempt(
+        self,
+        sketch: Sketch[R],
+        token: CancellationToken | None,
+    ):
+        """One fan-out over the current placement; returns the final
+        merge (via StopIteration value) or raises
+        :class:`StalePlacementError` if the fleet moved mid-flight."""
+        cluster = self.cluster
+        cluster._enter_stream()
+        try:
+            # Phase 1 (request broadcast + data materialization): every
+            # worker resolves its shards, replaying the redo log if its
+            # state was lost.
+            lineage = cluster.lineage(self.dataset_id)
+            shard_counts = cluster._for_all_workers(
+                lambda i, w: w.ensure(self.dataset_id, lineage)
+            )
+            total_shards = sum(shard_counts) or 1
+
+            # Phase 2: leaves summarize; aggregation nodes emit partials.
+            snapshot = list(cluster.workers)
+            workers = range(len(snapshot))
+            emissions: "queue.Queue[_Emission]" = queue.Queue()
+            threads = [
+                threading.Thread(
+                    target=self._worker_stream,
+                    args=(i, sketch, lineage, token, emissions, snapshot),
+                    daemon=True,
+                )
+                for i in workers
+            ]
+            for thread in threads:
+                thread.start()
+
+            latest: dict[int, R] = {}
+            done_counts = dict.fromkeys(workers, 0)
+            hit_workers: set[int] = set()
+            finished = 0
+            final: R | None = None
+            leaf_error: BaseException | None = None
+            while finished < len(threads):
+                emission = emissions.get()
+                done_counts[emission.worker_index] = emission.shards_done
+                if emission.summary is None:
+                    finished += 1
+                    if emission.error is not None and leaf_error is None:
+                        leaf_error = emission.error
+                    continue
+                if emission.cache_hit:
+                    hit_workers.add(emission.worker_index)
+                latest[emission.worker_index] = emission.summary  # type: ignore[assignment]
+                with cluster._lock:
+                    cluster.total_bytes_to_root += emission.bytes
+                merged = sketch.merge_all(list(latest.values()))
+                final = merged
+                yield PartialResult(
+                    sum(done_counts.values()) / total_shards,
+                    merged,
+                    received_bytes=emission.bytes,
+                    worker_cache_hits=len(hit_workers),
+                )
+            for thread in threads:
+                thread.join()
+            if leaf_error is not None:
+                raise leaf_error
+            return final
+        finally:
+            cluster._exit_stream()
 
     def run(
         self, sketch: Sketch[R], token: CancellationToken | None = None

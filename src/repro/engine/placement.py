@@ -24,6 +24,17 @@ The registry is therefore *worker-resident* and sticky:
 
 :func:`parse_fleet_spec` turns the ``repro serve --join`` argument into
 the address list both of those steps consume.
+
+Placements are **versioned** so a placed fleet can change size at
+runtime (grow/shrink with shard re-balancing): every rebalance bumps the
+fleet's placement version and re-pins each worker's slice, every
+dataset-touching RPC carries the version its root believes in, and a
+worker rejects a stale-versioned request (:class:`StalePlacementError`,
+retryable) so the root re-reads the fleet's placement — including its
+*membership*, which each worker reports alongside its slice — and
+retries on the new assignment.  In-flight requests admitted under the
+old version drain against the old slicing before a commit re-keys any
+worker's shard store, so results stay byte-identical throughout.
 """
 
 from __future__ import annotations
@@ -45,21 +56,71 @@ class PlacementError(HillviewError):
     retryable = False
 
 
+class StalePlacementError(PlacementError):
+    """The fleet rebalanced since this root last read the placement.
+
+    Always retryable: the root re-queries the fleet (adopting any
+    membership change) and re-issues the request under the new version.
+    """
+
+    code = "stale_placement"
+    retryable = True
+
+
+def format_address(address: "tuple[str, int]") -> str:
+    """The canonical ``host:port`` membership entry for one worker."""
+    host, port = address
+    return f"{host}:{port}"
+
+
+def parse_address(entry: str) -> tuple[str, int]:
+    """Invert :func:`format_address` (also accepts bare ``:port``)."""
+    host, _, port = str(entry).rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise PlacementError(
+            f"bad member address {entry!r}; expected host:port"
+        ) from None
+
+
 @dataclass(frozen=True)
 class ShardPlacement:
-    """One worker's slice assignment: ``index`` of ``count`` (§5.2)."""
+    """One worker's slice assignment: ``index`` of ``count`` (§5.2).
+
+    ``version`` counts fleet rebalances (0 = the initial placement);
+    ``members`` — when the fleet is a set of dialable daemons — lists
+    every member's ``host:port`` ordered by slice index, so a root
+    holding any one live connection can rediscover the whole fleet
+    after a grow or shrink.
+    """
 
     index: int
     count: int
+    version: int = 0
+    members: "tuple[str, ...] | None" = None
 
     def to_json(self) -> dict:
-        return {"index": self.index, "count": self.count}
+        data: dict = {
+            "index": self.index,
+            "count": self.count,
+            "version": self.version,
+        }
+        if self.members is not None:
+            data["members"] = list(self.members)
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "ShardPlacement | None":
         if not isinstance(data, dict) or data.get("index") is None:
             return None
-        return cls(int(data["index"]), int(data["count"]))
+        members = data.get("members")
+        return cls(
+            int(data["index"]),
+            int(data["count"]),
+            int(data.get("version", 0) or 0),
+            tuple(str(m) for m in members) if members else None,
+        )
 
 
 def canonical_order(addresses: list[tuple[str, int]]) -> list[int]:
@@ -115,6 +176,16 @@ def agree_placement(
         )
         error.retryable = True
         raise error
+    versions = {p.version for p in placed}
+    if len(versions) > 1:
+        # A rebalance is committing worker by worker right now; the
+        # fleet will settle on one version momentarily.
+        error = PlacementError(
+            f"fleet reports mixed placement versions {sorted(versions)}; "
+            "a rebalance is in progress (retried automatically on attach)"
+        )
+        error.retryable = True
+        raise error
     counts = {p.count for p in placed}
     if counts != {count}:
         raise PlacementError(
@@ -129,6 +200,58 @@ def agree_placement(
             f"permutation of 0..{count - 1}"
         )
     return indices
+
+
+# ---------------------------------------------------------------------------
+# Rebalancing: which shard slices move when the fleet changes size
+# ---------------------------------------------------------------------------
+def slice_of(global_index: int, count: int) -> int:
+    """The slice owning global shard ``global_index`` in a fleet of
+    ``count`` workers — the same round-robin striping as
+    ``DataSource.load_slice`` (worker ``i`` holds ``load()[i::count]``)."""
+    return global_index % count
+
+
+def global_indices(index: int, count: int, shards: int) -> list[int]:
+    """The global shard indices worker ``index`` of ``count`` holds for a
+    dataset with ``shards`` resident local shards, in local order."""
+    return [index + p * count for p in range(shards)]
+
+
+def expected_slice(index: int, count: int, total: int) -> list[int]:
+    """Every global shard index slice ``index`` of ``count`` must hold
+    for a dataset of ``total`` shards, ascending."""
+    return list(range(index, total, count))
+
+
+def plan_moves(
+    resident: "list[list[int]]",
+    new_indices: "list[int | None]",
+    new_count: int,
+) -> "dict[tuple[int, int], list[int]]":
+    """The minimal shard movement for one dataset across a rebalance.
+
+    ``resident[i]`` lists the global shard indices old worker position
+    ``i`` currently holds; ``new_indices[i]`` is that worker's slice
+    index in the *new* assignment (``None`` for a worker being removed).
+    Returns ``{(old_position, new_owner_index): [global indices]}`` for
+    every shard whose owner changes — shards staying put are omitted, so
+    a grow streams only the slices that actually move (§6 deployment,
+    made elastic).
+    """
+    if len(resident) != len(new_indices):
+        raise PlacementError(
+            f"{len(resident)} inventories but {len(new_indices)} new indices"
+        )
+    moves: "dict[tuple[int, int], list[int]]" = {}
+    for position, globals_held in enumerate(resident):
+        keeps = new_indices[position]
+        for g in sorted(globals_held):
+            owner = slice_of(g, new_count)
+            if owner == keeps:
+                continue  # stays put
+            moves.setdefault((position, owner), []).append(g)
+    return moves
 
 
 def parse_fleet_spec(spec: str) -> list[tuple[str, int]]:

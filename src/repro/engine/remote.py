@@ -25,6 +25,8 @@ lineage travels as load/map descriptions — one codec for every hop.
 
 from __future__ import annotations
 
+import base64
+import contextlib
 import itertools
 import json
 import os
@@ -47,13 +49,20 @@ from repro.engine.cluster import (
 from repro.engine.placement import (
     PlacementError,
     ShardPlacement,
+    StalePlacementError,
     agree_placement,
+    format_address,
+    global_indices,
+    parse_address,
+    plan_moves,
 )
 from repro.engine.progress import CancellationToken
 from repro.engine.rpc import (
+    TERMINAL_REPLY_KINDS,
     ProtocolError,
     RpcReply,
     RpcRequest,
+    call_once,
     lineage_from_json,
     lineage_to_json,
     sketch_from_json,
@@ -67,8 +76,31 @@ from repro.errors import EngineError, HillviewError, WorkerUnavailableError
 from repro.storage.loader import DataSource
 from repro.table.schema import ColumnDescription, Schema
 
-#: Reply kinds that end one request's reply stream.
-_TERMINAL = frozenset({"ack", "complete", "cancelled", "error"})
+#: Reply kinds that end one request's reply stream (the shared set —
+#: both wires terminate streams identically).
+_TERMINAL = TERMINAL_REPLY_KINDS
+
+#: Methods that touch the shard store under a placement; each carries the
+#: root's ``placementVersion`` and drains before a rebalance commit.
+_DATASET_METHODS = frozenset(
+    {"load", "ensure", "rows", "schema", "sketch", "evict"}
+)
+
+#: State-creating methods a draining worker (SIGTERM received) refuses;
+#: in-flight partial streams still run to completion.
+_REFUSED_WHILE_DRAINING = frozenset(
+    {"configure", "load", "adoptShards", "transferShards", "rebalanceCommit"}
+)
+
+#: Roughly how many base64 payload bytes one adoptShards batch carries
+#: (well under MAX_FRAME_BYTES so the envelope always fits).
+_TRANSFER_BATCH_BYTES = 8 * 1024 * 1024
+
+
+class WorkerDrainingError(HillviewError):
+    """The worker received SIGTERM and refuses new state-creating work."""
+
+    code = "worker_draining"
 
 
 # ---------------------------------------------------------------------------
@@ -139,6 +171,28 @@ class WorkerServer:
         )
         self._placement: tuple[int, int] | None = None
         self._placement_lock = threading.Lock()
+        #: Placement versioning (elastic fleets): the version this
+        #: worker's slice was pinned at, the fleet membership it was told
+        #: about, staged shards adopted for a pending rebalance (keyed by
+        #: target version), and the in-flight dataset-op counter a
+        #: rebalance commit drains before re-keying the store.
+        self._version = 0
+        self._members: list[str] | None = None
+        self._retired = False
+        self._staged: dict[int, dict[str, dict[int, object]]] = {}
+        #: When each staged version arrived: an aborted rebalance must
+        #: not pin a copy of the moved slices forever, so the periodic
+        #: cache sweep drops staging older than this.
+        self._staged_at: dict[int, float] = {}
+        self.staged_stage_ttl_seconds = 900.0
+        self._ops_cv = threading.Condition(self._placement_lock)
+        self._dataset_ops = 0
+        self._rebalance_pending = False
+        self.shards_adopted = 0
+        self.shards_transferred = 0
+        #: Graceful shutdown (SIGTERM): finish in-flight partials, refuse
+        #: new state-creating requests, then exit once drained.
+        self._draining = threading.Event()
         self._shutdown = threading.Event()
         self._listener: socket.socket | None = None
         self.requests_served = 0
@@ -170,6 +224,92 @@ class WorkerServer:
     def _sweep_loop(self) -> None:
         while not self._shutdown.wait(self.cache_sweep_interval_seconds):
             self.cache_entries_purged += self.worker.sweep_caches()
+            self.cache_entries_purged += self._sweep_stale_staging()
+
+    def _sweep_stale_staging(self) -> int:
+        """Drop shards staged for a rebalance that never committed (the
+        initiating root died mid-resize); returns shards dropped."""
+        now = time.monotonic()
+        dropped = 0
+        with self._ops_cv:
+            for version in list(self._staged):
+                stamped = self._staged_at.get(version, now)
+                if now - stamped > self.staged_stage_ttl_seconds:
+                    for shards in self._staged.pop(version).values():
+                        dropped += len(shards)
+                    self._staged_at.pop(version, None)
+        return dropped
+
+    # -- graceful shutdown (SIGTERM) -------------------------------------
+    def begin_drain(self) -> None:
+        """Start a graceful shutdown: stop accepting roots, refuse new
+        state-creating requests, let in-flight partial streams finish.
+
+        Idempotent; wired to SIGTERM by ``repro worker`` so a fleet
+        shrink or a CI teardown never races a mid-stream kill."""
+        self._draining.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def wait_drained(self, timeout: float = 30.0) -> bool:
+        """Block until every in-flight dataset op finished (or timeout).
+
+        Returns whether the worker is idle; ``repro worker`` calls this
+        after SIGTERM before letting the process exit."""
+        deadline = time.monotonic() + timeout
+        with self._ops_cv:
+            while self._dataset_ops:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._ops_cv.wait(timeout=min(remaining, 0.5))
+        return True
+
+    # -- placement versioning (elastic fleets) ---------------------------
+    @contextlib.contextmanager
+    def _dataset_op(self, args: dict):
+        """Admission guard for store-touching requests.
+
+        Verifies the root's placement version under the placement lock
+        and registers the op so a rebalance commit can drain in-flight
+        work before re-keying the store — the invariant that every
+        admitted request runs start-to-finish against exactly one slice
+        assignment (results stay byte-identical across rebalances).
+        """
+        version = args.get("placementVersion")
+        with self._ops_cv:
+            if self._rebalance_pending:
+                raise StalePlacementError(
+                    f"worker {self.worker.name} is committing a rebalance; "
+                    "re-read the placement and retry"
+                )
+            if self._retired:
+                raise StalePlacementError(
+                    f"worker {self.worker.name} was retired from the fleet "
+                    f"at version {self._version}; it serves no shard slice"
+                )
+            if version is not None and int(version) != self._version:
+                raise StalePlacementError(
+                    f"worker {self.worker.name} holds placement version "
+                    f"{self._version} but this root sent "
+                    f"{int(version)}; the fleet was rebalanced — re-read "
+                    "the placement and retry"
+                )
+            self._dataset_ops += 1
+        try:
+            yield
+        finally:
+            with self._ops_cv:
+                self._dataset_ops -= 1
+                self._ops_cv.notify_all()
 
     # -- attachment modes ----------------------------------------------
     def run_connect(self, host: str, port: int, timeout: float = 10.0) -> None:
@@ -361,14 +501,43 @@ class WorkerServer:
         method = request.method
         args = request.args
         worker = self.worker
+        if method in _REFUSED_WHILE_DRAINING and self._draining.is_set():
+            raise WorkerDrainingError(
+                f"worker {worker.name} is draining for shutdown and "
+                f"refuses {method!r}"
+            )
         if method == "configure":
             index = int(args["index"])
             count = int(args["count"])
+            version = int(args.get("placementVersion", 0) or 0)
+            members = args.get("members")
             with self._placement_lock:
+                if self._retired:
+                    # A stale root re-dialing a worker the fleet shrank
+                    # away must not resurrect it by re-pinning the old
+                    # slice; the root resyncs to the farewell membership
+                    # instead.  (To genuinely re-add this daemon, use
+                    # `repro fleet grow` — or restart it clean.)
+                    raise StalePlacementError(
+                        f"worker {worker.name} was retired from the fleet "
+                        f"at version {self._version}; it cannot be "
+                        "re-placed by configure"
+                    )
                 if self._placement is None:
-                    # First configure pins this worker's slice for the
-                    # fleet's lifetime; later roots must agree with it.
+                    # First configure pins this worker's slice (and the
+                    # fleet version the configuring root agreed on);
+                    # later roots must agree with it.
                     self._placement = (index, count)
+                    self._version = version
+                    self._retired = False
+                    if members:
+                        self._members = [str(m) for m in members]
+                elif version != self._version:
+                    raise StalePlacementError(
+                        f"worker {worker.name} holds placement version "
+                        f"{self._version} but this root configured for "
+                        f"{version}; re-read the placement and retry"
+                    )
                 elif self._placement != (index, count):
                     held = self._placement
                     raise PlacementError(
@@ -377,51 +546,56 @@ class WorkerServer:
                         f"{index}/{count}; re-slicing a shared fleet would "
                         "corrupt datasets other roots already loaded"
                     )
+            interval = args.get("aggregationInterval")
             worker.configure(
-                index, count, float(args.get("aggregationInterval", 0.1))
+                index,
+                count,
+                # None = "keep your cadence": administrative roots (the
+                # fleet CLI) attach without rewriting the tier's tuning.
+                float(interval)
+                if interval is not None
+                else worker.aggregation_interval,
             )
             yield RpcReply(
                 request.request_id,
                 "ack",
-                payload={"index": index, "count": count},
+                payload={"index": index, "count": count, "version": version},
             )
         elif method == "placement":
-            with self._placement_lock:
-                placement = self._placement
             yield RpcReply(
                 request.request_id,
                 "complete",
-                payload={
-                    "name": worker.name,
-                    "index": None if placement is None else placement[0],
-                    "count": None if placement is None else placement[1],
-                },
+                payload=self._placement_payload(),
             )
         elif method == "load":
-            shards = worker.load_source(
-                str(args["dataset"]), source_from_json(args["source"])
-            )
+            with self._dataset_op(args):
+                shards = worker.load_source(
+                    str(args["dataset"]), source_from_json(args["source"])
+                )
             yield RpcReply(
                 request.request_id, "ack", payload={"shards": shards}
             )
         elif method == "ensure":
-            shards = worker.ensure(
-                str(args["dataset"]), lineage_from_json(args["lineage"])
-            )
+            with self._dataset_op(args):
+                shards = worker.ensure(
+                    str(args["dataset"]), lineage_from_json(args["lineage"])
+                )
             yield RpcReply(
                 request.request_id, "ack", payload={"shards": shards}
             )
         elif method == "rows":
-            rows = worker.shard_rows(
-                str(args["dataset"]), lineage_from_json(args["lineage"])
-            )
+            with self._dataset_op(args):
+                rows = worker.shard_rows(
+                    str(args["dataset"]), lineage_from_json(args["lineage"])
+                )
             yield RpcReply(
                 request.request_id, "complete", payload={"rows": rows}
             )
         elif method == "schema":
-            schema = worker.shard_schema(
-                str(args["dataset"]), lineage_from_json(args["lineage"])
-            )
+            with self._dataset_op(args):
+                schema = worker.shard_schema(
+                    str(args["dataset"]), lineage_from_json(args["lineage"])
+                )
             yield RpcReply(
                 request.request_id,
                 "complete",
@@ -434,10 +608,27 @@ class WorkerServer:
                 },
             )
         elif method == "sketch":
-            yield from self._run_sketch(request, link)
+            with self._dataset_op(args):
+                yield from self._run_sketch(request, link)
         elif method == "evict":
-            worker.evict(str(args["dataset"]))
+            with self._dataset_op(args):
+                worker.evict(str(args["dataset"]))
             yield RpcReply(request.request_id, "ack")
+        elif method == "inventory":
+            with self._placement_lock:
+                payload = {
+                    "datasets": self.worker.inventory(),
+                    **self._placement_payload(),
+                }
+            yield RpcReply(request.request_id, "complete", payload=payload)
+        elif method == "transferShards":
+            yield self._transfer_shards(request)
+        elif method == "adoptShards":
+            yield self._adopt_shards(request)
+        elif method == "rebalanceCommit":
+            yield self._rebalance_commit(request)
+        elif method == "retire":
+            yield self._retire(request)
         elif method == "crash":
             worker.crash()
             yield RpcReply(request.request_id, "ack")
@@ -520,10 +711,287 @@ class WorkerServer:
             with link.tokens_lock:
                 link.tokens.pop(request.request_id, None)
 
+    # -- the rebalance protocol (elastic fleets) -------------------------
+    def _placement_payload(self) -> dict:
+        """The ``placement`` RPC payload; lock-free attribute reads, so
+        handlers already holding the placement lock can call it too."""
+        placement = self._placement
+        return {
+            "name": self.worker.name,
+            "index": None if placement is None else placement[0],
+            "count": None if placement is None else placement[1],
+            "version": self._version,
+            "members": self._members,
+            "retired": self._retired,
+            # True while a commit is draining this worker's in-flight
+            # ops: tells repairing roots "the initiator is still here —
+            # do not finish its rebalance out from under it".
+            "rebalancing": self._rebalance_pending,
+        }
+
+    def _transfer_shards(self, request: RpcRequest) -> RpcReply:
+        """Push this worker's moved shard slices to their new owners.
+
+        The root computed the move plan from inventories; this worker
+        serializes each named shard (in-memory hvc payload) and streams
+        it to the target daemon's ``adoptShards`` staging area.  Shards
+        that went cold since the inventory are reported ``missing`` —
+        the new owner's commit will find its slice incomplete, drop it,
+        and redo-log replay rebuilds it on first use (§5.7 fallback).
+        """
+        from repro.storage.columnar import table_to_bytes
+
+        args = request.args
+        dataset_id = str(args["dataset"])
+        target_version = int(args["targetVersion"])
+        with self._placement_lock:
+            placement = self._placement
+        if placement is None:
+            raise PlacementError(
+                f"worker {self.worker.name} is unplaced; nothing to transfer"
+            )
+        index, count = placement
+        shards = self.worker.store.get(dataset_id)
+        moved = 0
+        missing: list[int] = []
+        for move in args.get("moves") or []:
+            target = str(move["target"])
+            wanted = [int(g) for g in move.get("globalIndices") or []]
+            batch: list[dict] = []
+            batch_bytes = 0
+            for g in wanted:
+                local = (g - index) // count
+                if (
+                    shards is None
+                    or g % count != index
+                    or not 0 <= local < len(shards)
+                ):
+                    missing.append(g)
+                    continue
+                shard = shards[local]
+                data = base64.b64encode(table_to_bytes(shard)).decode("ascii")
+                batch.append(
+                    {
+                        "globalIndex": g,
+                        "shardId": shard.shard_id,
+                        "data": data,
+                    }
+                )
+                batch_bytes += len(data)
+                if batch_bytes >= _TRANSFER_BATCH_BYTES:
+                    moved += self._push_adopts(
+                        target, dataset_id, target_version, batch
+                    )
+                    batch, batch_bytes = [], 0
+            if batch:
+                moved += self._push_adopts(
+                    target, dataset_id, target_version, batch
+                )
+        self.shards_transferred += moved
+        return RpcReply(
+            request.request_id,
+            "ack",
+            payload={"moved": moved, "missing": missing},
+        )
+
+    def _push_adopts(
+        self, target: str, dataset_id: str, version: int, batch: list[dict]
+    ) -> int:
+        """One worker-to-worker push: dial the target daemon, hand it a
+        batch of serialized shards, return how many it staged."""
+        host, port = parse_address(target)
+        sock = socket.create_connection((host, port), timeout=30.0)
+        sock.settimeout(120.0)
+        try:
+            wfile = sock.makefile("wb")
+            rfile = sock.makefile("rb")
+            where = f"transfer target {target}"
+
+            def call(request_id: int, method: str, args: dict) -> RpcReply:
+                reply = call_once(
+                    rfile, wfile, request_id, method, args, where=where
+                )
+                if reply.kind == "error":
+                    raise EngineError(
+                        f"{where}: [{reply.code}] {reply.error}"
+                    )
+                return reply
+
+            call(0, "hello", {})
+            reply = call(
+                1,
+                "adoptShards",
+                {
+                    "dataset": dataset_id,
+                    "targetVersion": version,
+                    "shards": batch,
+                },
+            )
+            return int(reply.payload.get("staged", 0))
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _adopt_shards(self, request: RpcRequest) -> RpcReply:
+        """Stage shards streamed in by a sibling worker for a pending
+        rebalance; ``rebalanceCommit`` folds them into the store."""
+        from repro.storage.columnar import table_from_bytes
+
+        # Opportunistic reclamation: staging from an aborted rebalance
+        # must go even on daemons running with the periodic sweep
+        # disabled, and a new transfer is the natural moment.
+        self._sweep_stale_staging()
+        args = request.args
+        dataset_id = str(args["dataset"])
+        version = int(args["targetVersion"])
+        staged = 0
+        for item in args.get("shards") or []:
+            table = table_from_bytes(
+                base64.b64decode(str(item["data"])),
+                shard_id=str(item.get("shardId") or f"shard-{item['globalIndex']}"),
+            )
+            with self._ops_cv:
+                self._staged_at.setdefault(version, time.monotonic())
+                bucket = self._staged.setdefault(version, {}).setdefault(
+                    dataset_id, {}
+                )
+                bucket[int(item["globalIndex"])] = table
+            staged += 1
+        self.shards_adopted += staged
+        return RpcReply(
+            request.request_id, "ack", payload={"staged": staged}
+        )
+
+    def _drain_ops_locked(self, what: str, timeout: float) -> None:
+        """Wait (holding ``_ops_cv``) for in-flight dataset ops to finish
+        — the "in-flight sketches drain on the old placement" half of the
+        rebalance contract."""
+        deadline = time.monotonic() + timeout
+        while self._dataset_ops:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise PlacementError(
+                    f"{self._dataset_ops} dataset op(s) still in flight "
+                    f"after {timeout:.0f}s; {what} aborted"
+                )
+            self._ops_cv.wait(timeout=min(remaining, 0.5))
+
+    def _rebalance_commit(self, request: RpcRequest) -> RpcReply:
+        """Adopt a new slice assignment: drain in-flight ops, re-key the
+        store (kept + staged shards, ascending global order), bump the
+        placement version.  Idempotent for the already-committed version
+        so an interrupted rebalance can simply be re-run."""
+        args = request.args
+        version = int(args["version"])
+        index = int(args["index"])
+        count = int(args["count"])
+        members = [str(m) for m in args.get("members") or []] or None
+        totals = {
+            str(k): int(v) for k, v in (args.get("datasets") or {}).items()
+        }
+        drain_timeout = float(args.get("drainTimeout", 60.0))
+        with self._ops_cv:
+            if (
+                version == self._version
+                and self._placement == (index, count)
+                and not self._retired
+            ):
+                return RpcReply(
+                    request.request_id,
+                    "ack",
+                    payload={"version": version, "idempotent": True},
+                )
+            if self._placement is not None and version <= self._version:
+                # Versions are monotonic; an older commit is a replay of
+                # a rebalance this worker already moved past.  Anything
+                # *newer* is accepted — including a skip-ahead from a
+                # repair pass healing an interrupted rebalance.
+                raise PlacementError(
+                    f"worker {self.worker.name} is at placement version "
+                    f"{self._version}; cannot commit version {version}"
+                )
+            self._rebalance_pending = True
+            try:
+                self._drain_ops_locked("rebalance commit", drain_timeout)
+                staged = self._staged.pop(version, {})
+                self._staged.clear()  # older targets are dead
+                self._staged_at.clear()
+                kept = self.worker.rebalance_store(
+                    index, count, totals, staged  # type: ignore[arg-type]
+                )
+                interval = args.get("aggregationInterval")
+                self.worker.configure(
+                    index,
+                    count,
+                    float(interval)
+                    if interval is not None
+                    else self.worker.aggregation_interval,
+                )
+                self._placement = (index, count)
+                self._version = version
+                self._members = members
+                self._retired = False
+            finally:
+                self._rebalance_pending = False
+                self._ops_cv.notify_all()
+        return RpcReply(
+            request.request_id,
+            "ack",
+            payload={"version": version, "kept": kept},
+        )
+
+    def _retire(self, request: RpcRequest) -> RpcReply:
+        """Leave the fleet (shrink): drain in-flight ops, drop all soft
+        state, and report the successor membership to stale roots."""
+        args = request.args
+        version = int(args["version"])
+        members = [str(m) for m in args.get("members") or []] or None
+        drain_timeout = float(args.get("drainTimeout", 60.0))
+        with self._ops_cv:
+            if self._retired and version <= self._version:
+                return RpcReply(
+                    request.request_id,
+                    "ack",
+                    payload={"version": self._version, "idempotent": True},
+                )
+            if self._placement is not None and version <= self._version:
+                raise PlacementError(
+                    f"worker {self.worker.name} is at placement version "
+                    f"{self._version}; cannot retire at version {version}"
+                )
+            self._rebalance_pending = True
+            try:
+                self._drain_ops_locked("retire", drain_timeout)
+                self._staged.clear()
+                self._staged_at.clear()
+                self.worker.store.clear()
+                self.worker.memo.clear()
+                self._placement = None
+                self._version = version
+                self._members = members
+                self._retired = True
+            finally:
+                self._rebalance_pending = False
+                self._ops_cv.notify_all()
+        return RpcReply(
+            request.request_id, "ack", payload={"version": version}
+        )
+
 
 # ---------------------------------------------------------------------------
 # Root side: channel + proxy
 # ---------------------------------------------------------------------------
+def _raise_for_error_reply(name: str, reply: RpcReply) -> None:
+    """Map a worker's error envelope to the root-side exception class."""
+    if reply.code in ("connection", "worker_unavailable", "worker_draining"):
+        raise WorkerUnavailableError(f"worker {name}: {reply.error}")
+    if reply.code == "stale_placement":
+        raise StalePlacementError(f"worker {name}: {reply.error}")
+    raise EngineError(f"worker {name}: [{reply.code}] {reply.error}")
+
+
 class _WorkerChannel:
     """One framed connection to a worker, demultiplexed by request id."""
 
@@ -578,11 +1046,7 @@ class _WorkerChannel:
             except queue.Empty:
                 continue
             if reply.kind == "error":
-                if reply.code in ("connection", "worker_unavailable"):
-                    raise WorkerUnavailableError(
-                        f"worker {self.name}: {reply.error}"
-                    )
-                raise EngineError(f"worker {self.name}: [{reply.code}] {reply.error}")
+                _raise_for_error_reply(self.name, reply)
             if reply.kind in _TERMINAL:
                 return reply
 
@@ -650,6 +1114,21 @@ class RemoteWorkerProxy(WorkerProtocol):
         self.index = 0
         self.count = 1
         self.aggregation_interval = 0.1
+        #: The placement version this root believes the fleet is at;
+        #: stamped onto every dataset RPC so the worker can reject a
+        #: stale root after a rebalance (elastic fleets).
+        self.placement_version = 0
+        #: Fleet membership (host:port, slice order) told to the worker
+        #: on configure so any member can report it back after a resize.
+        self.fleet_members: "list[str] | None" = None
+        #: Administrative roots (the fleet CLI) set this so attaching —
+        #: and rebalancing — never rewrites the serving tier's
+        #: aggregation cadence with their own default.
+        self.preserve_cadence = False
+
+    def _versioned(self, args: dict) -> dict:
+        args["placementVersion"] = self.placement_version
+        return args
 
     @property
     def alive(self) -> bool:
@@ -675,7 +1154,11 @@ class RemoteWorkerProxy(WorkerProtocol):
             {
                 "index": index,
                 "count": count,
-                "aggregationInterval": aggregation_interval,
+                "aggregationInterval": (
+                    None if self.preserve_cadence else aggregation_interval
+                ),
+                "placementVersion": self.placement_version,
+                "members": self.fleet_members,
             },
             timeout=self.request_timeout,
         )
@@ -683,7 +1166,9 @@ class RemoteWorkerProxy(WorkerProtocol):
     def load_source(self, dataset_id: str, source: DataSource) -> int:
         reply = self.channel.call(
             "load",
-            {"dataset": dataset_id, "source": source_to_json(source)},
+            self._versioned(
+                {"dataset": dataset_id, "source": source_to_json(source)}
+            ),
             timeout=self.request_timeout,
         )
         return int(reply.payload["shards"])
@@ -691,7 +1176,9 @@ class RemoteWorkerProxy(WorkerProtocol):
     def ensure(self, dataset_id: str, lineage: list) -> int:
         reply = self.channel.call(
             "ensure",
-            {"dataset": dataset_id, "lineage": lineage_to_json(lineage)},
+            self._versioned(
+                {"dataset": dataset_id, "lineage": lineage_to_json(lineage)}
+            ),
             timeout=self.request_timeout,
         )
         return int(reply.payload["shards"])
@@ -699,7 +1186,9 @@ class RemoteWorkerProxy(WorkerProtocol):
     def shard_rows(self, dataset_id: str, lineage: list) -> int:
         reply = self.channel.call(
             "rows",
-            {"dataset": dataset_id, "lineage": lineage_to_json(lineage)},
+            self._versioned(
+                {"dataset": dataset_id, "lineage": lineage_to_json(lineage)}
+            ),
             timeout=self.request_timeout,
         )
         return int(reply.payload["rows"])
@@ -707,7 +1196,9 @@ class RemoteWorkerProxy(WorkerProtocol):
     def shard_schema(self, dataset_id: str, lineage: list) -> Schema | None:
         reply = self.channel.call(
             "schema",
-            {"dataset": dataset_id, "lineage": lineage_to_json(lineage)},
+            self._versioned(
+                {"dataset": dataset_id, "lineage": lineage_to_json(lineage)}
+            ),
             timeout=self.request_timeout,
         )
         columns = reply.payload["columns"]
@@ -724,11 +1215,13 @@ class RemoteWorkerProxy(WorkerProtocol):
     ) -> Iterator[WorkerEmission]:
         request_id, replies = self.channel.submit(
             "sketch",
-            {
-                "dataset": dataset_id,
-                "sketch": sketch_to_json(sketch),
-                "lineage": lineage_to_json(lineage),
-            },
+            self._versioned(
+                {
+                    "dataset": dataset_id,
+                    "sketch": sketch_to_json(sketch),
+                    "lineage": lineage_to_json(lineage),
+                }
+            ),
         )
         cancel_sent = False
         deadline = time.monotonic() + self.request_timeout
@@ -764,19 +1257,15 @@ class RemoteWorkerProxy(WorkerProtocol):
             elif reply.kind == "complete":
                 return
             elif reply.kind == "error":
-                if reply.code in ("connection", "worker_unavailable"):
-                    raise WorkerUnavailableError(
-                        f"worker {self.name}: {reply.error}"
-                    )
-                raise EngineError(
-                    f"worker {self.name}: [{reply.code}] {reply.error}"
-                )
+                _raise_for_error_reply(self.name, reply)
             else:  # cancelled / ack — treat as stream end
                 return
 
     def evict(self, dataset_id: str) -> None:
         self.channel.call(
-            "evict", {"dataset": dataset_id}, timeout=self.request_timeout
+            "evict",
+            self._versioned({"dataset": dataset_id}),
+            timeout=self.request_timeout,
         )
 
     def crash(self) -> None:
@@ -784,11 +1273,90 @@ class RemoteWorkerProxy(WorkerProtocol):
 
     def query_placement(self) -> "ShardPlacement | None":
         """The worker's sticky slice assignment, or None if unplaced."""
+        return ShardPlacement.from_json(self.query_placement_info())
+
+    def query_placement_info(self) -> dict:
+        """The raw ``placement`` payload: slice, version, membership,
+        retired flag — everything a root needs to resync after a
+        rebalance it did not initiate."""
         reply = self.channel.call(
             "placement", {}, timeout=self.request_timeout
         )
+        return reply.payload if isinstance(reply.payload, dict) else {}
+
+    # -- the rebalance protocol (root side) ------------------------------
+    def inventory(self) -> dict[str, dict]:
+        reply = self.channel.call(
+            "inventory", {}, timeout=self.request_timeout
+        )
         payload = reply.payload if isinstance(reply.payload, dict) else {}
-        return ShardPlacement.from_json(payload)
+        return {
+            str(k): dict(v)
+            for k, v in (payload.get("datasets") or {}).items()
+            if isinstance(v, dict)
+        }
+
+    def transfer_shards(
+        self, dataset_id: str, moves: list[dict], target_version: int
+    ) -> dict:
+        """Ask this worker to push moved shard slices to their new
+        owners; ``moves`` is ``[{"target": "host:port", "globalIndices":
+        [...]}, ...]``.  Returns the worker's ``{moved, missing}``."""
+        reply = self.channel.call(
+            "transferShards",
+            {
+                "dataset": dataset_id,
+                "moves": moves,
+                "targetVersion": target_version,
+            },
+            timeout=self.request_timeout,
+        )
+        return reply.payload if isinstance(reply.payload, dict) else {}
+
+    def rebalance_commit(
+        self,
+        version: int,
+        index: int,
+        count: int,
+        members: "list[str] | None",
+        totals: dict[str, int],
+        drain_timeout: float = 60.0,
+        aggregation_interval: float | None = None,
+    ) -> dict:
+        reply = self.channel.call(
+            "rebalanceCommit",
+            {
+                "version": version,
+                "index": index,
+                "count": count,
+                "members": members,
+                "datasets": totals,
+                "drainTimeout": drain_timeout,
+                "aggregationInterval": aggregation_interval,
+            },
+            timeout=max(self.request_timeout, drain_timeout + 30.0),
+        )
+        self.index = index
+        self.count = count
+        self.placement_version = version
+        return reply.payload if isinstance(reply.payload, dict) else {}
+
+    def retire(
+        self,
+        version: int,
+        members: "list[str] | None",
+        drain_timeout: float = 60.0,
+    ) -> dict:
+        reply = self.channel.call(
+            "retire",
+            {
+                "version": version,
+                "members": members,
+                "drainTimeout": drain_timeout,
+            },
+            timeout=max(self.request_timeout, drain_timeout + 30.0),
+        )
+        return reply.payload if isinstance(reply.payload, dict) else {}
 
     # -- liveness / lifecycle -------------------------------------------
     def ping(self, timeout: float = 5.0) -> bool:
@@ -909,14 +1477,25 @@ class ProcessCluster(Cluster):
         respawn: bool = True,
         cache_entries: int = 64,
         cache_ttl_seconds: float = 2 * 3600.0,
+        preserve_cadence: bool = False,
     ):
         self._python = python or sys.executable
         self._startup_timeout = startup_timeout
         self._request_timeout = request_timeout
         self._respawn = respawn
+        #: Administrative attaches (the fleet CLI) must not rewrite the
+        #: serving tier's worker cadence with this cluster's default.
+        self._preserve_cadence = preserve_cadence
         self._revive_lock = threading.Lock()
+        self._resync_lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._addresses = list(addresses) if addresses is not None else None
+        #: Proxies dropped from the placement by a resize/resync, with
+        #: their detach times.  Their connections stay open so in-flight
+        #: streams admitted under the old placement can drain, then are
+        #: pruned after a grace period (a long-lived root riding many
+        #: resizes must not accumulate dead sockets and reader threads).
+        self._detached: "list[tuple[float, RemoteWorkerProxy]]" = []
         workers: list[RemoteWorkerProxy] = []
         try:
             if self._addresses is None:
@@ -994,13 +1573,15 @@ class ProcessCluster(Cluster):
         sock.settimeout(None)
         name = str(hello.args.get("name", "worker"))
         cores = int(hello.args.get("cores", 1))
-        return RemoteWorkerProxy(
+        proxy = RemoteWorkerProxy(
             name,
             _WorkerChannel(sock, name),
             cores,
             process=process,
             request_timeout=self._request_timeout,
         )
+        proxy.preserve_cadence = self._preserve_cadence
+        return proxy
 
     def _agree_placement(
         self, proxies: "list[RemoteWorkerProxy]"
@@ -1017,23 +1598,443 @@ class ProcessCluster(Cluster):
 
         A *partially* placed fleet is a transient state — another root is
         pinning workers one by one at this very moment — so that case is
-        re-queried briefly instead of failing the attach.
+        re-queried briefly instead of failing the attach.  A fleet that
+        *resized* since the attach list was written reports its current
+        membership, which is adopted (new members dialed, departed ones
+        detached) before agreement — an operator's stale fleet file still
+        attaches to the fleet as it is now.
         """
         assert self._addresses is not None
         deadline = time.monotonic() + min(self._startup_timeout, 10.0)
+        proxies, version = self._sync_fleet(proxies, deadline)
+        self.placement_version = version
+        members = [format_address(p.address) for p in proxies if p.address]
+        self._addresses = [p.address for p in proxies if p.address]
+        for index, proxy in enumerate(proxies):
+            proxy.placement_version = version
+            proxy.fleet_members = members
+        return proxies
+
+    def _detach_proxy(self, proxy: "RemoteWorkerProxy") -> None:
+        """Drop a proxy from the placement without killing streams that
+        are still draining on it; closed after the grace period."""
+        self._prune_detached()
+        self._detached.append((time.monotonic(), proxy))
+
+    def _prune_detached(self) -> None:
+        """Close detached proxies whose drain grace has passed.  Any
+        stream admitted under the old placement finishes well inside one
+        request timeout, after which the connection is just a leak."""
+        grace = max(self._request_timeout, 60.0)
+        now = time.monotonic()
+        keep: "list[tuple[float, RemoteWorkerProxy]]" = []
+        for stamped, proxy in self._detached:
+            if now - stamped > grace:
+                proxy.close()
+            else:
+                keep.append((stamped, proxy))
+        self._detached = keep
+
+    def _sync_fleet(
+        self,
+        proxies: "list[RemoteWorkerProxy]",
+        deadline: float,
+        min_version: int | None = None,
+    ) -> "tuple[list[RemoteWorkerProxy], int]":
+        """Reconcile ``proxies`` with the fleet's reported placement.
+
+        Adopts membership changes (dialing joined members, detaching
+        departed ones), retries transient states (mid-rebalance mixed
+        versions, partial placement), and — with ``min_version`` — waits
+        until the fleet settles at or above that placement version.
+        Returns the proxies in slice order plus the agreed version.
+
+        A fleet stuck at *mixed* versions (a rebalance interrupted after
+        committing some members) is **repaired**: the committed members'
+        report carries the full target assignment (members ordered by
+        slice), so after a short grace period — in case the initiating
+        root is still mid-commit — the stragglers are driven to the same
+        idempotent commit (or retired, if the target membership excludes
+        them).  Their shard stores drop to redo-log replay, which is the
+        always-correct fallback.
+        """
+        mixed_since: float | None = None
+        #: The newest membership report seen across the whole loop (not
+        #: just this iteration): once a departed worker's farewell
+        #: report has been acted on, that worker is detached and its
+        #: report disappears — forgetting it would let the survivors'
+        #: older membership flip the fleet right back.
+        best_membership: dict | None = None
         while True:
-            reported = [proxy.query_placement() for proxy in proxies]
-            try:
-                assignment = agree_placement(self._addresses, reported)
-                break
-            except PlacementError as exc:
-                if not exc.retryable or time.monotonic() > deadline:
-                    raise
+            infos: list[dict] = []
+            for proxy in proxies:
+                try:
+                    infos.append(proxy.query_placement_info())
+                except (WorkerUnavailableError, EngineError):
+                    infos.append({})
+            # Membership adoption: the highest version that names
+            # members wins (a retired worker's farewell report counts —
+            # it names its successors).
+            for info in infos:
+                if not info.get("members"):
+                    continue
+                if best_membership is None or int(
+                    info.get("version") or 0
+                ) > int(best_membership.get("version") or 0):
+                    best_membership = {
+                        "version": int(info.get("version") or 0),
+                        "members": [str(m) for m in info["members"]],
+                    }
+            if best_membership is not None:
+                target = list(best_membership["members"])
+                current = {
+                    format_address(p.address): p
+                    for p in proxies
+                    if p.address is not None
+                }
+                if set(target) != set(current):
+                    adopted: "list[RemoteWorkerProxy]" = []
+                    for member in target:
+                        if member in current:
+                            adopted.append(current.pop(member))
+                        else:
+                            adopted.append(
+                                self._dial_worker(*parse_address(member))
+                            )
+                    for leftover in current.values():
+                        self._detach_proxy(leftover)
+                    proxies = adopted
+                    continue  # re-query the adopted membership
+            # Interrupted-rebalance detection: any *placed* worker behind
+            # the newest membership report is a straggler.  The newest
+            # report may come from a committed survivor (mixed placed
+            # versions) or from a retired worker's farewell (a shrink
+            # that retired the departing workers but lost its survivor
+            # commits) — both carry the full target assignment.
+            stragglers = best_membership is not None and any(
+                info.get("index") is not None
+                and int(info.get("version") or 0)
+                < int(best_membership["version"])
+                for info in infos
+            )
+            if stragglers:
+                # Agreement is meaningless while part of the fleet is on
+                # an older assignment; give the original initiator a
+                # grace period to finish its commits, then heal the
+                # stragglers ourselves and re-query.
+                now = time.monotonic()
+                if mixed_since is None:
+                    mixed_since = now
+                elif now - mixed_since > 2.0:
+                    self._repair_mixed_fleet(proxies, infos, best_membership)
+                if now >= deadline:
+                    raise PlacementError(
+                        "the fleet has workers behind placement version "
+                        f"{best_membership['version']} that could not be "
+                        "healed in time; an interrupted rebalance needs "
+                        "the affected daemons reachable"
+                    )
                 time.sleep(0.1)
-        ordered: "list[RemoteWorkerProxy | None]" = [None] * len(proxies)
-        for position, index in enumerate(assignment):
-            ordered[index] = proxies[position]
-        return [proxy for proxy in ordered if proxy is not None]
+                continue
+            mixed_since = None
+            reported = [ShardPlacement.from_json(info) for info in infos]
+            addresses = [
+                p.address if p.address is not None else ("?", 0)
+                for p in proxies
+            ]
+            try:
+                assignment = agree_placement(addresses, reported)
+            except PlacementError as exc:
+                if exc.retryable and time.monotonic() < deadline:
+                    time.sleep(0.1)
+                    continue
+                raise
+            placed = [p for p in reported if p is not None]
+            version = placed[0].version if placed else 0
+            if min_version is not None and version < min_version:
+                if time.monotonic() < deadline:
+                    time.sleep(0.1)
+                    continue
+                raise StalePlacementError(
+                    f"fleet stayed at placement version {version}; "
+                    f"expected at least {min_version}"
+                )
+            ordered: "list[RemoteWorkerProxy | None]" = [None] * len(proxies)
+            for position, index in enumerate(assignment):
+                ordered[index] = proxies[position]
+            return [p for p in ordered if p is not None], version
+
+    def _repair_mixed_fleet(
+        self,
+        proxies: "list[RemoteWorkerProxy]",
+        infos: list[dict],
+        target: dict,
+    ) -> None:
+        """Finish an interrupted rebalance: drive every straggler to the
+        ``target`` assignment (the newest membership report seen — a
+        committed survivor's, or a retired worker's farewell; members
+        are ordered by slice index).  Best-effort and idempotent —
+        racing the original initiator, or another repairing root, is
+        harmless."""
+        version = int(target.get("version") or 0)
+        members = [str(m) for m in target["members"]]
+        index_of = {member: i for i, member in enumerate(members)}
+        for proxy, info in zip(proxies, infos):
+            if not info or proxy.address is None:
+                continue
+            if info.get("rebalancing"):
+                # The original initiator is draining/committing this
+                # worker right now; finishing its rebalance with empty
+                # totals would discard the shards it transferred.  Let
+                # it finish — the next sync pass re-evaluates.
+                continue
+            if int(info.get("version") or 0) >= version and not (
+                info.get("index") is None and not info.get("retired")
+            ):
+                continue  # already there (placed or properly retired)
+            member = format_address(proxy.address)
+            try:
+                if member in index_of:
+                    # No shard totals survive the interruption: the
+                    # commit evicts the straggler's store and redo-log
+                    # replay rebuilds it on first use (§5.7).  During an
+                    # *attach* this cluster has no cadence yet (base
+                    # __init__ has not run); None keeps the worker's own.
+                    proxy.rebalance_commit(
+                        version,
+                        index_of[member],
+                        len(members),
+                        members,
+                        {},
+                        # None keeps the worker's own cadence: during an
+                        # attach this cluster has none yet, and a repair
+                        # pass is never the right writer of tier tuning.
+                        aggregation_interval=None,
+                    )
+                else:
+                    proxy.retire(version, members)
+            except (PlacementError, WorkerUnavailableError, EngineError):
+                continue  # the next sync pass re-evaluates
+
+    # -- elastic fleet operations (§6 deployment, made elastic) ----------
+    def resync_placement(self, observed_version: int | None = None) -> bool:
+        """Adopt a placement the fleet moved to without this root.
+
+        Called after a worker rejects one of our requests as stale: the
+        fleet re-read, new members dialed, departed proxies detached
+        (left open so in-flight old-placement streams can drain), and
+        every remaining request retried under the new version.
+
+        ``observed_version`` is the caller's version at the time its
+        request failed.  Two queries rejected by the same rebalance both
+        resync: the first adopts the new placement; the second must see
+        that the root already moved past what it observed and simply
+        retry — waiting for a *further* version would stall it against
+        a fleet that is already settled.
+        """
+        if self._addresses is None:
+            return False  # spawn-mode fleets cannot be resized externally
+        with self._resync_lock:
+            if (
+                observed_version is not None
+                and self.placement_version > observed_version
+            ):
+                return True  # another thread already adopted a newer one
+            before = self.placement_version
+            deadline = time.monotonic() + min(self._startup_timeout, 15.0)
+            try:
+                ordered, version = self._sync_fleet(
+                    list(self.workers), deadline, min_version=before + 1
+                )
+            except (PlacementError, EngineError, OSError):
+                return False
+            members = [
+                format_address(p.address) for p in ordered if p.address
+            ]
+            for index, proxy in enumerate(ordered):
+                proxy.index = index
+                proxy.count = len(ordered)
+                proxy.placement_version = version
+                proxy.fleet_members = members
+            self._addresses = [p.address for p in ordered if p.address]
+            self.workers = list(ordered)
+            self.placement_version = version
+            return True
+
+    def grow(self, addresses) -> int:  # type: ignore[override]
+        """Add pre-started ``repro worker --listen`` daemons to the fleet,
+        streaming only the moved shard slices to them (the rest replay
+        from the redo log on first use).  ``addresses`` is a list of
+        ``host:port`` strings or ``(host, port)`` tuples."""
+        if self._addresses is None:
+            raise PlacementError(
+                "elastic resize needs an attached daemon fleet "
+                "(--worker-address/--join); spawned workers have no "
+                "dialable address for their peers to stream shards to"
+            )
+        parsed = [
+            parse_address(a) if isinstance(a, str) else (str(a[0]), int(a[1]))
+            for a in addresses
+        ]
+        if not parsed:
+            raise ValueError("grow needs at least one new worker address")
+        if len(set(parsed)) != len(parsed):
+            raise PlacementError(
+                "grow was given the same worker address twice; one daemon "
+                "cannot serve two slices"
+            )
+        known = set(self._addresses)
+        for address in parsed:
+            if address in known:
+                raise PlacementError(
+                    f"worker {format_address(address)} is already in the fleet"
+                )
+        added: "list[RemoteWorkerProxy]" = []
+        try:
+            for host, port in parsed:
+                added.append(self._dial_worker(host, port))
+            old = list(self.workers)
+            self._rebalance(old, list(range(len(old))), old + added)
+        except BaseException:
+            for proxy in added:
+                if proxy not in self.workers:  # a failed grow leaks nothing
+                    proxy.close()
+            raise
+        return len(self.workers)
+
+    def _find_worker(self, selector) -> int:
+        if isinstance(selector, tuple):
+            selector = format_address((str(selector[0]), int(selector[1])))
+        if isinstance(selector, str) and ":" in selector:
+            wanted = parse_address(selector)
+            for index, worker in enumerate(self.workers):
+                if getattr(worker, "address", None) == wanted:
+                    return index
+            raise PlacementError(f"no worker at address {selector!r}")
+        return super()._find_worker(selector)
+
+    def _rebalance(
+        self,
+        old: "list[WorkerProtocol]",
+        new_indices: "list[int | None]",
+        new_workers: "list[WorkerProtocol]",
+    ) -> None:
+        """The wire rebalance: plan from worker inventories, stream only
+        the moved shard slices daemon-to-daemon (``transferShards`` →
+        ``adoptShards``), then commit the new versioned placement on
+        every member (``rebalanceCommit``) and retire the removed ones.
+
+        Stale roots discover the change through ``stale_placement``
+        rejections and resync; transfers are best-effort — a failed or
+        cold slice is simply dropped at commit and redo-log replay
+        rebuilds it on first use (§5.7)."""
+        if self._addresses is None:
+            raise PlacementError(
+                "elastic resize needs an attached daemon fleet"
+            )
+        self._begin_rebalance()
+        try:
+            proxies: "list[RemoteWorkerProxy]" = []
+            for worker in new_workers:
+                assert isinstance(worker, RemoteWorkerProxy)
+                assert worker.address is not None
+                proxies.append(worker)
+            new_count = len(proxies)
+            target_version = self.placement_version + 1
+            members = [format_address(p.address) for p in proxies]
+            inventories = self._collect_inventories(old)
+            totals = self._transferable_datasets(inventories)
+            for dataset_id in sorted(totals):
+                resident = [
+                    global_indices(
+                        w.index,
+                        w.count,
+                        self._inventory_shards(inventories[i], dataset_id),
+                    )
+                    for i, w in enumerate(old)
+                ]
+                moves = plan_moves(resident, new_indices, new_count)
+                by_source: dict[int, list[dict]] = {}
+                for (position, owner), globals_moved in sorted(moves.items()):
+                    by_source.setdefault(position, []).append(
+                        {
+                            "target": members[owner],
+                            "globalIndices": globals_moved,
+                        }
+                    )
+                for position, move_list in by_source.items():
+                    source = old[position]
+                    assert isinstance(source, RemoteWorkerProxy)
+                    try:
+                        source.transfer_shards(
+                            dataset_id, move_list, target_version
+                        )
+                    except (WorkerUnavailableError, EngineError):
+                        # Commit's completeness check drops the partial
+                        # slice; redo-log replay rebuilds it on demand.
+                        continue
+            # Commit every member even if one fails: a straggler left at
+            # the old version is healed by any root's _sync_fleet (the
+            # committed members' report carries the full assignment), so
+            # the mixed-version window must be as small as possible.
+            commit_errors: list[tuple[str, Exception]] = []
+            commit_cadence = (
+                None if self._preserve_cadence else self.aggregation_interval
+            )
+            for index, proxy in enumerate(proxies):
+                proxy.fleet_members = members
+                try:
+                    proxy.rebalance_commit(
+                        target_version,
+                        index,
+                        new_count,
+                        members,
+                        totals,
+                        aggregation_interval=commit_cadence,
+                    )
+                except (PlacementError, WorkerUnavailableError, EngineError) as exc:
+                    commit_errors.append((proxy.name, exc))
+            if len(commit_errors) == len(proxies):
+                # Nothing committed: the fleet is still uniformly at the
+                # old placement.  Retiring the departing workers now
+                # would strand it (retired members at the new version,
+                # survivors at the old, nobody placed at the target) —
+                # leave everything as it was and let the operator re-run.
+                detail = "; ".join(
+                    f"{name}: {exc}" for name, exc in commit_errors
+                )
+                raise PlacementError(
+                    f"no member accepted the rebalance commit to version "
+                    f"{target_version} ({detail}); the fleet is unchanged "
+                    "at the old placement — re-run the grow/shrink"
+                )
+            for position, new_index in enumerate(new_indices):
+                if new_index is not None:
+                    continue
+                removed = old[position]
+                assert isinstance(removed, RemoteWorkerProxy)
+                try:
+                    removed.retire(target_version, members)
+                except (WorkerUnavailableError, EngineError):
+                    pass  # a dead worker is as removed as it gets
+                removed.close()
+            if commit_errors:
+                detail = "; ".join(
+                    f"{name}: {exc}" for name, exc in commit_errors
+                )
+                raise PlacementError(
+                    f"rebalance to version {target_version} committed on "
+                    f"{len(proxies) - len(commit_errors)}/{len(proxies)} "
+                    f"workers ({detail}); the stragglers are healed by the "
+                    "next attach or resync (commits are idempotent), or "
+                    "re-run the same grow/shrink"
+                )
+            self.workers = list(proxies)
+            self._addresses = [p.address for p in proxies]
+            self.placement_version = target_version
+            self.rebalances += 1
+        finally:
+            self._end_rebalance()
 
     def _dial_worker(self, host: str, port: int) -> RemoteWorkerProxy:
         sock = socket.create_connection(
@@ -1057,6 +2058,7 @@ class ProcessCluster(Cluster):
             address=(host, port),
             request_timeout=self._request_timeout,
         )
+        proxy.preserve_cadence = self._preserve_cadence
         return proxy
 
     # -- fault recovery (§5.8) ------------------------------------------
@@ -1080,10 +2082,22 @@ class ProcessCluster(Cluster):
                 return False
             if replacement is None:
                 return False
+            replacement.placement_version = proxy.placement_version
+            replacement.fleet_members = proxy.fleet_members
+            replacement.preserve_cadence = getattr(
+                proxy, "preserve_cadence", False
+            )
             try:
                 replacement.configure(
                     index, len(self.workers), self.aggregation_interval
                 )
+            except StalePlacementError:
+                # The fleet moved on (the worker was retired, or our
+                # version is old): close the dial and let the error
+                # propagate so the placement-retry machinery resyncs —
+                # endlessly re-reviving here would never converge.
+                replacement.close()
+                raise
             except (WorkerUnavailableError, EngineError):
                 # The replacement died during configuration; revive_worker
                 # must report failure, never raise (callers retry on True).
@@ -1116,12 +2130,63 @@ class ProcessCluster(Cluster):
         ]
 
     # -- lifecycle -------------------------------------------------------
+    def sweep_caches(self) -> int:
+        # The service tier's periodic sweep runs through here: piggyback
+        # the detached-proxy pruning so a root that rides one resize and
+        # then never resizes again still releases the drained sockets.
+        self._prune_detached()
+        return super().sweep_caches()
+
     def close(self) -> None:
         for worker in self.workers:
             worker.close()
+        for _, proxy in self._detached:
+            proxy.close()
+        self._detached = []
         if self._listener is not None:
             self._listener.close()
             self._listener = None
+
+
+# ---------------------------------------------------------------------------
+# Fleet introspection (``repro fleet status``)
+# ---------------------------------------------------------------------------
+def query_fleet(
+    addresses: "list[tuple[str, int]]", timeout: float = 10.0
+) -> list[dict]:
+    """Dial each worker daemon briefly and return its placement payload
+    (plus resident-dataset inventory).  Unreachable daemons yield an
+    ``{"error": ...}`` entry instead of failing the whole sweep — status
+    must work on a half-down fleet."""
+    reports: list[dict] = []
+    for host, port in addresses:
+        report: dict = {"address": format_address((host, port))}
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            sock.settimeout(timeout)
+            try:
+                wfile = sock.makefile("wb")
+                rfile = sock.makefile("rb")
+                hello = call_once(
+                    rfile, wfile, 0, "hello", where=f"worker {host}:{port}"
+                )
+                if isinstance(hello.payload, dict):
+                    report["name"] = hello.payload.get("name")
+                    report["pid"] = hello.payload.get("pid")
+                info = call_once(
+                    rfile, wfile, 1, "inventory",
+                    where=f"worker {host}:{port}",
+                )
+                if info.kind == "error":
+                    report["error"] = f"[{info.code}] {info.error}"
+                elif isinstance(info.payload, dict):
+                    report.update(info.payload)
+            finally:
+                sock.close()
+        except (FrameError, EngineError, OSError, ValueError) as exc:
+            report["error"] = str(exc)
+        reports.append(report)
+    return reports
 
 
 # ---------------------------------------------------------------------------
@@ -1162,6 +2227,11 @@ def worker_main(argv: list[str]) -> int:
         help="how often the daemon purges TTL-expired cache entries "
              "(<= 0 disables the periodic sweep)",
     )
+    parser.add_argument(
+        "--drain-grace", type=float, default=30.0,
+        help="seconds a SIGTERM'd daemon waits for in-flight partial "
+             "streams to finish before exiting",
+    )
     args = parser.parse_args(argv)
 
     server = WorkerServer(
@@ -1171,6 +2241,29 @@ def worker_main(argv: list[str]) -> int:
         cache_ttl_seconds=args.cache_ttl,
         cache_sweep_interval_seconds=args.cache_sweep_interval,
     )
+
+    # Graceful shutdown: SIGTERM (a fleet shrink, an init system stop, a
+    # CI teardown) drains instead of killing — in-flight partial streams
+    # finish, new state-creating requests are refused, and the process
+    # exits once idle (or after the grace period).  The watchdog thread
+    # is what actually ends the process: in --connect mode the main
+    # thread sits in a blocking read that PEP 475 resumes after the
+    # handler, so without it a SIGTERM'd connect-mode worker would serve
+    # forever.
+    def _graceful_shutdown(signum, frame):  # noqa: ARG001 — signal API
+        server.begin_drain()
+
+        def finish() -> None:
+            server.wait_drained(timeout=args.drain_grace)
+            os._exit(0)
+
+        threading.Thread(target=finish, name="drain-exit", daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful_shutdown)
+    except ValueError:
+        pass  # not the main thread (embedded in tests)
+
     try:
         if args.connect:
             host, _, port = args.connect.rpartition(":")
@@ -1203,4 +2296,6 @@ def worker_main(argv: list[str]) -> int:
         # Ctrl-C on a foreground `repro serve --spawn` reaches the whole
         # process group; workers exit quietly, like the root does.
         pass
+    if server.draining:
+        server.wait_drained(timeout=args.drain_grace)
     return 0

@@ -234,6 +234,46 @@ def cell_from_json(value: object | None) -> object | None:
     return value
 
 
+#: Reply kinds that terminate one request's reply stream; shared by
+#: every endpoint of both wires.
+TERMINAL_REPLY_KINDS = frozenset({"ack", "complete", "cancelled", "error"})
+
+
+def call_once(
+    rfile,
+    wfile,
+    request_id: int,
+    method: str,
+    args: dict | None = None,
+    *,
+    where: str = "peer",
+) -> "RpcReply":
+    """One framed request over an already-open connection, blocking for
+    its terminal reply (non-terminal frames are drained and discarded).
+
+    The shared primitive behind every *one-shot* exchange on either wire
+    — health probes, drain commands, worker-to-worker shard pushes,
+    fleet status sweeps — so framing and terminal-kind handling live in
+    exactly one place.  Raises ``ConnectionError`` if the peer closes
+    mid-call; error *replies* are returned, not raised (callers decide).
+    """
+    from repro.core.framing import FrameError, read_frame_blocking, write_frame
+
+    write_frame(
+        wfile,
+        RpcRequest(request_id, "", method, args or {})
+        .to_json()
+        .encode("utf-8"),
+    )
+    while True:
+        frame = read_frame_blocking(rfile, error=FrameError)
+        if frame is None:
+            raise ConnectionError(f"{where} closed during {method!r}")
+        reply = RpcReply.from_json(frame.decode("utf-8"))
+        if reply.kind in TERMINAL_REPLY_KINDS:
+            return reply
+
+
 # ---------------------------------------------------------------------------
 # Value-object codecs: buckets, predicates, sort orders
 # ---------------------------------------------------------------------------

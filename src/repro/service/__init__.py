@@ -11,12 +11,14 @@ session resumes on any root (:mod:`session_store`), and a round-robin
 connection director for tests and benchmarks (:mod:`director`).
 """
 
-from repro.service.director import ConnectionDirector
+from repro.service.director import ConnectionDirector, admin_call, probe_root
 from repro.service.placement import (
     PlacementError,
     ShardPlacement,
+    StalePlacementError,
     agree_placement,
     parse_fleet_spec,
+    plan_moves,
 )
 from repro.service.scheduler import (
     FairShareScheduler,
@@ -67,10 +69,14 @@ __all__ = [
     "ShardPlacement",
     "SlowdownSketch",
     "SqliteSessionStore",
+    "StalePlacementError",
+    "admin_call",
     "agree_placement",
     "encode_frame",
     "open_session_store",
     "parse_fleet_spec",
+    "plan_moves",
+    "probe_root",
     "read_frame_blocking",
     "source_from_json",
 ]

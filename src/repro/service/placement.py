@@ -9,15 +9,29 @@ the asyncio service stack into every worker process; the service tier
 from repro.engine.placement import (
     PlacementError,
     ShardPlacement,
+    StalePlacementError,
     agree_placement,
     canonical_order,
+    expected_slice,
+    format_address,
+    global_indices,
+    parse_address,
     parse_fleet_spec,
+    plan_moves,
+    slice_of,
 )
 
 __all__ = [
     "PlacementError",
     "ShardPlacement",
+    "StalePlacementError",
     "agree_placement",
     "canonical_order",
+    "expected_slice",
+    "format_address",
+    "global_indices",
+    "parse_address",
     "parse_fleet_spec",
+    "plan_moves",
+    "slice_of",
 ]

@@ -339,6 +339,21 @@ class SessionManager:
         self._persist(session)
         return session
 
+    def persist_all(self) -> int:
+        """Write every live session's recipe book to the shared store
+        *now* (maintenance drain: reconnecting clients must resume on
+        sibling roots with fresh state).  Returns how many records were
+        written; without a store there is nothing to do."""
+        if self.store is None:
+            return 0
+        persisted = 0
+        for session in self.sessions:
+            errors_before = self.store_errors
+            self._persist(session)
+            if self.store_errors == errors_before:
+                persisted += 1
+        return persisted
+
     def get(self, session_id: str) -> Session | None:
         with self._lock:
             return self._sessions.get(session_id)

@@ -38,7 +38,12 @@ from repro.core.framing import (
 from repro.core.framing import read_frame as _read_frame
 from repro.core.framing import read_frame_blocking as _read_frame_blocking
 from repro.engine.cluster import Cluster
-from repro.engine.rpc import ProtocolError, RpcReply, RpcRequest
+from repro.engine.rpc import (
+    TERMINAL_REPLY_KINDS,
+    ProtocolError,
+    RpcReply,
+    RpcRequest,
+)
 from repro.errors import EngineError, HillviewError
 from repro.service import slow  # noqa: F401 — registers the "slow" sketch type
 from repro.service.scheduler import FairShareScheduler
@@ -46,8 +51,9 @@ from repro.service.session_store import SessionStore
 from repro.service.sessions import Session, SessionManager
 from repro.storage.loader import DataSource
 
-#: Reply kinds that terminate one request's reply stream.
-TERMINAL_KINDS = frozenset({"ack", "complete", "cancelled", "error"})
+#: Reply kinds that terminate one request's reply stream (the shared
+#: set — both wires terminate streams identically).
+TERMINAL_KINDS = TERMINAL_REPLY_KINDS
 
 
 class ServiceError(HillviewError):
@@ -144,6 +150,12 @@ class ServiceServer:
         self.sink_timeout_seconds = sink_timeout_seconds
         self.address: tuple[str, int] | None = None
         self.connections_accepted = 0
+        #: Maintenance drain (tier operations): a draining root refuses
+        #: *new* sessions — existing ones keep working and roam to other
+        #: roots via the shared store — so it can be removed from the
+        #: tier without dropping users.
+        self.draining = False
+        self.hellos_refused = 0
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._sweeper: asyncio.Task | None = None
@@ -262,8 +274,57 @@ class ServiceServer:
                         RpcReply(-1, "error", error=str(exc), code="protocol")
                     )
                     continue
+                if request.method == "ping":
+                    # Transport-level liveness: answered before any
+                    # session exists, so health checkers (the director's
+                    # probe) never mint sessions.  A connection that
+                    # *has* a session keeps it alive by pinging — the
+                    # keepalive contract from the session-dispatch days.
+                    if session is not None:
+                        session.touch()
+                    await outbox.put(
+                        RpcReply(
+                            request.request_id, "ack", payload={"pong": True}
+                        )
+                    )
+                    continue
+                if request.method == "drain":
+                    payload = await self._loop.run_in_executor(
+                        None, self.drain
+                    )
+                    await outbox.put(
+                        RpcReply(request.request_id, "ack", payload=payload)
+                    )
+                    continue
+                if request.method == "undrain":
+                    self.draining = False
+                    await outbox.put(
+                        RpcReply(
+                            request.request_id,
+                            "ack",
+                            payload={"draining": False},
+                        )
+                    )
+                    continue
                 if request.method == "hello":
                     requested = request.args.get("session")
+                    if self.draining and not (
+                        requested and self.sessions.get(str(requested))
+                    ):
+                        # Draining: only sessions already living on this
+                        # root may continue; everyone else is routed to
+                        # a healthy root (and resumes via the store).
+                        self.hellos_refused += 1
+                        await outbox.put(
+                            RpcReply(
+                                request.request_id,
+                                "error",
+                                error="this root is draining; reconnect "
+                                "through the director to another root",
+                                code="draining",
+                            )
+                        )
+                        continue
                     session = self.sessions.get_or_create(
                         str(requested) if requested else None
                     )
@@ -276,6 +337,18 @@ class ServiceServer:
                     )
                     continue
                 if session is None:  # implicit session on first request
+                    if self.draining:
+                        self.hellos_refused += 1
+                        await outbox.put(
+                            RpcReply(
+                                request.request_id,
+                                "error",
+                                error="this root is draining; reconnect "
+                                "through the director to another root",
+                                code="draining",
+                            )
+                        )
+                        continue
                     session = self.sessions.get_or_create(None)
                 session.touch()
                 if request.method == "cancel":
@@ -336,10 +409,25 @@ class ServiceServer:
             except (ConnectionError, OSError):
                 pass
 
+    # -- tier operations -------------------------------------------------
+    def drain(self) -> dict:
+        """Enter maintenance drain: refuse new sessions, persist every
+        live session's recipe book to the shared store so reconnecting
+        clients resume (fresh) on other roots.  Safe to call repeatedly;
+        ``undrain`` (or a restart) reverses it."""
+        self.draining = True
+        persisted = self.sessions.persist_all()
+        return {
+            "draining": True,
+            "persisted": persisted,
+            "sessions": len(self.sessions.sessions),
+        }
+
     # -- introspection -------------------------------------------------
     def stats(self) -> dict:
         return {
             "type": "serviceStats",
+            "draining": self.draining,
             "connectionsAccepted": self.connections_accepted,
             "scheduler": self.scheduler.metrics.to_json(),
             "sessions": self.sessions.to_json(),
@@ -440,7 +528,13 @@ class ServiceClient:
         )
         self._reader.start()
         hello_args = {"session": session} if session else {}
-        reply = self.call("hello", args=hello_args)
+        try:
+            reply = self.call("hello", args=hello_args)
+        except BaseException:
+            # A refused handshake (e.g. a draining root) must not leak
+            # the socket and reader thread of a never-born client.
+            self.close()
+            raise
         self.session_id: str = reply.payload["session"]
 
     # -- request plumbing ----------------------------------------------

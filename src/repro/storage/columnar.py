@@ -79,15 +79,46 @@ def _decode_column(dec: Decoder) -> Column:
     return DateColumn(desc, data, missing)
 
 
-def write_table(table: Table, path: str) -> int:
-    """Write the member rows of ``table`` to ``path``; returns bytes written."""
+def table_to_bytes(table: Table) -> bytes:
+    """Encode the member rows of ``table`` as one in-memory hvc payload.
+
+    The same encoding :func:`write_table` puts on disk; also the wire
+    format shard slices travel in when an elastic fleet rebalances
+    (``transferShards``/``adoptShards`` between worker daemons).
+    """
     enc = Encoder()
     enc.write_str(table.schema.to_json_string())
     rows = table.members.indices()
     enc.write_uvarint(len(rows))
     for name in table.column_names:
         _encode_column(enc, table.column(name), rows)
-    payload = MAGIC + enc.to_bytes()
+    return MAGIC + enc.to_bytes()
+
+
+def table_from_bytes(payload: bytes, shard_id: str | None = None) -> Table:
+    """Decode a :func:`table_to_bytes` payload."""
+    where = shard_id or "<memory>"
+    if payload[:4] != MAGIC:
+        raise StorageError(f"{where}: not an hvc payload (bad magic)")
+    dec = Decoder(payload[4:])
+    schema_json = dec.read_str()
+    if schema_json is None:
+        raise StorageError(f"{where}: missing schema")
+    schema = Schema.from_json_string(schema_json)
+    num_rows = dec.read_uvarint()
+    columns = [_decode_column(dec) for _ in range(len(schema))]
+    for column in columns:
+        if column.size != num_rows:
+            raise StorageError(
+                f"{where}: column {column.name!r} has {column.size} rows, "
+                f"header says {num_rows}"
+            )
+    return Table(columns, shard_id=shard_id)
+
+
+def write_table(table: Table, path: str) -> int:
+    """Write the member rows of ``table`` to ``path``; returns bytes written."""
+    payload = table_to_bytes(table)
     tmp_path = path + ".tmp"
     with open(tmp_path, "wb") as f:
         f.write(payload)
@@ -99,22 +130,7 @@ def read_table(path: str, shard_id: str | None = None) -> Table:
     """Read a table written by :func:`write_table`."""
     with open(path, "rb") as f:
         payload = f.read()
-    if payload[:4] != MAGIC:
-        raise StorageError(f"{path}: not an hvc file (bad magic)")
-    dec = Decoder(payload[4:])
-    schema_json = dec.read_str()
-    if schema_json is None:
-        raise StorageError(f"{path}: missing schema")
-    schema = Schema.from_json_string(schema_json)
-    num_rows = dec.read_uvarint()
-    columns = [_decode_column(dec) for _ in range(len(schema))]
-    for column in columns:
-        if column.size != num_rows:
-            raise StorageError(
-                f"{path}: column {column.name!r} has {column.size} rows, "
-                f"header says {num_rows}"
-            )
-    return Table(columns, shard_id=shard_id or os.path.basename(path))
+    return table_from_bytes(payload, shard_id=shard_id or os.path.basename(path))
 
 
 def write_dataset(tables: list[Table], directory: str) -> list[str]:

@@ -1,0 +1,768 @@
+"""Elastic worker fleets: grow/shrink with shard re-balancing (tier ops).
+
+The tentpole contract under test: a placed fleet can change size at
+runtime — only the moved shard slices travel between workers, the
+placement version bumps so every root adopts the new assignment, and
+sketch results stay **byte-identical** to a static fleet throughout.
+Plus the director's root health checks (consecutive-failure ejection)
+and maintenance draining (refuse new sessions, existing ones roam via
+the shared session store), and the worker daemon's graceful SIGTERM.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.data.flights import FlightsSource
+from repro.engine.cluster import Cluster, Worker
+from repro.engine.dataset import FilterMap
+from repro.engine.local import LocalDataSet
+from repro.engine.placement import (
+    PlacementError,
+    ShardPlacement,
+    StalePlacementError,
+    agree_placement,
+    expected_slice,
+    plan_moves,
+)
+from repro.engine.remote import ProcessCluster, WorkerServer, _spawn_env
+from repro.engine.rpc import (
+    RpcRequest,
+    predicate_from_json,
+    sketch_from_json,
+    summary_to_json,
+)
+from repro.service import (
+    ConnectionDirector,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    SqliteSessionStore,
+    probe_root,
+)
+from repro.table.table import Table
+
+ROWS = 4_000
+PARTITIONS = 16
+SEED = 11
+SOURCE = FlightsSource(ROWS, partitions=PARTITIONS, seed=SEED)
+FLIGHTS_SPEC = {
+    "kind": "flights",
+    "rows": ROWS,
+    "partitions": PARTITIONS,
+    "seed": SEED,
+}
+HIST = {
+    "type": "histogram",
+    "column": "Distance",
+    "buckets": {"type": "double", "min": 0, "max": 3000, "count": 9},
+}
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def run_canonical(dataset, spec: dict) -> str:
+    return canonical(summary_to_json(dataset.run(sketch_from_json(spec)).value))
+
+
+# ---------------------------------------------------------------------------
+# The move plan (pure function)
+# ---------------------------------------------------------------------------
+class TestPlanMoves:
+    def test_grow_2_to_4_moves_exactly_the_departing_slices(self):
+        # Worker 0 holds globals {0,2,4,6}, worker 1 holds {1,3,5,7}.
+        resident = [[0, 2, 4, 6], [1, 3, 5, 7]]
+        moves = plan_moves(resident, [0, 1], 4)
+        assert moves == {(0, 2): [2, 6], (1, 3): [3, 7]}
+
+    def test_shrink_4_to_2_trailing_workers_hand_everything_over(self):
+        resident = [[0, 4], [1, 5], [2, 6], [3, 7]]
+        moves = plan_moves(resident, [0, 1, None, None], 2)
+        assert moves == {(2, 0): [2, 6], (3, 1): [3, 7]}
+
+    def test_removing_a_middle_worker_scatters_only_as_needed(self):
+        resident = [[0, 4, 8], [1, 5, 9], [2, 6, 10], [3, 7, 11]]
+        moves = plan_moves(resident, [0, None, 1, 2], 3)
+        # Every shard's new owner is its global index mod 3.
+        owners: dict[int, int] = {}
+        for (_, owner), globals_moved in moves.items():
+            for g in globals_moved:
+                owners[g] = owner
+        for g, owner in owners.items():
+            assert owner == g % 3
+        # Worker 1's shards all depart; kept shards never appear.
+        for g in (1, 5, 9):
+            assert g in owners
+        assert 0 not in owners  # stays on worker 0 (0 % 3 == 0)
+
+    def test_no_move_when_assignment_is_unchanged(self):
+        resident = [[0, 2], [1, 3]]
+        assert plan_moves(resident, [0, 1], 2) == {}
+
+    def test_mismatched_inputs_are_rejected(self):
+        with pytest.raises(PlacementError):
+            plan_moves([[0]], [0, 1], 2)
+
+    def test_expected_slice_matches_load_slice_striping(self):
+        assert expected_slice(1, 4, 10) == [1, 5, 9]
+        assert expected_slice(3, 4, 3) == []
+
+
+# ---------------------------------------------------------------------------
+# Versioned placements on the wire
+# ---------------------------------------------------------------------------
+class TestVersionedPlacement:
+    def test_version_and_members_round_trip(self):
+        placement = ShardPlacement(
+            1, 4, version=3, members=("a:1", "b:2", "c:3", "d:4")
+        )
+        decoded = ShardPlacement.from_json(placement.to_json())
+        assert decoded == placement
+
+    def test_version_defaults_to_zero_for_old_reports(self):
+        decoded = ShardPlacement.from_json({"index": 1, "count": 2})
+        assert decoded == ShardPlacement(1, 2, version=0, members=None)
+
+    def test_mixed_versions_are_a_retryable_conflict(self):
+        reported = [ShardPlacement(0, 2, version=1), ShardPlacement(1, 2, version=2)]
+        with pytest.raises(PlacementError) as info:
+            agree_placement([("a", 1), ("b", 2)], reported)
+        assert info.value.retryable
+
+    def test_agreed_fleet_adopts_verbatim_across_versions(self):
+        reported = [ShardPlacement(1, 2, version=5), ShardPlacement(0, 2, version=5)]
+        assert agree_placement([("a", 1), ("b", 2)], reported) == [1, 0]
+
+
+# ---------------------------------------------------------------------------
+# Worker store re-keying
+# ---------------------------------------------------------------------------
+class TestRebalanceStore:
+    def _worker(self, index: int, count: int, shards: list[Table]):
+        worker = Worker(f"w{index}", cores=1)
+        worker.configure(index, count, 0.01)
+        worker.put("ds", shards)
+        return worker
+
+    def test_keeps_owned_merges_adopted_sorted_by_global_index(self):
+        tables = SOURCE.load()  # 16 shards
+        # Worker 0 of 2 holds globals 0,2,...,14.
+        worker = self._worker(0, 2, tables[0::2])
+        # Re-key to slice 0 of 4: keeps {0,4,8,12}, adopts nothing new.
+        kept = worker.rebalance_store(0, 4, {"ds": len(tables)})
+        assert kept == {"ds": 4}
+        resident = worker.store.get("ds")
+        assert [t.shard_id for t in resident] == [
+            t.shard_id for t in tables[0::4]
+        ]
+
+    def test_incomplete_slice_is_dropped_for_replay(self):
+        tables = SOURCE.load()
+        worker = self._worker(0, 2, tables[0::2])
+        # Slice 1 of 2 needs the odd globals, which this worker lacks and
+        # nothing was adopted: the entry must drop, not half-survive.
+        kept = worker.rebalance_store(1, 2, {"ds": len(tables)})
+        assert kept == {}
+        assert worker.store.get("ds") is None
+
+    def test_unlisted_datasets_are_evicted(self):
+        tables = SOURCE.load()
+        worker = self._worker(0, 2, tables[0::2])
+        worker.put("derived", tables[0:2])
+        worker.rebalance_store(0, 2, {"ds": len(tables)})
+        assert worker.store.get("ds") is not None
+        assert worker.store.get("derived") is None
+
+    def test_adopted_shards_fill_a_fresh_worker(self):
+        tables = SOURCE.load()
+        fresh = Worker("fresh", cores=1)
+        adopted = {"ds": {g: tables[g] for g in range(1, len(tables), 2)}}
+        kept = fresh.rebalance_store(1, 2, {"ds": len(tables)}, adopted)
+        assert kept == {"ds": len(tables) // 2}
+        resident = fresh.store.get("ds")
+        assert [t.shard_id for t in resident] == [
+            t.shard_id for t in tables[1::2]
+        ]
+
+
+# ---------------------------------------------------------------------------
+# In-process elasticity: byte identity across grow/shrink
+# ---------------------------------------------------------------------------
+class TestInProcessElasticity:
+    @pytest.fixture()
+    def reference(self):
+        table = Table.concat(SOURCE.load())
+        return canonical(
+            summary_to_json(LocalDataSet(table).sketch(sketch_from_json(HIST)))
+        )
+
+    def test_grow_and_shrink_keep_results_byte_identical(self, reference):
+        cluster = Cluster(num_workers=2, aggregation_interval=0.01)
+        dataset = cluster.load(SOURCE)
+        derived = dataset.map(
+            FilterMap(
+                predicate_from_json(
+                    {"type": "column", "column": "Distance", "op": ">", "value": 500.0}
+                )
+            )
+        )
+        before = run_canonical(dataset, HIST)
+        before_derived = run_canonical(derived, HIST)
+        assert before == reference
+
+        assert cluster.grow(2) == 4
+        assert cluster.placement_version == 1
+        assert [w.index for w in cluster.workers] == [0, 1, 2, 3]
+        # Shards were re-striped, not duplicated: every worker holds 1/4
+        # and still knows the dataset is a (transferable) load.
+        for worker in cluster.workers:
+            entry = worker.inventory()[dataset.dataset_id]
+            assert entry == {"shards": PARTITIONS // 4, "loaded": True}
+        cluster.computation_cache.clear()  # force a real re-execution
+        assert run_canonical(dataset, HIST) == before
+        assert run_canonical(derived, HIST) == before_derived
+
+        assert cluster.shrink(["worker-3", 2]) == 2
+        assert cluster.placement_version == 2
+        cluster.computation_cache.clear()
+        assert run_canonical(dataset, HIST) == before
+        assert run_canonical(derived, HIST) == before_derived
+        assert dataset.total_rows == ROWS
+
+    def test_rebalance_waits_for_inflight_streams(self):
+        cluster = Cluster(num_workers=2, aggregation_interval=0.01)
+        dataset = cluster.load(SOURCE)
+        slow_spec = {"type": "slow", "perShardSeconds": 0.02, "inner": HIST}
+        results: list[str] = []
+        errors: list[Exception] = []
+
+        def stream() -> None:
+            try:
+                results.append(run_canonical(dataset, slow_spec))
+            except Exception as exc:  # noqa: BLE001 — asserted below
+                errors.append(exc)
+
+        thread = threading.Thread(target=stream)
+        thread.start()
+        time.sleep(0.05)  # the stream is mid-flight
+        grown = cluster.grow(2)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert grown == 4
+        assert not errors, errors[0]
+        # The in-flight stream drained on the old placement and its
+        # result matches a fresh run on the new one.
+        cluster.computation_cache.clear()
+        assert results[0] == run_canonical(dataset, slow_spec)
+
+    def test_shrink_to_zero_is_refused(self):
+        cluster = Cluster(num_workers=2)
+        with pytest.raises(PlacementError):
+            cluster.shrink([0, 1])
+
+    def test_unknown_worker_selector_is_refused(self):
+        cluster = Cluster(num_workers=2)
+        with pytest.raises(PlacementError):
+            cluster.shrink(["nonesuch"])
+
+
+# ---------------------------------------------------------------------------
+# Director: health checks and draining
+# ---------------------------------------------------------------------------
+class _StubClient:
+    def __init__(self, host, port, session=None, registry=None):
+        self.session_id = session or f"minted-{id(self)}"
+
+
+class TestDirectorHealth:
+    def _director(self, health: dict, max_failures: int = 3):
+        addresses = [("root-a", 1), ("root-b", 2)]
+        return ConnectionDirector(
+            addresses,
+            client_factory=_StubClient,
+            max_ping_failures=max_failures,
+            probe=lambda address: health[address],
+        )
+
+    def test_ejection_after_n_consecutive_failures_and_recovery(self):
+        health = {("root-a", 1): True, ("root-b", 2): False}
+        director = self._director(health)
+        for round_number in range(3):
+            director.check_health()
+            if round_number < 2:
+                assert director.ejected() == []  # not yet N consecutive
+        assert director.ejected() == [("root-b", 2)]
+        assert director.ejections == 1
+        # Every connection now lands on the healthy root.
+        for _ in range(4):
+            director.connect()
+        assert director.routable() == [("root-a", 1)]
+        # Recovery: one good ping restores the root and resets the count.
+        health[("root-b", 2)] = True
+        director.check_health()
+        assert director.ejected() == []
+        assert director.recoveries == 1
+
+    def test_intermittent_failures_never_eject(self):
+        flips = {"n": 0}
+
+        def flaky(address):
+            flips["n"] += 1
+            return flips["n"] % 2 == 0  # fail, succeed, fail, succeed...
+
+        director = ConnectionDirector(
+            [("root-a", 1)],
+            client_factory=_StubClient,
+            max_ping_failures=3,
+            probe=flaky,
+        )
+        for _ in range(10):
+            director.check_health()
+        assert director.ejected() == []
+
+    def test_session_pinned_to_ejected_root_migrates(self):
+        health = {("root-a", 1): True, ("root-b", 2): True}
+        director = self._director(health, max_failures=1)
+        sticky = director.connect(session="sticky")
+        assert sticky.session_id == "sticky"
+        pinned = director._affinity["sticky"]
+        health[pinned] = False
+        director.check_health()
+        assert pinned in director.ejected()
+        other = [a for a in director.addresses if a != pinned][0]
+        for _ in range(3):
+            director.connect(session="sticky")
+            assert director._affinity["sticky"] == other
+
+    def test_all_roots_down_raises(self):
+        health = {("root-a", 1): False, ("root-b", 2): False}
+        director = self._director(health, max_failures=1)
+        director.check_health()
+        with pytest.raises(ConnectionError):
+            director.connect()
+
+
+class TestDirectorDrain:
+    def test_drain_stops_routing_and_drops_pins(self):
+        director = ConnectionDirector(
+            [("root-a", 1), ("root-b", 2)], client_factory=_StubClient
+        )
+        director.connect(session="resident")
+        pinned = director._affinity["resident"]
+        other = [a for a in director.addresses if a != pinned][0]
+        result = director.drain(pinned, flush_sessions=False)
+        assert result["drained"] and result["unpinned"] == 1
+        assert director.drained() == [pinned]
+        # New sessions and the formerly pinned session route elsewhere.
+        for _ in range(4):
+            assert director._pick(None) == other
+        assert director._pick("resident") == other
+        director.undrain(pinned)
+        # undrain's best-effort RPC hits a nonexistent address; routing
+        # state must be restored regardless.
+        assert director.drained() == []
+        assert pinned in {director._pick(None) for _ in range(4)}
+
+    def test_unknown_root_cannot_be_drained(self):
+        director = ConnectionDirector(
+            [("root-a", 1)], client_factory=_StubClient
+        )
+        with pytest.raises(ValueError):
+            director.drain(("root-x", 9), flush_sessions=False)
+
+
+class TestServiceDrainRpc:
+    """Draining against a real (in-process-cluster) ServiceServer."""
+
+    @pytest.fixture()
+    def server(self, tmp_path):
+        cluster = Cluster(num_workers=2, aggregation_interval=0.01)
+        server = ServiceServer(
+            cluster,
+            port=0,
+            default_source=SOURCE,
+            session_store=SqliteSessionStore(str(tmp_path / "tier.db")),
+            sweep_interval_seconds=30.0,
+        )
+        server.start_background()
+        yield server
+        server.close()
+
+    def test_drain_refuses_new_sessions_while_existing_ones_work(self, server):
+        host, port = server.address
+        with ServiceClient(host, port, session="settled") as resident:
+            handle = resident.load({})
+            sessions_before = server.sessions.sessions_created
+            assert probe_root((host, port))  # health probe mints no session
+            assert server.sessions.sessions_created == sessions_before
+
+            reply = resident.call("drain")  # any connection may ask
+            assert reply.payload["draining"] is True
+            assert reply.payload["persisted"] >= 1  # recipe books flushed
+
+            # New sessions are refused with a structured error...
+            with pytest.raises(ServiceError) as info:
+                ServiceClient(host, port)
+            assert "draining" in str(info.value)
+            with pytest.raises(ServiceError):
+                ServiceClient(host, port, session="brand-new")
+
+            # ...while the resident session keeps streaming.
+            result = resident.sketch(handle, HIST).result(timeout=60)
+            assert result.kind == "complete"
+            # And its *reconnects* still work (it lives on this root).
+            with ServiceClient(host, port, session="settled") as again:
+                assert again.session_id == "settled"
+
+            assert probe_root((host, port))  # drained != unhealthy
+            resident.call("undrain")
+        with ServiceClient(host, port) as fresh:  # back in rotation
+            assert fresh.session_id
+
+    def test_drained_session_roams_via_the_store(self, server, tmp_path):
+        host, port = server.address
+        with ServiceClient(host, port, session="roamer") as client:
+            handle = client.load({})
+            reference = client.sketch(handle, HIST).result(timeout=60)
+            client.call("drain")
+        # A sibling root sharing the store resumes the session.
+        sibling_cluster = Cluster(num_workers=2, aggregation_interval=0.01)
+        sibling = ServiceServer(
+            sibling_cluster,
+            port=0,
+            default_source=SOURCE,
+            session_store=SqliteSessionStore(str(tmp_path / "tier.db")),
+            sweep_interval_seconds=30.0,
+        )
+        address = sibling.start_background()
+        try:
+            with ServiceClient(*address, session="roamer") as moved:
+                assert moved.session_id == "roamer"
+                resumed = moved.sketch(handle, HIST).result(timeout=60)
+                assert canonical(resumed.payload) == canonical(reference.payload)
+            assert sibling.sessions.sessions_resumed >= 1
+        finally:
+            sibling.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker daemon draining (SIGTERM path, in-process)
+# ---------------------------------------------------------------------------
+class TestWorkerServerDraining:
+    def _dispatch(self, server: WorkerServer, request: RpcRequest):
+        from repro.engine.remote import _RootLink
+
+        link = _RootLink(None, None)
+        return list(server._dispatch(request, link))
+
+    def test_draining_refuses_configure_but_serves_sketches(self):
+        from repro.engine.remote import WorkerDrainingError
+
+        server = WorkerServer(name="drainee", cores=1)
+        self._dispatch(
+            server, RpcRequest(1, "", "configure", {"index": 0, "count": 1})
+        )
+        self._dispatch(
+            server,
+            RpcRequest(
+                2,
+                "",
+                "load",
+                {
+                    "dataset": "ds",
+                    "source": {"kind": "flights", "rows": 500, "partitions": 4,
+                               "seed": 1},
+                    "placementVersion": 0,
+                },
+            ),
+        )
+        server.begin_drain()
+        assert server.draining
+        with pytest.raises(WorkerDrainingError):
+            self._dispatch(
+                server,
+                RpcRequest(3, "", "configure", {"index": 0, "count": 1}),
+            )
+        with pytest.raises(WorkerDrainingError):
+            self._dispatch(
+                server,
+                RpcRequest(4, "", "load", {"dataset": "x", "source": {}}),
+            )
+        # In-flight work still completes: reads and sketches are served.
+        replies = self._dispatch(
+            server,
+            RpcRequest(
+                5,
+                "",
+                "sketch",
+                {
+                    "dataset": "ds",
+                    "sketch": HIST,
+                    "lineage": [],
+                    "placementVersion": 0,
+                },
+            ),
+        )
+        assert replies[-1].kind == "complete"
+        assert server.wait_drained(timeout=5.0)
+
+    def test_stale_version_is_rejected_with_retryable_code(self):
+        server = WorkerServer(name="versioned", cores=1)
+        self._dispatch(
+            server,
+            RpcRequest(
+                1, "", "configure",
+                {"index": 0, "count": 1, "placementVersion": 0},
+            ),
+        )
+        with pytest.raises(StalePlacementError):
+            self._dispatch(
+                server,
+                RpcRequest(
+                    2, "", "rows",
+                    {"dataset": "ds", "lineage": [], "placementVersion": 7},
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Tier 2: a real daemon fleet growing and shrinking under load
+# ---------------------------------------------------------------------------
+def spawn_daemon(index: int):
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--listen",
+            "127.0.0.1:0",
+            "--name",
+            f"elastic-{index}",
+            "--cores",
+            "2",
+        ],
+        env=_spawn_env(),
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    announcement = json.loads(proc.stdout.readline())
+    return proc, ("127.0.0.1", int(announcement["port"]))
+
+
+@pytest.mark.tier2
+class TestElasticFleetTier2:
+    @pytest.fixture()
+    def daemons(self):
+        procs, addresses = [], []
+        try:
+            for i in range(4):
+                proc, address = spawn_daemon(i)
+                procs.append(proc)
+                addresses.append(address)
+            yield addresses
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+    def test_grow_and_shrink_under_load_byte_identical(self, daemons):
+        """The acceptance path: a 2-daemon fleet grows to 4 and shrinks
+        back mid-workload; every sketch result — before, during, after —
+        is byte-identical to the static single-process reference."""
+        local = canonical(
+            summary_to_json(
+                LocalDataSet(Table.concat(SOURCE.load())).sketch(
+                    sketch_from_json(HIST)
+                )
+            )
+        )
+        slow_spec = {"type": "slow", "perShardSeconds": 0.004, "inner": HIST}
+        serving = ProcessCluster(
+            addresses=daemons[:2], aggregation_interval=0.01
+        )
+        admin = ProcessCluster(
+            addresses=daemons[:2], aggregation_interval=0.01
+        )
+        try:
+            dataset = serving.load(SOURCE)
+            results: list[str] = []
+            errors: list[Exception] = []
+            stop = threading.Event()
+
+            def workload() -> None:
+                while not stop.is_set():
+                    try:
+                        run = dataset.run(sketch_from_json(slow_spec))
+                        results.append(
+                            canonical(summary_to_json(run.value))
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+
+            threads = [threading.Thread(target=workload) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)  # sketches in flight on the old placement
+
+            assert admin.grow(daemons[2:]) == 4
+            assert admin.placement_version == 1
+            time.sleep(0.5)  # the serving root discovers and resyncs
+
+            assert admin.shrink(daemons[2:]) == 2
+            assert admin.placement_version == 2
+            time.sleep(0.5)
+
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors, errors[0]
+            assert results, "the workload never completed a sketch"
+            assert all(r == local for r in results), (
+                "a sketch observed a half-rebalanced fleet"
+            )
+            # The serving root adopted both rebalances transparently.
+            assert serving.placement_version == 2
+            assert len(serving.workers) == 2
+        finally:
+            admin.close()
+            serving.close()
+
+    def test_admin_grow_transfers_another_roots_shards(self, daemons):
+        """The operator path: `repro fleet grow` runs from a transient
+        administrative root whose redo log never saw the serving root's
+        datasets.  The loaded-dataset marker is worker-resident, so the
+        shards still *move* (adoption, not eviction-and-reload), and the
+        serving root's results are unchanged."""
+        serving = ProcessCluster(
+            addresses=daemons[:2], aggregation_interval=0.01
+        )
+        admin = ProcessCluster(
+            addresses=daemons[:2], aggregation_interval=0.01
+        )
+        try:
+            dataset = serving.load(SOURCE)
+            reference = run_canonical(dataset, HIST)
+            admin.grow(daemons[2:3])  # empty redo log on this root
+            assert [w.index for w in admin.workers] == [0, 1, 2]
+            # Every worker (including the new one) reports its re-striped
+            # inventory — the shards moved, they were not re-read (an
+            # evicted dataset would inventory as absent until next use).
+            counts = [
+                (w.inventory().get(dataset.dataset_id) or {}).get("shards", 0)
+                for w in admin.workers
+            ]
+            assert sum(counts) == PARTITIONS
+            assert counts[2] > 0, "the new worker adopted no shards"
+            serving.computation_cache.clear()
+            assert run_canonical(dataset, HIST) == reference
+        finally:
+            admin.close()
+            serving.close()
+
+    def test_interrupted_rebalance_is_healed_on_attach(self, daemons):
+        """A rebalance that died after committing only some members
+        leaves the fleet at mixed placement versions; the next attaching
+        root must finish the job (the committed report carries the full
+        target assignment) instead of wedging on the conflict."""
+        from repro.engine.placement import format_address
+
+        cluster = ProcessCluster(
+            addresses=daemons[:2], aggregation_interval=0.01
+        )
+        dataset = cluster.load(SOURCE)
+        reference = run_canonical(dataset, HIST)
+        members = [format_address(w.address) for w in cluster.workers]
+        # Simulate the interruption: version 1 committed on worker 0
+        # only, then the initiating root vanishes.
+        cluster.workers[0].rebalance_commit(1, 0, 2, members, {})
+        cluster.close()
+
+        healed = ProcessCluster(
+            addresses=daemons[:2], aggregation_interval=0.01
+        )
+        try:
+            assert healed.placement_version == 1
+            placements = [w.query_placement() for w in healed.workers]
+            assert [p.version for p in placements] == [1, 1]
+            assert sorted(p.index for p in placements) == [0, 1]
+            dataset2 = healed.load(SOURCE)  # replays after the repair evict
+            assert run_canonical(dataset2, HIST) == reference
+        finally:
+            healed.close()
+
+    def test_retired_farewell_heals_uncommitted_survivors(self, daemons):
+        """The worst interruption: a shrink retired the departing worker
+        but none of the survivors committed.  Only the retired worker's
+        farewell report knows the target assignment — the next attach
+        must read it, drive the survivors' commits, and settle."""
+        from repro.engine.placement import format_address
+
+        cluster = ProcessCluster(
+            addresses=daemons[:3], aggregation_interval=0.01
+        )
+        survivors = [format_address(w.address) for w in cluster.workers[:2]]
+        cluster.workers[2].retire(1, survivors)
+        cluster.close()
+
+        healed = ProcessCluster(
+            addresses=daemons[:3], aggregation_interval=0.01
+        )
+        try:
+            assert healed.placement_version == 1
+            assert len(healed.workers) == 2
+            placements = [w.query_placement() for w in healed.workers]
+            assert sorted(p.index for p in placements) == [0, 1]
+            assert {p.count for p in placements} == {2}
+        finally:
+            healed.close()
+
+    def test_sigterm_drains_gracefully_mid_sketch(self):
+        """SIGTERM mid-stream: the in-flight sketch finishes, the daemon
+        refuses new state and exits 0 — shrink and CI teardown never race
+        an abrupt kill."""
+        proc, address = spawn_daemon(99)
+        cluster = ProcessCluster(addresses=[address], aggregation_interval=0.01)
+        try:
+            dataset = cluster.load(SOURCE)
+            slow_spec = {"type": "slow", "perShardSeconds": 0.05, "inner": HIST}
+            reference = run_canonical(dataset, {"type": "histogram",
+                                                "column": "Distance",
+                                                "buckets": HIST["buckets"]})
+            outcome: dict = {}
+
+            def stream() -> None:
+                try:
+                    run = dataset.run(sketch_from_json(slow_spec))
+                    outcome["payload"] = canonical(summary_to_json(run.value))
+                except Exception as exc:  # noqa: BLE001
+                    outcome["error"] = exc
+
+            thread = threading.Thread(target=stream)
+            thread.start()
+            time.sleep(0.3)  # the sketch is mid-partials
+            proc.send_signal(signal.SIGTERM)
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+            assert "error" not in outcome, outcome.get("error")
+            assert outcome["payload"] == reference
+            assert proc.wait(timeout=30) == 0, "daemon did not exit cleanly"
+        finally:
+            cluster.close()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

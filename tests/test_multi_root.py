@@ -142,13 +142,23 @@ class TestSharedPlacement:
             assert placement.index == index
             assert placement.count == len(cluster_b.workers)
 
-    def test_conflicting_root_is_rejected_not_obeyed(self, fleet, tier):
-        """A root that tries to re-slice the placed fleet (wrong worker
-        count) must be refused attachment."""
-        from repro.service import PlacementError
-
-        with pytest.raises(PlacementError):
-            ProcessCluster(addresses=fleet[:1])
+    def test_partial_fleet_spec_adopts_membership_never_reslices(
+        self, fleet, tier
+    ):
+        """A root attaching with a stale fleet list (one address of the
+        two-worker placed fleet) must not re-slice it.  Since workers
+        report the fleet's membership alongside their placement
+        (versioned placements, elastic fleets), the attach adopts the
+        full membership instead of being rejected — the operator's
+        stale file still lands on the fleet as it is now."""
+        cluster = ProcessCluster(addresses=fleet[:1])
+        try:
+            assert sorted(w.name for w in cluster.workers) == [
+                "fleet-0",
+                "fleet-1",
+            ]
+        finally:
+            cluster.close()
 
 
 class TestByteIdenticalSummaries:

@@ -107,7 +107,8 @@ class TestStickyWorkerPlacement:
             server,
             RpcRequest(1, "", "configure", {"index": 1, "count": 2}),
         )
-        assert ack.kind == "ack" and ack.payload == {"index": 1, "count": 2}
+        assert ack.kind == "ack"
+        assert ack.payload == {"index": 1, "count": 2, "version": 0}
         # A second root configuring the same slice is welcome (it may
         # carry a different aggregation interval).
         [again] = self._dispatch(
