@@ -129,10 +129,89 @@ def run_elastic_fleet() -> dict[str, float]:
     return out
 
 
+def run_tracing_overhead() -> dict[str, float]:
+    """First-partial latency with tracing off vs on (``REPRO_TRACE=1``).
+
+    Same topology, same queries, interleaving defeated by a unique
+    bucket count per repetition (a computation-cache hit would skip the
+    fan-out and measure nothing).  The design target is <5% added p50;
+    the committed ``tracing_overhead.ratio`` baseline is ~1.0, so the
+    2x gate bounds pathological overhead — span recording drifting onto
+    the hot path's critical section — while absorbing runner noise.
+    """
+    import time
+
+    import bench_cache_tiers as bench
+
+    from repro.data.flights import FlightsSource
+    from repro.engine.cluster import Cluster
+    from repro.service import ServiceClient, ServiceServer
+
+    quick = os.environ.get("REPRO_BENCH_QUICK") == "1"
+    rows = 20_000 if quick else 200_000
+    reps = 12 if quick else 40
+
+    def spec(upper: float) -> dict:
+        # A unique bucket upper bound per measurement: the computation
+        # cache (and the workers' memo tier) would otherwise serve every
+        # repeat instantly and the comparison would measure cache hits.
+        return {
+            "type": "histogram",
+            "column": "Distance",
+            "buckets": {"type": "double", "min": 0, "max": upper, "count": 64},
+        }
+
+    previous_trace = os.environ.get("REPRO_TRACE")
+    server = ServiceServer(
+        Cluster(num_workers=2, cores_per_worker=2, aggregation_interval=0.02),
+        default_source=FlightsSource(rows, partitions=8, seed=7),
+    )
+    server.start_background()
+    try:
+        samples: dict[str, list[float]] = {"off": [], "on": []}
+        with ServiceClient(*server.address) as client:
+            handle = client.load()
+
+            def measure(upper: float) -> float:
+                start = time.perf_counter()
+                pending = client.submit("sketch", handle, {"sketch": spec(upper)})
+                first = None
+                for reply in pending.replies():
+                    if first is None:
+                        first = time.perf_counter() - start
+                return first
+
+            for warm in range(3):  # dataset materialization, pool spin-up
+                measure(5000 + warm)
+            # Interleave the modes so machine drift hits both equally.
+            for i in range(reps):
+                for offset, mode in ((0, "off"), (1, "on")):
+                    if mode == "on":
+                        os.environ["REPRO_TRACE"] = "1"
+                    else:
+                        os.environ.pop("REPRO_TRACE", None)
+                    samples[mode].append(measure(6000 + 2 * i + offset))
+    finally:
+        if previous_trace is None:
+            os.environ.pop("REPRO_TRACE", None)
+        else:
+            os.environ["REPRO_TRACE"] = previous_trace
+        server.close()
+
+    off_p50 = bench.percentile(samples["off"], 0.50)
+    on_p50 = bench.percentile(samples["on"], 0.50)
+    return {
+        "tracing_overhead.off.p50_first": off_p50,
+        "tracing_overhead.on.p50_first": on_p50,
+        "tracing_overhead.ratio": on_p50 / max(off_p50, 1e-9),
+    }
+
+
 SUITES = {
     "cache_tiers": run_cache_tiers,
     "multi_root": run_multi_root,
     "elastic_fleet": run_elastic_fleet,
+    "tracing_overhead": run_tracing_overhead,
 }
 
 

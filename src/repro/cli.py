@@ -19,6 +19,7 @@ the worker daemons of a process-level fleet::
         --session-store sessions.db --port 8948
     python -m repro.cli client --port 8947 --commands "load; rows; hist Distance 0 3000"
     python -m repro.cli fleet status --join @fleet.txt
+    python -m repro.cli fleet top --join @fleet.txt
     python -m repro.cli fleet grow --join @fleet.txt --add host-c:9301
     python -m repro.cli fleet shrink --join @fleet.txt --remove host-b:9301
     python -m repro.cli fleet drain --root 127.0.0.1:8948
@@ -412,9 +413,27 @@ def serve_main(argv: list[str]) -> int:
         "--idle-ttl", type=float, default=900.0,
         help="seconds before an idle session's handles are evicted",
     )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit one-line JSON log records (stamped with trace/session "
+             "ids) instead of staying quiet",
+    )
+    parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        help="enable structured logging at this level (text mode unless "
+             "--log-json)",
+    )
     args = parser.parse_args(argv)
 
+    from repro.obs.logs import configure_logging
+    from repro.obs.trace import set_service_name
     from repro.service import ServiceServer, open_session_store
+
+    if args.log_json or args.log_level:
+        configure_logging(
+            json_mode=args.log_json or None, level=args.log_level
+        )
+    set_service_name("root")
 
     if args.join:
         from repro.engine.remote import ProcessCluster
@@ -484,6 +503,22 @@ class RemoteSession:
             raise HillviewError("no dataset yet; use 'load' first")
         return self.handle
 
+    @staticmethod
+    def _hist_spec(args: list[str]) -> dict:
+        if len(args) < 3:
+            raise HillviewError("usage: hist <col> <min> <max> [buckets]")
+        buckets = int(args[3]) if len(args) > 3 else 10
+        return {
+            "type": "histogram",
+            "column": args[0],
+            "buckets": {
+                "type": "double",
+                "min": float(args[1]),
+                "max": float(args[2]),
+                "count": buckets,
+            },
+        }
+
     def execute(self, line: str) -> bool:
         words = shlex.split(line.strip())
         if not words:
@@ -511,19 +546,7 @@ class RemoteSession:
         elif name == "rows":
             self.print(f"{self.client.row_count(self._require_handle()):,} rows")
         elif name == "hist":
-            if len(args) < 3:
-                raise HillviewError("usage: hist <col> <min> <max> [buckets]")
-            buckets = int(args[3]) if len(args) > 3 else 10
-            spec = {
-                "type": "histogram",
-                "column": args[0],
-                "buckets": {
-                    "type": "double",
-                    "min": float(args[1]),
-                    "max": float(args[2]),
-                    "count": buckets,
-                },
-            }
+            spec = self._hist_spec(args)
             partials = 0
             final = None
             for reply in self.client.sketch(self._require_handle(), spec).replies():
@@ -609,10 +632,100 @@ class RemoteSession:
                 f"  this session: {mine.get('cacheHits', 0)} root hits, "
                 f"{mine.get('workerCacheHits', 0)} worker partial hits"
             )
+        elif name == "trace":
+            # `trace hist Distance 0 3000`: run the query with a fresh
+            # trace context, then fetch the merged root+worker span
+            # timeline and write it as Chrome trace-event JSON.
+            if not args:
+                raise HillviewError(
+                    "usage: trace hist <col> <min> <max> [buckets] "
+                    "| trace distinct <col>"
+                )
+            import json as json_mod
+
+            from repro.obs.trace import TraceContext, chrome_trace
+
+            sub, sub_args = args[0].lower(), args[1:]
+            if sub == "hist":
+                spec = self._hist_spec(sub_args)
+            elif sub == "distinct":
+                if not sub_args:
+                    raise HillviewError("usage: trace distinct <col>")
+                spec = {"type": "distinct", "column": sub_args[0]}
+            else:
+                raise HillviewError(
+                    f"cannot trace {sub!r}; try 'trace hist' or "
+                    "'trace distinct'"
+                )
+            ctx = TraceContext.new_root()
+            pending = self.client.submit(
+                "sketch", self._require_handle(), {"sketch": spec}, trace=ctx
+            )
+            final = None
+            for reply in pending.replies():
+                final = reply
+            if final is not None and final.kind == "error":
+                raise HillviewError(f"[{final.code}] {final.error}")
+            spans = self.client.trace_dump(ctx.trace_id)
+            path = f"trace-{ctx.trace_id}.json"
+            with open(path, "w", encoding="utf-8") as fh:
+                json_mod.dump(chrome_trace(spans), fh)
+            by_service: dict[str, int] = {}
+            for s in spans:
+                service = str(s.get("service", "?"))
+                by_service[service] = by_service.get(service, 0) + 1
+            if spans:
+                first = min(float(s.get("start", 0.0)) for s in spans)
+                last = max(
+                    float(s.get("start", 0.0)) + float(s.get("duration", 0.0))
+                    for s in spans
+                )
+                self.print(
+                    f"trace {ctx.trace_id}: {len(spans)} spans over "
+                    f"{last - first:.3f}s"
+                )
+            else:
+                self.print(f"trace {ctx.trace_id}: no spans recorded")
+            for service in sorted(by_service):
+                self.print(f"  {service}: {by_service[service]} spans")
+            self.print(f"wrote {path} (open in Perfetto / chrome://tracing)")
+        elif name == "metrics":
+            snap = self.client.metrics_snapshot()
+            scheduler = snap.get("scheduler", {})
+            self.print(
+                f"  scheduler: {scheduler.get('running', 0)} running, "
+                f"{scheduler.get('admitted', 0)} admitted, "
+                f"{scheduler.get('completed', 0)} completed"
+            )
+            cluster = snap.get("cluster", {})
+            self.print(
+                f"  cluster: placement v{cluster.get('placementVersion', 0)}, "
+                f"{cluster.get('rebalances', 0)} rebalances, "
+                f"{cluster.get('bytesToRoot', 0):,}B to root, "
+                f"computation hit rate "
+                f"{cluster.get('computationHitRate', 0.0):.0%}"
+            )
+            for worker in cluster.get("workers", []):
+                if "error" in worker:
+                    self.print(
+                        f"  {worker.get('name', '?')}: {worker['error']}"
+                    )
+                    continue
+                queue = (
+                    f"queue {worker['inflight']}  " if "inflight" in worker
+                    else ""
+                )
+                self.print(
+                    f"  {worker.get('name', '?')}: {queue}"
+                    f"{worker.get('shardsSummarized', 0)} shards scanned, "
+                    f"memo {worker.get('memoHitRate', 0.0):.0%}, "
+                    f"store {worker.get('storeHitRate', 0.0):.0%}"
+                )
         elif name == "help":
             self.print("  load [path] | cols | rows | hist <col> <min> <max>"
                        " [buckets] | distinct <col> | filter <col> <op> <v>"
-                       " | stats | cachestats | quit")
+                       " | trace <query> | metrics | stats | cachestats"
+                       " | quit")
         else:
             self.print(f"unknown command {name!r}; try 'help'")
 
@@ -630,6 +743,7 @@ def fleet_main(argv: list[str], out: TextIO | None = None) -> int:
     Subcommands::
 
         status  --join FLEET                 placement + inventory per worker
+        top     --join FLEET                 live metrics per worker daemon
         grow    --join FLEET --add H:P ...   add daemons, re-balance shards
         shrink  --join FLEET --remove H:P .. retire daemons, re-balance
         drain   --root H:P                   root: persist sessions, refuse new
@@ -647,7 +761,8 @@ def fleet_main(argv: list[str], out: TextIO | None = None) -> int:
         description="Operate a live worker fleet (grow/shrink/drain).",
     )
     parser.add_argument(
-        "action", choices=["status", "grow", "shrink", "drain", "undrain"]
+        "action",
+        choices=["status", "top", "grow", "shrink", "drain", "undrain"],
     )
     parser.add_argument(
         "--join", metavar="FLEET",
@@ -720,6 +835,30 @@ def fleet_main(argv: list[str], out: TextIO | None = None) -> int:
     if args.action == "status":
         print(f"fleet of {len(addresses)} worker daemon(s):", file=stream)
         print_fleet(addresses)
+        return 0
+    if args.action == "top":
+        from repro.engine.remote import query_fleet_metrics
+
+        print(f"fleet of {len(addresses)} worker daemon(s):", file=stream)
+        for snap in query_fleet_metrics(addresses):
+            if "error" in snap:
+                print(
+                    f"  {snap.get('address', '?')}: DOWN ({snap['error']})",
+                    file=stream,
+                )
+                continue
+            flags = " DRAINING" if snap.get("draining") else ""
+            print(
+                f"  {snap['address']}  {snap.get('name', '?')}  "
+                f"queue {snap.get('inflight', 0)}  "
+                f"served {snap.get('requestsServed', 0)}  "
+                f"shards {snap.get('shardsSummarized', 0)}  "
+                f"memo {snap.get('memoHitRate', 0.0):.0%}  "
+                f"store {snap.get('storeHitRate', 0.0):.0%}  "
+                f"v{snap.get('placementVersion', 0)}  "
+                f"spans {snap.get('spansBuffered', 0)}{flags}",
+                file=stream,
+            )
         return 0
 
     # preserve_cadence: this administrative attach must not rewrite the

@@ -79,6 +79,12 @@ class CacheStats:
     max_bytes: int | None
     disabled: bool
 
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 for a never-probed cache."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
     def to_json(self) -> dict:
         return {
             "name": self.name,
@@ -86,6 +92,7 @@ class CacheStats:
             "bytes": self.bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "hitRate": round(self.hit_rate, 4),
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "maxEntries": self.max_entries,

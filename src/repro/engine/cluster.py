@@ -66,6 +66,8 @@ from repro.engine.placement import (
 )
 from repro.engine.progress import CancellationToken, PartialResult, SketchRun
 from repro.engine.redo_log import LoadOp, MapOp, RedoLog
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TraceContext, span, use_context
 from repro.errors import (
     DatasetMissingError,
     EngineError,
@@ -158,6 +160,19 @@ class WorkerProtocol(ABC):
     def cache_stats(self) -> dict:
         """This worker's cache counters (shard store + sketch memo)."""
         return {"name": self.name}
+
+    def metrics_snapshot(self) -> dict:
+        """This worker's live metrics (queue depth, cache hit rates...)."""
+        return {"name": self.name}
+
+    def trace_dump(self, trace_id: str | None = None) -> list[dict]:
+        """Spans recorded on this worker's side of the wire.
+
+        In-process workers share the root's recorder (their spans are
+        already in the root's buffer), so the default is empty; remote
+        proxies fetch the daemon's ring buffer over the wire.
+        """
+        return []
 
     def inventory(self) -> dict[str, dict]:
         """Resident datasets: ``{id: {"shards": n, "loaded": bool}}``.
@@ -279,6 +294,20 @@ class Worker(WorkerProtocol):
             "store": self.store.stats().to_json(),
             "memo": self.memo.stats().to_json(),
             "shardsSummarized": self.shards_summarized,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        store = self.store.stats()
+        memo = self.memo.stats()
+        return {
+            "name": self.name,
+            "cores": self.cores,
+            "shardsSummarized": self.shards_summarized,
+            "crashes": self.crashes,
+            "datasets": store.entries,
+            "storeHitRate": round(store.hit_rate, 4),
+            "memoHitRate": round(memo.hit_rate, 4),
+            "memoBytes": memo.bytes,
         }
 
     def inventory(self) -> dict[str, dict]:
@@ -579,6 +608,24 @@ class Cluster:
         #: such qualifier: equal id means equal content by construction).
         self._root_nonce = uuid.uuid4().hex[:8]
         self._lock = threading.Lock()
+        # Live gauges read the cluster; a later cluster in the same
+        # process takes the callbacks over (one serving cluster per
+        # daemon), mirroring the scheduler's depth gauges.
+        REGISTRY.gauge(
+            "cluster.workers",
+            "workers in the current placement",
+            callback=lambda: len(self.workers),
+        )
+        REGISTRY.gauge(
+            "cluster.placement_version",
+            "bumped by every grow/shrink",
+            callback=lambda: self.placement_version,
+        )
+        REGISTRY.gauge(
+            "cluster.rebalances",
+            "completed grow/shrink operations",
+            callback=lambda: self.rebalances,
+        )
 
     def cached_row_count(self, dataset_id: str) -> int | None:
         return self.row_count_cache.get(dataset_id)
@@ -602,6 +649,41 @@ class Cluster:
             },
             "workers": workers,
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Fleet metrics for the ``metricsSnapshot`` RPC: root-side
+        counters plus every worker's live snapshot (remote workers
+        report their daemon's queue depth and registry; unreachable
+        ones degrade to an error entry, like :meth:`cache_stats`)."""
+        workers = []
+        for worker in self.workers:
+            try:
+                workers.append(worker.metrics_snapshot())
+            except (WorkerUnavailableError, EngineError) as exc:
+                workers.append({"name": worker.name, "error": str(exc)})
+        computation = self.computation_cache.stats()
+        return {
+            "placementVersion": self.placement_version,
+            "rebalances": self.rebalances,
+            "bytesToRoot": self.total_bytes_to_root,
+            "computationHitRate": round(computation.hit_rate, 4),
+            "workers": workers,
+        }
+
+    def trace_dump(self, trace_id: str | None = None) -> list[dict]:
+        """Collect span records from every worker daemon's ring buffer.
+
+        The root's own recorder is merged in at the service layer —
+        in-process workers share it, so pulling it here would
+        double-count their spans.
+        """
+        spans: list[dict] = []
+        for worker in self.workers:
+            try:
+                spans.extend(worker.trace_dump(trace_id))
+            except (WorkerUnavailableError, EngineError):
+                continue
+        return spans
 
     def sweep_caches(self) -> int:
         """Purge TTL-expired entries at every local tier; remote workers
@@ -1131,6 +1213,8 @@ class ClusterDataSet(IDataSet):
         token: CancellationToken | None,
         emissions: "queue.Queue[_Emission]",
         workers: "list[WorkerProtocol]",
+        parent: "TraceContext | None" = None,
+        stat: dict | None = None,
     ) -> None:
         """Drive one worker's partial stream, reviving it if it dies.
 
@@ -1140,57 +1224,73 @@ class ClusterDataSet(IDataSet):
         snapshot: if the cluster's live list diverges from it (the fleet
         rebalanced under a concurrent stream), revival is abandoned and
         the whole fan-out restarts on the new placement.
+
+        ``parent`` is the fan-out's trace context, carried across the
+        thread boundary so each attempt records its own span (revival
+        retries show up as sibling spans under one fan-out); ``stat`` is
+        this worker's slot in the query profile, updated in place.
         """
         cluster = self.cluster
         done = 0
         failure: BaseException | None = None
         attempts = 0
+        tries = 0
         try:
-            while True:
-                try:
+            with use_context(parent):
+                while True:
+                    tries += 1
                     worker = workers[worker_index]
-                    for emission in worker.sketch_partials(
-                        self.dataset_id, sketch, lineage, token
-                    ):
-                        done = emission.shards_done
-                        emissions.put(
-                            _Emission(
-                                worker_index,
-                                emission.summary,
-                                emission.shards_done,
-                                emission.bytes,
-                                cache_hit=emission.cache_hit,
+                    try:
+                        with span(
+                            "worker.stream",
+                            worker=worker.name,
+                            attempt=tries,
+                        ):
+                            for emission in worker.sketch_partials(
+                                self.dataset_id, sketch, lineage, token
+                            ):
+                                done = emission.shards_done
+                                emissions.put(
+                                    _Emission(
+                                        worker_index,
+                                        emission.summary,
+                                        emission.shards_done,
+                                        emission.bytes,
+                                        cache_hit=emission.cache_hit,
+                                    )
+                                )
+                    except WorkerUnavailableError as exc:
+                        attempts += 1
+                        cancelled = token is not None and token.cancelled
+                        in_sync = (
+                            worker_index < len(cluster.workers)
+                            and cluster.workers[worker_index]
+                            is workers[worker_index]
+                        )
+                        if (
+                            not cancelled
+                            and attempts <= MAX_WORKER_RETRIES
+                            and in_sync
+                            and cluster.revive_worker(worker_index)
+                        ):
+                            workers[worker_index] = cluster.workers[worker_index]
+                            done = 0
+                            continue  # re-run against the revived worker
+                        if not in_sync:
+                            failure = StalePlacementError(
+                                f"worker {worker.name} left the placement "
+                                "while streaming; re-running on the new fleet"
                             )
-                        )
-                except WorkerUnavailableError as exc:
-                    attempts += 1
-                    cancelled = token is not None and token.cancelled
-                    in_sync = (
-                        worker_index < len(cluster.workers)
-                        and cluster.workers[worker_index] is workers[worker_index]
-                    )
-                    if (
-                        not cancelled
-                        and attempts <= MAX_WORKER_RETRIES
-                        and in_sync
-                        and cluster.revive_worker(worker_index)
-                    ):
-                        workers[worker_index] = cluster.workers[worker_index]
-                        done = 0
-                        continue  # re-run against the revived worker
-                    if not in_sync:
-                        failure = StalePlacementError(
-                            f"worker {worker.name} left the placement "
-                            "while streaming; re-running on the new fleet"
-                        )
-                    else:
+                        else:
+                            failure = exc
+                    except Exception as exc:  # noqa: BLE001 — surfaced at the root
                         failure = exc
-                except Exception as exc:  # noqa: BLE001 — surfaced at the root
-                    failure = exc
-                break
+                    break
         except BaseException as exc:  # noqa: BLE001 — sentinel must still post
             failure = failure if failure is not None else exc
         finally:
+            if stat is not None:
+                stat["attempts"] = tries
             # The done sentinel is unconditional: without it the root's
             # merge loop would wait on this worker forever.
             emissions.put(_Emission(worker_index, None, done, 0, error=failure))
@@ -1250,59 +1350,141 @@ class ClusterDataSet(IDataSet):
         cluster = self.cluster
         cluster._enter_stream()
         try:
+            # The profile is collected unconditionally — a handful of
+            # perf_counter reads per emission — so `profile: true`
+            # replies work with tracing off; it is attached (and updated
+            # in place) on every yielded partial and finalized before
+            # the stream's StopIteration, i.e. before any drain loop
+            # over this generator returns.
+            attempt_started = time.perf_counter()
+            profile: dict = {}
+            bytes_counter = REGISTRY.counter(
+                "cluster.bytes_to_root",
+                "serialized summary bytes received by the root",
+            )
+
             # Phase 1 (request broadcast + data materialization): every
             # worker resolves its shards, replaying the redo log if its
             # state was lost.
             lineage = cluster.lineage(self.dataset_id)
-            shard_counts = cluster._for_all_workers(
-                lambda i, w: w.ensure(self.dataset_id, lineage)
+            ensure_started = time.perf_counter()
+            with span("cluster.ensure", dataset=self.dataset_id) as ensure_ctx:
+
+                def ensure_one(i, w):
+                    # Explicit capture: _for_all_workers runs this on
+                    # its own threads, which see no thread-local context.
+                    with use_context(ensure_ctx):
+                        return w.ensure(self.dataset_id, lineage)
+
+                shard_counts = cluster._for_all_workers(ensure_one)
+            profile["ensureSeconds"] = round(
+                time.perf_counter() - ensure_started, 6
             )
             total_shards = sum(shard_counts) or 1
 
             # Phase 2: leaves summarize; aggregation nodes emit partials.
             snapshot = list(cluster.workers)
             workers = range(len(snapshot))
-            emissions: "queue.Queue[_Emission]" = queue.Queue()
-            threads = [
-                threading.Thread(
-                    target=self._worker_stream,
-                    args=(i, sketch, lineage, token, emissions, snapshot),
-                    daemon=True,
-                )
-                for i in workers
+            worker_stats: list[dict] = [
+                {
+                    "name": w.name,
+                    "shards": 0,
+                    "bytes": 0,
+                    "emissions": 0,
+                    "cacheHit": False,
+                    "attempts": 0,
+                }
+                for w in snapshot
             ]
-            for thread in threads:
-                thread.start()
+            profile["workers"] = worker_stats
+            emissions: "queue.Queue[_Emission]" = queue.Queue()
+            merge_seconds = 0.0
+            fanout_started = time.perf_counter()
+            with span(
+                "cluster.fanout",
+                dataset=self.dataset_id,
+                sketch=sketch.name,
+                workers=len(snapshot),
+            ) as fan_ctx:
+                threads = [
+                    threading.Thread(
+                        target=self._worker_stream,
+                        args=(
+                            i,
+                            sketch,
+                            lineage,
+                            token,
+                            emissions,
+                            snapshot,
+                            fan_ctx,
+                            worker_stats[i],
+                        ),
+                        daemon=True,
+                    )
+                    for i in workers
+                ]
+                for thread in threads:
+                    thread.start()
 
-            latest: dict[int, R] = {}
-            done_counts = dict.fromkeys(workers, 0)
-            hit_workers: set[int] = set()
-            finished = 0
-            final: R | None = None
-            leaf_error: BaseException | None = None
-            while finished < len(threads):
-                emission = emissions.get()
-                done_counts[emission.worker_index] = emission.shards_done
-                if emission.summary is None:
-                    finished += 1
-                    if emission.error is not None and leaf_error is None:
-                        leaf_error = emission.error
-                    continue
-                if emission.cache_hit:
-                    hit_workers.add(emission.worker_index)
-                latest[emission.worker_index] = emission.summary  # type: ignore[assignment]
-                with cluster._lock:
-                    cluster.total_bytes_to_root += emission.bytes
-                merged = sketch.merge_all(list(latest.values()))
-                final = merged
-                yield PartialResult(
-                    sum(done_counts.values()) / total_shards,
-                    merged,
-                    received_bytes=emission.bytes,
-                    worker_cache_hits=len(hit_workers),
-                )
-            for thread in threads:
-                thread.join()
+                latest: dict[int, R] = {}
+                done_counts = dict.fromkeys(workers, 0)
+                hit_workers: set[int] = set()
+                finished = 0
+                final: R | None = None
+                leaf_error: BaseException | None = None
+                while finished < len(threads):
+                    emission = emissions.get()
+                    stat = worker_stats[emission.worker_index]
+                    done_counts[emission.worker_index] = emission.shards_done
+                    stat["shards"] = emission.shards_done
+                    if emission.summary is None:
+                        finished += 1
+                        if emission.error is not None:
+                            stat["error"] = str(emission.error)
+                            if leaf_error is None:
+                                leaf_error = emission.error
+                        continue
+                    offset = time.perf_counter() - fanout_started
+                    stat.setdefault("firstEmitSeconds", round(offset, 6))
+                    stat["lastEmitSeconds"] = round(offset, 6)
+                    stat["bytes"] += emission.bytes
+                    stat["emissions"] += 1
+                    if emission.cache_hit:
+                        stat["cacheHit"] = True
+                        hit_workers.add(emission.worker_index)
+                    latest[emission.worker_index] = emission.summary  # type: ignore[assignment]
+                    with cluster._lock:
+                        cluster.total_bytes_to_root += emission.bytes
+                    bytes_counter.inc(emission.bytes)
+                    merge_started = time.perf_counter()
+                    merged = sketch.merge_all(list(latest.values()))
+                    merge_seconds += time.perf_counter() - merge_started
+                    final = merged
+                    yield PartialResult(
+                        sum(done_counts.values()) / total_shards,
+                        merged,
+                        received_bytes=emission.bytes,
+                        worker_cache_hits=len(hit_workers),
+                        profile=profile,
+                    )
+                for thread in threads:
+                    thread.join()
+            last_emits = [
+                s["lastEmitSeconds"]
+                for s in worker_stats
+                if s.get("lastEmitSeconds") is not None
+            ]
+            profile["mergeSeconds"] = round(merge_seconds, 6)
+            profile["stragglerSeconds"] = (
+                round(max(last_emits), 6) if last_emits else 0.0
+            )
+            profile["fanoutSeconds"] = round(
+                time.perf_counter() - fanout_started, 6
+            )
+            profile["engineSeconds"] = round(
+                time.perf_counter() - attempt_started, 6
+            )
+            profile["totalShards"] = total_shards
             if leaf_error is not None:
                 raise leaf_error
             return final

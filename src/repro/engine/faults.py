@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.rand import rng_for
 from repro.engine.cluster import Cluster
+from repro.obs.logs import log_event
 
 
 @dataclass
@@ -46,11 +47,23 @@ class FaultInjector:
     def _rng(self) -> np.random.Generator:
         return rng_for(self.seed, "faults", len(self.events))
 
+    def _record(self, event: FaultEvent) -> FaultEvent:
+        self.events.append(event)
+        # Injected faults land in the same structured stream as the
+        # director's decisions, so a chaos run's log correlates failures
+        # with the queries (trace ids) they hit.
+        log_event(
+            "chaos.fault",
+            level="warning",
+            kind=event.kind,
+            worker=event.worker,
+            dataset=event.dataset_id,
+        )
+        return event
+
     def crash_worker(self, index: int) -> FaultEvent:
         self.cluster.kill_worker(index)
-        event = FaultEvent("crash", index)
-        self.events.append(event)
-        return event
+        return self._record(FaultEvent("crash", index))
 
     def crash_random_worker(self) -> FaultEvent:
         index = int(self._rng().integers(len(self.cluster.workers)))
@@ -58,16 +71,12 @@ class FaultInjector:
 
     def evict_everywhere(self, dataset_id: str) -> FaultEvent:
         self.cluster.evict_dataset(dataset_id)
-        event = FaultEvent("evict", None, dataset_id)
-        self.events.append(event)
-        return event
+        return self._record(FaultEvent("evict", None, dataset_id))
 
     def evict_on_random_worker(self, dataset_id: str) -> FaultEvent:
         index = int(self._rng().integers(len(self.cluster.workers)))
         self.cluster.evict_dataset(dataset_id, index)
-        event = FaultEvent("evict", index, dataset_id)
-        self.events.append(event)
-        return event
+        return self._record(FaultEvent("evict", index, dataset_id))
 
     def chaos(self, dataset_ids: list[str], rounds: int) -> list[FaultEvent]:
         """Inject ``rounds`` random faults over the given datasets."""

@@ -31,6 +31,11 @@ class PartialResult(Generic[R]):
     cache (§5.4); ``worker_cache_hits`` counts the workers whose partial
     was served from their own memo cache instead of a shard scan — the
     worker tier of the multi-tier memoization story.
+
+    ``profile``, set by the engine on the *final* partial of a fan-out,
+    is the per-stage timing breakdown (ensure, per-worker streams, root
+    merge, straggler) that a ``profile: true`` request surfaces on its
+    terminal reply envelope.
     """
 
     progress: float  # in [0, 1]: fraction of leaves merged so far
@@ -38,6 +43,7 @@ class PartialResult(Generic[R]):
     received_bytes: int | None = None
     cache_hit: bool = False
     worker_cache_hits: int = 0
+    profile: dict | None = None
 
     def __post_init__(self) -> None:
         self.progress = min(max(self.progress, 0.0), 1.0)

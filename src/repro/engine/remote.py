@@ -73,6 +73,15 @@ from repro.engine.rpc import (
     summary_to_json,
 )
 from repro.errors import EngineError, HillviewError, WorkerUnavailableError
+from repro.obs.logs import configure_logging, log_event
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import (
+    RECORDER,
+    TraceContext,
+    current_context,
+    serve_span,
+    set_service_name,
+)
 from repro.storage.loader import DataSource
 from repro.table.schema import ColumnDescription, Schema
 
@@ -197,6 +206,10 @@ class WorkerServer:
         self._listener: socket.socket | None = None
         self.requests_served = 0
         self.roots_served = 0
+        #: Requests admitted to the handler pool and not yet finished —
+        #: the daemon's queue depth, reported by ``metricsSnapshot``.
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         #: The daemon-side cache sweep (§5.4: "unused for 2 hours →
         #: purged"): a timer thread drops TTL-expired shards and memo
         #: entries so idle daemons actually release memory instead of
@@ -392,6 +405,32 @@ class WorkerServer:
             "cores": self.worker.cores,
         }
 
+    def metrics_snapshot(self) -> dict:
+        """The daemon's live metrics: queue depth, in-flight dataset
+        ops, cache hit rates, placement version, plus this process's
+        metrics registry — one payload for ``repro fleet top`` and the
+        root's fleet-wide aggregation."""
+        with self._ops_cv:
+            dataset_ops = self._dataset_ops
+        with self._inflight_lock:
+            inflight = self._inflight
+        snapshot = self.worker.metrics_snapshot()
+        snapshot.update(
+            {
+                "pid": os.getpid(),
+                "inflight": inflight,
+                "datasetOps": dataset_ops,
+                "requestsServed": self.requests_served,
+                "rootsServed": self.roots_served,
+                "placementVersion": self._version,
+                "draining": self.draining,
+                "entriesPurged": self.cache_entries_purged,
+                "spansBuffered": len(RECORDER),
+                "registry": REGISTRY.snapshot(),
+            }
+        )
+        return snapshot
+
     # -- the request loop ----------------------------------------------
     def _serve(self, rfile, wfile) -> None:
         import concurrent.futures
@@ -467,9 +506,20 @@ class WorkerServer:
             write_frame(link.wfile, reply.to_json().encode("utf-8"))
 
     def _handle(self, request: RpcRequest, link: _RootLink) -> None:
+        # The envelope's trace context (if any) identifies this span: the
+        # root allocated the id when it stamped the request, so the
+        # merged timeline shows the daemon-side handling nested exactly
+        # under the root's submission — regardless of this daemon's own
+        # REPRO_TRACE setting (tracing one query traces the whole fleet).
+        ctx = TraceContext.from_json(request.trace)
+        with self._inflight_lock:
+            self._inflight += 1
         try:
-            for reply in self._dispatch(request, link):
-                self._reply(link, reply)
+            with serve_span(
+                ctx, f"worker.{request.method}", worker=self.worker.name
+            ):
+                for reply in self._dispatch(request, link):
+                    self._reply(link, reply)
         except (ConnectionError, OSError, ValueError):
             # The root is gone mid-stream: stop producing for it.
             with link.tokens_lock:
@@ -483,6 +533,9 @@ class WorkerServer:
                 link, request, f"internal error: {type(exc).__name__}: {exc}",
                 "internal",
             )
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
 
     def _safe_error(
         self, link: _RootLink, request, message: str, code: str
@@ -663,6 +716,23 @@ class WorkerServer:
             self.cache_entries_purged += purged
             yield RpcReply(
                 request.request_id, "complete", payload={"purged": purged}
+            )
+        elif method == "metricsSnapshot":
+            yield RpcReply(
+                request.request_id,
+                "complete",
+                payload=self.metrics_snapshot(),
+            )
+        elif method == "traceDump":
+            trace_id = args.get("traceId")
+            yield RpcReply(
+                request.request_id,
+                "complete",
+                payload={
+                    "spans": RECORDER.spans(
+                        None if trace_id is None else str(trace_id)
+                    )
+                },
             )
         else:
             raise ProtocolError(f"unknown worker method {method!r}")
@@ -1011,6 +1081,15 @@ class _WorkerChannel:
 
     def submit(self, method: str, args: dict) -> tuple[int, "queue.Queue[RpcReply]"]:
         request = RpcRequest(next(self._ids), "", method, args)
+        # Auto-propagation: any RPC issued while the calling thread is
+        # inside a traced span carries a child context on its envelope,
+        # so every root→worker hop parents correctly with zero changes
+        # at the call sites.  Untraced threads stamp nothing and the
+        # wire bytes stay identical to the pre-tracing format.
+        ctx = current_context()
+        if ctx is not None:
+            request.trace = ctx.child().to_json()
+        payload = request.to_json().encode("utf-8")
         replies: "queue.Queue[RpcReply]" = queue.Queue()
         with self._lock:
             if self.dead.is_set():
@@ -1019,15 +1098,16 @@ class _WorkerChannel:
                 )
             self._pending[request.request_id] = replies
             try:
-                write_frame(
-                    self._wfile, request.to_json().encode("utf-8")
-                )
+                write_frame(self._wfile, payload)
             except (ConnectionError, OSError, ValueError) as exc:
                 self._pending.pop(request.request_id, None)
                 self.dead.set()
                 raise WorkerUnavailableError(
                     f"worker {self.name} is unreachable: {exc}"
                 ) from exc
+        REGISTRY.counter(
+            "rpc.worker.bytes_sent", "request bytes on the root→worker wire"
+        ).inc(len(payload))
         return request.request_id, replies
 
     def call(self, method: str, args: dict, timeout: float = 60.0) -> RpcReply:
@@ -1051,11 +1131,16 @@ class _WorkerChannel:
                 return reply
 
     def _reader_loop(self) -> None:
+        received = REGISTRY.counter(
+            "rpc.worker.bytes_received",
+            "reply bytes on the root→worker wire",
+        )
         try:
             while True:
                 frame = read_frame_blocking(self._rfile, error=FrameError)
                 if frame is None:
                     break
+                received.inc(len(frame))
                 reply = RpcReply.from_json(frame.decode("utf-8"))
                 with self._lock:
                     replies = self._pending.get(reply.request_id)
@@ -1381,6 +1466,22 @@ class RemoteWorkerProxy(WorkerProtocol):
             "sweepCaches", {}, timeout=self.request_timeout
         )
         return int(reply.payload["purged"])
+
+    def metrics_snapshot(self) -> dict:
+        """The daemon's live metrics (queue depth, hit rates, registry)."""
+        payload = self.channel.call(
+            "metricsSnapshot", {}, timeout=self.request_timeout
+        ).payload
+        return payload if isinstance(payload, dict) else {"name": self.name}
+
+    def trace_dump(self, trace_id: str | None = None) -> list[dict]:
+        """Fetch the daemon's span ring buffer (optionally one trace)."""
+        args: dict = {} if trace_id is None else {"traceId": trace_id}
+        payload = self.channel.call(
+            "traceDump", args, timeout=self.request_timeout
+        ).payload
+        spans = payload.get("spans") if isinstance(payload, dict) else None
+        return spans if isinstance(spans, list) else []
 
     def kill_process(self, sig: int = signal.SIGKILL) -> None:
         """Hard-kill the worker process (chaos testing)."""
@@ -2189,6 +2290,40 @@ def query_fleet(
     return reports
 
 
+def query_fleet_metrics(
+    addresses: "list[tuple[str, int]]", timeout: float = 10.0
+) -> list[dict]:
+    """Dial each worker daemon for its ``metricsSnapshot`` payload
+    (``repro fleet top``); unreachable daemons degrade to an
+    ``{"error": ...}`` entry, like :func:`query_fleet`."""
+    reports: list[dict] = []
+    for host, port in addresses:
+        report: dict = {"address": format_address((host, port))}
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            sock.settimeout(timeout)
+            try:
+                wfile = sock.makefile("wb")
+                rfile = sock.makefile("rb")
+                call_once(
+                    rfile, wfile, 0, "hello", where=f"worker {host}:{port}"
+                )
+                info = call_once(
+                    rfile, wfile, 1, "metricsSnapshot",
+                    where=f"worker {host}:{port}",
+                )
+                if info.kind == "error":
+                    report["error"] = f"[{info.code}] {info.error}"
+                elif isinstance(info.payload, dict):
+                    report.update(info.payload)
+            finally:
+                sock.close()
+        except (FrameError, EngineError, OSError, ValueError) as exc:
+            report["error"] = str(exc)
+        reports.append(report)
+    return reports
+
+
 # ---------------------------------------------------------------------------
 # CLI entry (``repro worker``)
 # ---------------------------------------------------------------------------
@@ -2232,7 +2367,20 @@ def worker_main(argv: list[str]) -> int:
         help="seconds a SIGTERM'd daemon waits for in-flight partial "
              "streams to finish before exiting",
     )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit one-line JSON event records on stderr",
+    )
+    parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        help="enable the structured event stream at this level",
+    )
     args = parser.parse_args(argv)
+
+    if args.log_json or args.log_level:
+        configure_logging(
+            json_mode=args.log_json or None, level=args.log_level
+        )
 
     server = WorkerServer(
         name=args.name,
@@ -2240,6 +2388,14 @@ def worker_main(argv: list[str]) -> int:
         cache_entries=args.cache_entries,
         cache_ttl_seconds=args.cache_ttl,
         cache_sweep_interval_seconds=args.cache_sweep_interval,
+    )
+    set_service_name(server.worker.name)
+    log_event(
+        "worker.start",
+        worker=server.worker.name,
+        pid=os.getpid(),
+        cores=args.cores,
+        mode="connect" if args.connect else "listen",
     )
 
     # Graceful shutdown: SIGTERM (a fleet shrink, an init system stop, a
@@ -2251,6 +2407,9 @@ def worker_main(argv: list[str]) -> int:
     # handler, so without it a SIGTERM'd connect-mode worker would serve
     # forever.
     def _graceful_shutdown(signum, frame):  # noqa: ARG001 — signal API
+        log_event(
+            "worker.drain", worker=server.worker.name, signal=int(signum)
+        )
         server.begin_drain()
 
         def finish() -> None:

@@ -87,22 +87,31 @@ class UnknownHandleError(ProtocolError):
 # ---------------------------------------------------------------------------
 @dataclass
 class RpcRequest:
-    """One client command: run ``method`` against remote object ``target``."""
+    """One client command: run ``method`` against remote object ``target``.
+
+    ``trace``, when present, is the request's :class:`TraceContext` as
+    JSON (``{"traceId", "spanId", "parentId"}``): the same optional
+    field on both wires is how one trace covers a whole fan-out.  It is
+    only serialized when set, so untraced requests stay byte-identical
+    to the pre-tracing wire format.
+    """
 
     request_id: int
     target: str
     method: str
     args: dict = field(default_factory=dict)
+    trace: dict | None = None
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "requestId": self.request_id,
-                "target": self.target,
-                "method": self.method,
-                "args": self.args,
-            }
-        )
+        data: dict = {
+            "requestId": self.request_id,
+            "target": self.target,
+            "method": self.method,
+            "args": self.args,
+        }
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return json.dumps(data)
 
     @classmethod
     def from_json(cls, text: str) -> "RpcRequest":
@@ -118,6 +127,7 @@ class RpcRequest:
             target=str(data["target"]),
             method=str(data["method"]),
             args=dict(data.get("args") or {}),
+            trace=data.get("trace"),
         )
 
 
@@ -171,6 +181,12 @@ class RpcReply:
     workers served their partial from their own memo tier.  It rides the
     envelope, never the payload, so byte-identity of *results* across
     roots is unaffected by which root happened to be warm.
+
+    ``profile``, present only on the terminal reply of a sketch request
+    that asked for it (``args: {"profile": true}``), is the query's
+    per-stage breakdown: queue wait, fan-out, per-worker stream timings,
+    root merge, and the straggler.  Like ``cache``, it rides the
+    envelope and is only serialized when set.
     """
 
     request_id: int
@@ -180,6 +196,7 @@ class RpcReply:
     error: str | None = None
     code: str | None = None
     cache: dict | None = None
+    profile: dict | None = None
 
     def to_json(self) -> str:
         data: dict = {
@@ -195,6 +212,8 @@ class RpcReply:
             data["code"] = self.code
         if self.cache is not None:
             data["cache"] = self.cache
+        if self.profile is not None:
+            data["profile"] = self.profile
         return json.dumps(data)
 
     @classmethod
@@ -208,6 +227,7 @@ class RpcReply:
             error=data.get("error"),
             code=data.get("code"),
             cache=data.get("cache"),
+            profile=data.get("profile"),
         )
 
 

@@ -20,6 +20,7 @@ handle namespaces are per-session while the cluster underneath is shared.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Iterator, Union
 
 from repro.engine.cluster import Cluster
@@ -41,6 +42,8 @@ from repro.engine.rpc import (
     summary_to_json,
 )
 from repro.errors import HillviewError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TraceContext, serve_span, trace_enabled
 from repro.storage.loader import DataSource
 
 
@@ -379,25 +382,62 @@ class WebServer:
         # rides the envelope so payload bytes stay identical across
         # warm and cold roots.
         cache_info = {"hit": False, "workerHits": 0}
+        # The root span of this query on this daemon.  The envelope's
+        # context wins (the client or scheduler minted it); a bare facade
+        # with REPRO_TRACE=1 originates its own, so direct WebServer use
+        # (benchmarks, tests) traces too.
+        ctx = TraceContext.from_json(request.trace)
+        if ctx is None and trace_enabled():
+            ctx = TraceContext.new_root()
+        want_profile = bool(request.args.get("profile"))
+        engine_profile: dict | None = None
+        first_partial_seconds: float | None = None
+        started = time.perf_counter()
         try:
-            # The stream is drained to exhaustion, never abandoned early:
-            # breaking at the final partial would kill the generator
-            # before its completion work (the root-tier cache write in
-            # ClusterDataSet.sketch_stream) could run.
-            for partial in dataset.sketch_stream(sketch, token):
-                last_payload = summary_to_json(partial.value)
-                cache_info["hit"] = cache_info["hit"] or partial.cache_hit
-                cache_info["workerHits"] = max(
-                    cache_info["workerHits"], partial.worker_cache_hits
+            with serve_span(
+                ctx,
+                "query.sketch",
+                session=self.session_id,
+                target=request.target,
+                sketch=str(spec.get("type")),
+            ):
+                # The stream is drained to exhaustion, never abandoned
+                # early: breaking at the final partial would kill the
+                # generator before its completion work (the root-tier
+                # cache write in ClusterDataSet.sketch_stream) could run.
+                for partial in dataset.sketch_stream(sketch, token):
+                    if first_partial_seconds is None:
+                        first_partial_seconds = time.perf_counter() - started
+                    last_payload = summary_to_json(partial.value)
+                    cache_info["hit"] = cache_info["hit"] or partial.cache_hit
+                    cache_info["workerHits"] = max(
+                        cache_info["workerHits"], partial.worker_cache_hits
+                    )
+                    if getattr(partial, "profile", None) is not None:
+                        engine_profile = partial.profile
+                    if partial.progress >= 1.0:
+                        continue  # the final summary becomes the complete reply
+                    yield RpcReply(
+                        request.request_id,
+                        "partial",
+                        progress=partial.progress,
+                        payload=last_payload,
+                    )
+            REGISTRY.histogram(
+                "web.first_partial_seconds",
+                "latency to the first rendering-capable partial",
+            ).observe(
+                first_partial_seconds
+                if first_partial_seconds is not None
+                else time.perf_counter() - started
+            )
+            profile = (
+                self._assemble_profile(
+                    request, engine_profile, cache_info, first_partial_seconds, started
                 )
-                if partial.progress >= 1.0:
-                    continue  # the final summary becomes the complete reply
-                yield RpcReply(
-                    request.request_id,
-                    "partial",
-                    progress=partial.progress,
-                    payload=last_payload,
-                )
+                if want_profile
+                else None
+            )
             if token.cancelled:
                 yield RpcReply(
                     request.request_id,
@@ -405,6 +445,7 @@ class WebServer:
                     progress=1.0,
                     payload=last_payload,
                     cache=cache_info,
+                    profile=profile,
                 )
             else:
                 self._finalize(sketch, last_payload)
@@ -414,6 +455,36 @@ class WebServer:
                     progress=1.0,
                     payload=last_payload,
                     cache=cache_info,
+                    profile=profile,
                 )
         finally:
             self._tokens.pop(request.request_id, None)
+
+    @staticmethod
+    def _assemble_profile(
+        request: RpcRequest,
+        engine_profile: dict | None,
+        cache_info: dict,
+        first_partial_seconds: float | None,
+        started: float,
+    ) -> dict:
+        """The terminal reply's per-stage breakdown (``profile: true``).
+
+        The engine contributes the fan-out view (per-worker streams,
+        merge time, straggler) via the final partial; the facade adds
+        the stages only it can see: queue wait (stamped on the request
+        by the scheduler), first-partial latency, and total wall-clock.
+        """
+        profile = dict(engine_profile or {})
+        profile["queueWaitSeconds"] = round(
+            getattr(request, "queue_wait_seconds", 0.0), 6
+        )
+        profile["firstPartialSeconds"] = round(
+            first_partial_seconds
+            if first_partial_seconds is not None
+            else time.perf_counter() - started,
+            6,
+        )
+        profile["totalSeconds"] = round(time.perf_counter() - started, 6)
+        profile["cacheHit"] = bool(cache_info.get("hit"))
+        return profile

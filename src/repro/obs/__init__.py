@@ -1,0 +1,64 @@
+"""Observability: end-to-end tracing, metrics, and structured logs.
+
+One subsystem threaded through every tier of the reproduction:
+
+* :mod:`repro.obs.trace` — a :class:`TraceContext` carried on both wires
+  (client->root and root->worker) so one trace covers a whole fan-out,
+  a per-process span ring buffer, and Chrome trace-event export;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and log-bucketed latency histograms, aggregated fleet-wide by
+  the ``metricsSnapshot`` RPC and renderable as Prometheus text;
+* :mod:`repro.obs.logs` — opt-in one-line JSON (or plain text) event
+  records stamped with the current trace id.
+
+Everything here is off by default and costs nothing when off: tracing
+activates per call via ``REPRO_TRACE=1`` (or an envelope that already
+carries a trace), logging only when configured, and the registry is a
+handful of dict lookups.
+"""
+
+from repro.obs.logs import configure_logging, log_event, logging_enabled
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    RECORDER,
+    SpanRecorder,
+    TraceContext,
+    chrome_trace,
+    current_context,
+    record_span,
+    serve_span,
+    set_service_name,
+    span,
+    spans_to_jsonl,
+    trace_enabled,
+    use_context,
+)
+
+__all__ = [
+    "REGISTRY",
+    "RECORDER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecorder",
+    "TraceContext",
+    "chrome_trace",
+    "configure_logging",
+    "current_context",
+    "log_event",
+    "logging_enabled",
+    "record_span",
+    "serve_span",
+    "set_service_name",
+    "span",
+    "spans_to_jsonl",
+    "trace_enabled",
+    "use_context",
+]

@@ -1,0 +1,136 @@
+"""Structured event logging: one line per event, JSON or plain text.
+
+Off by default — nothing is emitted until :func:`configure_logging` runs
+(the ``--log-json`` / ``--log-level`` flags on ``repro serve`` and
+``repro worker``) or the ``REPRO_LOG_LEVEL`` / ``REPRO_LOG_JSON``
+environment variables are set.  Configuration exports those variables,
+so worker subprocesses spawned by a configured root inherit the same
+sink settings through the normal environment copy.
+
+Every record is stamped with a wall-clock timestamp, the level, the
+event name, and — when the emitting thread is inside a traced request —
+the current trace id, so ``grep traceId=...`` (or ``jq``) correlates
+logs with the span timeline.  Faults injected by the chaos harness and
+director ejection/drain decisions land in this same stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+from repro.obs.trace import current_context
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_lock = threading.Lock()
+_state = {
+    "configured": False,
+    "json": False,
+    "level": "info",
+    "stream": None,  # None -> sys.stderr at emit time (tests may swap it)
+}
+
+
+def _truthy(value: str | None) -> bool:
+    return (value or "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def configure_logging(
+    json_mode: bool | None = None,
+    level: str | None = None,
+    stream=None,
+) -> None:
+    """Turn the event stream on (idempotent; later calls override).
+
+    Also exports ``REPRO_LOG_JSON`` / ``REPRO_LOG_LEVEL`` so spawned
+    worker daemons — which copy this process's environment — emit the
+    same stream without their own flags.
+    """
+    with _lock:
+        _state["configured"] = True
+        if json_mode is not None:
+            _state["json"] = bool(json_mode)
+        if level is not None:
+            normalized = str(level).strip().lower()
+            if normalized not in _LEVELS:
+                raise ValueError(
+                    f"unknown log level {level!r}; one of {sorted(_LEVELS)}"
+                )
+            _state["level"] = normalized
+        if stream is not None:
+            _state["stream"] = stream
+    os.environ["REPRO_LOG_LEVEL"] = _state["level"]
+    os.environ["REPRO_LOG_JSON"] = "1" if _state["json"] else "0"
+
+
+def _maybe_configure_from_env() -> None:
+    if _state["configured"]:
+        return
+    level = os.environ.get("REPRO_LOG_LEVEL")
+    json_env = os.environ.get("REPRO_LOG_JSON")
+    if level is None and not _truthy(json_env):
+        return
+    with _lock:
+        if _state["configured"]:
+            return
+        _state["configured"] = True
+        _state["json"] = _truthy(json_env)
+        normalized = (level or "info").strip().lower()
+        _state["level"] = normalized if normalized in _LEVELS else "info"
+
+
+def logging_enabled(level: str = "info") -> bool:
+    """Whether an event at ``level`` would be emitted right now."""
+    _maybe_configure_from_env()
+    if not _state["configured"]:
+        return False
+    return _LEVELS.get(level, 20) >= _LEVELS[_state["level"]]
+
+
+def reset_logging() -> None:
+    """Back to the silent default (tests only)."""
+    with _lock:
+        _state["configured"] = False
+        _state["json"] = False
+        _state["level"] = "info"
+        _state["stream"] = None
+    os.environ.pop("REPRO_LOG_LEVEL", None)
+    os.environ.pop("REPRO_LOG_JSON", None)
+
+
+def log_event(event: str, level: str = "info", **fields) -> None:
+    """Emit one event record; a no-op unless logging is configured.
+
+    ``fields`` must be JSON-safe.  The current :class:`TraceContext`
+    (if the thread is inside a traced request) stamps the record.
+    """
+    if not logging_enabled(level):
+        return
+    record: dict = {
+        "ts": round(time.time(), 6),
+        "level": level,
+        "event": event,
+    }
+    ctx = current_context()
+    if ctx is not None:
+        record["traceId"] = ctx.trace_id
+        record["spanId"] = ctx.span_id
+    record.update(fields)
+    stream = _state["stream"] or sys.stderr
+    try:
+        if _state["json"]:
+            line = json.dumps(record, sort_keys=True, default=str)
+        else:
+            detail = " ".join(
+                f"{key}={value}"
+                for key, value in record.items()
+                if key not in ("ts", "level", "event")
+            )
+            line = f"{record['ts']:.3f} {level.upper():7s} {event} {detail}".rstrip()
+        print(line, file=stream, flush=True)
+    except Exception:  # noqa: BLE001 — a broken log sink must not fail a query
+        pass

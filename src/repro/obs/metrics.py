@@ -1,0 +1,252 @@
+"""The unified metrics plane: counters, gauges, latency histograms.
+
+One :class:`MetricsRegistry` per process replaces the scattered ad-hoc
+counters as the *aggregation surface*: instruments register here, the
+``metricsSnapshot`` RPC ships each daemon's snapshot to the root, and
+the whole fleet renders as one JSON document or as Prometheus text
+exposition for scraping.
+
+Design points:
+
+* **get-or-create** — ``REGISTRY.counter("wire.client.bytes_out")``
+  returns the same instrument everywhere, so call sites never thread a
+  registry through constructors;
+* **callback gauges** — a gauge may wrap a callable (queue depth, live
+  sessions, placement version) so the snapshot reads live structures
+  instead of shadow-counting them;
+* **log-bucketed histograms** — latencies land in power-of-two buckets
+  from 100 microseconds up, giving cheap O(1) observes and quantile
+  estimates good enough for a ``fleet top`` display.
+
+Everything is thread-safe and allocation-light: an observe is one lock,
+one index computation, two adds.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable
+
+#: Histogram bucket upper bounds in seconds: 100 us doubling up to ~105 s,
+#: plus +Inf.  21 buckets cover every latency this system produces.
+_BUCKET_BOUNDS: list[float] = [0.0001 * (2.0**i) for i in range(21)]
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, retries)."""
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def to_json(self) -> object:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value: set directly, or backed by a callback."""
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        callback: Callable[[], float] | None = None,
+    ):
+        self.name = name
+        self.help = help
+        self._callback = callback
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def set_callback(self, callback: Callable[[], float] | None) -> None:
+        with self._lock:
+            self._callback = callback
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            callback = self._callback
+            if callback is None:
+                return self._value
+        try:
+            return float(callback())
+        except Exception:  # noqa: BLE001 — a dead callback must not fail a snapshot
+            return 0.0
+
+    def to_json(self) -> object:
+        return self.value
+
+
+class Histogram:
+    """A log-bucketed latency histogram (seconds)."""
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        index = bisect_left(_BUCKET_BOUNDS, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += seconds
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """An estimate of the ``q``-quantile (0 < q <= 1) assuming a
+        uniform spread within the winning bucket."""
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = max(1.0, q * total)
+        seen = 0
+        for index, bucket_count in enumerate(counts):
+            seen += bucket_count
+            if seen >= rank:
+                upper = (
+                    _BUCKET_BOUNDS[index]
+                    if index < len(_BUCKET_BOUNDS)
+                    else _BUCKET_BOUNDS[-1] * 2
+                )
+                lower = _BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                # Interpolate within the bucket by the rank's position.
+                into = (rank - (seen - bucket_count)) / max(1, bucket_count)
+                return lower + (upper - lower) * min(1.0, into)
+        return _BUCKET_BOUNDS[-1]
+
+    def to_json(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            observed_sum = self._sum
+        return {
+            "count": total,
+            "sum": observed_sum,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "buckets": [
+                [bound, count]
+                for bound, count in zip(_BUCKET_BOUNDS, counts)
+                if count
+            ],
+        }
+
+
+class MetricsRegistry:
+    """A process's instruments, keyed by dotted name (get-or-create)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory, kind: type):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), Counter)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        callback: Callable[[], float] | None = None,
+    ) -> Gauge:
+        gauge = self._get_or_create(name, lambda: Gauge(name, help), Gauge)
+        if callback is not None:
+            gauge.set_callback(callback)
+        return gauge
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(name, lambda: Histogram(name, help), Histogram)
+
+    def snapshot(self) -> dict:
+        """Every instrument's current value as one JSON-safe dict."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {
+            name: instrument.to_json()
+            for name, instrument in sorted(instruments.items())
+        }
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """The registry in Prometheus text exposition format."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        lines: list[str] = []
+        for name, instrument in sorted(instruments.items()):
+            metric = f"{prefix}_{name}".replace(".", "_").replace("-", "_")
+            if instrument.help:
+                lines.append(f"# HELP {metric} {instrument.help}")
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {instrument.value}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {instrument.value}")
+            else:
+                lines.append(f"# TYPE {metric} histogram")
+                cumulative = 0
+                with instrument._lock:
+                    counts = list(instrument._counts)
+                    total = instrument._count
+                    observed_sum = instrument._sum
+                for bound, count in zip(_BUCKET_BOUNDS, counts):
+                    cumulative += count
+                    lines.append(
+                        f'{metric}_bucket{{le="{bound:g}"}} {cumulative}'
+                    )
+                lines.append(f'{metric}_bucket{{le="+Inf"}} {total}')
+                lines.append(f"{metric}_sum {observed_sum:g}")
+                lines.append(f"{metric}_count {total}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        """Drop every instrument (tests only)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: The process-wide registry: one per daemon, like the span recorder.
+REGISTRY = MetricsRegistry()

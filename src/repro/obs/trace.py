@@ -1,0 +1,289 @@
+"""End-to-end tracing across the root/worker tier.
+
+A :class:`TraceContext` is three identifiers — ``trace_id`` (one per
+query), ``span_id`` (one per unit of work) and the parent's span id —
+carried as an *optional* field on the RPC envelope of both wires.  A
+client (or the root, for untraced clients) mints the root context when
+``REPRO_TRACE=1``; every hop derives children, so the queue wait, the
+root-side fan-out, each per-worker stream (including revive-and-retry
+attempts and stale-placement restarts) and the worker daemons' own
+handling all parent into one tree.
+
+Recording is a lock-cheap per-process ring buffer (:class:`SpanRecorder`)
+holding plain JSON-safe dicts.  The ``traceDump`` RPC ships a daemon's
+spans to the root, which merges them with its own; the merged list
+exports as JSONL or as Chrome trace-event format, loadable in Perfetto
+(``ui.perfetto.dev``) or ``chrome://tracing``.
+
+The propagation model mirrors ``REPRO_DISABLE_CACHES``: the environment
+switch is read per call, and it only gates *origination*.  A daemon that
+receives an envelope carrying a trace records spans regardless of its
+own environment — tracing one query traces the whole fleet.  With the
+switch off and no incoming trace, every helper here is a no-op and the
+envelope is byte-identical to the pre-tracing wire format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+def trace_enabled() -> bool:
+    """Whether the ``REPRO_TRACE`` switch is on (read per call, like
+    ``REPRO_DISABLE_CACHES``, so tests flip it without re-importing)."""
+    return os.environ.get("REPRO_TRACE", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity of one unit of traced work: (trace, span, parent)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    @classmethod
+    def new_root(cls) -> "TraceContext":
+        return cls(trace_id=_new_id(), span_id=_new_id(), parent_id=None)
+
+    def child(self) -> "TraceContext":
+        """A new span under this one, in the same trace."""
+        return TraceContext(self.trace_id, _new_id(), self.span_id)
+
+    def to_json(self) -> dict:
+        data: dict = {"traceId": self.trace_id, "spanId": self.span_id}
+        if self.parent_id is not None:
+            data["parentId"] = self.parent_id
+        return data
+
+    @classmethod
+    def from_json(cls, data: object) -> "TraceContext | None":
+        """Parse an envelope's trace field; tolerant — garbage yields
+        ``None`` (an untraced request), never an error: telemetry must
+        not be able to fail a query."""
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("traceId")
+        span_id = data.get("spanId")
+        if not trace_id or not span_id:
+            return None
+        parent = data.get("parentId")
+        return cls(str(trace_id), str(span_id), None if parent is None else str(parent))
+
+
+# ---------------------------------------------------------------------------
+# The per-process recorder
+# ---------------------------------------------------------------------------
+class SpanRecorder:
+    """A bounded ring buffer of finished spans (plain JSON-safe dicts).
+
+    Appends are one deque.append under a lock — cheap enough to leave in
+    the leaf path.  The buffer is soft state like everything else here:
+    old spans fall off the end, and ``traceDump`` returns whatever is
+    still resident.
+    """
+
+    def __init__(self, capacity: int = 8192):
+        self._spans: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, span: dict) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self, trace_id: str | None = None) -> list[dict]:
+        with self._lock:
+            resident = list(self._spans)
+        if trace_id is None:
+            return resident
+        return [s for s in resident if s.get("traceId") == trace_id]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+#: The process-wide recorder: one per daemon (root or worker).
+RECORDER = SpanRecorder()
+
+#: Which process spans belong to ("root", "worker-3", ...); stamps every
+#: span so the merged timeline groups by daemon.
+_SERVICE = "repro"
+
+
+def set_service_name(name: str) -> None:
+    global _SERVICE
+    _SERVICE = str(name)
+
+
+# ---------------------------------------------------------------------------
+# Thread-local propagation
+# ---------------------------------------------------------------------------
+# The engine's fan-out uses raw threads (scheduler query workers, one
+# streaming thread per worker proxy, daemon handler pools), so the
+# current context travels thread-locally; crossing a thread boundary is
+# an explicit capture + ``use_context`` at the spawn site.
+_local = threading.local()
+
+
+def current_context() -> TraceContext | None:
+    return getattr(_local, "context", None)
+
+
+@contextmanager
+def use_context(ctx: TraceContext | None):
+    """Make ``ctx`` the current context for this thread's block."""
+    previous = getattr(_local, "context", None)
+    _local.context = ctx
+    try:
+        yield ctx
+    finally:
+        _local.context = previous
+
+
+def _finish(ctx: TraceContext, name: str, start_wall: float, duration: float, attrs: dict) -> None:
+    span_record = {
+        "traceId": ctx.trace_id,
+        "spanId": ctx.span_id,
+        "parentId": ctx.parent_id,
+        "name": name,
+        "service": _SERVICE,
+        "start": start_wall,
+        "duration": duration,
+        "thread": threading.get_ident() & 0xFFFF,
+    }
+    if attrs:
+        span_record["attrs"] = attrs
+    RECORDER.record(span_record)
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """A child span of the current context; a no-op when untraced.
+
+    The child becomes the current context inside the block, so nested
+    spans (and RPC submissions, which stamp the envelope from the
+    current context) parent correctly.
+    """
+    parent = current_context()
+    if parent is None:
+        yield None
+        return
+    ctx = parent.child()
+    previous = getattr(_local, "context", None)
+    _local.context = ctx
+    start_wall = time.time()
+    start = time.perf_counter()
+    try:
+        yield ctx
+    finally:
+        _local.context = previous
+        _finish(ctx, name, start_wall, time.perf_counter() - start, attrs)
+
+
+@contextmanager
+def serve_span(ctx: TraceContext | None, name: str, **attrs):
+    """The receiving side of an RPC: record the span *identified by the
+    envelope's context* (the sender already allocated its span id via
+    ``child()``), making it current for the handler's duration.  With no
+    context this is a no-op, like :func:`span`."""
+    if ctx is None:
+        yield None
+        return
+    previous = getattr(_local, "context", None)
+    _local.context = ctx
+    start_wall = time.time()
+    start = time.perf_counter()
+    try:
+        yield ctx
+    finally:
+        _local.context = previous
+        _finish(ctx, name, start_wall, time.perf_counter() - start, attrs)
+
+
+def record_span(
+    name: str,
+    parent: TraceContext | None,
+    start_wall: float,
+    duration: float,
+    **attrs,
+) -> TraceContext | None:
+    """Record a span retroactively (e.g. queue wait, measured only once
+    the task is finally picked up).  Returns the recorded child context,
+    or ``None`` when untraced."""
+    if parent is None:
+        return None
+    ctx = parent.child()
+    _finish(ctx, name, start_wall, max(0.0, duration), attrs)
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# Export: JSONL and Chrome trace-event format
+# ---------------------------------------------------------------------------
+def spans_to_jsonl(spans: list[dict]) -> str:
+    """One span per line, ready for ``jq`` or a log shipper."""
+    return "\n".join(json.dumps(s, sort_keys=True) for s in spans)
+
+
+def chrome_trace(spans: list[dict]) -> dict:
+    """The merged timeline as Chrome trace-event JSON (Perfetto-loadable).
+
+    Each daemon becomes a "process" (with a ``process_name`` metadata
+    record), each recording thread a track, and every span a complete
+    ``"X"`` event with microsecond timestamps.
+    """
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    for s in spans:
+        service = str(s.get("service", "repro"))
+        pid = pids.get(service)
+        if pid is None:
+            pid = pids[service] = len(pids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": service},
+                }
+            )
+        args = {
+            "traceId": s.get("traceId"),
+            "spanId": s.get("spanId"),
+            "parentId": s.get("parentId"),
+        }
+        args.update(s.get("attrs") or {})
+        events.append(
+            {
+                "ph": "X",
+                "name": str(s.get("name", "span")),
+                "pid": pid,
+                "tid": int(s.get("thread", 0)),
+                "ts": float(s.get("start", 0.0)) * 1e6,
+                "dur": max(1.0, float(s.get("duration", 0.0)) * 1e6),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

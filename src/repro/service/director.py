@@ -32,6 +32,7 @@ from typing import Callable
 
 from repro.core.framing import FrameError
 from repro.engine.rpc import RpcReply, call_once
+from repro.obs.logs import log_event
 from repro.service.transport import ServiceClient
 
 
@@ -180,12 +181,14 @@ class ConnectionDirector:
         for address in list(self.addresses):
             healthy = bool(self._probe(address))
             results[address] = healthy
+            recovered = ejected = False
             with self._lock:
                 if healthy:
                     self._failures[address] = 0
                     if address in self._ejected:
                         self._ejected.discard(address)
                         self.recoveries += 1
+                        recovered = True
                 else:
                     failures = self._failures.get(address, 0) + 1
                     self._failures[address] = failures
@@ -195,6 +198,18 @@ class ConnectionDirector:
                     ):
                         self._ejected.add(address)
                         self.ejections += 1
+                        ejected = True
+            if ejected:
+                log_event(
+                    "director.eject",
+                    level="warning",
+                    root=f"{address[0]}:{address[1]}",
+                    failures=self._failures.get(address, 0),
+                )
+            elif recovered:
+                log_event(
+                    "director.recover", root=f"{address[0]}:{address[1]}"
+                )
         return results
 
     def start_health_checks(self, interval_seconds: float = 5.0) -> None:
@@ -241,6 +256,11 @@ class ConnectionDirector:
             for session in stale_pins:
                 del self._affinity[session]
         result: dict = {"drained": True, "unpinned": len(stale_pins)}
+        log_event(
+            "director.drain",
+            root=f"{address[0]}:{address[1]}",
+            unpinned=len(stale_pins),
+        )
         if flush_sessions:
             try:
                 reply = admin_call(address, "drain")

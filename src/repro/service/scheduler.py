@@ -21,6 +21,7 @@ that is how transport backpressure propagates into the execution layer.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable
@@ -28,6 +29,9 @@ from typing import TYPE_CHECKING, Callable
 from repro.engine.progress import CancellationToken
 from repro.engine.rpc import RpcReply, RpcRequest
 from repro.errors import EngineError
+from repro.obs.logs import log_event, logging_enabled
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TraceContext, record_span, trace_enabled, use_context
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.service.sessions import Session
@@ -78,6 +82,10 @@ class QueryTask:
         self.state = QUEUED
         self.superseded = False
         self.done = threading.Event()
+        # Queue-wait accounting: wall clock for the retroactive span,
+        # monotonic for the measured duration.
+        self.queued_wall = time.time()
+        self.queued_monotonic = time.perf_counter()
 
     @property
     def preemptible(self) -> bool:
@@ -114,6 +122,19 @@ class FairShareScheduler:
         ]
         for thread in self._threads:
             thread.start()
+        # Live-depth gauges: the registry reads the scheduler, not a
+        # shadow count (a later scheduler in the same process takes over
+        # the callback — there is one serving scheduler per daemon).
+        REGISTRY.gauge(
+            "scheduler.running",
+            "queries executing right now",
+            callback=lambda: self.running_count,
+        )
+        REGISTRY.gauge(
+            "scheduler.queued",
+            "queries waiting for a slot",
+            callback=lambda: self.queued_count(),
+        )
 
     # ------------------------------------------------------------------
     # Submission
@@ -236,6 +257,31 @@ class FairShareScheduler:
         session = task.session
         session.touch()
         request = task.request
+        # Queue-wait telemetry: always measured (two clock reads), so
+        # `profile: true` replies can report it even with tracing off;
+        # the retroactive span and the histogram only fire when traced.
+        wait = time.perf_counter() - task.queued_monotonic
+        request.queue_wait_seconds = wait
+        ctx = TraceContext.from_json(request.trace)
+        if ctx is None and trace_enabled():
+            # An untraced client on a tracing root: originate here so the
+            # rest of the fan-out (web facade, cluster, workers) parents
+            # into one server-side trace.
+            ctx = TraceContext.new_root()
+            request.trace = ctx.to_json()
+        REGISTRY.histogram(
+            "scheduler.queue_wait_seconds",
+            "time from admission to execution",
+        ).observe(wait)
+        if ctx is not None:
+            record_span(
+                "scheduler.queue",
+                ctx,
+                task.queued_wall,
+                wait,
+                session=session.session_id,
+                method=request.method,
+            )
         if task.token.cancelled:
             # Superseded while still queued: answer without executing.
             self.metrics.cancelled += 1
@@ -249,6 +295,7 @@ class FairShareScheduler:
                 ),
             )
             return
+        started = time.perf_counter()
         last_kind = None
         for reply in session.web.execute(request, token=task.token):
             if reply.kind == "cancelled" and task.superseded and reply.code is None:
@@ -275,6 +322,21 @@ class FairShareScheduler:
                 self.metrics.errors += 1
             else:
                 self.metrics.completed += 1
+        elapsed = time.perf_counter() - started
+        REGISTRY.histogram(
+            "scheduler.query_seconds", "query execution wall-clock"
+        ).observe(elapsed)
+        if logging_enabled("debug"):
+            with use_context(ctx):  # stamps traceId/spanId when traced
+                log_event(
+                    "query.done",
+                    level="debug",
+                    session=session.session_id,
+                    method=request.method,
+                    kind=last_kind or "cancelled",
+                    queueWaitSeconds=round(wait, 6),
+                    seconds=round(elapsed, 6),
+                )
         session.touch()
 
     @staticmethod

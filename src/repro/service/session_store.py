@@ -51,6 +51,10 @@ class SessionRecord:
     #: ``{"handle": h, "source": <source json>}`` (a root load) or
     #: ``{"handle": h, "parent": p, "map": <table-map json>}``.
     handles: list = field(default_factory=list)
+    #: The session's metric counters at persist time, so telemetry
+    #: survives TTL eviction and cross-root resume — a session that
+    #: roams to another root carries its query/cache-hit history along.
+    metrics: dict = field(default_factory=dict)
 
     def to_json(self) -> dict:
         return {
@@ -59,17 +63,20 @@ class SessionRecord:
             "lastActive": self.last_active,
             "counter": self.counter,
             "handles": self.handles,
+            "metrics": self.metrics,
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "SessionRecord":
         try:
+            metrics = data.get("metrics")
             return cls(
                 session_id=str(data["session"]),
                 created_at=float(data["createdAt"]),
                 last_active=float(data["lastActive"]),
                 counter=int(data.get("counter", 0)),
                 handles=list(data.get("handles", [])),
+                metrics=dict(metrics) if isinstance(metrics, dict) else {},
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SessionStoreError(f"corrupt session record: {exc}") from exc

@@ -27,6 +27,7 @@ from repro.engine.cluster import Cluster
 from repro.engine.dataset import IDataSet
 from repro.engine.rpc import ProtocolError, RpcReply
 from repro.engine.web import WebServer
+from repro.obs.logs import log_event
 from repro.service.session_store import SessionRecord, SessionStore
 from repro.storage.loader import DataSource
 
@@ -104,6 +105,43 @@ class SessionMetrics:
             "cacheHits": self.cache_hits,
             "workerCacheHits": self.worker_cache_hits,
         }
+
+    @classmethod
+    def from_json(cls, data: object) -> "SessionMetrics":
+        """Rebuild counters from a persisted record; tolerant — garbage
+        or missing fields restore as zeros (telemetry must never fail a
+        session resume)."""
+        metrics = cls()
+        if not isinstance(data, dict):
+            return metrics
+        for attr, key in _METRIC_KEYS:
+            try:
+                setattr(metrics, attr, int(data.get(key, 0) or 0))
+            except (TypeError, ValueError):
+                pass
+        return metrics
+
+    def merge(self, other: "SessionMetrics") -> None:
+        """Fold another session's counters into this one (the server's
+        lifetime totals on session close/expiry)."""
+        for attr, _ in _METRIC_KEYS:
+            setattr(self, attr, getattr(self, attr) + getattr(other, attr))
+
+
+#: (attribute, wire key) pairs — one list drives to_json/from_json/merge.
+_METRIC_KEYS = [
+    ("queries", "queries"),
+    ("sketches", "sketches"),
+    ("replies_sent", "repliesSent"),
+    ("partials_sent", "partialsSent"),
+    ("completed", "completed"),
+    ("cancelled", "cancelled"),
+    ("preempted", "preempted"),
+    ("errors", "errors"),
+    ("handle_evictions", "handleEvictions"),
+    ("cache_hits", "cacheHits"),
+    ("worker_cache_hits", "workerCacheHits"),
+]
 
 
 class Session:
@@ -208,6 +246,7 @@ class Session:
             last_active=time.time(),
             counter=self.web._counter,
             handles=self.web.export_lineage(),
+            metrics=self.metrics.to_json(),
         )
 
     def evict_handles(self) -> int:
@@ -287,6 +326,10 @@ class SessionManager:
         self.sessions_expired = 0
         self.store_errors = 0
         self.store_records_purged = 0
+        #: Server-lifetime totals: every closed or expired session's
+        #: counters fold in here, so ``stats``/``metricsSnapshot`` keep
+        #: reporting work done by sessions that no longer exist.
+        self.lifetime = SessionMetrics()
         #: Sentinel "never": the first sweep after startup always purges.
         self._last_store_purge = -float("inf")
         #: How often (wall-clock) an *active* session's store record is
@@ -314,6 +357,7 @@ class SessionManager:
         session.web.on_lineage_change = lambda: self._persist(session)
         self._sessions[session_id] = session
         self.sessions_created += 1
+        log_event("session.create", session=session_id)
         return session
 
     def _persist(self, session: Session) -> None:
@@ -395,7 +439,15 @@ class SessionManager:
                 # recipes only — datasets rebuild lazily (§5.7).
                 session.web.restore_lineage(record.handles, record.counter)
                 session.created_wall = record.created_at
+                # Counters roam with the session: a client that
+                # reconnects through another root keeps its history.
+                session.metrics = SessionMetrics.from_json(record.metrics)
                 self.sessions_resumed += 1
+                log_event(
+                    "session.resume",
+                    session=session_id,
+                    handles=len(record.handles),
+                )
         self._persist(session)
         return session
 
@@ -420,6 +472,16 @@ class SessionManager:
         unconditionally."""
         session.cancel_all()
         session.evict_handles()
+        # However a session ends, its counters fold into the server's
+        # lifetime totals — the work it did stays visible to stats and
+        # metricsSnapshot after the session object is gone.
+        self.lifetime.merge(session.metrics)
+        log_event(
+            "session.close",
+            session=session.session_id,
+            expired=expired,
+            queries=session.metrics.queries,
+        )
         if self.on_close is not None:
             self.on_close(session.session_id)
         if self.store is None:
@@ -553,5 +615,6 @@ class SessionManager:
             "storeRecordsPurged": self.store_records_purged,
             "idleTtlSeconds": self.idle_ttl_seconds,
             "sharedDatasets": len(self._dataset_pool),
+            "lifetime": self.lifetime.to_json(),
             "sessions": [s.to_json() for s in self.sessions],
         }

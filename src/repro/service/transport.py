@@ -45,6 +45,9 @@ from repro.engine.rpc import (
     RpcRequest,
 )
 from repro.errors import EngineError, HillviewError
+from repro.obs.logs import log_event
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import RECORDER, TraceContext, trace_enabled
 from repro.service import slow  # noqa: F401 — registers the "slow" sketch type
 from repro.service.scheduler import FairShareScheduler
 from repro.service.session_store import SessionStore
@@ -262,11 +265,16 @@ class ServiceServer:
         writer_task = asyncio.create_task(self._writer_loop(writer, outbox))
         session: Session | None = None
         tasks = []
+        received = REGISTRY.counter(
+            "rpc.client.bytes_received",
+            "request bytes on the client→root wire",
+        )
         try:
             while True:
                 frame = await read_frame(reader)
                 if frame is None:
                     break
+                received.inc(len(frame))
                 try:
                     request = RpcRequest.from_json(frame.decode("utf-8"))
                 except (ProtocolError, UnicodeDecodeError) as exc:
@@ -375,6 +383,27 @@ class ServiceServer:
                     await outbox.put(
                         RpcReply(request.request_id, "complete", payload=payload)
                     )
+                elif request.method == "metricsSnapshot":
+                    # Also dials worker daemons: off the event loop,
+                    # like cacheStats.
+                    fmt = request.args.get("format")
+                    payload = await self._loop.run_in_executor(
+                        None, lambda: self.metrics_snapshot(fmt)
+                    )
+                    await outbox.put(
+                        RpcReply(request.request_id, "complete", payload=payload)
+                    )
+                elif request.method == "traceDump":
+                    trace_id = request.args.get("traceId")
+                    payload = await self._loop.run_in_executor(
+                        None,
+                        lambda: self.trace_dump(
+                            None if trace_id is None else str(trace_id)
+                        ),
+                    )
+                    await outbox.put(
+                        RpcReply(request.request_id, "complete", payload=payload)
+                    )
                 else:
                     tasks.append(self.scheduler.submit(session, request, conn.sink))
                     tasks = [t for t in tasks if not t.done.is_set()]
@@ -394,12 +423,17 @@ class ServiceServer:
     async def _writer_loop(
         self, writer: asyncio.StreamWriter, outbox: "asyncio.Queue[RpcReply | None]"
     ) -> None:
+        sent = REGISTRY.counter(
+            "rpc.client.bytes_sent", "reply bytes on the client→root wire"
+        )
         try:
             while True:
                 reply = await outbox.get()
                 if reply is None:
                     break
-                writer.write(encode_frame(reply.to_json().encode("utf-8")))
+                payload = reply.to_json().encode("utf-8")
+                sent.inc(len(payload))
+                writer.write(encode_frame(payload))
                 await writer.drain()  # OS-level backpressure
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -417,6 +451,11 @@ class ServiceServer:
         ``undrain`` (or a restart) reverses it."""
         self.draining = True
         persisted = self.sessions.persist_all()
+        log_event(
+            "root.drain",
+            persisted=persisted,
+            sessions=len(self.sessions.sessions),
+        )
         return {
             "draining": True,
             "persisted": persisted,
@@ -451,6 +490,38 @@ class ServiceServer:
                 for session in self.sessions.sessions
             },
         }
+
+    def metrics_snapshot(self, fmt: str | None = None) -> dict:
+        """The unified metrics plane: this root's registry, scheduler
+        and session state, and every worker daemon's live snapshot —
+        the ``metricsSnapshot`` RPC payload.  ``fmt="prometheus"``
+        returns ``{"text": ...}`` in Prometheus exposition format
+        instead (root-local metrics only; scrape daemons directly for
+        worker-level series)."""
+        if fmt == "prometheus":
+            return {
+                "type": "metricsSnapshot",
+                "format": "prometheus",
+                "text": REGISTRY.render_prometheus(),
+            }
+        return {
+            "type": "metricsSnapshot",
+            "draining": self.draining,
+            "connectionsAccepted": self.connections_accepted,
+            "scheduler": self.scheduler.metrics.to_json(),
+            "sessions": self.sessions.to_json(),
+            "cluster": self.cluster.metrics_snapshot(),
+            "registry": REGISTRY.snapshot(),
+        }
+
+    def trace_dump(self, trace_id: str | None = None) -> dict:
+        """The merged span timeline: this root's recorder plus every
+        worker daemon's ring buffer — the ``traceDump`` RPC payload.
+        In-process workers share the root's recorder, so the cluster
+        contributes only remote daemons' spans (no duplicates)."""
+        spans = RECORDER.spans(trace_id)
+        spans.extend(self.cluster.trace_dump(trace_id))
+        return {"type": "traceDump", "spans": spans}
 
 
 # ---------------------------------------------------------------------------
@@ -539,10 +610,25 @@ class ServiceClient:
 
     # -- request plumbing ----------------------------------------------
     def submit(
-        self, method: str, target: str = "", args: dict | None = None
+        self,
+        method: str,
+        target: str = "",
+        args: dict | None = None,
+        trace: "TraceContext | None" = None,
     ) -> PendingQuery:
-        """Send one request; returns immediately with its reply stream."""
+        """Send one request; returns immediately with its reply stream.
+
+        ``trace`` stamps an explicit context on the envelope (``repro
+        client trace`` mints one so it can fetch the spans afterwards);
+        otherwise a root context is originated here when ``REPRO_TRACE``
+        is on.  Untraced requests carry no trace field at all — the
+        frame is byte-identical to the pre-tracing wire format.
+        """
         request = RpcRequest(next(self._ids), target, method, args or {})
+        if trace is None and trace_enabled():
+            trace = TraceContext.new_root()
+        if trace is not None:
+            request.trace = trace.to_json()
         pending = PendingQuery(request)
         with self._lock:
             if self._closed:
@@ -615,6 +701,16 @@ class ServiceClient:
 
     def cache_stats(self) -> dict:
         return self.call("cacheStats").payload
+
+    def metrics_snapshot(self, fmt: str | None = None) -> dict:
+        args = {"format": fmt} if fmt else {}
+        return self.call("metricsSnapshot", args=args).payload
+
+    def trace_dump(self, trace_id: str | None = None) -> list[dict]:
+        args = {"traceId": trace_id} if trace_id else {}
+        payload = self.call("traceDump", args=args).payload
+        spans = payload.get("spans") if isinstance(payload, dict) else None
+        return spans if isinstance(spans, list) else []
 
     def ping(self) -> bool:
         return self.call("ping").payload == {"pong": True}
