@@ -207,11 +207,40 @@ def run_tracing_overhead() -> dict[str, float]:
     }
 
 
+def run_leaf_kernels() -> dict[str, float]:
+    """Vectorized kernel speedups + cold mmap first-partial (100x rows).
+
+    Two layers of gating: the recorded ``over_reference`` ratios (inverse
+    speedups, dimensionless so runner speed cancels) go through the
+    standard baseline gate, and a **hard floor** fails the run outright
+    if any kernel's speedup over its per-row reference oracle drops
+    below ``REPRO_LEAF_SPEEDUP_MIN`` (default 5x, the acceptance
+    criterion for vectorizing the leaves) — even on a fresh baseline.
+    """
+    import bench_leaf_kernels as bench
+
+    metrics = bench.collect()
+    minimum = bench.minimum_speedup()
+    slow = {
+        name: 1.0 / value
+        for name, value in metrics.items()
+        if name.endswith(".over_reference") and 1.0 / max(value, 1e-12) < minimum
+    }
+    if slow:
+        detail = ", ".join(f"{n} = {v:.1f}x" for n, v in sorted(slow.items()))
+        raise SystemExit(
+            f"[perf-smoke] leaf kernel speedup below the {minimum:.0f}x "
+            f"floor: {detail}"
+        )
+    return metrics
+
+
 SUITES = {
     "cache_tiers": run_cache_tiers,
     "multi_root": run_multi_root,
     "elastic_fleet": run_elastic_fleet,
     "tracing_overhead": run_tracing_overhead,
+    "leaf_kernels": run_leaf_kernels,
 }
 
 

@@ -109,6 +109,15 @@ class DoubleBuckets(Buckets):
         out[~inside] = -1
         return out
 
+    def index_of(self, value: float) -> int:
+        """Scalar twin of :meth:`index_numeric` — same IEEE arithmetic,
+        one value.  NaN and out-of-range values map to -1."""
+        value = float(value)
+        if not (self.min_value <= value <= self.max_value):
+            return -1
+        raw = int(np.floor((value - self.min_value) / self._width))
+        return min(raw, self._count - 1)
+
     def spec(self) -> str:
         return f"DoubleBuckets({self.min_value!r},{self.max_value!r},{self._count})"
 
@@ -162,6 +171,20 @@ class StringBuckets(Buckets):
         return bisect.bisect_right(self.boundaries, value) - 1
 
     def index_strings(self, values: list[str | None]) -> np.ndarray:
+        # Object-dtype searchsorted keeps Python string ordering (numpy's
+        # fixed-width unicode dtype would mis-order strings with embedded
+        # NULs) while replacing the per-value bisect loop with one call.
+        out = np.full(len(values), -1, dtype=np.int64)
+        present = [i for i, value in enumerate(values) if value is not None]
+        if not present:
+            return out
+        arr = np.array([values[i] for i in present], dtype=object)
+        bounds = np.array(self.boundaries, dtype=object)
+        out[present] = np.searchsorted(bounds, arr, side="right") - 1
+        return out
+
+    def index_strings_reference(self, values: list[str | None]) -> np.ndarray:
+        """Per-value oracle for :meth:`index_strings` (differential tests)."""
         out = np.empty(len(values), dtype=np.int64)
         for i, value in enumerate(values):
             out[i] = -1 if value is None else self.index_of(value)
@@ -206,6 +229,15 @@ class ExplicitStringBuckets(Buckets):
         return self._index.get(value, -1)
 
     def index_strings(self, values: list[str | None]) -> np.ndarray:
+        index = self._index
+        return np.fromiter(
+            (-1 if v is None else index.get(v, -1) for v in values),
+            dtype=np.int64,
+            count=len(values),
+        )
+
+    def index_strings_reference(self, values: list[str | None]) -> np.ndarray:
+        """Per-value oracle for :meth:`index_strings` (differential tests)."""
         out = np.empty(len(values), dtype=np.int64)
         for i, value in enumerate(values):
             out[i] = -1 if value is None else self._index.get(value, -1)

@@ -113,17 +113,24 @@ class Encoder:
 
 
 class Decoder:
-    """Sequential binary decoder matching :class:`Encoder`."""
+    """Sequential binary decoder matching :class:`Encoder`.
 
-    def __init__(self, data: bytes) -> None:
-        self._data = data
+    ``data`` may be ``bytes`` or any buffer (``memoryview``, ``mmap``).
+    With ``zero_copy=True``, :meth:`read_array` returns read-only views
+    into the underlying buffer instead of heap copies; the views keep the
+    buffer (and any backing mmap) alive through their ``.base`` chain.
+    """
+
+    def __init__(self, data, zero_copy: bool = False) -> None:
+        self._data = data if isinstance(data, bytes) else memoryview(data)
         self._pos = 0
+        self._zero_copy = zero_copy
 
     @property
     def remaining(self) -> int:
         return len(self._data) - self._pos
 
-    def _take(self, count: int) -> bytes:
+    def _take(self, count: int):
         if self._pos + count > len(self._data):
             raise SerializationError("unexpected end of encoded data")
         chunk = self._data[self._pos : self._pos + count]
@@ -147,7 +154,7 @@ class Decoder:
         return (raw >> 1) ^ -(raw & 1)
 
     def read_bool(self) -> bool:
-        return self._take(1) == b"\x01"
+        return self._take(1)[0] == 1
 
     def read_float(self) -> float:
         return _FLOAT64.unpack(self._take(8))[0]
@@ -156,10 +163,10 @@ class Decoder:
         length = self.read_uvarint()
         if length == 0:
             return None
-        return self._take(length - 1).decode("utf-8")
+        return bytes(self._take(length - 1)).decode("utf-8")
 
     def read_bytes(self) -> bytes:
-        return self._take(self.read_uvarint())
+        return bytes(self._take(self.read_uvarint()))
 
     def read_array(self) -> np.ndarray:
         tag = self.read_uvarint()
@@ -170,7 +177,11 @@ class Decoder:
         shape = tuple(self.read_uvarint() for _ in range(ndim))
         count = int(np.prod(shape)) if shape else 1
         raw = self._take(count * dtype.itemsize)
-        return np.frombuffer(raw, dtype=dtype.newbyteorder("<")).reshape(shape).copy()
+        view = np.frombuffer(raw, dtype=dtype.newbyteorder("<")).reshape(shape)
+        # Zero-copy arrays stay views into the source buffer (read-only;
+        # columns never mutate storage), pinning an mmap's pages instead
+        # of duplicating them on the heap.
+        return view if self._zero_copy else view.copy()
 
     def read_str_list(self) -> list[str | None]:
         return [self.read_str() for _ in range(self.read_uvarint())]

@@ -64,9 +64,11 @@ class Sketch(ABC, Generic[R]):
     """A mergeable summarization method (vizketch without the rendering).
 
     Subclasses implement :meth:`summarize`, :meth:`zero` and :meth:`merge`.
-    ``merge`` must be associative and commutative with ``zero()`` as its
-    identity; the engine relies on this to merge partial results in any
-    arrival order (paper §5.3).
+    ``merge`` must be associative with ``zero()`` as its identity (paper
+    §5.3).  The engine always folds partials in a fixed order — shard
+    order at the worker, worker-index order at the root — so merges that
+    are only *approximately* commutative (Misra-Gries at capacity) still
+    produce byte-identical results run over run.
     """
 
     #: Whether repeated execution yields identical results.  Deterministic

@@ -483,7 +483,11 @@ class Worker(WorkerProtocol):
         failure: BaseException | None = None
         with concurrent.futures.ThreadPoolExecutor(self.cores) as pool:
             futures = [pool.submit(leaf, shard) for shard in shards]
-            for future in concurrent.futures.as_completed(futures):
+            # Merge in *shard* order, not completion order: Misra-Gries
+            # (and any non-commutative merge) must produce the same bytes
+            # no matter which leaf thread finishes first — the memo and
+            # the cross-root computation cache both rely on it.
+            for future in futures:
                 try:
                     summary = future.result()
                 except Exception as exc:
@@ -1457,7 +1461,11 @@ class ClusterDataSet(IDataSet):
                         cluster.total_bytes_to_root += emission.bytes
                     bytes_counter.inc(emission.bytes)
                     merge_started = time.perf_counter()
-                    merged = sketch.merge_all(list(latest.values()))
+                    # Worker-index order, not arrival order: the final
+                    # bytes must not depend on which worker emitted first.
+                    merged = sketch.merge_all(
+                        [latest[i] for i in sorted(latest)]
+                    )
                     merge_seconds += time.perf_counter() - merge_started
                     final = merged
                     yield PartialResult(

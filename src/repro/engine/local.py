@@ -93,7 +93,9 @@ class ParallelDataSet(IDataSet):
         done = 0
         with concurrent.futures.ThreadPoolExecutor(self._workers()) as pool:
             futures = [pool.submit(leaf, child) for child in self.children]
-            for future in concurrent.futures.as_completed(futures):
+            # Child order, not completion order: non-commutative merges
+            # (Misra-Gries under saturation) must be byte-deterministic.
+            for future in futures:
                 summary = future.result()
                 done += 1
                 if summary is None:

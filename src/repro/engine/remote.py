@@ -18,9 +18,12 @@ servers.  This module is that deployment for the reproduction:
   lineage replay rebuilds its soft state and cumulative partials make the
   retry invisible to the streaming client (§5.7–5.8).
 
-Everything on this wire is JSON: sketches travel as the same specs a
-browser submits, summaries travel as the same payloads the UI renders, and
-lineage travels as load/map descriptions — one codec for every hop.
+Control messages on this wire are JSON: sketches travel as the same specs
+a browser submits and lineage travels as load/map descriptions — one codec
+for every hop.  Bulk payloads (sketch partials, shard transfers) ride the
+same frames as binary attachments — each summary's own Encoder format and
+raw hvc table bytes — instead of base64-inside-JSON; ``REPRO_WIRE_JSON=1``
+forces the pure-JSON wire as a differential baseline.
 """
 
 from __future__ import annotations
@@ -57,6 +60,7 @@ from repro.engine.placement import (
     plan_moves,
 )
 from repro.engine.progress import CancellationToken
+from repro.core.serialization import Decoder, Encoder
 from repro.engine.rpc import (
     TERMINAL_REPLY_KINDS,
     ProtocolError,
@@ -69,10 +73,19 @@ from repro.engine.rpc import (
     sketch_to_json,
     source_from_json,
     source_to_json,
+    summary_from_bytes,
     summary_from_json,
+    summary_tag,
+    summary_to_bytes,
     summary_to_json,
+    wire_json_forced,
 )
-from repro.errors import EngineError, HillviewError, WorkerUnavailableError
+from repro.errors import (
+    EngineError,
+    HillviewError,
+    SerializationError,
+    WorkerUnavailableError,
+)
 from repro.obs.logs import configure_logging, log_event
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import (
@@ -101,8 +114,9 @@ _REFUSED_WHILE_DRAINING = frozenset(
     {"configure", "load", "adoptShards", "transferShards", "rebalanceCommit"}
 )
 
-#: Roughly how many base64 payload bytes one adoptShards batch carries
-#: (well under MAX_FRAME_BYTES so the envelope always fits).
+#: Roughly how many shard payload bytes one adoptShards batch carries
+#: (well under MAX_FRAME_BYTES so the envelope always fits, even with
+#: the ~4/3 inflation of the JSON-wire base64 fallback).
 _TRANSFER_BATCH_BYTES = 8 * 1024 * 1024
 
 
@@ -445,8 +459,12 @@ class WorkerServer:
                     if frame is None:
                         break
                     try:
-                        request = RpcRequest.from_json(frame.decode("utf-8"))
-                    except (ProtocolError, UnicodeDecodeError) as exc:
+                        request = RpcRequest.from_frame(frame)
+                    except (
+                        ProtocolError,
+                        SerializationError,
+                        UnicodeDecodeError,
+                    ) as exc:
                         self._reply(
                             link,
                             RpcReply(-1, "error", error=str(exc), code="protocol"),
@@ -503,7 +521,7 @@ class WorkerServer:
 
     def _reply(self, link: _RootLink, reply: RpcReply) -> None:
         with link.write_lock:
-            write_frame(link.wfile, reply.to_json().encode("utf-8"))
+            write_frame(link.wfile, reply.to_frame())
 
     def _handle(self, request: RpcRequest, link: _RootLink) -> None:
         # The envelope's trace context (if any) identifies this span: the
@@ -751,23 +769,44 @@ class WorkerServer:
                 token.cancel()
         done = 0
         cache_hit = False
+        json_wire = wire_json_forced()
         try:
             for emission in self.worker.sketch_partials(
                 str(args["dataset"]), sketch, lineage, token
             ):
                 done = emission.shards_done
                 cache_hit = cache_hit or emission.cache_hit
-                yield RpcReply(
+                if json_wire:
+                    # Differential baseline: the historical pure-JSON
+                    # partial (summary rendered as the UI payload).
+                    yield RpcReply(
+                        request.request_id,
+                        "partial",
+                        progress=0.0,
+                        payload={
+                            "summary": summary_to_json(emission.summary),
+                            "shardsDone": emission.shards_done,
+                            "bytes": emission.bytes,
+                            "cacheHit": emission.cache_hit,
+                        },
+                    )
+                    continue
+                # Hot path: the summary travels as its own Encoder
+                # format in a binary attachment; the JSON header keeps
+                # only the stream metadata plus the payload type tag.
+                partial = RpcReply(
                     request.request_id,
                     "partial",
                     progress=0.0,
                     payload={
-                        "summary": summary_to_json(emission.summary),
+                        "summaryType": summary_tag(emission.summary),
                         "shardsDone": emission.shards_done,
                         "bytes": emission.bytes,
                         "cacheHit": emission.cache_hit,
                     },
                 )
+                partial.attachment = summary_to_bytes(emission.summary)
+                yield partial
             yield RpcReply(
                 request.request_id,
                 "complete",
@@ -822,12 +861,14 @@ class WorkerServer:
             )
         index, count = placement
         shards = self.worker.store.get(dataset_id)
+        json_wire = wire_json_forced()
         moved = 0
         missing: list[int] = []
         for move in args.get("moves") or []:
             target = str(move["target"])
             wanted = [int(g) for g in move.get("globalIndices") or []]
             batch: list[dict] = []
+            blobs: list[bytes] = []
             batch_bytes = 0
             for g in wanted:
                 local = (g - index) // count
@@ -839,23 +880,24 @@ class WorkerServer:
                     missing.append(g)
                     continue
                 shard = shards[local]
-                data = base64.b64encode(table_to_bytes(shard)).decode("ascii")
-                batch.append(
-                    {
-                        "globalIndex": g,
-                        "shardId": shard.shard_id,
-                        "data": data,
-                    }
-                )
-                batch_bytes += len(data)
+                payload = table_to_bytes(shard)
+                entry = {"globalIndex": g, "shardId": shard.shard_id}
+                if json_wire:
+                    # Differential baseline: hvc bytes as base64 text
+                    # inside the JSON envelope (the historical wire).
+                    entry["data"] = base64.b64encode(payload).decode("ascii")
+                else:
+                    blobs.append(payload)
+                batch.append(entry)
+                batch_bytes += len(payload)
                 if batch_bytes >= _TRANSFER_BATCH_BYTES:
                     moved += self._push_adopts(
-                        target, dataset_id, target_version, batch
+                        target, dataset_id, target_version, batch, blobs
                     )
-                    batch, batch_bytes = [], 0
+                    batch, blobs, batch_bytes = [], [], 0
             if batch:
                 moved += self._push_adopts(
-                    target, dataset_id, target_version, batch
+                    target, dataset_id, target_version, batch, blobs
                 )
         self.shards_transferred += moved
         return RpcReply(
@@ -865,10 +907,20 @@ class WorkerServer:
         )
 
     def _push_adopts(
-        self, target: str, dataset_id: str, version: int, batch: list[dict]
+        self,
+        target: str,
+        dataset_id: str,
+        version: int,
+        batch: list[dict],
+        blobs: list[bytes] | None = None,
     ) -> int:
         """One worker-to-worker push: dial the target daemon, hand it a
-        batch of serialized shards, return how many it staged."""
+        batch of serialized shards, return how many it staged.
+
+        ``blobs`` (one raw hvc payload per batch entry, in order) travel
+        as a binary attachment; on the JSON wire the batch entries carry
+        base64 ``data`` instead and ``blobs`` is empty.
+        """
         host, port = parse_address(target)
         sock = socket.create_connection((host, port), timeout=30.0)
         sock.settimeout(120.0)
@@ -877,9 +929,20 @@ class WorkerServer:
             rfile = sock.makefile("rb")
             where = f"transfer target {target}"
 
-            def call(request_id: int, method: str, args: dict) -> RpcReply:
+            def call(
+                request_id: int,
+                method: str,
+                args: dict,
+                attachment: bytes | None = None,
+            ) -> RpcReply:
                 reply = call_once(
-                    rfile, wfile, request_id, method, args, where=where
+                    rfile,
+                    wfile,
+                    request_id,
+                    method,
+                    args,
+                    where=where,
+                    attachment=attachment,
                 )
                 if reply.kind == "error":
                     raise EngineError(
@@ -887,6 +950,13 @@ class WorkerServer:
                     )
                 return reply
 
+            attachment = None
+            if blobs:
+                enc = Encoder()
+                enc.write_uvarint(len(blobs))
+                for blob in blobs:
+                    enc.write_bytes(blob)
+                attachment = enc.to_bytes()
             call(0, "hello", {})
             reply = call(
                 1,
@@ -896,6 +966,7 @@ class WorkerServer:
                     "targetVersion": version,
                     "shards": batch,
                 },
+                attachment=attachment,
             )
             return int(reply.payload.get("staged", 0))
         finally:
@@ -916,10 +987,25 @@ class WorkerServer:
         args = request.args
         dataset_id = str(args["dataset"])
         version = int(args["targetVersion"])
+        items = args.get("shards") or []
+        blobs: list[bytes] | None = None
+        if request.attachment is not None:
+            dec = Decoder(request.attachment)
+            blobs = [dec.read_bytes() for _ in range(dec.read_uvarint())]
+            if len(blobs) != len(items):
+                raise ProtocolError(
+                    f"adoptShards attachment carries {len(blobs)} payloads "
+                    f"for {len(items)} shard entries"
+                )
         staged = 0
-        for item in args.get("shards") or []:
+        for position, item in enumerate(items):
+            payload = (
+                blobs[position]
+                if blobs is not None
+                else base64.b64decode(str(item["data"]))
+            )
             table = table_from_bytes(
-                base64.b64decode(str(item["data"])),
+                payload,
                 shard_id=str(item.get("shardId") or f"shard-{item['globalIndex']}"),
             )
             with self._ops_cv:
@@ -1089,7 +1175,7 @@ class _WorkerChannel:
         ctx = current_context()
         if ctx is not None:
             request.trace = ctx.child().to_json()
-        payload = request.to_json().encode("utf-8")
+        payload = request.to_frame()
         replies: "queue.Queue[RpcReply]" = queue.Queue()
         with self._lock:
             if self.dead.is_set():
@@ -1141,14 +1227,14 @@ class _WorkerChannel:
                 if frame is None:
                     break
                 received.inc(len(frame))
-                reply = RpcReply.from_json(frame.decode("utf-8"))
+                reply = RpcReply.from_frame(frame)
                 with self._lock:
                     replies = self._pending.get(reply.request_id)
                     if replies is not None and reply.kind in _TERMINAL:
                         del self._pending[reply.request_id]
                 if replies is not None:
                     replies.put(reply)
-        except (FrameError, OSError, ValueError):
+        except (FrameError, OSError, ValueError, SerializationError):
             pass
         finally:
             self.dead.set()
@@ -1333,8 +1419,12 @@ class RemoteWorkerProxy(WorkerProtocol):
             deadline = time.monotonic() + self.request_timeout
             if reply.kind == "partial":
                 payload = reply.payload
+                if reply.attachment is not None:
+                    summary = summary_from_bytes(reply.attachment)
+                else:
+                    summary = summary_from_json(payload["summary"])
                 yield WorkerEmission(
-                    summary_from_json(payload["summary"]),
+                    summary,
                     int(payload["shardsDone"]),
                     int(payload["bytes"]),
                     cache_hit=bool(payload.get("cacheHit", False)),

@@ -17,6 +17,7 @@ layer) can consume one message at a time.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Callable
@@ -29,6 +30,7 @@ from repro.core.buckets import (
     ExplicitStringBuckets,
     StringBuckets,
 )
+from repro.core.serialization import Decoder, Encoder
 from repro.core.sketch import Sketch
 from repro.errors import HillviewError
 from repro.sketches.bottomk import BottomKDistinctSketch, BottomKSummary
@@ -94,6 +96,9 @@ class RpcRequest:
     field on both wires is how one trace covers a whole fan-out.  It is
     only serialized when set, so untraced requests stay byte-identical
     to the pre-tracing wire format.
+
+    ``attachment`` is an optional binary blob riding the same frame
+    (see :func:`encode_envelope`); it never appears in the JSON header.
     """
 
     request_id: int
@@ -101,6 +106,7 @@ class RpcRequest:
     method: str
     args: dict = field(default_factory=dict)
     trace: dict | None = None
+    attachment: bytes | None = None
 
     def to_json(self) -> str:
         data: dict = {
@@ -129,6 +135,18 @@ class RpcRequest:
             args=dict(data.get("args") or {}),
             trace=data.get("trace"),
         )
+
+    def to_frame(self) -> bytes:
+        """This request as one wire frame (JSON, or binary if attached)."""
+        return encode_envelope(self.to_json(), self.attachment)
+
+    @classmethod
+    def from_frame(cls, frame: bytes) -> "RpcRequest":
+        """Inverse of :meth:`to_frame` for either envelope flavor."""
+        text, attachment = split_envelope(frame)
+        request = cls.from_json(text)
+        request.attachment = attachment
+        return request
 
 
 class _NoPayload:
@@ -187,6 +205,9 @@ class RpcReply:
     per-stage breakdown: queue wait, fan-out, per-worker stream timings,
     root merge, and the straggler.  Like ``cache``, it rides the
     envelope and is only serialized when set.
+
+    ``attachment`` is an optional binary blob riding the same frame
+    (see :func:`encode_envelope`); it never appears in the JSON header.
     """
 
     request_id: int
@@ -197,6 +218,7 @@ class RpcReply:
     code: str | None = None
     cache: dict | None = None
     profile: dict | None = None
+    attachment: bytes | None = None
 
     def to_json(self) -> str:
         data: dict = {
@@ -230,6 +252,18 @@ class RpcReply:
             profile=data.get("profile"),
         )
 
+    def to_frame(self) -> bytes:
+        """This reply as one wire frame (JSON, or binary if attached)."""
+        return encode_envelope(self.to_json(), self.attachment)
+
+    @classmethod
+    def from_frame(cls, frame: bytes) -> "RpcReply":
+        """Inverse of :meth:`to_frame` for either envelope flavor."""
+        text, attachment = split_envelope(frame)
+        reply = cls.from_json(text)
+        reply.attachment = attachment
+        return reply
+
 
 # ---------------------------------------------------------------------------
 # Cell values: JSON-safe encoding for dates and numpy scalars
@@ -259,6 +293,53 @@ def cell_from_json(value: object | None) -> object | None:
 TERMINAL_REPLY_KINDS = frozenset({"ack", "complete", "cancelled", "error"})
 
 
+# ---------------------------------------------------------------------------
+# Frame envelopes: JSON headers with optional binary attachments
+# ---------------------------------------------------------------------------
+# A frame is either pure JSON (first byte ``{``, the historical wire) or a
+# binary envelope (first byte 0x00, which no JSON text can start with):
+#
+#     0x00 | uvarint header-length | header JSON (UTF-8) | attachment
+#
+# The attachment is simply the rest of the frame — bulk payloads (hvc
+# table bytes, Encoder-framed summaries) travel as raw bytes instead of
+# base64-inside-JSON, while control metadata stays readable JSON.  The
+# framing layer (``core/framing.py``) is payload-agnostic and unchanged.
+
+_BINARY_ENVELOPE = 0
+
+
+def wire_json_forced() -> bool:
+    """``REPRO_WIRE_JSON=1`` forces pure-JSON frames on the worker wire.
+
+    The escape hatch exists to *prove* the binary path changes nothing:
+    a differential run under this flag must produce byte-identical
+    summaries (asserted by a dedicated tier-1 CI leg).  Checked at call
+    time so tests can flip it per-case.
+    """
+    return os.environ.get("REPRO_WIRE_JSON") == "1"
+
+
+def encode_envelope(header_json: str, attachment: bytes | None = None) -> bytes:
+    """One wire frame from a JSON header and an optional attachment."""
+    raw = header_json.encode("utf-8")
+    if attachment is None:
+        return raw
+    enc = Encoder()
+    enc.write_bytes(raw)
+    return bytes([_BINARY_ENVELOPE]) + enc.to_bytes() + bytes(attachment)
+
+
+def split_envelope(frame: bytes) -> tuple[str, bytes | None]:
+    """Inverse of :func:`encode_envelope`: ``(header_json, attachment)``."""
+    if not frame or frame[0] != _BINARY_ENVELOPE:
+        return frame.decode("utf-8"), None
+    dec = Decoder(frame)
+    dec.read_uvarint()  # the 0x00 discriminator
+    header = dec.read_bytes().decode("utf-8")
+    return header, bytes(frame[len(frame) - dec.remaining :])
+
+
 def call_once(
     rfile,
     wfile,
@@ -267,6 +348,7 @@ def call_once(
     args: dict | None = None,
     *,
     where: str = "peer",
+    attachment: bytes | None = None,
 ) -> "RpcReply":
     """One framed request over an already-open connection, blocking for
     its terminal reply (non-terminal frames are drained and discarded).
@@ -274,22 +356,21 @@ def call_once(
     The shared primitive behind every *one-shot* exchange on either wire
     — health probes, drain commands, worker-to-worker shard pushes,
     fleet status sweeps — so framing and terminal-kind handling live in
-    exactly one place.  Raises ``ConnectionError`` if the peer closes
-    mid-call; error *replies* are returned, not raised (callers decide).
+    exactly one place.  ``attachment`` rides the request frame as a
+    binary envelope (see :func:`encode_envelope`).  Raises
+    ``ConnectionError`` if the peer closes mid-call; error *replies* are
+    returned, not raised (callers decide).
     """
     from repro.core.framing import FrameError, read_frame_blocking, write_frame
 
-    write_frame(
-        wfile,
-        RpcRequest(request_id, "", method, args or {})
-        .to_json()
-        .encode("utf-8"),
-    )
+    request = RpcRequest(request_id, "", method, args or {})
+    request.attachment = attachment
+    write_frame(wfile, request.to_frame())
     while True:
         frame = read_frame_blocking(rfile, error=FrameError)
         if frame is None:
             raise ConnectionError(f"{where} closed during {method!r}")
-        reply = RpcReply.from_json(frame.decode("utf-8"))
+        reply = RpcReply.from_frame(frame)
         if reply.kind in TERMINAL_REPLY_KINDS:
             return reply
 
@@ -953,6 +1034,69 @@ def summary_from_json(data: dict) -> object:
         raise ProtocolError(
             f"summary payload {kind!r} missing field {exc}"
         ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Binary summary codec: the hot path of the worker wire
+# ---------------------------------------------------------------------------
+# Sketch partials travel root<->worker as each summary's own Encoder
+# format (the codec every summary already defines for byte accounting),
+# prefixed with the payload type tag so the receiver knows which decoder
+# to run.  The tags are the same strings the JSON wire uses, so traces
+# and logs identify a summary identically in either wire mode.
+
+#: Payload "type" tag -> summary class; the binary twin of
+#: :data:`SUMMARY_PARSERS`.
+SUMMARY_CODECS: dict[str, type] = {
+    "histogram": HistogramSummary,
+    "heatmap": HeatmapSummary,
+    "stacked": StackedHistogramSummary,
+    "trellisHeatmap": TrellisSummary,
+    "trellisHistogram": TrellisHistogramSummary,
+    "columnStats": ColumnStats,
+    "nextK": NextKList,
+    "frequencies": FrequencySummary,
+    "distinct": HllSummary,
+    "quantile": QuantileSummary,
+    "find": FindResult,
+    "bottomK": BottomKSummary,
+    "correlation": CorrelationSummary,
+    "saveStatus": SaveStatus,
+}
+
+#: Exact-type reverse lookup (no isinstance walk: summary types on the
+#: wire are always the concrete classes above).
+_SUMMARY_TAG_BY_TYPE: dict[type, str] = {
+    cls: tag for tag, cls in SUMMARY_CODECS.items()
+}
+
+
+def summary_tag(summary: object) -> str:
+    """The payload type tag of ``summary`` (shared by both wire modes)."""
+    tag = _SUMMARY_TAG_BY_TYPE.get(type(summary))
+    if tag is None:
+        raise ProtocolError(
+            f"no binary codec for summary type {type(summary).__name__}"
+        )
+    return tag
+
+
+def summary_to_bytes(summary: object) -> bytes:
+    """Encode any summary as a tagged binary attachment."""
+    enc = Encoder()
+    enc.write_str(summary_tag(summary))
+    summary.encode(enc)  # type: ignore[attr-defined]
+    return enc.to_bytes()
+
+
+def summary_from_bytes(payload: bytes) -> object:
+    """Inverse of :func:`summary_to_bytes`."""
+    dec = Decoder(payload)
+    tag = dec.read_str()
+    cls = SUMMARY_CODECS.get(tag or "")
+    if cls is None:
+        raise ProtocolError(f"unknown binary summary tag {tag!r}")
+    return cls.decode(dec)
 
 
 # ---------------------------------------------------------------------------

@@ -63,6 +63,25 @@ def bin_rows(
     return BinnedRows(indexes, missing, out_of_range)
 
 
+def bin_row_reference(
+    table: "Table", column_name: str, row: int, buckets: Buckets
+) -> int | None:
+    """Per-row oracle twin of :func:`bin_rows` (differential tests).
+
+    Returns None when the cell is missing, -1 when out of range, else the
+    bucket index — using the same scalar arithmetic/comparisons as the
+    vectorized pass.
+    """
+    column = table.column(column_name)
+    if column.kind.is_string:
+        value = column.value(int(row))
+        return None if value is None else buckets.index_of(value)
+    value = float(column.numeric_values(np.array([row], dtype=np.int64))[0])
+    if np.isnan(value):
+        return None
+    return buckets.index_of(value)
+
+
 def bincount(indexes: np.ndarray, buckets: int) -> np.ndarray:
     """Counts per bucket for ``indexes`` (ignoring -1 entries)."""
     valid = indexes[indexes >= 0]

@@ -19,7 +19,7 @@ import numpy as np
 from repro.core.buckets import Buckets
 from repro.core.serialization import Decoder, Encoder
 from repro.core.sketch import SampledSketch, Summary
-from repro.sketches.binning import bin_rows
+from repro.sketches.binning import bin_row_reference, bin_rows
 from repro.table.table import Table
 
 
@@ -132,6 +132,30 @@ class HeatmapSketch(SampledSketch[HeatmapSummary]):
             x_missing=x_binned.missing,
             y_missing=y_binned.missing,
             out_of_range=max(out_of_range, 0),
+            sampled_rows=len(rows),
+        )
+
+    def summarize_reference(self, table: Table) -> HeatmapSummary:
+        """Per-row oracle for :meth:`summarize` (differential tests)."""
+        rows = self.sampled_rows(table)
+        counts = np.zeros((self.x_buckets.count, self.y_buckets.count), dtype=np.int64)
+        x_missing = y_missing = not_both = 0
+        for row in rows:
+            xi = bin_row_reference(table, self.x_column, int(row), self.x_buckets)
+            yi = bin_row_reference(table, self.y_column, int(row), self.y_buckets)
+            if xi is None:
+                x_missing += 1
+            if yi is None:
+                y_missing += 1
+            if xi is None or xi < 0 or yi is None or yi < 0:
+                not_both += 1
+            else:
+                counts[xi, yi] += 1
+        return HeatmapSummary(
+            counts=counts,
+            x_missing=x_missing,
+            y_missing=y_missing,
+            out_of_range=max(not_both - x_missing, 0),
             sampled_rows=len(rows),
         )
 

@@ -32,6 +32,32 @@ from repro.table.dictionary import MISSING_CODE
 from repro.table.table import Table
 
 
+def _canonical_value_rank(value: object) -> int:
+    if isinstance(value, (bool, int, np.integer)):
+        return 0
+    if isinstance(value, (float, np.floating)):
+        return 1
+    if isinstance(value, str):
+        return 2
+    return 3
+
+
+def canonical_counts(counts: dict) -> list[tuple[object, int]]:
+    """``counts.items()`` in canonical wire order.
+
+    Sorted by value kind first, then string form: a bare ``str(value)``
+    sort ties distinct values whose string forms collide (``3`` vs
+    ``"3"``), letting dict insertion order leak into the encoding.  With
+    the kind rank the key is injective over any legal counts dict, so
+    identical summaries from different merge orders (or a redo-log
+    replay, §5.8) encode bit-identically.
+    """
+    return sorted(
+        counts.items(),
+        key=lambda kv: (_canonical_value_rank(kv[0]), str(kv[0])),
+    )
+
+
 @dataclass
 class FrequencySummary(Summary):
     """Approximate value counts with a global undercount bound."""
@@ -60,11 +86,8 @@ class FrequencySummary(Summary):
         return found
 
     def encode(self, enc: Encoder) -> None:
-        # Canonical order: the wire format must not leak dict insertion
-        # order, so identical summaries from different merge orders (or a
-        # redo-log replay, §5.8) encode bit-identically.
         enc.write_uvarint(len(self.counts))
-        for value, count in sorted(self.counts.items(), key=lambda kv: str(kv[0])):
+        for value, count in canonical_counts(self.counts):
             write_tagged_value(enc, value)
             enc.write_uvarint(count)
         enc.write_uvarint(self.error_bound)
@@ -96,6 +119,31 @@ def _exact_value_counts(table: Table, column_name: str, rows: np.ndarray) -> dic
     values = values[~np.isnan(values)]
     unique, counts = np.unique(values, return_counts=True)
     return {float(v): int(n) for v, n in zip(unique, counts)}
+
+
+def _exact_value_counts_reference(
+    table: Table, column_name: str, rows: np.ndarray
+) -> dict:
+    """Per-row oracle twin of :func:`_exact_value_counts`.
+
+    Coerces each value exactly as the vectorized pass does (one-row
+    ``numeric_values`` call) so the differential harness compares bytes,
+    not approximations.
+    """
+    column = table.column(column_name)
+    counts: dict = {}
+    for row in rows:
+        if isinstance(column, StringColumn):
+            value = column.value(int(row))
+        else:
+            scalar = float(
+                column.numeric_values(np.array([row], dtype=np.int64))[0]
+            )
+            value = None if np.isnan(scalar) else scalar
+        if value is None:
+            continue
+        counts[value] = counts.get(value, 0) + 1
+    return counts
 
 
 def _misra_gries_reduce(summary: FrequencySummary, k: int) -> FrequencySummary:
@@ -138,6 +186,13 @@ class MisraGriesSketch(Sketch[FrequencySummary]):
     def summarize(self, table: Table) -> FrequencySummary:
         rows = table.members.indices()
         counts = _exact_value_counts(table, self.column, rows)
+        summary = FrequencySummary(counts=counts, scanned=len(rows))
+        return _misra_gries_reduce(summary, self.k)
+
+    def summarize_reference(self, table: Table) -> FrequencySummary:
+        """Per-row oracle for :meth:`summarize` (differential tests)."""
+        rows = table.members.indices()
+        counts = _exact_value_counts_reference(table, self.column, rows)
         summary = FrequencySummary(counts=counts, scanned=len(rows))
         return _misra_gries_reduce(summary, self.k)
 
@@ -184,6 +239,12 @@ class SampleHeavyHittersSketch(SampledSketch[FrequencySummary]):
     def summarize(self, table: Table) -> FrequencySummary:
         rows = self.sampled_rows(table)
         counts = _exact_value_counts(table, self.column, rows)
+        return FrequencySummary(counts=counts, scanned=len(rows))
+
+    def summarize_reference(self, table: Table) -> FrequencySummary:
+        """Per-row oracle for :meth:`summarize` (differential tests)."""
+        rows = self.sampled_rows(table)
+        counts = _exact_value_counts_reference(table, self.column, rows)
         return FrequencySummary(counts=counts, scanned=len(rows))
 
     def merge(

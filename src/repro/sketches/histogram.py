@@ -16,7 +16,7 @@ import numpy as np
 from repro.core.buckets import Buckets, decode_buckets
 from repro.core.serialization import Decoder, Encoder
 from repro.core.sketch import SampledSketch, Summary
-from repro.sketches.binning import bin_rows, bincount
+from repro.sketches.binning import bin_row_reference, bin_rows, bincount
 from repro.table.table import Table
 
 
@@ -109,6 +109,26 @@ class HistogramSketch(SampledSketch[HistogramSummary]):
             counts=bincount(binned.indexes, self.buckets.count),
             missing=binned.missing,
             out_of_range=binned.out_of_range,
+            sampled_rows=len(rows),
+        )
+
+    def summarize_reference(self, table: Table) -> HistogramSummary:
+        """Per-row oracle for :meth:`summarize` (differential tests)."""
+        rows = self.sampled_rows(table)
+        counts = np.zeros(self.buckets.count, dtype=np.int64)
+        missing = out_of_range = 0
+        for row in rows:
+            index = bin_row_reference(table, self.column, int(row), self.buckets)
+            if index is None:
+                missing += 1
+            elif index < 0:
+                out_of_range += 1
+            else:
+                counts[index] += 1
+        return HistogramSummary(
+            counts=counts,
+            missing=missing,
+            out_of_range=out_of_range,
             sampled_rows=len(rows),
         )
 

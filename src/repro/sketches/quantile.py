@@ -94,6 +94,21 @@ class SampleQuantileSketch(SampledSketch[QuantileSummary]):
         rows = self.sampled_rows(table)
         sorted_rows = self.order.argsort(table, rows)
         columns = [table.column(c) for c in self.order.columns]
+        # One batched values_at pass per column, then a transpose into
+        # per-row tuples — no per-row column.value calls.
+        samples = list(
+            zip(*(column.values_at(sorted_rows) for column in columns))
+        ) if len(sorted_rows) else []
+        summary = QuantileSummary(
+            order=self.order, samples=samples, scanned=table.num_rows
+        )
+        return self._bounded(summary)
+
+    def summarize_reference(self, table: Table) -> QuantileSummary:
+        """Per-row oracle for :meth:`summarize` (differential tests)."""
+        rows = self.sampled_rows(table)
+        sorted_rows = self.order.argsort(table, rows)
+        columns = [table.column(c) for c in self.order.columns]
         samples = [
             tuple(column.value(int(row)) for column in columns)
             for row in sorted_rows

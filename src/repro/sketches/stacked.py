@@ -19,7 +19,7 @@ import numpy as np
 from repro.core.buckets import Buckets
 from repro.core.serialization import Decoder, Encoder
 from repro.core.sketch import SampledSketch, Summary
-from repro.sketches.binning import bin_rows
+from repro.sketches.binning import bin_row_reference, bin_rows
 from repro.table.table import Table
 
 
@@ -126,6 +126,37 @@ class StackedHistogramSketch(SampledSketch[StackedHistogramSummary]):
             y_missing=y_missing,
             missing=x_binned.missing,
             out_of_range=x_binned.out_of_range,
+            sampled_rows=len(rows),
+        )
+
+    def summarize_reference(self, table: Table) -> StackedHistogramSummary:
+        """Per-row oracle for :meth:`summarize` (differential tests)."""
+        rows = self.sampled_rows(table)
+        bx, by = self.x_buckets.count, self.y_buckets.count
+        bar_counts = np.zeros(bx, dtype=np.int64)
+        cell_counts = np.zeros((bx, by), dtype=np.int64)
+        y_missing = np.zeros(bx, dtype=np.int64)
+        missing = out_of_range = 0
+        for row in rows:
+            xi = bin_row_reference(table, self.x_column, int(row), self.x_buckets)
+            if xi is None:
+                missing += 1
+                continue
+            if xi < 0:
+                out_of_range += 1
+                continue
+            bar_counts[xi] += 1
+            yi = bin_row_reference(table, self.y_column, int(row), self.y_buckets)
+            if yi is None or yi < 0:
+                y_missing[xi] += 1
+            else:
+                cell_counts[xi, yi] += 1
+        return StackedHistogramSummary(
+            bar_counts=bar_counts,
+            cell_counts=cell_counts,
+            y_missing=y_missing,
+            missing=missing,
+            out_of_range=out_of_range,
             sampled_rows=len(rows),
         )
 

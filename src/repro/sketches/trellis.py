@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.buckets import Buckets
 from repro.core.serialization import Decoder, Encoder
 from repro.core.sketch import SampledSketch, Summary
-from repro.sketches.binning import bin_rows
+from repro.sketches.binning import bin_row_reference, bin_rows
 from repro.sketches.heatmap import HeatmapSummary
 from repro.sketches.histogram import HistogramSummary
 from repro.table.table import Table
@@ -59,6 +59,33 @@ def _bin_groups(
     missing = int(np.count_nonzero(missing_mask))
     out_of_range = int(np.count_nonzero(~ok & ~missing_mask))
     return flat, missing, out_of_range
+
+
+def _pane_of_row_reference(
+    table: Table,
+    row: int,
+    group_column: str,
+    group_buckets: Buckets,
+    group2_column: str | None,
+    group2_buckets: Buckets | None,
+) -> tuple[int, str]:
+    """Per-row oracle twin of :func:`_bin_groups` (differential tests).
+
+    Returns ``(flat_index, state)`` with state one of ``"ok"``,
+    ``"missing"``, ``"out_of_range"``; the flat index is -1 unless ok.
+    """
+    g1 = bin_row_reference(table, group_column, row, group_buckets)
+    if group2_column is None:
+        if g1 is None:
+            return -1, "missing"
+        return (g1, "ok") if g1 >= 0 else (-1, "out_of_range")
+    assert group2_buckets is not None
+    g2 = bin_row_reference(table, group2_column, row, group2_buckets)
+    if g1 is None or g2 is None:
+        return -1, "missing"
+    if g1 < 0 or g2 < 0:
+        return -1, "out_of_range"
+    return g1 * group2_buckets.count + g2, "ok"
 
 
 @dataclass
@@ -217,6 +244,41 @@ class TrellisHeatmapSketch(SampledSketch[TrellisSummary]):
             sampled_rows=len(rows),
         )
 
+    def summarize_reference(self, table: Table) -> TrellisSummary:
+        """Per-row oracle for :meth:`summarize` (differential tests)."""
+        rows = self.sampled_rows(table)
+        groups = self.pane_count
+        bx, by = self.x_buckets.count, self.y_buckets.count
+        cube = np.zeros((groups, bx, by), dtype=np.int64)
+        g_missing = g_oor = 0
+        for row in rows:
+            flat, state = _pane_of_row_reference(
+                table, int(row),
+                self.group_column, self.group_buckets,
+                self.group2_column, self.group2_buckets,
+            )
+            if state == "missing":
+                g_missing += 1
+                continue
+            if state == "out_of_range":
+                g_oor += 1
+                continue
+            xi = bin_row_reference(table, self.x_column, int(row), self.x_buckets)
+            yi = bin_row_reference(table, self.y_column, int(row), self.y_buckets)
+            if xi is None or xi < 0 or yi is None or yi < 0:
+                continue
+            cube[flat, xi, yi] += 1
+        panes = [
+            HeatmapSummary(counts=cube[g], sampled_rows=int(cube[g].sum()))
+            for g in range(groups)
+        ]
+        return TrellisSummary(
+            panes=panes,
+            group_missing=g_missing,
+            group_out_of_range=g_oor,
+            sampled_rows=len(rows),
+        )
+
     def merge(self, left: TrellisSummary, right: TrellisSummary) -> TrellisSummary:
         panes = [
             HeatmapSummary(
@@ -316,19 +378,58 @@ class TrellisHistogramSketch(SampledSketch[TrellisHistogramSummary]):
             .reshape(groups, b)
         )
         # X residuals attributed per pane: rows whose group is known but X
-        # is missing or out of range.
-        x_missing = x_binned.indexes < 0
-        panes = []
-        for g in range(groups):
-            in_pane = g_flat == g
-            residual = int(np.count_nonzero(in_pane & x_missing))
-            panes.append(
-                HistogramSummary(
-                    counts=grid[g],
-                    missing=residual,
-                    sampled_rows=int(grid[g].sum()) + residual,
-                )
+        # is missing or out of range.  One bincount over the unusable-X
+        # rows replaces a per-pane mask scan.
+        x_unusable = (g_flat >= 0) & (x_binned.indexes < 0)
+        residuals = np.bincount(g_flat[x_unusable], minlength=groups)
+        panes = [
+            HistogramSummary(
+                counts=grid[g],
+                missing=int(residuals[g]),
+                sampled_rows=int(grid[g].sum()) + int(residuals[g]),
             )
+            for g in range(groups)
+        ]
+        return TrellisHistogramSummary(
+            panes=panes,
+            group_missing=g_missing,
+            group_out_of_range=g_oor,
+            sampled_rows=len(rows),
+        )
+
+    def summarize_reference(self, table: Table) -> TrellisHistogramSummary:
+        """Per-row oracle for :meth:`summarize` (differential tests)."""
+        rows = self.sampled_rows(table)
+        groups = self.pane_count
+        b = self.x_buckets.count
+        grid = np.zeros((groups, b), dtype=np.int64)
+        residuals = np.zeros(groups, dtype=np.int64)
+        g_missing = g_oor = 0
+        for row in rows:
+            flat, state = _pane_of_row_reference(
+                table, int(row),
+                self.group_column, self.group_buckets,
+                self.group2_column, self.group2_buckets,
+            )
+            if state == "missing":
+                g_missing += 1
+                continue
+            if state == "out_of_range":
+                g_oor += 1
+                continue
+            xi = bin_row_reference(table, self.x_column, int(row), self.x_buckets)
+            if xi is None or xi < 0:
+                residuals[flat] += 1
+            else:
+                grid[flat, xi] += 1
+        panes = [
+            HistogramSummary(
+                counts=grid[g],
+                missing=int(residuals[g]),
+                sampled_rows=int(grid[g].sum()) + int(residuals[g]),
+            )
+            for g in range(groups)
+        ]
         return TrellisHistogramSummary(
             panes=panes,
             group_missing=g_missing,

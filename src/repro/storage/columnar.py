@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import glob
 import json
+import mmap
 import os
 
 import numpy as np
@@ -39,6 +40,16 @@ from repro.table.schema import ColumnDescription, ContentsKind, Schema
 from repro.table.table import Table
 
 MAGIC = b"HVC1"
+
+
+def mmap_enabled() -> bool:
+    """Memory-mapped shard reads are on unless ``REPRO_MMAP=0``.
+
+    Mapped partitions share the kernel page cache across worker processes
+    and decode numeric columns zero-copy; the heap path stays available as
+    an escape hatch and a differential baseline.
+    """
+    return os.environ.get("REPRO_MMAP", "1") != "0"
 
 
 def _encode_column(enc: Encoder, column: Column, rows: np.ndarray) -> None:
@@ -95,12 +106,19 @@ def table_to_bytes(table: Table) -> bytes:
     return MAGIC + enc.to_bytes()
 
 
-def table_from_bytes(payload: bytes, shard_id: str | None = None) -> Table:
-    """Decode a :func:`table_to_bytes` payload."""
+def table_from_bytes(
+    payload, shard_id: str | None = None, zero_copy: bool = False
+) -> Table:
+    """Decode a :func:`table_to_bytes` payload.
+
+    ``payload`` may be ``bytes`` or any buffer (e.g. a ``memoryview`` of a
+    mapped file).  With ``zero_copy`` the numeric column arrays remain
+    views into the buffer, which stays pinned through their ``.base``.
+    """
     where = shard_id or "<memory>"
-    if payload[:4] != MAGIC:
+    if len(payload) < 4 or bytes(payload[:4]) != MAGIC:
         raise StorageError(f"{where}: not an hvc payload (bad magic)")
-    dec = Decoder(payload[4:])
+    dec = Decoder(payload[4:], zero_copy=zero_copy)
     schema_json = dec.read_str()
     if schema_json is None:
         raise StorageError(f"{where}: missing schema")
@@ -126,11 +144,29 @@ def write_table(table: Table, path: str) -> int:
     return len(payload)
 
 
-def read_table(path: str, shard_id: str | None = None) -> Table:
-    """Read a table written by :func:`write_table`."""
+def read_table(
+    path: str, shard_id: str | None = None, use_mmap: bool | None = None
+) -> Table:
+    """Read a table written by :func:`write_table`.
+
+    By default (see :func:`mmap_enabled`) the file is memory-mapped
+    read-only and numeric columns decode as zero-copy views over the map:
+    worker processes reading the same partitions share one set of page
+    frames, and cold reads fault in only the pages a sketch touches.
+    ``use_mmap=False`` (or ``REPRO_MMAP=0``) forces the heap path.
+    """
+    if use_mmap is None:
+        use_mmap = mmap_enabled()
+    name = shard_id or os.path.basename(path)
     with open(path, "rb") as f:
-        payload = f.read()
-    return table_from_bytes(payload, shard_id=shard_id or os.path.basename(path))
+        if not use_mmap:
+            return table_from_bytes(f.read(), shard_id=name)
+        if os.fstat(f.fileno()).st_size == 0:
+            raise StorageError(f"{name}: not an hvc payload (bad magic)")
+        mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    # The file descriptor can close now: the map (and the arrays viewing
+    # it) keep the pages alive until the table is garbage collected.
+    return table_from_bytes(memoryview(mapped), shard_id=name, zero_copy=True)
 
 
 def write_dataset(tables: list[Table], directory: str) -> list[str]:
@@ -176,31 +212,47 @@ def write_manifest(directory: str, files: list[str] | None = None) -> str:
     return path
 
 
-def read_dataset(directory: str, verify_snapshot: bool = True) -> list[Table]:
+def dataset_manifest(directory: str) -> dict:
+    """The ``_snapshot.json`` manifest of a dataset directory."""
+    manifest_path = os.path.join(directory, "_snapshot.json")
+    try:
+        with open(manifest_path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise StorageError(f"{directory}: not a dataset (missing _snapshot.json)")
+
+
+def verify_partition(directory: str, filename: str, manifest: dict) -> str:
+    """Check one partition against the snapshot manifest; returns its path."""
+    path = os.path.join(directory, filename)
+    try:
+        actual = os.path.getsize(path)
+    except OSError:
+        raise SnapshotViolationError(f"{path}: partition disappeared")
+    if actual != manifest[filename]:
+        raise SnapshotViolationError(
+            f"{path}: size {actual} != snapshot {manifest[filename]}; "
+            "data changed while Hillview was running"
+        )
+    return path
+
+
+def read_dataset(
+    directory: str,
+    verify_snapshot: bool = True,
+    use_mmap: bool | None = None,
+) -> list[Table]:
     """Read every partition of a dataset directory.
 
     With ``verify_snapshot`` the partition sizes are checked against the
     manifest written at dataset-creation time; a mismatch means the data
     changed under us, violating the §2 snapshot requirement.
     """
-    manifest_path = os.path.join(directory, "_snapshot.json")
-    try:
-        with open(manifest_path) as f:
-            manifest = json.load(f)
-    except FileNotFoundError:
-        raise StorageError(f"{directory}: not a dataset (missing _snapshot.json)")
+    manifest = dataset_manifest(directory)
     tables = []
     for filename in sorted(manifest):
         path = os.path.join(directory, filename)
         if verify_snapshot:
-            try:
-                actual = os.path.getsize(path)
-            except OSError:
-                raise SnapshotViolationError(f"{path}: partition disappeared")
-            if actual != manifest[filename]:
-                raise SnapshotViolationError(
-                    f"{path}: size {actual} != snapshot {manifest[filename]}; "
-                    "data changed while Hillview was running"
-                )
-        tables.append(read_table(path, shard_id=filename))
+            verify_partition(directory, filename, manifest)
+        tables.append(read_table(path, shard_id=filename, use_mmap=use_mmap))
     return tables

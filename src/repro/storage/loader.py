@@ -214,5 +214,17 @@ class ColumnarDatasetSource(DataSource):
     def load(self) -> list[Table]:
         return columnar.read_dataset(self.directory, self.verify_snapshot)
 
+    def _load_slice(self, index: int, count: int) -> list[Table]:
+        # Partitions are individually addressable, so a worker maps only
+        # its round-robin share of the files (same order as load()).
+        manifest = columnar.dataset_manifest(self.directory)
+        tables = []
+        for filename in sorted(manifest)[index::count]:
+            path = os.path.join(self.directory, filename)
+            if self.verify_snapshot:
+                columnar.verify_partition(self.directory, filename, manifest)
+            tables.append(columnar.read_table(path, shard_id=filename))
+        return tables
+
     def spec(self) -> str:
         return f"ColumnarDatasetSource({self.directory!r})"

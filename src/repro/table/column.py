@@ -72,6 +72,14 @@ class Column(ABC):
             f"column {self.name!r} of kind {self.kind.value} is not string-valued"
         )
 
+    def values_at(self, rows: np.ndarray | Sequence[int]) -> list:
+        """Python values at ``rows`` (None for missing), as one batch.
+
+        Equivalent to ``[self.value(int(r)) for r in rows]``; subclasses
+        override with a vectorized pass.
+        """
+        return [self.value(int(row)) for row in rows]
+
     @abstractmethod
     def sort_surrogate(self, rows: np.ndarray | Sequence[int]) -> np.ndarray:
         """float64 array ordered like the column's values; missing -> -inf."""
@@ -136,6 +144,17 @@ class _NumericColumn(Column):
         out = self._data[rows].astype(np.float64, copy=True)
         if self._missing is not None:
             out[self._missing[rows]] = np.nan
+        return out
+
+    def _pythonize(self, data: np.ndarray) -> list:
+        return data.tolist()
+
+    def values_at(self, rows: np.ndarray | Sequence[int]) -> list:
+        rows = _as_index_array(rows)
+        out = self._pythonize(self._data[rows])
+        if self._missing is not None:
+            for i in np.flatnonzero(self._missing[rows]):
+                out[i] = None
         return out
 
     def sort_surrogate(self, rows: np.ndarray | Sequence[int]) -> np.ndarray:
@@ -233,6 +252,9 @@ class DateColumn(_NumericColumn):
             return None
         return millis_to_datetime(int(self._data[row]))
 
+    def _pythonize(self, data: np.ndarray) -> list:
+        return [millis_to_datetime(millis) for millis in data.tolist()]
+
 
 class StringColumn(Column):
     """Dictionary-encoded string column (STRING or CATEGORY kind)."""
@@ -275,10 +297,15 @@ class StringColumn(Column):
     def string_values(self, rows: np.ndarray | Sequence[int]) -> list[str | None]:
         rows = _as_index_array(rows)
         values = self.dictionary.values
-        return [
-            None if code == MISSING_CODE else values[code]
-            for code in self.codes[rows]
-        ]
+        # One fancy-indexed take instead of a per-row loop.  MISSING_CODE
+        # is -1, which wraps to the final lookup slot holding None.
+        lookup = np.empty(len(values) + 1, dtype=object)
+        lookup[: len(values)] = values
+        lookup[len(values)] = None
+        return lookup[self.codes[rows]].tolist()
+
+    def values_at(self, rows: np.ndarray | Sequence[int]) -> list:
+        return self.string_values(rows)
 
     def codes_at(self, rows: np.ndarray | Sequence[int]) -> np.ndarray:
         """Dictionary codes at ``rows`` (:data:`MISSING_CODE` for missing)."""

@@ -10,12 +10,15 @@ including under random repartitioning.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.buckets import DoubleBuckets, ExplicitStringBuckets
+from repro.core.sketch import Sketch, Summary
 from repro.data.flights import FlightsSource
 from repro.engine.cluster import Cluster
 from repro.engine.local import LocalDataSet, ParallelDataSet, parallel_dataset
@@ -267,3 +270,74 @@ class TestRepartitioningInvariance:
             LocalDataSet(table).sketch(sketch).to_bytes()
             == LocalDataSet(shuffled).sketch(sketch).to_bytes()
         )
+
+
+class _OrderSummary(Summary):
+    """Records the order its pieces were merged in — nothing else."""
+
+    def __init__(self, labels: tuple[str, ...] = ()):
+        self.labels = tuple(labels)
+
+    def encode(self, enc) -> None:
+        enc.write_uvarint(len(self.labels))
+        for label in self.labels:
+            enc.write_str(label)
+
+
+class _OrderProbeSketch(Sketch):
+    """Associative but *non-commutative* merge, with leaves engineered to
+    finish slowest-first: shard 0 sleeps longest, so completion order is
+    the reverse of shard order.  Any merge loop keyed on completion (or
+    arrival) order scrambles the labels; the engine must fold in shard
+    order at the worker and worker-index order at the root regardless of
+    which thread wins the race."""
+
+    def __init__(self, shard_count: int):
+        self.shard_count = shard_count
+
+    def summarize(self, table: Table) -> _OrderSummary:
+        index = int(table.column("n").value(0))
+        time.sleep(0.02 * (self.shard_count - index))
+        return _OrderSummary((f"s{index}",))
+
+    def zero(self) -> _OrderSummary:
+        return _OrderSummary()
+
+    def merge(self, left: _OrderSummary, right: _OrderSummary) -> _OrderSummary:
+        return _OrderSummary(left.labels + right.labels)
+
+
+def _indexed_shards(count: int) -> list[Table]:
+    return [build_table([(i, "a")]) for i in range(count)]
+
+
+class TestMergeOrderDeterminism:
+    """Merge order is a function of placement, never of thread timing.
+
+    Misra-Gries at capacity is only approximately commutative — merging
+    the same partials in a different order yields different (all valid)
+    byte encodings.  The worker memo and the cross-root computation cache
+    both require repeated runs to be byte-identical, so the engine pins
+    the fold order even though every leaf races on a thread pool."""
+
+    def test_worker_merges_in_shard_order(self):
+        shards = _indexed_shards(6)
+        cluster = Cluster(num_workers=1, cores_per_worker=6)
+        dataset = cluster.load(TableSource(shards))
+        result = dataset.sketch(_OrderProbeSketch(len(shards)))
+        assert result.labels == ("s0", "s1", "s2", "s3", "s4", "s5")
+
+    def test_root_merges_in_worker_order(self):
+        # Worker w of 3 owns shards w::3; shard 0 is slowest, so worker 0
+        # emits *last* — arrival-order folding would put it last.
+        shards = _indexed_shards(6)
+        cluster = Cluster(num_workers=3, cores_per_worker=2)
+        dataset = cluster.load(TableSource(shards))
+        result = dataset.sketch(_OrderProbeSketch(len(shards)))
+        assert result.labels == ("s0", "s3", "s1", "s4", "s2", "s5")
+
+    def test_parallel_dataset_merges_in_child_order(self):
+        shards = _indexed_shards(5)
+        dataset = ParallelDataSet([LocalDataSet(s) for s in shards])
+        result = dataset.sketch(_OrderProbeSketch(len(shards)))
+        assert result.labels == ("s0", "s1", "s2", "s3", "s4")

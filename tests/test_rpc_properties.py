@@ -709,3 +709,166 @@ class TestEnvelopeRoundTrips:
         assert (back.payload is NO_PAYLOAD) == (payload is NO_PAYLOAD)
         if payload is not NO_PAYLOAD:
             assert back.payload == payload
+
+
+# ---------------------------------------------------------------------------
+# Binary envelopes: the worker wire's attachment framing
+# ---------------------------------------------------------------------------
+class TestBinaryEnvelopes:
+    """JSON frames and binary-attachment frames share one wire safely."""
+
+    @given(
+        header=st.dictionaries(st.text(max_size=8), st.integers(), max_size=4),
+        attachment=st.one_of(st.none(), st.binary(max_size=256)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_envelope_round_trip(self, header, attachment):
+        from repro.engine.rpc import encode_envelope, split_envelope
+
+        text = json.dumps(header)
+        frame = encode_envelope(text, attachment)
+        if attachment is None:
+            # No attachment -> the frame IS the JSON text (byte-identical
+            # to the historical wire; nothing to strip on receive).
+            assert frame == text.encode("utf-8")
+        else:
+            assert frame[0] == 0  # no JSON text can start with 0x00
+        back_text, back_attachment = split_envelope(frame)
+        assert back_text == text
+        assert back_attachment == attachment
+
+    @given(
+        request_id=st.integers(0, 2**31),
+        attachment=st.one_of(st.none(), st.binary(max_size=128)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_request_frames(self, request_id, attachment):
+        request = RpcRequest(request_id, "t", "adoptShards", {"n": 3})
+        request.attachment = attachment
+        back = RpcRequest.from_frame(request.to_frame())
+        assert back.request_id == request_id
+        assert back.args == {"n": 3}
+        assert back.attachment == attachment
+
+    @given(
+        request_id=st.integers(0, 2**31),
+        payload=st.one_of(
+            st.just(NO_PAYLOAD), st.none(), st.dictionaries(st.text(), st.integers())
+        ),
+        attachment=st.one_of(st.none(), st.binary(max_size=128)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_reply_frames_preserve_absent_vs_null_payload(
+        self, request_id, payload, attachment
+    ):
+        reply = RpcReply(request_id, "partial", payload=payload)
+        reply.attachment = attachment
+        back = RpcReply.from_frame(reply.to_frame())
+        assert back.attachment == attachment
+        assert (back.payload is NO_PAYLOAD) == (payload is NO_PAYLOAD)
+        if payload is not NO_PAYLOAD:
+            assert back.payload == payload
+
+    def test_mixed_frames_on_one_connection(self):
+        """A reader must demux interleaved JSON and binary frames."""
+        import io
+
+        from repro.core.framing import (
+            FrameError,
+            read_frame_blocking,
+            write_frame,
+        )
+
+        first = RpcReply(1, "ack", payload={"hello": True})
+        second = RpcReply(2, "partial", payload={"summaryType": "histogram"})
+        second.attachment = b"\x00\x01binary bytes, not JSON\xff"
+        third = RpcReply(3, "complete", payload=None)
+        buffer = io.BytesIO()
+        for reply in (first, second, third):
+            write_frame(buffer, reply.to_frame())
+        buffer.seek(0)
+        out = []
+        while True:
+            frame = read_frame_blocking(buffer, error=FrameError)
+            if frame is None:
+                break
+            out.append(RpcReply.from_frame(frame))
+        assert [r.request_id for r in out] == [1, 2, 3]
+        assert out[0].attachment is None and out[0].payload == {"hello": True}
+        assert out[1].attachment == second.attachment
+        assert out[2].attachment is None and out[2].payload is None
+
+
+class TestBinarySummaryCodec:
+    """summary_to_bytes/summary_from_bytes: the hot-path partial codec."""
+
+    def test_codecs_cover_every_payload_type(self):
+        from repro.engine.rpc import SUMMARY_CODECS
+
+        assert set(SUMMARY_CODECS) == set(SUMMARY_PARSERS)
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_binary_round_trip_matches_json_round_trip(self, data):
+        from repro.engine.rpc import (
+            summary_from_bytes,
+            summary_tag,
+            summary_to_bytes,
+        )
+
+        strategies = _summary_strategies()
+        kind = data.draw(st.sampled_from(sorted(strategies)))
+        summary = data.draw(strategies[kind])
+        assert summary_tag(summary) == kind
+        blob = summary_to_bytes(summary)
+        back = summary_from_bytes(blob)
+        assert type(back) is type(summary)
+        assert back.to_bytes() == summary.to_bytes()
+        # Both wire modes must rebuild the same object: the JSON path is
+        # the differential baseline for the binary one.
+        via_json = summary_from_json(summary_to_json(summary))
+        assert via_json.to_bytes() == back.to_bytes()
+
+    def test_unknown_tag_is_a_protocol_error(self):
+        from repro.core.serialization import Encoder
+        from repro.engine.rpc import ProtocolError, summary_from_bytes
+
+        enc = Encoder()
+        enc.write_str("no-such-summary")
+        with pytest.raises(ProtocolError):
+            summary_from_bytes(enc.to_bytes())
+
+
+class TestTablePayloadRoundTrips:
+    """hvc table payloads (shard transfers) survive the wire exactly."""
+
+    @given(
+        ints=st.lists(st.one_of(st.none(), st.integers(-10**6, 10**6)), max_size=20),
+        strs=st.lists(st.one_of(st.none(), st.text(max_size=6)), max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_table_bytes_round_trip(self, ints, strs):
+        from repro.storage.columnar import table_from_bytes, table_to_bytes
+        from repro.table.column import column_from_values
+        from repro.table.schema import ContentsKind
+        from repro.table.table import Table
+
+        n = min(len(ints), len(strs))
+        table = Table(
+            [
+                column_from_values("i", ints[:n], ContentsKind.INTEGER),
+                column_from_values("s", strs[:n], ContentsKind.STRING),
+            ],
+            shard_id="wire-shard",
+        )
+        payload = table_to_bytes(table)
+        back = table_from_bytes(payload, shard_id="wire-shard")
+        assert table_to_bytes(back) == payload
+        assert back.num_rows == n
+
+    def test_bad_magic_is_a_storage_error(self):
+        from repro.errors import StorageError
+        from repro.storage.columnar import table_from_bytes
+
+        with pytest.raises(StorageError):
+            table_from_bytes(b"not-an-hvc-payload")

@@ -261,3 +261,46 @@ class TestBottomK:
         t2 = Table.from_pydict({"s": base * 50})
         sketch = BottomKDistinctSketch("s", k=3, seed=4)
         assert sketch.summarize(t1).entries == sketch.summarize(t2).entries
+
+
+class TestCanonicalEncodingOrder:
+    """FrequencySummary.encode must not leak dict insertion order."""
+
+    @staticmethod
+    def _encoded(counts: dict) -> bytes:
+        summary = FrequencySummary(counts=counts, error_bound=3, scanned=100)
+        enc = Encoder()
+        summary.encode(enc)
+        return enc.to_bytes()
+
+    def test_insertion_order_does_not_change_the_bytes(self):
+        forward = {"b": 2, "a": 5, "c": 1}
+        reversed_order = dict(reversed(list(forward.items())))
+        assert self._encoded(forward) == self._encoded(reversed_order)
+
+    def test_mixed_types_with_colliding_string_forms(self):
+        """int 3 and str "3" stringify identically; before the canonical
+        type-rank tiebreak their relative order depended on insertion
+        history, so two equal summaries could encode differently."""
+        one_way = {3: 7, "3": 9, 2.5: 1, "x": 4}
+        other_way = {"x": 4, "3": 9, 2.5: 1, 3: 7}
+        assert self._encoded(one_way) == self._encoded(other_way)
+
+    def test_canonical_counts_ranks_types_before_strings(self):
+        from repro.sketches.heavy_hitters import canonical_counts
+
+        ordered = canonical_counts({"3": 1, 3.5: 2, 3: 3, "a": 4})
+        # ints/bools first, then floats, then strings — each sorted by
+        # string form inside its rank.
+        assert ordered == [(3, 3), (3.5, 2), ("3", 1), ("a", 4)]
+
+    def test_merge_then_encode_is_order_independent(self):
+        table_a = Table.from_pydict({"v": [1, 1, 2, 3, 3, 3]})
+        table_b = Table.from_pydict({"v": [3, 2, 2, 2, 1]})
+        sketch = MisraGriesSketch("v", k=8)
+        ab = sketch.merge(sketch.summarize(table_a), sketch.summarize(table_b))
+        ba = sketch.merge(sketch.summarize(table_b), sketch.summarize(table_a))
+        enc_ab, enc_ba = Encoder(), Encoder()
+        ab.encode(enc_ab)
+        ba.encode(enc_ba)
+        assert enc_ab.to_bytes() == enc_ba.to_bytes()
