@@ -1,0 +1,72 @@
+"""Finding renderers: human text and GitHub workflow annotations."""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.analysis.findings import RULE_CATALOG, Finding
+
+
+def render_text(
+    findings: list[Finding],
+    suppressed: int,
+    files_scanned: int,
+    out: TextIO,
+) -> None:
+    for finding in findings:
+        out.write(
+            f"{finding.path}:{finding.line}: {finding.rule_id} "
+            f"{finding.message}\n"
+        )
+    if findings:
+        out.write(
+            f"\n{len(findings)} finding(s) in {files_scanned} file(s)"
+            f" ({suppressed} suppressed by waivers).\n"
+        )
+    else:
+        out.write(
+            f"ok: no findings in {files_scanned} file(s)"
+            f" ({suppressed} suppressed by waivers).\n"
+        )
+
+
+def _escape_annotation(text: str) -> str:
+    # GitHub annotation data: % first, then newlines (workflow-command
+    # escaping rules).
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def render_github(
+    findings: list[Finding],
+    suppressed: int,
+    files_scanned: int,
+    out: TextIO,
+) -> None:
+    """`::error` workflow commands: one inline PR annotation each."""
+    for finding in findings:
+        title = _escape_annotation(
+            f"{finding.rule_id}: {RULE_CATALOG[finding.rule_id].title}"
+        )
+        message = _escape_annotation(finding.message)
+        out.write(
+            f"::error file={finding.path},line={finding.line},"
+            f"title={title}::{message}\n"
+        )
+    if findings:
+        out.write(
+            f"{len(findings)} finding(s) in {files_scanned} file(s)"
+            f" ({suppressed} suppressed by waivers).\n"
+        )
+    else:
+        out.write(
+            f"ok: no findings in {files_scanned} file(s)"
+            f" ({suppressed} suppressed by waivers).\n"
+        )
+
+
+def render_rule_catalog(out: TextIO) -> None:
+    for rule in RULE_CATALOG.values():
+        out.write(f"{rule.rule_id}  {rule.title}\n")
+        out.write(f"      {rule.rationale}\n")

@@ -1,0 +1,68 @@
+"""Rule engine: base classes and the live rule registry.
+
+Two rule shapes:
+
+- :class:`FileRule` — looks at one parsed file at a time (most rules).
+- :class:`ProjectRule` — looks at the whole file set at once (the
+  cross-module R-rules that compare registries living in different
+  modules).
+
+Rules register themselves at import time via :func:`register`; the
+engine iterates :data:`ALL_RULES`.  Each rule's id must exist in
+:data:`repro.analysis.findings.RULE_CATALOG` so the catalog, the
+suppression validator, and the docs cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import RULE_CATALOG, Finding
+from repro.analysis.source import SourceFile
+
+
+class Rule:
+    """Shared identity plumbing for both rule shapes."""
+
+    rule_id: str = ""
+
+    def __init__(self) -> None:
+        if self.rule_id not in RULE_CATALOG:
+            raise ValueError(f"rule id {self.rule_id!r} is not in the catalog")
+        self.info = RULE_CATALOG[self.rule_id]
+
+    def finding(self, sf: SourceFile, line: int, message: str) -> Finding:
+        return Finding(self.rule_id, sf.path, line, message)
+
+
+class FileRule(Rule):
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    def check_project(self, files: list[SourceFile]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+ALL_RULES: list[Rule] = []
+
+
+def register(cls: type) -> type:
+    ALL_RULES.append(cls())
+    return cls
+
+
+def iter_file_rules() -> Iterable[FileRule]:
+    return [r for r in ALL_RULES if isinstance(r, FileRule)]
+
+
+def iter_project_rules() -> Iterable[ProjectRule]:
+    return [r for r in ALL_RULES if isinstance(r, ProjectRule)]
+
+
+# Import for side effect: each module registers its rules.
+from repro.analysis.rules import concurrency as _concurrency  # noqa: E402,F401
+from repro.analysis.rules import determinism as _determinism  # noqa: E402,F401
+from repro.analysis.rules import hygiene as _hygiene  # noqa: E402,F401
+from repro.analysis.rules import registry as _registry  # noqa: E402,F401

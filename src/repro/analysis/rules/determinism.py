@@ -1,0 +1,205 @@
+"""D-rules: determinism of sketch bytes.
+
+Grounded in the PR 7 production bug: the engine merged partials in
+thread-*completion* order, so Misra-Gries at capacity (an only-
+approximately-commutative merge) produced different bytes run over run
+and broke the worker-memo / computation-cache byte-identity invariant.
+These rules make that whole bug class unrepresentable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileRule, register
+from repro.analysis.source import SourceFile, enclosing_function
+
+#: Function names whose bodies are serialization/merge paths: the bytes
+#: they produce must be canonical.
+_SERIALIZATION_NAMES = ("encode", "merge", "to_json")
+_SERIALIZATION_SUFFIXES = ("_to_json", "_payload")
+
+
+def _in_repro_source(sf: SourceFile) -> bool:
+    return "repro/" in sf.scope_path
+
+
+def _is_serialization_function(name: str) -> bool:
+    return name in _SERIALIZATION_NAMES or name.endswith(
+        _SERIALIZATION_SUFFIXES
+    )
+
+
+def _call_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register
+class CompletionOrderFold(FileRule):
+    """D001: `as_completed` anywhere in repro source.
+
+    Waiting on futures in completion order is exactly how the PR 7
+    merge became byte-unstable; deterministic folds iterate the futures
+    list in submission order instead (`for f in futures: f.result()`),
+    which waits for stragglers just the same.
+    """
+
+    rule_id = "D001"
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if sf.tree is None or not _in_repro_source(sf):
+            return
+        for node in ast.walk(sf.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _call_name(node.func) == "as_completed"
+            ):
+                yield self.finding(
+                    sf,
+                    node.lineno,
+                    "futures iterated in completion order; fold partials "
+                    "in submission (shard/worker) order so merge bytes "
+                    "are run-to-run identical",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_unsorted_dict_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and not node.args
+        and not node.keywords
+    )
+
+
+@register
+class UnorderedSerializationIteration(FileRule):
+    """D002: set / unsorted dict-view iteration in encode/merge paths."""
+
+    rule_id = "D002"
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if sf.tree is None or not _in_repro_source(sf):
+            return
+        for node in ast.walk(sf.tree):
+            iters: list[ast.AST] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                # A comprehension fed straight into sorted() is the
+                # canonical-order idiom, not a leak.
+                parent = getattr(node, "_repro_parent", None)
+                if (
+                    isinstance(parent, ast.Call)
+                    and isinstance(parent.func, ast.Name)
+                    and parent.func.id == "sorted"
+                ):
+                    continue
+                iters.extend(gen.iter for gen in node.generators)
+            else:
+                continue
+            func = enclosing_function(node)
+            if func is None or not _is_serialization_function(func.name):
+                continue
+            for it in iters:
+                if _is_set_expr(it):
+                    yield self.finding(
+                        sf,
+                        it.lineno,
+                        f"set iterated inside {func.name}(): set order is "
+                        "memory-address dependent; sort or use a list",
+                    )
+                elif _is_unsorted_dict_view(it):
+                    yield self.finding(
+                        sf,
+                        it.lineno,
+                        f"dict .{it.func.attr}() iterated unsorted inside "
+                        f"{func.name}(): insertion order leaks into "
+                        "canonical bytes; wrap in sorted(...)",
+                    )
+
+
+#: Modules whose import into sketch code is a nondeterminism source.
+_BANNED_SKETCH_IMPORTS = {"random", "secrets", "uuid", "time"}
+
+
+@register
+class NondeterminismInSketch(FileRule):
+    """D003: wall clocks and entropy inside sketch kernels.
+
+    Sketch code is everything under ``repro/sketches/`` plus the core
+    Sketch contract module; ``core/rand.py`` is the one sanctioned home
+    for seeded randomness (its helpers are pure functions of the seed).
+    """
+
+    rule_id = "D003"
+
+    def _applies(self, sf: SourceFile) -> bool:
+        path = sf.scope_path
+        return "repro/sketches/" in path or path.endswith("repro/core/sketch.py")
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if sf.tree is None or not self._applies(sf):
+            return
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_SKETCH_IMPORTS:
+                        yield self.finding(
+                            sf,
+                            node.lineno,
+                            f"sketch code imports {alias.name!r}: kernels "
+                            "must be pure functions of (table, seed); "
+                            "seeded helpers live in core/rand.py",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if node.level == 0 and root in _BANNED_SKETCH_IMPORTS:
+                    yield self.finding(
+                        sf,
+                        node.lineno,
+                        f"sketch code imports from {node.module!r}: kernels "
+                        "must be pure functions of (table, seed)",
+                    )
+            elif isinstance(node, ast.Attribute):
+                base = node.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id == "os"
+                    and node.attr == "urandom"
+                ):
+                    yield self.finding(
+                        sf,
+                        node.lineno,
+                        "os.urandom in sketch code: entropy makes summary "
+                        "bytes unreproducible",
+                    )
+                elif (
+                    isinstance(base, ast.Name)
+                    and base.id in ("np", "numpy")
+                    and node.attr == "random"
+                ):
+                    yield self.finding(
+                        sf,
+                        node.lineno,
+                        "np.random in sketch code: use the stable seeded "
+                        "helpers in core/rand.py instead",
+                    )

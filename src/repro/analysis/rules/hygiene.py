@@ -1,0 +1,55 @@
+"""B-rules: exception hygiene.
+
+The one mechanism for waiving these is the same `# repro: ignore[...]`
+comment every other rule uses — the old scattering of ad-hoc
+``noqa: BLE001`` markers was folded into it when this analyzer landed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileRule, register
+from repro.analysis.source import SourceFile
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(handler_type: ast.AST | None) -> bool:
+    if handler_type is None:  # bare `except:`
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(elt) for elt in handler_type.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register
+class BroadExceptionSwallowed(FileRule):
+    """B001: `except Exception` (or broader) that never re-raises."""
+
+    rule_id = "B001"
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if sf.tree is None or "repro/" not in sf.scope_path:
+            return
+        for node in ast.walk(sf.tree):
+            if (
+                isinstance(node, ast.ExceptHandler)
+                and _is_broad(node.type)
+                and not _reraises(node)
+            ):
+                yield self.finding(
+                    sf,
+                    node.lineno,
+                    "broad exception handler swallows failures; narrow the "
+                    "type, re-raise, or justify the shield with a "
+                    "suppression",
+                )

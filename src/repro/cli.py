@@ -937,6 +937,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine.remote import worker_main
 
         return worker_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.analysis import analyze_main
+
+        return analyze_main(argv[1:])
     if argv and argv[0] == "fleet":
         try:
             return fleet_main(argv[1:])

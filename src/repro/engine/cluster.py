@@ -67,7 +67,7 @@ from repro.engine.placement import (
 from repro.engine.progress import CancellationToken, PartialResult, SketchRun
 from repro.engine.redo_log import LoadOp, MapOp, RedoLog
 from repro.obs.metrics import REGISTRY
-from repro.obs.trace import TraceContext, span, use_context
+from repro.obs.trace import TraceContext, current_context, span, use_context
 from repro.errors import (
     DatasetMissingError,
     EngineError,
@@ -468,13 +468,17 @@ class Worker(WorkerProtocol):
                 return
         shards = self.shards(dataset_id, lineage)
         interval = self.aggregation_interval
+        leaf_ctx = current_context()
 
         def leaf(shard: Table) -> object | None:
             # Cancellation removes queued micropartitions only (§5.3).
             if token is not None and token.cancelled:
                 return None
             self.shards_summarized += 1
-            return sketch.summarize(shard)
+            # Pool threads see no thread-local trace context; restore the
+            # spawning thread's so leaf-side log records correlate.
+            with use_context(leaf_ctx):
+                return sketch.summarize(shard)
 
         accumulated = sketch.zero()
         done = 0
@@ -490,7 +494,7 @@ class Worker(WorkerProtocol):
             for future in futures:
                 try:
                     summary = future.result()
-                except Exception as exc:
+                except Exception as exc:  # repro: ignore[B001] — not swallowed: re-raised after the pool drains
                     # A leaf failed (bad column, broken expression...):
                     # drop this worker's remaining shards and surface
                     # the failure at the root instead of dying silently.
@@ -993,7 +997,7 @@ class Cluster:
         """
         try:
             spec = source.spec()
-        except Exception:  # noqa: BLE001 — exotic sources fall back safely
+        except Exception:  # repro: ignore[B001] — exotic sources fall back safely
             return self._new_dataset_id("ds")
         return self._content_id(f"load|{spec}")
 
@@ -1062,13 +1066,20 @@ class Cluster:
     def _for_all_workers(self, fn) -> list:
         """Run ``fn(index, worker)`` for every worker in parallel, reviving
         and retrying a worker whose process died (§5.8)."""
+        ctx = current_context()
         with concurrent.futures.ThreadPoolExecutor(len(self.workers)) as pool:
             return list(
                 pool.map(
-                    lambda i: self._with_revival(i, fn),
+                    # Carry the caller's trace context onto the pool
+                    # threads so worker RPCs parent under it.
+                    lambda i: self._with_revival_in_context(ctx, i, fn),
                     range(len(self.workers)),
                 )
             )
+
+    def _with_revival_in_context(self, ctx, index: int, fn):
+        with use_context(ctx):
+            return self._with_revival(index, fn)
 
     def _with_revival(self, index: int, fn):
         attempts = 0
@@ -1287,10 +1298,10 @@ class ClusterDataSet(IDataSet):
                             )
                         else:
                             failure = exc
-                    except Exception as exc:  # noqa: BLE001 — surfaced at the root
+                    except Exception as exc:  # repro: ignore[B001] — surfaced at the root
                         failure = exc
                     break
-        except BaseException as exc:  # noqa: BLE001 — sentinel must still post
+        except BaseException as exc:  # repro: ignore[B001] — sentinel must still post
             failure = failure if failure is not None else exc
         finally:
             if stat is not None:

@@ -15,6 +15,7 @@ from typing import Iterator, Sequence, TypeVar
 from repro.core.sketch import Sketch
 from repro.engine.dataset import IDataSet, TableMap
 from repro.engine.progress import CancellationToken, PartialResult
+from repro.obs.trace import current_context, use_context
 from repro.table.table import Table
 
 R = TypeVar("R")
@@ -70,8 +71,16 @@ class ParallelDataSet(IDataSet):
         return self.children[0].schema
 
     def map(self, table_map: TableMap) -> "ParallelDataSet":
+        ctx = current_context()
+
+        def map_child(child: IDataSet) -> IDataSet:
+            # Pool threads inherit the caller's trace context so mapped
+            # children log/span under the query that created them.
+            with use_context(ctx):
+                return child.map(table_map)
+
         with concurrent.futures.ThreadPoolExecutor(self._workers()) as pool:
-            mapped = list(pool.map(lambda c: c.map(table_map), self.children))
+            mapped = list(pool.map(map_child, self.children))
         return ParallelDataSet(mapped, self.max_workers)
 
     def _workers(self) -> int:
@@ -82,12 +91,15 @@ class ParallelDataSet(IDataSet):
         sketch: Sketch[R],
         token: CancellationToken | None = None,
     ) -> Iterator[PartialResult[R]]:
+        ctx = current_context()
+
         def leaf(child: IDataSet) -> R | None:
             # Queued work is skipped after cancellation; running leaves
             # complete (paper §5.3 cancellation semantics).
             if token is not None and token.cancelled:
                 return None
-            return child.sketch(sketch)
+            with use_context(ctx):
+                return child.sketch(sketch)
 
         accumulated = sketch.zero()
         done = 0

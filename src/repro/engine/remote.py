@@ -241,6 +241,7 @@ class WorkerServer:
         with self._sweeper_lock:
             if self._sweeper is not None and self._sweeper.is_alive():
                 return
+            # repro: ignore[C002] — daemon-lifetime TTL sweep; no query context exists to carry
             self._sweeper = threading.Thread(
                 target=self._sweep_loop,
                 name=f"{self.worker.name}-cache-sweep",
@@ -388,6 +389,7 @@ class WorkerServer:
                 if once:
                     self._serve_socket(sock)
                     break
+                # repro: ignore[C002] — per-connection server thread; trace context rides each RPC envelope and is restored in _handle
                 threading.Thread(
                     target=self._serve_socket,
                     args=(sock,),
@@ -546,7 +548,7 @@ class WorkerServer:
                 token.cancel()
         except HillviewError as exc:
             self._safe_error(link, request, str(exc), exc.code)
-        except Exception as exc:  # noqa: BLE001 — shield the worker loop
+        except Exception as exc:  # repro: ignore[B001] — shield the worker loop
             self._safe_error(
                 link, request, f"internal error: {type(exc).__name__}: {exc}",
                 "internal",
@@ -1160,6 +1162,7 @@ class _WorkerChannel:
         self._pending: dict[int, "queue.Queue[RpcReply]"] = {}
         self._lock = threading.Lock()
         self.dead = threading.Event()
+        # repro: ignore[C002] — reply-demux thread; contexts are stamped per request in submit(), replies carry none
         self._reader = threading.Thread(
             target=self._reader_loop, name=f"{name}-reader", daemon=True
         )
@@ -1798,9 +1801,9 @@ class ProcessCluster(Cluster):
         assert self._addresses is not None
         deadline = time.monotonic() + min(self._startup_timeout, 10.0)
         proxies, version = self._sync_fleet(proxies, deadline)
-        self.placement_version = version
+        self.placement_version = version  # repro: ignore[C001] — attach-time agreement; the cluster is not yet shared with streams or the resync path
         members = [format_address(p.address) for p in proxies if p.address]
-        self._addresses = [p.address for p in proxies if p.address]
+        self._addresses = [p.address for p in proxies if p.address]  # repro: ignore[C001] — attach-time agreement; the cluster is not yet shared
         for index, proxy in enumerate(proxies):
             proxy.placement_version = version
             proxy.fleet_members = members
@@ -2220,9 +2223,9 @@ class ProcessCluster(Cluster):
                     "next attach or resync (commits are idempotent), or "
                     "re-run the same grow/shrink"
                 )
-            self.workers = list(proxies)
-            self._addresses = [p.address for p in proxies]
-            self.placement_version = target_version
+            self.workers = list(proxies)  # repro: ignore[C001] — the rebalance stream barrier (_begin_rebalance) excludes streams and resyncs
+            self._addresses = [p.address for p in proxies]  # repro: ignore[C001] — under the rebalance stream barrier
+            self.placement_version = target_version  # repro: ignore[C001] — under the rebalance stream barrier
             self.rebalances += 1
         finally:
             self._end_rebalance()
@@ -2506,6 +2509,7 @@ def worker_main(argv: list[str]) -> int:
             server.wait_drained(timeout=args.drain_grace)
             os._exit(0)
 
+        # repro: ignore[C002] — SIGTERM drain-to-exit helper; process is dying, no query context applies
         threading.Thread(target=finish, name="drain-exit", daemon=True).start()
 
     try:

@@ -41,6 +41,7 @@ from repro.sketches.heavy_hitters import (
     FrequencySummary,
     MisraGriesSketch,
     SampleHeavyHittersSketch,
+    canonical_counts,
 )
 from repro.sketches.histogram import HistogramSketch, HistogramSummary
 from repro.sketches.hll import HllSummary, HyperLogLogSketch
@@ -753,10 +754,13 @@ def _next_k_payload(s: NextKList) -> dict:
 
 
 def _frequency_payload(s: FrequencySummary) -> dict:
+    # canonical_counts, not .items(): the JSON wire must be as merge-
+    # order-independent as the binary encode path (same PR 7 bug class).
     return {
         "type": "frequencies",
         "counts": [
-            [cell_to_json(value), count] for value, count in s.counts.items()
+            [cell_to_json(value), count]
+            for value, count in canonical_counts(s.counts)
         ],
         "errorBound": s.error_bound,
         "scanned": s.scanned,
@@ -1105,6 +1109,7 @@ def summary_from_bytes(payload: bytes) -> object:
 def _start_to_json(sketch) -> dict:
     if sketch.start_key is None:
         return {}
+    # repro: ignore[D002] — start_key insertion order IS canonical: it mirrors the RecordOrder column order, not merge arrival
     return {"start": [cell_to_json(v) for v in sketch.start_key.values()]}
 
 

@@ -282,7 +282,7 @@ class WebServer:
                 error=str(exc),
                 code=exc.code,
             )
-        except Exception as exc:  # noqa: BLE001 — shield the service loop
+        except Exception as exc:  # repro: ignore[B001] — shield the service loop
             yield RpcReply(
                 request_id=getattr(request, "request_id", -1),
                 kind="error",

@@ -132,5 +132,5 @@ def log_event(event: str, level: str = "info", **fields) -> None:
             )
             line = f"{record['ts']:.3f} {level.upper():7s} {event} {detail}".rstrip()
         print(line, file=stream, flush=True)
-    except Exception:  # noqa: BLE001 — a broken log sink must not fail a query
+    except Exception:  # repro: ignore[B001] — a broken log sink must not fail a query
         pass

@@ -86,7 +86,7 @@ class Gauge:
                 return self._value
         try:
             return float(callback())
-        except Exception:  # noqa: BLE001 — a dead callback must not fail a snapshot
+        except Exception:  # repro: ignore[B001] — a dead callback must not fail a snapshot
             return 0.0
 
     def to_json(self) -> object:

@@ -223,6 +223,7 @@ class ConnectionDirector:
             while not self._stop_checks.wait(interval_seconds):
                 self.check_health()
 
+        # repro: ignore[C002] — background health-probe loop; probes carry no query context
         self._checker = threading.Thread(
             target=loop, name="director-health", daemon=True
         )

@@ -115,6 +115,7 @@ class FairShareScheduler:
         self._running: set[QueryTask] = set()
         self._shutdown = False
         self._threads = [
+            # repro: ignore[C002] — each dequeued task restores its own captured context in _execute
             threading.Thread(
                 target=self._worker_loop, name=f"query-worker-{i}", daemon=True
             )
@@ -345,7 +346,7 @@ class FairShareScheduler:
         try:
             task.sink(reply)
             return True
-        except Exception:  # noqa: BLE001 - transport failures must not kill us
+        except Exception:  # repro: ignore[B001] - transport failures must not kill us
             return False
 
     # ------------------------------------------------------------------

@@ -371,7 +371,7 @@ class SessionManager:
         record = session.snapshot_record()
         try:
             self.store.put(record)
-        except Exception:  # noqa: BLE001 — see docstring
+        except Exception:  # repro: ignore[B001] — see docstring
             self.store_errors += 1
             return
         session._persisted_wall = record.last_active
@@ -426,7 +426,7 @@ class SessionManager:
         if self.store is not None:
             try:
                 record = self.store.get(session_id)
-            except Exception:  # noqa: BLE001 — store outage
+            except Exception:  # repro: ignore[B001] — store outage
                 self.store_errors += 1
         with self._lock:
             existing = self._sessions.get(session_id)
@@ -495,7 +495,7 @@ class SessionManager:
                 ):
                     return  # another root owns the session now
             self.store.delete(session.session_id)
-        except Exception:  # noqa: BLE001 — store outage
+        except Exception:  # repro: ignore[B001] — store outage
             self.store_errors += 1
 
     # -- idle sweep ----------------------------------------------------
@@ -564,7 +564,7 @@ class SessionManager:
         )
         try:
             purged = self.store.purge_expired(ttl)
-        except Exception:  # noqa: BLE001 — store outage
+        except Exception:  # repro: ignore[B001] — store outage
             self.store_errors += 1
             return 0
         self.store_records_purged += purged

@@ -216,6 +216,7 @@ class ServiceServer:
         def main() -> None:
             asyncio.run(self._background_main(started))
 
+        # repro: ignore[C002] — process-lifetime event-loop host thread; per-request context starts at the RPC layer
         self._thread = threading.Thread(
             target=main, name="service-server", daemon=True
         )
@@ -594,6 +595,7 @@ class ServiceClient:
         self._pending: dict[int, PendingQuery] = {}
         self._lock = threading.Lock()
         self._closed = False
+        # repro: ignore[C002] — client-side reply demux; requests are stamped with context in call(), replies carry none
         self._reader = threading.Thread(
             target=self._reader_loop, name="service-client-reader", daemon=True
         )

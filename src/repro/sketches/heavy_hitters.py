@@ -200,6 +200,7 @@ class MisraGriesSketch(Sketch[FrequencySummary]):
         self, left: FrequencySummary, right: FrequencySummary
     ) -> FrequencySummary:
         counts = dict(left.counts)
+        # repro: ignore[D002] — addition is order-independent; mixed int/str keys only sort at encode time via canonical_counts()
         for value, count in right.counts.items():
             counts[value] = counts.get(value, 0) + count
         merged = FrequencySummary(
@@ -251,6 +252,7 @@ class SampleHeavyHittersSketch(SampledSketch[FrequencySummary]):
         self, left: FrequencySummary, right: FrequencySummary
     ) -> FrequencySummary:
         counts = dict(left.counts)
+        # repro: ignore[D002] — addition is order-independent; ordering is canonicalized at encode time via canonical_counts()
         for value, count in right.counts.items():
             counts[value] = counts.get(value, 0) + count
         return FrequencySummary(

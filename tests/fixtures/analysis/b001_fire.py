@@ -1,0 +1,9 @@
+# repro: fixture as=src/repro/engine/fixture_b001.py
+"""B001 fire: a broad handler that swallows every failure."""
+
+
+def probe(worker):
+    try:
+        return worker.ping()
+    except Exception:  # analyzer: fires here
+        return None

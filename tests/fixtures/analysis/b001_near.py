@@ -1,0 +1,9 @@
+# repro: fixture as=src/repro/engine/fixture_b001_near.py
+"""B001 near-miss: broad catch, but the failure is re-raised."""
+
+
+def probe(worker):
+    try:
+        return worker.ping()
+    except Exception as exc:
+        raise RuntimeError("probe failed") from exc

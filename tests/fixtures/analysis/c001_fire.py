@@ -1,0 +1,18 @@
+# repro: fixture as=src/repro/engine/fixture_c001.py
+"""C001 fire: an attribute guarded by the lock in one method and
+written bare in another — a lost-update waiting to happen."""
+
+import threading
+
+
+class ShardCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+    def reset(self):
+        self.hits = 0  # analyzer: fires here

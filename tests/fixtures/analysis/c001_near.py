@@ -1,0 +1,18 @@
+# repro: fixture as=src/repro/engine/fixture_c001_near.py
+"""C001 near-miss: every post-__init__ write holds the same lock."""
+
+import threading
+
+
+class ShardCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+    def reset(self):
+        with self._lock:
+            self.hits = 0

@@ -1,0 +1,11 @@
+# repro: fixture as=src/repro/engine/fixture_c002.py
+"""C002 fire: a thread spawn in engine code with no visible trace
+context propagation — spans die at the thread boundary."""
+
+import threading
+
+
+def start_sweeper(run):
+    worker = threading.Thread(target=run, daemon=True)  # analyzer: fires here
+    worker.start()
+    return worker

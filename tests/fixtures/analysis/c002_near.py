@@ -1,0 +1,19 @@
+# repro: fixture as=src/repro/engine/fixture_c002_near.py
+"""C002 near-miss: the spawner captures the current context and the
+target restores it — the trace crosses the thread boundary."""
+
+import threading
+
+from repro.obs.trace import current_context, use_context
+
+
+def start_sweeper(run):
+    ctx = current_context()
+
+    def wrapped():
+        with use_context(ctx):
+            run()
+
+    worker = threading.Thread(target=wrapped, daemon=True)
+    worker.start()
+    return worker

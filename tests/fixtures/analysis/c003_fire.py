@@ -1,0 +1,9 @@
+# repro: fixture as=src/repro/service/fixture_c003.py
+"""C003 fire: a blocking sleep inside an async body stalls the single
+event loop that serves every connected client."""
+
+import time
+
+
+async def throttle(seconds):
+    time.sleep(seconds)  # analyzer: fires here

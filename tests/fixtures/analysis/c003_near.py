@@ -1,0 +1,8 @@
+# repro: fixture as=src/repro/service/fixture_c003_near.py
+"""C003 near-miss: the awaited asyncio primitive yields the loop."""
+
+import asyncio
+
+
+async def throttle(seconds):
+    await asyncio.sleep(seconds)

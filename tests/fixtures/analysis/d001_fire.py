@@ -1,0 +1,13 @@
+# repro: fixture as=src/repro/engine/fixture_d001.py
+"""D001 fire: the exact PR 7 bug shape — folding sketch partials in
+thread-*completion* order, which breaks byte-identity for the
+only-approximately-commutative merges (Misra-Gries at capacity)."""
+
+from concurrent.futures import as_completed
+
+
+def fold_partials(sketch, futures):
+    acc = sketch.zero()
+    for future in as_completed(futures):  # analyzer: fires here
+        acc = sketch.merge(acc, future.result())
+    return acc

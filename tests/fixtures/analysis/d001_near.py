@@ -1,0 +1,10 @@
+# repro: fixture as=src/repro/engine/fixture_d001_near.py
+"""D001 near-miss: the deterministic fold — iterate the futures list in
+submission (shard) order; ``.result()`` still waits for stragglers."""
+
+
+def fold_partials(sketch, futures):
+    acc = sketch.zero()
+    for future in futures:
+        acc = sketch.merge(acc, future.result())
+    return acc

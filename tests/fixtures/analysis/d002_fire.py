@@ -1,0 +1,10 @@
+# repro: fixture as=src/repro/sketches/fixture_d002.py
+"""D002 fire: unsorted dict-view iteration inside an encode path lets
+insertion order leak into canonical bytes."""
+
+
+def encode(summary):
+    out = []
+    for key in summary.counts.keys():  # analyzer: fires here
+        out.append(key)
+    return out

@@ -1,0 +1,9 @@
+# repro: fixture as=src/repro/sketches/fixture_d002_near.py
+"""D002 near-miss: the same encode loop, but sorted — canonical."""
+
+
+def encode(summary):
+    out = []
+    for key in sorted(summary.counts.keys()):
+        out.append(key)
+    return out

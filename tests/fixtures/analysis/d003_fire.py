@@ -1,0 +1,9 @@
+# repro: fixture as=src/repro/sketches/fixture_d003.py
+"""D003 fire: entropy imported into sketch code — summaries stop being
+pure functions of (table, seed)."""
+
+import random  # analyzer: fires here
+
+
+def jitter(values):
+    return [v + random.random() for v in values]

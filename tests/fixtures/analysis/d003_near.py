@@ -1,0 +1,9 @@
+# repro: fixture as=src/repro/sketches/fixture_d003_near.py
+"""D003 near-miss: seeded randomness through the sanctioned helper
+module, which is a pure function of the seed."""
+
+from repro.core.rand import stable_hash64
+
+
+def jitter(values, seed):
+    return [v + stable_hash64(seed, i) % 7 for i, v in enumerate(values)]

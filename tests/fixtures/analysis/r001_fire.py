@@ -1,0 +1,12 @@
+# repro: fixture as=src/repro/engine/rpc.py
+"""R001 fire: a builder key with no _encode_* inverse — the root can
+parse 'mystery' from clients but can never broadcast it to workers."""
+
+SKETCH_BUILDERS = {  # analyzer: fires here
+    "histogram": None,
+    "mystery": None,
+}
+
+
+def _encode_histogram(sketch):
+    return {"type": "histogram"}

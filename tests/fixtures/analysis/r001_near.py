@@ -1,0 +1,15 @@
+# repro: fixture as=src/repro/engine/rpc.py
+"""R001 near-miss: every builder key has an encoder inverse."""
+
+SKETCH_BUILDERS = {
+    "histogram": None,
+    "mystery": None,
+}
+
+
+def _encode_histogram(sketch):
+    return {"type": "histogram"}
+
+
+def _encode_mystery(sketch):
+    return {"type": "mystery"}

@@ -1,0 +1,11 @@
+# repro: fixture as=src/repro/engine/rpc.py
+"""R002 fire: a summary tag with a binary codec but no JSON parser —
+the REPRO_WIRE_JSON=1 leg silently cannot carry it."""
+
+SUMMARY_CODECS = {
+    "histogram": None,
+    "cdf": None,
+}
+SUMMARY_PARSERS = {  # analyzer: fires here
+    "histogram": None,
+}

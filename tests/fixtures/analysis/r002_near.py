@@ -1,0 +1,11 @@
+# repro: fixture as=src/repro/engine/rpc.py
+"""R002 near-miss: codecs and parsers cover the same tags."""
+
+SUMMARY_CODECS = {
+    "histogram": None,
+    "cdf": None,
+}
+SUMMARY_PARSERS = {
+    "histogram": None,
+    "cdf": None,
+}

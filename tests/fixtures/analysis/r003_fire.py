@@ -1,0 +1,10 @@
+# repro: fixture as=src/repro/sketches/fixture_r003.py
+"""R003 fire: a sketch on the vectorized binning kernel with no
+summarize_reference oracle — the differential harness cannot check it."""
+
+from repro.sketches.binning import bin_rows
+
+
+class VectorOnlySketch:  # analyzer: fires here
+    def summarize(self, table):
+        return bin_rows(table)

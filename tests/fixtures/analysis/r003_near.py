@@ -1,0 +1,12 @@
+# repro: fixture as=src/repro/sketches/fixture_r003_near.py
+"""R003 near-miss: the vectorized sketch keeps its per-row oracle."""
+
+from repro.sketches.binning import bin_rows
+
+
+class VectorOnlySketch:
+    def summarize(self, table):
+        return bin_rows(table)
+
+    def summarize_reference(self, table):
+        return [row for row in table]

@@ -1,0 +1,4 @@
+# repro: fixture as=src/repro/engine/fixture_sup001.py
+"""SUP001 fire: a waiver with no justification is itself a finding."""
+
+value = 1  # repro: ignore[B001]

@@ -1,0 +1,10 @@
+# repro: fixture as=src/repro/engine/fixture_sup001_near.py
+"""SUP001 near-miss: a well-formed, justified waiver that matches a
+real finding suppresses it cleanly."""
+
+
+def probe(worker):
+    try:
+        return worker.ping()
+    except Exception:  # repro: ignore[B001] — fixture: the waiver under test
+        return None
