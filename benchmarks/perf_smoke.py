@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Nightly CI perf smoke: quick benchmarks -> BENCH_<date>.json + gate.
 
-Runs the three service-tier benchmarks in quick mode (small dataset,
+Runs the service-tier benchmarks in quick mode (small dataset,
 fewer repetitions, identical topology), records p50/p95
 time-to-first-partial per tier/mode into ``BENCH_<date>.json`` (the CI
 job uploads it as an artifact, building the benchmark trajectory), and
@@ -235,12 +235,46 @@ def run_leaf_kernels() -> dict[str, float]:
     return metrics
 
 
+def run_autoscaler() -> dict[str, float]:
+    """Work stealing under a skewed fleet + autoscaler control overhead.
+
+    The steal speedup (off-p95 / on-p95 first-exact under an 8x per-core
+    skew) is gated two ways: the inverse ratio ``on_over_off`` goes
+    through the standard baseline gate (lower is better, so a regression
+    *raises* it past the 2x ratio), and a **hard floor** fails the run
+    outright when the speedup drops below ``REPRO_STEAL_SPEEDUP_MIN``
+    (default 2x, the acceptance criterion: stealing must at least halve
+    the straggler's long pole) — even on a fresh baseline.
+    """
+    import bench_autoscaler as bench
+
+    measured = bench.collect()
+    minimum = bench.minimum_speedup()
+    if measured["speedup"] < minimum:
+        raise SystemExit(
+            f"[perf-smoke] steal speedup {measured['speedup']:.2f}x below "
+            f"the {minimum:.1f}x floor (off p95 "
+            f"{measured['off_p95'] * 1000:.1f}ms vs on p95 "
+            f"{measured['on_p95'] * 1000:.1f}ms)"
+        )
+    return {
+        "autoscaler.steal_off.p95_first": measured["off_p95"],
+        "autoscaler.steal_on.p95_first": measured["on_p95"],
+        # Inverse speedup: dimensionless (runner speed cancels) and
+        # lower-is-better, so the ratio gate catches stealing going slow.
+        "autoscaler.steal.on_over_off": 1.0 / max(measured["speedup"], 1e-9),
+        "autoscaler.drain_hot_worker.p50": measured["drain_hot_worker_p50"],
+        "autoscaler.control_loop_1k_ticks": measured["control_loop_1k_ticks"],
+    }
+
+
 SUITES = {
     "cache_tiers": run_cache_tiers,
     "multi_root": run_multi_root,
     "elastic_fleet": run_elastic_fleet,
     "tracing_overhead": run_tracing_overhead,
     "leaf_kernels": run_leaf_kernels,
+    "autoscaler": run_autoscaler,
 }
 
 

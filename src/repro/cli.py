@@ -737,17 +737,105 @@ class RemoteSession:
                 break
 
 
+def _fleet_autoscale(args, addresses, stream: TextIO) -> int:
+    """`repro fleet autoscale`: bind the control loop to a live fleet.
+
+    ``--join`` names the current members, ``--pool`` the standby worker
+    daemons the loop may grow into.  Grow takes daemons from the front
+    of the pool; shrink retires the most recently added members first
+    (LIFO), returning them to the pool — the operator-given core fleet
+    is the last to go, and an oscillation (which hysteresis should
+    prevent anyway) cycles the same standbys instead of churning
+    through new ones.
+    """
+    from repro.engine.placement import format_address, parse_fleet_spec
+    from repro.engine.remote import ProcessCluster, query_fleet_metrics
+    from repro.service.autoscaler import Autoscaler, AutoscalerConfig
+
+    members = list(addresses)
+    pool = [
+        a
+        for a in (parse_fleet_spec(args.pool) if args.pool else [])
+        if a not in members
+    ]
+
+    def sample() -> list[dict]:
+        return query_fleet_metrics(members)
+
+    def grow(count: int) -> None:
+        take = pool[:count]
+        if not take:
+            raise HillviewError("standby pool exhausted; cannot grow")
+        # preserve_cadence: administrative attach, like grow/shrink above.
+        cluster = ProcessCluster(addresses=members, preserve_cadence=True)
+        try:
+            cluster.grow(take)
+        finally:
+            cluster.close()
+        del pool[: len(take)]
+        members.extend(take)
+
+    def shrink(count: int) -> None:
+        victims = members[-count:]
+        cluster = ProcessCluster(addresses=members, preserve_cadence=True)
+        try:
+            cluster.shrink(victims)
+        finally:
+            cluster.close()
+        del members[-count:]
+        pool[:0] = victims
+
+    scaler = Autoscaler(
+        sample,
+        grow,
+        shrink,
+        config=AutoscalerConfig(
+            min_workers=args.min,
+            max_workers=args.max,
+            high_watermark=args.high,
+            low_watermark=args.low,
+            consecutive_ticks=args.ticks,
+            cooldown_seconds=args.cooldown,
+            interval_seconds=args.interval,
+        ),
+        state_path=args.state,
+    )
+
+    def report(decision) -> None:
+        fleet = ",".join(format_address(a) for a in members)
+        print(
+            f"[{decision.action}] size {decision.size} -> "
+            f"{decision.target}  pressure {decision.pressure:.2f}/core  "
+            f"{decision.reason}  fleet=[{fleet}]",
+            file=stream,
+        )
+
+    print(
+        f"autoscaling {len(members)} worker(s), pool of {len(pool)} "
+        f"standby(s), every {args.interval:g}s "
+        f"(watermarks {args.low:g}/{args.high:g}, "
+        f"cooldown {args.cooldown:g}s)",
+        file=stream,
+    )
+    try:
+        scaler.run(max_ticks=args.max_ticks, on_decision=report)
+    except KeyboardInterrupt:
+        print("autoscaler stopped", file=stream)
+    return 0
+
+
 def fleet_main(argv: list[str], out: TextIO | None = None) -> int:
     """`repro fleet`: operate a live worker fleet / root tier.
 
     Subcommands::
 
-        status  --join FLEET                 placement + inventory per worker
-        top     --join FLEET                 live metrics per worker daemon
-        grow    --join FLEET --add H:P ...   add daemons, re-balance shards
-        shrink  --join FLEET --remove H:P .. retire daemons, re-balance
-        drain   --root H:P                   root: persist sessions, refuse new
-        undrain --root H:P                   root: return to rotation
+        status    --join FLEET                 placement + inventory per worker
+        top       --join FLEET                 live metrics per worker daemon
+        grow      --join FLEET --add H:P ...   add daemons, re-balance shards
+        shrink    --join FLEET --remove H:P .. retire daemons, re-balance
+        drain     --root H:P                   root: persist sessions, refuse new
+        undrain   --root H:P                   root: return to rotation
+        autoscale --join FLEET --pool SPEC     metrics-driven resize loop
 
     ``grow``/``shrink`` attach a transient administrative root to the
     fleet, stream only the moved shard slices between daemons, and bump
@@ -762,7 +850,10 @@ def fleet_main(argv: list[str], out: TextIO | None = None) -> int:
     )
     parser.add_argument(
         "action",
-        choices=["status", "top", "grow", "shrink", "drain", "undrain"],
+        choices=[
+            "status", "top", "grow", "shrink", "drain", "undrain",
+            "autoscale",
+        ],
     )
     parser.add_argument(
         "--join", metavar="FLEET",
@@ -780,6 +871,46 @@ def fleet_main(argv: list[str], out: TextIO | None = None) -> int:
     parser.add_argument(
         "--root", metavar="HOST:PORT",
         help="service root to drain/undrain",
+    )
+    parser.add_argument(
+        "--pool", metavar="SPEC", default=None,
+        help="standby daemons the autoscaler may grow into: "
+             "'host:port,...' or '@file' (autoscale)",
+    )
+    parser.add_argument(
+        "--state", metavar="FILE", default=None,
+        help="autoscaler state file, read back by `fleet top` "
+             "(autoscale/top)",
+    )
+    parser.add_argument(
+        "--min", type=int, default=1, help="minimum fleet size (autoscale)"
+    )
+    parser.add_argument(
+        "--max", type=int, default=8, help="maximum fleet size (autoscale)"
+    )
+    parser.add_argument(
+        "--high", type=float, default=3.0,
+        help="grow above this pressure/core (autoscale)",
+    )
+    parser.add_argument(
+        "--low", type=float, default=0.5,
+        help="shrink below this pressure/core (autoscale)",
+    )
+    parser.add_argument(
+        "--cooldown", type=float, default=30.0,
+        help="seconds between resize actions (autoscale)",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=3,
+        help="consecutive agreeing samples before acting (autoscale)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=5.0,
+        help="sampling cadence in seconds (autoscale)",
+    )
+    parser.add_argument(
+        "--max-ticks", type=int, default=None,
+        help="stop the autoscale loop after N samples (default: forever)",
     )
     args = parser.parse_args(argv)
 
@@ -838,7 +969,17 @@ def fleet_main(argv: list[str], out: TextIO | None = None) -> int:
         return 0
     if args.action == "top":
         from repro.engine.remote import query_fleet_metrics
+        from repro.service.autoscaler import read_state
 
+        state = read_state(args.state) if args.state else None
+        if state is not None:
+            last = state.get("lastDecision") or {}
+            print(
+                f"autoscaler: target {state.get('target', '?')}  "
+                f"last {last.get('action', '?')} "
+                f"({last.get('reason', 'no decision yet')})",
+                file=stream,
+            )
         print(f"fleet of {len(addresses)} worker daemon(s):", file=stream)
         for snap in query_fleet_metrics(addresses):
             if "error" in snap:
@@ -855,11 +996,16 @@ def fleet_main(argv: list[str], out: TextIO | None = None) -> int:
                 f"shards {snap.get('shardsSummarized', 0)}  "
                 f"memo {snap.get('memoHitRate', 0.0):.0%}  "
                 f"store {snap.get('storeHitRate', 0.0):.0%}  "
+                f"stolen {snap.get('slicesStolen', 0)}/"
+                f"{snap.get('slicesDonated', 0)}  "
+                f"warmed {snap.get('entriesWarmed', 0)}  "
                 f"v{snap.get('placementVersion', 0)}  "
                 f"spans {snap.get('spansBuffered', 0)}{flags}",
                 file=stream,
             )
         return 0
+    if args.action == "autoscale":
+        return _fleet_autoscale(args, addresses, stream)
 
     # preserve_cadence: this administrative attach must not rewrite the
     # serving tier's aggregation interval with our own default.

@@ -42,8 +42,12 @@ from repro.engine.cache import (
 from repro.engine.cluster import (
     Cluster,
     ClusterDataSet,
+    StealLedger,
+    StolenParcel,
     Worker,
     WorkerProtocol,
+    prewarm_budget_bytes,
+    steal_enabled,
 )
 from repro.engine.remote import (
     ProcessCluster,
@@ -79,7 +83,11 @@ __all__ = [
     "ClusterDataSet",
     "ProcessCluster",
     "RemoteWorkerProxy",
+    "StealLedger",
+    "StolenParcel",
     "Worker",
     "WorkerProtocol",
     "WorkerServer",
+    "prewarm_budget_bytes",
+    "steal_enabled",
 ]

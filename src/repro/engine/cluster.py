@@ -41,6 +41,8 @@ import concurrent.futures
 import contextlib
 import hashlib
 import itertools
+import json
+import os
 import queue
 import threading
 import time
@@ -71,6 +73,7 @@ from repro.obs.trace import TraceContext, current_context, span, use_context
 from repro.errors import (
     DatasetMissingError,
     EngineError,
+    HillviewError,
     WorkerUnavailableError,
 )
 from repro.storage.loader import DataSource
@@ -89,6 +92,65 @@ MAX_WORKER_RETRIES = 3
 #: rebalances a single query can ride out.
 MAX_PLACEMENT_RETRIES = 8
 
+#: A straggler must have at least this many unstarted shards before an
+#: idle peer bothers claiming any — below this, letting the victim
+#: finish beats the claim round-trip.
+STEAL_MIN_PENDING = 2
+
+#: Upper bound on shards moved by one claim.  Thieves loop (another
+#: claim fires as each one returns), so a small cap keeps claims cheap
+#: and lets several idle peers share one straggler's backlog.
+STEAL_MAX_BUDGET = 8
+
+
+def steal_enabled() -> bool:
+    """Work stealing is on unless ``REPRO_STEAL=0``.
+
+    Read per fan-out, not at import, so tests (and the byte-identity
+    benchmarks) can flip modes inside one process.
+    """
+    return os.environ.get("REPRO_STEAL", "1") != "0"
+
+
+def steal_after_seconds(aggregation_interval: float) -> float:
+    """How long a fan-out must run before claims are considered.
+
+    The gate separates stragglers from ordinary skew: in a balanced
+    sub-second run every worker finishes within a cadence or two, and a
+    claim would only add round-trips — worse, the ceded worker can no
+    longer memoize its slice partial (it never folded the whole slice),
+    which would defeat the §5.4 warm path for every later query.
+    ``REPRO_STEAL_AFTER`` (seconds) overrides for tests and benchmarks.
+    """
+    raw = os.environ.get("REPRO_STEAL_AFTER")
+    if raw:
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            pass
+    return max(2 * aggregation_interval, 0.25)
+
+
+#: Default byte budget for prewarming a joining worker's memo cache
+#: from its peers' hot entries (summaries are tiny — §5.4 — so a few
+#: megabytes covers hundreds of sketches).
+PREWARM_BUDGET_BYTES = 4 * 1024 * 1024
+
+
+def prewarm_budget_bytes() -> int:
+    """How many summary bytes of hot memo entries a joiner replicates.
+
+    ``REPRO_PREWARM_BYTES`` overrides (0 disables prewarming); read per
+    resize, not at import, so tests can flip it inside one process.
+    """
+    raw = os.environ.get("REPRO_PREWARM_BYTES")
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return PREWARM_BUDGET_BYTES
+
 
 @dataclass
 class WorkerEmission:
@@ -102,6 +164,89 @@ class WorkerEmission:
     shards_done: int
     bytes: int
     cache_hit: bool = False
+
+
+@dataclass
+class StolenParcel:
+    """One shard slice ceded by a straggler to an idle peer.
+
+    In-process fleets pass the shard as an object reference; over the
+    wire it travels as serialized bytes and :meth:`resolve` decodes it
+    lazily on whichever side ends up summarizing (the thief daemon, or
+    the root as a last-resort fallback).
+    """
+
+    global_index: int
+    table: Table | None = None
+    payload: bytes | None = None
+    shard_id: str | None = None
+
+    def resolve(self) -> Table:
+        if self.table is None:
+            if self.payload is None:
+                raise EngineError(
+                    f"stolen shard {self.global_index} carries no data"
+                )
+            from repro.storage.columnar import table_from_bytes
+
+            self.table = table_from_bytes(
+                self.payload,
+                shard_id=self.shard_id or f"stolen-{self.global_index}",
+            )
+        return self.table
+
+
+class StealLedger:
+    """A claim handle onto one in-flight :meth:`Worker.sketch_partials`.
+
+    The leaf pool starts micropartitions in submission order, so the
+    started set is always a *prefix* of the shard list and the
+    cancellable set a contiguous *suffix*.  :meth:`cede` cancels from
+    the tail toward the front — a ``Future.cancel()`` that returns True
+    guarantees the leaf never ran — so the victim's final cumulative
+    partial stays a left fold over an uninterrupted prefix, and the
+    stolen suffix can be folded on top of it in global shard order to
+    reproduce the uninterrupted run byte for byte.
+    """
+
+    def __init__(
+        self,
+        worker: "Worker",
+        futures: "list[concurrent.futures.Future]",
+        shards: "list[Table]",
+    ):
+        self._worker = worker
+        self._futures = futures
+        self._shards = shards
+        # Serializes concurrent claims: cancel() on an already-cancelled
+        # future also returns True, so two unlocked thieves could both
+        # believe they own one position.
+        self._lock = threading.Lock()
+
+    def cede(self, budget: int) -> "list[StolenParcel]":
+        """Cancel up to ``budget`` unstarted trailing shards; returns
+        their parcels in ascending position order (possibly empty)."""
+        taken: list[int] = []
+        with self._lock:
+            for position in range(len(self._futures) - 1, -1, -1):
+                if len(taken) >= budget:
+                    break
+                future = self._futures[position]
+                if future.cancelled():
+                    continue  # ceded to an earlier claim
+                if not future.cancel():
+                    break  # started (or done) — so is everything earlier
+                taken.append(position)
+        taken.reverse()
+        self._worker.slices_donated += len(taken)
+        worker = self._worker
+        return [
+            StolenParcel(
+                global_index=worker.index + position * worker.count,
+                table=self._shards[position],
+            )
+            for position in taken
+        ]
 
 
 class WorkerProtocol(ABC):
@@ -144,10 +289,18 @@ class WorkerProtocol(ABC):
         sketch: Sketch,
         lineage: list,
         token: CancellationToken | None = None,
+        on_ledger=None,
     ) -> Iterator[WorkerEmission]:
         """Run the sketch over this worker's shards, yielding cumulative
         partials at the aggregation cadence; the final emission reflects
-        every summarized shard."""
+        every shard the worker summarized itself.
+
+        ``on_ledger``, when given, receives a :class:`StealLedger`-like
+        handle (``cede(budget) -> list[StolenParcel]``) as soon as the
+        run's leaf tasks are queued, letting the root reassign unstarted
+        trailing shards to an idle peer mid-sketch.  Implementations
+        that cannot be stolen from simply never call it.
+        """
 
     @abstractmethod
     def evict(self, dataset_id: str) -> None:
@@ -156,6 +309,32 @@ class WorkerProtocol(ABC):
     @abstractmethod
     def crash(self) -> None:
         """Lose all soft state, as after a process restart (§5.8)."""
+
+    def summarize_stolen(
+        self, sketch: Sketch, parcels: "list[StolenParcel]"
+    ) -> "list[tuple[int, object]] | None":
+        """Summarize shard slices stolen from a straggling peer.
+
+        Returns ``[(global_index, summary)]`` in parcel order, or None
+        when this worker cannot act as a thief (the root then
+        summarizes the parcels itself).
+        """
+        return None
+
+    def export_hot_entries(self, budget_bytes: int) -> list[dict]:
+        """Hot memo *recipes* (dataset + sketch + lineage JSON), most-hit
+        first, cut off at roughly ``budget_bytes`` of summary payload.
+
+        Recipes, not entries: memo keys embed the worker's shard slice,
+        so a joiner on a resized fleet recomputes each recipe over its
+        *own* slice instead of adopting another slice's bytes.
+        """
+        return []
+
+    def import_entries(self, entries: list[dict]) -> int:
+        """Eagerly recompute and memoize exported recipes (prewarming);
+        returns how many entries were warmed.  Best-effort."""
+        return 0
 
     def cache_stats(self) -> dict:
         """This worker's cache counters (shard store + sketch memo)."""
@@ -245,6 +424,19 @@ class Worker(WorkerProtocol):
         self._loaded: set[str] = set()
         self.crashes = 0
         self.shards_summarized = 0
+        #: Work-stealing traffic: slices this worker summarized for a
+        #: straggling peer, and slices it ceded to idle peers.
+        self.slices_stolen = 0
+        self.slices_donated = 0
+        #: Memo entries eagerly recomputed from another worker's hot
+        #: list when this worker joined or was restriped (prewarming).
+        self.entries_warmed = 0
+        #: Recipes behind live memo entries: memo key -> {dataset,
+        #: sketch, lineage, hits}.  A recipe (not the summary bytes) is
+        #: what prewarming exports — the importer's memo key embeds a
+        #: different shard slice, so it recomputes rather than copies.
+        self._recipes: dict[str, dict] = {}
+        self._recipes_lock = threading.Lock()
         self.index = 0
         self.count = 1
         self.aggregation_interval = 0.1
@@ -286,6 +478,8 @@ class Worker(WorkerProtocol):
         self.store.clear()
         self.memo.clear()
         self._loaded.clear()
+        with self._recipes_lock:
+            self._recipes.clear()
         self.crashes += 1
 
     def cache_stats(self) -> dict:
@@ -308,6 +502,9 @@ class Worker(WorkerProtocol):
             "storeHitRate": round(store.hit_rate, 4),
             "memoHitRate": round(memo.hit_rate, 4),
             "memoBytes": memo.bytes,
+            "slicesStolen": self.slices_stolen,
+            "slicesDonated": self.slices_donated,
+            "entriesWarmed": self.entries_warmed,
         }
 
     def inventory(self) -> dict[str, dict]:
@@ -449,6 +646,7 @@ class Worker(WorkerProtocol):
         sketch: Sketch,
         lineage: list,
         token: CancellationToken | None = None,
+        on_ledger=None,
     ) -> Iterator[WorkerEmission]:
         memo_key = None
         cache_key = sketch.cache_key()
@@ -456,6 +654,10 @@ class Worker(WorkerProtocol):
             memo_key = self._memo_key(dataset_id, cache_key)
             memoized = self.memo.get(memo_key)
             if memoized is not None:
+                with self._recipes_lock:
+                    recipe = self._recipes.get(memo_key)
+                    if recipe is not None:
+                        recipe["hits"] += 1
                 summary, shard_count = memoized
                 yield WorkerEmission(
                     summary,
@@ -485,8 +687,11 @@ class Worker(WorkerProtocol):
         pending_since_emit = 0
         last_emit = time.monotonic()
         failure: BaseException | None = None
+        ceded = False
         with concurrent.futures.ThreadPoolExecutor(self.cores) as pool:
             futures = [pool.submit(leaf, shard) for shard in shards]
+            if on_ledger is not None and len(shards) > 1:
+                on_ledger(StealLedger(self, futures, shards))
             # Merge in *shard* order, not completion order: Misra-Gries
             # (and any non-commutative merge) must produce the same bytes
             # no matter which leaf thread finishes first — the memo and
@@ -494,6 +699,13 @@ class Worker(WorkerProtocol):
             for future in futures:
                 try:
                     summary = future.result()
+                except concurrent.futures.CancelledError:
+                    # This position (and, because cedes take contiguous
+                    # suffixes, every later one) went to an idle peer:
+                    # the cumulative partial so far covers exactly the
+                    # prefix this worker kept.
+                    ceded = True
+                    break
                 except Exception as exc:  # repro: ignore[B001] — not swallowed: re-raised after the pool drains
                     # A leaf failed (bad column, broken expression...):
                     # drop this worker's remaining shards and surface
@@ -522,6 +734,17 @@ class Worker(WorkerProtocol):
                     last_emit = now
         if failure is not None:
             raise failure
+        if ceded and pending_since_emit:
+            # Shards folded since the last cadence emission must still
+            # reach the root — its slice fold resumes from this exact
+            # prefix partial before appending the stolen summaries.
+            yield WorkerEmission(
+                accumulated,
+                done,
+                accumulated.serialized_size()
+                if hasattr(accumulated, "serialized_size")
+                else 0,
+            )
         if (
             memo_key is not None
             and shards
@@ -532,6 +755,113 @@ class Worker(WorkerProtocol):
             # memoize it for the next root (or session) asking for the
             # same deterministic sketch over the same dataset slice.
             self.memo.put(memo_key, (accumulated, len(shards)))
+            if memo_key in self.memo:  # dropped when caches are disabled
+                with self._recipes_lock:
+                    hits = self._recipes.get(memo_key, {}).get("hits", 0)
+                    self._recipes[memo_key] = {
+                        "dataset": dataset_id,
+                        "sketch": sketch,
+                        "lineage": lineage,
+                        "hits": hits,
+                    }
+
+    def summarize_stolen(
+        self, sketch: Sketch, parcels: "list[StolenParcel]"
+    ) -> "list[tuple[int, object]]":
+        """Act as the thief: summarize another worker's ceded slices.
+
+        Per-shard summaries come back individually (never pre-merged) —
+        the root appends them to the victim's prefix fold in global
+        shard order, which keeps the fold tree identical to an
+        uninterrupted run.  Nothing here touches this worker's memo:
+        memoized partials are keyed by *its own* slice.
+        """
+        if not parcels:
+            return []
+        ctx = current_context()
+
+        def leaf(parcel: StolenParcel) -> object:
+            self.shards_summarized += 1
+            with use_context(ctx):
+                return sketch.summarize(parcel.resolve())
+
+        with concurrent.futures.ThreadPoolExecutor(self.cores) as pool:
+            summaries = list(pool.map(leaf, parcels))
+        self.slices_stolen += len(parcels)
+        return [
+            (parcel.global_index, summary)
+            for parcel, summary in zip(parcels, summaries)
+        ]
+
+    # -- memo prewarming (elastic fleets) --------------------------------
+    def export_hot_entries(self, budget_bytes: int) -> list[dict]:
+        """The hottest live memo recipes, as wire-ready JSON dicts.
+
+        Ranked by hit count (ties broken by key for determinism) and cut
+        off once the *summaries* behind them exceed ``budget_bytes`` —
+        the recipes themselves are a few hundred bytes of JSON; the
+        budget bounds the recompute a joiner signs up for in terms of
+        the result bytes it ends up caching.
+        """
+        from repro.engine.rpc import lineage_to_json, sketch_to_json
+
+        with self._recipes_lock:
+            recipes = dict(self._recipes)
+        ranked: "list[tuple[int, str, dict, int]]" = []
+        for memo_key, recipe in recipes.items():
+            entry = self.memo.peek(memo_key)
+            if entry is None:
+                with self._recipes_lock:
+                    self._recipes.pop(memo_key, None)
+                continue
+            summary, _ = entry
+            ranked.append(
+                (recipe["hits"], memo_key, recipe, summary_size(summary))
+            )
+        ranked.sort(key=lambda item: (-item[0], item[1]))
+        exported: list[dict] = []
+        spent = 0
+        for hits, _, recipe, size in ranked:
+            if exported and spent + size > budget_bytes:
+                break
+            spent += size
+            exported.append(
+                {
+                    "dataset": recipe["dataset"],
+                    "sketch": sketch_to_json(recipe["sketch"]),
+                    "lineage": lineage_to_json(recipe["lineage"]),
+                    "hits": hits,
+                    "bytes": size,
+                }
+            )
+        return exported
+
+    def import_entries(self, entries: list[dict]) -> int:
+        """Prewarm: recompute each exported recipe over this worker's own
+        shard slice, memoizing the partial so the first real query hits.
+
+        Best-effort by design — a recipe whose dataset cannot be
+        replayed here (source gone, sketch type unknown) is skipped, not
+        fatal: prewarming is an optimization, never a correctness step.
+        """
+        from repro.engine.rpc import lineage_from_json, sketch_from_json
+
+        warmed = 0
+        for entry in entries:
+            try:
+                sketch = sketch_from_json(entry["sketch"])
+                lineage = lineage_from_json(entry["lineage"])
+                dataset_id = str(entry["dataset"])
+                for _ in self.sketch_partials(dataset_id, sketch, lineage):
+                    pass
+            except (HillviewError, KeyError, TypeError, ValueError):
+                # Prewarm is best-effort; a failed recipe (source gone,
+                # unknown sketch, malformed entry) only means a cold
+                # first query on this worker.
+                continue
+            warmed += 1
+        self.entries_warmed += warmed
+        return warmed
 
     def __repr__(self) -> str:
         return f"<Worker {self.name} cores={self.cores}>"
@@ -539,7 +869,18 @@ class Worker(WorkerProtocol):
 
 @dataclass
 class _Emission:
-    """One partial result sent from a worker to the root."""
+    """One message on the root's single merge queue.
+
+    ``kind`` discriminates: ``partial``/``done`` are the classic worker
+    stream (``summary is None`` still marks completion), ``ledger``
+    hands the root a steal handle for the attempt that just started,
+    ``restart`` announces a revived worker re-running from scratch (its
+    stolen results must be discarded — the fresh run recomputes every
+    shard), and ``stolen`` delivers a thief's per-shard summaries.
+    Routing them all through one queue gives the root a total order per
+    worker: a ledger can never be observed before its run's restart
+    marker.
+    """
 
     worker_index: int
     summary: object | None  # None marks worker completion
@@ -547,6 +888,11 @@ class _Emission:
     bytes: int
     error: BaseException | None = None  # a leaf failure, reported at the root
     cache_hit: bool = False  # served from the worker's memo cache
+    kind: str = "partial"
+    ledger: object | None = None  # kind="ledger": the steal handle
+    stolen: "list[tuple[int, object]] | None" = None  # kind="stolen"
+    epoch: int = 0  # steal epoch the stolen summaries belong to
+    thief: int | None = None  # kind="stolen": the slot that did the work
 
 
 class Cluster:
@@ -799,7 +1145,53 @@ class Cluster:
         old = list(self.workers)
         new_indices: "list[int | None]" = list(range(len(old)))
         self._rebalance(old, new_indices, old + added)
+        self._prewarm_joiners(old, added)
         return len(self.workers)
+
+    def _prewarm_joiners(
+        self,
+        donors: "Sequence[WorkerProtocol]",
+        joiners: "Sequence[WorkerProtocol]",
+    ) -> None:
+        """Replicate hot memo entries onto workers that just joined.
+
+        Donors export their most-hit memo *recipes* (byte-budgeted);
+        each joiner recomputes them over its own new shard slice so its
+        first real query is served from the memo instead of a cold scan.
+        Runs after the placement commit (recipes key on the new slice)
+        and entirely best-effort: an unreachable donor or joiner costs
+        warmth, never correctness.  ``REPRO_PREWARM_BYTES=0`` disables.
+        """
+        budget = prewarm_budget_bytes()
+        if not budget or not donors or not joiners:
+            return
+        entries: list[dict] = []
+        seen: set[str] = set()
+        for donor in donors:
+            try:
+                exported = donor.export_hot_entries(budget)
+            except (WorkerUnavailableError, EngineError):
+                continue
+            for entry in exported:
+                key = json.dumps(
+                    {"d": entry.get("dataset"), "s": entry.get("sketch")},
+                    sort_keys=True,
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                entries.append(entry)
+        if not entries:
+            return
+        warmed_counter = REGISTRY.counter(
+            "cluster.prewarm.entries",
+            "memo entries eagerly recomputed on joining workers",
+        )
+        for joiner in joiners:
+            try:
+                warmed_counter.inc(joiner.import_entries(entries))
+            except (WorkerUnavailableError, EngineError):
+                continue
 
     def shrink(self, selectors: "Sequence[int | str]") -> int:
         """Remove workers, re-balancing their shards onto the survivors.
@@ -1250,6 +1642,16 @@ class ClusterDataSet(IDataSet):
         failure: BaseException | None = None
         attempts = 0
         tries = 0
+
+        def post_ledger(ledger: object) -> None:
+            # Rides the same queue as the partials so the root observes
+            # it strictly after this attempt's restart marker (if any).
+            emissions.put(
+                _Emission(
+                    worker_index, None, 0, 0, kind="ledger", ledger=ledger
+                )
+            )
+
         try:
             with use_context(parent):
                 while True:
@@ -1262,7 +1664,11 @@ class ClusterDataSet(IDataSet):
                             attempt=tries,
                         ):
                             for emission in worker.sketch_partials(
-                                self.dataset_id, sketch, lineage, token
+                                self.dataset_id,
+                                sketch,
+                                lineage,
+                                token,
+                                on_ledger=post_ledger,
                             ):
                                 done = emission.shards_done
                                 emissions.put(
@@ -1290,6 +1696,14 @@ class ClusterDataSet(IDataSet):
                         ):
                             workers[worker_index] = cluster.workers[worker_index]
                             done = 0
+                            # The fresh run recomputes *every* shard, so
+                            # summaries stolen from the dead run must be
+                            # dropped at the root or they double-count.
+                            emissions.put(
+                                _Emission(
+                                    worker_index, None, 0, 0, kind="restart"
+                                )
+                            )
                             continue  # re-run against the revived worker
                         if not in_sync:
                             failure = StalePlacementError(
@@ -1309,6 +1723,113 @@ class ClusterDataSet(IDataSet):
             # The done sentinel is unconditional: without it the root's
             # merge loop would wait on this worker forever.
             emissions.put(_Emission(worker_index, None, done, 0, error=failure))
+
+    def _steal_claim(
+        self,
+        thief_slot: int,
+        victim_slot: int,
+        ledger,
+        epoch: int,
+        budget: int,
+        sketch: Sketch,
+        snapshot: "list[WorkerProtocol]",
+        emissions: "queue.Queue[_Emission]",
+        parent: "TraceContext | None" = None,
+    ) -> None:
+        """One claim: cede unstarted slices from the victim, summarize
+        them on the thief (root fallback if the thief cannot), post the
+        per-shard summaries back onto the merge queue.
+
+        Once :meth:`StealLedger.cede` returns parcels, the victim has
+        irrevocably skipped those shards — so every path below must
+        either produce their summaries or report an error that fails
+        the query; quietly dropping parcels would corrupt the merge.
+        """
+        stolen: "list[tuple[int, object]] | None" = []
+        error: BaseException | None = None
+        try:
+            with use_context(parent):
+                with span(
+                    "cluster.steal",
+                    victim=snapshot[victim_slot].name,
+                    thief=snapshot[thief_slot].name,
+                    budget=budget,
+                ):
+                    parcels = ledger.cede(budget)
+                    if parcels:
+                        results = None
+                        try:
+                            results = snapshot[thief_slot].summarize_stolen(
+                                sketch, parcels
+                            )
+                        except (WorkerUnavailableError, EngineError):
+                            results = None
+                        if results is None:
+                            # The thief died (or cannot help) after the
+                            # cede: the root summarizes the parcels
+                            # itself — it holds the sketch and the
+                            # shard bytes, so no slice goes missing.
+                            REGISTRY.counter(
+                                "cluster.steal.fallbacks",
+                                "ceded slices summarized by the root after "
+                                "a thief failure",
+                            ).inc(len(parcels))
+                            results = [
+                                (
+                                    parcel.global_index,
+                                    sketch.summarize(parcel.resolve()),
+                                )
+                                for parcel in parcels
+                            ]
+                        stolen = results
+        except BaseException as exc:
+            stolen = None
+            error = exc
+            # The finally below posts the error emission *before* this
+            # re-raise unwinds; the query fails loudly at the root and
+            # the thread's traceback marks the unexpected path.
+            raise
+        finally:
+            emissions.put(
+                _Emission(
+                    victim_slot,
+                    None,
+                    0,
+                    0,
+                    error=error,
+                    kind="stolen",
+                    stolen=stolen,
+                    epoch=epoch,
+                    thief=thief_slot,
+                )
+            )
+
+    @staticmethod
+    def _verify_steal_coverage(
+        stolen_acc: "dict[int, dict[int, object]]",
+        done_counts: "dict[int, int]",
+        slot_totals: "list[int]",
+        count: int,
+        worker_stats: "list[dict]",
+    ) -> None:
+        """The stolen set must be exactly the victim's unfolded suffix.
+
+        The shards the victim folded plus the stolen global indices
+        must tile ``range(slot_totals[v])`` — anything else means a
+        slice was double-summarized or silently dropped, and a loud
+        failure beats byte-divergent results.
+        """
+        for victim, extras in stolen_acc.items():
+            if not extras or worker_stats[victim].get("error"):
+                continue
+            positions = {(g - victim) // count for g in extras}
+            expected = set(range(done_counts[victim], slot_totals[victim]))
+            if positions != expected:
+                raise EngineError(
+                    f"work stealing left slot {victim} with shard coverage "
+                    f"{sorted(positions)} over prefix {done_counts[victim]} "
+                    f"of {slot_totals[victim]} shards"
+                )
 
     def sketch_stream(
         self,
@@ -1400,6 +1921,7 @@ class ClusterDataSet(IDataSet):
             # Phase 2: leaves summarize; aggregation nodes emit partials.
             snapshot = list(cluster.workers)
             workers = range(len(snapshot))
+            slot_totals = list(shard_counts)
             worker_stats: list[dict] = [
                 {
                     "name": w.name,
@@ -1447,17 +1969,172 @@ class ClusterDataSet(IDataSet):
                 finished = 0
                 final: R | None = None
                 leaf_error: BaseException | None = None
-                while finished < len(threads):
+
+                # -- work stealing (straggler suppression) -------------
+                # A slot whose stream finished is an idle thief; a slot
+                # with a live ledger and enough unstarted shards is a
+                # victim.  Claims run on their own threads and deliver
+                # per-shard summaries through the same queue; the
+                # restart marker bumps the victim's epoch so summaries
+                # stolen from a dead run are discarded, never merged.
+                steal_on = steal_enabled() and len(snapshot) > 1
+                steal_after = steal_after_seconds(
+                    cluster.aggregation_interval
+                )
+                ledgers: "dict[int, tuple[object, int]]" = {}
+                epochs = dict.fromkeys(workers, 0)
+                stolen_acc: "dict[int, dict[int, object]]" = {
+                    i: {} for i in workers
+                }
+                finished_slots: set[int] = set()
+                claims_in_flight: set[int] = set()
+                idle_thieves: list[int] = []
+                steal_threads: list[threading.Thread] = []
+                outstanding = 0
+                claims_counter = REGISTRY.counter(
+                    "cluster.steal.claims",
+                    "work-steal claims dispatched by roots",
+                )
+                slices_counter = REGISTRY.counter(
+                    "cluster.steal.slices",
+                    "shard slices reassigned to idle workers mid-sketch",
+                )
+
+                def pending_of(victim: int) -> int:
+                    return (
+                        slot_totals[victim]
+                        - done_counts[victim]
+                        - len(stolen_acc[victim])
+                    )
+
+                def maybe_steal() -> None:
+                    nonlocal outstanding
+                    if not steal_on or (token is not None and token.cancelled):
+                        return
+                    if time.perf_counter() - fanout_started < steal_after:
+                        # Not a straggler yet: claims this early cost
+                        # more than they save and break the victim's
+                        # slice memoization.  The next emission (cadence
+                        # partial or completion) re-evaluates.
+                        return
+                    while idle_thieves:
+                        candidates = [
+                            v
+                            for v in workers
+                            if v not in finished_slots
+                            and v not in claims_in_flight
+                            and v in ledgers
+                            and pending_of(v) >= STEAL_MIN_PENDING
+                        ]
+                        if not candidates:
+                            return
+                        victim = max(candidates, key=pending_of)
+                        thief = idle_thieves.pop()
+                        ledger, epoch = ledgers[victim]
+                        budget = max(
+                            1,
+                            min(STEAL_MAX_BUDGET, pending_of(victim) // 2),
+                        )
+                        claims_in_flight.add(victim)
+                        outstanding += 1
+                        claims_counter.inc()
+                        thread = threading.Thread(
+                            target=self._steal_claim,
+                            args=(
+                                thief,
+                                victim,
+                                ledger,
+                                epoch,
+                                budget,
+                                sketch,
+                                snapshot,
+                                emissions,
+                                fan_ctx,
+                            ),
+                            daemon=True,
+                        )
+                        steal_threads.append(thread)
+                        thread.start()
+
+                def merged_now() -> R:
+                    # Worker-index order, not arrival order, and stolen
+                    # summaries appended to their victim's prefix fold
+                    # in global shard order: the final bytes must not
+                    # depend on which worker emitted (or stole) first.
+                    slots = set(latest) | {
+                        v for v, extras in stolen_acc.items() if extras
+                    }
+                    values = []
+                    for i in sorted(slots):
+                        value = latest.get(i, sketch.zero())
+                        extras = stolen_acc[i]
+                        for g in sorted(extras):
+                            value = sketch.merge(value, extras[g])
+                        values.append(value)
+                    return sketch.merge_all(values)
+
+                def progress() -> float:
+                    covered = sum(done_counts.values()) + sum(
+                        len(extras) for extras in stolen_acc.values()
+                    )
+                    return covered / total_shards
+
+                while finished < len(threads) or outstanding:
                     emission = emissions.get()
-                    stat = worker_stats[emission.worker_index]
-                    done_counts[emission.worker_index] = emission.shards_done
+                    slot = emission.worker_index
+                    if emission.kind == "ledger":
+                        ledgers[slot] = (emission.ledger, epochs[slot])
+                        maybe_steal()
+                        continue
+                    if emission.kind == "restart":
+                        epochs[slot] += 1
+                        ledgers.pop(slot, None)
+                        stolen_acc[slot].clear()
+                        done_counts[slot] = 0
+                        continue
+                    if emission.kind == "stolen":
+                        outstanding -= 1
+                        claims_in_flight.discard(slot)
+                        if emission.thief is not None:
+                            idle_thieves.append(emission.thief)
+                        if emission.stolen is None:
+                            # Ceded parcels exist but nobody could
+                            # summarize them: surface instead of
+                            # returning a silently incomplete merge.
+                            if emission.error is not None and leaf_error is None:
+                                leaf_error = emission.error
+                        elif emission.stolen and emission.epoch == epochs[slot]:
+                            stolen_acc[slot].update(dict(emission.stolen))
+                            slices_counter.inc(len(emission.stolen))
+                            worker_stats[slot]["ceded"] = len(stolen_acc[slot])
+                            merge_started = time.perf_counter()
+                            merged = merged_now()
+                            merge_seconds += (
+                                time.perf_counter() - merge_started
+                            )
+                            final = merged
+                            yield PartialResult(
+                                progress(),
+                                merged,
+                                received_bytes=0,
+                                worker_cache_hits=len(hit_workers),
+                                profile=profile,
+                            )
+                        maybe_steal()
+                        continue
+                    stat = worker_stats[slot]
+                    done_counts[slot] = emission.shards_done
                     stat["shards"] = emission.shards_done
                     if emission.summary is None:
                         finished += 1
+                        finished_slots.add(slot)
                         if emission.error is not None:
                             stat["error"] = str(emission.error)
                             if leaf_error is None:
                                 leaf_error = emission.error
+                        else:
+                            idle_thieves.append(slot)
+                            maybe_steal()
                         continue
                     offset = time.perf_counter() - fanout_started
                     stat.setdefault("firstEmitSeconds", round(offset, 6))
@@ -1472,22 +2149,32 @@ class ClusterDataSet(IDataSet):
                         cluster.total_bytes_to_root += emission.bytes
                     bytes_counter.inc(emission.bytes)
                     merge_started = time.perf_counter()
-                    # Worker-index order, not arrival order: the final
-                    # bytes must not depend on which worker emitted first.
-                    merged = sketch.merge_all(
-                        [latest[i] for i in sorted(latest)]
-                    )
+                    merged = merged_now()
                     merge_seconds += time.perf_counter() - merge_started
                     final = merged
                     yield PartialResult(
-                        sum(done_counts.values()) / total_shards,
+                        progress(),
                         merged,
                         received_bytes=emission.bytes,
                         worker_cache_hits=len(hit_workers),
                         profile=profile,
                     )
+                    # Cadence partials re-evaluate the straggler gate:
+                    # thieves idle since before the gate opened would
+                    # otherwise never fire.
+                    maybe_steal()
                 for thread in threads:
                     thread.join()
+                for thread in steal_threads:
+                    thread.join()
+                if leaf_error is None:
+                    self._verify_steal_coverage(
+                        stolen_acc,
+                        done_counts,
+                        slot_totals,
+                        len(snapshot),
+                        worker_stats,
+                    )
             last_emits = [
                 s["lastEmitSeconds"]
                 for s in worker_stats
@@ -1504,6 +2191,9 @@ class ClusterDataSet(IDataSet):
                 time.perf_counter() - attempt_started, 6
             )
             profile["totalShards"] = total_shards
+            profile["stolenSlices"] = sum(
+                len(extras) for extras in stolen_acc.values()
+            )
             if leaf_error is not None:
                 raise leaf_error
             return final

@@ -40,11 +40,12 @@ import subprocess
 import sys
 import threading
 import time
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.core.framing import FrameError, read_frame_blocking, write_frame
 from repro.engine.cluster import (
     Cluster,
+    StolenParcel,
     Worker,
     WorkerEmission,
     WorkerProtocol,
@@ -111,7 +112,17 @@ _DATASET_METHODS = frozenset(
 #: State-creating methods a draining worker (SIGTERM received) refuses;
 #: in-flight partial streams still run to completion.
 _REFUSED_WHILE_DRAINING = frozenset(
-    {"configure", "load", "adoptShards", "transferShards", "rebalanceCommit"}
+    {
+        "configure",
+        "load",
+        "adoptShards",
+        "transferShards",
+        "rebalanceCommit",
+        # A draining worker finishes what it has; acting as a steal
+        # thief or prewarm target is *new* work it must not take on.
+        "stolenPartial",
+        "importEntries",
+    }
 )
 
 #: Roughly how many shard payload bytes one adoptShards batch carries
@@ -146,6 +157,11 @@ class _RootLink:
         #: Cancels that arrived before their sketch left the request pool's
         #: queue (the token is only registered when execution starts).
         self.cancelled_early: set[int] = set()
+        #: Steal ledgers of this root's in-flight sketches, by request id:
+        #: a ``claimSlices`` for request N cedes unstarted trailing shards
+        #: of exactly that run.  Per-link, like the tokens — request ids
+        #: are only unique per root connection.
+        self.ledgers: dict[int, object] = {}
         self.tokens_lock = threading.Lock()
 
 
@@ -698,6 +714,25 @@ class WorkerServer:
             yield self._transfer_shards(request)
         elif method == "adoptShards":
             yield self._adopt_shards(request)
+        elif method == "claimSlices":
+            yield self._claim_slices(request, link)
+        elif method == "stolenPartial":
+            yield self._stolen_partial(request)
+        elif method == "exportHotEntries":
+            yield RpcReply(
+                request.request_id,
+                "complete",
+                payload={
+                    "entries": worker.export_hot_entries(
+                        int(args.get("budgetBytes", 0))
+                    )
+                },
+            )
+        elif method == "importEntries":
+            warmed = worker.import_entries(list(args.get("entries") or []))
+            yield RpcReply(
+                request.request_id, "complete", payload={"warmed": warmed}
+            )
         elif method == "rebalanceCommit":
             yield self._rebalance_commit(request)
         elif method == "retire":
@@ -772,9 +807,18 @@ class WorkerServer:
         done = 0
         cache_hit = False
         json_wire = wire_json_forced()
+
+        def on_ledger(ledger: object) -> None:
+            # Registered alongside the cancellation token: a claimSlices
+            # for this request id (from whichever root runs the fan-out)
+            # cedes unstarted trailing shards of exactly this run.
+            with link.tokens_lock:
+                link.ledgers[request.request_id] = ledger
+
         try:
             for emission in self.worker.sketch_partials(
-                str(args["dataset"]), sketch, lineage, token
+                str(args["dataset"]), sketch, lineage, token,
+                on_ledger=on_ledger,
             ):
                 done = emission.shards_done
                 cache_hit = cache_hit or emission.cache_hit
@@ -821,6 +865,108 @@ class WorkerServer:
         finally:
             with link.tokens_lock:
                 link.tokens.pop(request.request_id, None)
+                link.ledgers.pop(request.request_id, None)
+
+    # -- work stealing (the claim/stolen wire) ---------------------------
+    def _claim_slices(self, request: RpcRequest, link: _RootLink) -> RpcReply:
+        """Cede unstarted trailing shards of one in-flight sketch.
+
+        The root (steal coordinator) names the sketch by its request id
+        on this link; the ledger cancels a contiguous suffix of that
+        run's leaf futures under its own lock, and the ceded shards
+        travel back serialized — ready to be relayed to the thief.  No
+        ledger (the run finished, never started, or was served from the
+        memo) reads as "nothing to cede", never an error: an empty claim
+        is the normal outcome of racing a finishing victim.
+        """
+        from repro.storage.columnar import table_to_bytes
+
+        args = request.args
+        target = int(args.get("requestId", -1))
+        budget = max(0, int(args.get("budget", 0)))
+        with link.tokens_lock:
+            ledger = link.ledgers.get(target)
+        parcels = ledger.cede(budget) if ledger is not None and budget else []
+        json_wire = wire_json_forced()
+        entries: list[dict] = []
+        blobs: list[bytes] = []
+        for parcel in parcels:
+            shard = parcel.resolve()
+            payload = table_to_bytes(shard)
+            entry = {
+                "globalIndex": parcel.global_index,
+                "shardId": shard.shard_id,
+            }
+            if json_wire:
+                entry["data"] = base64.b64encode(payload).decode("ascii")
+            else:
+                blobs.append(payload)
+            entries.append(entry)
+        reply = RpcReply(
+            request.request_id, "complete", payload={"parcels": entries}
+        )
+        if blobs:
+            enc = Encoder()
+            enc.write_uvarint(len(blobs))
+            for blob in blobs:
+                enc.write_bytes(blob)
+            reply.attachment = enc.to_bytes()
+        return reply
+
+    def _stolen_partial(self, request: RpcRequest) -> RpcReply:
+        """Summarize shard slices stolen from a straggling peer.
+
+        The root relays the victim's ceded shards here; per-shard
+        summaries (never pre-merged — the root folds them in global
+        shard order) travel back the same way sketch partials do.
+        """
+        args = request.args
+        sketch = sketch_from_json(args["sketch"])
+        items = args.get("parcels") or []
+        blobs: list[bytes] | None = None
+        if request.attachment is not None:
+            dec = Decoder(request.attachment)
+            blobs = [dec.read_bytes() for _ in range(dec.read_uvarint())]
+            if len(blobs) != len(items):
+                raise ProtocolError(
+                    f"stolenPartial attachment carries {len(blobs)} payloads "
+                    f"for {len(items)} parcel entries"
+                )
+        parcels: list[StolenParcel] = []
+        for position, item in enumerate(items):
+            payload = (
+                blobs[position]
+                if blobs is not None
+                else base64.b64decode(str(item["data"]))
+            )
+            parcels.append(
+                StolenParcel(
+                    global_index=int(item["globalIndex"]),
+                    payload=payload,
+                    shard_id=str(item.get("shardId") or "") or None,
+                )
+            )
+        summaries = self.worker.summarize_stolen(sketch, parcels) or []
+        json_wire = wire_json_forced()
+        entries: list[dict] = []
+        out_blobs: list[bytes] = []
+        for global_index, summary in summaries:
+            entry: dict = {"globalIndex": global_index}
+            if json_wire:
+                entry["summary"] = summary_to_json(summary)
+            else:
+                out_blobs.append(summary_to_bytes(summary))
+            entries.append(entry)
+        reply = RpcReply(
+            request.request_id, "complete", payload={"summaries": entries}
+        )
+        if out_blobs:
+            enc = Encoder()
+            enc.write_uvarint(len(out_blobs))
+            for blob in out_blobs:
+                enc.write_bytes(blob)
+            reply.attachment = enc.to_bytes()
+        return reply
 
     # -- the rebalance protocol (elastic fleets) -------------------------
     def _placement_payload(self) -> dict:
@@ -1168,8 +1314,14 @@ class _WorkerChannel:
         )
         self._reader.start()
 
-    def submit(self, method: str, args: dict) -> tuple[int, "queue.Queue[RpcReply]"]:
+    def submit(
+        self,
+        method: str,
+        args: dict,
+        attachment: bytes | None = None,
+    ) -> tuple[int, "queue.Queue[RpcReply]"]:
         request = RpcRequest(next(self._ids), "", method, args)
+        request.attachment = attachment
         # Auto-propagation: any RPC issued while the calling thread is
         # inside a traced span carries a child context on its envelope,
         # so every root→worker hop parents correctly with zero changes
@@ -1199,9 +1351,15 @@ class _WorkerChannel:
         ).inc(len(payload))
         return request.request_id, replies
 
-    def call(self, method: str, args: dict, timeout: float = 60.0) -> RpcReply:
+    def call(
+        self,
+        method: str,
+        args: dict,
+        timeout: float = 60.0,
+        attachment: bytes | None = None,
+    ) -> RpcReply:
         """One request, blocking for its terminal reply."""
-        _, replies = self.submit(method, args)
+        _, replies = self.submit(method, args, attachment=attachment)
         deadline = time.monotonic() + timeout
         while True:
             remaining = deadline - time.monotonic()
@@ -1265,6 +1423,53 @@ class _WorkerChannel:
         except OSError:
             pass
         self._reader.join(timeout=5.0)
+
+
+class _RemoteStealLedger:
+    """The root's claim handle onto one in-flight remote sketch.
+
+    ``cede`` is one synchronous ``claimSlices`` RPC; the daemon cancels
+    unstarted trailing leaves under its own ledger lock and returns the
+    ceded shards serialized.  Every failure reads as "nothing ceded",
+    which is always safe: an error reply means the daemon ceded nothing,
+    and a dead connection kills the victim's whole sketch stream — its
+    revival restart recomputes every shard regardless.
+    """
+
+    def __init__(self, proxy: "RemoteWorkerProxy", request_id: int):
+        self._proxy = proxy
+        self._request_id = request_id
+
+    def cede(self, budget: int) -> "list[StolenParcel]":
+        try:
+            reply = self._proxy.channel.call(
+                "claimSlices",
+                {"requestId": self._request_id, "budget": int(budget)},
+                timeout=self._proxy.request_timeout,
+            )
+        except (WorkerUnavailableError, EngineError):
+            return []
+        payload = reply.payload if isinstance(reply.payload, dict) else {}
+        items = payload.get("parcels") or []
+        blobs: list[bytes] | None = None
+        if reply.attachment is not None:
+            dec = Decoder(reply.attachment)
+            blobs = [dec.read_bytes() for _ in range(dec.read_uvarint())]
+        parcels: list[StolenParcel] = []
+        for position, item in enumerate(items):
+            data = (
+                blobs[position]
+                if blobs is not None and position < len(blobs)
+                else base64.b64decode(str(item["data"]))
+            )
+            parcels.append(
+                StolenParcel(
+                    global_index=int(item["globalIndex"]),
+                    payload=data,
+                    shard_id=str(item.get("shardId") or "") or None,
+                )
+            )
+        return parcels
 
 
 class RemoteWorkerProxy(WorkerProtocol):
@@ -1386,6 +1591,7 @@ class RemoteWorkerProxy(WorkerProtocol):
         sketch,
         lineage: list,
         token: CancellationToken | None = None,
+        on_ledger=None,
     ) -> Iterator[WorkerEmission]:
         request_id, replies = self.channel.submit(
             "sketch",
@@ -1397,6 +1603,11 @@ class RemoteWorkerProxy(WorkerProtocol):
                 }
             ),
         )
+        if on_ledger is not None:
+            # The handle is valid immediately: a claim that reaches the
+            # daemon before the run registers its ledger (or after it
+            # finished) simply cedes nothing.
+            on_ledger(_RemoteStealLedger(self, request_id))
         cancel_sent = False
         deadline = time.monotonic() + self.request_timeout
         while True:
@@ -1445,6 +1656,82 @@ class RemoteWorkerProxy(WorkerProtocol):
             self._versioned({"dataset": dataset_id}),
             timeout=self.request_timeout,
         )
+
+    def summarize_stolen(
+        self, sketch, parcels: "list[StolenParcel]"
+    ) -> "list[tuple[int, object]]":
+        """Relay a victim's ceded shards to this daemon for summarizing.
+
+        The parcels arrived from ``claimSlices`` already serialized, so
+        the root forwards the bytes untouched; per-shard summaries come
+        back individually, exactly like sketch partials travel.
+        """
+        if not parcels:
+            return []
+        from repro.storage.columnar import table_to_bytes
+
+        json_wire = wire_json_forced()
+        entries: list[dict] = []
+        blobs: list[bytes] = []
+        for parcel in parcels:
+            payload = parcel.payload
+            if payload is None:
+                payload = table_to_bytes(parcel.resolve())
+            entry: dict = {
+                "globalIndex": parcel.global_index,
+                "shardId": parcel.shard_id,
+            }
+            if json_wire:
+                entry["data"] = base64.b64encode(payload).decode("ascii")
+            else:
+                blobs.append(payload)
+            entries.append(entry)
+        attachment = None
+        if blobs:
+            enc = Encoder()
+            enc.write_uvarint(len(blobs))
+            for blob in blobs:
+                enc.write_bytes(blob)
+            attachment = enc.to_bytes()
+        reply = self.channel.call(
+            "stolenPartial",
+            {"sketch": sketch_to_json(sketch), "parcels": entries},
+            timeout=self.request_timeout,
+            attachment=attachment,
+        )
+        payload_dict = reply.payload if isinstance(reply.payload, dict) else {}
+        items = payload_dict.get("summaries") or []
+        in_blobs: list[bytes] | None = None
+        if reply.attachment is not None:
+            dec = Decoder(reply.attachment)
+            in_blobs = [dec.read_bytes() for _ in range(dec.read_uvarint())]
+        results: "list[tuple[int, object]]" = []
+        for position, item in enumerate(items):
+            if in_blobs is not None and position < len(in_blobs):
+                summary = summary_from_bytes(in_blobs[position])
+            else:
+                summary = summary_from_json(item["summary"])
+            results.append((int(item["globalIndex"]), summary))
+        return results
+
+    def export_hot_entries(self, budget_bytes: int) -> list[dict]:
+        reply = self.channel.call(
+            "exportHotEntries",
+            {"budgetBytes": int(budget_bytes)},
+            timeout=self.request_timeout,
+        )
+        payload = reply.payload if isinstance(reply.payload, dict) else {}
+        entries = payload.get("entries")
+        return entries if isinstance(entries, list) else []
+
+    def import_entries(self, entries: list[dict]) -> int:
+        reply = self.channel.call(
+            "importEntries",
+            {"entries": entries},
+            timeout=self.request_timeout,
+        )
+        payload = reply.payload if isinstance(reply.payload, dict) else {}
+        return int(payload.get("warmed", 0))
 
     def crash(self) -> None:
         self.channel.call("crash", {}, timeout=self.request_timeout)
@@ -1662,7 +1949,7 @@ class ProcessCluster(Cluster):
     def __init__(
         self,
         num_workers: int = 4,
-        cores_per_worker: int = 2,
+        cores_per_worker: "int | Sequence[int]" = 2,
         aggregation_interval: float = 0.1,
         addresses: "list[tuple[str, int]] | None" = None,
         python: str | None = None,
@@ -1697,8 +1984,22 @@ class ProcessCluster(Cluster):
                 self._listener.bind(("127.0.0.1", 0))
                 self._listener.listen(max(num_workers, 4))
                 self._env = _spawn_env()
-                for i in range(num_workers):
-                    workers.append(self._spawn_worker(i, cores_per_worker))
+                # A sequence gives each spawned worker its own core
+                # count — chaos and steal tests build deliberately
+                # skewed fleets this way (a 1-core straggler next to a
+                # 4-core thief).  Respawn keeps the skew: each proxy
+                # remembers its own ``cores``.
+                if isinstance(cores_per_worker, int):
+                    core_plan = [cores_per_worker] * num_workers
+                else:
+                    core_plan = [int(c) for c in cores_per_worker]
+                    if len(core_plan) != num_workers:
+                        raise ValueError(
+                            f"cores_per_worker has {len(core_plan)} "
+                            f"entries for {num_workers} workers"
+                        )
+                for i, cores in enumerate(core_plan):
+                    workers.append(self._spawn_worker(i, cores))
             else:
                 for host, port in self._addresses:
                     workers.append(self._dial_worker(host, port))
@@ -2094,6 +2395,9 @@ class ProcessCluster(Cluster):
                 if proxy not in self.workers:  # a failed grow leaks nothing
                     proxy.close()
             raise
+        # Prewarm after the commit: the joiners' memo keys embed the new
+        # slice, so recipes recompute over exactly what they now hold.
+        self._prewarm_joiners(old, added)
         return len(self.workers)
 
     def _find_worker(self, selector) -> int:

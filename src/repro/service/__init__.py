@@ -11,6 +11,13 @@ session resumes on any root (:mod:`session_store`), and a round-robin
 connection director for tests and benchmarks (:mod:`director`).
 """
 
+from repro.service.autoscaler import (
+    Autoscaler,
+    AutoscalerConfig,
+    Decision,
+    fleet_pressure,
+    worker_pressure,
+)
 from repro.service.director import ConnectionDirector, admin_call, probe_root
 from repro.service.placement import (
     PlacementError,
@@ -50,7 +57,10 @@ from repro.service.transport import (
 )
 
 __all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
     "ConnectionDirector",
+    "Decision",
     "FairShareScheduler",
     "InMemorySessionStore",
     "PendingQuery",
@@ -73,10 +83,12 @@ __all__ = [
     "admin_call",
     "agree_placement",
     "encode_frame",
+    "fleet_pressure",
     "open_session_store",
     "parse_fleet_spec",
     "plan_moves",
     "probe_root",
     "read_frame_blocking",
     "source_from_json",
+    "worker_pressure",
 ]

@@ -26,6 +26,7 @@ with three twists a plain balancer also needs:
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 from typing import Callable
@@ -212,15 +213,30 @@ class ConnectionDirector:
                 )
         return results
 
-    def start_health_checks(self, interval_seconds: float = 5.0) -> None:
+    def start_health_checks(
+        self,
+        interval_seconds: float = 5.0,
+        jitter_fraction: float = 0.2,
+    ) -> None:
         """Run :meth:`check_health` on a background thread until
-        :meth:`close` (idempotent)."""
+        :meth:`close` (idempotent).
+
+        Each wait stretches by a fresh uniform jitter of up to
+        ``jitter_fraction`` of the interval: directors started together
+        (one per root tier, or a fleet of test processes) would
+        otherwise probe every worker in synchronized bursts, and the
+        bursts themselves read as load spikes to anything watching
+        queue depth — the autoscaler included.  Jitter de-phases them.
+        """
         if self._checker is not None and self._checker.is_alive():
             return
         self._stop_checks.clear()
+        rng = random.Random()
 
         def loop() -> None:
-            while not self._stop_checks.wait(interval_seconds):
+            while not self._stop_checks.wait(
+                interval_seconds * (1.0 + rng.random() * jitter_fraction)
+            ):
                 self.check_health()
 
         # repro: ignore[C002] — background health-probe loop; probes carry no query context

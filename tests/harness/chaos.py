@@ -57,7 +57,7 @@ class ChaosRunner:
         rows: int = 24_000,
         partitions: int = 12,
         num_workers: int = 3,
-        cores_per_worker: int = 2,
+        cores_per_worker: "int | tuple[int, ...]" = 2,
         seed: int = 7,
         per_shard_seconds: float = 0.08,
         aggregation_interval: float = 0.02,
