@@ -14,6 +14,7 @@ the worker daemons of a process-level fleet::
 
     python -m repro.cli serve --demo-flights 500000 --port 8947
     python -m repro.cli serve --demo-flights 500000 --spawn --workers 8
+    python -m repro.cli gateway --demo-flights 500000 --port 8780
     python -m repro.cli worker --listen 0.0.0.0:9301 --cores 8
     python -m repro.cli serve --join host-a:9301,host-b:9301 \
         --session-store sessions.db --port 8948
@@ -479,6 +480,122 @@ def serve_main(argv: list[str]) -> int:
     try:
         server.run()
     finally:
+        cluster.close()
+    return 0
+
+
+def gateway_main(argv: list[str], out: TextIO | None = None) -> int:
+    """`repro gateway`: the browser-facing HTTP/WebSocket front door.
+
+    Runs a full stack in one process: an in-process worker cluster, the
+    TCP service root (so ``repro client`` still works against the same
+    sessions), and the HTTP/WS gateway documented in
+    ``docs/GATEWAY_API.md`` on top.
+    """
+    stream = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro.cli gateway",
+        description="Serve the HTTP/WebSocket gateway over a service tier.",
+    )
+    parser.add_argument("path", nargs="?", help="CSV/JSONL/log/SQLite/hvc path")
+    parser.add_argument("--sql-table", help="table name for SQLite sources")
+    parser.add_argument(
+        "--demo-flights", type=int, metavar="N",
+        help="serve N synthetic flight rows as the default dataset",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--cores-per-worker", type=int, default=4,
+        help="leaf thread pool size per worker",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8780,
+        help="HTTP/WebSocket listen port (0 picks a free one)",
+    )
+    parser.add_argument(
+        "--service-host", default="127.0.0.1",
+        help="bind address for the TCP service root underneath",
+    )
+    parser.add_argument(
+        "--service-port", type=int, default=8947,
+        help="TCP service root port (0 picks a free one)",
+    )
+    parser.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="query scheduler concurrency (fair-share across sessions)",
+    )
+    parser.add_argument(
+        "--idle-ttl", type=float, default=900.0,
+        help="seconds before an idle session's handles are evicted",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=15.0, metavar="SECONDS",
+        help="WebSocket heartbeat interval",
+    )
+    parser.add_argument(
+        "--resume-grace", type=float, default=60.0, metavar="SECONDS",
+        help="seconds a disconnected session's streams stay resumable",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit one-line JSON log records instead of staying quiet",
+    )
+    parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        help="enable structured logging at this level",
+    )
+    args = parser.parse_args(argv)
+
+    import threading
+
+    from repro.gateway import PROTOCOL_VERSION, GatewayServer
+    from repro.obs.logs import configure_logging
+    from repro.obs.trace import set_service_name
+    from repro.service import ServiceServer
+
+    if args.log_json or args.log_level:
+        configure_logging(
+            json_mode=args.log_json or None, level=args.log_level
+        )
+    set_service_name("gateway")
+
+    cluster = Cluster(
+        num_workers=args.workers, cores_per_worker=args.cores_per_worker
+    )
+    service = ServiceServer(
+        cluster,
+        host=args.service_host,
+        port=args.service_port,
+        max_concurrent=args.max_concurrent,
+        idle_ttl_seconds=args.idle_ttl,
+        default_source=_serve_source(args),
+    )
+    gateway = GatewayServer(
+        service,
+        host=args.host,
+        port=args.port,
+        heartbeat_interval_seconds=args.heartbeat,
+        resume_grace_seconds=args.resume_grace,
+    )
+    try:
+        service_address = service.start_background()
+        address = gateway.start_background()
+        print(
+            f"hillview gateway on http://{address[0]}:{address[1]} "
+            f"(protocol v{PROTOCOL_VERSION}; TCP root on "
+            f"{service_address[0]}:{service_address[1]}, "
+            f"{args.workers} in-process workers)",
+            file=stream,
+            flush=True,
+        )
+        try:
+            threading.Event().wait()  # serve until Ctrl-C
+        except KeyboardInterrupt:
+            pass
+    finally:
+        gateway.close()
+        service.close()
         cluster.close()
     return 0
 
@@ -1077,6 +1194,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "gateway":
+        return gateway_main(argv[1:])
     if argv and argv[0] == "client":
         return client_main(argv[1:])
     if argv and argv[0] == "worker":

@@ -293,6 +293,51 @@ def cell_from_json(value: object | None) -> object | None:
 #: every endpoint of both wires.
 TERMINAL_REPLY_KINDS = frozenset({"ack", "complete", "cancelled", "error"})
 
+#: Every machine-readable ``code`` an error or cancellation envelope can
+#: carry on the TCP wires (client<->root and root<->worker), with the
+#: condition it names.  This registry is the single source of truth the
+#: protocol documentation is checked against (``tests/test_docs.py``
+#: fails if ``docs/PROTOCOL.md`` documents a code that is not here, or
+#: omits one that is).
+WIRE_ERROR_CODES: dict[str, str] = {
+    "protocol": "the request was malformed or used an unknown method",
+    "unknown_handle": (
+        "the request referenced a remote object handle nobody knows; "
+        "the session stays alive"
+    ),
+    "engine": "a generic engine failure (the HillviewError default)",
+    "internal": "an unexpected exception was shielded by the service loop",
+    "cancelled": "the computation was cancelled by the client",
+    "superseded": (
+        "the sketch was preempted by a newer one from the same session "
+        "(newest-query-wins)"
+    ),
+    "session_closed": (
+        "a queued query was finalized because its session closed or expired"
+    ),
+    "overloaded": "admission control rejected the request (backlog full)",
+    "draining": (
+        "this root is in maintenance drain and refuses new sessions; "
+        "reconnect through the director to another root"
+    ),
+    "worker_draining": (
+        "the worker is draining (SIGTERM) and refuses state-creating RPCs"
+    ),
+    "stale_placement": (
+        "the request carried an outdated placement version; re-read "
+        "placements and retry (retryable)"
+    ),
+    "placement_conflict": (
+        "a root tried to re-slice shards of an already-placed fleet"
+    ),
+    "worker_unavailable": (
+        "a worker process died or its connection broke mid-request"
+    ),
+    "connection": "the connection was lost or delivered an unreadable frame",
+    "framing": "a malformed, oversized, or truncated wire frame",
+    "session_store": "the shared session store failed",
+}
+
 
 # ---------------------------------------------------------------------------
 # Frame envelopes: JSON headers with optional binary attachments

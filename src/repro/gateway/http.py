@@ -1,0 +1,196 @@
+"""Minimal HTTP/1.1 on asyncio streams — just enough for the gateway.
+
+The container philosophy of this repo is "no new dependencies": the
+gateway speaks HTTP with the same stdlib-only discipline as the uvarint
+wires.  This module owns the byte-level protocol — request parsing,
+response formatting, keep-alive — and nothing else; routing and handlers
+live in :mod:`repro.gateway.server`.
+
+Scope is deliberate: requests are bounded (no chunked request bodies,
+no multipart), responses always carry ``Content-Length``, and HTTP/1.1
+keep-alive is honored (``Connection: close`` or HTTP/1.0 closes).  That
+covers curl, browsers, spreadsheet connectors, and the WebSocket upgrade
+— the only clients this front door exists for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.errors import HillviewError
+
+#: Request line + headers may not exceed this (defense against a client
+#: that never sends the blank line).
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Request bodies are JSON control messages, never bulk data.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    101: "Switching Protocols",
+}
+
+
+class HttpError(HillviewError):
+    """A malformed or oversized HTTP request (maps to a 4xx response)."""
+
+    code = "bad_request"
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path, headers, body."""
+
+    method: str
+    target: str  # the raw request target, e.g. "/datasets/a/rows?$top=5"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    http_version: str = "HTTP/1.1"
+
+    @property
+    def path(self) -> str:
+        """The decoded path without the query string."""
+        return unquote(urlsplit(self.target).path)
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Query parameters, last value winning (OData params are scalar)."""
+        parsed = parse_qs(urlsplit(self.target).query, keep_blank_values=True)
+        return {key: values[-1] for key, values in parsed.items()}
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.http_version == "HTTP/1.0":
+            return "keep-alive" in connection
+        return "close" not in connection
+
+    def json_body(self) -> dict:
+        """The body as a JSON object; ``{}`` when empty."""
+        if not self.body:
+            return {}
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(f"request body is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise HttpError("request body must be a JSON object")
+        return data
+
+    def is_websocket_upgrade(self) -> bool:
+        return (
+            "websocket" in self.headers.get("upgrade", "").lower()
+            and "upgrade" in self.headers.get("connection", "").lower()
+        )
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Read one request; ``None`` on clean EOF before any bytes."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError("connection closed inside the request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError("request head too large", status=413)
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError("request head too large", status=413)
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(f"unsupported HTTP version {version!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError("malformed Content-Length")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError("request body too large", status=413)
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError("connection closed inside the request body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError("chunked request bodies are not supported")
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        headers=headers,
+        body=body,
+        http_version=version,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: "list[tuple[str, str]] | None" = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """One complete response, ``Content-Length`` framed."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    if status != 101:
+        lines.append(f"Content-Length: {len(body)}")
+        if body:
+            lines.append(f"Content-Type: {content_type}")
+        lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    for name, value in extra_headers or []:
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+    return head + body
+
+
+def json_response(
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+    extra_headers: "list[tuple[str, str]] | None" = None,
+) -> bytes:
+    """A JSON response with sorted keys (stable bytes for tests and docs)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return response_bytes(
+        status, body, keep_alive=keep_alive, extra_headers=extra_headers
+    )
+
+
+def error_response(
+    status: int, code: str, message: str, keep_alive: bool = True
+) -> bytes:
+    """The gateway's uniform HTTP error shape (see docs/GATEWAY_API.md)."""
+    return json_response(
+        status, {"error": message, "code": code}, keep_alive=keep_alive
+    )

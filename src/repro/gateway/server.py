@@ -1,0 +1,1037 @@
+"""The browser-facing front door: HTTP + WebSocket over the service tier.
+
+:class:`GatewayServer` wraps one :class:`~repro.service.transport.ServiceServer`
+and exposes its sessions, scheduler and cluster through two surfaces:
+
+* **HTTP** (``/api/v1/...``) — session create/resume, the operational
+  plane (health, stats, metrics, traces, drain) dispatched through the
+  same :meth:`~repro.service.transport.ServiceServer.admin_reply` the TCP
+  wire uses, and the OData-style dataset connector
+  (:mod:`repro.gateway.connector`);
+* **WebSocket** (``/api/v1/ws``) — the streamed query wire: the same
+  ``RpcRequest``/``RpcReply`` envelopes as the TCP wire, wrapped in typed
+  JSON messages, with an explicit protocol-version handshake
+  (:mod:`repro.gateway.protocol`), application heartbeats, and resumable
+  reply streams.
+
+**Resumable streams** exploit the fact that partials are *cumulative*
+(§5.1): the per-session ledger keeps only each stream's latest partial
+and its terminal reply, every reply carries a per-stream ``seq``, and a
+reconnecting client presents the last seq it saw — the server replays
+anything newer, reattaches live streams, and *restarts* (from the stored
+request) streams its grace timer already cancelled.  The client-side
+rule is one line: ignore replies whose seq is not greater than the last
+seen.
+
+**Backpressure** is the transport story of
+:class:`~repro.service.transport._Connection` verbatim: replies cross
+from scheduler threads into the connection's bounded asyncio outbox, and
+when a client stops draining, the blocked sink stalls (then cancels) the
+producing query — slow consumers never balloon the root's memory.
+
+The gateway runs on its own event loop (and thread, via
+:meth:`start_background`), so a deployment can serve the TCP wire and
+the browser wire side by side from one process, or run the gateway
+alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+import time
+
+from repro.engine.rpc import (
+    NO_PAYLOAD,
+    ProtocolError,
+    RpcReply,
+    RpcRequest,
+)
+from repro.errors import EngineError
+from repro.gateway import http as gw_http
+from repro.gateway import websocket as ws
+from repro.gateway.connector import ConnectorError, DatasetConnector
+from repro.gateway.protocol import (
+    PROTOCOL_VERSION,
+    Negotiated,
+    NegotiationError,
+    negotiate,
+    protocol_payload,
+)
+from repro.obs.logs import log_event
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TraceContext, from_traceparent, to_traceparent
+from repro.service.scheduler import QueryTask
+from repro.service.sessions import Session
+from repro.service.transport import ServiceServer
+
+#: HTTP status for each connector/gateway error code.
+_STATUS_BY_CODE = {
+    "not_found": 404,
+    "bad_request": 400,
+    "unknown_handle": 404,
+    "overloaded": 429,
+    "draining": 503,
+    "unsupported_protocol": 400,
+    "protocol": 400,
+}
+
+#: Per-session ledger bound: older streams are evicted (done ones first).
+MAX_STREAMS_PER_SESSION = 64
+
+
+def _status_for(code: str | None) -> int:
+    return _STATUS_BY_CODE.get(code or "", 500)
+
+
+def _reply_to_message(reply: RpcReply, seq: int | None = None) -> dict:
+    """An :class:`RpcReply` as a typed WebSocket message.
+
+    The envelope fields (requestId, kind, progress, payload, error, code,
+    cache, profile) are exactly the TCP wire's JSON — same codec, so a
+    sketch payload received over the gateway is identical to one received
+    over a :class:`~repro.service.transport.ServiceClient`.
+    """
+    message = json.loads(reply.to_json())
+    message["type"] = "reply"
+    if seq is not None:
+        message["seq"] = seq
+    return message
+
+
+class _Stream:
+    """One resumable reply stream: seq counter + bounded replay state."""
+
+    def __init__(self, request: RpcRequest):
+        self.request = request
+        self.seq = 0
+        self.last_partial: dict | None = None
+        self.terminal: dict | None = None
+        self.done = False
+        #: Cancelled by the grace timer (connection never resumed in
+        #: time) — a resume restarts the stored request instead of
+        #: replaying the synthetic cancellation.
+        self.expired = False
+        self.task: QueryTask | None = None
+        self.started = time.monotonic()
+
+    def record(self, reply: RpcReply) -> dict:
+        """Assign the next seq and fold the reply into replay state."""
+        self.seq += 1
+        message = _reply_to_message(reply, self.seq)
+        if reply.kind == "partial":
+            # Partials are cumulative: the latest one subsumes every
+            # earlier one, so the ledger holds exactly one.
+            self.last_partial = message
+        else:
+            self.terminal = message
+            self.done = True
+        return message
+
+    def replay_after(self, last_seq: int) -> list[dict]:
+        messages = []
+        if self.last_partial is not None and self.last_partial["seq"] > last_seq:
+            messages.append(self.last_partial)
+        if self.terminal is not None and self.terminal["seq"] > last_seq:
+            messages.append(self.terminal)
+        return messages
+
+
+class _WsConnection:
+    """One WebSocket connection's write side: bounded outbox + negotiation."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        outbox: "asyncio.Queue[dict | bytes | None]",
+        sink_timeout: float,
+    ):
+        self.loop = loop
+        self.outbox = outbox
+        self.sink_timeout = sink_timeout
+        self.closed = threading.Event()
+        self.negotiated: Negotiated | None = None
+        self.session: Session | None = None
+
+    def send_threadsafe(self, message: dict) -> None:
+        """Enqueue from a scheduler thread; blocks for backpressure.
+
+        When (unusually) invoked on the gateway loop itself — e.g. the
+        scheduler's admission-rejection path calls the sink synchronously
+        from ``submit`` — fall back to a non-blocking put: blocking the
+        loop on its own queue would deadlock.
+        """
+        if self.closed.is_set():
+            raise ConnectionError("websocket connection closed")
+        try:
+            running: asyncio.AbstractEventLoop | None = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is self.loop:
+            try:
+                self.outbox.put_nowait(message)
+            except asyncio.QueueFull:
+                raise ConnectionError("client stopped draining replies")
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.outbox.put(message), self.loop
+        )
+        try:
+            future.result(timeout=self.sink_timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ConnectionError("client stopped draining replies")
+
+
+class GatewayServer:
+    """HTTP + WebSocket front door over one :class:`ServiceServer`."""
+
+    def __init__(
+        self,
+        service: ServiceServer | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        outbox_frames: int = 64,
+        sink_timeout_seconds: float = 30.0,
+        heartbeat_interval_seconds: float = 15.0,
+        resume_grace_seconds: float = 60.0,
+        handshake_timeout_seconds: float = 10.0,
+    ):
+        self.service = service if service is not None else ServiceServer()
+        self.host = host
+        self.port = port
+        self.outbox_frames = outbox_frames
+        self.sink_timeout_seconds = sink_timeout_seconds
+        self.heartbeat_interval_seconds = heartbeat_interval_seconds
+        self.resume_grace_seconds = resume_grace_seconds
+        self.handshake_timeout_seconds = handshake_timeout_seconds
+        self.connector = DatasetConnector(self.service.sessions)
+        self.address: tuple[str, int] | None = None
+        self.http_requests = 0
+        self.ws_connections = 0
+        self.ws_resumed_streams = 0
+        self.ws_restarted_streams = 0
+        #: session id -> its resumable streams, keyed by request id.
+        self._streams: dict[str, dict[int, _Stream]] = {}
+        #: session id -> the currently attached WS connection (one at a
+        #: time: a resume steals the session from a zombie connection).
+        self._attached: dict[str, _WsConnection] = {}
+        self._grace: dict[str, asyncio.TimerHandle] = {}
+        self._ledger_lock = threading.Lock()
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._sweeper: asyncio.Task | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        # Session teardown (close, idle expiry) must also drop the
+        # gateway's ledger for that session; chain onto whatever hook
+        # the service already installed (the scheduler's forget_session).
+        chained = self.service.sessions.on_close
+
+        def on_close(session_id: str) -> None:
+            if chained is not None:
+                chained(session_id)
+            self._forget_session(session_id)
+
+        self.service.sessions.on_close = on_close
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        if self.service._sweeper is None:
+            # Standalone gateway (the TCP wire is not serving): the
+            # session/cache sweep has to run somewhere.
+            self._sweeper = asyncio.create_task(self._sweep_loop())
+        log_event("gateway.start", host=self.address[0], port=self.address[1])
+        return self.address
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.service.sweep_interval_seconds)
+            self.service.sessions.sweep()
+            self.service.sessions.expire()
+            self.service.cluster.sweep_caches()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self._shutdown_async()
+
+    def run(self) -> None:
+        """Blocking entry point for ``repro gateway``."""
+        try:
+            asyncio.run(self.serve_forever())
+        except KeyboardInterrupt:
+            pass
+
+    def start_background(self, timeout: float = 10.0) -> tuple[str, int]:
+        started = threading.Event()
+
+        def main() -> None:
+            asyncio.run(self._background_main(started))
+
+        self._thread = threading.Thread(
+            target=main, name="gateway-server", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout):
+            raise EngineError("gateway server failed to start")
+        assert self.address is not None
+        return self.address
+
+    async def _background_main(self, started: threading.Event) -> None:
+        await self.start()
+        self._stop = asyncio.Event()
+        started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self._shutdown_async()
+
+    async def _shutdown_async(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+        for handle in self._grace.values():
+            handle.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    # -- HTTP ------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await gw_http.read_request(reader)
+                except gw_http.HttpError as exc:
+                    writer.write(
+                        gw_http.error_response(
+                            exc.status, exc.code, str(exc), keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                self.http_requests += 1
+                if request.is_websocket_upgrade():
+                    await self._handle_ws(request, reader, writer)
+                    return
+                started = time.perf_counter()
+                response = await self._route(request)
+                REGISTRY.histogram(
+                    "gateway.http_seconds",
+                    "HTTP request latency at the gateway",
+                ).observe(time.perf_counter() - started)
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, request: gw_http.HttpRequest) -> bytes:
+        """Dispatch one HTTP request to a response (never raises)."""
+        keep = request.keep_alive
+        try:
+            return await self._dispatch_http(request)
+        except gw_http.HttpError as exc:
+            return gw_http.error_response(
+                exc.status, exc.code, str(exc), keep_alive=keep
+            )
+        except (ConnectorError, NegotiationError, ProtocolError) as exc:
+            code = getattr(exc, "code", "bad_request") or "bad_request"
+            return gw_http.error_response(
+                _status_for(code), code, str(exc), keep_alive=keep
+            )
+
+    async def _dispatch_http(self, request: gw_http.HttpRequest) -> bytes:
+        method, path = request.method, request.path
+        keep = request.keep_alive
+        trace = from_traceparent(request.headers.get("traceparent"))
+        extra = (
+            [("traceparent", to_traceparent(trace))] if trace is not None else None
+        )
+        parts = [p for p in path.split("/") if p]
+        if len(parts) < 2 or parts[0] != "api" or parts[1] != "v1":
+            raise ConnectorError(f"unknown path {path!r}", code="not_found")
+        tail = parts[2:]
+
+        if tail == ["protocol"] and method == "GET":
+            return gw_http.json_response(200, protocol_payload(), keep_alive=keep)
+        if tail == ["health"] and method == "GET":
+            return gw_http.json_response(
+                200, self.health_payload(), keep_alive=keep
+            )
+        if tail == ["sessions"] and method == "POST":
+            return self._http_create_session(request)
+        if len(tail) == 2 and tail[0] == "sessions" and method == "DELETE":
+            closed = self.service.sessions.close(tail[1])
+            return gw_http.json_response(200, {"closed": closed}, keep_alive=keep)
+
+        admin = await self._admin_route(tail, method, request)
+        if admin is not None:
+            return admin
+
+        if tail == ["datasets"] and method == "GET":
+            return gw_http.json_response(
+                200, {"datasets": self.connector.datasets()}, keep_alive=keep
+            )
+        if tail == ["datasets"] and method == "POST":
+            body = request.json_body()
+            name = body.get("name")
+            if not isinstance(name, str) or not name:
+                raise ConnectorError("publish needs a dataset 'name'")
+            published = await self._in_executor(
+                self.connector.publish, name, body.get("source")
+            )
+            return gw_http.json_response(201, published, keep_alive=keep)
+        if len(tail) == 2 and tail[0] == "datasets" and method == "DELETE":
+            removed = self.connector.unpublish(tail[1])
+            return gw_http.json_response(
+                200, {"unpublished": removed}, keep_alive=keep
+            )
+        if len(tail) == 3 and tail[0] == "datasets" and method == "GET":
+            name, view = tail[1], tail[2]
+            query = request.query
+            if view == "$metadata":
+                payload = await self._in_executor(
+                    self.connector.metadata, name, trace
+                )
+            elif view == "rows":
+                payload = await self._in_executor(
+                    lambda: self.connector.rows(
+                        name,
+                        top=self._int_param(query, "$top", 100),
+                        skip=self._int_param(query, "$skip", 0),
+                        orderby=query.get("$orderby"),
+                        trace=trace,
+                    )
+                )
+            elif view == "sample":
+                payload = await self._in_executor(
+                    lambda: self.connector.sample(
+                        name,
+                        count=self._int_param(query, "count", 100),
+                        seed=self._int_param(query, "seed", 0),
+                        orderby=query.get("$orderby"),
+                        trace=trace,
+                    )
+                )
+            else:
+                raise ConnectorError(
+                    f"unknown dataset view {view!r}", code="not_found"
+                )
+            return gw_http.json_response(
+                200, payload, keep_alive=keep, extra_headers=extra
+            )
+        raise ConnectorError(
+            f"no route for {method} {path}", code="not_found"
+        )
+
+    async def _admin_route(
+        self, tail: list[str], method: str, request: gw_http.HttpRequest
+    ) -> bytes | None:
+        """The operational plane, shared with the TCP wire via
+        ``admin_reply``.  Returns ``None`` for non-admin paths."""
+        mapping = {
+            ("GET", "stats"): ("stats", {}),
+            ("GET", "metrics"): (
+                "metricsSnapshot",
+                {"format": request.query.get("format")}
+                if request.query.get("format")
+                else {},
+            ),
+            ("GET", "traces"): (
+                "traceDump",
+                {"traceId": request.query.get("traceId")}
+                if request.query.get("traceId")
+                else {},
+            ),
+            ("POST", "drain"): ("drain", {}),
+            ("POST", "undrain"): ("undrain", {}),
+        }
+        if len(tail) != 1 or (method, tail[0]) not in mapping:
+            return None
+        rpc_method, args = mapping[(method, tail[0])]
+        reply = await self.service.admin_reply(RpcRequest(0, "", rpc_method, args))
+        assert reply is not None
+        payload = reply.payload if reply.payload is not NO_PAYLOAD else {}
+        if (
+            rpc_method == "metricsSnapshot"
+            and isinstance(payload, dict)
+            and payload.get("format") == "prometheus"
+        ):
+            return gw_http.response_bytes(
+                200,
+                str(payload.get("text", "")).encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+                keep_alive=request.keep_alive,
+            )
+        return gw_http.json_response(200, payload, keep_alive=request.keep_alive)
+
+    def _http_create_session(self, request: gw_http.HttpRequest) -> bytes:
+        body = request.json_body()
+        requested = body.get("session")
+        keep = request.keep_alive
+        if self.service.draining and not (
+            requested and self.service.sessions.get(str(requested))
+        ):
+            self.service.hellos_refused += 1
+            return gw_http.error_response(
+                503,
+                "draining",
+                "this root is draining; reconnect through the director "
+                "to another root",
+                keep_alive=keep,
+            )
+        before = self.service.sessions.get(str(requested)) if requested else None
+        session = self.service.sessions.get_or_create(
+            str(requested) if requested else None
+        )
+        # "resumed": the id named an existing session — resident on this
+        # root, or rebuilt (with handles) from the shared session store.
+        resumed = before is not None or (
+            bool(requested) and len(session.web.handles) > 0
+        )
+        return gw_http.json_response(
+            201,
+            {"session": session.session_id, "resumed": resumed},
+            keep_alive=keep,
+        )
+
+    @staticmethod
+    def _int_param(query: dict, key: str, default: int) -> int:
+        raw = query.get(key)
+        if raw is None or raw == "":
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ConnectorError(f"{key} must be an integer, got {raw!r}")
+
+    async def _in_executor(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        if args:
+            return await loop.run_in_executor(None, lambda: fn(*args))
+        return await loop.run_in_executor(None, fn)
+
+    def health_payload(self) -> dict:
+        """The director-facing liveness document."""
+        return {
+            "status": "draining" if self.service.draining else "ok",
+            "gateway": True,
+            "protocolVersion": PROTOCOL_VERSION,
+            "draining": self.service.draining,
+            "sessions": len(self.service.sessions.sessions),
+            "workers": len(self.service.cluster.workers),
+            "wsConnections": self.ws_connections,
+            "httpRequests": self.http_requests,
+        }
+
+    # -- WebSocket --------------------------------------------------------
+    async def _handle_ws(
+        self,
+        request: gw_http.HttpRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if request.path != "/api/v1/ws":
+            writer.write(
+                gw_http.error_response(
+                    404, "not_found", f"no WebSocket at {request.path!r}",
+                    keep_alive=False,
+                )
+            )
+            await writer.drain()
+            return
+        key = request.headers.get("sec-websocket-key")
+        if not key:
+            writer.write(
+                gw_http.error_response(
+                    400, "bad_handshake", "missing Sec-WebSocket-Key",
+                    keep_alive=False,
+                )
+            )
+            await writer.drain()
+            return
+        writer.write(
+            gw_http.response_bytes(
+                101, extra_headers=ws.handshake_response_headers(key)
+            )
+        )
+        await writer.drain()
+        self.ws_connections += 1
+        REGISTRY.counter(
+            "gateway.ws_connections", "WebSocket connections accepted"
+        ).inc()
+        outbox: "asyncio.Queue[dict | bytes | None]" = asyncio.Queue(
+            maxsize=self.outbox_frames
+        )
+        conn = _WsConnection(self._loop, outbox, self.sink_timeout_seconds)
+        conn_trace = from_traceparent(request.headers.get("traceparent"))
+        writer_task = asyncio.create_task(self._ws_writer_loop(writer, outbox))
+        heartbeat_task: asyncio.Task | None = None
+        direct_tasks: list[QueryTask] = []
+        started = time.perf_counter()
+        try:
+            session = await self._ws_handshake(conn, reader)
+            REGISTRY.histogram(
+                "gateway.ws_handshake_seconds",
+                "WebSocket handshake latency (accept to welcome)",
+            ).observe(time.perf_counter() - started)
+            if session is None:
+                return
+            if conn.negotiated.enabled("ws_heartbeat"):
+                heartbeat_task = asyncio.create_task(self._heartbeat_loop(conn))
+            await self._ws_message_loop(conn, session, reader, conn_trace, direct_tasks)
+        except (
+            ws.WebSocketError,
+            ws.ConnectionClosed,
+            ConnectionError,
+            OSError,
+            asyncio.CancelledError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            conn.closed.set()
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+            # Direct (non-resumable) streams die with the connection,
+            # exactly like the TCP wire; resumable streams get a grace
+            # window instead.
+            for task in direct_tasks:
+                task.token.cancel()
+            if conn.session is not None:
+                self._detach(conn, conn.session.session_id)
+            # Flush what is already queued (handshake refusals, the last
+            # replies) before tearing the writer down; a full outbox means
+            # the client stopped draining, so dropping it is fine.
+            try:
+                outbox.put_nowait(None)
+            except asyncio.QueueFull:
+                writer_task.cancel()
+            try:
+                await writer_task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    async def _ws_writer_loop(
+        self,
+        writer: asyncio.StreamWriter,
+        outbox: "asyncio.Queue[dict | bytes | None]",
+    ) -> None:
+        sent = REGISTRY.counter(
+            "gateway.ws_bytes_sent", "reply bytes on the WebSocket wire"
+        )
+        try:
+            while True:
+                message = await outbox.get()
+                if message is None:
+                    break
+                if isinstance(message, bytes):
+                    frame = message  # pre-encoded control frame
+                else:
+                    frame = ws.encode_frame(
+                        ws.OP_TEXT,
+                        json.dumps(message, sort_keys=True).encode("utf-8"),
+                    )
+                sent.inc(len(frame))
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _heartbeat_loop(self, conn: _WsConnection) -> None:
+        n = 0
+        while not conn.closed.is_set():
+            await asyncio.sleep(self.heartbeat_interval_seconds)
+            n += 1
+            try:
+                conn.outbox.put_nowait({"type": "heartbeat", "n": n})
+            except asyncio.QueueFull:
+                pass  # a full outbox is already applying backpressure
+
+    async def _ws_handshake(
+        self, conn: _WsConnection, reader: asyncio.StreamReader
+    ) -> Session | None:
+        """Server hello -> client hello -> negotiate -> welcome (+ replay).
+
+        Returns the bound session, or ``None`` when the handshake was
+        refused (the refusal message has already been sent).
+        """
+        hello = dict(protocol_payload())
+        hello["type"] = "hello"
+        await conn.outbox.put(hello)
+        try:
+            message = await asyncio.wait_for(
+                ws.read_message(reader), timeout=self.handshake_timeout_seconds
+            )
+        except asyncio.TimeoutError:
+            await conn.outbox.put(
+                {
+                    "type": "error",
+                    "code": "bad_handshake",
+                    "error": "timed out waiting for the client hello",
+                }
+            )
+            return None
+        if message.opcode == ws.OP_CLOSE:
+            return None
+        try:
+            client_hello = json.loads(message.data.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            await conn.outbox.put(
+                {
+                    "type": "error",
+                    "code": "bad_handshake",
+                    "error": f"client hello is not valid JSON: {exc}",
+                }
+            )
+            return None
+        if (
+            not isinstance(client_hello, dict)
+            or client_hello.get("type") != "hello"
+        ):
+            await conn.outbox.put(
+                {
+                    "type": "error",
+                    "code": "bad_handshake",
+                    "error": "the first message must be a {'type': 'hello'}",
+                }
+            )
+            return None
+        try:
+            negotiated = negotiate(
+                client_hello.get("protocolVersion", PROTOCOL_VERSION),
+                client_hello.get("features"),
+            )
+        except NegotiationError as exc:
+            await conn.outbox.put(
+                {
+                    "type": "error",
+                    "code": exc.code,
+                    "error": str(exc),
+                    "minSupported": protocol_payload()["minSupported"],
+                }
+            )
+            return None
+        requested = client_hello.get("session")
+        if self.service.draining and not (
+            requested and self.service.sessions.get(str(requested))
+        ):
+            self.service.hellos_refused += 1
+            await conn.outbox.put(
+                {
+                    "type": "error",
+                    "code": "draining",
+                    "error": "this root is draining; reconnect through "
+                    "the director to another root",
+                }
+            )
+            return None
+        session = self.service.sessions.get_or_create(
+            str(requested) if requested else None
+        )
+        conn.negotiated = negotiated
+        conn.session = session
+        welcome: dict = {
+            "type": "welcome",
+            "session": session.session_id,
+        }
+        welcome.update(negotiated.to_json())
+        replay: list[dict] = []
+        if negotiated.enabled("ws_resume"):
+            resumed = self._attach(conn, session, client_hello.get("resume"))
+            welcome["resumed"] = resumed["resumed"]
+            welcome["restarted"] = resumed["restarted"]
+            welcome["expired"] = resumed["expired"]
+            replay = resumed["replay"]
+        await conn.outbox.put(welcome)
+        for message_out in replay:
+            await conn.outbox.put(message_out)
+        return session
+
+    # -- resumable stream ledger ----------------------------------------
+    def _attach(
+        self, conn: _WsConnection, session: Session, resume: object
+    ) -> dict:
+        """Bind ``conn`` as the session's live connection and compute the
+        replay for the client's ``resume`` map (requestId -> last seq)."""
+        session_id = session.session_id
+        handle = self._grace.pop(session_id, None)
+        if handle is not None:
+            handle.cancel()
+        with self._ledger_lock:
+            self._attached[session_id] = conn
+            streams = dict(self._streams.get(session_id, {}))
+        resumed: list[int] = []
+        restarted: list[int] = []
+        expired: list[int] = []
+        replay: list[dict] = []
+        if not isinstance(resume, dict):
+            return {
+                "resumed": resumed,
+                "restarted": restarted,
+                "expired": expired,
+                "replay": replay,
+            }
+        for raw_id, raw_seq in sorted(resume.items(), key=lambda kv: str(kv[0])):
+            try:
+                request_id = int(raw_id)
+                last_seq = int(raw_seq)
+            except (TypeError, ValueError):
+                continue
+            stream = streams.get(request_id)
+            if stream is None:
+                expired.append(request_id)
+                replay.append(
+                    {
+                        "type": "reply",
+                        "requestId": request_id,
+                        "kind": "error",
+                        "progress": 1.0,
+                        "error": "this stream is no longer resumable; "
+                        "re-issue the query",
+                        "code": "stream_expired",
+                    }
+                )
+                continue
+            if stream.expired:
+                # The grace timer cancelled it: restart from the stored
+                # request.  Cumulative partials make this lossless — the
+                # restarted stream's first partial supersedes everything.
+                self._submit_resumable(session, stream)
+                restarted.append(request_id)
+                self.ws_restarted_streams += 1
+                continue
+            resumed.append(request_id)
+            self.ws_resumed_streams += 1
+            replay.extend(stream.replay_after(last_seq))
+        REGISTRY.counter(
+            "gateway.ws_streams_resumed", "streams resumed after reconnect"
+        ).inc(len(resumed) + len(restarted))
+        return {
+            "resumed": resumed,
+            "restarted": restarted,
+            "expired": expired,
+            "replay": replay,
+        }
+
+    def _detach(self, conn: _WsConnection, session_id: str) -> None:
+        """The connection is gone: start the resume grace timer."""
+        with self._ledger_lock:
+            if self._attached.get(session_id) is conn:
+                del self._attached[session_id]
+            else:
+                return  # a newer connection already took over
+            live = any(
+                not s.done for s in self._streams.get(session_id, {}).values()
+            )
+        if live and self._loop is not None:
+            self._grace[session_id] = self._loop.call_later(
+                self.resume_grace_seconds, self._expire_streams, session_id
+            )
+
+    def _expire_streams(self, session_id: str) -> None:
+        """Grace over: cancel the session's live streams.  Ledger entries
+        stay (marked expired) so a late resume can still restart them."""
+        self._grace.pop(session_id, None)
+        with self._ledger_lock:
+            if session_id in self._attached:
+                return  # reconnected while the timer fired
+            streams = list(self._streams.get(session_id, {}).values())
+        for stream in streams:
+            if not stream.done:
+                stream.expired = True
+                if stream.task is not None:
+                    stream.task.token.cancel()
+
+    def _forget_session(self, session_id: str) -> None:
+        """Session closed or expired: the ledger goes with it."""
+        with self._ledger_lock:
+            self._streams.pop(session_id, None)
+            self._attached.pop(session_id, None)
+        handle = self._grace.pop(session_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _submit_resumable(self, session: Session, stream: _Stream) -> None:
+        """(Re)submit a stream's request with the ledger-writing sink."""
+        session_id = session.session_id
+        stream.done = False
+        stream.expired = False
+        stream.terminal = None
+
+        def sink(reply: RpcReply) -> None:
+            with self._ledger_lock:
+                message = stream.record(reply)
+                conn = self._attached.get(session_id)
+            if conn is not None:
+                # May raise ConnectionError (stalled client) — the
+                # scheduler then cancels the query, like the TCP wire.
+                conn.send_threadsafe(message)
+
+        stream.task = self.service.scheduler.submit(
+            session, stream.request, sink
+        )
+
+    def _register_stream(self, session: Session, request: RpcRequest) -> _Stream:
+        stream = _Stream(request)
+        with self._ledger_lock:
+            streams = self._streams.setdefault(session.session_id, {})
+            # Re-using a request id replaces its ledger slot (the TCP
+            # wire trusts client-unique ids; the ledger must not let a
+            # duplicate make two streams fight over one slot).
+            streams[request.request_id] = stream
+            while len(streams) > MAX_STREAMS_PER_SESSION:
+                victims = sorted(
+                    streams.values(), key=lambda s: (not s.done, s.started)
+                )
+                del streams[victims[0].request.request_id]
+        return stream
+
+    # -- WS message loop --------------------------------------------------
+    async def _ws_message_loop(
+        self,
+        conn: _WsConnection,
+        session: Session,
+        reader: asyncio.StreamReader,
+        conn_trace: TraceContext | None,
+        direct_tasks: list[QueryTask],
+    ) -> None:
+        messages = REGISTRY.counter(
+            "gateway.ws_messages", "client messages on the WebSocket wire"
+        )
+        resumable = conn.negotiated.enabled("ws_resume")
+        while True:
+            message = await ws.read_message(reader)
+            if message.opcode == ws.OP_CLOSE:
+                await conn.outbox.put(ws.close_frame())
+                return
+            if message.opcode == ws.OP_PING:
+                await conn.outbox.put(ws.encode_frame(ws.OP_PONG, message.data))
+                continue
+            if message.opcode == ws.OP_PONG:
+                continue
+            messages.inc()
+            session.touch()
+            try:
+                data = json.loads(message.data.decode("utf-8"))
+                if not isinstance(data, dict):
+                    raise ValueError("messages must be JSON objects")
+            except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+                await conn.outbox.put(
+                    {
+                        "type": "error",
+                        "code": "bad_request",
+                        "error": f"unreadable message: {exc}",
+                    }
+                )
+                continue
+            kind = data.get("type")
+            if kind == "ping":
+                await conn.outbox.put({"type": "pong"})
+            elif kind == "cancel":
+                request_id = int(data.get("requestId", -1))
+                cancelled = session.cancel_request(request_id)
+                # Not a "reply": the stream itself still terminates with
+                # its own cancelled/complete envelope, and a reply-kind
+                # ack here would put two terminals on one requestId.
+                await conn.outbox.put(
+                    {
+                        "type": "cancel_ack",
+                        "requestId": request_id,
+                        "cancelled": cancelled,
+                    }
+                )
+            elif kind == "request":
+                self._ws_submit(
+                    conn, session, data, conn_trace, resumable, direct_tasks
+                )
+            else:
+                await conn.outbox.put(
+                    {
+                        "type": "error",
+                        "code": "bad_request",
+                        "error": f"unknown message type {kind!r}",
+                    }
+                )
+
+    def _ws_submit(
+        self,
+        conn: _WsConnection,
+        session: Session,
+        data: dict,
+        conn_trace: TraceContext | None,
+        resumable: bool,
+        direct_tasks: list[QueryTask],
+    ) -> None:
+        try:
+            request = RpcRequest(
+                request_id=int(data["requestId"]),
+                target=str(data.get("target", "")),
+                method=str(data["method"]),
+                args=dict(data.get("args") or {}),
+                trace=data.get("trace")
+                if conn.negotiated.enabled("trace_context")
+                else None,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            conn.outbox.put_nowait(
+                {
+                    "type": "error",
+                    "code": "bad_request",
+                    "error": f"malformed request message: {exc}",
+                }
+            )
+            return
+        if request.trace is None and conn_trace is not None:
+            # The upgrade request's traceparent covers the connection;
+            # each query becomes a child span of it.
+            request.trace = conn_trace.child().to_json()
+        if resumable and request.method == "sketch":
+            stream = self._register_stream(session, request)
+            self._submit_resumable(session, stream)
+            return
+        direct_tasks.append(
+            self.service.scheduler.submit(
+                session, request, lambda reply: conn.send_threadsafe(
+                    _reply_to_message(reply)
+                )
+            )
+        )
+        # Compact the bookkeeping list as the TCP transport does.
+        direct_tasks[:] = [t for t in direct_tasks if not t.done.is_set()]

@@ -87,6 +87,49 @@ class TraceContext:
         return cls(str(trace_id), str(span_id), None if parent is None else str(parent))
 
 
+def from_traceparent(header: object) -> TraceContext | None:
+    """Ingest a W3C ``traceparent`` HTTP header as a child context.
+
+    ``00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>`` maps to
+    a fresh span under the caller's: the external trace id is adopted
+    verbatim (our ids are opaque strings) and the header's span id becomes
+    the parent, so a browser's distributed trace continues into the
+    gateway, scheduler, and worker fan-out.  Tolerant like
+    :meth:`TraceContext.from_json`: a malformed header yields ``None``
+    (an untraced request), never an error.
+    """
+    if not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, parent_id, _flags = parts
+    if len(version) != 2 or len(trace_id) != 32 or len(parent_id) != 16:
+        return None
+    try:
+        int(version, 16), int(trace_id, 16), int(parent_id, 16)
+    except ValueError:
+        return None
+    if trace_id == "0" * 32 or parent_id == "0" * 16:
+        return None
+    return TraceContext(trace_id, _new_id(), parent_id)
+
+
+def to_traceparent(ctx: TraceContext) -> str:
+    """Render a context as a W3C ``traceparent`` header value.
+
+    Our ids are 16-hex (external ones adopted by :func:`from_traceparent`
+    may be 32-hex); non-hex or short ids are deterministically padded so
+    the result is always well-formed.
+    """
+
+    def _hex(value: str, width: int) -> str:
+        cleaned = "".join(c for c in value.lower() if c in "0123456789abcdef")
+        return (cleaned or "1").rjust(width, "0")[-width:]
+
+    return f"00-{_hex(ctx.trace_id, 32)}-{_hex(ctx.span_id, 16)}-01"
+
+
 # ---------------------------------------------------------------------------
 # The per-process recorder
 # ---------------------------------------------------------------------------

@@ -18,7 +18,12 @@ from repro.service.autoscaler import (
     fleet_pressure,
     worker_pressure,
 )
-from repro.service.director import ConnectionDirector, admin_call, probe_root
+from repro.service.director import (
+    ConnectionDirector,
+    admin_call,
+    probe_gateway,
+    probe_root,
+)
 from repro.service.placement import (
     PlacementError,
     ShardPlacement,
@@ -87,6 +92,7 @@ __all__ = [
     "open_session_store",
     "parse_fleet_spec",
     "plan_moves",
+    "probe_gateway",
     "probe_root",
     "read_frame_blocking",
     "source_from_json",

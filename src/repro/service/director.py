@@ -26,6 +26,7 @@ with three twists a plain balancer also needs:
 
 from __future__ import annotations
 
+import json
 import random
 import socket
 import threading
@@ -83,6 +84,34 @@ def probe_root(
     )
 
 
+def probe_gateway(
+    address: "tuple[str, int]", timeout: float = 2.0
+) -> bool:
+    """One gateway health probe: ``GET /api/v1/health`` over HTTP.
+
+    Healthy means the gateway answered 200 with its liveness document
+    (``"gateway": true``).  A *draining* gateway is still healthy — like
+    the transport-level ping, draining is rotation state, not liveness,
+    and ejecting a draining root would prevent its sessions from
+    finishing their migration.
+    """
+    import http.client
+
+    connection = http.client.HTTPConnection(*address, timeout=timeout)
+    try:
+        connection.request("GET", "/api/v1/health")
+        response = connection.getresponse()
+        body = response.read()
+        if response.status != 200:
+            return False
+        payload = json.loads(body.decode("utf-8"))
+        return bool(isinstance(payload, dict) and payload.get("gateway"))
+    except (OSError, ValueError):
+        return False
+    finally:
+        connection.close()
+
+
 class ConnectionDirector:
     """Round-robin connections across the roots of one service tier."""
 
@@ -100,6 +129,7 @@ class ConnectionDirector:
         self._probe = probe if probe is not None else probe_root
         self.max_ping_failures = max_ping_failures
         self._next = 0
+        self._gateways: "dict[tuple[str, int], tuple[str, int]]" = {}
         self._affinity: dict[str, tuple[str, int]] = {}
         self._drained: set[tuple[str, int]] = set()
         self._ejected: set[tuple[str, int]] = set()
@@ -147,6 +177,45 @@ class ConnectionDirector:
             self._next += 1
             return address
 
+    def register_gateway(
+        self,
+        root_address: "tuple[str, int]",
+        gateway_address: "tuple[str, int]",
+    ) -> None:
+        """Record that ``root_address`` fronts an HTTP/WS gateway.
+
+        A registered gateway changes two things: :meth:`gateway_for`
+        can deal browser clients a gateway with the same affinity rules
+        TCP clients get, and :meth:`check_health` holds the root to a
+        stricter bar — its transport ping *and* its gateway's health
+        endpoint must both answer, because a root whose gateway is dead
+        is useless to every browser session pinned to it.
+        """
+        if root_address not in self.addresses:
+            raise ValueError(f"unknown root {root_address!r}")
+        with self._lock:
+            self._gateways[root_address] = tuple(gateway_address)
+
+    def gateway_for(self, session: str | None = None) -> "tuple[str, int]":
+        """The gateway address a browser client should dial.
+
+        Routing is root-first: the session's pin (or round-robin) picks
+        a root exactly as :meth:`connect` would, and the answer is that
+        root's registered gateway — so a browser session and its TCP
+        resurrections land on the same soft state.  Roots without a
+        registered gateway are skipped.
+        """
+        with self._lock:
+            if not self._gateways:
+                raise ConnectionError("no gateway registered on any root")
+        for _ in range(len(self.addresses)):
+            root = self._pick(session)
+            with self._lock:
+                gateway = self._gateways.get(root)
+            if gateway is not None:
+                return gateway
+        raise ConnectionError("no routable root has a registered gateway")
+
     def connect(self, session: str | None = None, **kwargs) -> ServiceClient:
         """A client on the session's pinned root, or the next one."""
         address = self._pick(session)
@@ -177,10 +246,20 @@ class ConnectionDirector:
         """One probe pass over every root (ejected ones included, so a
         recovered root rejoins the rotation).  A root failing
         ``max_ping_failures`` *consecutive* probes is ejected; one
-        success restores it and resets its failure count."""
+        success restores it and resets its failure count.
+
+        A root with a registered gateway must pass *both* probes — the
+        transport-level ping and the gateway's HTTP health endpoint —
+        to count as healthy; browser sessions routed through a dead
+        gateway are just as stranded as TCP sessions on a dead root."""
         results: "dict[tuple[str, int], bool]" = {}
         for address in list(self.addresses):
             healthy = bool(self._probe(address))
+            if healthy:
+                with self._lock:
+                    gateway = self._gateways.get(address)
+                if gateway is not None:
+                    healthy = probe_gateway(gateway)
             results[address] = healthy
             recovered = ejected = False
             with self._lock:

@@ -297,23 +297,15 @@ class ServiceServer:
                         )
                     )
                     continue
-                if request.method == "drain":
-                    payload = await self._loop.run_in_executor(
-                        None, self.drain
-                    )
-                    await outbox.put(
-                        RpcReply(request.request_id, "ack", payload=payload)
-                    )
-                    continue
-                if request.method == "undrain":
-                    self.draining = False
-                    await outbox.put(
-                        RpcReply(
-                            request.request_id,
-                            "ack",
-                            payload={"draining": False},
-                        )
-                    )
+                admin = await self.admin_reply(request)
+                if admin is not None:
+                    # Administrative methods are sessionless (the
+                    # director probes and drains roots without minting
+                    # sessions), but a connection that *has* a session
+                    # keeps it alive by polling them.
+                    if session is not None:
+                        session.touch()
+                    await outbox.put(admin)
                     continue
                 if request.method == "hello":
                     requested = request.args.get("session")
@@ -370,41 +362,6 @@ class ServiceServer:
                             payload={"cancelled": cancelled},
                         )
                     )
-                elif request.method == "stats":
-                    await outbox.put(
-                        RpcReply(request.request_id, "complete", payload=self.stats())
-                    )
-                elif request.method == "cacheStats":
-                    # Worker daemons are queried over their sockets;
-                    # run off the event loop so a slow worker cannot
-                    # stall every connection.
-                    payload = await self._loop.run_in_executor(
-                        None, self.cache_stats
-                    )
-                    await outbox.put(
-                        RpcReply(request.request_id, "complete", payload=payload)
-                    )
-                elif request.method == "metricsSnapshot":
-                    # Also dials worker daemons: off the event loop,
-                    # like cacheStats.
-                    fmt = request.args.get("format")
-                    payload = await self._loop.run_in_executor(
-                        None, lambda: self.metrics_snapshot(fmt)
-                    )
-                    await outbox.put(
-                        RpcReply(request.request_id, "complete", payload=payload)
-                    )
-                elif request.method == "traceDump":
-                    trace_id = request.args.get("traceId")
-                    payload = await self._loop.run_in_executor(
-                        None,
-                        lambda: self.trace_dump(
-                            None if trace_id is None else str(trace_id)
-                        ),
-                    )
-                    await outbox.put(
-                        RpcReply(request.request_id, "complete", payload=payload)
-                    )
                 else:
                     tasks.append(self.scheduler.submit(session, request, conn.sink))
                     tasks = [t for t in tasks if not t.done.is_set()]
@@ -443,6 +400,52 @@ class ServiceServer:
                 writer.close()
             except (ConnectionError, OSError):
                 pass
+
+    # -- administrative methods (shared by the TCP wire and the gateway)
+    async def admin_reply(self, request: RpcRequest) -> RpcReply | None:
+        """Answer a sessionless administrative request, or ``None`` when
+        ``request`` is not administrative.
+
+        Both front doors — the TCP transport and the HTTP/WebSocket
+        gateway (:mod:`repro.gateway`) — dispatch through this one
+        method, so the operational surface (drain, stats, metrics,
+        traces) cannot drift between them.  Methods that dial worker
+        daemons run off the event loop: a slow worker must not stall
+        every connection of the calling transport.
+        """
+        loop = asyncio.get_running_loop()
+        method = request.method
+        if method == "drain":
+            payload = await loop.run_in_executor(None, self.drain)
+            return RpcReply(request.request_id, "ack", payload=payload)
+        if method == "undrain":
+            self.draining = False
+            return RpcReply(
+                request.request_id, "ack", payload={"draining": False}
+            )
+        if method == "stats":
+            return RpcReply(
+                request.request_id, "complete", payload=self.stats()
+            )
+        if method == "cacheStats":
+            payload = await loop.run_in_executor(None, self.cache_stats)
+            return RpcReply(request.request_id, "complete", payload=payload)
+        if method == "metricsSnapshot":
+            fmt = request.args.get("format")
+            payload = await loop.run_in_executor(
+                None, lambda: self.metrics_snapshot(fmt)
+            )
+            return RpcReply(request.request_id, "complete", payload=payload)
+        if method == "traceDump":
+            trace_id = request.args.get("traceId")
+            payload = await loop.run_in_executor(
+                None,
+                lambda: self.trace_dump(
+                    None if trace_id is None else str(trace_id)
+                ),
+            )
+            return RpcReply(request.request_id, "complete", payload=payload)
+        return None
 
     # -- tier operations -------------------------------------------------
     def drain(self) -> dict:
